@@ -1,0 +1,94 @@
+"""Ablation — Algorithm 1 implementation: boundary sweep vs slot array.
+
+The paper's pseudocode materializes a per-slot weight array
+``W[T_s..T_e]``; our implementation sweeps exact event boundaries.
+This ablation quantifies the trade-off: the sweep is exact for
+arbitrary timestamps and scales with event count, while the slot array
+scales with period length / slot size and snaps boundaries to slots.
+"""
+
+import numpy as np
+import pytest
+from conftest import print_table, run_once
+
+from repro.core.indicator import (
+    ServicePeriod,
+    WeightedInterval,
+    cdi,
+    cdi_slotted,
+)
+
+DAY = 86400.0
+
+
+def make_intervals(n: int, seed: int = 0, aligned: bool = False):
+    rng = np.random.default_rng(seed)
+    intervals = []
+    for _ in range(n):
+        start = float(rng.uniform(0, DAY - 7200))
+        length = float(rng.uniform(120, 3600))
+        if aligned:
+            start = round(start / 60.0) * 60.0
+            length = max(60.0, round(length / 60.0) * 60.0)
+        intervals.append(
+            WeightedInterval(start, start + length,
+                             float(rng.uniform(0.1, 1.0)))
+        )
+    return intervals
+
+
+class TestSweepVsSlotted:
+    def test_accuracy_on_unaligned_timestamps(self, benchmark):
+        service = ServicePeriod(0.0, DAY)
+
+        def sweep_accuracy():
+            rows = []
+            for slot in (300.0, 60.0, 10.0):
+                intervals = make_intervals(200, aligned=False)
+                exact = cdi(intervals, service)
+                approx = cdi_slotted(intervals, service, slot=slot)
+                error = abs(approx - exact) / exact
+                rows.append((f"{slot:.0f}s", f"{exact:.5f}",
+                             f"{approx:.5f}", f"{error:.2%}"))
+            return rows
+
+        rows = run_once(benchmark, sweep_accuracy)
+        print_table(
+            "Ablation: slot-array accuracy vs slot size (sweep = exact)",
+            ["slot", "sweep CDI", "slotted CDI", "relative error"], rows,
+        )
+        # Finer slots converge to the exact sweep.
+        fine = cdi_slotted(make_intervals(200), service, slot=10.0)
+        exact = cdi(make_intervals(200), service)
+        assert fine == pytest.approx(exact, rel=0.05)
+
+    def test_bench_sweep(self, benchmark):
+        intervals = make_intervals(2000)
+        service = ServicePeriod(0.0, DAY)
+        value = benchmark(cdi, intervals, service)
+        assert 0 < value <= 1
+
+    def test_bench_slotted(self, benchmark):
+        intervals = make_intervals(2000)
+        service = ServicePeriod(0.0, DAY)
+        value = benchmark(cdi_slotted, intervals, service, 60.0)
+        assert 0 < value <= 1
+
+    def test_bench_quantized(self, benchmark):
+        """Vectorized union-by-weight-level variant (production weights
+        are quantized into <= m*n levels)."""
+        from repro.core.indicator import damage_integral_quantized
+
+        rng = np.random.default_rng(0)
+        levels = np.array([0.25, 0.5, 0.625, 0.75, 1.0])
+        intervals = []
+        for _ in range(2000):
+            start = float(rng.uniform(0, DAY - 7200))
+            intervals.append(WeightedInterval(
+                start, start + float(rng.uniform(120, 3600)),
+                float(rng.choice(levels)),
+            ))
+        service = ServicePeriod(0.0, DAY)
+        value = benchmark(damage_integral_quantized, intervals, service)
+        exact = cdi(intervals, service) * service.duration
+        assert value == pytest.approx(exact, rel=1e-9)

@@ -1,0 +1,49 @@
+"""Fig. 2 — distribution of tickets related to ECS stability.
+
+Paper: of all stability tickets from January 2023 to June 2024, 27%
+concern unavailability, 44% performance, and 29% control-plane issues
+— the motivating evidence that downtime alone misses most of
+stability.
+
+We regenerate 18 months of synthetic tickets, classify them with the
+naive-Bayes PAI-model stand-in, and report the classified shares.
+"""
+
+from conftest import print_table, run_once
+
+from repro.core.events import EventCategory
+from repro.telemetry.tickets import PAPER_TICKET_MIXTURE, TicketGenerator
+from repro.tickets.classifier import train_default_classifier
+
+TICKETS = 6000
+
+
+def reproduce_fig2() -> dict[EventCategory, float]:
+    generator = TicketGenerator(seed=20230101)
+    tickets = generator.generate(TICKETS, targets=["fleet"])
+    classifier = train_default_classifier(seed=7)
+    predictions = classifier.predict([t.text for t in tickets])
+    shares = {
+        category: sum(1 for p in predictions if p is category) / len(predictions)
+        for category in EventCategory
+    }
+    return shares
+
+
+def test_fig2_ticket_distribution(benchmark):
+    shares = run_once(benchmark, reproduce_fig2)
+    rows = [
+        (
+            category.value,
+            f"{PAPER_TICKET_MIXTURE[category]:.0%}",
+            f"{shares[category]:.1%}",
+        )
+        for category in EventCategory
+    ]
+    print_table("Fig. 2: ticket distribution (paper vs reproduced)",
+                ["category", "paper", "reproduced"], rows)
+    # Shape check: performance dominates, unavailability is a minority.
+    assert shares[EventCategory.PERFORMANCE] == max(shares.values())
+    assert abs(shares[EventCategory.UNAVAILABILITY] - 0.27) < 0.05
+    assert abs(shares[EventCategory.PERFORMANCE] - 0.44) < 0.05
+    assert abs(shares[EventCategory.CONTROL_PLANE] - 0.29) < 0.05

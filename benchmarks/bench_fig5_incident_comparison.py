@@ -1,0 +1,42 @@
+"""Fig. 5 — stability evaluation on selected incidents.
+
+Paper: CDI, Annual Interruption Rate (AIR) and Downtime Percentage
+(DP) compared across three incident days and a normal day, normalized.
+AIR and DP move sharply on the two data-plane incidents (20240425,
+20240702) but are blind to the control-plane incident (20250107),
+which only CDI-C captures — the headline "stability is not downtime"
+result.
+"""
+
+from conftest import print_table, run_once
+
+from repro.scenarios.incidents import normalize_to_daily, simulate_incident_days
+
+METRICS = ("CDI-U", "CDI-P", "CDI-C", "AIR", "DP")
+
+
+def reproduce_fig5():
+    scenarios = simulate_incident_days(seed=0)
+    return normalize_to_daily(scenarios)
+
+
+def test_fig5_incident_comparison(benchmark):
+    rows_by_day = run_once(benchmark, reproduce_fig5)
+    table_rows = [
+        [day] + [f"{rows_by_day[day][m]:.2f}" for m in METRICS]
+        for day in ("daily", "20240425", "20240702", "20250107")
+    ]
+    print_table(
+        "Fig. 5: normalized metrics per incident day (daily = 1.00)",
+        ["day"] + list(METRICS), table_rows,
+    )
+    # Data-plane incidents: AIR, DP and CDI-U all react strongly.
+    for day in ("20240425", "20240702"):
+        assert rows_by_day[day]["AIR"] > 1.5
+        assert rows_by_day[day]["DP"] > 5.0
+        assert rows_by_day[day]["CDI-U"] > 5.0
+    # Control-plane incident: AIR and DP cannot reflect the damage...
+    assert 0.5 < rows_by_day["20250107"]["AIR"] < 1.5
+    assert 0.5 < rows_by_day["20250107"]["DP"] < 1.5
+    # ...but CDI-C captures it.
+    assert rows_by_day["20250107"]["CDI-C"] > 10.0

@@ -1,0 +1,39 @@
+"""Fig. 8 — Performance Indicator of deployment architectures (Case 5).
+
+Paper: homogeneous and hybrid arms track each other until Day 13,
+when CPU contention from an incompatibility on one machine model makes
+the hybrid curve climb rapidly; the rollback brings the curves back
+together by Day 28.
+"""
+
+from conftest import print_series, run_once
+
+from repro.scenarios.architecture import (
+    divergence_ratio,
+    simulate_architecture_comparison,
+)
+
+
+def reproduce_fig8():
+    return simulate_architecture_comparison(seed=0)
+
+
+def test_fig8_architecture_comparison(benchmark):
+    curve = run_once(benchmark, reproduce_fig8)
+    print_series(
+        "Fig. 8: Performance Indicator per deployment architecture",
+        {
+            "homogeneous": [d.homogeneous for d in curve],
+            "hybrid": [d.hybrid for d in curve],
+        },
+    )
+    pre = divergence_ratio(curve, (1, 12))
+    mid = divergence_ratio(curve, (14, 20))
+    end = divergence_ratio(curve, (27, 28))
+    print(f"\nhybrid/homogeneous ratio: pre-onset {pre:.2f}, "
+          f"during bug {mid:.2f}, after rollback {end:.2f}")
+    # Shape: minimal variance initially, sharp divergence after Day 13,
+    # convergence by Day 28.
+    assert 0.5 < pre < 2.0
+    assert mid > 5.0
+    assert 0.4 < end < 2.5

@@ -1,0 +1,97 @@
+"""Daily fleet stability report: the Fig. 4 dataflow end to end.
+
+Simulates one day of a small fleet (with a regional slow-IO incident
+injected), renders raw telemetry, extracts events, runs the daily CDI
+job on the mini dataset engine, and drills the results down from
+global → region → AZ like the production BI system.
+
+Run with::
+
+    python examples/daily_fleet_report.py
+"""
+
+from repro.cloudbot.collector import DataCollector
+from repro.cloudbot.extractor import (
+    EventExtractor,
+    default_log_rules,
+    default_metric_rules,
+)
+from repro.core.events import default_catalog
+from repro.core.indicator import ServicePeriod
+from repro.engine.dataset import EngineContext
+from repro.pipeline.bi import aggregate_by, drill_down, global_report
+from repro.pipeline.daily import DailyCdiJob
+from repro.pipeline.tables import VM_CDI_TABLE
+from repro.scenarios.common import default_weights
+from repro.storage.configdb import ConfigDB
+from repro.storage.table import TableStore
+from repro.telemetry.faults import Fault, FaultInjector, FaultKind, baseline_rates
+from repro.telemetry.topology import build_fleet
+
+DAY = 86400.0
+
+
+def main() -> None:
+    fleet = build_fleet(seed=7, regions=2, azs_per_region=2,
+                        clusters_per_az=1, ncs_per_cluster=2, vms_per_nc=2)
+    vm_ids = sorted(fleet.vms)
+    print(f"fleet: {len(fleet.regions)} regions, {len(fleet.azs)} AZs, "
+          f"{len(fleet.ncs)} NCs, {len(fleet.vms)} VMs")
+
+    # Background faults everywhere + a slow-IO incident in region-1.
+    injector = FaultInjector(baseline_rates(scale=3.0), seed=7)
+    faults = injector.sample(vm_ids, 0.0, DAY)
+    incident_vms = [vm for vm in vm_ids
+                    if fleet.region_of(vm) == "region-1"]
+    faults += [
+        Fault(FaultKind.SLOW_IO, vm, 8 * 3600.0, 2 * 3600.0)
+        for vm in incident_vms
+    ]
+    print(f"injected {len(faults)} faults "
+          f"(incident: slow IO on {len(incident_vms)} region-1 VMs)")
+
+    # Collect raw telemetry and extract events.
+    collector = DataCollector(fleet, seed=7, interval=300.0)
+    bundle = collector.collect(vm_ids, 0.0, DAY, faults=faults)
+    extractor = EventExtractor(metric_rules=default_metric_rules(),
+                               log_rules=default_log_rules())
+    events = extractor.extract_all(metrics=bundle.metrics,
+                                   logs=bundle.logs)
+    print(f"extracted {len(events)} events from "
+          f"{len(bundle.metrics)} samples / {len(bundle.logs)} log lines")
+
+    # Run the daily job (events table + weights -> two output tables).
+    job = DailyCdiJob(EngineContext(parallelism=4), TableStore(),
+                      ConfigDB(), default_catalog())
+    job.store_weights(default_weights())
+    job.ingest_events(events, "today")
+    services = {vm: ServicePeriod(0.0, DAY) for vm in vm_ids}
+    result = job.run("today", services)
+    metrics = job._context.last_job_metrics if hasattr(job, "_context") else None
+    del metrics
+
+    rows = job._tables.get(VM_CDI_TABLE).rows("today")
+
+    # BI roll-ups: global -> region -> AZ.
+    fleet_report = global_report(rows)
+    print(f"\nGLOBAL  CDI-U={fleet_report.unavailability:.6f}  "
+          f"CDI-P={fleet_report.performance:.6f}  "
+          f"CDI-C={fleet_report.control_plane:.6f}  "
+          f"({result.vm_count} VMs)")
+
+    print("\nper region:")
+    for region, report in aggregate_by(rows, fleet.dimensions_of,
+                                       "region").items():
+        print(f"  {region:10}  CDI-P={report.performance:.6f}")
+
+    print("\ndrill-down into region-1 by AZ:")
+    for az, report in drill_down(rows, fleet.dimensions_of,
+                                 [("region", "region-1")], "az").items():
+        print(f"  {az:22}  CDI-P={report.performance:.6f}")
+
+    print("\nthe incident is clearly localized to region-1 — this is the "
+          "BI navigation of paper Section V.")
+
+
+if __name__ == "__main__":
+    main()

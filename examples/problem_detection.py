@@ -1,0 +1,75 @@
+"""Cases 6 & 7: potential problem detection on event-level CDI curves.
+
+Regenerates the two Fig. 9 curves — the ``vm_allocation_failed`` spike
+(a scheduler bug) and the ``inspect_cpu_power_tdp`` dip (a broken
+power sensor) — runs the K-Sigma + EVT detector on both, and then uses
+multi-dimensional root-cause localization to pin the spike's origin,
+mirroring how engineers triage in production.
+
+Run with::
+
+    python examples/problem_detection.py
+"""
+
+import numpy as np
+
+from repro.analytics.detect import CdiCurveDetector
+from repro.analytics.rca import LeafObservation, localize
+from repro.scenarios.event_level import simulate_event_level_curves
+
+
+def sparkline(values, width: int = 60) -> str:
+    blocks = " ▁▂▃▄▅▆▇█"
+    top = max(values) or 1.0
+    cells = [blocks[min(8, int(v / top * 8))] for v in values[:width]]
+    return "".join(cells)
+
+
+def main() -> None:
+    curves = simulate_event_level_curves(seed=0)
+    detector = CdiCurveDetector(window=7, k=3.0, calibration=10)
+
+    print("=== Case 6: vm_allocation_failed (spike) ===")
+    print(f"  {sparkline(curves.allocation_failed)}")
+    detections = detector.detect(curves.allocation_failed)
+    for detection in detections:
+        print(f"  day {detection.index + 1}: {detection.direction} "
+              f"(methods: {', '.join(detection.methods)})")
+    print(f"  ground truth: scheduler bug on day {curves.spike_day}, "
+          "fixed next day")
+
+    print("\n=== Case 7: inspect_cpu_power_tdp (dip) ===")
+    print(f"  {sparkline(curves.power_tdp)}")
+    detections = detector.detect(curves.power_tdp)
+    for detection in detections:
+        print(f"  day {detection.index + 1}: {detection.direction} "
+              f"(methods: {', '.join(detection.methods)})")
+    print(f"  ground truth: power sensor reads zero on days "
+          f"{curves.dip_start}-{curves.dip_end}")
+    print("  (a dip looked like an improvement at first — Case 7 is why "
+          "dips get equal scrutiny)")
+
+    print("\n=== Root-cause localization of the spike ===")
+    # Per-cluster leaves: expected = typical daily event CDI; actual =
+    # spike-day values, with the damage concentrated on one machine
+    # model (the scheduler bug hit a specific model's resource data).
+    rng = np.random.default_rng(0)
+    leaves = []
+    for cluster in range(8):
+        for model in ("M1", "M2"):
+            expected = float(rng.uniform(0.8, 1.2))
+            actual = expected * (14.0 if model == "M2" else 1.0)
+            leaves.append(LeafObservation(
+                dimensions={"cluster": f"cluster-{cluster}",
+                            "machine_model": model},
+                expected=expected, actual=actual,
+            ))
+    cause = localize(leaves)
+    assert cause is not None
+    print(f"  root cause dimension: {cause.dimension}")
+    print(f"  culprit values: {list(cause.values)} "
+          f"(explains {cause.explanatory_power:.0%} of the anomaly)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Quickstart: compute the Comprehensive Damage Indicator for a few VMs.
+
+Walks through the core API in four steps:
+
+1. resolve raw events into periods (stateless windows + stateful
+   add/del pairing, paper Section IV-B);
+2. build event weights (expert severity + customer tickets fused by
+   AHP, Section IV-C);
+3. run Algorithm 1 per VM and Formula 4 across the fleet;
+4. compare CDI against the traditional Downtime Percentage.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import (
+    CdiCalculator,
+    Event,
+    ServicePeriod,
+    Severity,
+    build_weight_config,
+    default_catalog,
+    downtime_percentage,
+    resolve_periods,
+)
+
+DAY = 86400.0
+
+
+def main() -> None:
+    catalog = default_catalog()
+
+    # --- 1. raw events, as the CloudBot extractor would emit them ------
+    raw_events = [
+        # vm-1: ten minutes of slow cloud-disk IO (stateless, 1-min
+        # windows emitted while the issue persists).
+        *[
+            Event("slow_io", time=3600.0 + 60.0 * i, target="vm-1",
+                  level=Severity.CRITICAL)
+            for i in range(1, 11)
+        ],
+        # vm-2: a DDoS blackhole reconstructed from paired detail events
+        # (stateful, Example 2).
+        Event("ddos_blackhole_add", time=50_000.0, target="vm-2",
+              level=Severity.FATAL),
+        Event("ddos_blackhole_del", time=53_600.0, target="vm-2"),
+        # vm-3: a crash with a precisely measured 20-minute impact.
+        Event("vm_down", time=30_000.0, target="vm-3",
+              level=Severity.FATAL, attributes={"duration": 1200.0}),
+    ]
+    periods = resolve_periods(raw_events, catalog, horizon=DAY)
+    print(f"resolved {len(raw_events)} raw events into "
+          f"{len(periods)} event periods")
+
+    # --- 2. weights: expert severity x customer ticket history ---------
+    ticket_counts = {"slow_io": 420, "packet_loss": 80, "vcpu_high": 310}
+    weights = build_weight_config(ticket_counts, customer_levels=4)
+    print(f"AHP alphas: expert={weights.alpha_expert:.2f}, "
+          f"customer={weights.alpha_customer:.2f}")
+
+    # --- 3. Algorithm 1 per VM, Formula 4 across VMs --------------------
+    calculator = CdiCalculator(catalog, weights)
+    services = {vm: ServicePeriod(0.0, DAY) for vm in ("vm-1", "vm-2", "vm-3")}
+    vms = {
+        vm: ([p for p in periods if p.target == vm], service)
+        for vm, service in services.items()
+    }
+    print(f"\n{'VM':6} {'CDI-U':>8} {'CDI-P':>8} {'CDI-C':>8} {'DP':>8}")
+    for vm, (vm_periods, service) in vms.items():
+        report = calculator.vm_report(vm_periods, service)
+        dp = downtime_percentage(vm_periods, service, catalog)
+        print(f"{vm:6} {report.unavailability:8.5f} "
+              f"{report.performance:8.5f} {report.control_plane:8.5f} "
+              f"{dp:8.5f}")
+
+    fleet = calculator.fleet_report(vms)
+    print(f"\nfleet: CDI-U={fleet.unavailability:.5f} "
+          f"CDI-P={fleet.performance:.5f} CDI-C={fleet.control_plane:.5f}")
+    print("note how vm-1's IO degradation is invisible to Downtime "
+          "Percentage but captured by the Performance Indicator —")
+    print("stability is not downtime.")
+
+
+if __name__ == "__main__":
+    main()

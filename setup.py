@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The sandbox's setuptools predates the built-in ``bdist_wheel`` command
+and the ``wheel`` package is unavailable offline, so ``pip install -e .``
+falls back to this shim (run ``pip install -e . --no-build-isolation``
+or ``python setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""repro — reproduction of "Stability is Not Downtime" (ICDE 2025).
+
+This package implements the Comprehensive Damage Indicator (CDI) for
+large-scale cloud server stability evaluation, together with every
+substrate the paper depends on:
+
+* :mod:`repro.core` — CDI: events, periods, AHP weights, Algorithm 1,
+  Formula 4, baseline metrics (Downtime Percentage, AIR, MTBF/MTTR).
+* :mod:`repro.engine` — a miniature DAG-scheduled dataset engine
+  standing in for Apache Spark.
+* :mod:`repro.storage` — log store (SLS), table store (MaxCompute),
+  and config DB (MySQL) stand-ins.
+* :mod:`repro.telemetry` — deterministic cloud-fleet simulator with
+  fault injection (topology, metrics, logs, tickets).
+* :mod:`repro.cloudbot` — the AIOps pipeline: collector, event
+  extractor, rule engine, operation platform, alerting, predictor.
+* :mod:`repro.analytics` — K-Sigma, EVT (POT/SPOT), STL decomposition,
+  spike/dip detection, root-cause localization.
+* :mod:`repro.stats` — the Fig. 10 hypothesis-test ladder (omnibus +
+  post-hoc tests).
+* :mod:`repro.abtest` — A/B testing of operation actions on CDI.
+* :mod:`repro.pipeline` — the daily CDI job and BI-style drill-downs.
+* :mod:`repro.scenarios` — reusable incident/case scenario builders.
+
+Quickstart::
+
+    from repro.core import (
+        CdiCalculator, EventPeriod, ServicePeriod, Severity,
+        default_catalog, expert_only_config,
+    )
+
+    calc = CdiCalculator(default_catalog(), expert_only_config())
+    periods = [EventPeriod("slow_io", "vm-1", 480.0, 600.0, Severity.CRITICAL)]
+    report = calc.vm_report(periods, ServicePeriod(0.0, 3600.0))
+    print(report.performance)
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,27 @@
+"""A/B testing of operation actions on CDI (paper Section VI-D)."""
+
+from repro.abtest.analysis import (
+    ExperimentAnalysis,
+    SubMetricAnalysis,
+    analyze,
+)
+from repro.abtest.effectiveness import (
+    NULL_VARIANT,
+    EffectivenessResult,
+    evaluate_rule_effectiveness,
+    is_rule_effective,
+)
+from repro.abtest.experiment import AbExperiment, Observation, Variant
+
+__all__ = [
+    "AbExperiment",
+    "EffectivenessResult",
+    "ExperimentAnalysis",
+    "NULL_VARIANT",
+    "Observation",
+    "SubMetricAnalysis",
+    "Variant",
+    "analyze",
+    "evaluate_rule_effectiveness",
+    "is_rule_effective",
+]

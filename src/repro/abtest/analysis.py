@@ -1,0 +1,136 @@
+"""Hypothesis-test analysis of A/B experiments (Table V).
+
+Runs the Fig. 10 workflow once per CDI sub-metric ("we need to carry
+out hypothesis testing three times, one for each sub-metric") and
+optionally once more on a weighted-sum aggregate, then recommends the
+winning action where a significant difference exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.abtest.experiment import AbExperiment
+from repro.core.events import EventCategory
+from repro.stats.workflow import HypothesisTestWorkflow, WorkflowResult
+
+
+@dataclass(frozen=True, slots=True)
+class SubMetricAnalysis:
+    """Table V row: one sub-metric's omnibus + post-hoc outcome.
+
+    ``category`` is ``None`` for the weighted-sum aggregate metric
+    (Section VI-D's single-metric alternative).
+    """
+
+    category: EventCategory | None
+    workflow: WorkflowResult
+    means: Mapping[str, float]
+
+    @property
+    def significant(self) -> bool:
+        """Whether the omnibus test found any difference."""
+        return self.workflow.omnibus_significant
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentAnalysis:
+    """Full analysis of one A/B experiment."""
+
+    rule_name: str
+    by_category: Mapping[EventCategory, SubMetricAnalysis]
+    aggregate: SubMetricAnalysis | None
+    recommendation: str | None
+
+    def table(self) -> list[dict]:
+        """Table V-shaped rows for reporting."""
+        rows = []
+        for category, analysis in self.by_category.items():
+            row = {
+                "sub_metric": category.value,
+                "omnibus_pvalue": analysis.workflow.omnibus.pvalue,
+                "omnibus_significant": analysis.significant,
+                "pairs": [
+                    {
+                        "pair": f"{a}-{b}",
+                        "pvalue": p.pvalue,
+                        "significant": p.significant,
+                    }
+                    for p in analysis.workflow.pairs
+                    for a, b in [p.pair]
+                ],
+            }
+            rows.append(row)
+        return rows
+
+
+def analyze(experiment: AbExperiment, *, alpha: float = 0.05,
+            min_samples_per_variant: int = 3,
+            aggregate_weights: Mapping[EventCategory, float] | None = None,
+            ) -> ExperimentAnalysis:
+    """Run the Fig. 10 ladder per sub-metric and recommend an action.
+
+    The recommendation picks the variant with the lowest mean on the
+    first sub-metric that shows a significant omnibus difference
+    (lower CDI = less damage = better) — exactly how Case 8 selects
+    Action B from the Performance Indicator.
+    """
+    workflow = HypothesisTestWorkflow(alpha=alpha)
+    by_category: dict[EventCategory, SubMetricAnalysis] = {}
+    recommendation: str | None = None
+
+    for category in EventCategory:
+        sequences = experiment.sequences(category)
+        if any(len(s) < min_samples_per_variant for s in sequences.values()):
+            raise ValueError(
+                f"every variant needs >= {min_samples_per_variant} "
+                f"observations for {category.value}"
+            )
+        result = workflow.run(sequences)
+        means = {name: float(np.mean(s)) for name, s in sequences.items()}
+        analysis = SubMetricAnalysis(category=category, workflow=result,
+                                     means=means)
+        by_category[category] = analysis
+        if analysis.significant and recommendation is None:
+            recommendation = min(means, key=lambda name: means[name])
+
+    aggregate_analysis: SubMetricAnalysis | None = None
+    if aggregate_weights is not None:
+        aggregated = _aggregate_sequences(experiment, aggregate_weights)
+        result = workflow.run(aggregated)
+        means = {name: float(np.mean(s)) for name, s in aggregated.items()}
+        aggregate_analysis = SubMetricAnalysis(
+            category=None, workflow=result, means=means,
+        )
+        if aggregate_analysis.significant and recommendation is None:
+            recommendation = min(means, key=lambda name: means[name])
+
+    return ExperimentAnalysis(
+        rule_name=experiment.rule_name,
+        by_category=by_category,
+        aggregate=aggregate_analysis,
+        recommendation=recommendation,
+    )
+
+
+def _aggregate_sequences(experiment: AbExperiment,
+                         weights: Mapping[EventCategory, float]
+                         ) -> dict[str, list[float]]:
+    """Weighted-sum single-metric sequences (Section VI-D alternative)."""
+    total = sum(weights.values())
+    if total <= 0:
+        raise ValueError("aggregate weights must sum to a positive value")
+    sequences: dict[str, list[float]] = {
+        v.name: [] for v in experiment.variants
+    }
+    for observation in experiment.observations:
+        value = sum(
+            weights.get(category, 0.0)
+            * observation.report.sub_metric(category)
+            for category in EventCategory
+        ) / total
+        sequences[observation.variant].append(value)
+    return sequences

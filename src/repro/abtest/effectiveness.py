@@ -1,0 +1,89 @@
+"""Rule-effectiveness evaluation via a null-action arm (Section VI-D).
+
+"This methodology can also serve to evaluate the effectiveness of the
+operation rules if a null action is included as a comparison in the
+A/B test."  A rule is effective when at least one real action's CDI is
+significantly *lower* than the null (do-nothing) arm's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.abtest.experiment import AbExperiment
+from repro.core.events import EventCategory
+from repro.stats.workflow import HypothesisTestWorkflow
+
+#: Conventional name of the do-nothing arm.
+NULL_VARIANT = "null"
+
+
+@dataclass(frozen=True, slots=True)
+class EffectivenessResult:
+    """Rule-effectiveness verdict for one sub-metric."""
+
+    category: EventCategory
+    effective: bool
+    null_mean: float
+    action_means: Mapping[str, float]
+    better_actions: tuple[str, ...]  # significantly below null
+    omnibus_pvalue: float
+
+
+def evaluate_rule_effectiveness(
+    experiment: AbExperiment, *, null_variant: str = NULL_VARIANT,
+    alpha: float = 0.05,
+) -> dict[EventCategory, EffectivenessResult]:
+    """Per-sub-metric comparison of every action arm against null.
+
+    An action "beats null" when the omnibus test is significant AND the
+    post-hoc pair (action, null) is significant AND the action's mean
+    CDI is lower than null's.  With exactly two arms (one action plus
+    null) the omnibus result itself is the pairwise verdict.
+    """
+    names = {v.name for v in experiment.variants}
+    if null_variant not in names:
+        raise KeyError(
+            f"experiment has no {null_variant!r} arm; variants: {sorted(names)}"
+        )
+    workflow = HypothesisTestWorkflow(alpha=alpha)
+    results: dict[EventCategory, EffectivenessResult] = {}
+    for category in EventCategory:
+        sequences = experiment.sequences(category)
+        means = {name: float(np.mean(s)) if s else float("nan")
+                 for name, s in sequences.items()}
+        outcome = workflow.run(sequences)
+        better: list[str] = []
+        if outcome.omnibus_significant:
+            if len(names) == 2:
+                action = next(n for n in names if n != null_variant)
+                if means[action] < means[null_variant]:
+                    better.append(action)
+            else:
+                for pair in outcome.pairs:
+                    if not pair.significant or null_variant not in pair.pair:
+                        continue
+                    action = (pair.pair[0] if pair.pair[1] == null_variant
+                              else pair.pair[1])
+                    if means[action] < means[null_variant]:
+                        better.append(action)
+        results[category] = EffectivenessResult(
+            category=category,
+            effective=bool(better),
+            null_mean=means[null_variant],
+            action_means={n: m for n, m in means.items()
+                          if n != null_variant},
+            better_actions=tuple(sorted(better)),
+            omnibus_pvalue=outcome.omnibus.pvalue,
+        )
+    return results
+
+
+def is_rule_effective(
+    results: Mapping[EventCategory, EffectivenessResult]
+) -> bool:
+    """A rule is worth keeping when it helps on any sub-metric."""
+    return any(result.effective for result in results.values())

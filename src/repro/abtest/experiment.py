@@ -1,0 +1,100 @@
+"""A/B testing of operation actions on CDI (paper Section VI-D).
+
+When a rule has several candidate actions, an A/B test assigns each
+hit VM one action by a predefined probability distribution, then
+collects the VM's CDI over the following days.  The result is one CDI
+sequence per action per sub-metric, ready for the Fig. 10 hypothesis
+workflow.  Including a null action evaluates the rule itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.events import EventCategory
+from repro.core.indicator import CdiReport
+
+
+@dataclass(frozen=True, slots=True)
+class Variant:
+    """One candidate action arm."""
+
+    name: str
+    probability: float
+    description: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class Observation:
+    """One VM's post-action CDI observation."""
+
+    vm: str
+    variant: str
+    report: CdiReport
+
+
+@dataclass
+class AbExperiment:
+    """Randomized assignment plus observation collection.
+
+    ``variants`` probabilities must sum to 1.  Assignment is a
+    deterministic function of ``seed`` and arrival order, so reruns of
+    a scenario reproduce the same arms.
+    """
+
+    rule_name: str
+    variants: Sequence[Variant]
+    seed: int = 0
+    observations: list[Observation] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.variants) < 2:
+            raise ValueError("an A/B test needs at least 2 variants")
+        names = [v.name for v in self.variants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate variant names: {names}")
+        total = sum(v.probability for v in self.variants)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"variant probabilities sum to {total}, not 1")
+        if any(v.probability < 0 for v in self.variants):
+            raise ValueError("variant probabilities must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    def assign(self, vm: str) -> Variant:
+        """Randomly pick the action arm for one rule hit."""
+        probabilities = [v.probability for v in self.variants]
+        index = int(self._rng.choice(len(self.variants), p=probabilities))
+        return self.variants[index]
+
+    def record(self, vm: str, variant: str, report: CdiReport) -> None:
+        """Store one VM's post-action CDI report."""
+        if variant not in {v.name for v in self.variants}:
+            raise KeyError(f"unknown variant {variant!r}")
+        self.observations.append(
+            Observation(vm=vm, variant=variant, report=report)
+        )
+
+    def sequences(self, category: EventCategory
+                  ) -> dict[str, list[float]]:
+        """Per-variant CDI sequences for one sub-metric.
+
+        "For every action, we have a sequence of CDI values, with each
+        element ... corresponding to a VM which has implemented that
+        specific action."
+        """
+        result: dict[str, list[float]] = {v.name: [] for v in self.variants}
+        for observation in self.observations:
+            result[observation.variant].append(
+                observation.report.sub_metric(category)
+            )
+        return result
+
+    def counts(self) -> Mapping[str, int]:
+        """Observation count per variant."""
+        counts: dict[str, int] = {v.name: 0 for v in self.variants}
+        for observation in self.observations:
+            counts[observation.variant] += 1
+        return counts

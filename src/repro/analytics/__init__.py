@@ -1,0 +1,51 @@
+"""Statistical anomaly analytics used by CloudBot and CDI monitoring.
+
+* :mod:`repro.analytics.ksigma` — K-Sigma detection (global + rolling).
+* :mod:`repro.analytics.evt` — EVT: GPD fitting, POT thresholds, SPOT.
+* :mod:`repro.analytics.stl` — online seasonal-trend decomposition with
+  backtracking (BacktrackSTL stand-in).
+* :mod:`repro.analytics.detect` — direction-aware spike/dip detection
+  for CDI curves (Cases 6 and 7).
+* :mod:`repro.analytics.rca` — multi-dimensional root-cause
+  localization (Adtributor-style).
+"""
+
+from repro.analytics.detect import CdiCurveDetector, Detection
+from repro.analytics.evt import (
+    DriftSpot,
+    GpdFit,
+    Spot,
+    SpotAlert,
+    fit_gpd,
+    pot_threshold,
+)
+from repro.analytics.ksigma import Anomaly, ksigma, rolling_ksigma
+from repro.analytics.rca import (
+    DimensionValueScore,
+    LeafObservation,
+    RootCause,
+    localize,
+    score_dimension_values,
+)
+from repro.analytics.stl import BacktrackStl, Decomposition
+
+__all__ = [
+    "Anomaly",
+    "BacktrackStl",
+    "CdiCurveDetector",
+    "Decomposition",
+    "Detection",
+    "DriftSpot",
+    "DimensionValueScore",
+    "GpdFit",
+    "LeafObservation",
+    "RootCause",
+    "Spot",
+    "SpotAlert",
+    "fit_gpd",
+    "ksigma",
+    "localize",
+    "pot_threshold",
+    "rolling_ksigma",
+    "score_dimension_values",
+]

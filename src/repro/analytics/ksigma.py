@@ -1,0 +1,97 @@
+"""K-Sigma anomaly detection.
+
+The paper applies "techniques like K-Sigma and EVT" to event-level CDI
+curves to detect potential problems (Section VI-C).  K-Sigma flags a
+point whose deviation from a reference mean exceeds ``k`` standard
+deviations.  Both a whole-series and a rolling-window variant are
+provided; both report the *direction* of the anomaly because the paper
+explicitly scrutinizes dips as much as spikes (Case 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class Anomaly:
+    """One detected anomalous point."""
+
+    index: int
+    value: float
+    score: float        # signed deviation in sigma units
+    direction: str      # "spike" or "dip"
+
+
+def _classify(scores: np.ndarray, values: np.ndarray, k: float) -> list[Anomaly]:
+    anomalies = []
+    for index in np.flatnonzero(np.abs(scores) > k):
+        anomalies.append(
+            Anomaly(
+                index=int(index),
+                value=float(values[index]),
+                score=float(scores[index]),
+                direction="spike" if scores[index] > 0 else "dip",
+            )
+        )
+    return anomalies
+
+
+def ksigma(values: Sequence[float], k: float = 3.0) -> list[Anomaly]:
+    """Whole-series K-Sigma: deviation from the global mean.
+
+    Robust to the anomalies themselves being in the input: the mean
+    and sigma are computed from the median and MAD (scaled to sigma
+    for a normal distribution), so a single huge spike does not mask
+    itself.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be > 0, got {k}")
+    data = np.asarray(values, dtype=float)
+    if data.size < 3:
+        return []
+    center = float(np.median(data))
+    mad = float(np.median(np.abs(data - center)))
+    sigma = 1.4826 * mad
+    if sigma == 0.0:
+        # Degenerate flat series: any deviation at all is anomalous.
+        scores = np.where(data != center, np.sign(data - center) * (k + 1), 0.0)
+    else:
+        scores = (data - center) / sigma
+    return _classify(scores, data, k)
+
+
+def rolling_ksigma(values: Sequence[float], window: int = 20,
+                   k: float = 3.0) -> list[Anomaly]:
+    """Rolling K-Sigma: each point judged against the preceding window.
+
+    Points before a full window are never flagged.  The reference
+    statistics exclude the point itself, so a level shift is flagged at
+    its first occurrence.
+    """
+    if window < 3:
+        raise ValueError(f"window must be >= 3, got {window}")
+    if k <= 0:
+        raise ValueError(f"k must be > 0, got {k}")
+    data = np.asarray(values, dtype=float)
+    anomalies: list[Anomaly] = []
+    for index in range(window, data.size):
+        reference = data[index - window:index]
+        mean = float(reference.mean())
+        sigma = float(reference.std(ddof=1))
+        if sigma == 0.0:
+            if data[index] != mean:
+                score = (k + 1) * (1.0 if data[index] > mean else -1.0)
+            else:
+                continue
+        else:
+            score = (float(data[index]) - mean) / sigma
+        if abs(score) > k:
+            anomalies.append(
+                Anomaly(index=index, value=float(data[index]), score=score,
+                        direction="spike" if score > 0 else "dip")
+            )
+    return anomalies

@@ -1,0 +1,154 @@
+"""Multi-dimensional root-cause localization.
+
+When a CDI anomaly fires, engineers drill down across dimensions
+(region, AZ, cluster, machine model, deployment arch...) to find where
+the damage concentrates (paper Section VI-C cites generic
+multi-dimensional root-cause localization [40]).  This module
+implements an Adtributor-style localizer: given per-leaf actual vs
+expected metric values tagged with dimension attributes, it scores
+each dimension value by *explanatory power* (share of the total
+anomaly it accounts for) and *surprise* (JS divergence between its
+expected and actual share), then reports the most concentrated
+dimension with the smallest value set explaining the change.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class LeafObservation:
+    """One leaf (e.g. one VM or one cluster-day) with its dimensions."""
+
+    dimensions: Mapping[str, str]
+    expected: float
+    actual: float
+
+
+@dataclass(frozen=True, slots=True)
+class DimensionValueScore:
+    """Score of one value within one dimension."""
+
+    dimension: str
+    value: str
+    explanatory_power: float
+    surprise: float
+
+
+@dataclass(frozen=True, slots=True)
+class RootCause:
+    """The localized root cause: a dimension and its culprit values."""
+
+    dimension: str
+    values: tuple[str, ...]
+    explanatory_power: float
+    surprise: float
+    scores: tuple[DimensionValueScore, ...] = field(default=())
+
+
+def _js_divergence(p: float, q: float) -> float:
+    """Jensen-Shannon term for a single (p, q) probability pair."""
+    def term(a: float, b: float) -> float:
+        if a <= 0:
+            return 0.0
+        return 0.5 * a * math.log(2 * a / (a + b))
+
+    return term(p, q) + term(q, p)
+
+
+def score_dimension_values(
+    leaves: Sequence[LeafObservation], dimension: str
+) -> list[DimensionValueScore]:
+    """Explanatory power and surprise per value of one dimension."""
+    total_expected = sum(leaf.expected for leaf in leaves)
+    total_actual = sum(leaf.actual for leaf in leaves)
+    delta = total_actual - total_expected
+    by_value: dict[str, tuple[float, float]] = {}
+    for leaf in leaves:
+        value = leaf.dimensions.get(dimension)
+        if value is None:
+            continue
+        expected, actual = by_value.get(value, (0.0, 0.0))
+        by_value[value] = (expected + leaf.expected, actual + leaf.actual)
+
+    scores = []
+    for value, (expected, actual) in by_value.items():
+        if delta == 0:
+            ep = 0.0
+        else:
+            ep = (actual - expected) / delta
+        p = expected / total_expected if total_expected > 0 else 0.0
+        q = actual / total_actual if total_actual > 0 else 0.0
+        scores.append(
+            DimensionValueScore(
+                dimension=dimension, value=value,
+                explanatory_power=ep,
+                surprise=_js_divergence(p, q),
+            )
+        )
+    scores.sort(key=lambda s: s.explanatory_power, reverse=True)
+    return scores
+
+
+def localize(
+    leaves: Sequence[LeafObservation],
+    dimensions: Sequence[str] | None = None,
+    *,
+    ep_threshold: float = 0.67,
+    max_values: int = 3,
+) -> RootCause | None:
+    """Localize the root cause of ``actual - expected`` across leaves.
+
+    For each dimension, greedily accumulate its highest-EP values until
+    their combined explanatory power exceeds ``ep_threshold`` (or
+    ``max_values`` is hit); the winning dimension is the one whose
+    explaining value set has the highest total surprise — i.e. the
+    dimension along which the anomaly is most *concentrated*.  Returns
+    ``None`` when there is no anomaly to explain.
+    """
+    if not leaves:
+        return None
+    total_delta = sum(l.actual for l in leaves) - sum(l.expected for l in leaves)
+    if total_delta == 0:
+        return None
+    if dimensions is None:
+        names: set[str] = set()
+        for leaf in leaves:
+            names.update(leaf.dimensions)
+        dimensions = sorted(names)
+
+    best: RootCause | None = None
+    for dimension in dimensions:
+        scores = score_dimension_values(leaves, dimension)
+        if not scores:
+            continue
+        chosen: list[DimensionValueScore] = []
+        cumulative_ep = 0.0
+        for score in scores:
+            if score.explanatory_power <= 0:
+                break
+            chosen.append(score)
+            cumulative_ep += score.explanatory_power
+            if cumulative_ep >= ep_threshold or len(chosen) >= max_values:
+                break
+        if not chosen or cumulative_ep < ep_threshold:
+            continue
+        surprise = sum(s.surprise for s in chosen)
+        candidate = RootCause(
+            dimension=dimension,
+            values=tuple(s.value for s in chosen),
+            explanatory_power=cumulative_ep,
+            surprise=surprise,
+            scores=tuple(scores),
+        )
+        better = (
+            best is None
+            or (len(candidate.values), -candidate.surprise)
+            < (len(best.values), -best.surprise)
+        )
+        if better:
+            best = candidate
+    return best

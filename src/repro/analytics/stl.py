@@ -1,0 +1,163 @@
+"""Online seasonal-trend decomposition with backtracking.
+
+A lightweight rendition of BacktrackSTL (Wang et al., KDD '24), which
+the paper's Event Extractor combines with EVT to turn metric time
+series into events (Section II-C).  The decomposition maintains:
+
+* a **seasonal profile** — one slot per position in the period,
+  updated by exponential smoothing;
+* a **trend** — exponentially smoothed de-seasonalized level;
+* a **residual** — what anomaly detectors consume.
+
+The *backtrack* behaviour: when residuals stay large and same-signed
+for ``shift_patience`` consecutive points, the decomposition declares
+a level shift, snaps the trend to the recent level, and re-attributes
+the recent residuals to trend — so a step change stops polluting the
+seasonal profile (the failure mode naive online STL suffers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class Decomposition:
+    """Per-point decomposition outputs."""
+
+    trend: np.ndarray
+    seasonal: np.ndarray
+    residual: np.ndarray
+
+
+class BacktrackStl:
+    """Streaming seasonal-trend decomposition.
+
+    Parameters
+    ----------
+    period:
+        Number of samples per season (e.g. 1440 for minutely data with
+        daily seasonality).
+    trend_alpha / seasonal_alpha:
+        Exponential smoothing rates.
+    shift_patience:
+        Consecutive large same-signed residuals that trigger a level
+        backtrack.
+    shift_sigmas:
+        How many residual sigmas count as "large".
+    """
+
+    def __init__(self, period: int, *, trend_alpha: float = 0.05,
+                 seasonal_alpha: float = 0.1, shift_patience: int = 5,
+                 shift_sigmas: float = 3.0) -> None:
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period}")
+        if not 0 < trend_alpha <= 1 or not 0 < seasonal_alpha <= 1:
+            raise ValueError("smoothing alphas must be in (0, 1]")
+        if shift_patience < 1:
+            raise ValueError("shift_patience must be >= 1")
+        self._period = period
+        self._trend_alpha = trend_alpha
+        self._seasonal_alpha = seasonal_alpha
+        self._shift_patience = shift_patience
+        self._shift_sigmas = shift_sigmas
+
+        self._trend: float | None = None
+        self._seasonal = np.zeros(period)
+        self._seen = np.zeros(period, dtype=bool)
+        self._position = 0
+        self._samples = 0
+        self._residual_var = 0.0
+        self._run_sign = 0
+        self._run_length = 0
+        self._run_values: list[float] = []
+        self.backtracks = 0
+
+    def update(self, value: float) -> tuple[float, float, float]:
+        """Consume one sample; returns ``(trend, seasonal, residual)``."""
+        slot = self._position
+        self._position = (self._position + 1) % self._period
+
+        if self._trend is None:
+            self._trend = float(value)
+        seasonal = float(self._seasonal[slot]) if self._seen[slot] else 0.0
+        deseasonalized = value - seasonal
+        residual = deseasonalized - self._trend
+        self._samples += 1
+
+        # Outlier / shift handling only after warm-up: during the first
+        # period the seasonal profile is still empty, so seasonal swings
+        # would masquerade as residual runs.
+        sigma = float(np.sqrt(max(self._residual_var, 1e-18)))
+        is_large = (
+            self._samples > self._period
+            and self._residual_var > 0
+            and abs(residual) > self._shift_sigmas * sigma
+        )
+        if is_large:
+            backtracked = self._track_run(residual, deseasonalized)
+            if not backtracked:
+                # Treat as a (potential) outlier: freeze the model so a
+                # single wild point pollutes neither trend nor seasonal
+                # profile nor the residual variance.
+                return self._trend, seasonal, residual
+            # The run confirmed a level shift; the trend was snapped.
+            # Fall through and let the point update the snapped model.
+            residual = deseasonalized - self._trend
+        else:
+            self._reset_run()
+
+        # Smooth trend on the de-seasonalized signal, then the seasonal
+        # slot on the de-trended signal.
+        self._trend += self._trend_alpha * (deseasonalized - self._trend)
+        detrended = value - self._trend
+        if self._seen[slot]:
+            self._seasonal[slot] += self._seasonal_alpha * (
+                detrended - self._seasonal[slot]
+            )
+        else:
+            self._seasonal[slot] = detrended * self._seasonal_alpha
+            self._seen[slot] = True
+        self._residual_var += 0.05 * (residual * residual - self._residual_var)
+        return self._trend, seasonal, residual
+
+    def _reset_run(self) -> None:
+        self._run_sign = 0
+        self._run_length = 0
+        self._run_values.clear()
+
+    def _track_run(self, residual: float, deseasonalized: float) -> bool:
+        """Accumulate a large-residual run; snap the trend on patience.
+
+        Returns True when a backtrack (level-shift confirmation) fired.
+        """
+        sign = 1 if residual > 0 else -1
+        if self._run_sign not in (0, sign):
+            self._reset_run()
+        self._run_sign = sign
+        self._run_length += 1
+        self._run_values.append(deseasonalized)
+        if self._run_length < self._shift_patience:
+            return False
+        # Backtrack: the run was a level shift, not noise.  Snap the
+        # trend to the recent level so the shift is explained by trend,
+        # not residual/seasonal.
+        self._trend = float(np.mean(self._run_values))
+        self._reset_run()
+        self.backtracks += 1
+        return True
+
+    def decompose(self, values: Sequence[float]) -> Decomposition:
+        """Run the stream over ``values`` and collect all components."""
+        trends = np.empty(len(values))
+        seasonals = np.empty(len(values))
+        residuals = np.empty(len(values))
+        for index, value in enumerate(values):
+            trends[index], seasonals[index], residuals[index] = self.update(
+                float(value)
+            )
+        return Decomposition(trend=trends, seasonal=seasonals,
+                             residual=residuals)

@@ -1,0 +1,232 @@
+"""Command-line interface: regenerate the paper's figures and tables.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig5
+    python -m repro fig6 --seed 3
+    python -m repro all
+
+Each subcommand rebuilds one experiment from scratch (deterministic
+for a given ``--seed``) and prints the corresponding rows/series.  The
+benchmark harness (`pytest benchmarks/ --benchmark-only -s`) runs the
+same reproductions with timing and shape assertions.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Sequence
+
+
+def _print_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> None:
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def cmd_fig2(seed: int) -> None:
+    """Fig. 2: ticket distribution."""
+    from repro.core.events import EventCategory
+    from repro.telemetry.tickets import PAPER_TICKET_MIXTURE, TicketGenerator
+    from repro.tickets.classifier import train_default_classifier
+
+    tickets = TicketGenerator(seed=seed or 20230101).generate(
+        6000, targets=["fleet"]
+    )
+    classifier = train_default_classifier(seed=7)
+    predictions = classifier.predict([t.text for t in tickets])
+    rows = [
+        (c.value, f"{PAPER_TICKET_MIXTURE[c]:.0%}",
+         f"{sum(1 for p in predictions if p is c) / len(predictions):.1%}")
+        for c in EventCategory
+    ]
+    _print_table("Fig. 2: ticket distribution (paper vs reproduced)",
+                 ["category", "paper", "reproduced"], rows)
+
+
+def cmd_table4(seed: int) -> None:
+    """Table IV: the worked CDI example."""
+    from repro.core.indicator import ServicePeriod, WeightedInterval, aggregate, cdi
+
+    def minutes(h: int, m: int) -> float:
+        return h * 60.0 + m
+
+    cases = {
+        1: ([WeightedInterval(minutes(10, 8), minutes(10, 10), 0.3),
+             WeightedInterval(minutes(10, 10), minutes(10, 12), 0.3)],
+            ServicePeriod(minutes(10, 0), minutes(11, 0)), "0.020"),
+        2: ([WeightedInterval(minutes(13, 25), minutes(13, 30), 0.6)],
+            ServicePeriod(0.0, 1440.0), "0.002"),
+        3: ([WeightedInterval(minutes(8, 8), minutes(8, 10), 0.5),
+             WeightedInterval(minutes(8, 10), minutes(8, 12), 0.5),
+             WeightedInterval(minutes(8, 10), minutes(8, 15), 0.6)],
+            ServicePeriod(0.0, 1000.0), "0.004"),
+    }
+    rows = []
+    per_vm = []
+    for vm, (intervals, service, paper) in cases.items():
+        value = cdi(intervals, service)
+        per_vm.append((service.duration, value))
+        rows.append((vm, paper, f"{value:.3f}"))
+    rows.append(("All", "0.003", f"{aggregate(per_vm):.3f}"))
+    _print_table("Table IV: worked CDI example",
+                 ["VM", "paper CDI", "reproduced CDI"], rows)
+
+
+def cmd_fig5(seed: int) -> None:
+    """Fig. 5: incidents vs AIR/DP."""
+    from repro.scenarios.incidents import (
+        normalize_to_daily,
+        simulate_incident_days,
+    )
+
+    rows_by_day = normalize_to_daily(simulate_incident_days(seed=seed))
+    metrics = ("CDI-U", "CDI-P", "CDI-C", "AIR", "DP")
+    rows = [
+        [day] + [f"{rows_by_day[day][m]:.2f}" for m in metrics]
+        for day in ("daily", "20240425", "20240702", "20250107")
+    ]
+    _print_table("Fig. 5: normalized metrics per incident day",
+                 ["day", *metrics], rows)
+
+
+def cmd_fig6(seed: int) -> None:
+    """Fig. 6: FY2024 trend."""
+    from repro.core.events import EventCategory
+    from repro.scenarios.fiscal_year import (
+        simulate_fiscal_year,
+        smoothed,
+        year_over_year_reduction,
+    )
+
+    curve = simulate_fiscal_year(seed=seed)
+    smooth = smoothed(curve)
+    rows = [
+        (m.month, f"{m.report.unavailability:.5f}",
+         f"{m.report.performance:.5f}", f"{m.report.control_plane:.5f}")
+        for m in smooth
+    ]
+    _print_table("Fig. 6: smoothed monthly CDI",
+                 ["month", "CDI-U", "CDI-P", "CDI-C"], rows)
+    reductions = year_over_year_reduction(curve)
+    paper = {"unavailability": "40%", "performance": "80%",
+             "control_plane": "35%"}
+    _print_table("Fig. 6: year-over-year reduction",
+                 ["sub-metric", "paper", "reproduced"],
+                 [(c.value, paper[c.value], f"{reductions[c]:.0%}")
+                  for c in EventCategory])
+
+
+def cmd_fig8(seed: int) -> None:
+    """Fig. 8: architecture comparison."""
+    from repro.scenarios.architecture import (
+        divergence_ratio,
+        simulate_architecture_comparison,
+    )
+
+    curve = simulate_architecture_comparison(seed=seed)
+    rows = [(d.day, f"{d.homogeneous:.5f}", f"{d.hybrid:.5f}")
+            for d in curve]
+    _print_table("Fig. 8: Performance Indicator per architecture",
+                 ["day", "homogeneous", "hybrid"], rows)
+    print(f"\nhybrid/homogeneous ratio: "
+          f"pre {divergence_ratio(curve, (1, 12)):.2f}, "
+          f"bug {divergence_ratio(curve, (14, 20)):.2f}, "
+          f"rollback {divergence_ratio(curve, (27, 28)):.2f}")
+
+
+def cmd_fig9(seed: int) -> None:
+    """Fig. 9: event-level spike and dip."""
+    from repro.analytics.detect import CdiCurveDetector
+    from repro.scenarios.event_level import simulate_event_level_curves
+
+    curves = simulate_event_level_curves(seed=seed)
+    rows = [
+        (i + 1, f"{a:.5f}", f"{b:.5f}")
+        for i, (a, b) in enumerate(
+            zip(curves.allocation_failed, curves.power_tdp)
+        )
+    ]
+    _print_table("Fig. 9: event-level CDI curves",
+                 ["day", "(a) vm_allocation_failed",
+                  "(b) inspect_cpu_power_tdp"], rows)
+    detector = CdiCurveDetector(window=7, k=3.0, calibration=10)
+    spikes = [d.index + 1 for d in detector.detect(curves.allocation_failed)
+              if d.direction == "spike"]
+    dips = [d.index + 1 for d in detector.detect(curves.power_tdp)
+            if d.direction == "dip"]
+    print(f"\nspike detections (a): {spikes}; dip detections (b): {dips}")
+
+
+def cmd_table5(seed: int) -> None:
+    """Table V + Fig. 11: the Case 8 A/B test."""
+    from repro.abtest.analysis import analyze
+    from repro.core.events import EventCategory
+    from repro.scenarios.abtest_case8 import PAPER_MEANS, build_case8_experiment
+
+    experiment = build_case8_experiment(hits_per_variant=450, seed=seed)
+    analysis = analyze(experiment)
+    rows = []
+    for category in EventCategory:
+        sub = analysis.by_category[category]
+        pairs = ", ".join(
+            f"{a}-{b}:{p.pvalue:.3f}{'*' if p.significant else ''}"
+            for p in sub.workflow.pairs for a, b in [p.pair]
+        ) or "-"
+        rows.append((category.value, f"{sub.workflow.omnibus.pvalue:.2f}",
+                     str(sub.significant), pairs))
+    _print_table("Table V: hypothesis test results",
+                 ["sub-metric", "omnibus p", "significant", "post-hoc"],
+                 rows)
+    perf = analysis.by_category[EventCategory.PERFORMANCE]
+    _print_table("Fig. 11: Performance Indicator per action",
+                 ["action", "paper mean", "reproduced mean"],
+                 [(n, f"{PAPER_MEANS[n]:.2f}", f"{perf.means[n]:.2f}")
+                  for n in ("A", "B", "C")])
+    print(f"\nrecommended action: {analysis.recommendation}")
+
+
+COMMANDS: dict[str, Callable[[int], None]] = {
+    "fig2": cmd_fig2,
+    "table4": cmd_table4,
+    "fig5": cmd_fig5,
+    "fig6": cmd_fig6,
+    "fig8": cmd_fig8,
+    "fig9": cmd_fig9,
+    "table5": cmd_table5,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("command",
+                        choices=[*COMMANDS, "all", "list"],
+                        help="which artifact to regenerate")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="simulation seed (default 0)")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, fn in COMMANDS.items():
+            print(f"{name:8} {fn.__doc__.strip() if fn.__doc__ else ''}")
+        return 0
+    if args.command == "all":
+        for fn in COMMANDS.values():
+            fn(args.seed)
+        return 0
+    COMMANDS[args.command](args.seed)
+    return 0

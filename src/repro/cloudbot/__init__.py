@@ -1,0 +1,126 @@
+"""CloudBot: the AIOps pipeline the CDI is computed from (Section II).
+
+* :mod:`repro.cloudbot.collector` — raw data collection windows.
+* :mod:`repro.cloudbot.extractor` — expert / statistical / learned
+  event extraction.
+* :mod:`repro.cloudbot.rules` — operation rule expressions and engine.
+* :mod:`repro.cloudbot.actions` / :mod:`repro.cloudbot.platform` —
+  Table III actions and the central Operation Platform.
+* :mod:`repro.cloudbot.mining` — FP-growth rule discovery.
+* :mod:`repro.cloudbot.alerting` — event-surge escalation.
+* :mod:`repro.cloudbot.predictor` — learned failure prediction.
+* :mod:`repro.cloudbot.prioritize` — weight-aware action priority
+  (Section VIII-C extension).
+"""
+
+from repro.cloudbot.actions import Action, ActionCategory, ActionType
+from repro.cloudbot.alerting import SurgeAlert, SurgeDetector
+from repro.cloudbot.changes import (
+    BreakerDecision,
+    ChangeRelease,
+    CircuitBreaker,
+    RolloutState,
+    performance_damage_by_cohort,
+    run_gradual_release,
+)
+from repro.cloudbot.collector import DataCollector, RawDataBundle
+from repro.cloudbot.extractor import (
+    EventExtractor,
+    LogRegexRule,
+    MetricThresholdRule,
+    StatisticalMetricExtractor,
+    default_log_rules,
+    default_metric_rules,
+)
+from repro.cloudbot.mining import (
+    AssociationRule,
+    association_rules,
+    fp_growth,
+    transactions_from_events,
+)
+from repro.cloudbot.noise import (
+    ProductSuppressor,
+    SuppressionRule,
+    TrendSuppressor,
+    shared_vm_contention_rule,
+)
+from repro.cloudbot.platform import (
+    ExecutionRecord,
+    ExecutionStatus,
+    OperationPlatform,
+)
+from repro.cloudbot.predictor import (
+    LogisticFailurePredictor,
+    TrainingReport,
+    featurize_window,
+)
+from repro.cloudbot.prioritize import (
+    TargetPriority,
+    choose_action,
+    prioritize_actions,
+    score_targets,
+)
+from repro.cloudbot.review import (
+    ComplaintGap,
+    CoverageReport,
+    complaint_gaps,
+    coverage_report,
+    propose_rules,
+)
+from repro.cloudbot.rules import (
+    OperationRule,
+    RuleEngine,
+    RuleMatch,
+    RuleSyntaxError,
+    parse_expression,
+)
+
+__all__ = [
+    "Action",
+    "ActionCategory",
+    "ActionType",
+    "AssociationRule",
+    "BreakerDecision",
+    "ChangeRelease",
+    "CircuitBreaker",
+    "ComplaintGap",
+    "CoverageReport",
+    "DataCollector",
+    "EventExtractor",
+    "ExecutionRecord",
+    "ExecutionStatus",
+    "LogRegexRule",
+    "LogisticFailurePredictor",
+    "MetricThresholdRule",
+    "OperationPlatform",
+    "OperationRule",
+    "ProductSuppressor",
+    "RawDataBundle",
+    "RolloutState",
+    "RuleEngine",
+    "RuleMatch",
+    "RuleSyntaxError",
+    "StatisticalMetricExtractor",
+    "SuppressionRule",
+    "SurgeAlert",
+    "SurgeDetector",
+    "TrendSuppressor",
+    "TargetPriority",
+    "TrainingReport",
+    "association_rules",
+    "choose_action",
+    "complaint_gaps",
+    "coverage_report",
+    "default_log_rules",
+    "default_metric_rules",
+    "featurize_window",
+    "fp_growth",
+    "parse_expression",
+    "performance_damage_by_cohort",
+    "prioritize_actions",
+    "propose_rules",
+    "run_gradual_release",
+    "score_targets",
+    "shared_vm_contention_rule",
+    "transactions_from_events",
+]

@@ -1,0 +1,87 @@
+"""Operation actions (paper Table III).
+
+Actions are what CloudBot executes after a rule matches: VM
+operations, NC software/hardware repairs, and NC control actions.
+They carry a priority (higher runs first) and a conflict domain so the
+Operation Platform can discard conflicting submissions
+(Section II-E).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+class ActionCategory(enum.Enum):
+    """The four action families of Table III."""
+
+    VM_OPERATION = "vm_operation"
+    NC_SOFTWARE_REPAIR = "nc_software_repair"
+    NC_HARDWARE_REPAIR = "nc_hardware_repair"
+    NC_CONTROL = "nc_control"
+
+
+class ActionType(enum.Enum):
+    """Concrete action types with their Table III category."""
+
+    LIVE_MIGRATION = ("live_migration", ActionCategory.VM_OPERATION)
+    IN_PLACE_REBOOT = ("in_place_reboot", ActionCategory.VM_OPERATION)
+    COLD_MIGRATION = ("cold_migration", ActionCategory.VM_OPERATION)
+    DISK_CLEAN = ("disk_clean", ActionCategory.NC_SOFTWARE_REPAIR)
+    MEMORY_COMPACTION = ("memory_compaction", ActionCategory.NC_SOFTWARE_REPAIR)
+    PROCESS_REPAIR = ("process_repair", ActionCategory.NC_SOFTWARE_REPAIR)
+    DEVICE_DISABLE = ("device_disable", ActionCategory.NC_HARDWARE_REPAIR)
+    REPAIR_REQUEST = ("repair_request", ActionCategory.NC_HARDWARE_REPAIR)
+    FPGA_SOFT_REPAIR = ("fpga_soft_repair", ActionCategory.NC_HARDWARE_REPAIR)
+    NC_REBOOT = ("nc_reboot", ActionCategory.NC_CONTROL)
+    NC_LOCK = ("nc_lock", ActionCategory.NC_CONTROL)
+    NC_DECOMMISSION = ("nc_decommission", ActionCategory.NC_CONTROL)
+    NULL_ACTION = ("null_action", ActionCategory.VM_OPERATION)
+
+    def __init__(self, label: str, category: ActionCategory) -> None:
+        self.label = label
+        self.category = category
+
+
+#: Action types that move or restart the target and therefore conflict
+#: with each other on the same target.
+_DISRUPTIVE = {
+    ActionType.LIVE_MIGRATION,
+    ActionType.IN_PLACE_REBOOT,
+    ActionType.COLD_MIGRATION,
+    ActionType.NC_REBOOT,
+    ActionType.NC_DECOMMISSION,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Action:
+    """One submitted operation action.
+
+    ``priority`` orders execution (higher first); ties break by
+    submission order.  ``params`` carries action-specific settings,
+    e.g. migration parameters (Case 8's candidate actions differ only
+    in params and sequencing).
+    """
+
+    type: ActionType
+    target: str
+    priority: int = 0
+    params: Mapping[str, Any] = field(default_factory=dict)
+    source_rule: str = ""
+
+    def conflicts_with(self, other: "Action") -> bool:
+        """Whether two actions cannot both execute.
+
+        Disruptive actions conflict pairwise on the same target; a
+        decommission conflicts with everything on its target.
+        """
+        if self.target != other.target:
+            return False
+        if self.type is ActionType.NC_DECOMMISSION or (
+            other.type is ActionType.NC_DECOMMISSION
+        ):
+            return True
+        return self.type in _DISRUPTIVE and other.type in _DISRUPTIVE

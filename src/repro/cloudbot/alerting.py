@@ -1,0 +1,113 @@
+"""Event-surge alerting (Section II-F2).
+
+Missing operations are rare but real; a sudden surge in an event's
+volume can indicate a batch of them.  The paper's mechanism: when an
+event surges, engineers are paged *if the event is unrelated to user
+behaviour or the surge spans multiple customers*.  This module keeps
+per-event hourly counts, flags surges against a rolling baseline, and
+applies those two escalation conditions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable
+
+import numpy as np
+
+from repro.core.events import Event
+
+
+@dataclass(frozen=True, slots=True)
+class SurgeAlert:
+    """An event surge requiring engineer attention."""
+
+    event_name: str
+    window_start: float
+    count: int
+    baseline_mean: float
+    distinct_targets: int
+    escalate: bool
+    reason: str
+
+
+class SurgeDetector:
+    """Rolling-baseline surge detection over event streams.
+
+    ``user_behavior_events`` lists event names known to be driven by
+    customer actions (e.g. a customer-initiated reboot storm); surges
+    in those escalate only when they span ``multi_customer_threshold``
+    or more distinct targets.
+    """
+
+    def __init__(self, *, window: float = 3600.0, history: int = 24,
+                 surge_factor: float = 3.0, min_count: int = 10,
+                 user_behavior_events: Iterable[str] = (),
+                 multi_customer_threshold: int = 3) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be > 0, got {window}")
+        if history < 3:
+            raise ValueError(f"history must be >= 3, got {history}")
+        if surge_factor <= 1:
+            raise ValueError("surge_factor must be > 1")
+        self._window = window
+        self._history = history
+        self._surge_factor = surge_factor
+        self._min_count = min_count
+        self._user_behavior = frozenset(user_behavior_events)
+        self._multi_customer = multi_customer_threshold
+        self._counts: dict[str, Deque[int]] = {}
+
+    def observe_window(self, events: list[Event], window_start: float
+                       ) -> list[SurgeAlert]:
+        """Process one window's events; returns surge alerts.
+
+        Windows must be fed in chronological order; each call both
+        evaluates against and extends the per-event history.
+        """
+        by_name: dict[str, list[Event]] = {}
+        for event in events:
+            by_name.setdefault(event.name, []).append(event)
+
+        alerts: list[SurgeAlert] = []
+        names = set(by_name) | set(self._counts)
+        for name in sorted(names):
+            group = by_name.get(name, [])
+            count = len(group)
+            history = self._counts.setdefault(
+                name, deque(maxlen=self._history)
+            )
+            alert = self._evaluate(name, group, count, history, window_start)
+            if alert is not None:
+                alerts.append(alert)
+            history.append(count)
+        return alerts
+
+    def _evaluate(self, name: str, group: list[Event], count: int,
+                  history: Deque[int],
+                  window_start: float) -> SurgeAlert | None:
+        if len(history) < 3 or count < self._min_count:
+            return None
+        baseline = float(np.mean(history))
+        threshold = max(self._surge_factor * baseline, float(self._min_count))
+        if count <= threshold:
+            return None
+        distinct_targets = len({event.target for event in group})
+        user_driven = name in self._user_behavior
+        if not user_driven:
+            escalate = True
+            reason = "event unrelated to user behavior"
+        elif distinct_targets >= self._multi_customer:
+            escalate = True
+            reason = (
+                f"user-driven event spans {distinct_targets} customers"
+            )
+        else:
+            escalate = False
+            reason = "user-driven surge confined to few customers"
+        return SurgeAlert(
+            event_name=name, window_start=window_start, count=count,
+            baseline_mean=baseline, distinct_targets=distinct_targets,
+            escalate=escalate, reason=reason,
+        )

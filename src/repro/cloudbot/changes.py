@@ -1,0 +1,211 @@
+"""Change releases: gradual rollout with circuit breaking (Section VI-C).
+
+"The release of changes is a significant contributor to stability
+problems.  Despite having implemented a system for gradual releases
+and circuit breaking, this system falls short in recognizing non-fatal
+problems that require an extended period to emerge."
+
+This module implements that release system so the shortfall can be
+demonstrated (and then covered by CDI monitoring):
+
+* :class:`ChangeRelease` — a change rolled out in batches over the
+  fleet, with a per-batch soak period;
+* :class:`CircuitBreaker` — halts the rollout when *fatal* signals
+  (crashes, failed health checks) spike in the newly-changed batch;
+* the breaker is intentionally blind to mild performance degradation —
+  exactly the gap Cases 1 and 6 describe, which the event-level CDI
+  curve later catches.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.core.events import Event, EventCategory, EventCatalog, Severity
+
+
+class RolloutState(enum.Enum):
+    """Lifecycle of a change release."""
+
+    PENDING = "pending"
+    IN_PROGRESS = "in_progress"
+    HALTED = "halted"
+    COMPLETED = "completed"
+    ROLLED_BACK = "rolled_back"
+
+
+@dataclass(frozen=True, slots=True)
+class BreakerDecision:
+    """Outcome of one circuit-breaker evaluation."""
+
+    tripped: bool
+    fatal_events: int
+    threshold: int
+    reason: str
+
+
+class CircuitBreaker:
+    """Fatal-signal circuit breaker for change rollouts.
+
+    Trips when the just-changed batch produces more than
+    ``max_fatal_events`` FATAL-severity events during its soak period.
+    Deliberately severity-gated: warnings and mild performance
+    degradation do NOT trip it (the paper's stated blind spot).
+    """
+
+    def __init__(self, *, max_fatal_events: int = 0,
+                 catalog: EventCatalog | None = None) -> None:
+        if max_fatal_events < 0:
+            raise ValueError("max_fatal_events must be >= 0")
+        self._max_fatal = max_fatal_events
+        self._catalog = catalog
+
+    def evaluate(self, batch_targets: Sequence[str],
+                 soak_events: Sequence[Event]) -> BreakerDecision:
+        """Judge one batch's soak-period events."""
+        targets = set(batch_targets)
+        fatal = [
+            e for e in soak_events
+            if e.target in targets and e.level is Severity.FATAL
+        ]
+        tripped = len(fatal) > self._max_fatal
+        reason = (
+            f"{len(fatal)} fatal events > threshold {self._max_fatal}"
+            if tripped else
+            f"{len(fatal)} fatal events within threshold"
+        )
+        return BreakerDecision(
+            tripped=tripped, fatal_events=len(fatal),
+            threshold=self._max_fatal, reason=reason,
+        )
+
+
+@dataclass
+class ChangeRelease:
+    """One change rolled out gradually across target batches.
+
+    Drive it with :meth:`release_next_batch` / :meth:`soak`: each batch
+    is released, its soak events are fed back, and the breaker decides
+    whether the rollout proceeds, with a full audit trail.
+    """
+
+    name: str
+    targets: Sequence[str]
+    batch_size: int
+    breaker: CircuitBreaker
+    description: str = ""
+    state: RolloutState = RolloutState.PENDING
+    released: list[str] = field(default_factory=list)
+    decisions: list[BreakerDecision] = field(default_factory=list)
+    _cursor: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if not self.targets:
+            raise ValueError("a change needs at least one target")
+
+    @property
+    def current_batch(self) -> list[str]:
+        """Targets in the most recently released batch."""
+        start = max(0, self._cursor - self.batch_size)
+        return list(self.targets[start:self._cursor])
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the fleet already running the change."""
+        return len(self.released) / len(self.targets)
+
+    def release_next_batch(self) -> list[str]:
+        """Release the next batch; returns the newly changed targets."""
+        if self.state in (RolloutState.HALTED, RolloutState.ROLLED_BACK):
+            raise RuntimeError(f"rollout {self.name!r} is {self.state.value}")
+        if self.state is RolloutState.COMPLETED:
+            return []
+        self.state = RolloutState.IN_PROGRESS
+        batch = list(
+            self.targets[self._cursor:self._cursor + self.batch_size]
+        )
+        self._cursor += len(batch)
+        self.released.extend(batch)
+        if self._cursor >= len(self.targets):
+            self.state = RolloutState.COMPLETED
+        return batch
+
+    def soak(self, soak_events: Sequence[Event]) -> BreakerDecision:
+        """Feed the current batch's soak events through the breaker.
+
+        A tripped breaker halts the rollout (releasing further batches
+        raises until :meth:`roll_back` or manual intervention).
+        """
+        decision = self.breaker.evaluate(self.current_batch, soak_events)
+        self.decisions.append(decision)
+        if decision.tripped:
+            self.state = RolloutState.HALTED
+        return decision
+
+    def roll_back(self) -> list[str]:
+        """Revert every released target; returns the reverted list."""
+        reverted = list(self.released)
+        self.released.clear()
+        self._cursor = 0
+        self.state = RolloutState.ROLLED_BACK
+        return reverted
+
+
+def run_gradual_release(
+    change: ChangeRelease,
+    soak_events_for_batch: Callable[[int, Sequence[str]], Sequence[Event]],
+    *, max_batches: int | None = None,
+) -> RolloutState:
+    """Drive a rollout to completion, halt, or the batch limit.
+
+    ``soak_events_for_batch(batch_index, batch_targets)`` supplies the
+    events observed while the batch soaks (from the extractor in
+    production; from a scenario in tests).
+    """
+    index = 0
+    while change.state not in (RolloutState.COMPLETED, RolloutState.HALTED,
+                               RolloutState.ROLLED_BACK):
+        if max_batches is not None and index >= max_batches:
+            break
+        batch = change.release_next_batch()
+        if not batch:
+            break
+        decision = change.soak(soak_events_for_batch(index, batch))
+        if decision.tripped:
+            break
+        index += 1
+    return change.state
+
+
+def performance_damage_by_cohort(
+    events: Sequence[Event], changed: set[str],
+    catalog: EventCatalog,
+) -> Mapping[str, float]:
+    """Mean performance-event count per target, changed vs unchanged.
+
+    The cheap cohort comparison the CDI architecture-comparison
+    workflow formalizes (Section VI-B); used to show what the circuit
+    breaker missed.
+    """
+    counts: dict[str, int] = {}
+    targets: set[str] = set()
+    for event in events:
+        targets.add(event.target)
+        if catalog.category_of(event.name) is EventCategory.PERFORMANCE:
+            counts[event.target] = counts.get(event.target, 0) + 1
+    changed_targets = targets & changed
+    unchanged_targets = targets - changed
+
+    def mean_for(group: set[str]) -> float:
+        if not group:
+            return 0.0
+        return sum(counts.get(t, 0) for t in group) / len(group)
+
+    return {
+        "changed": mean_for(changed_targets),
+        "unchanged": mean_for(unchanged_targets),
+    }

@@ -1,0 +1,80 @@
+"""Data Collector: binds the simulator into raw data bundles.
+
+The production collector is an eBPF-based component streaming metrics,
+logs, tickets and topology (Section II-B).  Here it drives the
+telemetry simulator for a time window and packages the result for the
+Event Extractor, persisting raw events into the SLS-like log store the
+way Fig. 4 shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.storage.logstore import LogStore
+from repro.telemetry.faults import Fault
+from repro.telemetry.logs import LogGenerator, LogLine
+from repro.telemetry.metrics import MetricGenerator, MetricSample
+from repro.telemetry.topology import Fleet
+
+
+@dataclass(frozen=True, slots=True)
+class RawDataBundle:
+    """One collection window's multi-modal raw data."""
+
+    start: float
+    end: float
+    metrics: tuple[MetricSample, ...] = ()
+    logs: tuple[LogLine, ...] = ()
+    targets: tuple[str, ...] = field(default=())
+
+
+class DataCollector:
+    """Collects metrics and logs for a set of targets over a window.
+
+    ``metric_names`` defaults to every metric the default extractor
+    rules consume.  Collection is the expensive step at fleet scale, so
+    callers typically pass only the targets affected by faults plus a
+    healthy sample (the paper notes the vast majority of machines run
+    normally and are not the focus of extraction).
+    """
+
+    def __init__(self, fleet: Fleet, *, seed: int = 0,
+                 metric_names: Sequence[str] | None = None,
+                 interval: float = 60.0,
+                 log_store: LogStore | None = None) -> None:
+        from repro.telemetry import metrics as m
+
+        self._fleet = fleet
+        self._metrics = MetricGenerator(seed=seed)
+        self._logs = LogGenerator(seed=seed + 1)
+        self._metric_names = tuple(metric_names or (
+            m.READ_LATENCY, m.PACKET_LOSS_RATE, m.CPU_STEAL, m.HEARTBEAT,
+        ))
+        self._interval = interval
+        self._log_store = log_store
+
+    def collect(self, targets: Sequence[str], start: float, end: float,
+                faults: Sequence[Fault] = ()) -> RawDataBundle:
+        """Collect one window of raw data for ``targets``."""
+        unknown = [
+            t for t in targets
+            if t not in self._fleet.vms and t not in self._fleet.ncs
+        ]
+        if unknown:
+            raise KeyError(f"targets not in fleet: {unknown[:5]}")
+        samples = self._metrics.emit(
+            targets, self._metric_names, start, end,
+            interval=self._interval, faults=faults,
+        )
+        lines = self._logs.emit(targets, start, end, faults)
+        if self._log_store is not None:
+            for line in lines:
+                self._log_store.append(line.time, target=line.target,
+                                       line=line.line, kind="log")
+        return RawDataBundle(
+            start=start, end=end,
+            metrics=tuple(samples), logs=tuple(lines),
+            targets=tuple(targets),
+        )

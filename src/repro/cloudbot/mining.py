@@ -1,0 +1,188 @@
+"""FP-growth association mining for rule discovery (Section II-D).
+
+Operation rules combine expert knowledge with "association mining
+algorithms [29]" (Borgelt's FP-growth).  This module implements
+FP-growth from scratch over event co-occurrence transactions (the
+events active together on one target) and derives association-rule
+candidates with support/confidence/lift — raw material for new
+operation rules.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Iterable, Sequence
+
+
+@dataclass
+class _FpNode:
+    item: str | None
+    count: int = 0
+    parent: "_FpNode | None" = None
+    children: dict[str, "_FpNode"] = field(default_factory=dict)
+
+
+class _FpTree:
+    def __init__(self, transactions: Sequence[Sequence[str]],
+                 min_count: int) -> None:
+        counts = Counter(item for t in transactions for item in set(t))
+        self.item_counts = {
+            item: count for item, count in counts.items() if count >= min_count
+        }
+        # Global frequency order (ties by name) keeps paths maximally shared.
+        self._order = {
+            item: rank
+            for rank, item in enumerate(
+                sorted(self.item_counts, key=lambda i: (-self.item_counts[i], i))
+            )
+        }
+        self.root = _FpNode(item=None)
+        self.header: dict[str, list[_FpNode]] = {}
+        for transaction in transactions:
+            items = sorted(
+                {i for i in transaction if i in self.item_counts},
+                key=lambda i: self._order[i],
+            )
+            self._insert(items)
+
+    def _insert(self, items: list[str]) -> None:
+        node = self.root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = _FpNode(item=item, parent=node)
+                node.children[item] = child
+                self.header.setdefault(item, []).append(child)
+            child.count += 1
+            node = child
+
+    def prefix_paths(self, item: str) -> list[tuple[list[str], int]]:
+        paths = []
+        for node in self.header.get(item, []):
+            path: list[str] = []
+            current = node.parent
+            while current is not None and current.item is not None:
+                path.append(current.item)
+                current = current.parent
+            if path:
+                paths.append((list(reversed(path)), node.count))
+        return paths
+
+
+def fp_growth(transactions: Sequence[Sequence[str]],
+              min_support: float = 0.1) -> dict[frozenset[str], int]:
+    """All frequent itemsets with their absolute support counts.
+
+    ``min_support`` is relative to the number of transactions.
+    """
+    if not 0 < min_support <= 1:
+        raise ValueError(f"min_support must be in (0, 1], got {min_support}")
+    if not transactions:
+        return {}
+    min_count = max(1, int(round(min_support * len(transactions))))
+    results: dict[frozenset[str], int] = {}
+    _mine(list(transactions), min_count, frozenset(), results)
+    return results
+
+
+def _mine(transactions: list[Sequence[str]], min_count: int,
+          suffix: frozenset[str],
+          results: dict[frozenset[str], int]) -> None:
+    tree = _FpTree(transactions, min_count)
+    # Process items in reverse frequency order (least frequent first).
+    for item in sorted(tree.item_counts,
+                       key=lambda i: (tree.item_counts[i], i)):
+        support = tree.item_counts[item]
+        itemset = suffix | {item}
+        results[frozenset(itemset)] = support
+        conditional: list[Sequence[str]] = []
+        for path, count in tree.prefix_paths(item):
+            conditional.extend([path] * count)
+        if conditional:
+            _mine(conditional, min_count, frozenset(itemset), results)
+
+
+@dataclass(frozen=True, slots=True)
+class AssociationRule:
+    """Candidate rule ``antecedent -> consequent``."""
+
+    antecedent: frozenset[str]
+    consequent: frozenset[str]
+    support: float
+    confidence: float
+    lift: float
+
+
+def association_rules(transactions: Sequence[Sequence[str]],
+                      min_support: float = 0.1,
+                      min_confidence: float = 0.8) -> list[AssociationRule]:
+    """Association rules from frequent itemsets, sorted by lift.
+
+    Candidates feed the operation-rule review process; a high-lift rule
+    like ``{nic_flapping} -> {slow_io}`` suggests the
+    ``nic_error_cause_slow_io`` combination of Fig. 1.
+    """
+    if not 0 < min_confidence <= 1:
+        raise ValueError(
+            f"min_confidence must be in (0, 1], got {min_confidence}"
+        )
+    itemsets = fp_growth(transactions, min_support)
+    total = len(transactions)
+    rules: list[AssociationRule] = []
+    for itemset, count in itemsets.items():
+        if len(itemset) < 2:
+            continue
+        items = sorted(itemset)
+        for size in range(1, len(items)):
+            for antecedent_items in combinations(items, size):
+                antecedent = frozenset(antecedent_items)
+                consequent = itemset - antecedent
+                antecedent_count = itemsets.get(antecedent)
+                consequent_count = itemsets.get(consequent)
+                if not antecedent_count or not consequent_count:
+                    continue
+                confidence = count / antecedent_count
+                if confidence < min_confidence:
+                    continue
+                lift = confidence / (consequent_count / total)
+                rules.append(
+                    AssociationRule(
+                        antecedent=antecedent, consequent=consequent,
+                        support=count / total, confidence=confidence,
+                        lift=lift,
+                    )
+                )
+    rules.sort(key=lambda r: (-r.lift, -r.confidence, sorted(r.antecedent)))
+    return rules
+
+
+def transactions_from_events(
+    events: Iterable, window: float = 600.0
+) -> list[list[str]]:
+    """Build co-occurrence transactions from raw events.
+
+    Events on the same target within ``window`` seconds form one
+    transaction — the "concurrent occurrence" notion the Rule Engine
+    matches on.
+    """
+    per_target: dict[str, list] = {}
+    for event in events:
+        per_target.setdefault(event.target, []).append(event)
+    transactions: list[list[str]] = []
+    for target_events in per_target.values():
+        target_events.sort(key=lambda e: e.time)
+        current: list = []
+        window_start = None
+        for event in target_events:
+            if window_start is None or event.time - window_start > window:
+                if current:
+                    transactions.append(sorted({e.name for e in current}))
+                current = [event]
+                window_start = event.time
+            else:
+                current.append(event)
+        if current:
+            transactions.append(sorted({e.name for e in current}))
+    return transactions

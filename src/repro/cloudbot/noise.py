@@ -1,0 +1,159 @@
+"""Operation-noise reduction (paper Section II-F1).
+
+A single event captures one aspect of the cloud server's status, so
+acting on individual events causes noisy (incorrect) operations.  Two
+mechanisms from the paper:
+
+* **Product-configuration suppression** — some events are *expected*
+  for certain products: CPU contention on a shared-type VM "is
+  consistent with the product definition and needs no actions".
+  :class:`ProductSuppressor` drops such events before rule matching.
+* **Trend-based suppression** — an event that fires at its usual
+  background rate is ambient noise; only anomalous fluctuations in its
+  trend indicate potential issues.  :class:`TrendSuppressor` keeps a
+  per-event daily-count history and passes events through only while
+  their volume is anomalous versus that history.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Iterable, Mapping
+
+import numpy as np
+
+from repro.core.events import Event
+from repro.telemetry.topology import Fleet, VmType
+
+
+@dataclass(frozen=True, slots=True)
+class SuppressionRule:
+    """Drop events matching a predicate, with a documented reason."""
+
+    name: str
+    event_name: str
+    predicate: Callable[[Event], bool]
+    reason: str
+
+
+def shared_vm_contention_rule(fleet: Fleet) -> SuppressionRule:
+    """The paper's example: vcpu_high on shared VMs is by design."""
+
+    def is_shared_vm(event: Event) -> bool:
+        vm = fleet.vms.get(event.target)
+        return vm is not None and vm.vm_type is VmType.SHARED
+
+    return SuppressionRule(
+        name="shared_vm_cpu_contention",
+        event_name="vcpu_high",
+        predicate=is_shared_vm,
+        reason="CPU contention on shared instances is consistent with "
+               "the product definition",
+    )
+
+
+@dataclass
+class SuppressionStats:
+    """Counts of suppressed events per rule name."""
+
+    by_rule: dict[str, int] = field(default_factory=dict)
+
+    def count(self, rule_name: str) -> None:
+        self.by_rule[rule_name] = self.by_rule.get(rule_name, 0) + 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.by_rule.values())
+
+
+class ProductSuppressor:
+    """Applies product-configuration suppression rules to event streams."""
+
+    def __init__(self, rules: Iterable[SuppressionRule] = ()) -> None:
+        self._rules: list[SuppressionRule] = list(rules)
+        self.stats = SuppressionStats()
+
+    def add_rule(self, rule: SuppressionRule) -> None:
+        """Register one more suppression rule."""
+        self._rules.append(rule)
+
+    def filter(self, events: Iterable[Event]) -> list[Event]:
+        """Events that survive all suppression rules."""
+        kept: list[Event] = []
+        for event in events:
+            suppressed_by = next(
+                (r for r in self._rules
+                 if r.event_name == event.name and r.predicate(event)),
+                None,
+            )
+            if suppressed_by is None:
+                kept.append(event)
+            else:
+                self.stats.count(suppressed_by.name)
+        return kept
+
+
+class TrendSuppressor:
+    """Passes events through only when their volume trend is anomalous.
+
+    Feed one window at a time via :meth:`filter_window`.  For each
+    event name, the window's count is compared against the rolling
+    history; events pass when the count deviates by more than
+    ``sigmas`` robust standard deviations (in either direction — a
+    vanished event stream is as suspicious as a surge, Case 7).  The
+    first ``min_history`` windows always pass (no baseline yet).
+    """
+
+    def __init__(self, *, history: int = 14, min_history: int = 3,
+                 sigmas: float = 3.0) -> None:
+        if history < min_history or min_history < 1:
+            raise ValueError(
+                f"need history >= min_history >= 1, got "
+                f"{history}/{min_history}"
+            )
+        if sigmas <= 0:
+            raise ValueError(f"sigmas must be > 0, got {sigmas}")
+        self._history_len = history
+        self._min_history = min_history
+        self._sigmas = sigmas
+        self._counts: dict[str, Deque[int]] = {}
+
+    def _is_anomalous(self, name: str, count: int) -> bool:
+        history = self._counts.get(name)
+        if history is None or len(history) < self._min_history:
+            return True  # no baseline: let downstream rules decide
+        values = np.asarray(history, dtype=float)
+        center = float(np.median(values))
+        mad = float(np.median(np.abs(values - center)))
+        # Counting noise floor: even a perfectly flat history has
+        # Poisson jitter of roughly sqrt(center), so small deviations
+        # over a flat baseline are still ambient.
+        sigma = max(1.4826 * mad, np.sqrt(max(center, 1.0)) / 2.0)
+        return abs(count - center) > self._sigmas * sigma
+
+    def filter_window(self, events: list[Event]) -> list[Event]:
+        """One window's events; returns those whose trend is anomalous."""
+        by_name: dict[str, list[Event]] = {}
+        for event in events:
+            by_name.setdefault(event.name, []).append(event)
+        kept: list[Event] = []
+        for name, group in by_name.items():
+            if self._is_anomalous(name, len(group)):
+                kept.extend(group)
+        # Update histories for every known or seen name (absence = 0).
+        for name in set(by_name) | set(self._counts):
+            history = self._counts.setdefault(
+                name, deque(maxlen=self._history_len)
+            )
+            history.append(len(by_name.get(name, [])))
+        kept.sort(key=lambda e: (e.time, e.target, e.name))
+        return kept
+
+    def baseline(self) -> Mapping[str, float]:
+        """Current per-event median daily volume (for inspection)."""
+        return {
+            name: float(np.median(list(history)))
+            for name, history in self._counts.items()
+            if history
+        }

@@ -1,0 +1,183 @@
+"""Operation Platform: central control of all actions (Section II-E).
+
+Every operation action flows through the platform, which
+
+* orders execution by priority (ties by submission order),
+* discards actions that conflict with already-accepted ones,
+* enforces NC locks — a locked NC accepts no new VM creations or
+  inbound migrations (the Fig. 1 workflow locks the faulty NC while
+  the repair ticket is open),
+* executes accepted actions against a mutable placement view of the
+  fleet and keeps an audit log.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.cloudbot.actions import Action, ActionType
+from repro.telemetry.topology import Fleet
+
+
+class ExecutionStatus(enum.Enum):
+    """Outcome of one submitted action."""
+
+    EXECUTED = "executed"
+    DISCARDED_CONFLICT = "discarded_conflict"
+    REJECTED_LOCKED = "rejected_locked"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionRecord:
+    """Audit log entry for one submitted action."""
+
+    action: Action
+    status: ExecutionStatus
+    detail: str = ""
+
+
+class OperationPlatform:
+    """Central action scheduler over a fleet placement view.
+
+    The platform owns a mutable ``placements`` map (vm → nc) seeded
+    from the fleet; migrations update it.  Ticketing actions
+    (``repair_request``) accumulate in ``open_tickets``.
+    """
+
+    def __init__(self, fleet: Fleet) -> None:
+        self._fleet = fleet
+        self.placements: dict[str, str] = {
+            vm_id: vm.nc_id for vm_id, vm in fleet.vms.items()
+        }
+        self.locked_ncs: set[str] = set()
+        self.open_tickets: list[Action] = []
+        self.log: list[ExecutionRecord] = []
+
+    # -- queries -----------------------------------------------------------
+
+    def is_locked(self, nc_id: str) -> bool:
+        """Whether an NC currently refuses new placements."""
+        return nc_id in self.locked_ncs
+
+    def vms_on(self, nc_id: str) -> list[str]:
+        """VMs currently placed on an NC (live view)."""
+        return sorted(vm for vm, nc in self.placements.items() if nc == nc_id)
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, actions: list[Action]) -> list[ExecutionRecord]:
+        """Order, de-conflict, and execute a batch of actions.
+
+        Returns one record per submitted action, in execution order.
+        Conflicting actions are discarded in favour of earlier-ordered
+        (higher-priority) ones, matching "determines the execution
+        order ... and discards the conflicting ones".
+        """
+        ordered = sorted(
+            enumerate(actions), key=lambda pair: (-pair[1].priority, pair[0])
+        )
+        accepted: list[Action] = []
+        records: list[ExecutionRecord] = []
+        for _, action in ordered:
+            conflict = next(
+                (a for a in accepted if action.conflicts_with(a)), None
+            )
+            if conflict is not None:
+                records.append(
+                    ExecutionRecord(
+                        action, ExecutionStatus.DISCARDED_CONFLICT,
+                        detail=f"conflicts with {conflict.type.label} "
+                               f"on {conflict.target}",
+                    )
+                )
+                continue
+            record = self._execute(action)
+            if record.status is ExecutionStatus.EXECUTED:
+                accepted.append(action)
+            records.append(record)
+        self.log.extend(records)
+        return records
+
+    # -- execution -----------------------------------------------------------
+
+    def _execute(self, action: Action) -> ExecutionRecord:
+        handler = {
+            ActionType.LIVE_MIGRATION: self._migrate,
+            ActionType.COLD_MIGRATION: self._migrate,
+            ActionType.NC_LOCK: self._lock,
+            ActionType.NC_DECOMMISSION: self._decommission,
+            ActionType.REPAIR_REQUEST: self._ticket,
+        }.get(action.type, self._noop)
+        return handler(action)
+
+    def _noop(self, action: Action) -> ExecutionRecord:
+        # Reboots/repairs have no placement side effects in this model.
+        return ExecutionRecord(action, ExecutionStatus.EXECUTED)
+
+    def _migrate(self, action: Action) -> ExecutionRecord:
+        vm_id = action.target
+        if vm_id not in self.placements:
+            return ExecutionRecord(action, ExecutionStatus.FAILED,
+                                   detail=f"unknown VM {vm_id}")
+        destination = action.params.get("destination")
+        if destination is None:
+            destination = self._pick_destination(vm_id)
+        if destination is None:
+            return ExecutionRecord(action, ExecutionStatus.FAILED,
+                                   detail="no unlocked destination NC")
+        if self.is_locked(destination):
+            return ExecutionRecord(
+                action, ExecutionStatus.REJECTED_LOCKED,
+                detail=f"destination {destination} is locked",
+            )
+        self.placements[vm_id] = destination
+        return ExecutionRecord(action, ExecutionStatus.EXECUTED,
+                               detail=f"moved to {destination}")
+
+    def _pick_destination(self, vm_id: str) -> str | None:
+        source = self.placements[vm_id]
+        candidates = sorted(
+            nc_id for nc_id in self._fleet.ncs
+            if nc_id != source and not self.is_locked(nc_id)
+        )
+        if not candidates:
+            return None
+        # Least-loaded unlocked NC, by live placement count.
+        return min(candidates, key=lambda nc: (len(self.vms_on(nc)), nc))
+
+    def _lock(self, action: Action) -> ExecutionRecord:
+        self.locked_ncs.add(action.target)
+        return ExecutionRecord(action, ExecutionStatus.EXECUTED)
+
+    def unlock(self, nc_id: str) -> None:
+        """Release an NC lock (after repair completes)."""
+        self.locked_ncs.discard(nc_id)
+
+    def _decommission(self, action: Action) -> ExecutionRecord:
+        nc_id = action.target
+        remaining = self.vms_on(nc_id)
+        if remaining:
+            return ExecutionRecord(
+                action, ExecutionStatus.FAILED,
+                detail=f"{len(remaining)} VMs still placed on {nc_id}",
+            )
+        self.locked_ncs.add(nc_id)
+        return ExecutionRecord(action, ExecutionStatus.EXECUTED,
+                               detail="removed from production")
+
+    def _ticket(self, action: Action) -> ExecutionRecord:
+        self.open_tickets.append(action)
+        return ExecutionRecord(action, ExecutionStatus.EXECUTED,
+                               detail="IDC ticket created")
+
+    # -- reporting -------------------------------------------------------------
+
+    def summary(self) -> Mapping[str, int]:
+        """Counts per execution status over the platform's lifetime."""
+        counts: dict[str, int] = {}
+        for record in self.log:
+            counts[record.status.value] = counts.get(record.status.value, 0) + 1
+        return counts

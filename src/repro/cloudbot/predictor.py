@@ -1,0 +1,146 @@
+"""Learned failure prediction (deep-learning event source stand-in).
+
+The paper uses neural predictors (TAAT/MISP, Section II-C) to emit
+machine-at-risk events such as the performance events behind the
+``nc_down_prediction`` rule of Case 8.  We stand in with a pure-numpy
+logistic-regression model over windowed NC health features — the same
+interface (telemetry window in, predicted events out) with tunable
+precision/recall, which is all the downstream pipeline depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.events import Event, Severity
+from repro.telemetry.metrics import MetricSample
+
+#: Feature order used by :func:`featurize_window`.
+FEATURES = ("mean", "std", "max", "last", "slope")
+
+
+def featurize_window(values: Sequence[float]) -> np.ndarray:
+    """Summary features of one metric window."""
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot featurize an empty window")
+    index = np.arange(data.size, dtype=float)
+    if data.size > 1:
+        slope = float(np.polyfit(index, data, 1)[0])
+    else:
+        slope = 0.0
+    return np.array([
+        float(data.mean()), float(data.std()), float(data.max()),
+        float(data[-1]), slope,
+    ])
+
+
+@dataclass
+class TrainingReport:
+    """Fit diagnostics."""
+
+    epochs: int
+    final_loss: float
+    accuracy: float
+
+
+class LogisticFailurePredictor:
+    """L2-regularized logistic regression trained with full-batch GD."""
+
+    def __init__(self, *, learning_rate: float = 0.5, epochs: int = 300,
+                 l2: float = 1e-3, threshold: float = 0.5,
+                 seed: int = 0) -> None:
+        if not 0 < threshold < 1:
+            raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+        self._learning_rate = learning_rate
+        self._epochs = epochs
+        self._l2 = l2
+        self.threshold = threshold
+        self._rng = np.random.default_rng(seed)
+        self._weights: np.ndarray | None = None
+        self._bias = 0.0
+        self._mean: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return self._weights is not None
+
+    @staticmethod
+    def _sigmoid(z: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-np.clip(z, -30.0, 30.0)))
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> TrainingReport:
+        """Train on a feature matrix and 0/1 labels."""
+        x = np.asarray(features, dtype=float)
+        y = np.asarray(labels, dtype=float)
+        if x.ndim != 2 or y.ndim != 1 or x.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"bad shapes: features {x.shape}, labels {y.shape}"
+            )
+        if x.shape[0] < 2:
+            raise ValueError("need at least 2 training rows")
+        self._mean = x.mean(axis=0)
+        self._scale = np.where(x.std(axis=0) > 0, x.std(axis=0), 1.0)
+        z = (x - self._mean) / self._scale
+        n, d = z.shape
+        self._weights = self._rng.normal(0.0, 0.01, d)
+        self._bias = 0.0
+        loss = float("inf")
+        for _ in range(self._epochs):
+            p = self._sigmoid(z @ self._weights + self._bias)
+            gradient_w = z.T @ (p - y) / n + self._l2 * self._weights
+            gradient_b = float((p - y).mean())
+            self._weights -= self._learning_rate * gradient_w
+            self._bias -= self._learning_rate * gradient_b
+            eps = 1e-12
+            loss = float(
+                -(y * np.log(p + eps) + (1 - y) * np.log(1 - p + eps)).mean()
+            )
+        predictions = self.predict_proba(x) > self.threshold
+        accuracy = float((predictions == (y > 0.5)).mean())
+        return TrainingReport(epochs=self._epochs, final_loss=loss,
+                              accuracy=accuracy)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Failure probability per row."""
+        if not self.is_fitted:
+            raise RuntimeError("predictor is not fitted")
+        x = np.asarray(features, dtype=float)
+        z = (x - self._mean) / self._scale
+        return self._sigmoid(z @ self._weights + self._bias)
+
+    def predict_events(self, samples: Sequence[MetricSample]) -> list[Event]:
+        """``nc_down_prediction`` events for at-risk targets.
+
+        Samples are grouped per target (all metrics pooled into one
+        window, sorted by time); a window whose failure probability
+        clears the threshold produces one prediction event stamped with
+        the window's last timestamp.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("predictor is not fitted")
+        grouped: dict[str, list[MetricSample]] = {}
+        for sample in samples:
+            grouped.setdefault(sample.target, []).append(sample)
+        events: list[Event] = []
+        for target, group in sorted(grouped.items()):
+            group.sort(key=lambda s: s.time)
+            features = featurize_window([s.value for s in group])
+            probability = float(self.predict_proba(features[None, :])[0])
+            if probability > self.threshold:
+                events.append(
+                    Event(
+                        name="nc_down_prediction",
+                        time=group[-1].time,
+                        target=target,
+                        expire_interval=6 * 3600.0,
+                        level=Severity.CRITICAL,
+                        attributes={"probability": probability},
+                    )
+                )
+        return events

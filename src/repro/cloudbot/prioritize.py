@@ -1,0 +1,103 @@
+"""Weight-aware action prioritization (paper Section VIII-C).
+
+The CDI's event weights double as an operational priority signal: when
+the platform must choose which VM to migrate first, the VM whose
+active events carry higher weights should go first, because clearing
+it improves the overall CDI most.  Severity can also pick the action
+itself: low-severity issues file a ticket, high-severity ones trigger
+immediate migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.cloudbot.actions import Action, ActionType
+from repro.core.events import Event, EventCatalog
+from repro.core.weights import WeightConfig
+
+
+@dataclass(frozen=True, slots=True)
+class TargetPriority:
+    """Priority score of one target based on its active events."""
+
+    target: str
+    score: float
+    dominant_event: str
+
+
+def score_targets(events: Iterable[Event], catalog: EventCatalog,
+                  weights: WeightConfig) -> list[TargetPriority]:
+    """Rank targets by the maximum weight of their active events.
+
+    The max (not the sum) matches Algorithm 1's overlap semantics: the
+    worst concurrent issue determines the damage.  Ties break toward
+    the target with more weighted events, then by name for determinism.
+    """
+    per_target: dict[str, list[tuple[float, str]]] = {}
+    for event in events:
+        category = catalog.category_of(event.name)
+        if category is None:
+            continue
+        weight = weights.resolve(event.name, event.level, category)
+        per_target.setdefault(event.target, []).append((weight, event.name))
+
+    priorities = []
+    for target, weighted in per_target.items():
+        weighted.sort(reverse=True)
+        score, dominant = weighted[0]
+        # Secondary criterion: total weight pressure, scaled down so it
+        # can only break ties within one weight level.
+        score += min(0.999, sum(w for w, _ in weighted[1:])) * 1e-6
+        priorities.append(
+            TargetPriority(target=target, score=score, dominant_event=dominant)
+        )
+    priorities.sort(key=lambda p: (-p.score, p.target))
+    return priorities
+
+
+def choose_action(priority: TargetPriority, *,
+                  migrate_above: float = 0.7,
+                  ticket_above: float = 0.2) -> Action | None:
+    """Severity-matched action for one prioritized target.
+
+    * score > ``migrate_above`` → immediate live migration;
+    * score > ``ticket_above`` → repair ticket;
+    * otherwise no action (observe only).
+    """
+    if not 0 <= ticket_above <= migrate_above <= 1:
+        raise ValueError(
+            "thresholds must satisfy 0 <= ticket_above <= migrate_above <= 1"
+        )
+    if priority.score > migrate_above:
+        return Action(
+            type=ActionType.LIVE_MIGRATION, target=priority.target,
+            priority=int(priority.score * 100),
+            source_rule="weight_prioritizer",
+        )
+    if priority.score > ticket_above:
+        return Action(
+            type=ActionType.REPAIR_REQUEST, target=priority.target,
+            priority=int(priority.score * 100),
+            source_rule="weight_prioritizer",
+        )
+    return None
+
+
+def prioritize_actions(events: Sequence[Event], catalog: EventCatalog,
+                       weights: WeightConfig, *,
+                       migrate_above: float = 0.7,
+                       ticket_above: float = 0.2) -> list[Action]:
+    """End-to-end: events → ranked targets → severity-matched actions.
+
+    Returned actions are ordered most-urgent first, ready for
+    :meth:`repro.cloudbot.platform.OperationPlatform.submit`.
+    """
+    actions = []
+    for priority in score_targets(events, catalog, weights):
+        action = choose_action(priority, migrate_above=migrate_above,
+                               ticket_above=ticket_above)
+        if action is not None:
+            actions.append(action)
+    return actions

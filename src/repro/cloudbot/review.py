@@ -1,0 +1,138 @@
+"""Rule-coverage review: finding missing operations (Section II-F2).
+
+Missing operations are rare but inevitable — "we regularly review and
+update the rules to ensure that they cover a wider range of failure
+conditions".  This module implements that review:
+
+* :func:`coverage_report` — which events participated in at least one
+  rule match vs which fired with no rule reacting;
+* :func:`complaint_gaps` — uncovered events correlated with customer
+  complaints on the same target (the signal through which missing
+  operations actually surface);
+* :func:`propose_rules` — association-mining candidates restricted to
+  uncovered events, the raw material for the rule-update review.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.cloudbot.mining import (
+    AssociationRule,
+    association_rules,
+    transactions_from_events,
+)
+from repro.cloudbot.rules import RuleEngine
+from repro.core.events import Event
+from repro.telemetry.tickets import Ticket
+
+
+@dataclass(frozen=True, slots=True)
+class CoverageReport:
+    """Which event names the current rule set reacts to."""
+
+    covered: frozenset[str]        # referenced by >= 1 rule
+    observed: frozenset[str]       # seen in the event stream
+    uncovered: frozenset[str]      # observed but unreferenced
+    occurrences: Mapping[str, int]  # observed counts per name
+
+    @property
+    def coverage_fraction(self) -> float:
+        """Share of observed event names covered by some rule."""
+        if not self.observed:
+            return 1.0
+        return len(self.observed & self.covered) / len(self.observed)
+
+
+def coverage_report(events: Sequence[Event],
+                    engine: RuleEngine) -> CoverageReport:
+    """Compare the observed event vocabulary against rule references."""
+    referenced: set[str] = set()
+    for rule in engine.rules():
+        referenced |= rule.referenced_events
+    occurrences: dict[str, int] = {}
+    for event in events:
+        occurrences[event.name] = occurrences.get(event.name, 0) + 1
+    observed = frozenset(occurrences)
+    return CoverageReport(
+        covered=frozenset(referenced),
+        observed=observed,
+        uncovered=observed - referenced,
+        occurrences=occurrences,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ComplaintGap:
+    """An uncovered event correlated with customer complaints."""
+
+    event_name: str
+    event_count: int
+    complaint_count: int
+    sample_targets: tuple[str, ...] = field(default=())
+
+
+def complaint_gaps(events: Sequence[Event], tickets: Sequence[Ticket],
+                   engine: RuleEngine, *,
+                   correlation_window: float = 6 * 3600.0
+                   ) -> list[ComplaintGap]:
+    """Uncovered events whose targets also filed complaints nearby.
+
+    A ticket correlates with an event when it concerns the same target
+    and arrives within ``correlation_window`` seconds after the event —
+    the way real missing operations are identified "through customer
+    complaints".  Sorted by complaint count, most painful first.
+    """
+    report = coverage_report(events, engine)
+    tickets_by_target: dict[str, list[Ticket]] = {}
+    for ticket in tickets:
+        tickets_by_target.setdefault(ticket.target, []).append(ticket)
+
+    gaps: dict[str, dict] = {}
+    for event in events:
+        if event.name not in report.uncovered:
+            continue
+        entry = gaps.setdefault(event.name, {
+            "events": 0, "complaints": 0, "targets": set(),
+        })
+        entry["events"] += 1
+        for ticket in tickets_by_target.get(event.target, []):
+            if 0.0 <= ticket.time - event.time <= correlation_window:
+                entry["complaints"] += 1
+                entry["targets"].add(event.target)
+
+    results = [
+        ComplaintGap(
+            event_name=name,
+            event_count=entry["events"],
+            complaint_count=entry["complaints"],
+            sample_targets=tuple(sorted(entry["targets"])[:5]),
+        )
+        for name, entry in gaps.items()
+        if entry["complaints"] > 0
+    ]
+    results.sort(key=lambda g: (-g.complaint_count, g.event_name))
+    return results
+
+
+def propose_rules(events: Iterable[Event], engine: RuleEngine, *,
+                  min_support: float = 0.05, min_confidence: float = 0.7,
+                  window: float = 600.0) -> list[AssociationRule]:
+    """Association-rule candidates involving uncovered events.
+
+    Mines co-occurrence transactions from the full event stream but
+    keeps only candidates whose antecedent or consequent touches an
+    uncovered event name — existing coverage needs no new rules.
+    """
+    event_list = list(events)
+    report = coverage_report(event_list, engine)
+    if not report.uncovered:
+        return []
+    transactions = transactions_from_events(event_list, window=window)
+    candidates = association_rules(transactions, min_support=min_support,
+                                   min_confidence=min_confidence)
+    return [
+        rule for rule in candidates
+        if (rule.antecedent | rule.consequent) & report.uncovered
+    ]

@@ -1,0 +1,197 @@
+"""Operation rules: boolean event expressions → actions (Section II-D).
+
+An operation rule contains a readable boolean expression over event
+names and a list of operation actions.  When the *concurrently active*
+events of a target satisfy the expression, the rule matches and its
+actions are submitted to the Operation Platform.
+
+The expression grammar (case-insensitive keywords)::
+
+    expr   := term (OR term)*
+    term   := factor (AND factor)*
+    factor := NOT factor | '(' expr ')' | event_name
+
+Example from Fig. 1: ``slow_io AND nic_flapping`` matches the
+``nic_error_cause_slow_io`` rule, while ``nic_flapping AND vm_hang``
+(``nic_error_cause_vm_hang``) does not match without a ``vm_hang``
+event.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.cloudbot.actions import Action
+from repro.core.events import Event
+
+_TOKEN_RE = re.compile(r"\(|\)|[A-Za-z_][A-Za-z0-9_]*")
+
+BoolExpr = Callable[[frozenset[str]], bool]
+
+
+class RuleSyntaxError(ValueError):
+    """The rule expression cannot be parsed."""
+
+
+def _tokenize(expression: str) -> list[str]:
+    tokens = _TOKEN_RE.findall(expression)
+    stripped = _TOKEN_RE.sub("", expression).strip()
+    if stripped:
+        raise RuleSyntaxError(
+            f"unexpected characters {stripped!r} in rule expression"
+        )
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser producing a predicate over event sets."""
+
+    def __init__(self, tokens: list[str]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    def _peek(self) -> str | None:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise RuleSyntaxError("unexpected end of rule expression")
+        self._position += 1
+        return token
+
+    def parse(self) -> tuple[BoolExpr, frozenset[str]]:
+        expr, names = self._parse_or()
+        if self._peek() is not None:
+            raise RuleSyntaxError(f"trailing token {self._peek()!r}")
+        return expr, frozenset(names)
+
+    def _parse_or(self) -> tuple[BoolExpr, set[str]]:
+        left, names = self._parse_and()
+        while self._peek() is not None and self._peek().upper() == "OR":
+            self._next()
+            right, right_names = self._parse_and()
+            previous = left
+            left = (lambda e, a=previous, b=right: a(e) or b(e))
+            names |= right_names
+        return left, names
+
+    def _parse_and(self) -> tuple[BoolExpr, set[str]]:
+        left, names = self._parse_factor()
+        while self._peek() is not None and self._peek().upper() == "AND":
+            self._next()
+            right, right_names = self._parse_factor()
+            previous = left
+            left = (lambda e, a=previous, b=right: a(e) and b(e))
+            names |= right_names
+        return left, names
+
+    def _parse_factor(self) -> tuple[BoolExpr, set[str]]:
+        token = self._next()
+        upper = token.upper()
+        if upper == "NOT":
+            inner, names = self._parse_factor()
+            return (lambda e, f=inner: not f(e)), names
+        if token == "(":
+            expr, names = self._parse_or()
+            if self._next() != ")":
+                raise RuleSyntaxError("missing closing parenthesis")
+            return expr, names
+        if token == ")" or upper in ("AND", "OR"):
+            raise RuleSyntaxError(f"unexpected token {token!r}")
+        name = token
+        return (lambda e, n=name: n in e), {name}
+
+
+def parse_expression(expression: str) -> tuple[BoolExpr, frozenset[str]]:
+    """Parse a rule expression into a predicate and its referenced names."""
+    tokens = _tokenize(expression)
+    if not tokens:
+        raise RuleSyntaxError("empty rule expression")
+    return _Parser(tokens).parse()
+
+
+@dataclass(frozen=True)
+class OperationRule:
+    """One operation rule: expression + actions (Section II-D)."""
+
+    name: str
+    expression: str
+    actions: tuple[Action, ...] = ()
+    description: str = ""
+    _predicate: BoolExpr = field(init=False, repr=False, compare=False)
+    referenced_events: frozenset[str] = field(init=False, compare=False)
+
+    def __post_init__(self) -> None:
+        predicate, names = parse_expression(self.expression)
+        object.__setattr__(self, "_predicate", predicate)
+        object.__setattr__(self, "referenced_events", names)
+
+    def matches(self, active_event_names: Iterable[str]) -> bool:
+        """Whether the active events satisfy this rule's expression."""
+        return self._predicate(frozenset(active_event_names))
+
+
+@dataclass(frozen=True, slots=True)
+class RuleMatch:
+    """A rule matched on a target at a point in time."""
+
+    rule: OperationRule
+    target: str
+    time: float
+    active_events: tuple[str, ...]
+
+    def actions(self) -> list[Action]:
+        """The rule's actions instantiated against the matched target."""
+        return [
+            Action(type=a.type, target=self.target, priority=a.priority,
+                   params=a.params, source_rule=self.rule.name)
+            for a in self.rule.actions
+        ]
+
+
+class RuleEngine:
+    """Matches operation rules against concurrently active events.
+
+    An event is *active* at time ``t`` when ``t`` lies within
+    ``[event.time, event.time + expire_interval]`` — the expiration
+    mechanism of Table II keeps event volume manageable.
+    """
+
+    def __init__(self, rules: Sequence[OperationRule] = ()) -> None:
+        self._rules: dict[str, OperationRule] = {}
+        for rule in rules:
+            self.register(rule)
+
+    def register(self, rule: OperationRule) -> None:
+        """Add or replace a rule by name."""
+        self._rules[rule.name] = rule
+
+    def rules(self) -> list[OperationRule]:
+        """All registered rules."""
+        return list(self._rules.values())
+
+    @staticmethod
+    def active_events(events: Iterable[Event], now: float) -> dict[str, set[str]]:
+        """Active event names per target at time ``now``."""
+        active: dict[str, set[str]] = {}
+        for event in events:
+            if event.time <= now <= event.expires_at:
+                active.setdefault(event.target, set()).add(event.name)
+        return active
+
+    def evaluate(self, events: Iterable[Event], now: float) -> list[RuleMatch]:
+        """All rule matches across targets at time ``now``."""
+        matches: list[RuleMatch] = []
+        for target, names in sorted(self.active_events(events, now).items()):
+            for rule in self._rules.values():
+                if rule.matches(names):
+                    matches.append(
+                        RuleMatch(rule=rule, target=target, time=now,
+                                  active_events=tuple(sorted(names)))
+                    )
+        return matches

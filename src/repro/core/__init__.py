@@ -1,0 +1,118 @@
+"""Core CDI library: the paper's primary contribution.
+
+Public surface:
+
+* :mod:`repro.core.events` — event model and catalog (Table II)
+* :mod:`repro.core.periods` — period resolution (Section IV-B)
+* :mod:`repro.core.ahp` / :mod:`repro.core.weights` — event weights
+  (Section IV-C)
+* :mod:`repro.core.indicator` — Algorithm 1 and Formula 4
+  (Section IV-D)
+* :mod:`repro.core.baselines` — Downtime Percentage, AIR, MTBF/MTTR
+* :mod:`repro.core.customer` — Customer-Perspective Indicator
+  (Section VIII-B)
+"""
+
+from repro.core.baselines import (
+    ReliabilityFigures,
+    annual_interruption_rate,
+    downtime_percentage,
+    interruption_count,
+    reliability_figures,
+)
+from repro.core.customer import (
+    DEFAULT_DISCLOSED_EVENTS,
+    CustomerPerspectiveCalculator,
+)
+from repro.core.events import (
+    Event,
+    EventCatalog,
+    EventCategory,
+    EventKind,
+    EventSpec,
+    InvalidEventError,
+    Severity,
+    default_catalog,
+)
+from repro.core.indicator import (
+    CdiCalculator,
+    CdiReport,
+    ServicePeriod,
+    WeightedInterval,
+    aggregate,
+    aggregate_reports,
+    cdi,
+    cdi_slotted,
+    damage_integral,
+    damage_integral_quantized,
+)
+from repro.core.profiles import (
+    ProfiledCdiCalculator,
+    ProfiledWeightConfig,
+    ScenarioProfile,
+    batch_compute_profile,
+    redis_profile,
+)
+from repro.core.periods import (
+    EventPeriod,
+    UnpairedPolicy,
+    dedupe_consecutive,
+    pair_stateful,
+    resolve_periods,
+    resolve_stateless,
+)
+from repro.core.weights import (
+    WeightConfig,
+    build_weight_config,
+    customer_level_weight,
+    customer_levels_from_ticket_counts,
+    expert_level_weight,
+    expert_only_config,
+    fuse_weights,
+)
+
+__all__ = [
+    "DEFAULT_DISCLOSED_EVENTS",
+    "CdiCalculator",
+    "CdiReport",
+    "CustomerPerspectiveCalculator",
+    "Event",
+    "EventCatalog",
+    "EventCategory",
+    "EventKind",
+    "EventPeriod",
+    "EventSpec",
+    "InvalidEventError",
+    "ProfiledCdiCalculator",
+    "ProfiledWeightConfig",
+    "ReliabilityFigures",
+    "ScenarioProfile",
+    "ServicePeriod",
+    "Severity",
+    "UnpairedPolicy",
+    "WeightConfig",
+    "WeightedInterval",
+    "aggregate",
+    "aggregate_reports",
+    "annual_interruption_rate",
+    "batch_compute_profile",
+    "build_weight_config",
+    "cdi",
+    "cdi_slotted",
+    "customer_level_weight",
+    "customer_levels_from_ticket_counts",
+    "damage_integral",
+    "damage_integral_quantized",
+    "dedupe_consecutive",
+    "default_catalog",
+    "downtime_percentage",
+    "expert_level_weight",
+    "expert_only_config",
+    "fuse_weights",
+    "interruption_count",
+    "pair_stateful",
+    "redis_profile",
+    "reliability_figures",
+    "resolve_periods",
+    "resolve_stateless",
+]

@@ -1,0 +1,162 @@
+"""Analytic Hierarchy Process (AHP) used to fuse weight perspectives.
+
+The paper (Section IV-C) combines the expert-perceived severity weight
+and the customer-perceived (ticket-derived) weight with proportions
+``alpha_1`` / ``alpha_2`` obtained from an AHP judgment matrix.  This
+module implements the standard AHP machinery:
+
+* reciprocal pairwise judgment matrices on the Saaty 1-9 scale,
+* priority vector via the principal eigenvector,
+* consistency index / consistency ratio validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+# Saaty's random consistency index, indexed by matrix order n (0-based
+# entries for n = 1..15).  Orders 1 and 2 are always consistent.
+_RANDOM_INDEX = (
+    0.0, 0.0, 0.58, 0.90, 1.12, 1.24, 1.32, 1.41,
+    1.45, 1.49, 1.51, 1.48, 1.56, 1.57, 1.59,
+)
+
+#: Conventional acceptance threshold for the consistency ratio.
+CONSISTENCY_THRESHOLD = 0.1
+
+
+class InconsistentJudgmentError(ValueError):
+    """Raised when a judgment matrix fails the consistency-ratio check."""
+
+
+@dataclass(frozen=True, slots=True)
+class AhpResult:
+    """Outcome of an AHP priority computation.
+
+    ``weights`` sum to 1 and follow the order of the input criteria.
+    """
+
+    weights: tuple[float, ...]
+    lambda_max: float
+    consistency_index: float
+    consistency_ratio: float
+
+    @property
+    def is_consistent(self) -> bool:
+        """Whether CR is within the conventional 0.1 threshold."""
+        return self.consistency_ratio <= CONSISTENCY_THRESHOLD
+
+
+def validate_judgment_matrix(matrix: np.ndarray, *, atol: float = 1e-9) -> None:
+    """Check that ``matrix`` is a square positive reciprocal matrix.
+
+    Raises ``ValueError`` describing the first violation found.
+    """
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"judgment matrix must be square, got {matrix.shape}")
+    if matrix.shape[0] < 1:
+        raise ValueError("judgment matrix must have at least one criterion")
+    if np.any(matrix <= 0):
+        raise ValueError("judgment matrix entries must be strictly positive")
+    if not np.allclose(np.diag(matrix), 1.0, atol=atol):
+        raise ValueError("judgment matrix diagonal must be all ones")
+    if not np.allclose(matrix * matrix.T, 1.0, atol=1e-6):
+        raise ValueError("judgment matrix must be reciprocal: a_ij * a_ji = 1")
+
+
+def priority_vector(matrix: Sequence[Sequence[float]] | np.ndarray,
+                    *, check_consistency: bool = True) -> AhpResult:
+    """Priority weights of a pairwise judgment matrix.
+
+    Uses the principal (Perron) eigenvector, normalized to sum to 1.
+    When ``check_consistency`` is set, a consistency ratio above 0.1
+    raises :class:`InconsistentJudgmentError` — the paper relies on
+    AHP's consistency check to keep expert judgments sane.
+    """
+    m = np.asarray(matrix, dtype=float)
+    validate_judgment_matrix(m)
+    n = m.shape[0]
+
+    eigenvalues, eigenvectors = np.linalg.eig(m)
+    principal = int(np.argmax(eigenvalues.real))
+    lambda_max = float(eigenvalues[principal].real)
+    vector = np.abs(eigenvectors[:, principal].real)
+    weights = vector / vector.sum()
+
+    if n <= 2:
+        ci = 0.0
+        cr = 0.0
+    else:
+        ci = (lambda_max - n) / (n - 1)
+        ri = _RANDOM_INDEX[n - 1] if n <= len(_RANDOM_INDEX) else _RANDOM_INDEX[-1]
+        cr = ci / ri
+
+    result = AhpResult(
+        weights=tuple(float(w) for w in weights),
+        lambda_max=lambda_max,
+        consistency_index=float(ci),
+        consistency_ratio=float(cr),
+    )
+    if check_consistency and not result.is_consistent:
+        raise InconsistentJudgmentError(
+            f"judgment matrix consistency ratio {cr:.3f} exceeds "
+            f"{CONSISTENCY_THRESHOLD}; revise the pairwise comparisons"
+        )
+    return result
+
+
+def judgment_matrix_from_comparisons(
+    criteria: Sequence[str],
+    comparisons: dict[tuple[str, str], float],
+) -> np.ndarray:
+    """Build a reciprocal judgment matrix from sparse comparisons.
+
+    ``comparisons[(a, b)] = 3`` means criterion ``a`` is moderately
+    more important than ``b`` on the Saaty scale.  Missing pairs
+    default to equal importance (1).  Reciprocals are filled in
+    automatically; providing both ``(a, b)`` and ``(b, a)`` with
+    non-reciprocal values raises ``ValueError``.
+    """
+    index = {name: i for i, name in enumerate(criteria)}
+    if len(index) != len(criteria):
+        raise ValueError("criteria names must be unique")
+    n = len(criteria)
+    matrix = np.ones((n, n), dtype=float)
+    for (a, b), value in comparisons.items():
+        if a not in index or b not in index:
+            raise KeyError(f"unknown criterion in comparison ({a!r}, {b!r})")
+        if value <= 0:
+            raise ValueError(f"comparison value must be positive, got {value}")
+        i, j = index[a], index[b]
+        if i == j:
+            if value != 1:
+                raise ValueError(f"self comparison of {a!r} must be 1")
+            continue
+        if (b, a) in comparisons:
+            other = comparisons[(b, a)]
+            if abs(value * other - 1.0) > 1e-9:
+                raise ValueError(
+                    f"comparisons ({a!r},{b!r})={value} and "
+                    f"({b!r},{a!r})={other} are not reciprocal"
+                )
+        matrix[i, j] = value
+        matrix[j, i] = 1.0 / value
+    return matrix
+
+
+def two_perspective_alphas(expert_vs_customer: float = 1.0) -> tuple[float, float]:
+    """Convenience AHP for the paper's two weight perspectives.
+
+    ``expert_vs_customer`` is the Saaty judgment of how much more
+    important the expert severity perspective is than the customer
+    ticket perspective.  Equal importance (the paper's Example 3 uses
+    ``alpha_1 = alpha_2 = 0.5``) is the default.
+    """
+    matrix = judgment_matrix_from_comparisons(
+        ("expert", "customer"), {("expert", "customer"): expert_vs_customer}
+    )
+    result = priority_vector(matrix)
+    return result.weights[0], result.weights[1]

@@ -1,0 +1,139 @@
+"""Baseline stability metrics the paper compares against (Section III-A).
+
+* **Downtime Percentage (DP)** — proportion of time a cloud server is
+  unavailable relative to its total service time; the traditional
+  industry metric.
+* **Annual Interruption Rate (AIR)** — Azure's frequency-based metric
+  (Levy et al., OSDI '20): interruption *occurrences* per VM-year,
+  positing that long unavailability is rare so frequency reflects
+  customer impact better than duration.
+* **MTBF / MTTR** — classical reliability figures, included for the
+  related-work comparison.
+
+All of these look only at unavailability events; they are the
+strawmen Fig. 5 contrasts with CDI, which additionally captures
+performance and control-plane damage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.events import EventCatalog, EventCategory
+from repro.core.indicator import ServicePeriod, WeightedInterval, damage_integral
+from repro.core.periods import EventPeriod
+
+SECONDS_PER_YEAR = 365.0 * 24 * 3600
+
+
+def _unavailability_periods(
+    periods: Iterable[EventPeriod], catalog: EventCatalog
+) -> list[EventPeriod]:
+    return [
+        p for p in periods
+        if catalog.category_of(p.name) is EventCategory.UNAVAILABILITY
+    ]
+
+
+def downtime_percentage(periods: Iterable[EventPeriod],
+                        service: ServicePeriod,
+                        catalog: EventCatalog) -> float:
+    """Fraction of the service period spent unavailable.
+
+    Overlapping unavailability periods are merged (a VM cannot be
+    "doubly down"), which is exactly the unit-weight damage integral.
+    """
+    intervals = [
+        WeightedInterval(p.start, p.end, 1.0, p.name)
+        for p in _unavailability_periods(periods, catalog)
+    ]
+    return damage_integral(intervals, service) / service.duration
+
+
+def interruption_count(periods: Iterable[EventPeriod],
+                       service: ServicePeriod,
+                       catalog: EventCatalog) -> int:
+    """Number of distinct unavailability occurrences in the period.
+
+    Occurrences whose periods touch or overlap are counted once —
+    a reboot that flaps in and out of reachability is one interruption
+    from the customer's point of view.
+    """
+    spans = sorted(
+        (max(p.start, service.start), min(p.end, service.end))
+        for p in _unavailability_periods(periods, catalog)
+        if p.end > service.start and p.start < service.end
+    )
+    count = 0
+    current_end = float("-inf")
+    for start, end in spans:
+        if start > current_end:
+            count += 1
+            current_end = end
+        else:
+            current_end = max(current_end, end)
+    return count
+
+
+def annual_interruption_rate(
+    vms: Iterable[tuple[Sequence[EventPeriod], ServicePeriod]],
+    catalog: EventCatalog,
+) -> float:
+    """AIR: interruption occurrences per 100 VM-years of service.
+
+    The conventional presentation scales to "interruptions a customer
+    running 100 VMs for a year would observe".
+    """
+    interruptions = 0
+    service_seconds = 0.0
+    for periods, service in vms:
+        interruptions += interruption_count(periods, service, catalog)
+        service_seconds += service.duration
+    if service_seconds == 0.0:
+        return 0.0
+    vm_years = service_seconds / SECONDS_PER_YEAR
+    return interruptions / vm_years * 100.0 if vm_years else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class ReliabilityFigures:
+    """MTBF / MTTR / availability for a set of VMs (seconds)."""
+
+    mtbf: float
+    mttr: float
+
+    @property
+    def availability(self) -> float:
+        """Classical availability = MTBF / (MTBF + MTTR)."""
+        denominator = self.mtbf + self.mttr
+        if denominator == 0.0:
+            return 1.0
+        return self.mtbf / denominator
+
+
+def reliability_figures(
+    vms: Iterable[tuple[Sequence[EventPeriod], ServicePeriod]],
+    catalog: EventCatalog,
+) -> ReliabilityFigures:
+    """MTBF and MTTR over a collection of VMs.
+
+    MTTR is mean unavailability duration per failure; MTBF is mean
+    *up* time between failures.  With zero failures both are infinite;
+    we report MTBF = total uptime and MTTR = 0 in that case.
+    """
+    failures = 0
+    down_seconds = 0.0
+    total_seconds = 0.0
+    for periods, service in vms:
+        failures += interruption_count(periods, service, catalog)
+        down_seconds += (
+            downtime_percentage(periods, service, catalog) * service.duration
+        )
+        total_seconds += service.duration
+    up_seconds = total_seconds - down_seconds
+    if failures == 0:
+        return ReliabilityFigures(mtbf=up_seconds, mttr=0.0)
+    return ReliabilityFigures(
+        mtbf=up_seconds / failures, mttr=down_seconds / failures
+    )

@@ -1,0 +1,72 @@
+"""Customer-Perspective Indicator (paper Section VIII-B, future work).
+
+ECS instance health diagnosis discloses a *subset* of system events to
+customers.  The Customer-Perspective Indicator reuses the exact CDI
+framework but restricts the input to that disclosed subset, producing
+a stability figure a customer could compute for their own fleet.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.events import EventCatalog
+from repro.core.indicator import (
+    CdiCalculator,
+    CdiReport,
+    ServicePeriod,
+    aggregate_reports,
+)
+from repro.core.periods import EventPeriod
+from repro.core.weights import WeightConfig
+
+#: Default event subset disclosed through instance health diagnosis.
+#: Infrastructure-internal events (NC-level, power, scheduling) stay
+#: hidden; customer-visible symptoms are disclosed.
+DEFAULT_DISCLOSED_EVENTS = frozenset({
+    "vm_down",
+    "vm_hang",
+    "slow_io",
+    "packet_loss",
+    "nic_flapping",
+    "vm_start_failed",
+    "vm_stop_failed",
+    "vm_release_failed",
+    "vm_resize_failed",
+})
+
+
+class CustomerPerspectiveCalculator:
+    """CDI restricted to the customer-disclosed event subset."""
+
+    def __init__(self, catalog: EventCatalog, weights: WeightConfig,
+                 disclosed: Iterable[str] = DEFAULT_DISCLOSED_EVENTS) -> None:
+        self._disclosed = frozenset(disclosed)
+        unknown = [name for name in self._disclosed if name not in catalog]
+        if unknown:
+            raise KeyError(f"disclosed events not in catalog: {sorted(unknown)}")
+        self._inner = CdiCalculator(catalog, weights)
+
+    @property
+    def disclosed(self) -> frozenset[str]:
+        """Event names visible to the customer."""
+        return self._disclosed
+
+    def filter_periods(self, periods: Iterable[EventPeriod]) -> list[EventPeriod]:
+        """Drop event periods the customer cannot see."""
+        return [p for p in periods if p.name in self._disclosed]
+
+    def vm_report(self, periods: Iterable[EventPeriod],
+                  service: ServicePeriod) -> CdiReport:
+        """Customer-visible sub-metrics of one VM."""
+        return self._inner.vm_report(self.filter_periods(periods), service)
+
+    def fleet_report(
+        self,
+        vms: Mapping[str, tuple[Sequence[EventPeriod], ServicePeriod]],
+    ) -> CdiReport:
+        """Formula 4 aggregation over the customer's VMs."""
+        reports = [
+            self.vm_report(periods, service) for periods, service in vms.values()
+        ]
+        return aggregate_reports(reports)

@@ -1,0 +1,291 @@
+"""Event model for the Comprehensive Damage Indicator (CDI).
+
+Events are the interpretable intermediate representation produced by
+CloudBot's Event Extractor (paper Section II-C, Table II).  An event
+describes an anomalous objective phenomenon on a target (a VM or a
+physical machine) and carries:
+
+* ``name`` — interpretable name, e.g. ``slow_io``
+* ``time`` — timestamp when the event was extracted (seconds)
+* ``target`` — target identifier, e.g. a VM id
+* ``expire_interval`` — seconds between extraction and expiration
+* ``level`` — severity level (fatal, critical, warning, ...)
+
+The CDI computation (Section IV) consumes events reduced to weighted
+intervals ``e = (t_s, t_e, w)``; that reduction lives in
+:mod:`repro.core.periods` and :mod:`repro.core.weights`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
+
+
+class EventCategory(enum.Enum):
+    """The three stability-issue categories of Definition 1.
+
+    * ``UNAVAILABILITY`` — the VM is completely unable to provide
+      computational services (crash, stall).
+    * ``PERFORMANCE`` — the VM is available but performs below
+      expectations (slow cloud-disk IO, packet loss, ...).
+    * ``CONTROL_PLANE`` — control operations on the VM fail (start,
+      stop, release, resize).
+    """
+
+    UNAVAILABILITY = "unavailability"
+    PERFORMANCE = "performance"
+    CONTROL_PLANE = "control_plane"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class Severity(enum.IntEnum):
+    """Expert-assigned severity levels in increasing order.
+
+    The paper (Section IV-C) assumes ``m`` levels of increasing
+    severity; the integer value of each member is its 1-based rank
+    ``i`` so the expert weight is ``i / m`` (Formula 1).
+    """
+
+    INFO = 1
+    WARNING = 2
+    CRITICAL = 3
+    FATAL = 4
+
+    @classmethod
+    def count(cls) -> int:
+        """Number of defined severity levels (``m`` in Formula 1)."""
+        return len(cls)
+
+    @property
+    def rank(self) -> int:
+        """1-based severity rank ``i``."""
+        return int(self)
+
+
+class EventKind(enum.Enum):
+    """Period semantics of an event name (Section IV-B).
+
+    * ``STATELESS`` — a single event represents one complete issue;
+      its period is derived from a duration or detection window.
+    * ``STATEFUL`` — the issue is represented by paired detail events
+      (e.g. ``ddos_blackhole_add`` / ``ddos_blackhole_del``).
+    """
+
+    STATELESS = "stateless"
+    STATEFUL = "stateful"
+
+
+class InvalidEventError(ValueError):
+    """Raised when an event violates basic field constraints."""
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """A raw extracted event (paper Table II).
+
+    ``attributes`` carries extractor-specific extras, e.g. a measured
+    ``duration`` in seconds for events whose logs record the impact
+    duration precisely (like ``qemu_live_upgrade``).
+    """
+
+    name: str
+    time: float
+    target: str
+    expire_interval: float = 3600.0
+    level: Severity = Severity.WARNING
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InvalidEventError("event name must be non-empty")
+        if not self.target:
+            raise InvalidEventError("event target must be non-empty")
+        if self.expire_interval < 0:
+            raise InvalidEventError(
+                f"expire_interval must be >= 0, got {self.expire_interval}"
+            )
+
+    @property
+    def expires_at(self) -> float:
+        """Timestamp after which the event is no longer considered."""
+        return self.time + self.expire_interval
+
+    def is_expired(self, now: float) -> bool:
+        """Whether the event has expired at time ``now``."""
+        return now > self.expires_at
+
+    def duration_hint(self) -> float | None:
+        """Measured impact duration attached by the extractor, if any."""
+        value = self.attributes.get("duration")
+        return float(value) if value is not None else None
+
+
+@dataclass(frozen=True, slots=True)
+class EventSpec:
+    """Catalog entry describing the semantics of one event name.
+
+    Parameters mirror Section IV-B:
+
+    * stateless events either carry a measured duration per event or
+      fall back to ``window`` (the detection window, e.g. 60 s);
+    * stateful events name their paired detail events via
+      ``start_name`` / ``end_name``.
+    """
+
+    name: str
+    category: EventCategory
+    kind: EventKind = EventKind.STATELESS
+    window: float = 60.0
+    default_level: Severity = Severity.WARNING
+    expire_interval: float = 3600.0
+    start_name: str | None = None
+    end_name: str | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind is EventKind.STATEFUL:
+            if not (self.start_name and self.end_name):
+                raise InvalidEventError(
+                    f"stateful event {self.name!r} needs start_name and end_name"
+                )
+        if self.window <= 0:
+            raise InvalidEventError(
+                f"window must be > 0 for {self.name!r}, got {self.window}"
+            )
+
+
+class EventCatalog:
+    """Registry of event specs keyed by event name.
+
+    The catalog resolves both logical names (``ddos_blackhole``) and
+    detail names (``ddos_blackhole_add``) so the period resolver can
+    group raw detail events under their logical stateful event.
+    """
+
+    def __init__(self, specs: Iterable[EventSpec] = ()) -> None:
+        self._specs: dict[str, EventSpec] = {}
+        self._detail_to_logical: dict[str, str] = {}
+        for spec in specs:
+            self.register(spec)
+
+    def register(self, spec: EventSpec) -> None:
+        """Add ``spec``; re-registering a name replaces the old spec."""
+        old = self._specs.get(spec.name)
+        if old is not None and old.kind is EventKind.STATEFUL:
+            self._detail_to_logical.pop(old.start_name, None)
+            self._detail_to_logical.pop(old.end_name, None)
+        self._specs[spec.name] = spec
+        if spec.kind is EventKind.STATEFUL:
+            assert spec.start_name and spec.end_name
+            self._detail_to_logical[spec.start_name] = spec.name
+            self._detail_to_logical[spec.end_name] = spec.name
+
+    def get(self, name: str) -> EventSpec:
+        """Spec for ``name``; raises ``KeyError`` for unknown names."""
+        return self._specs[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[EventSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def names(self) -> list[str]:
+        """All registered logical event names."""
+        return list(self._specs)
+
+    def logical_name(self, raw_name: str) -> str | None:
+        """Logical event name for a raw event name.
+
+        For a detail event name (``ddos_blackhole_add``) this is the
+        owning stateful name; for a registered logical name it is the
+        name itself; otherwise ``None``.
+        """
+        if raw_name in self._specs:
+            return raw_name
+        return self._detail_to_logical.get(raw_name)
+
+    def category_of(self, raw_name: str) -> EventCategory | None:
+        """Category of a raw event name, resolving detail names."""
+        logical = self.logical_name(raw_name)
+        if logical is None:
+            return None
+        return self._specs[logical].category
+
+    def by_category(self, category: EventCategory) -> list[EventSpec]:
+        """All specs belonging to ``category``."""
+        return [s for s in self._specs.values() if s.category is category]
+
+
+def default_catalog() -> EventCatalog:
+    """The event catalog used throughout the paper's examples.
+
+    Covers every event name mentioned in the paper plus the synthetic
+    events produced by the telemetry simulator.  Durations are the
+    detection windows discussed in Section IV-B (most metric-driven
+    events use a one-minute window).
+    """
+    minute = 60.0
+    c = EventCategory
+    s = Severity
+    specs = [
+        # --- unavailability -------------------------------------------------
+        EventSpec("vm_down", c.UNAVAILABILITY, window=minute,
+                  default_level=s.FATAL, description="VM crashed"),
+        EventSpec("vm_hang", c.UNAVAILABILITY, window=minute,
+                  default_level=s.FATAL, description="VM stalled"),
+        EventSpec("nc_down", c.UNAVAILABILITY, window=minute,
+                  default_level=s.FATAL, description="host NC failure"),
+        EventSpec("qemu_live_upgrade", c.UNAVAILABILITY, window=0.2,
+                  default_level=s.WARNING,
+                  description="live QEMU upgrade; logs record exact ms"),
+        EventSpec("ddos_blackhole", c.UNAVAILABILITY, kind=EventKind.STATEFUL,
+                  start_name="ddos_blackhole_add", end_name="ddos_blackhole_del",
+                  default_level=s.FATAL,
+                  description="traffic blackholed during DDoS mitigation"),
+        # --- performance ----------------------------------------------------
+        EventSpec("slow_io", c.PERFORMANCE, window=minute,
+                  default_level=s.CRITICAL,
+                  description="cloud-disk read latency over threshold"),
+        EventSpec("packet_loss", c.PERFORMANCE, window=minute,
+                  default_level=s.WARNING, description="network packet loss"),
+        EventSpec("vcpu_high", c.PERFORMANCE, window=minute,
+                  default_level=s.CRITICAL, description="vCPU steal/contention"),
+        EventSpec("nic_flapping", c.PERFORMANCE, window=minute,
+                  default_level=s.CRITICAL, description="NIC link up/down"),
+        EventSpec("gpu_drop", c.PERFORMANCE, window=minute,
+                  default_level=s.FATAL, description="GPU dropped from bus"),
+        EventSpec("mem_bandwidth_low", c.PERFORMANCE, window=minute,
+                  default_level=s.WARNING, description="memory bandwidth drop"),
+        EventSpec("cpu_freq_capped", c.PERFORMANCE, window=minute,
+                  default_level=s.WARNING, description="TDP frequency capping"),
+        EventSpec("inspect_cpu_power_tdp", c.PERFORMANCE, window=minute,
+                  default_level=s.WARNING,
+                  description="CPU power near/over TDP (Case 7)"),
+        EventSpec("vm_allocation_failed", c.PERFORMANCE, window=minute,
+                  default_level=s.CRITICAL,
+                  description="VM got fewer exclusive cores than requested"),
+        # --- control plane --------------------------------------------------
+        EventSpec("vm_start_failed", c.CONTROL_PLANE, window=minute,
+                  default_level=s.CRITICAL, description="VM start API failed"),
+        EventSpec("vm_stop_failed", c.CONTROL_PLANE, window=minute,
+                  default_level=s.CRITICAL, description="VM stop API failed"),
+        EventSpec("vm_release_failed", c.CONTROL_PLANE, window=minute,
+                  default_level=s.CRITICAL, description="VM release API failed"),
+        EventSpec("vm_resize_failed", c.CONTROL_PLANE, window=minute,
+                  default_level=s.WARNING, description="VM resize API failed"),
+        EventSpec("console_unreachable", c.CONTROL_PLANE, window=minute,
+                  default_level=s.CRITICAL, description="console login failure"),
+        EventSpec("api_error", c.CONTROL_PLANE, window=minute,
+                  default_level=s.CRITICAL, description="management API error"),
+        EventSpec("monitoring_lost", c.CONTROL_PLANE, window=minute,
+                  default_level=s.WARNING, description="metric stream lost"),
+    ]
+    return EventCatalog(specs)

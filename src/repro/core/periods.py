@@ -1,0 +1,203 @@
+"""Event period resolution (paper Section IV-B, Example 2).
+
+The CDI computation consumes *weighted intervals* ``(t_s, t_e, w)``.
+This module derives the ``(t_s, t_e)`` part from raw extracted events:
+
+* **Stateless** events represent one complete issue each.  The event
+  timestamp is the end time; the start time is traced backward by the
+  measured duration (when the extractor attached one) or by the
+  detection window of the event name.
+* **Stateful** events are reconstructed from paired detail events
+  (``*_add`` / ``*_del``).  Consecutive duplicates keep only the
+  earliest occurrence, and each start is paired with the nearest
+  subsequent end (Example 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.events import Event, EventCatalog, EventKind, EventSpec, Severity
+
+
+@dataclass(frozen=True, slots=True)
+class EventPeriod:
+    """A resolved event occurrence with explicit start/end times.
+
+    This is the ``e = (t_s, t_e, ·)`` representation of Section IV-A
+    before a weight is attached; ``name``/``target``/``level`` are kept
+    so the weight resolver and drill-down views can key off them.
+    """
+
+    name: str
+    target: str
+    start: float
+    end: float
+    level: Severity = Severity.WARNING
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"event period ends before it starts: [{self.start}, {self.end}]"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Length of the period in seconds."""
+        return self.end - self.start
+
+    def overlaps(self, other: "EventPeriod") -> bool:
+        """Whether two periods share a segment of positive length."""
+        return self.start < other.end and other.start < self.end
+
+
+class UnpairedPolicy:
+    """How to treat a stateful start event with no matching end.
+
+    * ``DROP`` — discard the open occurrence (strictest; dirty data).
+    * ``CLIP`` — close the occurrence at the observation horizon,
+      which matches production behaviour where an issue that is still
+      open at the end of the daily window counts up to the window end.
+    """
+
+    DROP = "drop"
+    CLIP = "clip"
+
+
+def resolve_stateless(event: Event, spec: EventSpec) -> EventPeriod:
+    """Period of a stateless event (Section IV-B1).
+
+    The event's timestamp is its end time.  The start time is traced
+    backward by the measured duration when present (e.g.
+    ``qemu_live_upgrade`` logs record the impact in milliseconds) and
+    by the spec's detection window otherwise (e.g. ``slow_io`` with a
+    one-minute window).
+    """
+    duration = event.duration_hint()
+    if duration is None:
+        duration = spec.window
+    if duration < 0:
+        raise ValueError(f"negative duration {duration} on event {event.name!r}")
+    return EventPeriod(
+        name=event.name,
+        target=event.target,
+        start=event.time - duration,
+        end=event.time,
+        level=event.level,
+    )
+
+
+def dedupe_consecutive(events: Sequence[Event]) -> list[Event]:
+    """Keep only the earliest of consecutive same-name occurrences.
+
+    Mitigates dirty data in stateful detail streams (Section IV-B2):
+    among all consecutive occurrences of the same detail event, only
+    the earliest timestamp is preserved, ensuring every start event can
+    be paired with a unique end event.
+
+    ``events`` must belong to a single (target, logical event) stream
+    and be sorted by time.
+    """
+    kept: list[Event] = []
+    for event in events:
+        if kept and kept[-1].name == event.name:
+            continue
+        kept.append(event)
+    return kept
+
+
+def pair_stateful(
+    events: Sequence[Event],
+    spec: EventSpec,
+    *,
+    horizon: float | None = None,
+    unpaired: str = UnpairedPolicy.CLIP,
+) -> list[EventPeriod]:
+    """Reconstruct stateful event periods from detail events.
+
+    ``events`` are raw detail events (mixed ``start_name`` and
+    ``end_name`` occurrences) for a single target.  They are sorted,
+    deduplicated, and each start is paired with the nearest subsequent
+    end (Example 2).  A leading end with no prior start is dropped as
+    dirty data.  A trailing open start follows ``unpaired``: clipped to
+    ``horizon`` or dropped.
+    """
+    if spec.kind is not EventKind.STATEFUL:
+        raise ValueError(f"{spec.name!r} is not a stateful event spec")
+    relevant = [e for e in events if e.name in (spec.start_name, spec.end_name)]
+    relevant.sort(key=lambda e: (e.time, e.name != spec.start_name))
+    relevant = dedupe_consecutive(relevant)
+
+    periods: list[EventPeriod] = []
+    open_start: Event | None = None
+    for event in relevant:
+        if event.name == spec.start_name:
+            # dedupe_consecutive guarantees alternation, so a start here
+            # always finds open_start is None.
+            open_start = event
+        else:
+            if open_start is None:
+                continue  # end without start: dirty data, drop
+            periods.append(
+                EventPeriod(
+                    name=spec.name,
+                    target=event.target,
+                    start=open_start.time,
+                    end=event.time,
+                    level=open_start.level,
+                )
+            )
+            open_start = None
+
+    if open_start is not None and unpaired == UnpairedPolicy.CLIP:
+        end = horizon if horizon is not None else open_start.time
+        if end >= open_start.time:
+            periods.append(
+                EventPeriod(
+                    name=spec.name,
+                    target=open_start.target,
+                    start=open_start.time,
+                    end=end,
+                    level=open_start.level,
+                )
+            )
+    return periods
+
+
+def resolve_periods(
+    events: Iterable[Event],
+    catalog: EventCatalog,
+    *,
+    horizon: float | None = None,
+    unpaired: str = UnpairedPolicy.CLIP,
+    strict: bool = False,
+) -> list[EventPeriod]:
+    """Resolve a mixed raw event stream into event periods.
+
+    Stateless events map one-to-one; stateful detail events are grouped
+    per (target, logical name) and paired.  Unknown event names are
+    skipped unless ``strict`` is true.
+    """
+    stateless: list[EventPeriod] = []
+    stateful_groups: dict[tuple[str, str], list[Event]] = {}
+    for event in events:
+        logical = catalog.logical_name(event.name)
+        if logical is None:
+            if strict:
+                raise KeyError(f"unknown event name {event.name!r}")
+            continue
+        spec = catalog.get(logical)
+        if spec.kind is EventKind.STATELESS:
+            stateless.append(resolve_stateless(event, spec))
+        else:
+            stateful_groups.setdefault((event.target, logical), []).append(event)
+
+    periods = stateless
+    for (_, logical), group in stateful_groups.items():
+        spec = catalog.get(logical)
+        periods.extend(
+            pair_stateful(group, spec, horizon=horizon, unpaired=unpaired)
+        )
+    periods.sort(key=lambda p: (p.target, p.start, p.end, p.name))
+    return periods

@@ -1,0 +1,150 @@
+"""Business-scenario profiles (paper Section VIII-A, generality).
+
+The CDI's events are designed for generic use but "can be customized
+for particular scenarios via configuration adjustment" — the paper's
+example: Redis instances are network-sensitive, so their network
+events deserve a higher warning level.  A :class:`ScenarioProfile`
+captures such adjustments declaratively:
+
+* per-event severity overrides (raise ``packet_loss`` to CRITICAL for
+  latency-sensitive workloads);
+* per-event weight multipliers (bounded to keep weights in (0, 1]);
+* event exclusions (a batch workload may not care about
+  ``console_unreachable`` at all).
+
+Profiles wrap a base :class:`~repro.core.weights.WeightConfig` and the
+period stream, so the same CDI machinery evaluates any workload type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.events import EventCatalog, EventCategory, Severity
+from repro.core.indicator import CdiCalculator, CdiReport, ServicePeriod
+from repro.core.periods import EventPeriod
+from repro.core.weights import WeightConfig
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioProfile:
+    """Declarative per-workload event customization."""
+
+    name: str
+    severity_overrides: Mapping[str, Severity] = field(default_factory=dict)
+    weight_multipliers: Mapping[str, float] = field(default_factory=dict)
+    excluded_events: frozenset[str] = frozenset()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        for event, multiplier in self.weight_multipliers.items():
+            if multiplier <= 0:
+                raise ValueError(
+                    f"weight multiplier for {event!r} must be > 0, "
+                    f"got {multiplier}"
+                )
+
+    def validate_against(self, catalog: EventCatalog) -> None:
+        """Ensure every referenced event name exists in the catalog."""
+        referenced = (
+            set(self.severity_overrides)
+            | set(self.weight_multipliers)
+            | set(self.excluded_events)
+        )
+        unknown = sorted(
+            name for name in referenced if catalog.logical_name(name) is None
+        )
+        if unknown:
+            raise KeyError(
+                f"profile {self.name!r} references unknown events: {unknown}"
+            )
+
+    def adjust_period(self, period: EventPeriod) -> EventPeriod | None:
+        """Apply exclusions and severity overrides to one period."""
+        if period.name in self.excluded_events:
+            return None
+        override = self.severity_overrides.get(period.name)
+        if override is None or override is period.level:
+            return period
+        return EventPeriod(name=period.name, target=period.target,
+                           start=period.start, end=period.end,
+                           level=override)
+
+
+class ProfiledWeightConfig(WeightConfig):
+    """A weight config with per-event profile multipliers applied.
+
+    Multiplied weights are clamped to (0, 1] so Algorithm 1's weight
+    invariant holds regardless of profile configuration.
+    """
+
+    # WeightConfig is a frozen slots dataclass; subclass with its own
+    # storage for the profile.
+    def __init__(self, base: WeightConfig, profile: ScenarioProfile) -> None:
+        super().__init__(
+            alpha_expert=base.alpha_expert,
+            alpha_customer=base.alpha_customer,
+            expert_levels=base.expert_levels,
+            customer_levels=base.customer_levels,
+            customer_level_by_name=base.customer_level_by_name,
+            unavailability_full_weight=base.unavailability_full_weight,
+        )
+        object.__setattr__(self, "_profile", profile)
+
+    def resolve(self, name: str, level: Severity,
+                category: EventCategory | None = None) -> float:
+        weight = super().resolve(name, level, category)
+        multiplier = self._profile.weight_multipliers.get(name)
+        if multiplier is None:
+            return weight
+        return min(1.0, weight * multiplier)
+
+
+class ProfiledCdiCalculator:
+    """CDI evaluation under a scenario profile."""
+
+    def __init__(self, catalog: EventCatalog, weights: WeightConfig,
+                 profile: ScenarioProfile) -> None:
+        profile.validate_against(catalog)
+        self.profile = profile
+        self._inner = CdiCalculator(
+            catalog, ProfiledWeightConfig(weights, profile)
+        )
+
+    def vm_report(self, periods: Iterable[EventPeriod],
+                  service: ServicePeriod) -> CdiReport:
+        """Sub-metrics of one VM with profile adjustments applied."""
+        adjusted = [
+            adjusted_period
+            for period in periods
+            if (adjusted_period := self.profile.adjust_period(period))
+            is not None
+        ]
+        return self._inner.vm_report(adjusted, service)
+
+
+def redis_profile() -> ScenarioProfile:
+    """The paper's worked example: network-sensitive Redis instances."""
+    return ScenarioProfile(
+        name="redis",
+        severity_overrides={
+            "packet_loss": Severity.CRITICAL,
+            "nic_flapping": Severity.FATAL,
+        },
+        weight_multipliers={"packet_loss": 1.5, "nic_flapping": 1.3},
+        description="latency-sensitive in-memory store: network "
+                    "fluctuations hit hard",
+    )
+
+
+def batch_compute_profile() -> ScenarioProfile:
+    """A throughput-oriented batch workload: latency blips are noise."""
+    return ScenarioProfile(
+        name="batch_compute",
+        severity_overrides={"packet_loss": Severity.INFO},
+        weight_multipliers={"slow_io": 0.5},
+        excluded_events=frozenset({"console_unreachable"}),
+        description="interruptible batch compute: only sustained damage "
+                    "matters",
+    )

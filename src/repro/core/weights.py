@@ -1,0 +1,200 @@
+"""Event weight assignment (paper Section IV-C, Example 3).
+
+Every event occurrence is assigned a weight ``w in (0, 1]`` expressing
+its severity:
+
+* the **expert** perspective maps the event's severity level to
+  ``l_i = i / m`` over ``m`` increasing levels (Formula 1);
+* the **customer** perspective ranks event names by the number of
+  related complaint tickets over the previous year and distributes
+  them proportionately into ``n`` levels, the ``j``-th weighing
+  ``p_j = j / n`` (Formula 2);
+* the two are fused with AHP proportions ``alpha_1, alpha_2``:
+  ``w = (alpha_1 * l_i + alpha_2 * p_j) / (alpha_1 + alpha_2)``
+  (Formula 3).
+
+Unavailability events always weigh 1.0 — when a VM is down it is
+completely unable to provide computing services, so there is no
+severity gradation to express (Section IV-C opening paragraph).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.ahp import two_perspective_alphas
+from repro.core.events import EventCategory, Severity
+
+
+def expert_level_weight(rank: int, levels: int) -> float:
+    """Formula 1: ``l_i = i / m`` for the ``i``-th of ``m`` levels."""
+    if not 1 <= rank <= levels:
+        raise ValueError(f"expert rank {rank} out of range 1..{levels}")
+    return rank / levels
+
+
+def customer_level_weight(rank: int, levels: int) -> float:
+    """Formula 2: ``p_j = j / n`` for the ``j``-th of ``n`` levels."""
+    if not 1 <= rank <= levels:
+        raise ValueError(f"customer rank {rank} out of range 1..{levels}")
+    return rank / levels
+
+
+def fuse_weights(expert: float, customer: float,
+                 alpha_expert: float, alpha_customer: float) -> float:
+    """Formula 3: AHP-weighted mean of the two perspective weights."""
+    if alpha_expert < 0 or alpha_customer < 0:
+        raise ValueError("alpha proportions must be non-negative")
+    total = alpha_expert + alpha_customer
+    if total <= 0:
+        raise ValueError("alpha proportions must not both be zero")
+    return (alpha_expert * expert + alpha_customer * customer) / total
+
+
+def customer_levels_from_ticket_counts(
+    ticket_counts: Mapping[str, int], levels: int
+) -> dict[str, int]:
+    """Assign each event name a customer level from ticket counts.
+
+    Event names are ranked by ascending related-ticket count and
+    proportionately distributed into ``levels`` buckets by ranking
+    position (Section IV-C): the lowest-complained-about names land in
+    level 1, the most complained-about in level ``levels``.  Ties are
+    broken by name for determinism.
+
+    In Example 3 an event whose ticket count is higher than 43% of all
+    events (i.e. at relative rank position 0.43) falls into the second
+    of four levels; this function reproduces that bucketing via
+    ``ceil(position * levels)``.
+    """
+    if levels < 1:
+        raise ValueError(f"levels must be >= 1, got {levels}")
+    for name, count in ticket_counts.items():
+        if count < 0:
+            raise ValueError(f"negative ticket count for {name!r}: {count}")
+    ordered = sorted(ticket_counts, key=lambda name: (ticket_counts[name], name))
+    total = len(ordered)
+    assignment: dict[str, int] = {}
+    for position, name in enumerate(ordered, start=1):
+        fraction = position / total
+        assignment[name] = max(1, math.ceil(fraction * levels))
+    return assignment
+
+
+@dataclass(frozen=True, slots=True)
+class WeightConfig:
+    """Resolved per-(event name, severity) weights.
+
+    Built once per day from the ticket statistics and the AHP alphas
+    (see :func:`build_weight_config`) and persisted in the config DB so
+    the daily pipeline is reproducible.  ``resolve`` falls back to the
+    expert-only weight when an event name has no customer level (e.g.
+    brand-new events with no ticket history yet).
+    """
+
+    alpha_expert: float
+    alpha_customer: float
+    expert_levels: int
+    customer_levels: int
+    customer_level_by_name: Mapping[str, int] = field(default_factory=dict)
+    unavailability_full_weight: bool = True
+
+    def expert_weight(self, level: Severity) -> float:
+        """Formula 1 weight of an expert severity level."""
+        return expert_level_weight(level.rank, self.expert_levels)
+
+    def customer_weight(self, name: str) -> float | None:
+        """Formula 2 weight of an event name, if it has ticket history."""
+        rank = self.customer_level_by_name.get(name)
+        if rank is None:
+            return None
+        return customer_level_weight(rank, self.customer_levels)
+
+    def resolve(self, name: str, level: Severity,
+                category: EventCategory | None = None) -> float:
+        """Final fused weight of one event occurrence (Formula 3)."""
+        if (
+            self.unavailability_full_weight
+            and category is EventCategory.UNAVAILABILITY
+        ):
+            return 1.0
+        expert = self.expert_weight(level)
+        customer = self.customer_weight(name)
+        if customer is None:
+            return expert
+        return fuse_weights(expert, customer, self.alpha_expert, self.alpha_customer)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form for the config DB (paper Fig. 4)."""
+        return {
+            "alpha_expert": self.alpha_expert,
+            "alpha_customer": self.alpha_customer,
+            "expert_levels": self.expert_levels,
+            "customer_levels": self.customer_levels,
+            "customer_level_by_name": dict(self.customer_level_by_name),
+            "unavailability_full_weight": self.unavailability_full_weight,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "WeightConfig":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            alpha_expert=float(data["alpha_expert"]),
+            alpha_customer=float(data["alpha_customer"]),
+            expert_levels=int(data["expert_levels"]),
+            customer_levels=int(data["customer_levels"]),
+            customer_level_by_name={
+                str(k): int(v)
+                for k, v in data.get("customer_level_by_name", {}).items()
+            },
+            unavailability_full_weight=bool(
+                data.get("unavailability_full_weight", True)
+            ),
+        )
+
+
+def build_weight_config(
+    ticket_counts: Mapping[str, int],
+    *,
+    expert_levels: int = Severity.count(),
+    customer_levels: int = 4,
+    expert_vs_customer: float = 1.0,
+    unavailability_full_weight: bool = True,
+) -> WeightConfig:
+    """Build a :class:`WeightConfig` from last year's ticket statistics.
+
+    ``expert_vs_customer`` is the AHP pairwise judgment between the two
+    perspectives (1.0 reproduces the paper's equal alphas of 0.5).
+    """
+    alpha_expert, alpha_customer = two_perspective_alphas(expert_vs_customer)
+    customer_level_by_name = customer_levels_from_ticket_counts(
+        ticket_counts, customer_levels
+    )
+    return WeightConfig(
+        alpha_expert=alpha_expert,
+        alpha_customer=alpha_customer,
+        expert_levels=expert_levels,
+        customer_levels=customer_levels,
+        customer_level_by_name=customer_level_by_name,
+        unavailability_full_weight=unavailability_full_weight,
+    )
+
+
+def expert_only_config(
+    *, expert_levels: int = Severity.count(),
+    unavailability_full_weight: bool = True,
+) -> WeightConfig:
+    """A config that ignores the customer perspective entirely.
+
+    Used by the weight-perspective ablation benchmark.
+    """
+    return WeightConfig(
+        alpha_expert=1.0,
+        alpha_customer=0.0,
+        expert_levels=expert_levels,
+        customer_levels=1,
+        customer_level_by_name={},
+        unavailability_full_weight=unavailability_full_weight,
+    )

@@ -1,0 +1,45 @@
+"""Miniature DAG-scheduled dataset engine (Apache Spark stand-in).
+
+The paper computes CDI daily with a Spark application over ~10 GB of
+events (Section V).  This package provides the equivalent substrate:
+
+* :class:`EngineContext` / :class:`Dataset` — lazy partitioned
+  collections with narrow (map/filter/flat_map) and wide
+  (group_by_key/reduce_by_key/join/distinct/sort) operations;
+* :class:`LocalExecutor` — thread-pool scheduling with task retries,
+  failure injection, and per-task metrics;
+* :mod:`repro.engine.plan` — the logical plan node DAG.
+"""
+
+from repro.engine.dataset import Dataset, EngineContext
+from repro.engine.executor import (
+    JobMetrics,
+    LocalExecutor,
+    TaskFailedError,
+    TaskMetrics,
+)
+from repro.engine.plan import (
+    GatherNode,
+    NarrowNode,
+    PlanNode,
+    ShuffleNode,
+    SourceNode,
+    UnionNode,
+    stage_boundaries,
+)
+
+__all__ = [
+    "Dataset",
+    "EngineContext",
+    "GatherNode",
+    "JobMetrics",
+    "LocalExecutor",
+    "NarrowNode",
+    "PlanNode",
+    "ShuffleNode",
+    "SourceNode",
+    "TaskFailedError",
+    "TaskMetrics",
+    "UnionNode",
+    "stage_boundaries",
+]

@@ -1,0 +1,393 @@
+"""User-facing dataset API of the miniature engine.
+
+Mirrors the subset of the Spark RDD API the paper's daily CDI job
+needs: lazy transformations over partitioned collections, key/value
+wide operations, and materializing actions.
+
+Example::
+
+    ctx = EngineContext(parallelism=4)
+    events = ctx.parallelize(rows)
+    per_vm = (
+        events.key_by(lambda row: row["vm"])
+              .group_by_key()
+              .map_values(compute_report)
+              .collect()
+    )
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Hashable, Iterable, Iterator, Sequence, TypeVar
+
+from repro.engine.executor import JobMetrics, LocalExecutor
+from repro.engine.plan import (
+    GatherNode,
+    NarrowNode,
+    PlanNode,
+    ShuffleNode,
+    SourceNode,
+    UnionNode,
+)
+
+T = TypeVar("T")
+U = TypeVar("U")
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+def _chunk(data: Sequence[Any], parts: int) -> list[list[Any]]:
+    """Split ``data`` into ``parts`` balanced contiguous chunks."""
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    length = len(data)
+    chunks: list[list[Any]] = []
+    base, extra = divmod(length, parts)
+    cursor = 0
+    for index in range(parts):
+        size = base + (1 if index < extra else 0)
+        chunks.append(list(data[cursor:cursor + size]))
+        cursor += size
+    return chunks
+
+
+class EngineContext:
+    """Entry point, analogous to a SparkContext.
+
+    ``parallelism`` is the default partition count for new datasets and
+    the thread-pool width of the bundled executor.
+    """
+
+    def __init__(self, parallelism: int = 4,
+                 executor: LocalExecutor | None = None) -> None:
+        if parallelism < 1:
+            raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+        self.parallelism = parallelism
+        self.executor = executor or LocalExecutor(max_workers=parallelism)
+
+    def parallelize(self, data: Iterable[T],
+                    num_partitions: int | None = None,
+                    name: str = "source") -> "Dataset[T]":
+        """Create a dataset from an in-memory collection."""
+        rows = list(data)
+        parts = num_partitions or self.parallelism
+        return Dataset(self, SourceNode(_chunk(rows, parts), name=name))
+
+    def empty(self) -> "Dataset[Any]":
+        """A dataset with no rows."""
+        return self.parallelize([], num_partitions=1, name="empty")
+
+    @property
+    def last_job_metrics(self) -> JobMetrics:
+        """Metrics of the most recent action on this context."""
+        return self.executor.last_job_metrics
+
+
+class Dataset:
+    """A lazy, partitioned, immutable collection."""
+
+    def __init__(self, context: EngineContext, node: PlanNode) -> None:
+        self._context = context
+        self._node = node
+
+    # -- plan introspection -------------------------------------------------
+
+    @property
+    def num_partitions(self) -> int:
+        """Partition count of this dataset."""
+        return self._node.num_partitions
+
+    def explain(self) -> str:
+        """Human-readable plan listing (like Spark's ``explain``)."""
+        return self._node.explain()
+
+    # -- narrow transformations ---------------------------------------------
+
+    def map_partitions(self, fn: Callable[[Iterator[T]], Iterable[U]],
+                       name: str = "map_partitions") -> "Dataset[U]":
+        """Transform each partition's iterator as a whole."""
+        return Dataset(self._context, NarrowNode(self._node, fn, name))
+
+    def map_partitions_with_index(
+        self, fn: Callable[[int, Iterator[T]], Iterable[U]],
+        name: str = "map_partitions_with_index",
+    ) -> "Dataset[U]":
+        """Like :meth:`map_partitions` but ``fn(index, iterator)``."""
+        return Dataset(
+            self._context, NarrowNode(self._node, fn, name, indexed=True)
+        )
+
+    def map(self, fn: Callable[[T], U]) -> "Dataset[U]":
+        """Apply ``fn`` to every element."""
+        return self.map_partitions(
+            lambda part: (fn(x) for x in part), name="map"
+        )
+
+    def filter(self, predicate: Callable[[T], bool]) -> "Dataset[T]":
+        """Keep elements for which ``predicate`` is true."""
+        return self.map_partitions(
+            lambda part: (x for x in part if predicate(x)), name="filter"
+        )
+
+    def flat_map(self, fn: Callable[[T], Iterable[U]]) -> "Dataset[U]":
+        """Apply ``fn`` and flatten the resulting iterables."""
+        return self.map_partitions(
+            lambda part: itertools.chain.from_iterable(fn(x) for x in part),
+            name="flat_map",
+        )
+
+    def key_by(self, key_fn: Callable[[T], K]) -> "Dataset[tuple[K, T]]":
+        """Pair every element with a key: ``x -> (key_fn(x), x)``."""
+        return self.map_partitions(
+            lambda part: ((key_fn(x), x) for x in part), name="key_by"
+        )
+
+    def map_values(self, fn: Callable[[V], U]) -> "Dataset[tuple[K, U]]":
+        """Transform the value of each ``(key, value)`` pair."""
+        return self.map_partitions(
+            lambda part: ((k, fn(v)) for k, v in part), name="map_values"
+        )
+
+    def union(self, other: "Dataset[T]") -> "Dataset[T]":
+        """Concatenate two datasets (no dedup, like Spark's union)."""
+        if other._context is not self._context:
+            raise ValueError("cannot union datasets from different contexts")
+        return Dataset(self._context, UnionNode((self._node, other._node)))
+
+    # -- wide transformations -----------------------------------------------
+
+    def partition_by_key(self, num_partitions: int | None = None,
+                         name: str = "shuffle") -> "Dataset[tuple[K, V]]":
+        """Hash-repartition ``(key, value)`` pairs by key."""
+        parts = num_partitions or self._context.parallelism
+        return Dataset(self._context, ShuffleNode(self._node, parts, name=name))
+
+    def group_by_key(self, num_partitions: int | None = None
+                     ) -> "Dataset[tuple[K, list[V]]]":
+        """Group values by key: ``(k, v)* -> (k, [v, ...])``."""
+        shuffled = self.partition_by_key(num_partitions, name="group_by_key")
+
+        def grouper(part: Iterator[tuple[K, V]]) -> Iterable[tuple[K, list[V]]]:
+            groups: dict[K, list[V]] = {}
+            for key, value in part:
+                groups.setdefault(key, []).append(value)
+            return groups.items()
+
+        return shuffled.map_partitions(grouper, name="group_values")
+
+    def reduce_by_key(self, fn: Callable[[V, V], V],
+                      num_partitions: int | None = None
+                      ) -> "Dataset[tuple[K, V]]":
+        """Combine values per key with an associative function.
+
+        Applies a map-side combine before the shuffle, like Spark.
+        """
+        def combine(part: Iterator[tuple[K, V]]) -> Iterable[tuple[K, V]]:
+            acc: dict[K, V] = {}
+            for key, value in part:
+                acc[key] = fn(acc[key], value) if key in acc else value
+            return acc.items()
+
+        pre = self.map_partitions(combine, name="combine_local")
+        shuffled = pre.partition_by_key(num_partitions, name="reduce_by_key")
+        return shuffled.map_partitions(combine, name="combine_merge")
+
+    def aggregate_by_key(self, zero: U, seq_fn: Callable[[U, V], U],
+                         comb_fn: Callable[[U, U], U],
+                         num_partitions: int | None = None
+                         ) -> "Dataset[tuple[K, U]]":
+        """Per-key aggregation with distinct element/partial combiners."""
+        def seq_combine(part: Iterator[tuple[K, V]]) -> Iterable[tuple[K, U]]:
+            acc: dict[K, U] = {}
+            for key, value in part:
+                acc[key] = seq_fn(acc.get(key, zero), value)
+            return acc.items()
+
+        def merge(part: Iterator[tuple[K, U]]) -> Iterable[tuple[K, U]]:
+            acc: dict[K, U] = {}
+            for key, value in part:
+                acc[key] = comb_fn(acc[key], value) if key in acc else value
+            return acc.items()
+
+        pre = self.map_partitions(seq_combine, name="aggregate_local")
+        shuffled = pre.partition_by_key(num_partitions, name="aggregate_by_key")
+        return shuffled.map_partitions(merge, name="aggregate_merge")
+
+    def distinct(self, num_partitions: int | None = None) -> "Dataset[T]":
+        """Remove duplicate elements (elements must be hashable)."""
+        keyed = self.map_partitions(
+            lambda part: ((x, None) for x in part), name="distinct_key"
+        )
+        reduced = keyed.reduce_by_key(lambda a, _: a, num_partitions)
+        return reduced.map_partitions(
+            lambda part: (k for k, _ in part), name="distinct_values"
+        )
+
+    def join(self, other: "Dataset[tuple[K, Any]]",
+             num_partitions: int | None = None
+             ) -> "Dataset[tuple[K, tuple[Any, Any]]]":
+        """Inner join of two key/value datasets on key."""
+        return self._cogroup_join(other, num_partitions, keep_unmatched_left=False)
+
+    def left_join(self, other: "Dataset[tuple[K, Any]]",
+                  num_partitions: int | None = None
+                  ) -> "Dataset[tuple[K, tuple[Any, Any | None]]]":
+        """Left outer join; unmatched left values pair with ``None``."""
+        return self._cogroup_join(other, num_partitions, keep_unmatched_left=True)
+
+    def _cogroup_join(self, other: "Dataset[tuple[K, Any]]",
+                      num_partitions: int | None,
+                      keep_unmatched_left: bool) -> "Dataset[Any]":
+        left = self.map_partitions(
+            lambda part: ((k, (0, v)) for k, v in part), name="join_tag_left"
+        )
+        right = other.map_partitions(
+            lambda part: ((k, (1, v)) for k, v in part), name="join_tag_right"
+        )
+        shuffled = left.union(right).partition_by_key(num_partitions, name="join")
+
+        def joiner(part: Iterator[tuple[K, tuple[int, Any]]]) -> Iterable[Any]:
+            lefts: dict[K, list[Any]] = {}
+            rights: dict[K, list[Any]] = {}
+            for key, (tag, value) in part:
+                (lefts if tag == 0 else rights).setdefault(key, []).append(value)
+            for key, left_values in lefts.items():
+                right_values = rights.get(key)
+                if right_values:
+                    for lv in left_values:
+                        for rv in right_values:
+                            yield key, (lv, rv)
+                elif keep_unmatched_left:
+                    for lv in left_values:
+                        yield key, (lv, None)
+
+        return shuffled.map_partitions(joiner, name="join_merge")
+
+    def sort_by(self, key_fn: Callable[[T], Any],
+                reverse: bool = False) -> "Dataset[T]":
+        """Globally sort (gathers to a single partition)."""
+        node = GatherNode(
+            self._node,
+            lambda rows: sorted(rows, key=key_fn, reverse=reverse),
+            name="sort_by",
+        )
+        return Dataset(self._context, node)
+
+    def repartition(self, num_partitions: int) -> "Dataset[T]":
+        """Rebalance into ``num_partitions`` partitions."""
+        indexed = self.map_partitions(
+            lambda part: ((i % num_partitions, x) for i, x in enumerate(part)),
+            name="repartition_key",
+        )
+        shuffled = Dataset(
+            self._context,
+            ShuffleNode(indexed._node, num_partitions, name="repartition"),
+        )
+        return shuffled.map_partitions(
+            lambda part: (x for _, x in part), name="repartition_values"
+        )
+
+    def sample(self, fraction: float, seed: int = 0) -> "Dataset[T]":
+        """Bernoulli sample of roughly ``fraction`` of the elements.
+
+        Deterministic for a fixed seed and partitioning (each partition
+        uses an independent substream keyed by its index).
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        import numpy as np
+
+        def sampler(index: int, part: Iterator[T]) -> Iterable[T]:
+            rng = np.random.default_rng((seed, index))
+            return (x for x in part if rng.random() < fraction)
+
+        return self.map_partitions_with_index(sampler, name="sample")
+
+    def zip_with_index(self) -> "Dataset[tuple[T, int]]":
+        """Pair each element with its global 0-based index.
+
+        Like Spark's ``zipWithIndex``, this triggers a job to count
+        per-partition sizes before building the indexed dataset.
+        """
+        sizes = self.map_partitions(
+            lambda part: [sum(1 for _ in part)], name="count_partitions"
+        ).collect()
+        offsets = [0]
+        for size in sizes[:-1]:
+            offsets.append(offsets[-1] + size)
+
+        def indexer(index: int, part: Iterator[T]) -> Iterable[tuple[T, int]]:
+            return ((x, offsets[index] + i) for i, x in enumerate(part))
+
+        return self.map_partitions_with_index(indexer, name="zip_with_index")
+
+    def persist(self) -> "Dataset[T]":
+        """Materialize now and return a dataset backed by the result.
+
+        The analogue of ``cache()`` + an action: downstream plans reuse
+        the computed partitions instead of recomputing the lineage.
+        """
+        partitions = self._context.executor.execute(self._node)
+        return Dataset(self._context, SourceNode(partitions, name="persisted"))
+
+    # -- actions --------------------------------------------------------------
+
+    def take_ordered(self, n: int,
+                     key_fn: Callable[[T], Any] | None = None) -> list[T]:
+        """The ``n`` smallest elements by ``key_fn`` (a cheap top-N).
+
+        Each partition pre-selects its local top-N before the global
+        merge, so only ``n * num_partitions`` elements are gathered.
+        """
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        import heapq
+
+        key = key_fn if key_fn is not None else (lambda x: x)
+        local = self.map_partitions(
+            lambda part: heapq.nsmallest(n, part, key=key),
+            name="take_ordered_local",
+        )
+        return heapq.nsmallest(n, local.collect(), key=key)
+
+    def collect(self) -> list[T]:
+        """Materialize all elements in partition order."""
+        partitions = self._context.executor.execute(self._node)
+        return [x for partition in partitions for x in partition]
+
+    def count(self) -> int:
+        """Number of elements."""
+        return len(self.collect())
+
+    def take(self, n: int) -> list[T]:
+        """The first ``n`` elements in partition order."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        return self.collect()[:n]
+
+    def first(self) -> T:
+        """The first element; raises ``IndexError`` when empty."""
+        rows = self.take(1)
+        if not rows:
+            raise IndexError("first() on an empty dataset")
+        return rows[0]
+
+    def reduce(self, fn: Callable[[T, T], T]) -> T:
+        """Fold all elements with an associative function."""
+        rows = self.collect()
+        if not rows:
+            raise ValueError("reduce() on an empty dataset")
+        result = rows[0]
+        for row in rows[1:]:
+            result = fn(result, row)
+        return result
+
+    def to_dict(self) -> dict[Any, Any]:
+        """Materialize a key/value dataset as a dict (last key wins)."""
+        return dict(self.collect())
+
+    def count_by_key(self) -> dict[Any, int]:
+        """Count elements per key of a key/value dataset."""
+        counts = self.map_values(lambda _: 1).reduce_by_key(lambda a, b: a + b)
+        return counts.to_dict()

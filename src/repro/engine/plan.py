@@ -1,0 +1,155 @@
+"""Logical plan nodes for the miniature dataset engine.
+
+The paper computes CDI with an Apache Spark application (Section V).
+We reproduce the substrate as a small DAG-scheduled engine: a lazy
+:class:`~repro.engine.dataset.Dataset` builds a plan out of the nodes
+here, and :class:`~repro.engine.executor.LocalExecutor` materializes
+it.  Two node families mirror Spark's narrow/wide distinction:
+
+* **narrow** nodes transform each parent partition independently;
+* **shuffle** nodes repartition key/value pairs by key hash, forming
+  stage boundaries in the executor.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Iterable, Sequence
+
+_ids = itertools.count()
+
+
+class PlanNode(ABC):
+    """A node in the logical plan DAG."""
+
+    def __init__(self, name: str, parents: Sequence["PlanNode"],
+                 num_partitions: int) -> None:
+        if num_partitions < 1:
+            raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+        self.id = next(_ids)
+        self.name = name
+        self.parents: tuple[PlanNode, ...] = tuple(parents)
+        self.num_partitions = num_partitions
+
+    @abstractmethod
+    def describe(self) -> str:
+        """One-line human-readable description for plan explain output."""
+
+    def explain(self, indent: int = 0) -> str:
+        """Render this subtree as an indented plan listing."""
+        lines = [" " * indent + self.describe()]
+        for parent in self.parents:
+            lines.append(parent.explain(indent + 2))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} #{self.id} {self.name!r}>"
+
+
+class SourceNode(PlanNode):
+    """A materialized in-memory source split into partitions."""
+
+    def __init__(self, chunks: Sequence[Sequence[Any]], name: str = "source") -> None:
+        super().__init__(name, parents=(), num_partitions=max(1, len(chunks)))
+        self.chunks: tuple[tuple[Any, ...], ...] = tuple(
+            tuple(chunk) for chunk in chunks
+        ) or ((),)
+
+    def describe(self) -> str:
+        rows = sum(len(chunk) for chunk in self.chunks)
+        return f"Source[{self.name}] partitions={self.num_partitions} rows={rows}"
+
+
+class NarrowNode(PlanNode):
+    """Per-partition transformation (map/filter/flat_map/mapPartitions).
+
+    ``fn`` receives an iterable over one parent partition and returns an
+    iterable of output elements.  With ``indexed=True`` the signature is
+    ``fn(partition_index, iterable)`` instead (Spark's
+    ``mapPartitionsWithIndex``).  It must be pure: the executor may
+    re-run it on retry.
+    """
+
+    def __init__(self, parent: PlanNode,
+                 fn: Callable[..., Iterable[Any]],
+                 name: str, *, indexed: bool = False) -> None:
+        super().__init__(name, parents=(parent,),
+                         num_partitions=parent.num_partitions)
+        self.fn = fn
+        self.indexed = indexed
+
+    def describe(self) -> str:
+        return f"Narrow[{self.name}] partitions={self.num_partitions}"
+
+
+class ShuffleNode(PlanNode):
+    """Hash repartitioning of key/value pairs — a stage boundary.
+
+    Every element of the parent must be a ``(key, value)`` pair; output
+    partition ``hash(key) % num_partitions`` receives all pairs for
+    ``key``.  Keys must therefore be hashable.
+    """
+
+    def __init__(self, parent: PlanNode, num_partitions: int,
+                 name: str = "shuffle") -> None:
+        super().__init__(name, parents=(parent,), num_partitions=num_partitions)
+
+    def partition_of(self, key: Any) -> int:
+        """Output partition index of ``key``."""
+        return hash(key) % self.num_partitions
+
+    def describe(self) -> str:
+        return f"Shuffle[{self.name}] partitions={self.num_partitions}"
+
+
+class UnionNode(PlanNode):
+    """Concatenation of parent partitions (no data movement)."""
+
+    def __init__(self, parents: Sequence[PlanNode], name: str = "union") -> None:
+        if not parents:
+            raise ValueError("union requires at least one parent")
+        total = sum(p.num_partitions for p in parents)
+        super().__init__(name, parents=parents, num_partitions=total)
+
+    def describe(self) -> str:
+        return f"Union[{self.name}] partitions={self.num_partitions}"
+
+
+class GatherNode(PlanNode):
+    """Collapse all parent partitions into one (used by global sorts).
+
+    ``fn`` post-processes the gathered sequence (e.g. sorting).
+    """
+
+    def __init__(self, parent: PlanNode,
+                 fn: Callable[[list[Any]], Iterable[Any]],
+                 name: str = "gather") -> None:
+        super().__init__(name, parents=(parent,), num_partitions=1)
+        self.fn = fn
+
+    def describe(self) -> str:
+        return f"Gather[{self.name}]"
+
+
+def stage_boundaries(node: PlanNode) -> list[PlanNode]:
+    """All shuffle/gather nodes in the subtree, in dependency order.
+
+    These are the points where the executor must fully materialize the
+    parent before the next stage can start — the engine's equivalent of
+    Spark stage splits.
+    """
+    seen: set[int] = set()
+    ordered: list[PlanNode] = []
+
+    def visit(current: PlanNode) -> None:
+        if current.id in seen:
+            return
+        seen.add(current.id)
+        for parent in current.parents:
+            visit(parent)
+        if isinstance(current, (ShuffleNode, GatherNode)):
+            ordered.append(current)
+
+    visit(node)
+    return ordered

@@ -1,0 +1,58 @@
+"""The daily CDI pipeline and BI roll-ups (paper Section V, Fig. 4)."""
+
+from repro.pipeline.bi import (
+    aggregate_by,
+    drill_down,
+    event_level_series,
+    global_report,
+)
+from repro.pipeline.backfill import BackfillResult, day_partitions, run_days
+from repro.pipeline.monitor import CdiMonitor, MonitorFinding
+from repro.pipeline.reports import (
+    DailyReportInput,
+    render_daily_report,
+    top_event_contributors,
+)
+from repro.pipeline.daily import (
+    WEIGHTS_CONFIG_KEY,
+    DailyCdiJob,
+    DailyJobResult,
+    event_to_row,
+    fleet_report_from_rows,
+    row_to_event,
+)
+from repro.pipeline.tables import (
+    EVENT_CDI_TABLE,
+    EVENTS_TABLE,
+    VM_CDI_TABLE,
+    event_cdi_schema,
+    events_schema,
+    vm_cdi_schema,
+)
+
+__all__ = [
+    "BackfillResult",
+    "CdiMonitor",
+    "day_partitions",
+    "run_days",
+    "MonitorFinding",
+    "DailyCdiJob",
+    "DailyJobResult",
+    "DailyReportInput",
+    "render_daily_report",
+    "top_event_contributors",
+    "EVENTS_TABLE",
+    "EVENT_CDI_TABLE",
+    "VM_CDI_TABLE",
+    "WEIGHTS_CONFIG_KEY",
+    "aggregate_by",
+    "drill_down",
+    "event_cdi_schema",
+    "event_level_series",
+    "event_to_row",
+    "events_schema",
+    "fleet_report_from_rows",
+    "global_report",
+    "row_to_event",
+    "vm_cdi_schema",
+]

@@ -1,0 +1,73 @@
+"""Multi-day pipeline runs feeding the CDI monitor.
+
+Glue for the common operational loop: run the daily job over a span of
+day partitions, collect each day's two output tables, and stream them
+into a :class:`~repro.pipeline.monitor.CdiMonitor` — the full
+Fig. 4 → Section VI-C path in one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.core.events import Event
+from repro.core.indicator import ServicePeriod
+from repro.pipeline.daily import DailyCdiJob, DailyJobResult
+from repro.pipeline.monitor import CdiMonitor
+from repro.pipeline.tables import EVENT_CDI_TABLE, VM_CDI_TABLE
+
+#: Supplies one day's raw events given (day_index, partition_label).
+EventSource = Callable[[int, str], Sequence[Event]]
+
+
+@dataclass(frozen=True, slots=True)
+class BackfillResult:
+    """Outcome of a multi-day run."""
+
+    partitions: tuple[str, ...]
+    job_results: tuple[DailyJobResult, ...]
+    monitor: CdiMonitor
+
+
+def day_partitions(days: int, prefix: str = "day") -> list[str]:
+    """Stable zero-padded partition labels: day00, day01, ..."""
+    if days < 1:
+        raise ValueError(f"days must be >= 1, got {days}")
+    return [f"{prefix}{index:02d}" for index in range(days)]
+
+
+def run_days(
+    job: DailyCdiJob,
+    events_for_day: EventSource,
+    services: Mapping[str, ServicePeriod],
+    days: int,
+    *,
+    monitor: CdiMonitor | None = None,
+    prefix: str = "day",
+) -> BackfillResult:
+    """Ingest + run the daily job for ``days`` consecutive partitions.
+
+    Each day's output tables are appended to ``monitor`` (a default
+    monitor without RCA is created when none is supplied).  Events are
+    pulled from ``events_for_day`` per partition, so scenarios control
+    exactly what happens on which day.
+    """
+    monitor = monitor or CdiMonitor()
+    partitions = day_partitions(days, prefix)
+    results = []
+    for index, partition in enumerate(partitions):
+        events = list(events_for_day(index, partition))
+        job.ingest_events(events, partition)
+        result = job.run(partition, services)
+        results.append(result)
+        monitor.observe_day(
+            partition,
+            job._tables.get(VM_CDI_TABLE).rows(partition),
+            job._tables.get(EVENT_CDI_TABLE).rows(partition),
+        )
+    return BackfillResult(
+        partitions=tuple(partitions),
+        job_results=tuple(results),
+        monitor=monitor,
+    )

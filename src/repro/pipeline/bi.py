@@ -1,0 +1,88 @@
+"""BI-style multi-dimensional aggregation of CDI tables (Section V).
+
+The production BI system runs SQL over the two output tables and
+"aggregates the CDI across diverse dimensions in accordance with
+Formula 4" — global, then drill-down to region, availability zone,
+cluster, or any other dimension.  This module provides the same
+roll-ups over ``vm_cdi`` rows plus a dimension resolver (usually
+:meth:`repro.telemetry.topology.Fleet.dimensions_of`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.core.indicator import CdiReport
+from repro.pipeline.daily import fleet_report_from_rows
+
+DimensionResolver = Callable[[str], Mapping[str, str]]
+
+
+def global_report(rows: Sequence[Mapping[str, Any]]) -> CdiReport:
+    """Fleet-wide CDI (Formula 4 over all VMs)."""
+    return fleet_report_from_rows(list(rows))
+
+
+def aggregate_by(rows: Iterable[Mapping[str, Any]],
+                 resolver: DimensionResolver,
+                 dimension: str) -> dict[str, CdiReport]:
+    """CDI per value of one dimension (e.g. per region).
+
+    ``resolver(vm)`` returns the VM's dimension attributes; rows whose
+    VM lacks the requested dimension are skipped.
+    """
+    groups: dict[str, list[Mapping[str, Any]]] = {}
+    for row in rows:
+        dims = resolver(row["vm"])
+        value = dims.get(dimension)
+        if value is None:
+            continue
+        groups.setdefault(value, []).append(row)
+    return {
+        value: fleet_report_from_rows(group)
+        for value, group in sorted(groups.items())
+    }
+
+
+def drill_down(rows: Sequence[Mapping[str, Any]],
+               resolver: DimensionResolver,
+               path: Sequence[tuple[str, str]],
+               next_dimension: str) -> dict[str, CdiReport]:
+    """Drill into ``next_dimension`` under fixed dimension constraints.
+
+    ``path`` pins outer dimensions, e.g.
+    ``[("region", "region-0"), ("az", "region-0/az-a")]``; the return
+    value breaks the remaining rows down by ``next_dimension`` — the
+    "global → region → AZ → cluster" navigation of Section V.
+    """
+    filtered = []
+    for row in rows:
+        dims = resolver(row["vm"])
+        if all(dims.get(name) == value for name, value in path):
+            filtered.append(row)
+    return aggregate_by(filtered, resolver, next_dimension)
+
+
+def event_level_series(
+    event_rows_by_day: Mapping[str, Sequence[Mapping[str, Any]]],
+    event_name: str,
+) -> list[tuple[str, float]]:
+    """Daily fleet-level CDI curve for one event name (Section VI-C).
+
+    ``event_rows_by_day`` maps day partitions to ``event_cdi`` rows;
+    the result is the Formula 4 aggregate of that event's per-VM CDI
+    per day — the drill-down curve that Cases 6 and 7 monitor.
+    """
+    from repro.core.indicator import aggregate
+
+    series = []
+    for day in sorted(event_rows_by_day):
+        relevant = [
+            row for row in event_rows_by_day[day]
+            if row["event"] == event_name
+        ]
+        value = aggregate(
+            (row["service_time"], row["cdi"]) for row in relevant
+        )
+        series.append((day, value))
+    return series

@@ -1,0 +1,202 @@
+"""The daily CDI job: the paper's Spark application (Section V).
+
+Reads raw events from the MaxCompute-like events table and the weight
+configuration from the MySQL-like config DB, computes per-VM CDI
+reports and per-(VM, event) drill-down CDIs on the mini dataset
+engine, and writes the two output tables back — the exact dataflow of
+Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.core.events import Event, EventCatalog, Severity
+from repro.core.indicator import CdiCalculator, CdiReport, ServicePeriod
+from repro.core.periods import resolve_periods
+from repro.core.weights import WeightConfig
+from repro.engine.dataset import EngineContext
+from repro.pipeline.tables import (
+    EVENT_CDI_TABLE,
+    EVENTS_TABLE,
+    VM_CDI_TABLE,
+    event_cdi_schema,
+    events_schema,
+    vm_cdi_schema,
+)
+from repro.storage.configdb import ConfigDB
+from repro.storage.table import TableStore
+
+#: Config DB key holding the serialized weight configuration.
+WEIGHTS_CONFIG_KEY = "cdi_weights"
+
+
+def event_to_row(event: Event) -> dict[str, Any]:
+    """Serialize an event into an events-table row."""
+    return {
+        "name": event.name,
+        "time": event.time,
+        "target": event.target,
+        "level": int(event.level),
+        "expire_interval": event.expire_interval,
+        "duration": event.duration_hint(),
+    }
+
+
+def row_to_event(row: Mapping[str, Any]) -> Event:
+    """Deserialize an events-table row."""
+    attributes = {}
+    if row.get("duration") is not None:
+        attributes["duration"] = float(row["duration"])
+    return Event(
+        name=row["name"], time=float(row["time"]), target=row["target"],
+        expire_interval=float(row["expire_interval"]),
+        level=Severity(int(row["level"])), attributes=attributes,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class DailyJobResult:
+    """Summary of one daily run."""
+
+    partition: str
+    vm_count: int
+    event_count: int
+    fleet_report: CdiReport
+
+
+class DailyCdiJob:
+    """End-to-end daily computation on the mini engine.
+
+    Parameters
+    ----------
+    context:
+        Engine context (the "100 executors" of Section V, scaled down).
+    tables:
+        Table store holding ``events`` and receiving the two outputs.
+    config_db:
+        Config DB holding the weight configuration under
+        :data:`WEIGHTS_CONFIG_KEY`.
+    catalog:
+        Event catalog (name → category/kind/window).
+    """
+
+    def __init__(self, context: EngineContext, tables: TableStore,
+                 config_db: ConfigDB, catalog: EventCatalog) -> None:
+        self._context = context
+        self._tables = tables
+        self._config_db = config_db
+        self._catalog = catalog
+        for name, schema in (
+            (EVENTS_TABLE, events_schema()),
+            (VM_CDI_TABLE, vm_cdi_schema()),
+            (EVENT_CDI_TABLE, event_cdi_schema()),
+        ):
+            tables.create(name, schema, if_not_exists=True)
+
+    # -- ingestion ---------------------------------------------------------
+
+    def ingest_events(self, events: list[Event], partition: str) -> int:
+        """Append raw events into the events table (SLS → MaxCompute sync)."""
+        table = self._tables.get(EVENTS_TABLE)
+        return table.append([event_to_row(e) for e in events], partition)
+
+    def store_weights(self, weights: WeightConfig) -> None:
+        """Persist the weight configuration (ticket model + expert review)."""
+        self._config_db.put(WEIGHTS_CONFIG_KEY, weights.to_dict())
+
+    def load_weights(self) -> WeightConfig:
+        """Load the latest weight configuration."""
+        record = self._config_db.get(WEIGHTS_CONFIG_KEY)
+        return WeightConfig.from_dict(record.value)
+
+    # -- the job -------------------------------------------------------------
+
+    def run(self, partition: str,
+            services: Mapping[str, ServicePeriod]) -> DailyJobResult:
+        """Compute and write the two output tables for one day.
+
+        ``services`` maps each VM in service to its service period; VMs
+        without any events still contribute zero-CDI rows (their
+        service time dilutes the fleet aggregate, Formula 4).
+        """
+        weights = self.load_weights()
+        calculator = CdiCalculator(self._catalog, weights)
+        rows = self._tables.get(EVENTS_TABLE).rows(partition=partition)
+        events = [row_to_event(row) for row in rows]
+        catalog = self._catalog
+        horizon = max((s.end for s in services.values()), default=0.0)
+
+        def compute_vm(pair: tuple[str, list[Event]]) -> dict[str, Any]:
+            vm, vm_events = pair
+            service = services[vm]
+            periods = resolve_periods(vm_events, catalog, horizon=horizon)
+            report = calculator.vm_report(periods, service)
+            event_rows = [
+                {
+                    "vm": vm,
+                    "event": name,
+                    "cdi": calculator.event_level_cdi(periods, service, name),
+                    "service_time": service.duration,
+                }
+                for name in sorted({p.name for p in periods})
+            ]
+            return {
+                "vm_row": {
+                    "vm": vm,
+                    "unavailability": report.unavailability,
+                    "performance": report.performance,
+                    "control_plane": report.control_plane,
+                    "service_time": report.service_time,
+                },
+                "event_rows": event_rows,
+            }
+
+        in_service = [e for e in events if e.target in services]
+        grouped = (
+            self._context.parallelize(in_service, name="events")
+            .key_by(lambda e: e.target)
+            .group_by_key()
+        )
+        computed = grouped.map(lambda kv: compute_vm(kv)).collect()
+
+        vm_rows = [c["vm_row"] for c in computed]
+        seen = {row["vm"] for row in vm_rows}
+        for vm, service in services.items():
+            if vm not in seen:
+                vm_rows.append({
+                    "vm": vm, "unavailability": 0.0, "performance": 0.0,
+                    "control_plane": 0.0, "service_time": service.duration,
+                })
+        event_rows = [row for c in computed for row in c["event_rows"]]
+
+        self._tables.get(VM_CDI_TABLE).overwrite_partition(vm_rows, partition)
+        self._tables.get(EVENT_CDI_TABLE).overwrite_partition(
+            event_rows, partition
+        )
+        return DailyJobResult(
+            partition=partition,
+            vm_count=len(vm_rows),
+            event_count=len(in_service),
+            fleet_report=fleet_report_from_rows(vm_rows),
+        )
+
+
+def fleet_report_from_rows(rows: list[Mapping[str, Any]]) -> CdiReport:
+    """Formula 4 aggregation over vm_cdi rows."""
+    from repro.core.indicator import aggregate
+
+    total = sum(r["service_time"] for r in rows)
+    return CdiReport(
+        unavailability=aggregate(
+            (r["service_time"], r["unavailability"]) for r in rows
+        ),
+        performance=aggregate(
+            (r["service_time"], r["performance"]) for r in rows
+        ),
+        control_plane=aggregate(
+            (r["service_time"], r["control_plane"]) for r in rows
+        ),
+        service_time=total,
+    )

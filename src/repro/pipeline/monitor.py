@@ -1,0 +1,178 @@
+"""Daily CDI monitoring (paper Sections VI-A and VI-C operationalized).
+
+Stability engineers watch the CDI curves: the fleet-level sub-metrics
+and the event-level drill-downs.  This module packages that loop:
+
+* :class:`CdiMonitor` accumulates one day at a time from the daily
+  job's output tables;
+* after each day it runs the spike/dip detector on every tracked curve
+  (fleet sub-metrics + per-event drill-downs);
+* for each finding it localizes the root cause across topology
+  dimensions via :func:`repro.analytics.rca.localize`, comparing the
+  anomalous day's per-dimension damage against the trailing baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.analytics.detect import CdiCurveDetector
+from repro.analytics.rca import LeafObservation, RootCause, localize
+from repro.core.events import EventCategory
+from repro.pipeline.daily import fleet_report_from_rows
+
+DimensionResolver = Callable[[str], Mapping[str, str]]
+
+
+@dataclass(frozen=True, slots=True)
+class MonitorFinding:
+    """One anomalous curve movement with optional localization."""
+
+    curve: str            # e.g. "fleet.performance" or "event.slow_io"
+    day_index: int        # 0-based index into the monitored history
+    day: str              # partition label
+    direction: str        # "spike" or "dip"
+    value: float
+    root_cause: RootCause | None = None
+
+
+@dataclass
+class _DayRecord:
+    day: str
+    vm_rows: list[dict[str, Any]]
+    event_rows: list[dict[str, Any]]
+
+
+class CdiMonitor:
+    """Accumulates daily CDI tables and surfaces detected problems."""
+
+    def __init__(self, *, detector: CdiCurveDetector | None = None,
+                 resolver: DimensionResolver | None = None,
+                 baseline_days: int = 7,
+                 tracked_events: Sequence[str] = ()) -> None:
+        if baseline_days < 2:
+            raise ValueError(f"baseline_days must be >= 2, got {baseline_days}")
+        self._detector = detector or CdiCurveDetector(
+            window=7, k=3.0, calibration=10
+        )
+        self._resolver = resolver
+        self._baseline_days = baseline_days
+        self._tracked_events = tuple(tracked_events)
+        self._days: list[_DayRecord] = []
+
+    # -- ingestion -----------------------------------------------------------
+
+    def observe_day(self, day: str, vm_rows: Sequence[Mapping[str, Any]],
+                    event_rows: Sequence[Mapping[str, Any]] = ()) -> None:
+        """Record one day's output tables (chronological order)."""
+        self._days.append(_DayRecord(
+            day=day,
+            vm_rows=[dict(r) for r in vm_rows],
+            event_rows=[dict(r) for r in event_rows],
+        ))
+
+    @property
+    def days(self) -> list[str]:
+        """Observed day labels, in order."""
+        return [d.day for d in self._days]
+
+    # -- curves ----------------------------------------------------------------
+
+    def fleet_curve(self, category: EventCategory) -> list[float]:
+        """Daily fleet value of one sub-metric."""
+        attr = {
+            EventCategory.UNAVAILABILITY: "unavailability",
+            EventCategory.PERFORMANCE: "performance",
+            EventCategory.CONTROL_PLANE: "control_plane",
+        }[category]
+        return [
+            getattr(fleet_report_from_rows(d.vm_rows), attr)
+            for d in self._days
+        ]
+
+    def event_curve(self, event_name: str) -> list[float]:
+        """Daily Formula 4 aggregate of one event's drill-down CDI."""
+        from repro.core.indicator import aggregate
+
+        curve = []
+        for record in self._days:
+            relevant = [
+                r for r in record.event_rows if r["event"] == event_name
+            ]
+            curve.append(aggregate(
+                (r["service_time"], r["cdi"]) for r in relevant
+            ))
+        return curve
+
+    # -- detection ---------------------------------------------------------------
+
+    def findings(self) -> list[MonitorFinding]:
+        """Detect spikes and dips on every tracked curve, with RCA."""
+        results: list[MonitorFinding] = []
+        for category in EventCategory:
+            # vm_cdi column names coincide with the category values.
+            results.extend(
+                self._scan(f"fleet.{category.value}",
+                           self.fleet_curve(category),
+                           metric=lambda row, key=category.value: row[key])
+            )
+        for event_name in self._tracked_events:
+            results.extend(
+                self._scan(f"event.{event_name}",
+                           self.event_curve(event_name), metric=None)
+            )
+        results.sort(key=lambda f: (f.day_index, f.curve))
+        return results
+
+    def _scan(self, curve_name: str, curve: list[float],
+              metric: Callable[[Mapping[str, Any]], float] | None
+              ) -> list[MonitorFinding]:
+        findings = []
+        for detection in self._detector.detect(curve):
+            cause = None
+            if metric is not None:
+                cause = self._localize(detection.index, metric)
+            findings.append(MonitorFinding(
+                curve=curve_name,
+                day_index=detection.index,
+                day=self._days[detection.index].day,
+                direction=detection.direction,
+                value=detection.value,
+                root_cause=cause,
+            ))
+        return findings
+
+    def _localize(self, day_index: int,
+                  metric: Callable[[Mapping[str, Any]], float]
+                  ) -> RootCause | None:
+        """RCA: anomalous day vs trailing per-VM baseline damage."""
+        if self._resolver is None or day_index == 0:
+            return None
+        start = max(0, day_index - self._baseline_days)
+        baseline_days = self._days[start:day_index]
+        if not baseline_days:
+            return None
+        # Expected per-VM damage = mean over the baseline window.
+        expected: dict[str, list[float]] = {}
+        for record in baseline_days:
+            for row in record.vm_rows:
+                expected.setdefault(row["vm"], []).append(
+                    metric(row) * row["service_time"]
+                )
+        anomalous = {
+            row["vm"]: metric(row) * row["service_time"]
+            for row in self._days[day_index].vm_rows
+        }
+        leaves = []
+        for vm, actual in anomalous.items():
+            history = expected.get(vm)
+            expected_value = float(np.mean(history)) if history else 0.0
+            leaves.append(LeafObservation(
+                dimensions=self._resolver(vm),
+                expected=expected_value,
+                actual=actual,
+            ))
+        return localize(leaves)

@@ -1,0 +1,145 @@
+"""Daily stability report rendering (paper Section VI-A).
+
+"The CDI is crucial for quantifying overall daily stability ...
+enabling stability engineers to monitor stability trends and evaluate
+the efficacy of distinct stability strategies."  This module renders
+the figures engineers read each morning:
+
+* fleet sub-metrics with day-over-day movement,
+* the most damaged values of each drill-down dimension,
+* the top event-name contributors,
+* any monitor findings (spikes/dips with localization).
+
+Everything is plain text so reports are diffable, attachable to
+tickets, and assertable in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.core.indicator import CdiReport, aggregate
+from repro.pipeline.bi import aggregate_by
+from repro.pipeline.daily import fleet_report_from_rows
+from repro.pipeline.monitor import MonitorFinding
+
+DimensionResolver = Callable[[str], Mapping[str, str]]
+
+_SUB_METRICS = (
+    ("CDI-U", "unavailability"),
+    ("CDI-P", "performance"),
+    ("CDI-C", "control_plane"),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class DailyReportInput:
+    """Everything one day's report is built from."""
+
+    day: str
+    vm_rows: Sequence[Mapping[str, Any]]
+    event_rows: Sequence[Mapping[str, Any]] = ()
+    previous_vm_rows: Sequence[Mapping[str, Any]] | None = None
+    findings: Sequence[MonitorFinding] = ()
+
+
+def _movement(current: float, previous: float | None) -> str:
+    if previous is None:
+        return ""
+    if previous == 0.0:
+        return "(new)" if current > 0 else "(flat)"
+    change = (current - previous) / previous
+    arrow = "▲" if change > 0 else ("▼" if change < 0 else "=")
+    return f"{arrow}{abs(change):.0%}"
+
+
+def _top_dimension_values(rows: Sequence[Mapping[str, Any]],
+                          resolver: DimensionResolver, dimension: str,
+                          attr: str, limit: int) -> list[tuple[str, float]]:
+    reports = aggregate_by(rows, resolver, dimension)
+    ranked = sorted(
+        ((value, getattr(report, attr)) for value, report in reports.items()),
+        key=lambda pair: -pair[1],
+    )
+    return [(value, score) for value, score in ranked[:limit] if score > 0]
+
+
+def top_event_contributors(event_rows: Sequence[Mapping[str, Any]],
+                           limit: int = 5) -> list[tuple[str, float]]:
+    """Event names ranked by their Formula 4 fleet-level CDI."""
+    names = sorted({row["event"] for row in event_rows})
+    scored = []
+    for name in names:
+        relevant = [r for r in event_rows if r["event"] == name]
+        scored.append((name, aggregate(
+            (r["service_time"], r["cdi"]) for r in relevant
+        )))
+    scored.sort(key=lambda pair: -pair[1])
+    return [(name, value) for name, value in scored[:limit] if value > 0]
+
+
+def render_daily_report(data: DailyReportInput, *,
+                        resolver: DimensionResolver | None = None,
+                        dimensions: Sequence[str] = ("region", "az"),
+                        top_n: int = 3) -> str:
+    """The full text report for one day."""
+    current: CdiReport = fleet_report_from_rows(list(data.vm_rows))
+    previous: CdiReport | None = None
+    if data.previous_vm_rows is not None:
+        previous = fleet_report_from_rows(list(data.previous_vm_rows))
+
+    lines = [
+        f"DAILY STABILITY REPORT — {data.day}",
+        f"fleet: {len(data.vm_rows)} VMs, "
+        f"{current.service_time / 86400.0:.0f} VM-days of service",
+        "",
+        "fleet CDI:",
+    ]
+    for label, attr in _SUB_METRICS:
+        value = getattr(current, attr)
+        move = _movement(
+            value, getattr(previous, attr) if previous else None
+        )
+        lines.append(f"  {label}  {value:.6f}  {move}".rstrip())
+
+    if resolver is not None:
+        for dimension in dimensions:
+            header_written = False
+            for label, attr in _SUB_METRICS:
+                top = _top_dimension_values(
+                    data.vm_rows, resolver, dimension, attr, top_n
+                )
+                if not top:
+                    continue
+                if not header_written:
+                    lines.append("")
+                    lines.append(f"most damaged by {dimension}:")
+                    header_written = True
+                rendered = ", ".join(
+                    f"{value}={score:.6f}" for value, score in top
+                )
+                lines.append(f"  {label}: {rendered}")
+
+    contributors = top_event_contributors(data.event_rows, limit=top_n)
+    if contributors:
+        lines.append("")
+        lines.append("top event contributors:")
+        for name, value in contributors:
+            lines.append(f"  {name}: {value:.6f}")
+
+    day_findings = [f for f in data.findings if f.day == data.day]
+    if day_findings:
+        lines.append("")
+        lines.append("monitor findings:")
+        for finding in day_findings:
+            entry = (f"  {finding.direction.upper()} on {finding.curve} "
+                     f"(value {finding.value:.6f})")
+            if finding.root_cause is not None:
+                entry += (f" — root cause {finding.root_cause.dimension}="
+                          f"{list(finding.root_cause.values)}")
+            lines.append(entry)
+    else:
+        lines.append("")
+        lines.append("monitor findings: none")
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Table schemas of the daily CDI pipeline (paper Section V).
+
+Three tables mirror the production MaxCompute layout:
+
+* ``events`` — raw events synchronized from the hot store;
+* ``vm_cdi`` — the first output table: per-VM Unavailability /
+  Performance / Control-Plane Indicators plus service time;
+* ``event_cdi`` — the second output table: per-(VM, event name) CDI
+  for event-level drill-down (Section VI-C).
+"""
+
+from __future__ import annotations
+
+from repro.storage.schema import Column, Schema
+
+EVENTS_TABLE = "events"
+VM_CDI_TABLE = "vm_cdi"
+EVENT_CDI_TABLE = "event_cdi"
+
+
+def events_schema() -> Schema:
+    """Raw event rows: one per extracted event (Table II fields)."""
+    return Schema([
+        Column("name", str),
+        Column("time", float),
+        Column("target", str),
+        Column("level", int),
+        Column("expire_interval", float),
+        Column("duration", float, nullable=True),
+    ])
+
+
+def vm_cdi_schema() -> Schema:
+    """Per-VM indicator rows (first output table of Section V)."""
+    return Schema([
+        Column("vm", str),
+        Column("unavailability", float),
+        Column("performance", float),
+        Column("control_plane", float),
+        Column("service_time", float),
+    ])
+
+
+def event_cdi_schema() -> Schema:
+    """Per-(VM, event) drill-down rows (second output table)."""
+    return Schema([
+        Column("vm", str),
+        Column("event", str),
+        Column("cdi", float),
+        Column("service_time", float),
+    ])

@@ -1,0 +1,78 @@
+"""Reusable incident/case scenario builders for the paper's experiments.
+
+* :mod:`repro.scenarios.incidents` — Fig. 5 (three incidents vs daily).
+* :mod:`repro.scenarios.fiscal_year` — Fig. 6 (FY2024 trend).
+* :mod:`repro.scenarios.architecture` — Fig. 8 / Case 5.
+* :mod:`repro.scenarios.event_level` — Fig. 9 / Cases 6 & 7.
+* :mod:`repro.scenarios.abtest_case8` — Fig. 11 / Table V / Case 8.
+* :mod:`repro.scenarios.nic_case` — Fig. 1 / Example 1 workflow.
+"""
+
+from repro.scenarios.abtest_case8 import PAPER_MEANS, build_case8_experiment
+from repro.scenarios.access_key import (
+    AccessKeyIncidentResult,
+    simulate_access_key_incident,
+)
+from repro.scenarios.architecture import (
+    ArchitectureDay,
+    divergence_ratio,
+    simulate_architecture_comparison,
+)
+from repro.scenarios.common import (
+    FAULT_EVENT_NAME,
+    default_weights,
+    fault_to_period,
+    fleet_cdi,
+    full_day_services,
+    periods_by_vm,
+)
+from repro.scenarios.event_level import (
+    EventLevelCurves,
+    simulate_event_level_curves,
+)
+from repro.scenarios.fiscal_year import (
+    FY2024_IMPROVEMENT,
+    MonthlyCdi,
+    simulate_fiscal_year,
+    smoothed,
+    year_over_year_reduction,
+)
+from repro.scenarios.incidents import (
+    IncidentDayMetrics,
+    normalize_to_daily,
+    simulate_incident_days,
+)
+from repro.scenarios.nic_case import (
+    NicIncidentOutcome,
+    nic_rules,
+    run_nic_incident,
+)
+
+__all__ = [
+    "AccessKeyIncidentResult",
+    "ArchitectureDay",
+    "simulate_access_key_incident",
+    "EventLevelCurves",
+    "FAULT_EVENT_NAME",
+    "FY2024_IMPROVEMENT",
+    "IncidentDayMetrics",
+    "MonthlyCdi",
+    "NicIncidentOutcome",
+    "PAPER_MEANS",
+    "build_case8_experiment",
+    "default_weights",
+    "divergence_ratio",
+    "fault_to_period",
+    "fleet_cdi",
+    "full_day_services",
+    "nic_rules",
+    "normalize_to_daily",
+    "periods_by_vm",
+    "run_nic_incident",
+    "simulate_architecture_comparison",
+    "simulate_event_level_curves",
+    "simulate_fiscal_year",
+    "simulate_incident_days",
+    "smoothed",
+    "year_over_year_reduction",
+]

@@ -1,0 +1,107 @@
+"""Case 2 scenario: the November 12, 2023 AccessKey incident.
+
+Faulty logic in the AccessKey system produced an incomplete whitelist,
+failing authentication for valid requests.  On the data plane only
+some encrypted-disk VMs became unavailable while most servers kept
+running; the control plane fared far worse — monitoring metrics lost,
+console logins broken, management API calls failing — during evening
+business peaks.
+
+The scenario rebuilds that fault pattern and shows why it matters for
+metric design: Downtime Percentage barely moves (few VMs down), while
+the Control-Plane Indicator captures a fleet-wide outage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.baselines import downtime_percentage
+from repro.core.events import default_catalog
+from repro.core.indicator import CdiReport, aggregate
+from repro.scenarios.common import (
+    default_weights,
+    fleet_cdi,
+    full_day_services,
+    periods_by_vm,
+)
+from repro.telemetry.faults import Fault, FaultInjector, FaultKind, baseline_rates
+from repro.telemetry.topology import build_fleet
+
+DAY = 86400.0
+
+#: Share of VMs using encrypted cloud disks (the data-plane victims).
+ENCRYPTED_DISK_FRACTION = 0.04
+
+#: The incident ran through the evening business peak (~17:30-21:00).
+INCIDENT_START = 17.5 * 3600.0
+INCIDENT_DURATION = 3.5 * 3600.0
+
+
+@dataclass(frozen=True, slots=True)
+class AccessKeyIncidentResult:
+    """Metrics for the incident day vs an ordinary day."""
+
+    incident_cdi: CdiReport
+    baseline_cdi: CdiReport
+    incident_dp: float
+    baseline_dp: float
+    affected_data_plane_vms: int
+    total_vms: int
+
+
+def simulate_access_key_incident(*, vm_count: int = 250,
+                                 seed: int = 0) -> AccessKeyIncidentResult:
+    """Simulate the incident day and a baseline day on the same fleet."""
+    fleet = build_fleet(seed=seed, regions=1, azs_per_region=2,
+                        clusters_per_az=2, ncs_per_cluster=4,
+                        vms_per_nc=max(1, vm_count // 16))
+    vm_ids = sorted(fleet.vms)
+    catalog = default_catalog()
+    weights = default_weights()
+    services = full_day_services(vm_ids)
+
+    def day_metrics(faults):
+        vm_periods = periods_by_vm(faults, catalog)
+        cdi = fleet_cdi(vm_periods, services, catalog=catalog,
+                        weights=weights)
+        dp = aggregate(
+            (service.duration,
+             downtime_percentage(vm_periods.get(vm, []), service, catalog))
+            for vm, service in services.items()
+        )
+        return cdi, dp
+
+    background = FaultInjector(baseline_rates(scale=3.0), seed=seed)
+    baseline_cdi, baseline_dp = day_metrics(
+        background.sample(vm_ids, 0.0, DAY)
+    )
+
+    encrypted_count = max(1, int(len(vm_ids) * ENCRYPTED_DISK_FRACTION))
+    encrypted_vms = vm_ids[:encrypted_count]
+    incident_faults = list(
+        FaultInjector(baseline_rates(scale=3.0), seed=seed + 1)
+        .sample(vm_ids, 0.0, DAY)
+    )
+    # Data plane: encrypted-disk VMs lose their disks -> unavailable.
+    incident_faults += [
+        Fault(FaultKind.VM_DOWN, vm, INCIDENT_START, INCIDENT_DURATION)
+        for vm in encrypted_vms
+    ]
+    # Control plane: EVERY VM loses monitoring, console, and API
+    # control for the duration.
+    for kind in (FaultKind.CONTROL_API_OUTAGE, FaultKind.CONSOLE_OUTAGE):
+        incident_faults += [
+            Fault(kind, vm, INCIDENT_START, INCIDENT_DURATION)
+            for vm in vm_ids
+        ]
+    incident_cdi, incident_dp = day_metrics(incident_faults)
+
+    return AccessKeyIncidentResult(
+        incident_cdi=incident_cdi,
+        baseline_cdi=baseline_cdi,
+        incident_dp=incident_dp,
+        baseline_dp=baseline_dp,
+        affected_data_plane_vms=encrypted_count,
+        total_vms=len(vm_ids),
+    )

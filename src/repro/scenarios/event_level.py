@@ -1,0 +1,110 @@
+"""Fig. 9 scenarios: event-level CDI spike (Case 6) and dip (Case 7).
+
+* **Case 6** — a scheduling-system change corrupts resource data, so
+  some VMs are created without their exclusive cores and emit
+  ``vm_allocation_failed``; the event-level CDI spikes on day 14 and
+  reverts on day 15 after the fix.
+* **Case 7** — a power-collection bug reports zero watts, so
+  ``inspect_cpu_power_tdp`` events stop firing; the event-level CDI
+  *dips* from day 13, bottoms out by day 17, and recovers from day 18.
+
+Both curves are daily Formula 4 aggregates of per-VM event-level CDI
+(Algorithm 1 narrowed to one event name).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.events import default_catalog
+from repro.core.indicator import CdiCalculator, ServicePeriod, aggregate
+from repro.scenarios.common import default_weights, periods_by_vm
+from repro.telemetry.faults import Fault, FaultInjector, FaultKind, FaultRate
+from repro.telemetry.topology import build_fleet
+
+DAY = 86400.0
+
+
+@dataclass(frozen=True, slots=True)
+class EventLevelCurves:
+    """Daily event-level CDI curves for the two cases (index = day-1)."""
+
+    allocation_failed: list[float]   # Case 6, spikes on spike_day
+    power_tdp: list[float]           # Case 7, dips over dip window
+    spike_day: int
+    dip_start: int
+    dip_end: int
+
+
+def _daily_event_cdi(vm_ids: list[str], faults: list[Fault],
+                     event_name: str, calculator: CdiCalculator) -> float:
+    vm_periods = periods_by_vm(faults, calculator.catalog)
+    service = ServicePeriod(0.0, DAY)
+    return aggregate(
+        (service.duration,
+         calculator.event_level_cdi(vm_periods.get(vm, []), service,
+                                    event_name))
+        for vm in vm_ids
+    )
+
+
+def simulate_event_level_curves(
+    *, days: int = 30, spike_day: int = 14, dip_start: int = 13,
+    dip_end: int = 17, vm_count: int = 120, seed: int = 0,
+) -> EventLevelCurves:
+    """Simulate both Fig. 9 curves over ``days`` days."""
+    if not 1 <= spike_day <= days or not 1 <= dip_start <= dip_end <= days:
+        raise ValueError("spike/dip windows must lie within the simulation")
+    fleet = build_fleet(seed=seed, regions=1, azs_per_region=1,
+                        clusters_per_az=2, ncs_per_cluster=4,
+                        vms_per_nc=max(1, vm_count // 8))
+    vm_ids = sorted(fleet.vms)
+    calculator = CdiCalculator(default_catalog(), default_weights())
+    rng = np.random.default_rng(seed)
+
+    allocation_curve: list[float] = []
+    power_curve: list[float] = []
+    for day in range(1, days + 1):
+        day_seed = seed * 1000 + day
+
+        # Case 6: small allocation-failure background; on the spike day
+        # the scheduler bug hits a large batch of VMs.
+        rate = 0.08 if day != spike_day else 3.0
+        alloc_injector = FaultInjector(
+            [FaultRate(FaultKind.ALLOCATION_BUG, rate, 7200.0)],
+            seed=day_seed,
+        )
+        alloc_faults = alloc_injector.sample(vm_ids, 0.0, DAY)
+        allocation_curve.append(
+            _daily_event_cdi(vm_ids, alloc_faults, "vm_allocation_failed",
+                             calculator)
+        )
+
+        # Case 7: steady TDP-inspection events; during the sensor bug
+        # the collected power is zero so the events vanish.
+        if dip_start <= day <= dip_end:
+            # Ramp down into the bug window (decline starts at dip_start,
+            # "dropped to a very low level" by dip_end).
+            progress = (day - dip_start + 1) / (dip_end - dip_start + 1)
+            scale = max(0.02, 1.0 - progress * 1.2)
+        else:
+            scale = 1.0
+        tdp_rate = 1.2 * scale * (1.0 + 0.1 * float(rng.normal()))
+        tdp_injector = FaultInjector(
+            [FaultRate(FaultKind.POWER_SENSOR_ZERO, max(0.0, tdp_rate),
+                       3600.0)],
+            seed=day_seed + 7,
+        )
+        tdp_faults = tdp_injector.sample(vm_ids, 0.0, DAY)
+        power_curve.append(
+            _daily_event_cdi(vm_ids, tdp_faults, "inspect_cpu_power_tdp",
+                             calculator)
+        )
+
+    return EventLevelCurves(
+        allocation_failed=allocation_curve,
+        power_tdp=power_curve,
+        spike_day=spike_day, dip_start=dip_start, dip_end=dip_end,
+    )

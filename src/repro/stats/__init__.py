@@ -1,0 +1,65 @@
+"""Hypothesis testing for A/B-tested operation actions (Fig. 10).
+
+* :mod:`repro.stats.assumptions` — Shapiro-Wilk and Levene gates.
+* :mod:`repro.stats.omnibus` — one-way ANOVA, Welch's ANOVA,
+  Kruskal-Wallis H.
+* :mod:`repro.stats.posthoc` — Tukey HSD / Tukey-Kramer, Games-Howell,
+  Dunn.
+* :mod:`repro.stats.workflow` — the test-selection ladder.
+"""
+
+from repro.stats.assumptions import (
+    CheckResult,
+    all_normal,
+    levene_homogeneity,
+    shapiro_normality,
+)
+from repro.stats.omnibus import (
+    OmnibusResult,
+    kruskal_wallis,
+    one_way_anova,
+    welch_anova,
+)
+from repro.stats.power import (
+    ExperimentPlan,
+    achieved_power,
+    detectable_difference,
+    plan_experiment,
+    required_sample_size,
+)
+from repro.stats.posthoc import (
+    PairResult,
+    dunn,
+    games_howell,
+    tukey_hsd,
+    tukey_kramer,
+)
+from repro.stats.workflow import (
+    HypothesisTestWorkflow,
+    PairwiseFinding,
+    WorkflowResult,
+)
+
+__all__ = [
+    "CheckResult",
+    "ExperimentPlan",
+    "achieved_power",
+    "detectable_difference",
+    "plan_experiment",
+    "required_sample_size",
+    "HypothesisTestWorkflow",
+    "OmnibusResult",
+    "PairResult",
+    "PairwiseFinding",
+    "WorkflowResult",
+    "all_normal",
+    "dunn",
+    "games_howell",
+    "kruskal_wallis",
+    "levene_homogeneity",
+    "one_way_anova",
+    "shapiro_normality",
+    "tukey_hsd",
+    "tukey_kramer",
+    "welch_anova",
+]

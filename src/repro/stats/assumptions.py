@@ -1,0 +1,91 @@
+"""Assumption checks feeding the Fig. 10 test-selection workflow.
+
+The choice of omnibus and post-hoc test "varies according to the
+distribution, variance homogeneity, and the number of samples"
+(Section VI-D).  This module provides the two gate checks:
+
+* :func:`shapiro_normality` — Shapiro-Wilk normality per group;
+* :func:`levene_homogeneity` — Levene's test (Brown-Forsythe variant,
+  median-centered) for equal variances across groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats
+
+
+@dataclass(frozen=True, slots=True)
+class CheckResult:
+    """Outcome of one assumption check."""
+
+    name: str
+    statistic: float
+    pvalue: float
+    passed: bool
+
+
+def _as_groups(groups: Sequence[Sequence[float]]) -> list[np.ndarray]:
+    arrays = [np.asarray(g, dtype=float) for g in groups]
+    if len(arrays) < 2:
+        raise ValueError(f"need at least 2 groups, got {len(arrays)}")
+    for index, group in enumerate(arrays):
+        if group.size < 3:
+            raise ValueError(
+                f"group {index} has {group.size} samples; need >= 3"
+            )
+    return arrays
+
+
+def shapiro_normality(groups: Sequence[Sequence[float]],
+                      alpha: float = 0.05) -> list[CheckResult]:
+    """Shapiro-Wilk on each group; ``passed`` means "looks normal".
+
+    Constant groups (zero variance) are reported as non-normal with
+    p = 0 — Shapiro is undefined there and a constant CDI sequence is
+    certainly not Gaussian.
+    """
+    results = []
+    for index, group in enumerate(_as_groups(groups)):
+        if np.ptp(group) == 0.0:
+            results.append(CheckResult(f"shapiro[{index}]", 0.0, 0.0, False))
+            continue
+        statistic, pvalue = stats.shapiro(group)
+        results.append(
+            CheckResult(
+                name=f"shapiro[{index}]",
+                statistic=float(statistic),
+                pvalue=float(pvalue),
+                passed=bool(pvalue > alpha),
+            )
+        )
+    return results
+
+
+def all_normal(groups: Sequence[Sequence[float]],
+               alpha: float = 0.05) -> bool:
+    """Whether every group passes the Shapiro-Wilk check."""
+    return all(r.passed for r in shapiro_normality(groups, alpha))
+
+
+def levene_homogeneity(groups: Sequence[Sequence[float]],
+                       alpha: float = 0.05) -> CheckResult:
+    """Brown-Forsythe (median-centered Levene) homogeneity check.
+
+    ``passed`` means the equal-variance assumption holds.  Degenerate
+    inputs where every group is constant pass trivially (all variances
+    are zero, hence equal).
+    """
+    arrays = _as_groups(groups)
+    if all(np.ptp(g) == 0.0 for g in arrays):
+        return CheckResult("levene", 0.0, 1.0, True)
+    statistic, pvalue = stats.levene(*arrays, center="median")
+    return CheckResult(
+        name="levene",
+        statistic=float(statistic),
+        pvalue=float(pvalue),
+        passed=bool(pvalue > alpha),
+    )

@@ -1,0 +1,128 @@
+"""Omnibus tests: do the groups differ at all? (paper Section VI-D)
+
+Three tests cover the Fig. 10 branches:
+
+* :func:`one_way_anova` — classical F test (normal, equal variances);
+* :func:`welch_anova` — Welch's heteroscedastic F test (normal,
+  unequal variances), implemented from scratch;
+* :func:`kruskal_wallis` — rank-based H test (non-normal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats
+
+
+@dataclass(frozen=True, slots=True)
+class OmnibusResult:
+    """Outcome of one omnibus test."""
+
+    test: str
+    statistic: float
+    pvalue: float
+    df_between: float
+    df_within: float
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Whether the group difference is significant at ``alpha``."""
+        return self.pvalue < alpha
+
+
+def _validate(groups: Sequence[Sequence[float]],
+              min_size: int = 2) -> list[np.ndarray]:
+    arrays = [np.asarray(g, dtype=float) for g in groups]
+    if len(arrays) < 2:
+        raise ValueError(f"need at least 2 groups, got {len(arrays)}")
+    for index, group in enumerate(arrays):
+        if group.size < min_size:
+            raise ValueError(
+                f"group {index} has {group.size} samples; need >= {min_size}"
+            )
+    return arrays
+
+
+def one_way_anova(groups: Sequence[Sequence[float]]) -> OmnibusResult:
+    """Classical one-way ANOVA F test, computed from scratch."""
+    arrays = _validate(groups)
+    k = len(arrays)
+    n_total = sum(g.size for g in arrays)
+    grand_mean = float(np.concatenate(arrays).mean())
+    ss_between = sum(g.size * (g.mean() - grand_mean) ** 2 for g in arrays)
+    ss_within = sum(((g - g.mean()) ** 2).sum() for g in arrays)
+    df_between = k - 1
+    df_within = n_total - k
+    if df_within <= 0:
+        raise ValueError("not enough samples for within-group variance")
+    ms_between = ss_between / df_between
+    ms_within = ss_within / df_within
+    if ms_within == 0.0:
+        # All groups constant: F is infinite if the means truly differ.
+        # Guard against float jitter making identical means look
+        # infinitesimally different.
+        tolerance = 1e-10 * (abs(grand_mean) + 1.0) ** 2
+        means_differ = ms_between > tolerance
+        statistic = float("inf") if means_differ else 0.0
+        pvalue = 0.0 if means_differ else 1.0
+    else:
+        statistic = float(ms_between / ms_within)
+        pvalue = float(stats.f.sf(statistic, df_between, df_within))
+    return OmnibusResult("one_way_anova", statistic, pvalue,
+                         float(df_between), float(df_within))
+
+
+def welch_anova(groups: Sequence[Sequence[float]]) -> OmnibusResult:
+    """Welch's heteroscedastic one-way ANOVA (Welch 1951)."""
+    arrays = _validate(groups)
+    k = len(arrays)
+    sizes = np.array([g.size for g in arrays], dtype=float)
+    means = np.array([g.mean() for g in arrays])
+    variances = np.array([g.var(ddof=1) for g in arrays])
+    if np.any(variances == 0.0):
+        # Degenerate constant group: fall back to exact logic — if any
+        # two means differ the difference is certain.
+        distinct = len(set(float(m) for m in means)) > 1
+        return OmnibusResult("welch_anova",
+                             float("inf") if distinct else 0.0,
+                             0.0 if distinct else 1.0,
+                             float(k - 1), float("inf"))
+    w = sizes / variances
+    w_sum = w.sum()
+    weighted_mean = float((w * means).sum() / w_sum)
+    a = (w * (means - weighted_mean) ** 2).sum() / (k - 1)
+    b = (
+        2.0 * (k - 2) / (k**2 - 1)
+        * ((1.0 - w / w_sum) ** 2 / (sizes - 1)).sum()
+    )
+    statistic = float(a / (1.0 + b))
+    df_between = k - 1
+    df_within = float(
+        (k**2 - 1) / (3.0 * ((1.0 - w / w_sum) ** 2 / (sizes - 1)).sum())
+    )
+    pvalue = float(stats.f.sf(statistic, df_between, df_within))
+    return OmnibusResult("welch_anova", statistic, pvalue,
+                         float(df_between), df_within)
+
+
+def kruskal_wallis(groups: Sequence[Sequence[float]]) -> OmnibusResult:
+    """Kruskal-Wallis H test (rank-based, distribution-free)."""
+    arrays = _validate(groups)
+    if np.ptp(np.concatenate(arrays)) == 0:
+        # Every observation identical: no difference by definition
+        # (scipy raises on all-identical input).
+        return OmnibusResult("kruskal_wallis", 0.0, 1.0,
+                             float(len(arrays) - 1), float("nan"))
+    statistic, pvalue = stats.kruskal(*arrays)
+    statistic = float(statistic)
+    pvalue = float(pvalue)
+    # Near-total ties make scipy's tie correction numerically collapse
+    # (tiny negative H, NaN p).  That regime carries no evidence of a
+    # difference, so report it as such.
+    if not np.isfinite(pvalue) or statistic < 0.0:
+        statistic = max(statistic, 0.0)
+        pvalue = 1.0
+    return OmnibusResult("kruskal_wallis", statistic, pvalue,
+                         float(len(arrays) - 1), float("nan"))

@@ -1,0 +1,120 @@
+"""Sample-size / power analysis for CDI A/B tests.
+
+Case 8's test ran three months; a natural planning question is *how
+many rule hits are needed* before a mean-CDI difference of a given
+size is detectable.  Standard two-sample normal approximations:
+
+* :func:`required_sample_size` — per-arm n to detect an absolute mean
+  difference ``delta`` given the CDI standard deviation;
+* :func:`detectable_difference` — the flip side: the smallest delta a
+  given n can detect;
+* :func:`achieved_power` — power of a test at a given n and delta.
+
+These are planning tools; the confirmatory analysis remains the
+Fig. 10 workflow.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from scipy import stats
+
+
+def _validate(alpha: float, power: float | None = None) -> None:
+    if not 0 < alpha < 1:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    if power is not None and not 0 < power < 1:
+        raise ValueError(f"power must be in (0, 1), got {power}")
+
+
+def required_sample_size(delta: float, sigma: float, *,
+                         alpha: float = 0.05, power: float = 0.8,
+                         two_sided: bool = True) -> int:
+    """Per-arm sample size to detect a mean difference ``delta``.
+
+    Two-sample z approximation with equal arms and common ``sigma``::
+
+        n = 2 * ((z_{1-alpha[/2]} + z_{power}) * sigma / delta)^2
+    """
+    _validate(alpha, power)
+    if delta <= 0:
+        raise ValueError(f"delta must be > 0, got {delta}")
+    if sigma <= 0:
+        raise ValueError(f"sigma must be > 0, got {sigma}")
+    tail = alpha / 2 if two_sided else alpha
+    z_alpha = float(stats.norm.ppf(1 - tail))
+    z_power = float(stats.norm.ppf(power))
+    n = 2.0 * ((z_alpha + z_power) * sigma / delta) ** 2
+    return max(2, math.ceil(n))
+
+
+def detectable_difference(n: int, sigma: float, *, alpha: float = 0.05,
+                          power: float = 0.8,
+                          two_sided: bool = True) -> float:
+    """Smallest absolute mean difference detectable with ``n`` per arm."""
+    _validate(alpha, power)
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    if sigma <= 0:
+        raise ValueError(f"sigma must be > 0, got {sigma}")
+    tail = alpha / 2 if two_sided else alpha
+    z_alpha = float(stats.norm.ppf(1 - tail))
+    z_power = float(stats.norm.ppf(power))
+    return (z_alpha + z_power) * sigma * math.sqrt(2.0 / n)
+
+
+def achieved_power(n: int, delta: float, sigma: float, *,
+                   alpha: float = 0.05, two_sided: bool = True) -> float:
+    """Power of a two-sample z test at the given configuration."""
+    _validate(alpha)
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    if sigma <= 0 or delta < 0:
+        raise ValueError("sigma must be > 0 and delta >= 0")
+    tail = alpha / 2 if two_sided else alpha
+    z_alpha = float(stats.norm.ppf(1 - tail))
+    noncentrality = delta / (sigma * math.sqrt(2.0 / n))
+    return float(stats.norm.cdf(noncentrality - z_alpha))
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentPlan:
+    """A planned A/B test: arms, duration, detectability."""
+
+    arms: int
+    hits_per_day: float
+    days: int
+    per_arm_n: int
+    detectable_delta: float
+
+
+def plan_experiment(*, arms: int, hits_per_day: float, sigma: float,
+                    target_delta: float, alpha: float = 0.05,
+                    power: float = 0.8) -> ExperimentPlan:
+    """How long must the A/B test run to detect ``target_delta``?
+
+    Assumes hits are split evenly across ``arms``.  Case 8's shape:
+    three arms, a Performance-CDI sigma around 0.1, and a smallest
+    interesting difference of 0.02 (the A-C gap) imply a multi-month
+    run — consistent with the paper's three-month duration.
+    """
+    if arms < 2:
+        raise ValueError(f"arms must be >= 2, got {arms}")
+    if hits_per_day <= 0:
+        raise ValueError(f"hits_per_day must be > 0, got {hits_per_day}")
+    per_arm_needed = required_sample_size(
+        target_delta, sigma, alpha=alpha, power=power
+    )
+    days = math.ceil(per_arm_needed * arms / hits_per_day)
+    per_arm_actual = int(days * hits_per_day / arms)
+    return ExperimentPlan(
+        arms=arms,
+        hits_per_day=hits_per_day,
+        days=days,
+        per_arm_n=per_arm_actual,
+        detectable_delta=detectable_difference(
+            max(2, per_arm_actual), sigma, alpha=alpha, power=power
+        ),
+    )

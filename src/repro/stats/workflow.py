@@ -1,0 +1,130 @@
+"""The Fig. 10 hypothesis-test selection workflow.
+
+The paper selects omnibus and post-hoc tests "according to the
+distribution, variance homogeneity, and the number of samples"
+(Section VI-D).  The ladder implemented here:
+
+1. Shapiro-Wilk on every group.
+2. All normal → Levene homogeneity check:
+   * homogeneous → **one-way ANOVA**; post-hoc **Tukey HSD**
+     (equal sizes) / **Tukey-Kramer** (unequal sizes);
+   * heteroscedastic → **Welch's ANOVA**; post-hoc **Games-Howell**.
+3. Any non-normal → **Kruskal-Wallis H**; post-hoc **Dunn**.
+4. Post-hoc analysis runs only when the omnibus result is significant
+   and there are more than two groups (with exactly two groups the
+   omnibus already identifies the differing pair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.stats.assumptions import (
+    CheckResult,
+    levene_homogeneity,
+    shapiro_normality,
+)
+from repro.stats.omnibus import (
+    OmnibusResult,
+    kruskal_wallis,
+    one_way_anova,
+    welch_anova,
+)
+from repro.stats.posthoc import PairResult, dunn, games_howell, tukey_hsd
+
+
+@dataclass(frozen=True, slots=True)
+class PairwiseFinding:
+    """One labelled post-hoc pair (names instead of indices)."""
+
+    pair: tuple[str, str]
+    statistic: float
+    pvalue: float
+    significant: bool
+
+
+@dataclass(frozen=True, slots=True)
+class WorkflowResult:
+    """Full outcome of the Fig. 10 ladder on one set of groups."""
+
+    group_names: tuple[str, ...]
+    normality: tuple[CheckResult, ...]
+    homogeneity: CheckResult | None
+    omnibus: OmnibusResult
+    omnibus_significant: bool
+    posthoc_test: str | None
+    pairs: tuple[PairwiseFinding, ...] = field(default=())
+
+    @property
+    def significant_pairs(self) -> list[tuple[str, str]]:
+        """Pairs the post-hoc analysis found significantly different."""
+        return [p.pair for p in self.pairs if p.significant]
+
+
+class HypothesisTestWorkflow:
+    """Runs the Fig. 10 ladder on named sample groups."""
+
+    def __init__(self, alpha: float = 0.05, *,
+                 normality_alpha: float = 0.05,
+                 homogeneity_alpha: float = 0.05,
+                 dunn_adjust: str = "holm") -> None:
+        if not 0 < alpha < 1:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        self._alpha = alpha
+        self._normality_alpha = normality_alpha
+        self._homogeneity_alpha = homogeneity_alpha
+        self._dunn_adjust = dunn_adjust
+
+    def run(self, groups: Mapping[str, Sequence[float]]) -> WorkflowResult:
+        """Select and run the appropriate tests for ``groups``."""
+        names = tuple(groups)
+        samples = [groups[name] for name in names]
+        if len(names) < 2:
+            raise ValueError(f"need at least 2 groups, got {len(names)}")
+
+        normality = tuple(shapiro_normality(samples, self._normality_alpha))
+        homogeneity: CheckResult | None = None
+
+        if all(check.passed for check in normality):
+            homogeneity = levene_homogeneity(samples, self._homogeneity_alpha)
+            if homogeneity.passed:
+                omnibus = one_way_anova(samples)
+                posthoc_test = "tukey_hsd"
+                posthoc_fn = tukey_hsd
+            else:
+                omnibus = welch_anova(samples)
+                posthoc_test = "games_howell"
+                posthoc_fn = games_howell
+        else:
+            omnibus = kruskal_wallis(samples)
+            posthoc_test = "dunn"
+            posthoc_fn = lambda s: dunn(s, adjust=self._dunn_adjust)  # noqa: E731
+
+        significant = omnibus.significant(self._alpha)
+        pairs: tuple[PairwiseFinding, ...] = ()
+        chosen_posthoc: str | None = None
+        if significant and len(names) > 2:
+            chosen_posthoc = posthoc_test
+            raw = posthoc_fn(samples)
+            pairs = tuple(
+                self._label_pair(names, result) for result in raw
+            )
+        return WorkflowResult(
+            group_names=names,
+            normality=normality,
+            homogeneity=homogeneity,
+            omnibus=omnibus,
+            omnibus_significant=significant,
+            posthoc_test=chosen_posthoc,
+            pairs=pairs,
+        )
+
+    def _label_pair(self, names: tuple[str, ...],
+                    result: PairResult) -> PairwiseFinding:
+        return PairwiseFinding(
+            pair=(names[result.group_a], names[result.group_b]),
+            statistic=result.statistic,
+            pvalue=result.pvalue,
+            significant=result.significant(self._alpha),
+        )

@@ -1,0 +1,50 @@
+"""Storage substrates (paper Fig. 4 stand-ins).
+
+* :class:`LogStore` — SLS-like hot event store with time-range queries.
+* :class:`Table` / :class:`TableStore` — MaxCompute-like partitioned
+  tables with schema validation.
+* :class:`ConfigDB` — MySQL-like versioned configuration store.
+"""
+
+from repro.storage.configdb import (
+    ConfigDB,
+    ConfigNotFoundError,
+    ConfigRecord,
+    StaleVersionError,
+)
+from repro.storage.logstore import LogEntry, LogStore
+from repro.storage.persistence import (
+    load_config_db,
+    load_table_store,
+    save_config_db,
+    save_table_store,
+    snapshot_table,
+)
+from repro.storage.schema import Column, Schema, SchemaError
+from repro.storage.table import (
+    DEFAULT_PARTITION,
+    Table,
+    TableNotFoundError,
+    TableStore,
+)
+
+__all__ = [
+    "DEFAULT_PARTITION",
+    "Column",
+    "ConfigDB",
+    "ConfigNotFoundError",
+    "ConfigRecord",
+    "LogEntry",
+    "LogStore",
+    "Schema",
+    "SchemaError",
+    "StaleVersionError",
+    "Table",
+    "TableNotFoundError",
+    "TableStore",
+    "load_config_db",
+    "load_table_store",
+    "save_config_db",
+    "save_table_store",
+    "snapshot_table",
+]

@@ -1,0 +1,95 @@
+"""MySQL-like versioned configuration store.
+
+The production deployment keeps weight configurations in MySQL,
+adjusted from ticket-classification results and expert insight
+(paper Fig. 4).  This stand-in stores JSON-serializable documents
+under string keys with monotonically increasing versions, so the daily
+pipeline can pin the exact configuration a run used.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from dataclasses import dataclass
+from typing import Any
+
+
+class ConfigNotFoundError(KeyError):
+    """Requested configuration key (or version) does not exist."""
+
+
+class StaleVersionError(RuntimeError):
+    """Optimistic-concurrency write lost the race."""
+
+
+@dataclass(frozen=True, slots=True)
+class ConfigRecord:
+    """One stored configuration version."""
+
+    key: str
+    version: int
+    value: Any
+
+    def copy_value(self) -> Any:
+        """Deep copy of the stored value (stored data stays immutable)."""
+        return copy.deepcopy(self.value)
+
+
+class ConfigDB:
+    """Versioned key→document store with optimistic concurrency."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, list[ConfigRecord]] = {}
+
+    def put(self, key: str, value: Any, *,
+            expected_version: int | None = None) -> ConfigRecord:
+        """Write a new version of ``key``.
+
+        ``value`` must be JSON-serializable (enforced, because the real
+        store is a relational table of serialized configs).  When
+        ``expected_version`` is given, the write fails with
+        :class:`StaleVersionError` unless it matches the current head —
+        optimistic concurrency for the config-review workflow.
+        """
+        try:
+            json.dumps(value)
+        except (TypeError, ValueError) as exc:
+            raise TypeError(f"config value for {key!r} is not serializable") from exc
+        history = self._records.setdefault(key, [])
+        current = history[-1].version if history else 0
+        if expected_version is not None and expected_version != current:
+            raise StaleVersionError(
+                f"config {key!r} is at version {current}, "
+                f"expected {expected_version}"
+            )
+        record = ConfigRecord(key=key, version=current + 1,
+                              value=copy.deepcopy(value))
+        history.append(record)
+        return record
+
+    def get(self, key: str, version: int | None = None) -> ConfigRecord:
+        """Latest (or a specific) version of ``key``."""
+        history = self._records.get(key)
+        if not history:
+            raise ConfigNotFoundError(key)
+        if version is None:
+            return history[-1]
+        for record in history:
+            if record.version == version:
+                return record
+        raise ConfigNotFoundError(f"{key} v{version}")
+
+    def history(self, key: str) -> list[ConfigRecord]:
+        """All versions of ``key``, oldest first."""
+        history = self._records.get(key)
+        if not history:
+            raise ConfigNotFoundError(key)
+        return list(history)
+
+    def keys(self) -> list[str]:
+        """All configuration keys, sorted."""
+        return sorted(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records

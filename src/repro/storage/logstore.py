@@ -1,0 +1,104 @@
+"""SLS-like time-indexed event/log store.
+
+CloudBot stores original event data in the Simple Log Service for
+rapid searching (paper Fig. 4).  This stand-in keeps entries sorted by
+timestamp, supports time-range queries with field filters, and
+enforces a retention horizon like a real hot store.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping
+
+
+@dataclass(frozen=True, slots=True)
+class LogEntry:
+    """One stored entry: a timestamp plus arbitrary fields."""
+
+    time: float
+    fields: Mapping[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Field accessor with default."""
+        return self.fields.get(key, default)
+
+
+class LogStore:
+    """Append-mostly store with binary-searched time-range queries.
+
+    ``retention`` bounds how far back entries are kept; calling
+    :meth:`expire` (or appending, which expires opportunistically)
+    drops entries older than ``latest - retention``.
+    """
+
+    def __init__(self, retention: float = 7 * 24 * 3600.0) -> None:
+        if retention <= 0:
+            raise ValueError(f"retention must be positive, got {retention}")
+        self._retention = retention
+        self._times: list[float] = []
+        self._entries: list[LogEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def latest_time(self) -> float | None:
+        """Timestamp of the newest entry, if any."""
+        return self._times[-1] if self._times else None
+
+    def append(self, time: float, **fields: Any) -> LogEntry:
+        """Insert one entry (out-of-order arrivals are supported)."""
+        entry = LogEntry(time=time, fields=dict(fields))
+        index = bisect.bisect_right(self._times, time)
+        self._times.insert(index, time)
+        self._entries.insert(index, entry)
+        self._expire_before(self._times[-1] - self._retention)
+        return entry
+
+    def extend(self, entries: Mapping[float, Mapping[str, Any]] | None = None,
+               rows: list[tuple[float, dict[str, Any]]] | None = None) -> int:
+        """Bulk insert from ``rows`` (list of (time, fields)); returns count."""
+        count = 0
+        for time, fields in (rows or []):
+            self.append(time, **fields)
+            count += 1
+        return count
+
+    def query(self, start: float, end: float,
+              predicate: Callable[[LogEntry], bool] | None = None,
+              **field_filters: Any) -> Iterator[LogEntry]:
+        """Entries with ``start <= time < end`` matching all filters.
+
+        ``field_filters`` are equality constraints on entry fields;
+        ``predicate`` is an arbitrary extra filter.
+        """
+        if end < start:
+            raise ValueError(f"query range reversed: [{start}, {end})")
+        lo = bisect.bisect_left(self._times, start)
+        hi = bisect.bisect_left(self._times, end)
+        for entry in self._entries[lo:hi]:
+            if field_filters and any(
+                entry.get(key) != value for key, value in field_filters.items()
+            ):
+                continue
+            if predicate is not None and not predicate(entry):
+                continue
+            yield entry
+
+    def count(self, start: float, end: float, **field_filters: Any) -> int:
+        """Number of matching entries in the range."""
+        return sum(1 for _ in self.query(start, end, **field_filters))
+
+    def expire(self, now: float) -> int:
+        """Drop entries older than ``now - retention``; returns count."""
+        return self._expire_before(now - self._retention)
+
+    def _expire_before(self, cutoff: float) -> int:
+        index = bisect.bisect_left(self._times, cutoff)
+        if index == 0:
+            return 0
+        del self._times[:index]
+        del self._entries[:index]
+        return index

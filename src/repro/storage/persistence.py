@@ -1,0 +1,106 @@
+"""JSON persistence for the storage substrates.
+
+The production stores are durable services; these helpers give the
+stand-ins the same property so a daily pipeline can survive process
+restarts (and so experiments can checkpoint their tables).  Schemas
+are serialized alongside the data; unknown dtypes are rejected rather
+than silently coerced.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.storage.configdb import ConfigDB
+from repro.storage.schema import Column, Schema, SchemaError
+from repro.storage.table import Table, TableStore
+
+_DTYPE_NAMES = {str: "str", int: "int", float: "float", bool: "bool"}
+_DTYPES_BY_NAME = {name: dtype for dtype, name in _DTYPE_NAMES.items()}
+
+
+def _schema_to_dict(schema: Schema) -> list[dict[str, Any]]:
+    columns = []
+    for column in schema.columns:
+        name = _DTYPE_NAMES.get(column.dtype)
+        if name is None:
+            raise SchemaError(
+                f"column {column.name!r} has non-serializable dtype "
+                f"{column.dtype!r}"
+            )
+        columns.append({
+            "name": column.name, "dtype": name, "nullable": column.nullable,
+        })
+    return columns
+
+
+def _schema_from_dict(data: list[dict[str, Any]]) -> Schema:
+    return Schema([
+        Column(entry["name"], _DTYPES_BY_NAME[entry["dtype"]],
+               nullable=bool(entry.get("nullable", False)))
+        for entry in data
+    ])
+
+
+def save_table_store(store: TableStore, path: str | Path) -> None:
+    """Serialize every table (schema + partitions) to one JSON file."""
+    payload = {}
+    for name in store.names():
+        table = store.get(name)
+        payload[name] = {
+            "schema": _schema_to_dict(table.schema),
+            "partitions": {
+                partition: table.rows(partition=partition)
+                for partition in table.partitions
+            },
+        }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_table_store(path: str | Path) -> TableStore:
+    """Inverse of :func:`save_table_store`; rows are re-validated."""
+    payload = json.loads(Path(path).read_text())
+    store = TableStore()
+    for name, table_data in payload.items():
+        schema = _schema_from_dict(table_data["schema"])
+        table = store.create(name, schema)
+        for partition, rows in table_data["partitions"].items():
+            table.append(rows, partition=partition)
+    return store
+
+
+def save_config_db(db: ConfigDB, path: str | Path) -> None:
+    """Serialize every key's full version history to one JSON file."""
+    payload = {
+        key: [
+            {"version": record.version, "value": record.value}
+            for record in db.history(key)
+        ]
+        for key in db.keys()
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_config_db(path: str | Path) -> ConfigDB:
+    """Inverse of :func:`save_config_db`, preserving version numbers."""
+    payload = json.loads(Path(path).read_text())
+    db = ConfigDB()
+    for key, records in payload.items():
+        ordered = sorted(records, key=lambda r: r["version"])
+        for expected_version, record in enumerate(ordered, start=1):
+            if record["version"] != expected_version:
+                raise ValueError(
+                    f"config {key!r} has non-contiguous versions in {path}"
+                )
+            db.put(key, record["value"])
+    return db
+
+
+def snapshot_table(table: Table, path: str | Path,
+                   partition: str | None = None) -> int:
+    """Dump one table (or one partition) as a JSON list of rows."""
+    rows = table.rows(partition=partition)
+    Path(path).write_text(json.dumps(rows))
+    return len(rows)

@@ -1,0 +1,94 @@
+"""Row schemas shared by the storage substrates.
+
+A :class:`Schema` validates dict rows against typed, optionally
+nullable columns — the minimum structure needed to make the
+MaxCompute-like table store (and the daily pipeline that writes to it)
+fail loudly on malformed rows instead of corrupting downstream CDI
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+
+class SchemaError(ValueError):
+    """A row does not conform to its table schema."""
+
+
+@dataclass(frozen=True, slots=True)
+class Column:
+    """One typed column.
+
+    ``dtype`` is a Python type (``str``, ``int``, ``float``, ``bool``);
+    ints are accepted where floats are declared, mirroring common SQL
+    widening.
+    """
+
+    name: str
+    dtype: type
+    nullable: bool = False
+
+    def validate(self, value: Any) -> Any:
+        """Return the (possibly widened) value or raise SchemaError."""
+        if value is None:
+            if self.nullable:
+                return None
+            raise SchemaError(f"column {self.name!r} is not nullable")
+        if self.dtype is float and isinstance(value, int) and not isinstance(value, bool):
+            return float(value)
+        if self.dtype is not bool and isinstance(value, bool):
+            raise SchemaError(
+                f"column {self.name!r} expects {self.dtype.__name__}, got bool"
+            )
+        if not isinstance(value, self.dtype):
+            raise SchemaError(
+                f"column {self.name!r} expects {self.dtype.__name__}, "
+                f"got {type(value).__name__} ({value!r})"
+            )
+        return value
+
+
+class Schema:
+    """An ordered set of columns with row validation."""
+
+    def __init__(self, columns: Iterable[Column]) -> None:
+        self.columns: tuple[Column, ...] = tuple(columns)
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in schema: {names}")
+        if not names:
+            raise SchemaError("schema must have at least one column")
+        self._by_name = {c.name: c for c in self.columns}
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Column names in declaration order."""
+        return tuple(c.name for c in self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def column(self, name: str) -> Column:
+        """Column by name; raises ``KeyError`` for unknown names."""
+        return self._by_name[name]
+
+    def validate_row(self, row: Mapping[str, Any]) -> dict[str, Any]:
+        """Validate and normalize one row.
+
+        Missing nullable columns become ``None``; missing non-nullable
+        columns and unknown keys raise :class:`SchemaError`.
+        """
+        unknown = set(row) - set(self._by_name)
+        if unknown:
+            raise SchemaError(f"unknown columns {sorted(unknown)}")
+        normalized: dict[str, Any] = {}
+        for column in self.columns:
+            if column.name in row:
+                normalized[column.name] = column.validate(row[column.name])
+            elif column.nullable:
+                normalized[column.name] = None
+            else:
+                raise SchemaError(f"missing required column {column.name!r}")
+        return normalized

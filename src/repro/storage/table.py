@@ -1,0 +1,128 @@
+"""MaxCompute-like table store.
+
+The production deployment (paper Fig. 4) synchronizes events into a
+MaxCompute table for long-term storage, and the daily Spark job writes
+two result tables back (per-VM indicators and event-level CDI).  This
+module provides the equivalent: schema-validated, partitioned,
+append-only tables with predicate scans.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro.storage.schema import Schema, SchemaError
+
+#: Partition key value used for rows appended without a partition.
+DEFAULT_PARTITION = "default"
+
+
+class TableNotFoundError(KeyError):
+    """Requested table does not exist in the store."""
+
+
+class Table:
+    """One append-only partitioned table.
+
+    Partitions model MaxCompute's ``ds=YYYYMMDD`` date partitions: the
+    daily pipeline writes each day into its own partition and scans are
+    typically partition-pruned.
+    """
+
+    def __init__(self, name: str, schema: Schema) -> None:
+        self.name = name
+        self.schema = schema
+        self._partitions: dict[str, list[dict[str, Any]]] = {}
+
+    # -- writes ----------------------------------------------------------------
+
+    def append(self, rows: Iterable[Mapping[str, Any]],
+               partition: str = DEFAULT_PARTITION) -> int:
+        """Validate and append rows into ``partition``; returns row count.
+
+        Validation is all-or-nothing: a schema violation in any row
+        aborts the whole append, leaving the table unchanged.
+        """
+        validated = [self.schema.validate_row(row) for row in rows]
+        self._partitions.setdefault(partition, []).extend(validated)
+        return len(validated)
+
+    def overwrite_partition(self, rows: Iterable[Mapping[str, Any]],
+                            partition: str) -> int:
+        """Replace the contents of one partition (idempotent daily write)."""
+        validated = [self.schema.validate_row(row) for row in rows]
+        self._partitions[partition] = validated
+        return len(validated)
+
+    def drop_partition(self, partition: str) -> None:
+        """Remove one partition; missing partitions are a no-op."""
+        self._partitions.pop(partition, None)
+
+    # -- reads -----------------------------------------------------------------
+
+    @property
+    def partitions(self) -> list[str]:
+        """Existing partition keys, sorted."""
+        return sorted(self._partitions)
+
+    def scan(self, predicate: Callable[[Mapping[str, Any]], bool] | None = None,
+             partition: str | None = None) -> Iterator[dict[str, Any]]:
+        """Iterate rows, optionally pruned to one partition and filtered.
+
+        Rows are yielded as copies so callers cannot mutate stored data.
+        """
+        if partition is not None:
+            sources = [self._partitions.get(partition, [])]
+        else:
+            sources = [self._partitions[p] for p in self.partitions]
+        for rows in sources:
+            for row in rows:
+                if predicate is None or predicate(row):
+                    yield dict(row)
+
+    def rows(self, partition: str | None = None) -> list[dict[str, Any]]:
+        """All rows (of a partition) as a list."""
+        return list(self.scan(partition=partition))
+
+    def count(self, partition: str | None = None) -> int:
+        """Row count, optionally for one partition."""
+        if partition is not None:
+            return len(self._partitions.get(partition, []))
+        return sum(len(rows) for rows in self._partitions.values())
+
+
+class TableStore:
+    """A named collection of tables (the "MaxCompute project")."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def create(self, name: str, schema: Schema, *,
+               if_not_exists: bool = False) -> Table:
+        """Create a table; re-creating raises unless ``if_not_exists``."""
+        existing = self._tables.get(name)
+        if existing is not None:
+            if if_not_exists:
+                return existing
+            raise SchemaError(f"table {name!r} already exists")
+        table = Table(name, schema)
+        self._tables[name] = table
+        return table
+
+    def get(self, name: str) -> Table:
+        """Fetch a table; raises :class:`TableNotFoundError` if absent."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TableNotFoundError(name) from None
+
+    def drop(self, name: str) -> None:
+        """Drop a table; missing tables are a no-op."""
+        self._tables.pop(name, None)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def names(self) -> list[str]:
+        """All table names, sorted."""
+        return sorted(self._tables)

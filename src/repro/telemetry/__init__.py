@@ -1,0 +1,94 @@
+"""Deterministic cloud-fleet simulator (production telemetry stand-in).
+
+* :mod:`repro.telemetry.topology` — regions/AZs/clusters/NCs/VMs.
+* :mod:`repro.telemetry.faults` — fault ground truth and Poisson
+  injection.
+* :mod:`repro.telemetry.metrics` — seasonal metric series with fault
+  overlays.
+* :mod:`repro.telemetry.logs` — log rendering (NIC flaps, panics, ...).
+* :mod:`repro.telemetry.tickets` — customer ticket generation.
+"""
+
+from repro.telemetry.faults import (
+    FAULT_CATEGORY,
+    Fault,
+    FaultInjector,
+    FaultKind,
+    FaultRate,
+    baseline_rates,
+)
+from repro.telemetry.logs import LogGenerator, LogLine, render_fault_logs
+from repro.telemetry.metrics import (
+    CPU_FREQ,
+    CPU_POWER,
+    CPU_STEAL,
+    DEFAULT_SPECS,
+    HEARTBEAT,
+    PACKET_LOSS_RATE,
+    READ_LATENCY,
+    MetricGenerator,
+    MetricSample,
+    SeriesSpec,
+)
+from repro.telemetry.power import (
+    ConsistencyViolation,
+    PowerNode,
+    PowerTelemetry,
+    build_power_topology,
+    check_consistency,
+)
+from repro.telemetry.tickets import (
+    PAPER_TICKET_MIXTURE,
+    Ticket,
+    TicketGenerator,
+    ticket_counts_by_event,
+)
+from repro.telemetry.topology import (
+    AvailabilityZone,
+    Cluster,
+    DeploymentArch,
+    Fleet,
+    NodeController,
+    VirtualMachine,
+    VmType,
+    build_fleet,
+)
+
+__all__ = [
+    "AvailabilityZone",
+    "CPU_FREQ",
+    "CPU_POWER",
+    "CPU_STEAL",
+    "Cluster",
+    "ConsistencyViolation",
+    "DEFAULT_SPECS",
+    "DeploymentArch",
+    "FAULT_CATEGORY",
+    "Fault",
+    "FaultInjector",
+    "FaultKind",
+    "FaultRate",
+    "Fleet",
+    "HEARTBEAT",
+    "LogGenerator",
+    "LogLine",
+    "MetricGenerator",
+    "MetricSample",
+    "NodeController",
+    "PACKET_LOSS_RATE",
+    "PAPER_TICKET_MIXTURE",
+    "PowerNode",
+    "PowerTelemetry",
+    "READ_LATENCY",
+    "SeriesSpec",
+    "Ticket",
+    "TicketGenerator",
+    "VirtualMachine",
+    "VmType",
+    "baseline_rates",
+    "build_fleet",
+    "build_power_topology",
+    "check_consistency",
+    "render_fault_logs",
+    "ticket_counts_by_event",
+]

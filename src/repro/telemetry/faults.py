@@ -1,0 +1,163 @@
+"""Fault injection: the ground truth behind synthetic telemetry.
+
+Experiments need *known answers*: a fault model decides what actually
+went wrong in the simulated fleet, the renderers in
+:mod:`repro.telemetry.metrics` / :mod:`repro.telemetry.logs` /
+:mod:`repro.telemetry.tickets` turn faults into raw telemetry, and the
+CloudBot extractor must recover them as events.  Each fault kind maps
+onto the paper's event vocabulary.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.events import EventCategory
+
+
+class FaultKind(enum.Enum):
+    """Injectable fault kinds and the stability category they damage."""
+
+    VM_DOWN = "vm_down"
+    VM_HANG = "vm_hang"
+    NC_DOWN = "nc_down"
+    DDOS_BLACKHOLE = "ddos_blackhole"
+    SLOW_IO = "slow_io"
+    PACKET_LOSS = "packet_loss"
+    VCPU_CONTENTION = "vcpu_contention"
+    NIC_FLAPPING = "nic_flapping"
+    GPU_DROP = "gpu_drop"
+    CPU_FREQ_CAPPED = "cpu_freq_capped"
+    ALLOCATION_BUG = "allocation_bug"
+    POWER_SENSOR_ZERO = "power_sensor_zero"
+    CONTROL_API_OUTAGE = "control_api_outage"
+    CONSOLE_OUTAGE = "console_outage"
+
+
+#: Which stability category each fault kind damages (Definition 1).
+FAULT_CATEGORY: Mapping[FaultKind, EventCategory] = {
+    FaultKind.VM_DOWN: EventCategory.UNAVAILABILITY,
+    FaultKind.VM_HANG: EventCategory.UNAVAILABILITY,
+    FaultKind.NC_DOWN: EventCategory.UNAVAILABILITY,
+    FaultKind.DDOS_BLACKHOLE: EventCategory.UNAVAILABILITY,
+    FaultKind.SLOW_IO: EventCategory.PERFORMANCE,
+    FaultKind.PACKET_LOSS: EventCategory.PERFORMANCE,
+    FaultKind.VCPU_CONTENTION: EventCategory.PERFORMANCE,
+    FaultKind.NIC_FLAPPING: EventCategory.PERFORMANCE,
+    FaultKind.GPU_DROP: EventCategory.PERFORMANCE,
+    FaultKind.CPU_FREQ_CAPPED: EventCategory.PERFORMANCE,
+    FaultKind.ALLOCATION_BUG: EventCategory.PERFORMANCE,
+    FaultKind.POWER_SENSOR_ZERO: EventCategory.PERFORMANCE,
+    FaultKind.CONTROL_API_OUTAGE: EventCategory.CONTROL_PLANE,
+    FaultKind.CONSOLE_OUTAGE: EventCategory.CONTROL_PLANE,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Fault:
+    """One injected fault on one target over ``[start, start+duration]``."""
+
+    kind: FaultKind
+    target: str
+    start: float
+    duration: float
+    params: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"fault duration must be >= 0, got {self.duration}")
+
+    @property
+    def end(self) -> float:
+        """Fault end time."""
+        return self.start + self.duration
+
+    @property
+    def category(self) -> EventCategory:
+        """Stability category the fault damages."""
+        return FAULT_CATEGORY[self.kind]
+
+
+@dataclass(frozen=True, slots=True)
+class FaultRate:
+    """Poisson fault process parameters for one kind.
+
+    ``per_target_per_day`` is the expected fault count per target per
+    day; durations are log-normal around ``mean_duration`` seconds.
+    """
+
+    kind: FaultKind
+    per_target_per_day: float
+    mean_duration: float
+    duration_sigma: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.per_target_per_day < 0:
+            raise ValueError("per_target_per_day must be >= 0")
+        if self.mean_duration <= 0:
+            raise ValueError("mean_duration must be > 0")
+
+
+class FaultInjector:
+    """Samples faults from Poisson processes over a time window."""
+
+    def __init__(self, rates: Sequence[FaultRate], seed: int = 0) -> None:
+        self._rates = tuple(rates)
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, targets: Iterable[str], start: float,
+               end: float) -> list[Fault]:
+        """Draw faults for all targets over ``[start, end)``.
+
+        Deterministic for a fixed seed, target order, and window.
+        """
+        if end <= start:
+            raise ValueError(f"window reversed: [{start}, {end})")
+        days = (end - start) / 86400.0
+        faults: list[Fault] = []
+        for target in targets:
+            for rate in self._rates:
+                count = int(self._rng.poisson(rate.per_target_per_day * days))
+                for _ in range(count):
+                    at = float(self._rng.uniform(start, end))
+                    duration = float(
+                        self._rng.lognormal(
+                            np.log(rate.mean_duration), rate.duration_sigma
+                        )
+                    )
+                    duration = min(duration, end - at)
+                    faults.append(
+                        Fault(kind=rate.kind, target=target, start=at,
+                              duration=duration)
+                    )
+        faults.sort(key=lambda f: (f.start, f.target, f.kind.value))
+        return faults
+
+
+def baseline_rates(scale: float = 1.0) -> list[FaultRate]:
+    """A plausible background fault mix for a healthy fleet.
+
+    ``scale`` multiplies all rates, which is how the FY2024 trend
+    scenario models year-over-year stability improvement.
+    """
+    if scale < 0:
+        raise ValueError(f"scale must be >= 0, got {scale}")
+    base = [
+        FaultRate(FaultKind.VM_DOWN, 0.002, 300.0),
+        FaultRate(FaultKind.VM_HANG, 0.001, 240.0),
+        FaultRate(FaultKind.SLOW_IO, 0.02, 120.0),
+        FaultRate(FaultKind.PACKET_LOSS, 0.03, 90.0),
+        FaultRate(FaultKind.VCPU_CONTENTION, 0.015, 300.0),
+        FaultRate(FaultKind.NIC_FLAPPING, 0.004, 60.0),
+        FaultRate(FaultKind.CONTROL_API_OUTAGE, 0.003, 120.0),
+        FaultRate(FaultKind.CONSOLE_OUTAGE, 0.001, 180.0),
+    ]
+    return [
+        FaultRate(r.kind, r.per_target_per_day * scale, r.mean_duration,
+                  r.duration_sigma)
+        for r in base
+    ]

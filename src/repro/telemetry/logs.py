@@ -1,0 +1,98 @@
+"""Synthetic system logs rendered from injected faults.
+
+The Event Extractor's expert rules parse raw log lines (paper Fig. 1:
+``eth0 NIC Link is Down`` becomes a ``nic_flapping`` event).  This
+module renders fault ground truth into exactly those log shapes, plus
+benign chatter lines the extractor must learn to discard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.telemetry.faults import Fault, FaultKind
+
+
+@dataclass(frozen=True, slots=True)
+class LogLine:
+    """One raw log line from a target."""
+
+    time: float
+    target: str
+    line: str
+
+
+#: Benign lines sprinkled between fault signatures (Fig. 1 shows two
+#: discarded entries around the NIC-down line).
+_NOISE_LINES = (
+    "systemd[1]: Started Daily apt download activities.",
+    "kernel: audit: backlog limit exceeded",
+    "sshd[2211]: Accepted publickey for admin",
+    "kernel: perf: interrupt took too long",
+    "chronyd[801]: Selected source 10.0.0.1",
+)
+
+
+def render_fault_logs(fault: Fault) -> list[LogLine]:
+    """Log lines a fault of this kind writes on its target."""
+    lines: list[LogLine] = []
+
+    def emit(offset: float, text: str) -> None:
+        lines.append(LogLine(time=fault.start + offset, target=fault.target,
+                             line=text))
+
+    if fault.kind is FaultKind.NIC_FLAPPING:
+        emit(0.0, "kernel: eth0 NIC Link is Down")
+        emit(min(2.0, fault.duration), "kernel: eth0 NIC Link is Up")
+    elif fault.kind is FaultKind.VM_DOWN:
+        emit(0.0, "qemu: guest panicked, terminating on signal")
+    elif fault.kind is FaultKind.VM_HANG:
+        emit(0.0, "kernel: watchdog: BUG: soft lockup - CPU stuck")
+    elif fault.kind is FaultKind.NC_DOWN:
+        emit(0.0, "kernel: Machine Check Exception: fatal hardware error")
+    elif fault.kind is FaultKind.GPU_DROP:
+        emit(0.0, "kernel: NVRM: Xid (PCI:0000:3b:00): GPU has fallen off the bus")
+    elif fault.kind is FaultKind.SLOW_IO:
+        emit(0.0, "kernel: blk_update_request: I/O error, dev vda")
+    elif fault.kind is FaultKind.DDOS_BLACKHOLE:
+        emit(0.0, "netsec: blackhole route added for attacked address")
+        emit(fault.duration, "netsec: blackhole route removed for address")
+    elif fault.kind is FaultKind.CONTROL_API_OUTAGE:
+        emit(0.0, "apiserver: authentication failed: whitelist incomplete")
+    elif fault.kind is FaultKind.CONSOLE_OUTAGE:
+        emit(0.0, "console: login handler timeout exceeded")
+    return lines
+
+
+class LogGenerator:
+    """Renders faults plus background chatter into a log stream."""
+
+    def __init__(self, seed: int = 0, noise_per_target_per_hour: float = 2.0) -> None:
+        if noise_per_target_per_hour < 0:
+            raise ValueError("noise rate must be >= 0")
+        self._rng = np.random.default_rng(seed)
+        self._noise_rate = noise_per_target_per_hour
+
+    def emit(self, targets: Iterable[str], start: float, end: float,
+             faults: Sequence[Fault] = ()) -> list[LogLine]:
+        """All log lines over ``[start, end)``, time-sorted."""
+        if end <= start:
+            raise ValueError(f"window reversed: [{start}, {end})")
+        lines: list[LogLine] = []
+        for fault in faults:
+            lines.extend(
+                line for line in render_fault_logs(fault)
+                if start <= line.time < end
+            )
+        hours = (end - start) / 3600.0
+        for target in targets:
+            count = int(self._rng.poisson(self._noise_rate * hours))
+            for _ in range(count):
+                at = float(self._rng.uniform(start, end))
+                text = _NOISE_LINES[int(self._rng.integers(len(_NOISE_LINES)))]
+                lines.append(LogLine(time=at, target=target, line=text))
+        lines.sort(key=lambda l: (l.time, l.target))
+        return lines

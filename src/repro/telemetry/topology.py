@@ -1,0 +1,194 @@
+"""Fleet topology: regions → availability zones → clusters → NCs → VMs.
+
+The paper's production fleet has over a million physical servers
+(Section II).  This module builds deterministic synthetic fleets with
+the same hierarchy so BI drill-downs (region / AZ / cluster, Section V)
+and architecture experiments (dedicated vs shared VMs on homogeneous
+vs hybrid hosts, Section VI-B) have realistic structure to work with.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+
+class VmType(enum.Enum):
+    """Product type of a VM (paper Case 5)."""
+
+    DEDICATED = "dedicated"  # exclusive physical cores
+    SHARED = "shared"        # cores shared with other tenants
+
+
+class DeploymentArch(enum.Enum):
+    """Host deployment architecture (paper Fig. 7)."""
+
+    HOMOGENEOUS = "homogeneous"  # dedicated and shared VMs on separate NCs
+    HYBRID = "hybrid"            # both VM types on the same NC
+
+
+@dataclass(frozen=True, slots=True)
+class VirtualMachine:
+    """One customer VM."""
+
+    vm_id: str
+    nc_id: str
+    vm_type: VmType
+    cores: int
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError(f"VM {self.vm_id} must have >= 1 core")
+
+
+@dataclass(frozen=True, slots=True)
+class NodeController:
+    """One physical machine hosting VMs (paper Table I: NC)."""
+
+    nc_id: str
+    cluster_id: str
+    machine_model: str
+    cores: int
+    arch: DeploymentArch
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError(f"NC {self.nc_id} must have >= 1 core")
+
+
+@dataclass(frozen=True, slots=True)
+class Cluster:
+    """A group of NCs within an availability zone."""
+
+    cluster_id: str
+    az_id: str
+
+
+@dataclass(frozen=True, slots=True)
+class AvailabilityZone:
+    """An AZ within a region."""
+
+    az_id: str
+    region_id: str
+
+
+@dataclass
+class Fleet:
+    """A fully built fleet with index structures for drill-down."""
+
+    regions: list[str] = field(default_factory=list)
+    azs: dict[str, AvailabilityZone] = field(default_factory=dict)
+    clusters: dict[str, Cluster] = field(default_factory=dict)
+    ncs: dict[str, NodeController] = field(default_factory=dict)
+    vms: dict[str, VirtualMachine] = field(default_factory=dict)
+
+    def vms_on(self, nc_id: str) -> list[VirtualMachine]:
+        """All VMs hosted on one NC."""
+        return [vm for vm in self.vms.values() if vm.nc_id == nc_id]
+
+    def nc_of(self, vm_id: str) -> NodeController:
+        """Host NC of a VM."""
+        return self.ncs[self.vms[vm_id].nc_id]
+
+    def cluster_of(self, vm_id: str) -> Cluster:
+        """Cluster of a VM's host."""
+        return self.clusters[self.nc_of(vm_id).cluster_id]
+
+    def az_of(self, vm_id: str) -> AvailabilityZone:
+        """AZ of a VM's host."""
+        return self.azs[self.cluster_of(vm_id).az_id]
+
+    def region_of(self, vm_id: str) -> str:
+        """Region of a VM's host."""
+        return self.az_of(vm_id).region_id
+
+    def dimensions_of(self, vm_id: str) -> dict[str, str]:
+        """All drill-down dimensions of one VM (for BI aggregation)."""
+        vm = self.vms[vm_id]
+        nc = self.ncs[vm.nc_id]
+        cluster = self.clusters[nc.cluster_id]
+        az = self.azs[cluster.az_id]
+        return {
+            "vm": vm.vm_id,
+            "nc": nc.nc_id,
+            "machine_model": nc.machine_model,
+            "arch": nc.arch.value,
+            "vm_type": vm.vm_type.value,
+            "cluster": cluster.cluster_id,
+            "az": az.az_id,
+            "region": az.region_id,
+        }
+
+    def iter_vm_ids(self) -> Iterator[str]:
+        """All VM ids in deterministic order."""
+        return iter(sorted(self.vms))
+
+
+def build_fleet(
+    *,
+    seed: int = 0,
+    regions: int = 1,
+    azs_per_region: int = 2,
+    clusters_per_az: int = 2,
+    ncs_per_cluster: int = 4,
+    vms_per_nc: int = 4,
+    machine_models: tuple[str, ...] = ("M1", "M2"),
+    arch: DeploymentArch = DeploymentArch.HOMOGENEOUS,
+    shared_fraction: float = 0.5,
+    nc_cores: int = 104,
+) -> Fleet:
+    """Build a deterministic synthetic fleet.
+
+    Under ``HOMOGENEOUS`` deployment every NC hosts a single VM type
+    (dedicated-only or shared-only pools, Fig. 7a/b); under ``HYBRID``
+    both types share each NC on disjoint core ranges (Fig. 7c).
+    ``shared_fraction`` controls the share of shared-VM capacity.
+    """
+    if not 0.0 <= shared_fraction <= 1.0:
+        raise ValueError(f"shared_fraction must be in [0, 1], got {shared_fraction}")
+    rng = np.random.default_rng(seed)
+    fleet = Fleet()
+    vm_counter = 0
+    for r in range(regions):
+        region_id = f"region-{r}"
+        fleet.regions.append(region_id)
+        for a in range(azs_per_region):
+            az_id = f"{region_id}/az-{chr(ord('a') + a)}"
+            fleet.azs[az_id] = AvailabilityZone(az_id=az_id, region_id=region_id)
+            for c in range(clusters_per_az):
+                cluster_id = f"{az_id}/cluster-{c}"
+                fleet.clusters[cluster_id] = Cluster(
+                    cluster_id=cluster_id, az_id=az_id
+                )
+                for n in range(ncs_per_cluster):
+                    nc_id = f"{cluster_id}/nc-{n}"
+                    model = machine_models[
+                        int(rng.integers(len(machine_models)))
+                    ]
+                    fleet.ncs[nc_id] = NodeController(
+                        nc_id=nc_id, cluster_id=cluster_id,
+                        machine_model=model, cores=nc_cores, arch=arch,
+                    )
+                    if arch is DeploymentArch.HOMOGENEOUS:
+                        # Whole-NC pools: NC index decides the pool.
+                        nc_shared = n < round(ncs_per_cluster * shared_fraction)
+                        types = [
+                            VmType.SHARED if nc_shared else VmType.DEDICATED
+                        ] * vms_per_nc
+                    else:
+                        shared_count = round(vms_per_nc * shared_fraction)
+                        types = (
+                            [VmType.SHARED] * shared_count
+                            + [VmType.DEDICATED] * (vms_per_nc - shared_count)
+                        )
+                    for vm_type in types:
+                        vm_id = f"vm-{vm_counter:06d}"
+                        vm_counter += 1
+                        fleet.vms[vm_id] = VirtualMachine(
+                            vm_id=vm_id, nc_id=nc_id, vm_type=vm_type,
+                            cores=max(1, nc_cores // (vms_per_nc * 2)),
+                        )
+    return fleet

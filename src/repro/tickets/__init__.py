@@ -1,0 +1,15 @@
+"""Ticket classification (PAI model stand-in)."""
+
+from repro.tickets.classifier import (
+    NaiveBayesTicketClassifier,
+    Prediction,
+    tokenize,
+    train_default_classifier,
+)
+
+__all__ = [
+    "NaiveBayesTicketClassifier",
+    "Prediction",
+    "tokenize",
+    "train_default_classifier",
+]

@@ -1,0 +1,136 @@
+"""Multinomial naive-Bayes ticket classifier (PAI model stand-in).
+
+The production deployment runs a ticket classification model on
+Platform for AI (paper Fig. 4); its outputs drive both the Fig. 2
+ticket distribution and the customer weight perspective.  This is a
+from-scratch multinomial naive Bayes over bag-of-words features with
+Laplace smoothing — small, interpretable, and dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.events import EventCategory
+
+_TOKEN_RE = re.compile(r"[a-z]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lower-cased alphabetic tokens."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+@dataclass(frozen=True, slots=True)
+class Prediction:
+    """Classifier output for one document."""
+
+    category: EventCategory
+    log_scores: dict[EventCategory, float]
+
+
+class NaiveBayesTicketClassifier:
+    """Multinomial naive Bayes with Laplace smoothing."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha <= 0:
+            raise ValueError(f"alpha must be > 0, got {alpha}")
+        self._alpha = alpha
+        self._priors: dict[EventCategory, float] = {}
+        self._word_log_probs: dict[EventCategory, dict[str, float]] = {}
+        self._default_log_prob: dict[EventCategory, float] = {}
+        self._vocabulary: set[str] = set()
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return bool(self._priors)
+
+    def fit(self, documents: Sequence[str],
+            labels: Sequence[EventCategory]) -> "NaiveBayesTicketClassifier":
+        """Train on labelled ticket texts; returns self."""
+        if len(documents) != len(labels):
+            raise ValueError(
+                f"got {len(documents)} documents but {len(labels)} labels"
+            )
+        if not documents:
+            raise ValueError("training set must be non-empty")
+        class_docs: dict[EventCategory, int] = Counter()
+        class_words: dict[EventCategory, Counter] = {}
+        for text, label in zip(documents, labels):
+            class_docs[label] += 1
+            class_words.setdefault(label, Counter()).update(tokenize(text))
+        self._vocabulary = {
+            word for counter in class_words.values() for word in counter
+        }
+        vocab_size = max(1, len(self._vocabulary))
+        total_docs = len(documents)
+        self._priors = {
+            label: math.log(count / total_docs)
+            for label, count in class_docs.items()
+        }
+        self._word_log_probs = {}
+        self._default_log_prob = {}
+        for label, counter in class_words.items():
+            total_words = sum(counter.values())
+            denominator = total_words + self._alpha * vocab_size
+            self._word_log_probs[label] = {
+                word: math.log((counter[word] + self._alpha) / denominator)
+                for word in self._vocabulary
+            }
+            self._default_log_prob[label] = math.log(self._alpha / denominator)
+        return self
+
+    def predict_one(self, text: str) -> Prediction:
+        """Classify one ticket text."""
+        if not self.is_fitted:
+            raise RuntimeError("classifier is not fitted")
+        tokens = tokenize(text)
+        scores: dict[EventCategory, float] = {}
+        for label, prior in self._priors.items():
+            word_probs = self._word_log_probs[label]
+            default = self._default_log_prob[label]
+            scores[label] = prior + sum(
+                word_probs.get(token, default) for token in tokens
+            )
+        best = max(scores, key=lambda label: scores[label])
+        return Prediction(category=best, log_scores=scores)
+
+    def predict(self, texts: Iterable[str]) -> list[EventCategory]:
+        """Classify many ticket texts."""
+        return [self.predict_one(text).category for text in texts]
+
+    def accuracy(self, texts: Sequence[str],
+                 labels: Sequence[EventCategory]) -> float:
+        """Fraction of correct predictions on a labelled set."""
+        if not texts:
+            raise ValueError("evaluation set must be non-empty")
+        predictions = self.predict(texts)
+        correct = sum(1 for p, l in zip(predictions, labels) if p is l)
+        return correct / len(texts)
+
+
+def train_default_classifier(seed: int = 7,
+                             samples_per_category: int = 200
+                             ) -> NaiveBayesTicketClassifier:
+    """Train a classifier on synthetic labelled tickets.
+
+    Stands in for the production model trained on historical labelled
+    tickets; used by the Fig. 2 benchmark and the daily pipeline.
+    """
+    from repro.telemetry.tickets import TicketGenerator
+
+    generator = TicketGenerator(
+        seed=seed,
+        mixture={category: 1.0 for category in EventCategory},
+    )
+    tickets = generator.generate(
+        samples_per_category * len(EventCategory), targets=["training"]
+    )
+    texts = [ticket.text for ticket in tickets]
+    labels = [ticket.category for ticket in tickets]
+    return NaiveBayesTicketClassifier().fit(texts, labels)

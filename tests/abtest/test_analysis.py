@@ -1,0 +1,86 @@
+"""Tests for A/B experiment analysis (Table V shape)."""
+
+import pytest
+
+from repro.abtest.analysis import analyze
+from repro.core.events import EventCategory
+from repro.scenarios.abtest_case8 import build_case8_experiment
+
+
+@pytest.fixture(scope="module")
+def case8_analysis():
+    experiment = build_case8_experiment(hits_per_variant=100, seed=0)
+    return analyze(experiment)
+
+
+class TestCase8TableV:
+    def test_only_performance_significant(self, case8_analysis):
+        """Table V: Unavailability p=0.47 False, Control-plane p=0.89
+        False, Performance p=0 True."""
+        by = case8_analysis.by_category
+        assert not by[EventCategory.UNAVAILABILITY].significant
+        assert not by[EventCategory.CONTROL_PLANE].significant
+        assert by[EventCategory.PERFORMANCE].significant
+        assert by[EventCategory.PERFORMANCE].workflow.omnibus.pvalue < 1e-6
+
+    def test_all_performance_pairs_differ(self, case8_analysis):
+        """Table V post-hoc: A-B, A-C, B-C all significant."""
+        performance = case8_analysis.by_category[EventCategory.PERFORMANCE]
+        significant = set(performance.workflow.significant_pairs)
+        assert {("A", "B"), ("B", "C")} <= significant
+
+    def test_action_b_recommended(self, case8_analysis):
+        """Fig. 11: means 0.40 / 0.08 / 0.42 -> B is the superior choice."""
+        assert case8_analysis.recommendation == "B"
+        means = case8_analysis.by_category[EventCategory.PERFORMANCE].means
+        assert means["B"] < means["A"]
+        assert means["B"] < means["C"]
+        assert means["A"] == pytest.approx(0.40, abs=0.05)
+        assert means["B"] == pytest.approx(0.08, abs=0.05)
+        assert means["C"] == pytest.approx(0.42, abs=0.05)
+
+    def test_table_rows_shape(self, case8_analysis):
+        rows = case8_analysis.table()
+        assert len(rows) == 3
+        perf_row = next(r for r in rows if r["sub_metric"] == "performance")
+        assert perf_row["omnibus_significant"]
+        assert len(perf_row["pairs"]) == 3
+
+
+class TestAnalysisOptions:
+    def test_min_samples_enforced(self):
+        experiment = build_case8_experiment(hits_per_variant=2)
+        with pytest.raises(ValueError, match=">= 3"):
+            analyze(experiment)
+
+    def test_aggregate_single_metric(self):
+        experiment = build_case8_experiment(hits_per_variant=80, seed=1)
+        weights = {c: 1.0 for c in EventCategory}
+        result = analyze(experiment, aggregate_weights=weights)
+        assert result.aggregate is not None
+        # Performance dominates the aggregate, so B still wins.
+        assert result.aggregate.significant
+        assert result.recommendation == "B"
+
+    def test_no_difference_no_recommendation(self):
+        from repro.abtest.experiment import AbExperiment, Variant
+        from repro.core.indicator import CdiReport
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        experiment = AbExperiment(
+            "null_rule", [Variant("A", 0.5), Variant("B", 0.5)],
+        )
+        for i in range(60):
+            variant = "A" if i % 2 == 0 else "B"
+            experiment.record(
+                f"vm-{i}", variant,
+                CdiReport(
+                    float(rng.normal(0.1, 0.02)),
+                    float(rng.normal(0.1, 0.02)),
+                    float(rng.normal(0.1, 0.02)),
+                    86400.0,
+                ),
+            )
+        result = analyze(experiment, alpha=0.01)
+        assert result.recommendation is None

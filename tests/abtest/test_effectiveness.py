@@ -1,0 +1,93 @@
+"""Tests for null-arm rule-effectiveness evaluation (Section VI-D)."""
+
+import numpy as np
+import pytest
+
+from repro.abtest.effectiveness import (
+    evaluate_rule_effectiveness,
+    is_rule_effective,
+)
+from repro.abtest.experiment import AbExperiment, Variant
+from repro.core.events import EventCategory
+from repro.core.indicator import CdiReport
+
+
+def build_experiment(action_perf_mean: float, null_perf_mean: float,
+                     n: int = 80, seed: int = 0,
+                     extra_action: float | None = None) -> AbExperiment:
+    variants = [Variant("migrate", 0.5, ""), Variant("null", 0.5, "")]
+    if extra_action is not None:
+        variants = [Variant("migrate", 1 / 3), Variant("reboot", 1 / 3),
+                    Variant("null", 1 / 3)]
+    experiment = AbExperiment("nc_down_prediction", variants, seed=seed)
+    rng = np.random.default_rng(seed)
+
+    def record(variant: str, perf_mean: float) -> None:
+        for i in range(n):
+            experiment.record(
+                f"vm-{variant}-{i}", variant,
+                CdiReport(
+                    unavailability=float(np.clip(rng.normal(0.05, 0.02), 0, 1)),
+                    performance=float(np.clip(rng.normal(perf_mean, 0.05), 0, 1)),
+                    control_plane=float(np.clip(rng.normal(0.03, 0.01), 0, 1)),
+                    service_time=86400.0,
+                ),
+            )
+
+    record("migrate", action_perf_mean)
+    record("null", null_perf_mean)
+    if extra_action is not None:
+        record("reboot", extra_action)
+    return experiment
+
+
+class TestEffectiveness:
+    def test_helpful_action_detected(self):
+        experiment = build_experiment(action_perf_mean=0.1,
+                                      null_perf_mean=0.5)
+        results = evaluate_rule_effectiveness(experiment)
+        performance = results[EventCategory.PERFORMANCE]
+        assert performance.effective
+        assert performance.better_actions == ("migrate",)
+        assert performance.action_means["migrate"] < performance.null_mean
+        assert is_rule_effective(results)
+
+    def test_useless_rule_not_effective(self):
+        experiment = build_experiment(action_perf_mean=0.3,
+                                      null_perf_mean=0.3)
+        results = evaluate_rule_effectiveness(experiment, alpha=0.01)
+        assert not is_rule_effective(results)
+
+    def test_harmful_action_not_marked_better(self):
+        """A significant difference where the action is WORSE than null
+        must not count as effectiveness."""
+        experiment = build_experiment(action_perf_mean=0.6,
+                                      null_perf_mean=0.1)
+        results = evaluate_rule_effectiveness(experiment)
+        performance = results[EventCategory.PERFORMANCE]
+        assert performance.omnibus_pvalue < 0.05
+        assert not performance.effective
+
+    def test_three_arms_posthoc_path(self):
+        experiment = build_experiment(action_perf_mean=0.1,
+                                      null_perf_mean=0.5,
+                                      extra_action=0.5)
+        results = evaluate_rule_effectiveness(experiment)
+        performance = results[EventCategory.PERFORMANCE]
+        assert performance.effective
+        assert "migrate" in performance.better_actions
+        assert "reboot" not in performance.better_actions
+
+    def test_unaffected_submetrics_not_effective(self):
+        experiment = build_experiment(action_perf_mean=0.1,
+                                      null_perf_mean=0.5)
+        results = evaluate_rule_effectiveness(experiment)
+        assert not results[EventCategory.UNAVAILABILITY].effective
+        assert not results[EventCategory.CONTROL_PLANE].effective
+
+    def test_missing_null_arm_rejected(self):
+        experiment = AbExperiment(
+            "r", [Variant("a", 0.5), Variant("b", 0.5)],
+        )
+        with pytest.raises(KeyError, match="null"):
+            evaluate_rule_effectiveness(experiment)

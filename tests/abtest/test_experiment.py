@@ -1,0 +1,84 @@
+"""Tests for A/B experiment assignment and collection."""
+
+import pytest
+
+from repro.abtest.experiment import AbExperiment, Variant
+from repro.core.events import EventCategory
+from repro.core.indicator import CdiReport
+
+
+def make_experiment(seed=0) -> AbExperiment:
+    return AbExperiment(
+        rule_name="nc_down_prediction",
+        variants=[Variant("A", 0.5), Variant("B", 0.3), Variant("C", 0.2)],
+        seed=seed,
+    )
+
+
+def report(performance=0.1) -> CdiReport:
+    return CdiReport(0.01, performance, 0.02, 86400.0)
+
+
+class TestValidation:
+    def test_needs_two_variants(self):
+        with pytest.raises(ValueError):
+            AbExperiment("r", [Variant("A", 1.0)])
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            AbExperiment("r", [Variant("A", 0.5), Variant("B", 0.2)])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            AbExperiment("r", [Variant("A", 0.5), Variant("A", 0.5)])
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValueError):
+            AbExperiment("r", [Variant("A", 1.5), Variant("B", -0.5)])
+
+
+class TestAssignment:
+    def test_deterministic_for_seed(self):
+        a = make_experiment(seed=7)
+        b = make_experiment(seed=7)
+        assert [a.assign(f"vm-{i}").name for i in range(50)] == [
+            b.assign(f"vm-{i}").name for i in range(50)
+        ]
+
+    def test_distribution_approximated(self):
+        experiment = make_experiment()
+        counts = {"A": 0, "B": 0, "C": 0}
+        for i in range(3000):
+            counts[experiment.assign(f"vm-{i}").name] += 1
+        assert counts["A"] / 3000 == pytest.approx(0.5, abs=0.05)
+        assert counts["B"] / 3000 == pytest.approx(0.3, abs=0.05)
+        assert counts["C"] / 3000 == pytest.approx(0.2, abs=0.05)
+
+
+class TestRecording:
+    def test_record_and_sequences(self):
+        experiment = make_experiment()
+        experiment.record("vm-1", "A", report(0.4))
+        experiment.record("vm-2", "B", report(0.1))
+        experiment.record("vm-3", "A", report(0.5))
+        sequences = experiment.sequences(EventCategory.PERFORMANCE)
+        assert sequences["A"] == [0.4, 0.5]
+        assert sequences["B"] == [0.1]
+        assert sequences["C"] == []
+
+    def test_sequences_per_category(self):
+        experiment = make_experiment()
+        experiment.record("vm-1", "A", CdiReport(0.9, 0.1, 0.2, 1.0))
+        assert experiment.sequences(EventCategory.UNAVAILABILITY)["A"] == [0.9]
+        assert experiment.sequences(EventCategory.CONTROL_PLANE)["A"] == [0.2]
+
+    def test_unknown_variant_rejected(self):
+        experiment = make_experiment()
+        with pytest.raises(KeyError):
+            experiment.record("vm-1", "Z", report())
+
+    def test_counts(self):
+        experiment = make_experiment()
+        experiment.record("vm-1", "A", report())
+        experiment.record("vm-2", "A", report())
+        assert experiment.counts() == {"A": 2, "B": 0, "C": 0}

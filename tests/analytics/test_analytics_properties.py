@@ -1,0 +1,125 @@
+"""Property-based tests on the anomaly analytics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics.evt import Spot, fit_gpd, pot_threshold
+from repro.analytics.ksigma import ksigma, rolling_ksigma
+from repro.analytics.rca import LeafObservation, localize
+from repro.analytics.stl import BacktrackStl
+
+series_st = st.lists(
+    st.floats(min_value=-1e4, max_value=1e4,
+              allow_nan=False, allow_infinity=False),
+    min_size=5, max_size=80,
+)
+
+
+class TestKsigmaProperties:
+    @given(series_st, st.floats(min_value=1.0, max_value=6.0))
+    @settings(max_examples=80, deadline=None)
+    def test_indices_valid_and_directions_consistent(self, series, k):
+        for anomaly in ksigma(series, k=k):
+            assert 0 <= anomaly.index < len(series)
+            assert anomaly.value == series[anomaly.index]
+            if anomaly.direction == "spike":
+                assert anomaly.score > 0
+            else:
+                assert anomaly.score < 0
+
+    @given(series_st)
+    @settings(max_examples=80, deadline=None)
+    def test_higher_k_flags_subset(self, series):
+        loose = {a.index for a in ksigma(series, k=2.0)}
+        strict = {a.index for a in ksigma(series, k=4.0)}
+        assert strict <= loose
+
+    @given(series_st, st.integers(min_value=3, max_value=15))
+    @settings(max_examples=80, deadline=None)
+    def test_rolling_never_flags_warmup(self, series, window):
+        for anomaly in rolling_ksigma(series, window=window, k=3.0):
+            assert anomaly.index >= window
+
+
+class TestEvtProperties:
+    excess_st = st.lists(
+        st.floats(min_value=1e-3, max_value=1e3,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=200,
+    )
+
+    @given(excess_st)
+    @settings(max_examples=60, deadline=None)
+    def test_gpd_fit_has_positive_scale(self, excesses):
+        fit = fit_gpd(excesses)
+        assert fit.sigma > 0.0
+        assert np.isfinite(fit.gamma)
+
+    @given(excess_st, st.floats(min_value=1e-6, max_value=1e-2))
+    @settings(max_examples=60, deadline=None)
+    def test_pot_threshold_monotone_in_q(self, excesses, q):
+        fit = fit_gpd(excesses)
+        loose = pot_threshold(fit, 1.0, 1000, len(excesses), q=q)
+        strict = pot_threshold(fit, 1.0, 1000, len(excesses), q=q / 10)
+        assert strict >= loose - 1e-9
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_spot_threshold_above_calibration_quantile(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.exponential(1.0, 300)
+        spot = Spot(q=1e-4, level=0.95).fit(data)
+        assert spot.threshold >= float(np.quantile(data, 0.95)) - 1e-9
+
+
+class TestStlProperties:
+    @given(st.lists(
+        st.floats(min_value=-100, max_value=100,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=120,
+    ), st.integers(min_value=1, max_value=24))
+    @settings(max_examples=40, deadline=None)
+    def test_components_finite(self, series, period):
+        stl = BacktrackStl(period=period)
+        decomposition = stl.decompose(series)
+        assert np.isfinite(decomposition.trend).all()
+        assert np.isfinite(decomposition.seasonal).all()
+        assert np.isfinite(decomposition.residual).all()
+
+    @given(st.floats(min_value=-100, max_value=100, allow_nan=False),
+           st.integers(min_value=1, max_value=24))
+    @settings(max_examples=40, deadline=None)
+    def test_constant_series_fully_explained_by_trend(self, level, period):
+        stl = BacktrackStl(period=period)
+        decomposition = stl.decompose([level] * 60)
+        assert np.allclose(decomposition.residual, 0.0, atol=1e-9)
+        assert np.allclose(decomposition.trend, level, atol=1e-9)
+
+
+class TestRcaProperties:
+    leaves_st = st.lists(
+        st.tuples(
+            st.sampled_from(["r0", "r1", "r2"]),
+            st.sampled_from(["M1", "M2"]),
+            st.floats(min_value=0.0, max_value=100.0),
+            st.floats(min_value=0.0, max_value=100.0),
+        ),
+        min_size=1, max_size=30,
+    )
+
+    @given(leaves_st)
+    @settings(max_examples=80, deadline=None)
+    def test_localize_returns_known_values_or_none(self, raw):
+        leaves = [
+            LeafObservation({"region": r, "model": m}, expected, actual)
+            for r, m, expected, actual in raw
+        ]
+        cause = localize(leaves)
+        if cause is not None:
+            assert cause.dimension in ("region", "model")
+            observed = {
+                leaf.dimensions[cause.dimension] for leaf in leaves
+            }
+            assert set(cause.values) <= observed
+            assert cause.explanatory_power > 0.0

@@ -1,0 +1,67 @@
+"""Tests for direction-aware CDI curve detection (Cases 6 & 7)."""
+
+import numpy as np
+
+from repro.analytics.detect import CdiCurveDetector
+
+
+def noisy_level(rng, level: float, n: int, sigma: float = 0.02) -> list[float]:
+    return list(np.maximum(0.0, level + rng.normal(0, sigma, n)))
+
+
+class TestCdiCurveDetector:
+    def test_case6_spike_detected(self):
+        """Day-14 spike in vm_allocation_failed CDI (Case 6 shape)."""
+        rng = np.random.default_rng(0)
+        curve = noisy_level(rng, 0.1, 13) + [2.0] + noisy_level(rng, 0.1, 16)
+        detector = CdiCurveDetector(window=7, k=3.0, calibration=10)
+        detections = detector.detect(curve)
+        spikes = [d for d in detections if d.direction == "spike"]
+        assert any(d.index == 13 for d in spikes)
+
+    def test_case7_dip_detected(self):
+        """Days 13-17 dip in inspect_cpu_power_tdp CDI (Case 7 shape)."""
+        rng = np.random.default_rng(1)
+        curve = (
+            noisy_level(rng, 0.5, 12)
+            + [0.3, 0.1, 0.02, 0.01, 0.01]
+            + noisy_level(rng, 0.5, 13)
+        )
+        detector = CdiCurveDetector(window=7, k=3.0, calibration=10)
+        detections = detector.detect(curve)
+        dips = [d for d in detections if d.direction == "dip"]
+        assert dips
+        assert any(13 <= d.index <= 17 for d in dips)
+
+    def test_quiet_curve_silent(self):
+        rng = np.random.default_rng(2)
+        curve = noisy_level(rng, 0.2, 30)
+        detector = CdiCurveDetector(window=7, k=4.0, calibration=10)
+        assert detector.detect(curve) == []
+
+    def test_methods_recorded(self):
+        rng = np.random.default_rng(3)
+        curve = noisy_level(rng, 0.1, 20) + [5.0] + noisy_level(rng, 0.1, 5)
+        detector = CdiCurveDetector(window=7, k=3.0, calibration=10)
+        detections = {d.index: d for d in detector.detect(curve)}
+        assert 20 in detections
+        assert set(detections[20].methods) <= {"ksigma", "evt"}
+        assert len(detections[20].methods) >= 1
+
+    def test_consensus_subset_of_all(self):
+        rng = np.random.default_rng(4)
+        curve = noisy_level(rng, 0.1, 20) + [5.0] + noisy_level(rng, 0.1, 5)
+        detector = CdiCurveDetector(window=7, k=3.0, calibration=10)
+        all_d = {d.index for d in detector.detect(curve)}
+        consensus = {d.index for d in detector.detect_consensus(curve)}
+        assert consensus <= all_d
+
+    def test_flat_calibration_does_not_crash_evt(self):
+        curve = [0.0] * 15 + [1.0] + [0.0] * 5
+        detector = CdiCurveDetector(window=7, k=3.0, calibration=10)
+        detections = detector.detect(curve)
+        assert any(d.index == 15 for d in detections)
+
+    def test_short_series(self):
+        detector = CdiCurveDetector(window=7, k=3.0, calibration=10)
+        assert detector.detect([0.1, 0.2]) == []

@@ -1,0 +1,75 @@
+"""Tests for DSPOT (drift-aware streaming EVT)."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.evt import DriftSpot, Spot
+
+
+def drifting_stream(rng, n: int, slope: float = 0.01,
+                    sigma: float = 1.0) -> np.ndarray:
+    return slope * np.arange(n) + rng.normal(0.0, sigma, n)
+
+
+class TestDriftSpot:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftSpot(depth=1)
+        with pytest.raises(ValueError):
+            DriftSpot().fit([1.0] * 10)
+        with pytest.raises(RuntimeError):
+            DriftSpot().step(1.0)
+
+    def test_detects_extreme_on_drifting_stream(self):
+        rng = np.random.default_rng(0)
+        detector = DriftSpot(q=1e-4, depth=10).fit(
+            drifting_stream(rng, 1000)
+        )
+        stream = list(10.0 + drifting_stream(rng, 300, slope=0.01))
+        stream.append(stream[-1] + 40.0)
+        alerts = detector.run(stream)
+        assert alerts
+        assert alerts[-1].index == 300
+
+    def test_tolerates_drift_plain_spot_does_not(self):
+        """A steadily rising stream floods plain SPOT with alerts but
+        stays quiet under DSPOT, whose local mean follows the drift."""
+        rng = np.random.default_rng(1)
+        calibration = drifting_stream(rng, 1000, slope=0.02)
+        continuation = (
+            0.02 * (1000 + np.arange(1500))
+            + rng.normal(0.0, 1.0, 1500)
+        )
+        plain = Spot(q=1e-4, level=0.98).fit(calibration)
+        drifty = DriftSpot(q=1e-4, depth=20).fit(calibration)
+        plain_alerts = plain.run(continuation)
+        drift_alerts = drifty.run(continuation)
+        assert len(plain_alerts) > 10 * max(1, len(drift_alerts))
+        assert len(drift_alerts) <= 5
+
+    def test_alert_threshold_reported_in_original_units(self):
+        rng = np.random.default_rng(2)
+        detector = DriftSpot(q=1e-4, depth=10).fit(
+            100.0 + rng.normal(0.0, 1.0, 500)
+        )
+        alert = detector.step(1000.0, index=0)
+        assert alert is not None
+        # The bound must be near the stream level, not near zero.
+        assert 90.0 < alert.threshold < 130.0
+
+    def test_alerts_do_not_pollute_drift_window(self):
+        rng = np.random.default_rng(3)
+        detector = DriftSpot(q=1e-4, depth=10).fit(
+            rng.normal(0.0, 1.0, 500)
+        )
+        detector.step(1e6)  # huge anomaly
+        # The local window must still be near zero afterwards.
+        assert abs(float(np.mean(detector._window))) < 5.0
+
+    def test_low_false_positives_on_stationary_stream(self):
+        rng = np.random.default_rng(4)
+        detector = DriftSpot(q=1e-5, depth=10).fit(
+            rng.normal(0.0, 1.0, 2000)
+        )
+        alerts = detector.run(rng.normal(0.0, 1.0, 2000))
+        assert len(alerts) <= 5

@@ -1,0 +1,80 @@
+"""Tests for K-Sigma detection."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.ksigma import ksigma, rolling_ksigma
+
+
+class TestGlobalKsigma:
+    def test_detects_spike(self):
+        values = [1.0] * 20 + [50.0] + [1.0] * 20
+        rng = np.random.default_rng(0)
+        noisy = [v + rng.normal(0, 0.01) for v in values]
+        anomalies = ksigma(noisy, k=3.0)
+        assert any(a.index == 20 and a.direction == "spike" for a in anomalies)
+
+    def test_detects_dip(self):
+        rng = np.random.default_rng(0)
+        values = list(10.0 + rng.normal(0, 0.1, 30))
+        values[15] = 0.0
+        anomalies = ksigma(values, k=3.0)
+        assert any(a.index == 15 and a.direction == "dip" for a in anomalies)
+
+    def test_robust_to_the_anomaly_itself(self):
+        # A huge spike must not inflate sigma enough to hide itself.
+        rng = np.random.default_rng(1)
+        values = list(rng.normal(5, 0.5, 100))
+        values[50] = 1e6
+        anomalies = ksigma(values, k=3.0)
+        assert any(a.index == 50 for a in anomalies)
+
+    def test_quiet_series_has_no_anomalies(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(0, 1, 50)
+        anomalies = ksigma(values, k=6.0)
+        assert anomalies == []
+
+    def test_flat_series_flags_any_deviation(self):
+        values = [2.0] * 20 + [2.1] + [2.0] * 5
+        anomalies = ksigma(values, k=3.0)
+        assert [a.index for a in anomalies] == [20]
+
+    def test_short_series_empty(self):
+        assert ksigma([1.0, 2.0]) == []
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ksigma([1, 2, 3], k=0.0)
+
+
+class TestRollingKsigma:
+    def test_detects_level_shift_at_onset(self):
+        values = [1.0, 1.1, 0.9, 1.0, 1.05, 0.95, 1.0, 1.02] * 3 + [5.0, 5.0]
+        anomalies = rolling_ksigma(values, window=8, k=3.0)
+        assert anomalies
+        assert anomalies[0].index == 24
+        assert anomalies[0].direction == "spike"
+
+    def test_no_flags_before_window_fills(self):
+        values = [100.0] + [1.0] * 30
+        anomalies = rolling_ksigma(values, window=10, k=3.0)
+        assert all(a.index >= 10 for a in anomalies)
+
+    def test_dip_detected(self):
+        rng = np.random.default_rng(3)
+        values = list(10 + rng.normal(0, 0.2, 30)) + [0.0]
+        anomalies = rolling_ksigma(values, window=10, k=3.0)
+        assert anomalies[-1].direction == "dip"
+
+    def test_flat_window_flags_change(self):
+        values = [1.0] * 10 + [2.0]
+        anomalies = rolling_ksigma(values, window=10, k=3.0)
+        assert len(anomalies) == 1
+        assert anomalies[0].index == 10
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            rolling_ksigma([1.0] * 10, window=2)
+        with pytest.raises(ValueError):
+            rolling_ksigma([1.0] * 10, window=5, k=-1.0)

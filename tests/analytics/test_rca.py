@@ -1,0 +1,109 @@
+"""Tests for multi-dimensional root-cause localization."""
+
+import pytest
+
+from repro.analytics.rca import (
+    LeafObservation,
+    localize,
+    score_dimension_values,
+)
+
+
+def leaf(region: str, model: str, expected: float, actual: float
+         ) -> LeafObservation:
+    return LeafObservation(
+        dimensions={"region": region, "machine_model": model},
+        expected=expected, actual=actual,
+    )
+
+
+class TestScoreDimensionValues:
+    def test_explanatory_power_sums_to_one(self):
+        leaves = [
+            leaf("r1", "M1", 1.0, 3.0),
+            leaf("r2", "M1", 1.0, 1.0),
+            leaf("r2", "M2", 1.0, 2.0),
+        ]
+        scores = score_dimension_values(leaves, "region")
+        assert sum(s.explanatory_power for s in scores) == pytest.approx(1.0)
+
+    def test_sorted_by_ep(self):
+        leaves = [leaf("r1", "M1", 1.0, 5.0), leaf("r2", "M1", 1.0, 1.5)]
+        scores = score_dimension_values(leaves, "region")
+        assert scores[0].value == "r1"
+        assert scores[0].explanatory_power > scores[1].explanatory_power
+
+    def test_missing_dimension_ignored(self):
+        leaves = [
+            LeafObservation({"region": "r1"}, 1.0, 2.0),
+            LeafObservation({}, 1.0, 2.0),
+        ]
+        scores = score_dimension_values(leaves, "region")
+        assert [s.value for s in scores] == ["r1"]
+
+
+class TestLocalize:
+    def test_concentrated_anomaly_localized_to_right_dimension(self):
+        # Anomaly lives entirely on machine model M2, spread over regions.
+        leaves = [
+            leaf("r1", "M1", 1.0, 1.0),
+            leaf("r1", "M2", 1.0, 6.0),
+            leaf("r2", "M1", 1.0, 1.0),
+            leaf("r2", "M2", 1.0, 6.0),
+        ]
+        cause = localize(leaves)
+        assert cause is not None
+        assert cause.dimension == "machine_model"
+        assert cause.values == ("M2",)
+        assert cause.explanatory_power == pytest.approx(1.0)
+
+    def test_region_concentrated_anomaly(self):
+        leaves = [
+            leaf("r1", "M1", 1.0, 4.0),
+            leaf("r1", "M2", 1.0, 4.0),
+            leaf("r2", "M1", 1.0, 1.0),
+            leaf("r2", "M2", 1.0, 1.0),
+        ]
+        cause = localize(leaves)
+        assert cause is not None
+        assert cause.dimension == "region"
+        assert cause.values == ("r1",)
+
+    def test_negative_anomaly_localized(self):
+        """Dips (actual < expected) must localize too (Case 7)."""
+        leaves = [
+            leaf("r1", "M1", 5.0, 5.0),
+            leaf("r1", "M2", 5.0, 0.5),
+            leaf("r2", "M1", 5.0, 5.0),
+            leaf("r2", "M2", 5.0, 0.5),
+        ]
+        cause = localize(leaves)
+        assert cause is not None
+        assert cause.dimension == "machine_model"
+        assert cause.values == ("M2",)
+
+    def test_no_anomaly_returns_none(self):
+        leaves = [leaf("r1", "M1", 1.0, 1.0), leaf("r2", "M2", 2.0, 2.0)]
+        assert localize(leaves) is None
+
+    def test_empty_returns_none(self):
+        assert localize([]) is None
+
+    def test_explicit_dimension_list(self):
+        leaves = [
+            leaf("r1", "M1", 1.0, 5.0),
+            leaf("r2", "M1", 1.0, 1.0),
+        ]
+        cause = localize(leaves, dimensions=["region"])
+        assert cause is not None
+        assert cause.dimension == "region"
+
+    def test_diffuse_anomaly_may_need_multiple_values(self):
+        leaves = [
+            leaf("r1", "M1", 1.0, 3.0),
+            leaf("r2", "M1", 1.0, 3.0),
+            leaf("r3", "M1", 1.0, 1.0),
+        ]
+        cause = localize(leaves, dimensions=["region"], ep_threshold=0.9)
+        assert cause is not None
+        assert set(cause.values) == {"r1", "r2"}

@@ -1,0 +1,78 @@
+"""Tests for the online seasonal-trend decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.stl import BacktrackStl
+
+
+def seasonal_series(periods: int, period: int, level: float = 10.0,
+                    amplitude: float = 2.0, noise: float = 0.05,
+                    seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    t = np.arange(periods * period)
+    return (
+        level
+        + amplitude * np.sin(2 * np.pi * t / period)
+        + rng.normal(0, noise, t.size)
+    )
+
+
+class TestBacktrackStl:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BacktrackStl(period=0)
+        with pytest.raises(ValueError):
+            BacktrackStl(period=10, trend_alpha=0.0)
+        with pytest.raises(ValueError):
+            BacktrackStl(period=10, shift_patience=0)
+
+    def test_trend_converges_to_level(self):
+        series = seasonal_series(periods=30, period=24)
+        stl = BacktrackStl(period=24)
+        decomposition = stl.decompose(series)
+        assert decomposition.trend[-24:].mean() == pytest.approx(10.0, abs=0.5)
+
+    def test_seasonal_profile_learned(self):
+        series = seasonal_series(periods=40, period=24, noise=0.01)
+        stl = BacktrackStl(period=24, seasonal_alpha=0.3)
+        decomposition = stl.decompose(series)
+        # In the last period the seasonal component should track the sine.
+        tail = decomposition.seasonal[-24:]
+        expected = 2.0 * np.sin(2 * np.pi * np.arange(24) / 24)
+        correlation = np.corrcoef(tail, expected)[0, 1]
+        assert correlation > 0.9
+
+    def test_residuals_small_on_clean_series(self):
+        series = seasonal_series(periods=40, period=24, noise=0.01)
+        stl = BacktrackStl(period=24, seasonal_alpha=0.3)
+        decomposition = stl.decompose(series)
+        assert np.abs(decomposition.residual[-48:]).mean() < 0.5
+
+    def test_level_shift_triggers_backtrack(self):
+        series = np.concatenate([
+            seasonal_series(periods=20, period=24, level=10.0, noise=0.01),
+            seasonal_series(periods=20, period=24, level=30.0, noise=0.01,
+                            seed=1),
+        ])
+        stl = BacktrackStl(period=24, shift_patience=5)
+        decomposition = stl.decompose(series)
+        assert stl.backtracks >= 1
+        # Trend must have snapped up to the new level rather than slowly
+        # drifting: shortly after the shift it should already be near 30.
+        after = 20 * 24 + 30
+        assert decomposition.trend[after] > 20.0
+
+    def test_isolated_outlier_does_not_backtrack(self):
+        series = seasonal_series(periods=20, period=24, noise=0.01)
+        series[200] += 100.0
+        stl = BacktrackStl(period=24, shift_patience=5)
+        stl.decompose(series)
+        assert stl.backtracks == 0
+
+    def test_residual_exposes_anomaly(self):
+        series = seasonal_series(periods=20, period=24, noise=0.01)
+        series[300] += 50.0
+        stl = BacktrackStl(period=24)
+        decomposition = stl.decompose(series)
+        assert decomposition.residual[300] > 10.0

@@ -1,0 +1,97 @@
+"""Tests for event-surge alerting (Section II-F2)."""
+
+import pytest
+
+from repro.cloudbot.alerting import SurgeDetector
+from repro.core.events import Event
+
+
+def window_events(name: str, count: int, targets: int = 1,
+                  base_time: float = 0.0) -> list[Event]:
+    return [
+        Event(name, base_time + i, f"vm-{i % targets}")
+        for i in range(count)
+    ]
+
+
+def feed_baseline(detector: SurgeDetector, name: str, windows: int = 5,
+                  per_window: int = 12) -> float:
+    time = 0.0
+    for _ in range(windows):
+        detector.observe_window(window_events(name, per_window), time)
+        time += 3600.0
+    return time
+
+
+class TestSurgeDetector:
+    def test_surge_escalates_for_system_event(self):
+        detector = SurgeDetector(surge_factor=3.0, min_count=10)
+        time = feed_baseline(detector, "slow_io")
+        alerts = detector.observe_window(
+            window_events("slow_io", 100, targets=5), time
+        )
+        assert len(alerts) == 1
+        assert alerts[0].escalate
+        assert "unrelated to user behavior" in alerts[0].reason
+
+    def test_no_alert_at_baseline_volume(self):
+        detector = SurgeDetector(surge_factor=3.0, min_count=10)
+        time = feed_baseline(detector, "slow_io")
+        alerts = detector.observe_window(
+            window_events("slow_io", 13), time
+        )
+        assert alerts == []
+
+    def test_user_driven_single_customer_not_escalated(self):
+        detector = SurgeDetector(
+            surge_factor=3.0, min_count=10,
+            user_behavior_events=["vm_reboot_requested"],
+            multi_customer_threshold=3,
+        )
+        time = feed_baseline(detector, "vm_reboot_requested")
+        alerts = detector.observe_window(
+            window_events("vm_reboot_requested", 100, targets=1), time
+        )
+        assert len(alerts) == 1
+        assert not alerts[0].escalate
+
+    def test_user_driven_multi_customer_escalated(self):
+        detector = SurgeDetector(
+            surge_factor=3.0, min_count=10,
+            user_behavior_events=["vm_reboot_requested"],
+            multi_customer_threshold=3,
+        )
+        time = feed_baseline(detector, "vm_reboot_requested")
+        alerts = detector.observe_window(
+            window_events("vm_reboot_requested", 100, targets=8), time
+        )
+        assert alerts[0].escalate
+        assert alerts[0].distinct_targets == 8
+
+    def test_needs_history_before_alerting(self):
+        detector = SurgeDetector(surge_factor=3.0, min_count=10)
+        alerts = detector.observe_window(window_events("slow_io", 500), 0.0)
+        assert alerts == []
+
+    def test_small_absolute_counts_ignored(self):
+        detector = SurgeDetector(surge_factor=3.0, min_count=10)
+        time = feed_baseline(detector, "rare_event", per_window=1)
+        alerts = detector.observe_window(window_events("rare_event", 5), time)
+        assert alerts == []
+
+    def test_independent_event_histories(self):
+        detector = SurgeDetector(surge_factor=3.0, min_count=10)
+        time = feed_baseline(detector, "slow_io")
+        # A different event surging must not be judged on slow_io history.
+        alerts = detector.observe_window(
+            window_events("packet_loss", 100), time
+        )
+        assert alerts == []  # packet_loss has no history yet
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SurgeDetector(window=0.0)
+        with pytest.raises(ValueError):
+            SurgeDetector(history=1)
+        with pytest.raises(ValueError):
+            SurgeDetector(surge_factor=1.0)

@@ -1,0 +1,148 @@
+"""Tests for gradual releases and circuit breaking (Section VI-C)."""
+
+import pytest
+
+from repro.cloudbot.changes import (
+    ChangeRelease,
+    CircuitBreaker,
+    RolloutState,
+    performance_damage_by_cohort,
+    run_gradual_release,
+)
+from repro.core.events import Event, Severity, default_catalog
+
+CATALOG = default_catalog()
+TARGETS = [f"vm-{i:02d}" for i in range(10)]
+
+
+def make_change(batch_size: int = 3,
+                max_fatal: int = 0) -> ChangeRelease:
+    return ChangeRelease(
+        name="virt-update-42",
+        targets=TARGETS,
+        batch_size=batch_size,
+        breaker=CircuitBreaker(max_fatal_events=max_fatal, catalog=CATALOG),
+    )
+
+
+def fatal_event(target: str) -> Event:
+    return Event("vm_down", 0.0, target, level=Severity.FATAL)
+
+
+def perf_event(target: str, time: float = 0.0) -> Event:
+    return Event("slow_io", time, target, level=Severity.WARNING)
+
+
+class TestChangeRelease:
+    def test_batched_rollout_progresses(self):
+        change = make_change(batch_size=3)
+        assert change.release_next_batch() == TARGETS[:3]
+        assert change.state is RolloutState.IN_PROGRESS
+        assert change.coverage == pytest.approx(0.3)
+        assert change.release_next_batch() == TARGETS[3:6]
+
+    def test_rollout_completes(self):
+        change = make_change(batch_size=4)
+        for _ in range(3):
+            change.release_next_batch()
+        assert change.state is RolloutState.COMPLETED
+        assert change.coverage == 1.0
+        assert change.release_next_batch() == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_change(batch_size=0)
+        with pytest.raises(ValueError):
+            ChangeRelease("c", [], 1, CircuitBreaker())
+
+
+class TestCircuitBreaker:
+    def test_fatal_spike_trips_breaker(self):
+        change = make_change(max_fatal=1)
+        batch = change.release_next_batch()
+        decision = change.soak([fatal_event(t) for t in batch[:2]])
+        assert decision.tripped
+        assert change.state is RolloutState.HALTED
+        with pytest.raises(RuntimeError):
+            change.release_next_batch()
+
+    def test_fatal_events_outside_batch_ignored(self):
+        change = make_change(max_fatal=0)
+        change.release_next_batch()
+        decision = change.soak([fatal_event("vm-99")])
+        assert not decision.tripped
+
+    def test_blind_to_performance_degradation(self):
+        """The paper's stated gap: the breaker only sees fatal
+        signals, so a mild perf regression sails through."""
+        change = make_change(max_fatal=0)
+        batch = change.release_next_batch()
+        decision = change.soak([perf_event(t) for t in batch] * 5)
+        assert not decision.tripped
+        assert change.state is RolloutState.IN_PROGRESS
+
+    def test_roll_back(self):
+        change = make_change()
+        change.release_next_batch()
+        reverted = change.roll_back()
+        assert reverted == TARGETS[:3]
+        assert change.state is RolloutState.ROLLED_BACK
+        assert change.coverage == 0.0
+
+
+class TestRunGradualRelease:
+    def test_clean_change_completes(self):
+        change = make_change(batch_size=3)
+        state = run_gradual_release(change, lambda i, batch: [])
+        assert state is RolloutState.COMPLETED
+        assert len(change.decisions) == 4
+
+    def test_bad_change_halts_early(self):
+        change = make_change(batch_size=3, max_fatal=0)
+
+        def soak(index, batch):
+            return [fatal_event(batch[0])] if index == 1 else []
+
+        state = run_gradual_release(change, soak)
+        assert state is RolloutState.HALTED
+        assert change.coverage == pytest.approx(0.6)  # two batches out
+
+    def test_slow_burn_perf_issue_escapes_the_breaker(self):
+        """End-to-end statement of the gap that motivates CDI-based
+        detection: a change that degrades performance everywhere rolls
+        out to 100% without tripping anything."""
+        change = make_change(batch_size=2, max_fatal=0)
+
+        def soak(index, batch):
+            return [perf_event(t, time=float(index)) for t in batch]
+
+        state = run_gradual_release(change, soak)
+        assert state is RolloutState.COMPLETED
+        assert all(not d.tripped for d in change.decisions)
+
+    def test_max_batches_limit(self):
+        change = make_change(batch_size=2)
+        state = run_gradual_release(change, lambda i, b: [], max_batches=2)
+        assert state is RolloutState.IN_PROGRESS
+        assert change.coverage == pytest.approx(0.4)
+
+
+class TestCohortComparison:
+    def test_changed_cohort_shows_the_damage(self):
+        changed = set(TARGETS[:5])
+        events = [perf_event(t) for t in TARGETS[:5]] * 3 + [
+            perf_event(t) for t in TARGETS[5:]
+        ]
+        damage = performance_damage_by_cohort(events, changed, CATALOG)
+        assert damage["changed"] == pytest.approx(3.0)
+        assert damage["unchanged"] == pytest.approx(1.0)
+
+    def test_non_performance_events_ignored(self):
+        changed = set(TARGETS[:5])
+        events = [fatal_event(t) for t in TARGETS]
+        damage = performance_damage_by_cohort(events, changed, CATALOG)
+        assert damage == {"changed": 0.0, "unchanged": 0.0}
+
+    def test_empty_cohorts(self):
+        damage = performance_damage_by_cohort([], set(), CATALOG)
+        assert damage == {"changed": 0.0, "unchanged": 0.0}

@@ -1,0 +1,62 @@
+"""Tests for the Data Collector."""
+
+import pytest
+
+from repro.cloudbot.collector import DataCollector
+from repro.storage.logstore import LogStore
+from repro.telemetry.faults import Fault, FaultKind
+from repro.telemetry.topology import build_fleet
+
+
+def make_collector(**kwargs):
+    fleet = build_fleet(regions=1, azs_per_region=1, clusters_per_az=1,
+                        ncs_per_cluster=2, vms_per_nc=2)
+    return fleet, DataCollector(fleet, seed=0, **kwargs)
+
+
+class TestDataCollector:
+    def test_collect_bundle_shape(self):
+        fleet, collector = make_collector()
+        targets = sorted(fleet.vms)[:2]
+        bundle = collector.collect(targets, 0.0, 600.0)
+        assert bundle.start == 0.0 and bundle.end == 600.0
+        assert bundle.targets == tuple(targets)
+        # 2 targets x 4 default metrics x 10 samples.
+        assert len(bundle.metrics) == 2 * 4 * 10
+
+    def test_unknown_target_rejected(self):
+        _, collector = make_collector()
+        with pytest.raises(KeyError):
+            collector.collect(["vm-nope"], 0.0, 600.0)
+
+    def test_nc_targets_allowed(self):
+        fleet, collector = make_collector()
+        nc = sorted(fleet.ncs)[0]
+        bundle = collector.collect([nc], 0.0, 600.0)
+        assert all(s.target == nc for s in bundle.metrics)
+
+    def test_fault_visible_in_collected_metrics(self):
+        fleet, collector = make_collector()
+        vm = sorted(fleet.vms)[0]
+        fault = Fault(FaultKind.SLOW_IO, vm, 0.0, 600.0)
+        bundle = collector.collect([vm], 0.0, 600.0, faults=[fault])
+        latencies = [s.value for s in bundle.metrics
+                     if s.metric == "read_latency"]
+        assert max(latencies) > 10.0
+
+    def test_logs_persisted_to_log_store(self):
+        store = LogStore()
+        fleet, collector = make_collector(log_store=store)
+        vm = sorted(fleet.vms)[0]
+        fault = Fault(FaultKind.NIC_FLAPPING, vm, 100.0, 30.0)
+        bundle = collector.collect([vm], 0.0, 600.0, faults=[fault])
+        assert len(store) == len(bundle.logs)
+        hits = list(store.query(0.0, 600.0, target=vm))
+        assert any("NIC Link is Down" in e.get("line") for e in hits)
+
+    def test_custom_metric_names(self):
+        fleet, _ = make_collector()
+        collector = DataCollector(fleet, metric_names=["cpu_power"])
+        vm = sorted(fleet.vms)[0]
+        bundle = collector.collect([vm], 0.0, 600.0)
+        assert {s.metric for s in bundle.metrics} == {"cpu_power"}

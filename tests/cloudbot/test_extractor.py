@@ -1,0 +1,169 @@
+"""Tests for the Event Extractor (expert, statistical, learned)."""
+
+import numpy as np
+import pytest
+
+from repro.cloudbot.extractor import (
+    EventExtractor,
+    LogRegexRule,
+    MetricThresholdRule,
+    StatisticalMetricExtractor,
+    default_log_rules,
+    default_metric_rules,
+)
+from repro.core.events import Severity
+from repro.telemetry import metrics as m
+from repro.telemetry.faults import Fault, FaultKind
+from repro.telemetry.logs import LogLine
+from repro.telemetry.metrics import MetricGenerator, MetricSample
+
+
+def sample(metric: str, value: float, time: float = 100.0,
+           target: str = "vm-1") -> MetricSample:
+    return MetricSample(time=time, target=target, metric=metric, value=value)
+
+
+class TestMetricThresholdRule:
+    def test_above_threshold_fires(self):
+        rule = MetricThresholdRule(m.READ_LATENCY, 10.0, "slow_io")
+        event = rule.extract(sample(m.READ_LATENCY, 42.0))
+        assert event is not None
+        assert event.name == "slow_io"
+        assert event.attributes["value"] == 42.0
+
+    def test_below_threshold_silent(self):
+        rule = MetricThresholdRule(m.READ_LATENCY, 10.0, "slow_io")
+        assert rule.extract(sample(m.READ_LATENCY, 2.0)) is None
+
+    def test_below_direction(self):
+        rule = MetricThresholdRule(m.HEARTBEAT, 0.5, "vm_down",
+                                   direction="below")
+        assert rule.extract(sample(m.HEARTBEAT, 0.0)) is not None
+        assert rule.extract(sample(m.HEARTBEAT, 1.0)) is None
+
+    def test_wrong_metric_ignored(self):
+        rule = MetricThresholdRule(m.READ_LATENCY, 10.0, "slow_io")
+        assert rule.extract(sample(m.CPU_STEAL, 99.0)) is None
+
+    def test_level_by_value(self):
+        """Table II: same event name, severity depends on conditions."""
+        rule = MetricThresholdRule(
+            m.READ_LATENCY, 10.0, "slow_io",
+            level_by_value=lambda v: Severity.FATAL if v > 100 else
+            Severity.CRITICAL,
+        )
+        assert rule.extract(sample(m.READ_LATENCY, 50.0)).level is (
+            Severity.CRITICAL
+        )
+        assert rule.extract(sample(m.READ_LATENCY, 500.0)).level is (
+            Severity.FATAL
+        )
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            MetricThresholdRule(m.READ_LATENCY, 1.0, "x", direction="sideways")
+
+
+class TestLogRegexRule:
+    def test_fig1_nic_line_matches(self):
+        rule = LogRegexRule(r"NIC Link is Down", "nic_flapping")
+        line = LogLine(time=100.0, target="nc-1",
+                       line="kernel: eth0 NIC Link is Down")
+        event = rule.extract(line)
+        assert event is not None
+        assert event.name == "nic_flapping"
+        assert event.target == "nc-1"
+
+    def test_non_matching_line_discarded(self):
+        rule = LogRegexRule(r"NIC Link is Down", "nic_flapping")
+        line = LogLine(time=100.0, target="nc-1",
+                       line="systemd[1]: Started Daily apt")
+        assert rule.extract(line) is None
+
+
+class TestStatisticalExtractor:
+    def test_detects_injected_anomaly(self):
+        rng = np.random.default_rng(0)
+        times = list(np.arange(0.0, 500 * 60.0, 60.0))
+        values = list(2.0 + 0.5 * np.sin(2 * np.pi * np.arange(500) / 100)
+                      + rng.normal(0, 0.05, 500))
+        values[400] += 8.0
+        extractor = StatisticalMetricExtractor(
+            m.READ_LATENCY, "slow_io", period=100, calibration=200, q=1e-3,
+        )
+        events = extractor.extract_series("vm-1", times, values)
+        assert any(abs(e.time - times[400]) < 1.0 for e in events)
+
+    def test_quiet_series_mostly_silent(self):
+        rng = np.random.default_rng(1)
+        times = list(np.arange(0.0, 400 * 60.0, 60.0))
+        values = list(2.0 + rng.normal(0, 0.05, 400))
+        extractor = StatisticalMetricExtractor(
+            m.READ_LATENCY, "slow_io", period=100, calibration=200, q=1e-5,
+        )
+        events = extractor.extract_series("vm-1", times, values)
+        assert len(events) <= 2
+
+    def test_short_series_empty(self):
+        extractor = StatisticalMetricExtractor(
+            m.READ_LATENCY, "slow_io", period=10, calibration=50,
+        )
+        assert extractor.extract_series("vm-1", [1.0], [2.0]) == []
+
+    def test_length_mismatch_rejected(self):
+        extractor = StatisticalMetricExtractor(
+            m.READ_LATENCY, "slow_io", period=10,
+        )
+        with pytest.raises(ValueError):
+            extractor.extract_series("vm-1", [1.0, 2.0], [1.0])
+
+    def test_invalid_calibration(self):
+        with pytest.raises(ValueError):
+            StatisticalMetricExtractor(m.READ_LATENCY, "x", period=10,
+                                       calibration=5)
+
+
+class TestEventExtractorEndToEnd:
+    def test_fault_recovered_from_rendered_telemetry(self):
+        """slow_io fault -> raised read_latency -> slow_io events."""
+        generator = MetricGenerator(seed=3)
+        fault = Fault(FaultKind.SLOW_IO, "vm-1", 1800.0, 600.0)
+        samples = generator.emit(
+            ["vm-1", "vm-2"], [m.READ_LATENCY], 0.0, 3600.0, faults=[fault],
+        )
+        extractor = EventExtractor(metric_rules=default_metric_rules())
+        events = extractor.extract_from_metrics(samples)
+        assert events
+        assert all(e.name == "slow_io" for e in events)
+        assert all(e.target == "vm-1" for e in events)
+        assert all(1800.0 <= e.time < 2400.0 for e in events)
+
+    def test_log_extraction_discards_noise(self):
+        extractor = EventExtractor(log_rules=default_log_rules())
+        lines = [
+            LogLine(10.0, "nc-1", "kernel: eth0 NIC Link is Down"),
+            LogLine(11.0, "nc-1", "sshd[2211]: Accepted publickey"),
+            LogLine(12.0, "nc-1", "chronyd[801]: Selected source"),
+        ]
+        events = extractor.extract_from_logs(lines)
+        assert [e.name for e in events] == ["nic_flapping"]
+
+    def test_extract_all_sorted(self):
+        extractor = EventExtractor(
+            metric_rules=default_metric_rules(),
+            log_rules=default_log_rules(),
+        )
+        events = extractor.extract_all(
+            metrics=[sample(m.READ_LATENCY, 50.0, time=200.0)],
+            logs=[LogLine(100.0, "nc-1", "kernel: eth0 NIC Link is Down")],
+        )
+        assert [e.name for e in events] == ["nic_flapping", "slow_io"]
+        assert events[0].time <= events[1].time
+
+    def test_heartbeat_zero_yields_vm_down(self):
+        extractor = EventExtractor(metric_rules=default_metric_rules())
+        events = extractor.extract_from_metrics(
+            [sample(m.HEARTBEAT, 0.0)]
+        )
+        assert [e.name for e in events] == ["vm_down"]
+        assert events[0].level is Severity.FATAL

@@ -1,0 +1,109 @@
+"""Tests for FP-growth association mining."""
+
+import pytest
+
+from repro.cloudbot.mining import (
+    association_rules,
+    fp_growth,
+    transactions_from_events,
+)
+from repro.core.events import Event
+
+
+class TestFpGrowth:
+    TRANSACTIONS = [
+        ["slow_io", "nic_flapping"],
+        ["slow_io", "nic_flapping"],
+        ["slow_io", "nic_flapping", "vm_hang"],
+        ["slow_io"],
+        ["vm_hang"],
+    ]
+
+    def test_supports_match_brute_force(self):
+        itemsets = fp_growth(self.TRANSACTIONS, min_support=0.2)
+        assert itemsets[frozenset({"slow_io"})] == 4
+        assert itemsets[frozenset({"nic_flapping"})] == 3
+        assert itemsets[frozenset({"slow_io", "nic_flapping"})] == 3
+        assert itemsets[frozenset({"vm_hang"})] == 2
+
+    def test_min_support_prunes(self):
+        itemsets = fp_growth(self.TRANSACTIONS, min_support=0.7)
+        assert frozenset({"slow_io"}) in itemsets
+        assert frozenset({"vm_hang"}) not in itemsets
+
+    def test_exhaustive_against_bruteforce(self):
+        """Every itemset FP-growth reports matches a brute-force count,
+        and no frequent itemset is missed."""
+        from itertools import combinations
+
+        transactions = [
+            ["a", "b", "c"], ["a", "b"], ["a", "c"], ["b", "c"],
+            ["a", "b", "c", "d"], ["d"],
+        ]
+        min_support = 2 / len(transactions)
+        found = fp_growth(transactions, min_support=min_support)
+        items = {i for t in transactions for i in t}
+        for size in range(1, len(items) + 1):
+            for combo in combinations(sorted(items), size):
+                count = sum(
+                    1 for t in transactions if set(combo) <= set(t)
+                )
+                key = frozenset(combo)
+                if count >= 2:
+                    assert found.get(key) == count, combo
+                else:
+                    assert key not in found, combo
+
+    def test_empty_transactions(self):
+        assert fp_growth([], min_support=0.5) == {}
+
+    def test_invalid_support(self):
+        with pytest.raises(ValueError):
+            fp_growth([["a"]], min_support=0.0)
+
+    def test_duplicate_items_in_transaction_count_once(self):
+        itemsets = fp_growth([["a", "a", "b"]], min_support=0.5)
+        assert itemsets[frozenset({"a"})] == 1
+
+
+class TestAssociationRules:
+    def test_fig1_style_rule_discovered(self):
+        transactions = (
+            [["nic_flapping", "slow_io"]] * 8
+            + [["slow_io"]] * 4
+            + [["vcpu_high"]] * 4
+        )
+        rules = association_rules(transactions, min_support=0.2,
+                                  min_confidence=0.8)
+        best = rules[0]
+        assert best.antecedent == frozenset({"nic_flapping"})
+        assert best.consequent == frozenset({"slow_io"})
+        assert best.confidence == pytest.approx(1.0)
+        assert best.lift > 1.0
+
+    def test_low_confidence_pruned(self):
+        transactions = [["a", "b"]] * 2 + [["a"]] * 8
+        rules = association_rules(transactions, min_support=0.1,
+                                  min_confidence=0.9)
+        assert not any(r.antecedent == frozenset({"a"}) for r in rules)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            association_rules([["a"]], min_confidence=0.0)
+
+
+class TestTransactionsFromEvents:
+    def test_window_grouping(self):
+        events = [
+            Event("slow_io", 100.0, "vm-1"),
+            Event("nic_flapping", 150.0, "vm-1"),
+            Event("slow_io", 5000.0, "vm-1"),
+            Event("vm_hang", 120.0, "vm-2"),
+        ]
+        transactions = transactions_from_events(events, window=600.0)
+        assert sorted(map(tuple, transactions)) == [
+            ("nic_flapping", "slow_io"), ("slow_io",), ("vm_hang",),
+        ]
+
+    def test_empty(self):
+        assert transactions_from_events([]) == []

@@ -1,0 +1,115 @@
+"""Tests for operation-noise reduction (Section II-F1)."""
+
+import pytest
+
+from repro.cloudbot.noise import (
+    ProductSuppressor,
+    SuppressionRule,
+    TrendSuppressor,
+    shared_vm_contention_rule,
+)
+from repro.core.events import Event
+from repro.telemetry.topology import DeploymentArch, VmType, build_fleet
+
+
+def vcpu_event(target: str, time: float = 0.0) -> Event:
+    return Event("vcpu_high", time, target)
+
+
+class TestProductSuppressor:
+    def make_fleet(self):
+        return build_fleet(seed=0, regions=1, azs_per_region=1,
+                           clusters_per_az=1, ncs_per_cluster=4,
+                           vms_per_nc=2, arch=DeploymentArch.HYBRID)
+
+    def test_shared_vm_contention_suppressed(self):
+        """The paper's example: vcpu_high on shared VMs needs no action."""
+        fleet = self.make_fleet()
+        shared = next(v.vm_id for v in fleet.vms.values()
+                      if v.vm_type is VmType.SHARED)
+        dedicated = next(v.vm_id for v in fleet.vms.values()
+                         if v.vm_type is VmType.DEDICATED)
+        suppressor = ProductSuppressor([shared_vm_contention_rule(fleet)])
+        kept = suppressor.filter([vcpu_event(shared), vcpu_event(dedicated)])
+        assert [e.target for e in kept] == [dedicated]
+        assert suppressor.stats.by_rule == {"shared_vm_cpu_contention": 1}
+
+    def test_other_events_untouched(self):
+        fleet = self.make_fleet()
+        shared = next(v.vm_id for v in fleet.vms.values()
+                      if v.vm_type is VmType.SHARED)
+        suppressor = ProductSuppressor([shared_vm_contention_rule(fleet)])
+        event = Event("slow_io", 0.0, shared)
+        assert suppressor.filter([event]) == [event]
+
+    def test_unknown_target_not_suppressed(self):
+        fleet = self.make_fleet()
+        suppressor = ProductSuppressor([shared_vm_contention_rule(fleet)])
+        event = vcpu_event("vm-not-in-fleet")
+        assert suppressor.filter([event]) == [event]
+
+    def test_multiple_rules_first_match_counts(self):
+        always = SuppressionRule("always", "x", lambda e: True, "test")
+        suppressor = ProductSuppressor([always])
+        suppressor.add_rule(
+            SuppressionRule("never_reached", "x", lambda e: True, "test")
+        )
+        suppressor.filter([Event("x", 0.0, "vm")])
+        assert suppressor.stats.by_rule == {"always": 1}
+        assert suppressor.stats.total == 1
+
+
+class TestTrendSuppressor:
+    def window(self, count: int, name: str = "slow_io") -> list[Event]:
+        return [Event(name, float(i), f"vm-{i}") for i in range(count)]
+
+    def test_first_windows_pass_through(self):
+        suppressor = TrendSuppressor(min_history=3)
+        events = self.window(5)
+        assert suppressor.filter_window(events) == sorted(
+            events, key=lambda e: (e.time, e.target, e.name)
+        )
+
+    def test_steady_volume_suppressed(self):
+        suppressor = TrendSuppressor(min_history=3, sigmas=3.0)
+        for _ in range(6):
+            suppressor.filter_window(self.window(10))
+        kept = suppressor.filter_window(self.window(11))
+        assert kept == []  # 11 vs baseline ~10: ambient noise
+
+    def test_surge_passes_through(self):
+        suppressor = TrendSuppressor(min_history=3, sigmas=3.0)
+        for count in (10, 11, 9, 10, 11, 10):
+            suppressor.filter_window(self.window(count))
+        kept = suppressor.filter_window(self.window(100))
+        assert len(kept) == 100
+
+    def test_vanishing_event_passes_through(self):
+        """Case 7 logic: an event stream going quiet is anomalous too —
+        but zero events means nothing to forward; the anomaly shows in
+        the CDI dip, which CdiCurveDetector handles."""
+        suppressor = TrendSuppressor(min_history=3, sigmas=3.0)
+        for count in (10, 11, 9, 10, 11, 10):
+            suppressor.filter_window(self.window(count))
+        kept = suppressor.filter_window(self.window(1))
+        assert len(kept) == 1  # the single residual event is anomalous
+
+    def test_baselines_independent_per_event(self):
+        suppressor = TrendSuppressor(min_history=3, sigmas=3.0)
+        for _ in range(5):
+            suppressor.filter_window(self.window(50, "slow_io"))
+        # packet_loss has no history -> passes.
+        kept = suppressor.filter_window(self.window(5, "packet_loss"))
+        assert len(kept) == 5
+
+    def test_baseline_inspection(self):
+        suppressor = TrendSuppressor(min_history=2)
+        suppressor.filter_window(self.window(10))
+        suppressor.filter_window(self.window(12))
+        assert suppressor.baseline()["slow_io"] == pytest.approx(11.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrendSuppressor(history=2, min_history=5)
+        with pytest.raises(ValueError):
+            TrendSuppressor(sigmas=0.0)

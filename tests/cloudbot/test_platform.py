@@ -1,0 +1,175 @@
+"""Tests for the Operation Platform."""
+
+from repro.cloudbot.actions import Action, ActionCategory, ActionType
+from repro.cloudbot.platform import (
+    ExecutionStatus,
+    OperationPlatform,
+)
+from repro.telemetry.topology import build_fleet
+
+
+def make_platform() -> OperationPlatform:
+    fleet = build_fleet(regions=1, azs_per_region=1, clusters_per_az=1,
+                        ncs_per_cluster=4, vms_per_nc=2)
+    return OperationPlatform(fleet)
+
+
+def first_vm(platform: OperationPlatform) -> str:
+    return sorted(platform.placements)[0]
+
+
+class TestActionModel:
+    def test_types_have_table3_categories(self):
+        assert ActionType.LIVE_MIGRATION.category is ActionCategory.VM_OPERATION
+        assert ActionType.DISK_CLEAN.category is (
+            ActionCategory.NC_SOFTWARE_REPAIR
+        )
+        assert ActionType.REPAIR_REQUEST.category is (
+            ActionCategory.NC_HARDWARE_REPAIR
+        )
+        assert ActionType.NC_LOCK.category is ActionCategory.NC_CONTROL
+
+    def test_disruptive_actions_conflict_on_same_target(self):
+        a = Action(ActionType.LIVE_MIGRATION, "vm-1")
+        b = Action(ActionType.IN_PLACE_REBOOT, "vm-1")
+        c = Action(ActionType.IN_PLACE_REBOOT, "vm-2")
+        assert a.conflicts_with(b)
+        assert not a.conflicts_with(c)
+
+    def test_non_disruptive_actions_coexist(self):
+        a = Action(ActionType.DISK_CLEAN, "nc-1")
+        b = Action(ActionType.REPAIR_REQUEST, "nc-1")
+        assert not a.conflicts_with(b)
+
+    def test_decommission_conflicts_with_everything(self):
+        a = Action(ActionType.NC_DECOMMISSION, "nc-1")
+        b = Action(ActionType.DISK_CLEAN, "nc-1")
+        assert a.conflicts_with(b)
+
+
+class TestMigration:
+    def test_live_migration_moves_vm(self):
+        platform = make_platform()
+        vm = first_vm(platform)
+        source = platform.placements[vm]
+        records = platform.submit([Action(ActionType.LIVE_MIGRATION, vm)])
+        assert records[0].status is ExecutionStatus.EXECUTED
+        assert platform.placements[vm] != source
+
+    def test_migration_to_explicit_destination(self):
+        platform = make_platform()
+        vm = first_vm(platform)
+        destination = sorted(platform._fleet.ncs)[-1]
+        platform.submit([
+            Action(ActionType.LIVE_MIGRATION, vm,
+                   params={"destination": destination})
+        ])
+        assert platform.placements[vm] == destination
+
+    def test_migration_avoids_locked_ncs(self):
+        platform = make_platform()
+        vm = first_vm(platform)
+        source = platform.placements[vm]
+        for nc_id in platform._fleet.ncs:
+            if nc_id != source:
+                platform.locked_ncs.add(nc_id)
+        records = platform.submit([Action(ActionType.LIVE_MIGRATION, vm)])
+        assert records[0].status is ExecutionStatus.FAILED
+        assert platform.placements[vm] == source
+
+    def test_migration_to_locked_destination_rejected(self):
+        platform = make_platform()
+        vm = first_vm(platform)
+        destination = sorted(platform._fleet.ncs)[-1]
+        platform.locked_ncs.add(destination)
+        records = platform.submit([
+            Action(ActionType.LIVE_MIGRATION, vm,
+                   params={"destination": destination})
+        ])
+        assert records[0].status is ExecutionStatus.REJECTED_LOCKED
+
+    def test_unknown_vm_fails(self):
+        platform = make_platform()
+        records = platform.submit([
+            Action(ActionType.LIVE_MIGRATION, "vm-zzz")
+        ])
+        assert records[0].status is ExecutionStatus.FAILED
+
+
+class TestConflictsAndOrdering:
+    def test_conflicting_actions_discarded(self):
+        platform = make_platform()
+        vm = first_vm(platform)
+        records = platform.submit([
+            Action(ActionType.LIVE_MIGRATION, vm, priority=10),
+            Action(ActionType.COLD_MIGRATION, vm, priority=1),
+        ])
+        statuses = {r.action.type: r.status for r in records}
+        assert statuses[ActionType.LIVE_MIGRATION] is ExecutionStatus.EXECUTED
+        assert statuses[ActionType.COLD_MIGRATION] is (
+            ExecutionStatus.DISCARDED_CONFLICT
+        )
+
+    def test_priority_orders_execution(self):
+        platform = make_platform()
+        vm = first_vm(platform)
+        records = platform.submit([
+            Action(ActionType.COLD_MIGRATION, vm, priority=1),
+            Action(ActionType.LIVE_MIGRATION, vm, priority=10),
+        ])
+        # Higher priority runs (and wins the conflict) despite being
+        # submitted second.
+        assert records[0].action.type is ActionType.LIVE_MIGRATION
+        assert records[0].status is ExecutionStatus.EXECUTED
+
+    def test_fig1_workflow_actions_all_execute(self):
+        """Fig. 1: migration + repair ticket + NC lock coexist."""
+        platform = make_platform()
+        vm = first_vm(platform)
+        nc = platform.placements[vm]
+        records = platform.submit([
+            Action(ActionType.LIVE_MIGRATION, vm, priority=10),
+            Action(ActionType.REPAIR_REQUEST, nc, priority=5),
+            Action(ActionType.NC_LOCK, nc, priority=5),
+        ])
+        assert all(r.status is ExecutionStatus.EXECUTED for r in records)
+        assert platform.is_locked(nc)
+        assert len(platform.open_tickets) == 1
+
+
+class TestLockAndDecommission:
+    def test_lock_then_unlock(self):
+        platform = make_platform()
+        nc = sorted(platform._fleet.ncs)[0]
+        platform.submit([Action(ActionType.NC_LOCK, nc)])
+        assert platform.is_locked(nc)
+        platform.unlock(nc)
+        assert not platform.is_locked(nc)
+
+    def test_decommission_requires_empty_nc(self):
+        platform = make_platform()
+        nc = sorted(platform._fleet.ncs)[0]
+        records = platform.submit([Action(ActionType.NC_DECOMMISSION, nc)])
+        assert records[0].status is ExecutionStatus.FAILED
+
+    def test_decommission_after_evacuation(self):
+        platform = make_platform()
+        nc = sorted(platform._fleet.ncs)[0]
+        for vm in platform.vms_on(nc):
+            platform.submit([Action(ActionType.LIVE_MIGRATION, vm)])
+        records = platform.submit([Action(ActionType.NC_DECOMMISSION, nc)])
+        assert records[0].status is ExecutionStatus.EXECUTED
+        assert platform.is_locked(nc)
+
+
+class TestAudit:
+    def test_summary_counts(self):
+        platform = make_platform()
+        vm = first_vm(platform)
+        platform.submit([
+            Action(ActionType.LIVE_MIGRATION, vm),
+            Action(ActionType.COLD_MIGRATION, vm),
+        ])
+        summary = platform.summary()
+        assert summary["executed"] == 1
+        assert summary["discarded_conflict"] == 1

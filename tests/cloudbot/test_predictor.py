@@ -1,0 +1,102 @@
+"""Tests for the learned failure predictor."""
+
+import numpy as np
+import pytest
+
+from repro.cloudbot.predictor import (
+    FEATURES,
+    LogisticFailurePredictor,
+    featurize_window,
+)
+from repro.telemetry.metrics import MetricSample
+
+
+def make_dataset(seed=0, n=400):
+    """Healthy windows (low mean) vs pre-failure windows (rising trend)."""
+    rng = np.random.default_rng(seed)
+    features, labels = [], []
+    for _ in range(n // 2):
+        healthy = rng.normal(2.0, 0.2, 30)
+        features.append(featurize_window(healthy))
+        labels.append(0)
+        failing = 2.0 + np.linspace(0.0, 6.0, 30) + rng.normal(0, 0.2, 30)
+        features.append(featurize_window(failing))
+        labels.append(1)
+    return np.array(features), np.array(labels)
+
+
+class TestFeaturize:
+    def test_feature_vector_shape(self):
+        assert featurize_window([1.0, 2.0, 3.0]).shape == (len(FEATURES),)
+
+    def test_slope_sign(self):
+        rising = featurize_window([1.0, 2.0, 3.0, 4.0])
+        falling = featurize_window([4.0, 3.0, 2.0, 1.0])
+        assert rising[-1] > 0 > falling[-1]
+
+    def test_single_sample_window(self):
+        features = featurize_window([5.0])
+        assert features[0] == 5.0
+        assert features[-1] == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            featurize_window([])
+
+
+class TestLogisticFailurePredictor:
+    def test_learns_separable_problem(self):
+        x, y = make_dataset()
+        predictor = LogisticFailurePredictor(epochs=400)
+        report = predictor.fit(x, y)
+        assert report.accuracy > 0.95
+        assert report.final_loss < 0.3
+
+    def test_generalizes_to_fresh_data(self):
+        x, y = make_dataset(seed=0)
+        predictor = LogisticFailurePredictor(epochs=400)
+        predictor.fit(x, y)
+        x_test, y_test = make_dataset(seed=99, n=100)
+        predictions = predictor.predict_proba(x_test) > predictor.threshold
+        assert (predictions == (y_test > 0.5)).mean() > 0.9
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            LogisticFailurePredictor().predict_proba(np.zeros((1, 5)))
+        with pytest.raises(RuntimeError):
+            LogisticFailurePredictor().predict_events([])
+
+    def test_shape_validation(self):
+        predictor = LogisticFailurePredictor()
+        with pytest.raises(ValueError):
+            predictor.fit(np.zeros((3, 5)), np.zeros(4))
+        with pytest.raises(ValueError):
+            predictor.fit(np.zeros((1, 5)), np.zeros(1))
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            LogisticFailurePredictor(threshold=1.0)
+
+    def test_predict_events_flags_risky_target(self):
+        x, y = make_dataset()
+        predictor = LogisticFailurePredictor(epochs=400)
+        predictor.fit(x, y)
+        rng = np.random.default_rng(5)
+        failing = [
+            MetricSample(time=float(i * 60), target="nc-risky",
+                         metric="read_latency",
+                         value=float(2.0 + i * 0.2 + rng.normal(0, 0.2)))
+            for i in range(30)
+        ]
+        healthy = [
+            MetricSample(time=float(i * 60), target="nc-fine",
+                         metric="read_latency",
+                         value=float(rng.normal(2.0, 0.2)))
+            for i in range(30)
+        ]
+        events = predictor.predict_events(failing + healthy)
+        targets = {e.target for e in events}
+        assert "nc-risky" in targets
+        assert "nc-fine" not in targets
+        assert all(e.name == "nc_down_prediction" for e in events)
+        assert all(0.5 < e.attributes["probability"] <= 1.0 for e in events)

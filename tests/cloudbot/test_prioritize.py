@@ -1,0 +1,92 @@
+"""Tests for weight-aware action prioritization (Section VIII-C)."""
+
+import pytest
+
+from repro.cloudbot.actions import ActionType
+from repro.cloudbot.prioritize import (
+    choose_action,
+    prioritize_actions,
+    score_targets,
+    TargetPriority,
+)
+from repro.core.events import Event, Severity, default_catalog
+from repro.core.weights import expert_only_config
+
+CATALOG = default_catalog()
+WEIGHTS = expert_only_config()
+
+
+class TestScoreTargets:
+    def test_higher_severity_target_ranks_first(self):
+        events = [
+            Event("slow_io", 0.0, "vm-mild", level=Severity.WARNING),
+            Event("gpu_drop", 0.0, "vm-bad", level=Severity.FATAL),
+        ]
+        priorities = score_targets(events, CATALOG, WEIGHTS)
+        assert priorities[0].target == "vm-bad"
+        assert priorities[0].dominant_event == "gpu_drop"
+
+    def test_max_not_sum_semantics(self):
+        events = [
+            Event("packet_loss", 0.0, "vm-many", level=Severity.WARNING),
+            Event("packet_loss", 1.0, "vm-many", level=Severity.WARNING),
+            Event("packet_loss", 2.0, "vm-many", level=Severity.WARNING),
+            Event("slow_io", 0.0, "vm-one", level=Severity.FATAL),
+        ]
+        priorities = score_targets(events, CATALOG, WEIGHTS)
+        # One fatal event outranks many warnings (max semantics), even
+        # though the warnings sum higher.
+        assert priorities[0].target == "vm-one"
+
+    def test_unknown_events_ignored(self):
+        events = [Event("mystery", 0.0, "vm-1", level=Severity.FATAL)]
+        assert score_targets(events, CATALOG, WEIGHTS) == []
+
+    def test_tie_breaks_by_event_pressure_then_name(self):
+        events = [
+            Event("slow_io", 0.0, "vm-b", level=Severity.CRITICAL),
+            Event("slow_io", 0.0, "vm-a", level=Severity.CRITICAL),
+            Event("packet_loss", 0.0, "vm-a", level=Severity.WARNING),
+        ]
+        priorities = score_targets(events, CATALOG, WEIGHTS)
+        assert priorities[0].target == "vm-a"  # extra weighted event
+
+
+class TestChooseAction:
+    def test_high_score_migrates(self):
+        action = choose_action(TargetPriority("vm-1", 0.9, "gpu_drop"))
+        assert action is not None
+        assert action.type is ActionType.LIVE_MIGRATION
+
+    def test_medium_score_tickets(self):
+        action = choose_action(TargetPriority("vm-1", 0.5, "packet_loss"))
+        assert action.type is ActionType.REPAIR_REQUEST
+
+    def test_low_score_no_action(self):
+        assert choose_action(TargetPriority("vm-1", 0.1, "packet_loss")) is None
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            choose_action(TargetPriority("vm-1", 0.5, "x"),
+                          migrate_above=0.2, ticket_above=0.7)
+
+
+class TestPrioritizeActions:
+    def test_end_to_end_ordering(self):
+        events = [
+            Event("packet_loss", 0.0, "vm-low", level=Severity.WARNING),
+            Event("gpu_drop", 0.0, "vm-high", level=Severity.FATAL),
+            Event("slow_io", 0.0, "vm-mid", level=Severity.CRITICAL),
+        ]
+        actions = prioritize_actions(events, CATALOG, WEIGHTS,
+                                     migrate_above=0.8, ticket_above=0.6)
+        assert [a.target for a in actions] == ["vm-high", "vm-mid"]
+        assert actions[0].type is ActionType.LIVE_MIGRATION
+        assert actions[1].type is ActionType.REPAIR_REQUEST
+
+    def test_all_quiet_no_actions(self):
+        events = [
+            Event("packet_loss", 0.0, "vm-1", level=Severity.INFO),
+        ]
+        assert prioritize_actions(events, CATALOG, WEIGHTS,
+                                  ticket_above=0.3) == []

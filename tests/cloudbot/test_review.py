@@ -1,0 +1,112 @@
+"""Tests for rule-coverage review (Section II-F2)."""
+
+import pytest
+
+from repro.cloudbot.review import (
+    complaint_gaps,
+    coverage_report,
+    propose_rules,
+)
+from repro.cloudbot.rules import OperationRule, RuleEngine
+from repro.core.events import Event, EventCategory
+from repro.telemetry.tickets import Ticket
+
+
+def make_engine() -> RuleEngine:
+    return RuleEngine([
+        OperationRule(name="r1", expression="slow_io AND nic_flapping"),
+        OperationRule(name="r2", expression="vm_down"),
+    ])
+
+
+def events_mixed() -> list[Event]:
+    return [
+        Event("slow_io", 100.0, "vm-1"),
+        Event("nic_flapping", 110.0, "vm-1"),
+        Event("gpu_drop", 200.0, "vm-2"),
+        Event("gpu_drop", 900.0, "vm-3"),
+    ]
+
+
+class TestCoverageReport:
+    def test_partitions_event_names(self):
+        report = coverage_report(events_mixed(), make_engine())
+        assert report.covered == {"slow_io", "nic_flapping", "vm_down"}
+        assert report.observed == {"slow_io", "nic_flapping", "gpu_drop"}
+        assert report.uncovered == {"gpu_drop"}
+        assert report.occurrences["gpu_drop"] == 2
+
+    def test_coverage_fraction(self):
+        report = coverage_report(events_mixed(), make_engine())
+        assert report.coverage_fraction == pytest.approx(2 / 3)
+
+    def test_empty_stream_fully_covered(self):
+        report = coverage_report([], make_engine())
+        assert report.coverage_fraction == 1.0
+        assert report.uncovered == frozenset()
+
+
+class TestComplaintGaps:
+    def ticket(self, target: str, time: float) -> Ticket:
+        return Ticket(time=time, target=target, text="perf degraded",
+                      category=EventCategory.PERFORMANCE)
+
+    def test_correlated_complaint_surfaces_gap(self):
+        events = events_mixed()
+        tickets = [self.ticket("vm-2", 1200.0)]  # 1000 s after gpu_drop
+        gaps = complaint_gaps(events, tickets, make_engine())
+        assert len(gaps) == 1
+        assert gaps[0].event_name == "gpu_drop"
+        assert gaps[0].complaint_count == 1
+        assert gaps[0].sample_targets == ("vm-2",)
+
+    def test_covered_events_never_reported(self):
+        events = events_mixed()
+        tickets = [self.ticket("vm-1", 200.0)]
+        gaps = complaint_gaps(events, tickets, make_engine())
+        assert all(g.event_name != "slow_io" for g in gaps)
+
+    def test_complaint_outside_window_ignored(self):
+        events = events_mixed()
+        tickets = [self.ticket("vm-2", 200.0 + 7 * 3600.0)]
+        assert complaint_gaps(events, tickets, make_engine()) == []
+
+    def test_complaint_before_event_ignored(self):
+        events = events_mixed()
+        tickets = [self.ticket("vm-2", 50.0)]
+        assert complaint_gaps(events, tickets, make_engine()) == []
+
+    def test_sorted_by_pain(self):
+        events = events_mixed() + [
+            Event("mem_bandwidth_low", 300.0, "vm-4"),
+        ]
+        tickets = [
+            self.ticket("vm-2", 300.0), self.ticket("vm-3", 1000.0),
+            self.ticket("vm-4", 400.0),
+        ]
+        gaps = complaint_gaps(events, tickets, make_engine())
+        assert gaps[0].event_name == "gpu_drop"
+        assert gaps[0].complaint_count == 2
+
+
+class TestProposeRules:
+    def test_candidates_touch_uncovered_events(self):
+        # gpu_drop repeatedly co-occurs with slow_io.
+        events = []
+        for i in range(10):
+            base = i * 10_000.0
+            events.append(Event("gpu_drop", base, f"vm-{i}"))
+            events.append(Event("slow_io", base + 30.0, f"vm-{i}"))
+        engine = make_engine()
+        candidates = propose_rules(events, engine, min_support=0.3,
+                                   min_confidence=0.7)
+        assert candidates
+        for rule in candidates:
+            assert "gpu_drop" in (rule.antecedent | rule.consequent)
+
+    def test_full_coverage_proposes_nothing(self):
+        events = [
+            Event("slow_io", 0.0, "vm-1"),
+            Event("vm_down", 10.0, "vm-1"),
+        ]
+        assert propose_rules(events, make_engine()) == []

@@ -1,0 +1,161 @@
+"""Tests for operation rule expressions and the rule engine."""
+
+import pytest
+
+from repro.cloudbot.actions import Action, ActionType
+from repro.cloudbot.rules import (
+    OperationRule,
+    RuleEngine,
+    RuleSyntaxError,
+    parse_expression,
+)
+from repro.core.events import Event, Severity
+
+
+def active(*names: str) -> frozenset:
+    return frozenset(names)
+
+
+class TestParseExpression:
+    def test_single_event(self):
+        predicate, names = parse_expression("slow_io")
+        assert names == {"slow_io"}
+        assert predicate(active("slow_io"))
+        assert not predicate(active("vm_hang"))
+
+    def test_and(self):
+        predicate, _ = parse_expression("slow_io AND nic_flapping")
+        assert predicate(active("slow_io", "nic_flapping"))
+        assert not predicate(active("nic_flapping"))
+
+    def test_or(self):
+        predicate, _ = parse_expression("vm_down OR vm_hang")
+        assert predicate(active("vm_hang"))
+        assert not predicate(active("slow_io"))
+
+    def test_not(self):
+        predicate, _ = parse_expression("nic_flapping AND NOT vm_hang")
+        assert predicate(active("nic_flapping"))
+        assert not predicate(active("nic_flapping", "vm_hang"))
+
+    def test_parentheses_and_precedence(self):
+        # AND binds tighter than OR.
+        predicate, _ = parse_expression("a OR b AND c")
+        assert predicate(active("a"))
+        assert predicate(active("b", "c"))
+        assert not predicate(active("b"))
+        grouped, _ = parse_expression("(a OR b) AND c")
+        assert not grouped(active("a"))
+        assert grouped(active("a", "c"))
+
+    def test_case_insensitive_keywords(self):
+        predicate, _ = parse_expression("a and not b")
+        assert predicate(active("a"))
+        assert not predicate(active("a", "b"))
+
+    def test_nested_not(self):
+        predicate, _ = parse_expression("NOT NOT a")
+        assert predicate(active("a"))
+
+    def test_syntax_errors(self):
+        for bad in ("", "AND", "a AND", "(a", "a )", "a b", "a && b"):
+            with pytest.raises(RuleSyntaxError):
+                parse_expression(bad)
+
+    def test_referenced_names_collected(self):
+        _, names = parse_expression("(a OR b) AND NOT c")
+        assert names == {"a", "b", "c"}
+
+
+class TestOperationRule:
+    def test_fig1_nic_error_cause_slow_io(self):
+        """Fig. 1: slow_io + nic_flapping matches; nic_flapping alone
+        does not match nic_error_cause_vm_hang."""
+        slow_io_rule = OperationRule(
+            name="nic_error_cause_slow_io",
+            expression="slow_io AND nic_flapping",
+        )
+        vm_hang_rule = OperationRule(
+            name="nic_error_cause_vm_hang",
+            expression="nic_flapping AND vm_hang",
+        )
+        observed = {"slow_io", "nic_flapping"}
+        assert slow_io_rule.matches(observed)
+        assert not vm_hang_rule.matches(observed)
+
+    def test_invalid_expression_raises_at_construction(self):
+        with pytest.raises(RuleSyntaxError):
+            OperationRule(name="bad", expression="AND AND")
+
+    def test_referenced_events_exposed(self):
+        rule = OperationRule(name="r", expression="a AND (b OR c)")
+        assert rule.referenced_events == {"a", "b", "c"}
+
+
+class TestRuleEngine:
+    def make_engine(self) -> RuleEngine:
+        rule = OperationRule(
+            name="nic_error_cause_slow_io",
+            expression="slow_io AND nic_flapping",
+            actions=(
+                Action(ActionType.LIVE_MIGRATION, target="", priority=10),
+                Action(ActionType.REPAIR_REQUEST, target=""),
+                Action(ActionType.NC_LOCK, target=""),
+            ),
+        )
+        return RuleEngine([rule])
+
+    def test_match_produces_target_bound_actions(self):
+        engine = self.make_engine()
+        events = [
+            Event("slow_io", 100.0, "vm-1", expire_interval=600.0),
+            Event("nic_flapping", 110.0, "vm-1", expire_interval=600.0),
+        ]
+        matches = engine.evaluate(events, now=120.0)
+        assert len(matches) == 1
+        actions = matches[0].actions()
+        assert [a.type for a in actions] == [
+            ActionType.LIVE_MIGRATION, ActionType.REPAIR_REQUEST,
+            ActionType.NC_LOCK,
+        ]
+        assert all(a.target == "vm-1" for a in actions)
+        assert all(a.source_rule == "nic_error_cause_slow_io" for a in actions)
+
+    def test_expired_events_do_not_match(self):
+        engine = self.make_engine()
+        events = [
+            Event("slow_io", 100.0, "vm-1", expire_interval=60.0),
+            Event("nic_flapping", 500.0, "vm-1", expire_interval=600.0),
+        ]
+        assert engine.evaluate(events, now=550.0) == []
+
+    def test_events_from_other_targets_do_not_combine(self):
+        engine = self.make_engine()
+        events = [
+            Event("slow_io", 100.0, "vm-1", expire_interval=600.0),
+            Event("nic_flapping", 100.0, "vm-2", expire_interval=600.0),
+        ]
+        assert engine.evaluate(events, now=120.0) == []
+
+    def test_future_events_not_active(self):
+        engine = self.make_engine()
+        events = [
+            Event("slow_io", 500.0, "vm-1", expire_interval=600.0),
+            Event("nic_flapping", 500.0, "vm-1", expire_interval=600.0),
+        ]
+        assert engine.evaluate(events, now=100.0) == []
+
+    def test_register_replaces_rule(self):
+        engine = self.make_engine()
+        engine.register(OperationRule(
+            name="nic_error_cause_slow_io", expression="vm_hang",
+        ))
+        assert len(engine.rules()) == 1
+        assert engine.rules()[0].expression == "vm_hang"
+
+    def test_active_events_helper(self):
+        events = [
+            Event("a", 0.0, "t1", expire_interval=100.0),
+            Event("b", 0.0, "t1", expire_interval=10.0),
+        ]
+        assert RuleEngine.active_events(events, 50.0) == {"t1": {"a"}}

@@ -1,0 +1,85 @@
+"""Property tests: the rule-expression parser vs a reference evaluator.
+
+Random boolean expressions over a small event vocabulary are rendered
+to text, parsed by the production parser, and evaluated against a
+direct AST interpretation on random active-event sets.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloudbot.rules import parse_expression
+
+EVENTS = ["slow_io", "nic_flapping", "vm_hang", "vcpu_high", "gpu_drop"]
+
+
+@st.composite
+def expression_ast(draw, depth: int = 0):
+    """Random expression AST: ('event', name) | ('not', x) |
+    ('and'|'or', left, right)."""
+    if depth >= 4:
+        return ("event", draw(st.sampled_from(EVENTS)))
+    kind = draw(st.sampled_from(["event", "event", "not", "and", "or"]))
+    if kind == "event":
+        return ("event", draw(st.sampled_from(EVENTS)))
+    if kind == "not":
+        return ("not", draw(expression_ast(depth + 1)))
+    return (kind, draw(expression_ast(depth + 1)),
+            draw(expression_ast(depth + 1)))
+
+
+def render(ast) -> str:
+    """Render an AST with explicit parentheses."""
+    kind = ast[0]
+    if kind == "event":
+        return ast[1]
+    if kind == "not":
+        return f"NOT ({render(ast[1])})"
+    return f"({render(ast[1])}) {kind.upper()} ({render(ast[2])})"
+
+
+def evaluate(ast, active: frozenset) -> bool:
+    """Reference evaluator."""
+    kind = ast[0]
+    if kind == "event":
+        return ast[1] in active
+    if kind == "not":
+        return not evaluate(ast[1], active)
+    if kind == "and":
+        return evaluate(ast[1], active) and evaluate(ast[2], active)
+    return evaluate(ast[1], active) or evaluate(ast[2], active)
+
+
+def referenced(ast) -> set:
+    kind = ast[0]
+    if kind == "event":
+        return {ast[1]}
+    if kind == "not":
+        return referenced(ast[1])
+    return referenced(ast[1]) | referenced(ast[2])
+
+
+class TestParserProperties:
+    @given(expression_ast(),
+           st.sets(st.sampled_from(EVENTS), max_size=len(EVENTS)))
+    @settings(max_examples=300)
+    def test_parser_matches_reference_evaluator(self, ast, active_set):
+        active = frozenset(active_set)
+        predicate, names = parse_expression(render(ast))
+        assert predicate(active) == evaluate(ast, active)
+        assert names == frozenset(referenced(ast))
+
+    @given(expression_ast())
+    @settings(max_examples=100)
+    def test_rendered_expressions_always_parse(self, ast):
+        predicate, _ = parse_expression(render(ast))
+        assert callable(predicate)
+
+    @given(expression_ast(),
+           st.sets(st.sampled_from(EVENTS), max_size=len(EVENTS)))
+    @settings(max_examples=100)
+    def test_double_negation_is_identity(self, ast, active_set):
+        active = frozenset(active_set)
+        base, _ = parse_expression(render(ast))
+        doubled, _ = parse_expression(f"NOT (NOT ({render(ast)}))")
+        assert base(active) == doubled(active)

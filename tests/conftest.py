@@ -1,0 +1,16 @@
+"""Shared test configuration.
+
+Property-based tests run simulation-backed code whose first call can
+be slow (numpy warm-up, scipy distribution caching), so the global
+hypothesis profile disables per-example deadlines; individual tests
+tune ``max_examples`` where the default is too heavy.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,127 @@
+"""Tests for the Analytic Hierarchy Process (paper Section IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ahp import (
+    AhpResult,
+    InconsistentJudgmentError,
+    judgment_matrix_from_comparisons,
+    priority_vector,
+    two_perspective_alphas,
+    validate_judgment_matrix,
+)
+
+
+class TestValidation:
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            validate_judgment_matrix(np.ones((2, 3)))
+
+    def test_nonpositive_rejected(self):
+        matrix = np.array([[1.0, 0.0], [0.0, 1.0]])
+        with pytest.raises(ValueError, match="positive"):
+            validate_judgment_matrix(matrix)
+
+    def test_bad_diagonal_rejected(self):
+        matrix = np.array([[2.0, 1.0], [1.0, 1.0]])
+        with pytest.raises(ValueError, match="diagonal"):
+            validate_judgment_matrix(matrix)
+
+    def test_non_reciprocal_rejected(self):
+        matrix = np.array([[1.0, 2.0], [2.0, 1.0]])
+        with pytest.raises(ValueError, match="reciprocal"):
+            validate_judgment_matrix(matrix)
+
+
+class TestPriorityVector:
+    def test_identity_gives_equal_weights(self):
+        result = priority_vector(np.ones((3, 3)))
+        assert result.weights == pytest.approx((1 / 3, 1 / 3, 1 / 3))
+        assert result.consistency_ratio == pytest.approx(0.0, abs=1e-9)
+
+    def test_two_by_two_ratio(self):
+        # a is 3x as important as b -> weights 0.75 / 0.25.
+        matrix = [[1.0, 3.0], [1 / 3, 1.0]]
+        result = priority_vector(matrix)
+        assert result.weights == pytest.approx((0.75, 0.25))
+
+    def test_weights_sum_to_one(self):
+        matrix = judgment_matrix_from_comparisons(
+            ("a", "b", "c"), {("a", "b"): 2, ("a", "c"): 4, ("b", "c"): 2}
+        )
+        result = priority_vector(matrix)
+        assert sum(result.weights) == pytest.approx(1.0)
+
+    def test_perfectly_consistent_matrix(self):
+        # w = (4, 2, 1) normalized; a_ij = w_i / w_j is consistent.
+        matrix = [[1, 2, 4], [0.5, 1, 2], [0.25, 0.5, 1]]
+        result = priority_vector(matrix)
+        assert result.weights == pytest.approx((4 / 7, 2 / 7, 1 / 7))
+        assert result.lambda_max == pytest.approx(3.0)
+        assert result.consistency_index == pytest.approx(0.0, abs=1e-9)
+
+    def test_dominance_respected(self):
+        matrix = judgment_matrix_from_comparisons(
+            ("a", "b", "c"), {("a", "b"): 3, ("a", "c"): 5, ("b", "c"): 2}
+        )
+        weights = priority_vector(matrix).weights
+        assert weights[0] > weights[1] > weights[2]
+
+    def test_inconsistent_matrix_raises(self):
+        # a > b, b > c, but c >> a: wildly intransitive.
+        matrix = judgment_matrix_from_comparisons(
+            ("a", "b", "c"), {("a", "b"): 9, ("b", "c"): 9, ("c", "a"): 9}
+        )
+        with pytest.raises(InconsistentJudgmentError):
+            priority_vector(matrix)
+
+    def test_inconsistent_matrix_allowed_when_unchecked(self):
+        matrix = judgment_matrix_from_comparisons(
+            ("a", "b", "c"), {("a", "b"): 9, ("b", "c"): 9, ("c", "a"): 9}
+        )
+        result = priority_vector(matrix, check_consistency=False)
+        assert isinstance(result, AhpResult)
+        assert not result.is_consistent
+
+
+class TestJudgmentMatrixBuilder:
+    def test_reciprocals_filled(self):
+        matrix = judgment_matrix_from_comparisons(("a", "b"), {("a", "b"): 5})
+        assert matrix[0, 1] == 5
+        assert matrix[1, 0] == pytest.approx(0.2)
+
+    def test_missing_pairs_default_to_one(self):
+        matrix = judgment_matrix_from_comparisons(("a", "b", "c"), {})
+        assert np.allclose(matrix, 1.0)
+
+    def test_conflicting_reciprocals_rejected(self):
+        with pytest.raises(ValueError, match="reciprocal"):
+            judgment_matrix_from_comparisons(
+                ("a", "b"), {("a", "b"): 5, ("b", "a"): 5}
+            )
+
+    def test_unknown_criterion_rejected(self):
+        with pytest.raises(KeyError):
+            judgment_matrix_from_comparisons(("a",), {("a", "zzz"): 2})
+
+    def test_duplicate_criteria_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            judgment_matrix_from_comparisons(("a", "a"), {})
+
+    def test_nonpositive_value_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            judgment_matrix_from_comparisons(("a", "b"), {("a", "b"): -2})
+
+
+class TestTwoPerspectiveAlphas:
+    def test_equal_importance_matches_example3(self):
+        # Example 3 uses alpha_1 = alpha_2 = 0.5.
+        alpha_expert, alpha_customer = two_perspective_alphas(1.0)
+        assert alpha_expert == pytest.approx(0.5)
+        assert alpha_customer == pytest.approx(0.5)
+
+    def test_expert_heavier(self):
+        alpha_expert, alpha_customer = two_perspective_alphas(3.0)
+        assert alpha_expert == pytest.approx(0.75)
+        assert alpha_customer == pytest.approx(0.25)

@@ -1,0 +1,106 @@
+"""Tests for baseline metrics: DP, AIR, MTBF/MTTR (Section III-A)."""
+
+import pytest
+
+from repro.core.baselines import (
+    SECONDS_PER_YEAR,
+    annual_interruption_rate,
+    downtime_percentage,
+    interruption_count,
+    reliability_figures,
+)
+from repro.core.events import Severity, default_catalog
+from repro.core.indicator import ServicePeriod
+from repro.core.periods import EventPeriod
+
+CATALOG = default_catalog()
+
+
+def down(start: float, end: float, target: str = "vm-1") -> EventPeriod:
+    return EventPeriod("vm_down", target, start, end, Severity.FATAL)
+
+
+def perf(start: float, end: float, target: str = "vm-1") -> EventPeriod:
+    return EventPeriod("slow_io", target, start, end, Severity.CRITICAL)
+
+
+class TestDowntimePercentage:
+    def test_basic(self):
+        service = ServicePeriod(0.0, 1000.0)
+        assert downtime_percentage([down(0.0, 100.0)], service, CATALOG) == 0.1
+
+    def test_performance_events_ignored(self):
+        service = ServicePeriod(0.0, 1000.0)
+        assert downtime_percentage([perf(0.0, 500.0)], service, CATALOG) == 0.0
+
+    def test_overlapping_downtime_not_double_counted(self):
+        service = ServicePeriod(0.0, 1000.0)
+        periods = [down(0.0, 100.0), down(50.0, 150.0)]
+        assert downtime_percentage(periods, service, CATALOG) == pytest.approx(0.15)
+
+    def test_no_events(self):
+        assert downtime_percentage([], ServicePeriod(0.0, 10.0), CATALOG) == 0.0
+
+
+class TestInterruptionCount:
+    def test_disjoint_interruptions(self):
+        service = ServicePeriod(0.0, 1000.0)
+        periods = [down(0.0, 10.0), down(100.0, 110.0)]
+        assert interruption_count(periods, service, CATALOG) == 2
+
+    def test_touching_interruptions_merge(self):
+        service = ServicePeriod(0.0, 1000.0)
+        periods = [down(0.0, 10.0), down(10.0, 20.0)]
+        assert interruption_count(periods, service, CATALOG) == 1
+
+    def test_outside_service_window_excluded(self):
+        service = ServicePeriod(0.0, 100.0)
+        assert interruption_count([down(200.0, 300.0)], service, CATALOG) == 0
+
+    def test_performance_events_not_interruptions(self):
+        service = ServicePeriod(0.0, 1000.0)
+        assert interruption_count([perf(0.0, 10.0)], service, CATALOG) == 0
+
+
+class TestAnnualInterruptionRate:
+    def test_one_interruption_per_vm_year(self):
+        vms = [([down(0.0, 60.0)], ServicePeriod(0.0, SECONDS_PER_YEAR))]
+        assert annual_interruption_rate(vms, CATALOG) == pytest.approx(100.0)
+
+    def test_scales_with_service_time(self):
+        half_year = SECONDS_PER_YEAR / 2
+        vms = [([down(0.0, 60.0)], ServicePeriod(0.0, half_year))]
+        assert annual_interruption_rate(vms, CATALOG) == pytest.approx(200.0)
+
+    def test_no_service_time(self):
+        assert annual_interruption_rate([], CATALOG) == 0.0
+
+    def test_air_blind_to_duration(self):
+        """AIR counts occurrences: a 1 s and a 1 h outage weigh the same."""
+        year = ServicePeriod(0.0, SECONDS_PER_YEAR)
+        short = [([down(0.0, 1.0)], year)]
+        long = [([down(0.0, 3600.0)], year)]
+        assert annual_interruption_rate(short, CATALOG) == pytest.approx(
+            annual_interruption_rate(long, CATALOG)
+        )
+
+
+class TestReliabilityFigures:
+    def test_no_failures(self):
+        figures = reliability_figures([([], ServicePeriod(0.0, 1000.0))], CATALOG)
+        assert figures.mtbf == 1000.0
+        assert figures.mttr == 0.0
+        assert figures.availability == 1.0
+
+    def test_single_failure(self):
+        vms = [([down(0.0, 100.0)], ServicePeriod(0.0, 1000.0))]
+        figures = reliability_figures(vms, CATALOG)
+        assert figures.mtbf == pytest.approx(900.0)
+        assert figures.mttr == pytest.approx(100.0)
+        assert figures.availability == pytest.approx(0.9)
+
+    def test_zero_denominator_availability(self):
+        vms = [([down(0.0, 1000.0)], ServicePeriod(0.0, 1000.0))]
+        figures = reliability_figures(vms, CATALOG)
+        assert figures.mtbf == 0.0
+        assert figures.availability == 0.0

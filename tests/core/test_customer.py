@@ -1,0 +1,78 @@
+"""Tests for the Customer-Perspective Indicator (Section VIII-B)."""
+
+import pytest
+
+from repro.core.customer import (
+    DEFAULT_DISCLOSED_EVENTS,
+    CustomerPerspectiveCalculator,
+)
+from repro.core.events import Severity, default_catalog
+from repro.core.indicator import CdiCalculator, ServicePeriod
+from repro.core.periods import EventPeriod
+from repro.core.weights import expert_only_config
+
+
+def make_calculator(**kwargs) -> CustomerPerspectiveCalculator:
+    return CustomerPerspectiveCalculator(
+        default_catalog(), expert_only_config(), **kwargs
+    )
+
+
+class TestCustomerPerspective:
+    def test_disclosed_subset_visible(self):
+        calc = make_calculator()
+        periods = [EventPeriod("slow_io", "vm-1", 0.0, 60.0, Severity.CRITICAL)]
+        report = calc.vm_report(periods, ServicePeriod(0.0, 600.0))
+        assert report.performance > 0.0
+
+    def test_internal_events_hidden(self):
+        calc = make_calculator()
+        # inspect_cpu_power_tdp is infrastructure-internal, not disclosed.
+        periods = [
+            EventPeriod("inspect_cpu_power_tdp", "vm-1", 0.0, 600.0,
+                        Severity.WARNING)
+        ]
+        report = calc.vm_report(periods, ServicePeriod(0.0, 600.0))
+        assert report.performance == 0.0
+
+    def test_customer_cdi_never_exceeds_internal_cdi(self):
+        customer = make_calculator()
+        internal = CdiCalculator(default_catalog(), expert_only_config())
+        periods = [
+            EventPeriod("slow_io", "vm-1", 0.0, 60.0, Severity.CRITICAL),
+            EventPeriod("inspect_cpu_power_tdp", "vm-1", 100.0, 400.0,
+                        Severity.WARNING),
+        ]
+        service = ServicePeriod(0.0, 600.0)
+        assert (
+            customer.vm_report(periods, service).performance
+            <= internal.vm_report(periods, service).performance
+        )
+
+    def test_custom_disclosure_set(self):
+        calc = make_calculator(disclosed={"vm_down"})
+        assert calc.disclosed == frozenset({"vm_down"})
+        periods = [EventPeriod("slow_io", "vm-1", 0.0, 60.0, Severity.CRITICAL)]
+        report = calc.vm_report(periods, ServicePeriod(0.0, 600.0))
+        assert report.performance == 0.0
+
+    def test_unknown_disclosed_name_rejected(self):
+        with pytest.raises(KeyError):
+            make_calculator(disclosed={"not_a_real_event"})
+
+    def test_default_disclosure_is_valid(self):
+        catalog = default_catalog()
+        assert all(name in catalog for name in DEFAULT_DISCLOSED_EVENTS)
+
+    def test_fleet_report(self):
+        calc = make_calculator()
+        vms = {
+            "vm-1": (
+                [EventPeriod("vm_down", "vm-1", 0.0, 50.0, Severity.FATAL)],
+                ServicePeriod(0.0, 100.0),
+            ),
+            "vm-2": ([], ServicePeriod(0.0, 100.0)),
+        }
+        fleet = calc.fleet_report(vms)
+        assert fleet.unavailability == pytest.approx(0.25)
+        assert fleet.service_time == 200.0

@@ -1,0 +1,160 @@
+"""Tests for the event model and catalog (paper Table II)."""
+
+import pytest
+
+from repro.core.events import (
+    Event,
+    EventCatalog,
+    EventCategory,
+    EventKind,
+    EventSpec,
+    InvalidEventError,
+    Severity,
+    default_catalog,
+)
+
+
+class TestEvent:
+    def test_fields_roundtrip(self):
+        event = Event(
+            name="slow_io",
+            time=1000.0,
+            target="vm-1",
+            expire_interval=600.0,
+            level=Severity.CRITICAL,
+            attributes={"duration": 120.0},
+        )
+        assert event.name == "slow_io"
+        assert event.target == "vm-1"
+        assert event.level is Severity.CRITICAL
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InvalidEventError):
+            Event(name="", time=0.0, target="vm-1")
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(InvalidEventError):
+            Event(name="slow_io", time=0.0, target="")
+
+    def test_negative_expire_interval_rejected(self):
+        with pytest.raises(InvalidEventError):
+            Event(name="slow_io", time=0.0, target="vm-1", expire_interval=-1.0)
+
+    def test_expiration(self):
+        event = Event(name="slow_io", time=100.0, target="vm-1",
+                      expire_interval=50.0)
+        assert event.expires_at == 150.0
+        assert not event.is_expired(150.0)
+        assert event.is_expired(150.1)
+
+    def test_duration_hint_present(self):
+        event = Event(name="qemu_live_upgrade", time=100.0, target="vm-1",
+                      attributes={"duration": 0.25})
+        assert event.duration_hint() == 0.25
+
+    def test_duration_hint_absent(self):
+        event = Event(name="slow_io", time=100.0, target="vm-1")
+        assert event.duration_hint() is None
+
+    def test_events_are_hashable_and_frozen(self):
+        event = Event(name="slow_io", time=1.0, target="vm-1")
+        with pytest.raises(AttributeError):
+            event.time = 2.0  # type: ignore[misc]
+
+
+class TestSeverity:
+    def test_increasing_order(self):
+        assert Severity.INFO < Severity.WARNING < Severity.CRITICAL < Severity.FATAL
+
+    def test_rank_matches_example3(self):
+        # Example 3: critical is the third level of increasing severity.
+        assert Severity.CRITICAL.rank == 3
+
+    def test_count(self):
+        assert Severity.count() == 4
+
+
+class TestEventSpec:
+    def test_stateful_requires_detail_names(self):
+        with pytest.raises(InvalidEventError):
+            EventSpec("x", EventCategory.UNAVAILABILITY, kind=EventKind.STATEFUL)
+
+    def test_nonpositive_window_rejected(self):
+        with pytest.raises(InvalidEventError):
+            EventSpec("x", EventCategory.PERFORMANCE, window=0.0)
+
+
+class TestEventCatalog:
+    def test_register_and_get(self):
+        catalog = EventCatalog()
+        spec = EventSpec("slow_io", EventCategory.PERFORMANCE)
+        catalog.register(spec)
+        assert catalog.get("slow_io") is spec
+        assert "slow_io" in catalog
+        assert len(catalog) == 1
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            EventCatalog().get("nope")
+
+    def test_detail_name_resolution(self):
+        catalog = EventCatalog([
+            EventSpec("ddos_blackhole", EventCategory.UNAVAILABILITY,
+                      kind=EventKind.STATEFUL,
+                      start_name="ddos_blackhole_add",
+                      end_name="ddos_blackhole_del"),
+        ])
+        assert catalog.logical_name("ddos_blackhole_add") == "ddos_blackhole"
+        assert catalog.logical_name("ddos_blackhole_del") == "ddos_blackhole"
+        assert catalog.logical_name("ddos_blackhole") == "ddos_blackhole"
+        assert catalog.logical_name("other") is None
+
+    def test_category_of_detail_name(self):
+        catalog = default_catalog()
+        assert (
+            catalog.category_of("ddos_blackhole_add")
+            is EventCategory.UNAVAILABILITY
+        )
+
+    def test_reregister_stateful_clears_old_detail_names(self):
+        catalog = EventCatalog([
+            EventSpec("x", EventCategory.UNAVAILABILITY,
+                      kind=EventKind.STATEFUL,
+                      start_name="x_add", end_name="x_del"),
+        ])
+        catalog.register(
+            EventSpec("x", EventCategory.UNAVAILABILITY,
+                      kind=EventKind.STATEFUL,
+                      start_name="x_begin", end_name="x_end")
+        )
+        assert catalog.logical_name("x_add") is None
+        assert catalog.logical_name("x_begin") == "x"
+
+    def test_by_category_partition(self):
+        catalog = default_catalog()
+        names = set(catalog.names())
+        partitioned = set()
+        for category in EventCategory:
+            for spec in catalog.by_category(category):
+                partitioned.add(spec.name)
+        assert partitioned == names
+
+
+class TestDefaultCatalog:
+    def test_paper_events_present(self):
+        catalog = default_catalog()
+        for name in ("slow_io", "nic_flapping", "vm_hang", "ddos_blackhole",
+                     "vcpu_high", "packet_loss", "vm_allocation_failed",
+                     "inspect_cpu_power_tdp", "qemu_live_upgrade"):
+            assert name in catalog, name
+
+    def test_categories_match_paper(self):
+        catalog = default_catalog()
+        assert catalog.category_of("slow_io") is EventCategory.PERFORMANCE
+        assert catalog.category_of("vm_down") is EventCategory.UNAVAILABILITY
+        assert catalog.category_of("vm_start_failed") is EventCategory.CONTROL_PLANE
+
+    def test_all_categories_nonempty(self):
+        catalog = default_catalog()
+        for category in EventCategory:
+            assert catalog.by_category(category), category

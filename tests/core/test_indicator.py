@@ -1,0 +1,265 @@
+"""Tests for Algorithm 1 and Formula 4 (paper Section IV-D, Example 4).
+
+Times are expressed in minutes throughout this file — CDI is a ratio
+and therefore unit-agnostic, and the paper's Table IV is given in
+minutes.
+"""
+
+import pytest
+
+from repro.core.events import EventCategory, Severity, default_catalog
+from repro.core.indicator import (
+    CdiCalculator,
+    CdiReport,
+    ServicePeriod,
+    WeightedInterval,
+    aggregate,
+    aggregate_reports,
+    cdi,
+    cdi_slotted,
+    damage_integral,
+)
+from repro.core.periods import EventPeriod
+from repro.core.weights import WeightConfig
+
+
+def minutes(h: int, m: int) -> float:
+    return h * 60.0 + m
+
+
+class TestWeightedInterval:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightedInterval(5.0, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            WeightedInterval(0.0, 1.0, 1.5)
+        with pytest.raises(ValueError):
+            WeightedInterval(0.0, 1.0, -0.1)
+
+    def test_duration(self):
+        assert WeightedInterval(2.0, 7.0, 0.5).duration == 5.0
+
+
+class TestServicePeriod:
+    def test_positive_length_required(self):
+        with pytest.raises(ValueError):
+            ServicePeriod(10.0, 10.0)
+
+    def test_duration(self):
+        assert ServicePeriod(0.0, 1440.0).duration == 1440.0
+
+
+class TestDamageIntegral:
+    def test_empty(self):
+        assert damage_integral([], ServicePeriod(0.0, 100.0)) == 0.0
+
+    def test_single_interval(self):
+        iv = WeightedInterval(10.0, 30.0, 0.5)
+        assert damage_integral([iv], ServicePeriod(0.0, 100.0)) == pytest.approx(10.0)
+
+    def test_clipping_to_service_period(self):
+        iv = WeightedInterval(-50.0, 50.0, 1.0)
+        assert damage_integral([iv], ServicePeriod(0.0, 100.0)) == pytest.approx(50.0)
+
+    def test_interval_outside_period_ignored(self):
+        iv = WeightedInterval(200.0, 300.0, 1.0)
+        assert damage_integral([iv], ServicePeriod(0.0, 100.0)) == 0.0
+
+    def test_overlap_takes_max_weight(self):
+        intervals = [
+            WeightedInterval(0.0, 10.0, 0.5),
+            WeightedInterval(5.0, 15.0, 0.8),
+        ]
+        # [0,5) at 0.5, [5,10) at 0.8, [10,15) at 0.8.
+        expected = 5 * 0.5 + 5 * 0.8 + 5 * 0.8
+        assert damage_integral(
+            intervals, ServicePeriod(0.0, 100.0)
+        ) == pytest.approx(expected)
+
+    def test_nested_overlap(self):
+        intervals = [
+            WeightedInterval(0.0, 30.0, 0.3),
+            WeightedInterval(10.0, 20.0, 0.9),
+        ]
+        expected = 10 * 0.3 + 10 * 0.9 + 10 * 0.3
+        assert damage_integral(
+            intervals, ServicePeriod(0.0, 100.0)
+        ) == pytest.approx(expected)
+
+    def test_identical_intervals_count_once(self):
+        iv = WeightedInterval(0.0, 10.0, 0.7)
+        assert damage_integral(
+            [iv, iv, iv], ServicePeriod(0.0, 100.0)
+        ) == pytest.approx(7.0)
+
+    def test_zero_weight_ignored(self):
+        iv = WeightedInterval(0.0, 10.0, 0.0)
+        assert damage_integral([iv], ServicePeriod(0.0, 100.0)) == 0.0
+
+    def test_zero_length_interval_contributes_nothing(self):
+        iv = WeightedInterval(5.0, 5.0, 1.0)
+        assert damage_integral([iv], ServicePeriod(0.0, 100.0)) == 0.0
+
+
+class TestExample4:
+    """Paper Example 4 / Table IV, reproduced exactly."""
+
+    def test_vm1(self):
+        intervals = [
+            WeightedInterval(minutes(10, 8), minutes(10, 10), 0.3, "packet_loss"),
+            WeightedInterval(minutes(10, 10), minutes(10, 12), 0.3, "packet_loss"),
+        ]
+        service = ServicePeriod(minutes(10, 0), minutes(11, 0))  # 60 min
+        assert cdi(intervals, service) == pytest.approx(0.020)
+
+    def test_vm2(self):
+        intervals = [
+            WeightedInterval(minutes(13, 25), minutes(13, 30), 0.6, "vcpu_high"),
+        ]
+        service = ServicePeriod(0.0, 1440.0)  # full day
+        assert cdi(intervals, service) == pytest.approx(0.002, abs=5e-4)
+        assert cdi(intervals, service) == pytest.approx(5 * 0.6 / 1440)
+
+    def test_vm3_overlap_takes_higher_weight(self):
+        intervals = [
+            WeightedInterval(minutes(8, 8), minutes(8, 10), 0.5, "slow_io"),
+            WeightedInterval(minutes(8, 10), minutes(8, 12), 0.5, "slow_io"),
+            WeightedInterval(minutes(8, 10), minutes(8, 15), 0.6, "vcpu_high"),
+        ]
+        service = ServicePeriod(0.0, 1000.0)  # 1000 min
+        assert cdi(intervals, service) == pytest.approx(0.004)
+
+    def test_all_vms_formula4(self):
+        q_all = aggregate([(60.0, 0.020), (1440.0, 0.002), (1000.0, 0.004)])
+        # Paper rounds to 0.003.
+        assert q_all == pytest.approx(0.003, abs=5e-4)
+
+
+class TestAggregate:
+    def test_empty_is_zero(self):
+        assert aggregate([]) == 0.0
+
+    def test_single_vm_identity(self):
+        assert aggregate([(100.0, 0.42)]) == pytest.approx(0.42)
+
+    def test_weighting_by_service_time(self):
+        # A long-lived healthy VM dilutes a short-lived unhealthy one.
+        assert aggregate([(10.0, 1.0), (990.0, 0.0)]) == pytest.approx(0.01)
+
+    def test_negative_service_time_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate([(-1.0, 0.5)])
+
+    def test_zero_total_service_time(self):
+        assert aggregate([(0.0, 0.9)]) == 0.0
+
+
+class TestCdiSlotted:
+    def test_matches_exact_on_aligned_input(self):
+        intervals = [
+            WeightedInterval(60.0, 180.0, 0.5),
+            WeightedInterval(120.0, 300.0, 0.8),
+        ]
+        service = ServicePeriod(0.0, 600.0)
+        assert cdi_slotted(intervals, service, slot=60.0) == pytest.approx(
+            cdi(intervals, service)
+        )
+
+    def test_invalid_slot_rejected(self):
+        with pytest.raises(ValueError):
+            cdi_slotted([], ServicePeriod(0.0, 100.0), slot=0.0)
+
+    def test_empty(self):
+        assert cdi_slotted([], ServicePeriod(0.0, 100.0)) == 0.0
+
+
+class TestCdiCalculator:
+    def make_calculator(self) -> CdiCalculator:
+        config = WeightConfig(
+            alpha_expert=0.5, alpha_customer=0.5,
+            expert_levels=4, customer_levels=4,
+            customer_level_by_name={"slow_io": 2, "vcpu_high": 4},
+        )
+        return CdiCalculator(default_catalog(), config)
+
+    def test_vm_report_separates_categories(self):
+        calc = self.make_calculator()
+        periods = [
+            EventPeriod("vm_down", "vm-1", 0.0, 60.0, Severity.FATAL),
+            EventPeriod("slow_io", "vm-1", 100.0, 160.0, Severity.CRITICAL),
+            EventPeriod("vm_start_failed", "vm-1", 200.0, 260.0, Severity.CRITICAL),
+        ]
+        service = ServicePeriod(0.0, 600.0)
+        report = calc.vm_report(periods, service)
+        assert report.unavailability == pytest.approx(60.0 / 600.0)
+        assert report.performance > 0.0
+        assert report.control_plane > 0.0
+        assert report.service_time == 600.0
+
+    def test_unknown_event_names_excluded(self):
+        calc = self.make_calculator()
+        periods = [EventPeriod("mystery", "vm-1", 0.0, 600.0, Severity.FATAL)]
+        report = calc.vm_report(periods, ServicePeriod(0.0, 600.0))
+        assert report == CdiReport(0.0, 0.0, 0.0, 600.0)
+
+    def test_event_level_cdi_narrows_input(self):
+        calc = self.make_calculator()
+        periods = [
+            EventPeriod("slow_io", "vm-1", 0.0, 60.0, Severity.CRITICAL),
+            EventPeriod("vcpu_high", "vm-1", 0.0, 600.0, Severity.CRITICAL),
+        ]
+        service = ServicePeriod(0.0, 600.0)
+        narrow = calc.event_level_cdi(periods, service, "slow_io")
+        # slow_io: fused weight (0.75 + 0.5)/2 = 0.625 over 60 of 600.
+        assert narrow == pytest.approx(0.625 * 60 / 600)
+
+    def test_fleet_report_matches_manual_formula4(self):
+        calc = self.make_calculator()
+        vms = {
+            "vm-1": (
+                [EventPeriod("vm_down", "vm-1", 0.0, 30.0, Severity.FATAL)],
+                ServicePeriod(0.0, 100.0),
+            ),
+            "vm-2": ([], ServicePeriod(0.0, 300.0)),
+        }
+        fleet = calc.fleet_report(vms)
+        assert fleet.unavailability == pytest.approx((100 * 0.3 + 300 * 0) / 400)
+        assert fleet.service_time == 400.0
+
+
+class TestCdiReport:
+    def test_sub_metric_accessor(self):
+        report = CdiReport(0.1, 0.2, 0.3, 1000.0)
+        assert report.sub_metric(EventCategory.UNAVAILABILITY) == 0.1
+        assert report.sub_metric(EventCategory.PERFORMANCE) == 0.2
+        assert report.sub_metric(EventCategory.CONTROL_PLANE) == 0.3
+
+    def test_combined_equal_weights(self):
+        report = CdiReport(0.1, 0.2, 0.3, 1000.0)
+        assert report.combined() == pytest.approx(0.2)
+
+    def test_combined_custom_weights(self):
+        report = CdiReport(0.1, 0.2, 0.3, 1000.0)
+        weights = {
+            EventCategory.UNAVAILABILITY: 2.0,
+            EventCategory.PERFORMANCE: 1.0,
+            EventCategory.CONTROL_PLANE: 1.0,
+        }
+        assert report.combined(weights) == pytest.approx(
+            (2 * 0.1 + 0.2 + 0.3) / 4
+        )
+
+    def test_combined_zero_weights_rejected(self):
+        report = CdiReport(0.1, 0.2, 0.3, 1000.0)
+        with pytest.raises(ValueError):
+            report.combined({c: 0.0 for c in EventCategory})
+
+    def test_aggregate_reports(self):
+        reports = [
+            CdiReport(0.2, 0.0, 0.0, 100.0),
+            CdiReport(0.0, 0.4, 0.0, 300.0),
+        ]
+        merged = aggregate_reports(reports)
+        assert merged.unavailability == pytest.approx(0.05)
+        assert merged.performance == pytest.approx(0.3)
+        assert merged.service_time == 400.0

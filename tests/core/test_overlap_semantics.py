@@ -1,0 +1,59 @@
+"""Tests for alternative overlap semantics (ablation support code)."""
+
+import pytest
+
+from repro.core.indicator import (
+    ServicePeriod,
+    WeightedInterval,
+    damage_integral,
+    damage_integral_with,
+)
+
+SERVICE = ServicePeriod(0.0, 100.0)
+
+
+class TestDamageIntegralWith:
+    def test_max_semantics_matches_primary_implementation(self):
+        intervals = [
+            WeightedInterval(0.0, 10.0, 0.5),
+            WeightedInterval(5.0, 15.0, 0.8),
+            WeightedInterval(50.0, 60.0, 0.3),
+        ]
+        assert damage_integral_with(intervals, SERVICE, max) == (
+            pytest.approx(damage_integral(intervals, SERVICE))
+        )
+
+    def test_sum_semantics_exceeds_max_on_overlap(self):
+        intervals = [
+            WeightedInterval(0.0, 10.0, 0.4),
+            WeightedInterval(0.0, 10.0, 0.4),
+        ]
+        capped_sum = damage_integral_with(
+            intervals, SERVICE, lambda ws: min(1.0, sum(ws))
+        )
+        maxed = damage_integral_with(intervals, SERVICE, max)
+        assert capped_sum == pytest.approx(8.0)
+        assert maxed == pytest.approx(4.0)
+
+    def test_mean_semantics_dilutes(self):
+        intervals = [
+            WeightedInterval(0.0, 10.0, 0.8),
+            WeightedInterval(0.0, 10.0, 0.2),
+        ]
+        mean = damage_integral_with(
+            intervals, SERVICE, lambda ws: sum(ws) / len(ws)
+        )
+        assert mean == pytest.approx(5.0)
+
+    def test_clipping_applies(self):
+        intervals = [WeightedInterval(-10.0, 10.0, 1.0)]
+        assert damage_integral_with(intervals, SERVICE, max) == (
+            pytest.approx(10.0)
+        )
+
+    def test_empty(self):
+        assert damage_integral_with([], SERVICE, max) == 0.0
+
+    def test_zero_weight_excluded(self):
+        intervals = [WeightedInterval(0.0, 10.0, 0.0)]
+        assert damage_integral_with(intervals, SERVICE, max) == 0.0

@@ -1,0 +1,215 @@
+"""Tests for period resolution (paper Section IV-B, Example 2)."""
+
+import pytest
+
+from repro.core.events import (
+    Event,
+    EventCatalog,
+    EventCategory,
+    EventKind,
+    EventSpec,
+    Severity,
+    default_catalog,
+)
+from repro.core.periods import (
+    EventPeriod,
+    UnpairedPolicy,
+    dedupe_consecutive,
+    pair_stateful,
+    resolve_periods,
+    resolve_stateless,
+)
+
+DDOS = EventSpec(
+    "ddos_blackhole", EventCategory.UNAVAILABILITY, kind=EventKind.STATEFUL,
+    start_name="ddos_blackhole_add", end_name="ddos_blackhole_del",
+)
+
+
+def detail(name: str, time: float, target: str = "vm-1") -> Event:
+    return Event(name=name, time=time, target=target)
+
+
+class TestEventPeriod:
+    def test_duration(self):
+        assert EventPeriod("e", "vm", 10.0, 25.0).duration == 15.0
+
+    def test_reversed_period_rejected(self):
+        with pytest.raises(ValueError):
+            EventPeriod("e", "vm", 25.0, 10.0)
+
+    def test_overlap(self):
+        a = EventPeriod("a", "vm", 0.0, 10.0)
+        b = EventPeriod("b", "vm", 5.0, 15.0)
+        c = EventPeriod("c", "vm", 10.0, 20.0)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)  # touching endpoints do not overlap
+
+
+class TestResolveStateless:
+    def test_window_fallback(self):
+        # slow_io with a 1-minute window: start traced back 60 s.
+        spec = default_catalog().get("slow_io")
+        event = Event(name="slow_io", time=600.0, target="vm-1",
+                      level=Severity.CRITICAL)
+        period = resolve_stateless(event, spec)
+        assert period.start == 540.0
+        assert period.end == 600.0
+        assert period.level is Severity.CRITICAL
+
+    def test_measured_duration_overrides_window(self):
+        # qemu_live_upgrade logs the impact duration in milliseconds.
+        spec = default_catalog().get("qemu_live_upgrade")
+        event = Event(name="qemu_live_upgrade", time=100.0, target="vm-1",
+                      attributes={"duration": 0.035})
+        period = resolve_stateless(event, spec)
+        assert period.end - period.start == pytest.approx(0.035)
+
+    def test_negative_duration_rejected(self):
+        spec = default_catalog().get("slow_io")
+        event = Event(name="slow_io", time=100.0, target="vm-1",
+                      attributes={"duration": -5})
+        with pytest.raises(ValueError):
+            resolve_stateless(event, spec)
+
+
+class TestDedupeConsecutive:
+    def test_keeps_earliest_of_runs(self):
+        events = [
+            detail("ddos_blackhole_add", 2.0),
+            detail("ddos_blackhole_add", 3.0),
+            detail("ddos_blackhole_del", 4.0),
+            detail("ddos_blackhole_del", 5.0),
+        ]
+        kept = dedupe_consecutive(events)
+        assert [(e.name, e.time) for e in kept] == [
+            ("ddos_blackhole_add", 2.0),
+            ("ddos_blackhole_del", 4.0),
+        ]
+
+    def test_alternating_stream_untouched(self):
+        events = [
+            detail("ddos_blackhole_add", 1.0),
+            detail("ddos_blackhole_del", 2.0),
+            detail("ddos_blackhole_add", 3.0),
+            detail("ddos_blackhole_del", 4.0),
+        ]
+        assert dedupe_consecutive(events) == events
+
+    def test_empty(self):
+        assert dedupe_consecutive([]) == []
+
+
+class TestPairStateful:
+    def test_example2_pairing(self):
+        """Example 2: add@t2, add@t3, del@t4, del@t5 -> one period [t2, t4]."""
+        events = [
+            detail("ddos_blackhole_add", 2.0),
+            detail("ddos_blackhole_add", 3.0),
+            detail("ddos_blackhole_del", 4.0),
+            detail("ddos_blackhole_del", 5.0),
+        ]
+        periods = pair_stateful(events, DDOS)
+        assert len(periods) == 1
+        assert periods[0].name == "ddos_blackhole"
+        assert (periods[0].start, periods[0].end) == (2.0, 4.0)
+
+    def test_multiple_episodes(self):
+        events = [
+            detail("ddos_blackhole_add", 1.0),
+            detail("ddos_blackhole_del", 2.0),
+            detail("ddos_blackhole_add", 10.0),
+            detail("ddos_blackhole_del", 12.0),
+        ]
+        periods = pair_stateful(events, DDOS)
+        assert [(p.start, p.end) for p in periods] == [(1.0, 2.0), (10.0, 12.0)]
+
+    def test_leading_del_dropped(self):
+        events = [
+            detail("ddos_blackhole_del", 1.0),
+            detail("ddos_blackhole_add", 2.0),
+            detail("ddos_blackhole_del", 3.0),
+        ]
+        periods = pair_stateful(events, DDOS)
+        assert [(p.start, p.end) for p in periods] == [(2.0, 3.0)]
+
+    def test_open_start_clipped_to_horizon(self):
+        events = [detail("ddos_blackhole_add", 5.0)]
+        periods = pair_stateful(events, DDOS, horizon=20.0)
+        assert [(p.start, p.end) for p in periods] == [(5.0, 20.0)]
+
+    def test_open_start_dropped_under_drop_policy(self):
+        events = [detail("ddos_blackhole_add", 5.0)]
+        assert pair_stateful(
+            events, DDOS, horizon=20.0, unpaired=UnpairedPolicy.DROP
+        ) == []
+
+    def test_unsorted_input_is_sorted_first(self):
+        events = [
+            detail("ddos_blackhole_del", 4.0),
+            detail("ddos_blackhole_add", 2.0),
+        ]
+        periods = pair_stateful(events, DDOS)
+        assert [(p.start, p.end) for p in periods] == [(2.0, 4.0)]
+
+    def test_stateless_spec_rejected(self):
+        spec = default_catalog().get("slow_io")
+        with pytest.raises(ValueError):
+            pair_stateful([], spec)
+
+    def test_level_taken_from_start_event(self):
+        events = [
+            Event(name="ddos_blackhole_add", time=1.0, target="vm-1",
+                  level=Severity.FATAL),
+            Event(name="ddos_blackhole_del", time=2.0, target="vm-1",
+                  level=Severity.INFO),
+        ]
+        periods = pair_stateful(events, DDOS)
+        assert periods[0].level is Severity.FATAL
+
+
+class TestResolvePeriods:
+    def test_mixed_stream(self):
+        catalog = default_catalog()
+        events = [
+            Event(name="slow_io", time=120.0, target="vm-1"),
+            detail("ddos_blackhole_add", 10.0, target="vm-2"),
+            detail("ddos_blackhole_del", 40.0, target="vm-2"),
+        ]
+        periods = resolve_periods(events, catalog)
+        by_name = {p.name: p for p in periods}
+        assert by_name["slow_io"].target == "vm-1"
+        assert (by_name["ddos_blackhole"].start,
+                by_name["ddos_blackhole"].end) == (10.0, 40.0)
+
+    def test_stateful_streams_isolated_per_target(self):
+        catalog = default_catalog()
+        events = [
+            detail("ddos_blackhole_add", 1.0, target="vm-a"),
+            detail("ddos_blackhole_add", 2.0, target="vm-b"),
+            detail("ddos_blackhole_del", 3.0, target="vm-a"),
+            detail("ddos_blackhole_del", 4.0, target="vm-b"),
+        ]
+        periods = resolve_periods(events, catalog)
+        spans = {p.target: (p.start, p.end) for p in periods}
+        assert spans == {"vm-a": (1.0, 3.0), "vm-b": (2.0, 4.0)}
+
+    def test_unknown_names_skipped_by_default(self):
+        catalog = default_catalog()
+        events = [Event(name="mystery", time=1.0, target="vm-1")]
+        assert resolve_periods(events, catalog) == []
+
+    def test_unknown_names_raise_in_strict_mode(self):
+        catalog = default_catalog()
+        events = [Event(name="mystery", time=1.0, target="vm-1")]
+        with pytest.raises(KeyError):
+            resolve_periods(events, catalog, strict=True)
+
+    def test_output_sorted(self):
+        catalog = default_catalog()
+        events = [
+            Event(name="slow_io", time=500.0, target="vm-1"),
+            Event(name="slow_io", time=100.0, target="vm-1"),
+        ]
+        periods = resolve_periods(events, catalog)
+        assert periods[0].start <= periods[1].start

@@ -1,0 +1,112 @@
+"""Tests for business-scenario profiles (Section VIII-A)."""
+
+import pytest
+
+from repro.core.events import EventCategory, Severity, default_catalog
+from repro.core.indicator import CdiCalculator, ServicePeriod
+from repro.core.periods import EventPeriod
+from repro.core.profiles import (
+    ProfiledCdiCalculator,
+    ProfiledWeightConfig,
+    ScenarioProfile,
+    batch_compute_profile,
+    redis_profile,
+)
+from repro.core.weights import expert_only_config
+
+CATALOG = default_catalog()
+WEIGHTS = expert_only_config()
+SERVICE = ServicePeriod(0.0, 86400.0)
+
+
+def packet_loss(duration: float = 600.0) -> EventPeriod:
+    return EventPeriod("packet_loss", "vm-1", 0.0, duration, Severity.WARNING)
+
+
+class TestScenarioProfile:
+    def test_validation_of_multipliers(self):
+        with pytest.raises(ValueError):
+            ScenarioProfile("bad", weight_multipliers={"slow_io": 0.0})
+
+    def test_unknown_event_rejected(self):
+        profile = ScenarioProfile("p", severity_overrides={"zzz": Severity.FATAL})
+        with pytest.raises(KeyError):
+            profile.validate_against(CATALOG)
+
+    def test_adjust_period_override(self):
+        profile = redis_profile()
+        adjusted = profile.adjust_period(packet_loss())
+        assert adjusted is not None
+        assert adjusted.level is Severity.CRITICAL
+
+    def test_adjust_period_exclusion(self):
+        profile = batch_compute_profile()
+        period = EventPeriod("console_unreachable", "vm-1", 0.0, 600.0,
+                             Severity.CRITICAL)
+        assert profile.adjust_period(period) is None
+
+    def test_adjust_period_passthrough(self):
+        profile = redis_profile()
+        period = EventPeriod("slow_io", "vm-1", 0.0, 600.0, Severity.CRITICAL)
+        assert profile.adjust_period(period) is period
+
+
+class TestProfiledWeightConfig:
+    def test_multiplier_applied_and_clamped(self):
+        profile = ScenarioProfile("p", weight_multipliers={"packet_loss": 3.0})
+        config = ProfiledWeightConfig(WEIGHTS, profile)
+        # WARNING expert weight 0.5 * 3 clamps at 1.0.
+        assert config.resolve("packet_loss", Severity.WARNING,
+                              EventCategory.PERFORMANCE) == 1.0
+
+    def test_unlisted_event_unchanged(self):
+        profile = ScenarioProfile("p", weight_multipliers={"packet_loss": 3.0})
+        config = ProfiledWeightConfig(WEIGHTS, profile)
+        assert config.resolve("slow_io", Severity.WARNING,
+                              EventCategory.PERFORMANCE) == pytest.approx(0.5)
+
+
+class TestProfiledCalculator:
+    def test_redis_weighs_network_issues_heavier(self):
+        """The paper's example: Redis needs a higher network warning
+        level, so the same packet loss damages a Redis VM's CDI more."""
+        generic = CdiCalculator(CATALOG, WEIGHTS)
+        redis = ProfiledCdiCalculator(CATALOG, WEIGHTS, redis_profile())
+        periods = [packet_loss()]
+        assert (
+            redis.vm_report(periods, SERVICE).performance
+            > generic.vm_report(periods, SERVICE).performance
+        )
+
+    def test_batch_profile_ignores_control_console(self):
+        batch = ProfiledCdiCalculator(CATALOG, WEIGHTS,
+                                      batch_compute_profile())
+        periods = [EventPeriod("console_unreachable", "vm-1", 0.0, 3600.0,
+                               Severity.CRITICAL)]
+        assert batch.vm_report(periods, SERVICE).control_plane == 0.0
+
+    def test_batch_profile_downweights_slow_io(self):
+        generic = CdiCalculator(CATALOG, WEIGHTS)
+        batch = ProfiledCdiCalculator(CATALOG, WEIGHTS,
+                                      batch_compute_profile())
+        periods = [EventPeriod("slow_io", "vm-1", 0.0, 3600.0,
+                               Severity.CRITICAL)]
+        assert (
+            batch.vm_report(periods, SERVICE).performance
+            == pytest.approx(
+                generic.vm_report(periods, SERVICE).performance * 0.5
+            )
+        )
+
+    def test_invalid_profile_rejected_at_construction(self):
+        profile = ScenarioProfile("p", excluded_events=frozenset({"nope"}))
+        with pytest.raises(KeyError):
+            ProfiledCdiCalculator(CATALOG, WEIGHTS, profile)
+
+    def test_weights_stay_bounded(self):
+        redis = ProfiledCdiCalculator(CATALOG, WEIGHTS, redis_profile())
+        periods = [
+            EventPeriod("nic_flapping", "vm-1", 0.0, 86400.0, Severity.FATAL)
+        ]
+        report = redis.vm_report(periods, SERVICE)
+        assert report.performance <= 1.0

@@ -1,0 +1,221 @@
+"""Property-based tests on core CDI invariants (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import Event, EventCategory, EventKind, EventSpec
+from repro.core.indicator import (
+    ServicePeriod,
+    WeightedInterval,
+    aggregate,
+    cdi,
+    damage_integral,
+)
+from repro.core.periods import pair_stateful
+from repro.core.weights import customer_levels_from_ticket_counts
+
+finite = st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                   allow_infinity=False)
+weights_st = st.floats(min_value=0.0, max_value=1.0)
+
+
+@st.composite
+def interval_strategy(draw):
+    start = draw(finite)
+    length = draw(st.floats(min_value=0.0, max_value=1e5))
+    weight = draw(weights_st)
+    return WeightedInterval(start, start + length, weight)
+
+
+@st.composite
+def service_strategy(draw):
+    start = draw(finite)
+    length = draw(st.floats(min_value=1e-3, max_value=1e6))
+    return ServicePeriod(start, start + length)
+
+
+class TestCdiBounds:
+    @given(st.lists(interval_strategy(), max_size=30), service_strategy())
+    def test_cdi_between_zero_and_max_weight(self, intervals, service):
+        value = cdi(intervals, service)
+        max_weight = max((iv.weight for iv in intervals), default=0.0)
+        assert 0.0 <= value <= max_weight + 1e-9
+
+    @given(st.lists(interval_strategy(), max_size=30), service_strategy())
+    def test_integral_bounded_by_service_duration(self, intervals, service):
+        integral = damage_integral(intervals, service)
+        assert 0.0 <= integral <= service.duration + 1e-6
+
+    @given(st.lists(interval_strategy(), max_size=20), service_strategy(),
+           interval_strategy())
+    def test_adding_an_interval_never_decreases_cdi(
+        self, intervals, service, extra
+    ):
+        base = cdi(intervals, service)
+        more = cdi(intervals + [extra], service)
+        assert more >= base - 1e-12
+
+
+class TestTranslationInvariance:
+    @given(st.lists(interval_strategy(), max_size=20), service_strategy(),
+           st.floats(min_value=-1e5, max_value=1e5, allow_nan=False))
+    def test_cdi_invariant_under_time_translation(self, intervals, service,
+                                                  shift):
+        """Shifting every timestamp by the same constant changes
+        nothing — CDI has no absolute-time dependence."""
+        base = cdi(intervals, service)
+        shifted_intervals = [
+            WeightedInterval(iv.start + shift, iv.end + shift, iv.weight)
+            for iv in intervals
+        ]
+        shifted_service = ServicePeriod(service.start + shift,
+                                        service.end + shift)
+        assert math.isclose(base, cdi(shifted_intervals, shifted_service),
+                            rel_tol=1e-6, abs_tol=1e-9)
+
+
+class TestQuantizedEquivalence:
+    # Quantized weights like the real weight config produces.
+    @st.composite
+    @staticmethod
+    def quantized_interval(draw):
+        start = draw(finite)
+        length = draw(st.floats(min_value=0.0, max_value=1e5))
+        weight = draw(st.sampled_from(
+            [0.0, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0]
+        ))
+        return WeightedInterval(start, start + length, weight)
+
+    @given(st.lists(quantized_interval(), max_size=40), service_strategy())
+    @settings(max_examples=150)
+    def test_quantized_matches_sweep(self, intervals, service):
+        from repro.core.indicator import damage_integral_quantized
+
+        exact = damage_integral(intervals, service)
+        quantized = damage_integral_quantized(intervals, service)
+        assert math.isclose(exact, quantized, rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestSplitInvariance:
+    @given(service_strategy(), weights_st,
+           st.floats(min_value=0.1, max_value=0.9))
+    def test_splitting_an_interval_preserves_cdi(self, service, weight, frac):
+        """Algorithm 1 must not care whether one issue is reported as one
+        long event or two back-to-back events (Section IV-B notes
+        persistent issues emit consecutive window events)."""
+        start, end = service.start, service.end
+        split = start + frac * (end - start)
+        whole = [WeightedInterval(start, end, weight)]
+        parts = [
+            WeightedInterval(start, split, weight),
+            WeightedInterval(split, end, weight),
+        ]
+        assert math.isclose(
+            cdi(whole, service), cdi(parts, service),
+            rel_tol=1e-9, abs_tol=1e-12,
+        )
+
+    @given(st.lists(interval_strategy(), min_size=1, max_size=10),
+           service_strategy())
+    def test_duplicating_intervals_is_idempotent(self, intervals, service):
+        once = cdi(intervals, service)
+        twice = cdi(intervals + intervals, service)
+        assert math.isclose(once, twice, rel_tol=1e-9, abs_tol=1e-12)
+
+
+class TestAggregateProperties:
+    # Service times are either exactly zero or macroscopic: subnormal
+    # floats (~5e-324) make t * q underflow to zero and are not
+    # meaningful service durations.
+    per_vm = st.lists(
+        st.tuples(
+            st.one_of(st.just(0.0),
+                      st.floats(min_value=1e-6, max_value=1e6)),
+            st.floats(min_value=0.0, max_value=1.0),
+        ),
+        max_size=50,
+    )
+
+    @given(per_vm)
+    def test_aggregate_within_min_max(self, pairs):
+        value = aggregate(pairs)
+        observed = [q for t, q in pairs if t > 0]
+        if observed:
+            assert min(observed) - 1e-12 <= value <= max(observed) + 1e-12
+        else:
+            assert value == 0.0
+
+    @given(per_vm, per_vm)
+    def test_grouped_rollup_matches_flat(self, group_a, group_b):
+        """Formula 4 over all VMs equals Formula 4 over group aggregates
+        weighted by group service time — the property the BI drill-down
+        relies on (Section V)."""
+        flat = aggregate(group_a + group_b)
+        time_a = sum(t for t, _ in group_a)
+        time_b = sum(t for t, _ in group_b)
+        rolled = aggregate([(time_a, aggregate(group_a)),
+                            (time_b, aggregate(group_b))])
+        assert math.isclose(flat, rolled, rel_tol=1e-9, abs_tol=1e-12)
+
+
+class TestPairingProperties:
+    SPEC = EventSpec(
+        "x", EventCategory.UNAVAILABILITY, kind=EventKind.STATEFUL,
+        start_name="x_add", end_name="x_del",
+    )
+
+    @given(st.lists(
+        st.tuples(st.sampled_from(["x_add", "x_del"]), finite),
+        max_size=40,
+    ))
+    @settings(max_examples=200)
+    def test_pairing_yields_disjoint_ordered_periods(self, raw):
+        events = [Event(name=n, time=t, target="vm") for n, t in raw]
+        horizon = max((t for _, t in raw), default=0.0) + 1.0
+        periods = pair_stateful(events, self.SPEC, horizon=horizon)
+        for period in periods:
+            assert period.end >= period.start
+        for first, second in zip(periods, periods[1:]):
+            assert first.end <= second.start
+
+    @given(st.lists(
+        st.tuples(st.sampled_from(["x_add", "x_del"]), finite),
+        max_size=40,
+    ))
+    def test_pairing_is_idempotent_under_duplication(self, raw):
+        """Re-delivering the same detail events (at the same times) must
+        not change the reconstructed periods — duplicates collapse."""
+        events = [Event(name=n, time=t, target="vm") for n, t in raw]
+        periods_once = pair_stateful(events, self.SPEC, horizon=1e7)
+        periods_twice = pair_stateful(events + events, self.SPEC, horizon=1e7)
+        spans = [(p.start, p.end) for p in periods_once]
+        spans_twice = [(p.start, p.end) for p in periods_twice]
+        assert spans == spans_twice
+
+
+class TestCustomerLevelProperties:
+    counts = st.dictionaries(
+        st.text(min_size=1, max_size=8), st.integers(min_value=0, max_value=10**6),
+        min_size=1, max_size=60,
+    )
+
+    @given(counts, st.integers(min_value=1, max_value=10))
+    def test_levels_in_range(self, ticket_counts, levels):
+        assignment = customer_levels_from_ticket_counts(ticket_counts, levels)
+        assert set(assignment) == set(ticket_counts)
+        assert all(1 <= v <= levels for v in assignment.values())
+
+    @given(counts, st.integers(min_value=1, max_value=10))
+    def test_levels_monotone_in_ticket_count(self, ticket_counts, levels):
+        assignment = customer_levels_from_ticket_counts(ticket_counts, levels)
+        ordered = sorted(ticket_counts.items(), key=lambda kv: (kv[1], kv[0]))
+        ranks = [assignment[name] for name, _ in ordered]
+        assert ranks == sorted(ranks)
+
+    @given(counts)
+    def test_top_name_gets_top_level(self, ticket_counts):
+        assignment = customer_levels_from_ticket_counts(ticket_counts, 4)
+        top = max(ticket_counts.items(), key=lambda kv: (kv[1], kv[0]))[0]
+        assert assignment[top] == 4

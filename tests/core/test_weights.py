@@ -1,0 +1,164 @@
+"""Tests for event weight assignment (paper Section IV-C, Example 3)."""
+
+import pytest
+
+from repro.core.events import EventCategory, Severity
+from repro.core.weights import (
+    WeightConfig,
+    build_weight_config,
+    customer_level_weight,
+    customer_levels_from_ticket_counts,
+    expert_level_weight,
+    expert_only_config,
+    fuse_weights,
+)
+
+
+class TestFormulas:
+    def test_formula1_expert_levels(self):
+        # l_i = i / m
+        assert expert_level_weight(3, 4) == pytest.approx(0.75)
+        assert expert_level_weight(1, 4) == pytest.approx(0.25)
+        assert expert_level_weight(4, 4) == pytest.approx(1.0)
+
+    def test_formula2_customer_levels(self):
+        assert customer_level_weight(2, 4) == pytest.approx(0.5)
+
+    def test_out_of_range_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            expert_level_weight(0, 4)
+        with pytest.raises(ValueError):
+            expert_level_weight(5, 4)
+        with pytest.raises(ValueError):
+            customer_level_weight(0, 4)
+
+    def test_formula3_fusion(self):
+        assert fuse_weights(0.75, 0.5, 0.5, 0.5) == pytest.approx(0.625)
+
+    def test_formula3_unequal_alphas(self):
+        assert fuse_weights(1.0, 0.0, 0.75, 0.25) == pytest.approx(0.75)
+
+    def test_formula3_zero_alphas_rejected(self):
+        with pytest.raises(ValueError):
+            fuse_weights(0.5, 0.5, 0.0, 0.0)
+
+    def test_formula3_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            fuse_weights(0.5, 0.5, -0.1, 1.0)
+
+
+class TestExample3:
+    """Paper Example 3 end to end: critical event, m=n=4, alphas=0.5."""
+
+    def test_worked_example(self):
+        expert = expert_level_weight(Severity.CRITICAL.rank, 4)
+        assert expert == pytest.approx(0.75)
+        customer = customer_level_weight(2, 4)
+        assert customer == pytest.approx(0.5)
+        assert fuse_weights(expert, customer, 0.5, 0.5) == pytest.approx(0.625)
+
+    def test_ticket_rank_position_43_percent_maps_to_level_2(self):
+        """An event with ticket count above 43% of events falls in level 2 of 4."""
+        # 100 event names; the target sits at ascending-rank position 44.
+        counts = {f"e{i:03d}": i for i in range(100)}
+        levels = customer_levels_from_ticket_counts(counts, 4)
+        assert levels["e043"] == 2
+
+
+class TestCustomerLevels:
+    def test_quartile_assignment(self):
+        counts = {"a": 1, "b": 2, "c": 3, "d": 4}
+        levels = customer_levels_from_ticket_counts(counts, 4)
+        assert levels == {"a": 1, "b": 2, "c": 3, "d": 4}
+
+    def test_more_names_than_levels(self):
+        counts = {f"e{i}": i for i in range(8)}
+        levels = customer_levels_from_ticket_counts(counts, 4)
+        assert sorted(set(levels.values())) == [1, 2, 3, 4]
+        # Exactly two names per level.
+        for level in range(1, 5):
+            assert sum(1 for v in levels.values() if v == level) == 2
+
+    def test_single_name_gets_top_level(self):
+        assert customer_levels_from_ticket_counts({"only": 7}, 4) == {"only": 4}
+
+    def test_ties_broken_deterministically(self):
+        counts = {"b": 5, "a": 5}
+        first = customer_levels_from_ticket_counts(counts, 2)
+        second = customer_levels_from_ticket_counts(dict(reversed(counts.items())), 2)
+        assert first == second
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            customer_levels_from_ticket_counts({"a": -1}, 4)
+
+    def test_zero_levels_rejected(self):
+        with pytest.raises(ValueError):
+            customer_levels_from_ticket_counts({"a": 1}, 0)
+
+
+class TestWeightConfig:
+    def make_config(self) -> WeightConfig:
+        return WeightConfig(
+            alpha_expert=0.5,
+            alpha_customer=0.5,
+            expert_levels=4,
+            customer_levels=4,
+            customer_level_by_name={"slow_io": 2},
+        )
+
+    def test_resolve_fused(self):
+        config = self.make_config()
+        weight = config.resolve("slow_io", Severity.CRITICAL,
+                                EventCategory.PERFORMANCE)
+        assert weight == pytest.approx(0.625)
+
+    def test_resolve_falls_back_to_expert_only(self):
+        config = self.make_config()
+        weight = config.resolve("brand_new_event", Severity.CRITICAL,
+                                EventCategory.PERFORMANCE)
+        assert weight == pytest.approx(0.75)
+
+    def test_unavailability_always_full_weight(self):
+        config = self.make_config()
+        weight = config.resolve("vm_down", Severity.INFO,
+                                EventCategory.UNAVAILABILITY)
+        assert weight == 1.0
+
+    def test_unavailability_gradation_when_disabled(self):
+        config = WeightConfig(
+            alpha_expert=1.0, alpha_customer=0.0,
+            expert_levels=4, customer_levels=4,
+            unavailability_full_weight=False,
+        )
+        weight = config.resolve("vm_down", Severity.WARNING,
+                                EventCategory.UNAVAILABILITY)
+        assert weight == pytest.approx(0.5)
+
+    def test_weights_bounded(self):
+        config = self.make_config()
+        for severity in Severity:
+            w = config.resolve("slow_io", severity, EventCategory.PERFORMANCE)
+            assert 0.0 < w <= 1.0
+
+
+class TestBuildWeightConfig:
+    def test_roundtrip(self):
+        config = build_weight_config(
+            {"slow_io": 90, "packet_loss": 10, "vcpu_high": 50, "gpu_drop": 70},
+            customer_levels=4,
+        )
+        assert config.alpha_expert == pytest.approx(0.5)
+        assert config.customer_level_by_name["packet_loss"] == 1
+        assert config.customer_level_by_name["slow_io"] == 4
+
+    def test_expert_vs_customer_judgment(self):
+        config = build_weight_config({"a": 1}, expert_vs_customer=3.0)
+        assert config.alpha_expert == pytest.approx(0.75)
+        assert config.alpha_customer == pytest.approx(0.25)
+
+    def test_expert_only_config_ignores_tickets(self):
+        config = expert_only_config()
+        w = config.resolve("anything", Severity.FATAL, EventCategory.PERFORMANCE)
+        assert w == pytest.approx(1.0)
+        assert config.customer_weight("anything") is None

@@ -1,0 +1,165 @@
+"""Tests for the Dataset API (Spark-RDD-style semantics)."""
+
+import pytest
+
+from repro.engine.dataset import EngineContext, _chunk
+
+
+@pytest.fixture
+def ctx() -> EngineContext:
+    return EngineContext(parallelism=3)
+
+
+class TestChunking:
+    def test_balanced_chunks(self):
+        chunks = _chunk(list(range(10)), 3)
+        assert [len(c) for c in chunks] == [4, 3, 3]
+        assert sum(chunks, []) == list(range(10))
+
+    def test_more_parts_than_rows(self):
+        chunks = _chunk([1, 2], 5)
+        assert sum(chunks, []) == [1, 2]
+        assert len(chunks) == 5
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            _chunk([1], 0)
+
+
+class TestNarrowOps:
+    def test_map(self, ctx):
+        assert ctx.parallelize([1, 2, 3]).map(lambda x: x * 2).collect() == [2, 4, 6]
+
+    def test_filter(self, ctx):
+        result = ctx.parallelize(range(10)).filter(lambda x: x % 2 == 0).collect()
+        assert result == [0, 2, 4, 6, 8]
+
+    def test_flat_map(self, ctx):
+        result = ctx.parallelize([1, 2]).flat_map(lambda x: [x] * x).collect()
+        assert result == [1, 2, 2]
+
+    def test_key_by_and_map_values(self, ctx):
+        result = (
+            ctx.parallelize(["aa", "b"])
+               .key_by(len)
+               .map_values(str.upper)
+               .collect()
+        )
+        assert result == [(2, "AA"), (1, "B")]
+
+    def test_chaining_preserves_order(self, ctx):
+        result = (
+            ctx.parallelize(range(20))
+               .map(lambda x: x + 1)
+               .filter(lambda x: x % 3 == 0)
+               .collect()
+        )
+        assert result == [3, 6, 9, 12, 15, 18]
+
+    def test_union(self, ctx):
+        a = ctx.parallelize([1, 2])
+        b = ctx.parallelize([3])
+        assert sorted(a.union(b).collect()) == [1, 2, 3]
+
+    def test_union_across_contexts_rejected(self, ctx):
+        other = EngineContext()
+        with pytest.raises(ValueError):
+            ctx.parallelize([1]).union(other.parallelize([2]))
+
+
+class TestWideOps:
+    def test_group_by_key(self, ctx):
+        pairs = [("a", 1), ("b", 2), ("a", 3)]
+        grouped = dict(ctx.parallelize(pairs).group_by_key().collect())
+        assert grouped == {"a": [1, 3], "b": [2]}
+
+    def test_reduce_by_key(self, ctx):
+        pairs = [("a", 1), ("b", 2), ("a", 3), ("b", 5)]
+        reduced = ctx.parallelize(pairs).reduce_by_key(lambda x, y: x + y).to_dict()
+        assert reduced == {"a": 4, "b": 7}
+
+    def test_aggregate_by_key(self, ctx):
+        pairs = [("a", 1), ("a", 2), ("b", 10)]
+        result = (
+            ctx.parallelize(pairs)
+               .aggregate_by_key((0, 0),
+                                 lambda acc, v: (acc[0] + v, acc[1] + 1),
+                                 lambda x, y: (x[0] + y[0], x[1] + y[1]))
+               .to_dict()
+        )
+        assert result == {"a": (3, 2), "b": (10, 1)}
+
+    def test_distinct(self, ctx):
+        assert sorted(ctx.parallelize([1, 2, 2, 3, 1]).distinct().collect()) == [1, 2, 3]
+
+    def test_join(self, ctx):
+        left = ctx.parallelize([("a", 1), ("b", 2), ("c", 9)])
+        right = ctx.parallelize([("a", "x"), ("b", "y"), ("b", "z")])
+        joined = sorted(left.join(right).collect())
+        assert joined == [("a", (1, "x")), ("b", (2, "y")), ("b", (2, "z"))]
+
+    def test_left_join_keeps_unmatched(self, ctx):
+        left = ctx.parallelize([("a", 1), ("c", 9)])
+        right = ctx.parallelize([("a", "x")])
+        joined = sorted(left.left_join(right).collect())
+        assert joined == [("a", (1, "x")), ("c", (9, None))]
+
+    def test_sort_by(self, ctx):
+        data = ctx.parallelize([3, 1, 2])
+        assert data.sort_by(lambda x: x).collect() == [1, 2, 3]
+        assert data.sort_by(lambda x: x, reverse=True).collect() == [3, 2, 1]
+
+    def test_repartition(self, ctx):
+        data = ctx.parallelize(range(10), num_partitions=2).repartition(5)
+        assert data.num_partitions == 5
+        assert sorted(data.collect()) == list(range(10))
+
+    def test_count_by_key(self, ctx):
+        pairs = [("a", 1), ("a", 2), ("b", 1)]
+        assert ctx.parallelize(pairs).count_by_key() == {"a": 2, "b": 1}
+
+
+class TestActions:
+    def test_count(self, ctx):
+        assert ctx.parallelize(range(7)).count() == 7
+
+    def test_take(self, ctx):
+        assert ctx.parallelize(range(100)).take(3) == [0, 1, 2]
+
+    def test_take_negative_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([1]).take(-1)
+
+    def test_first(self, ctx):
+        assert ctx.parallelize([5, 6]).first() == 5
+
+    def test_first_empty_raises(self, ctx):
+        with pytest.raises(IndexError):
+            ctx.empty().first()
+
+    def test_reduce(self, ctx):
+        assert ctx.parallelize(range(5)).reduce(lambda a, b: a + b) == 10
+
+    def test_reduce_empty_raises(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.empty().reduce(lambda a, b: a)
+
+    def test_lazy_until_action(self, ctx):
+        calls = {"count": 0}
+
+        def spy(x):
+            calls["count"] += 1
+            return x
+
+        data = ctx.parallelize([1, 2, 3]).map(spy)
+        assert calls["count"] == 0
+        data.collect()
+        assert calls["count"] == 3
+
+    def test_explain(self, ctx):
+        plan = ctx.parallelize([("a", 1)]).group_by_key().explain()
+        assert "Shuffle" in plan and "Source" in plan
+
+    def test_job_metrics_exposed_via_context(self, ctx):
+        ctx.parallelize(range(10)).map(lambda x: x).collect()
+        assert ctx.last_job_metrics.task_count > 0

@@ -1,0 +1,110 @@
+"""Tests for the extended Dataset operations."""
+
+from collections import Counter
+
+import pytest
+
+from repro.engine.dataset import EngineContext
+
+
+@pytest.fixture
+def ctx() -> EngineContext:
+    return EngineContext(parallelism=3)
+
+
+class TestMapPartitionsWithIndex:
+    def test_index_passed(self, ctx):
+        data = ctx.parallelize(range(9), num_partitions=3)
+        tagged = data.map_partitions_with_index(
+            lambda index, part: ((index, x) for x in part)
+        ).collect()
+        indices = {i for i, _ in tagged}
+        assert indices == {0, 1, 2}
+        assert sorted(x for _, x in tagged) == list(range(9))
+
+
+class TestSample:
+    def test_deterministic(self, ctx):
+        data = ctx.parallelize(range(1000), num_partitions=4)
+        a = data.sample(0.25, seed=5).collect()
+        b = data.sample(0.25, seed=5).collect()
+        assert a == b
+
+    def test_fraction_respected(self, ctx):
+        data = ctx.parallelize(range(2000), num_partitions=4)
+        sampled = data.sample(0.25, seed=0).collect()
+        assert 0.18 < len(sampled) / 2000 < 0.32
+
+    def test_edge_fractions(self, ctx):
+        data = ctx.parallelize(range(50))
+        assert data.sample(0.0).collect() == []
+        assert data.sample(1.0).collect() == list(range(50))
+
+    def test_invalid_fraction(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([1]).sample(1.5)
+
+    def test_subset_of_source(self, ctx):
+        data = ctx.parallelize(range(100), num_partitions=3)
+        assert set(data.sample(0.5, seed=1).collect()) <= set(range(100))
+
+
+class TestZipWithIndex:
+    def test_global_indices_contiguous(self, ctx):
+        data = ctx.parallelize(list("abcdefghij"), num_partitions=3)
+        indexed = data.zip_with_index().collect()
+        assert [i for _, i in indexed] == list(range(10))
+        assert [x for x, _ in indexed] == list("abcdefghij")
+
+    def test_empty(self, ctx):
+        assert ctx.empty().zip_with_index().collect() == []
+
+
+class TestPersist:
+    def test_persist_skips_recompute(self, ctx):
+        calls = {"count": 0}
+
+        def spy(x):
+            calls["count"] += 1
+            return x
+
+        data = ctx.parallelize(range(10)).map(spy).persist()
+        assert calls["count"] == 10
+        data.collect()
+        data.collect()
+        assert calls["count"] == 10  # never recomputed
+
+    def test_persist_preserves_data_and_partitioning(self, ctx):
+        data = ctx.parallelize(range(20), num_partitions=4).map(
+            lambda x: x + 1
+        )
+        persisted = data.persist()
+        assert persisted.num_partitions == 4
+        assert persisted.collect() == data.collect()
+
+
+class TestTakeOrdered:
+    def test_smallest(self, ctx):
+        data = ctx.parallelize([5, 1, 9, 3, 7, 2], num_partitions=3)
+        assert data.take_ordered(3) == [1, 2, 3]
+
+    def test_with_key(self, ctx):
+        data = ctx.parallelize(range(100), num_partitions=4)
+        assert data.take_ordered(3, key_fn=lambda x: -x) == [99, 98, 97]
+
+    def test_n_larger_than_data(self, ctx):
+        data = ctx.parallelize([3, 1, 2])
+        assert data.take_ordered(10) == [1, 2, 3]
+
+    def test_negative_n(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([1]).take_ordered(-1)
+
+    def test_matches_sorted_reference(self, ctx):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        values = [int(v) for v in rng.integers(0, 1000, 500)]
+        data = ctx.parallelize(values, num_partitions=5)
+        assert data.take_ordered(20) == sorted(values)[:20]
+        assert Counter(data.collect()) == Counter(values)

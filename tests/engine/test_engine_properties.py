@@ -1,0 +1,95 @@
+"""Property tests: engine semantics match plain-Python references."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.dataset import EngineContext
+
+ints = st.lists(st.integers(min_value=-50, max_value=50), max_size=60)
+pairs = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=9),
+              st.integers(min_value=-100, max_value=100)),
+    max_size=60,
+)
+parts = st.integers(min_value=1, max_value=6)
+
+
+class TestReferenceEquivalence:
+    @given(ints, parts)
+    @settings(max_examples=40, deadline=None)
+    def test_map_matches_builtin(self, data, num_parts):
+        ctx = EngineContext(parallelism=2)
+        result = ctx.parallelize(data, num_parts).map(lambda x: x * 3 + 1).collect()
+        assert result == [x * 3 + 1 for x in data]
+
+    @given(ints, parts)
+    @settings(max_examples=40, deadline=None)
+    def test_filter_matches_builtin(self, data, num_parts):
+        ctx = EngineContext(parallelism=2)
+        result = ctx.parallelize(data, num_parts).filter(lambda x: x > 0).collect()
+        assert result == [x for x in data if x > 0]
+
+    @given(pairs, parts)
+    @settings(max_examples=40, deadline=None)
+    def test_reduce_by_key_matches_counter(self, data, num_parts):
+        ctx = EngineContext(parallelism=2)
+        result = (
+            ctx.parallelize(data, num_parts)
+               .reduce_by_key(lambda a, b: a + b)
+               .to_dict()
+        )
+        expected: Counter = Counter()
+        for key, value in data:
+            expected[key] += value
+        assert result == dict(expected)
+
+    @given(pairs, parts)
+    @settings(max_examples=40, deadline=None)
+    def test_group_by_key_preserves_multiset(self, data, num_parts):
+        ctx = EngineContext(parallelism=2)
+        grouped = dict(
+            ctx.parallelize(data, num_parts).group_by_key().collect()
+        )
+        expected: dict[int, list[int]] = {}
+        for key, value in data:
+            expected.setdefault(key, []).append(value)
+        assert {k: Counter(v) for k, v in grouped.items()} == {
+            k: Counter(v) for k, v in expected.items()
+        }
+
+    @given(ints, parts)
+    @settings(max_examples=40, deadline=None)
+    def test_distinct_matches_set(self, data, num_parts):
+        ctx = EngineContext(parallelism=2)
+        result = ctx.parallelize(data, num_parts).distinct().collect()
+        assert sorted(result) == sorted(set(data))
+
+    @given(ints, parts)
+    @settings(max_examples=40, deadline=None)
+    def test_sort_matches_sorted(self, data, num_parts):
+        ctx = EngineContext(parallelism=2)
+        result = ctx.parallelize(data, num_parts).sort_by(lambda x: x).collect()
+        assert result == sorted(data)
+
+    @given(pairs, pairs)
+    @settings(max_examples=40, deadline=None)
+    def test_join_matches_nested_loop(self, left, right):
+        ctx = EngineContext(parallelism=2)
+        joined = ctx.parallelize(left).join(ctx.parallelize(right)).collect()
+        expected = [
+            (lk, (lv, rv))
+            for lk, lv in left
+            for rk, rv in right
+            if lk == rk
+        ]
+        assert Counter(joined) == Counter(expected)
+
+    @given(ints, parts, parts)
+    @settings(max_examples=40, deadline=None)
+    def test_repartition_preserves_elements(self, data, initial, target):
+        ctx = EngineContext(parallelism=2)
+        dataset = ctx.parallelize(data, initial).repartition(target)
+        assert Counter(dataset.collect()) == Counter(data)
+        assert dataset.num_partitions == target

@@ -1,0 +1,129 @@
+"""Tests for the local executor: scheduling, retries, metrics."""
+
+import threading
+
+import pytest
+
+from repro.engine.dataset import EngineContext
+from repro.engine.executor import LocalExecutor, TaskFailedError
+from repro.engine.plan import NarrowNode, ShuffleNode, SourceNode
+
+
+class TestBasicExecution:
+    def test_source_materialization(self):
+        executor = LocalExecutor()
+        parts = executor.execute(SourceNode([[1, 2], [3]]))
+        assert parts == [[1, 2], [3]]
+
+    def test_narrow_runs_per_partition(self):
+        executor = LocalExecutor()
+        source = SourceNode([[1, 2], [3]])
+        node = NarrowNode(source, lambda part: [x * 10 for x in part], "x10")
+        assert executor.execute(node) == [[10, 20], [30]]
+
+    def test_shuffle_groups_keys(self):
+        executor = LocalExecutor()
+        source = SourceNode([[("a", 1), ("b", 2)], [("a", 3)]])
+        node = ShuffleNode(source, 3)
+        parts = executor.execute(node)
+        merged = {}
+        for part in parts:
+            for key, value in part:
+                merged.setdefault(key, []).append(value)
+        assert merged == {"a": [1, 3], "b": [2]}
+        # All pairs for one key land in one partition.
+        for part in parts:
+            keys = {k for k, _ in part}
+            for key in keys:
+                others = [p for p in parts if p is not part and
+                          any(k == key for k, _ in p)]
+                assert not others
+
+    def test_shuffle_requires_pairs(self):
+        executor = LocalExecutor(max_task_retries=0)
+        source = SourceNode([[1, 2, 3]])
+        node = ShuffleNode(source, 2)
+        with pytest.raises(TaskFailedError):
+            executor.execute(node)
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            LocalExecutor(max_workers=0)
+
+
+class TestRetries:
+    def test_transient_failure_retried(self):
+        failures = {"count": 0}
+
+        def injector(name, partition, attempt):
+            if name == "flaky" and attempt == 1:
+                failures["count"] += 1
+                raise RuntimeError("transient")
+
+        executor = LocalExecutor(failure_injector=injector)
+        source = SourceNode([[1], [2]])
+        node = NarrowNode(source, lambda part: list(part), "flaky")
+        assert executor.execute(node) == [[1], [2]]
+        assert failures["count"] == 2
+        assert executor.last_job_metrics.retried_tasks == 2
+
+    def test_permanent_failure_exhausts_retries(self):
+        def injector(name, partition, attempt):
+            if name == "doomed":
+                raise RuntimeError("permanent")
+
+        executor = LocalExecutor(max_task_retries=1, failure_injector=injector)
+        node = NarrowNode(SourceNode([[1]]), lambda part: list(part), "doomed")
+        with pytest.raises(TaskFailedError, match="2 attempts"):
+            executor.execute(node)
+
+    def test_zero_retries(self):
+        def injector(name, partition, attempt):
+            raise RuntimeError("fail")
+
+        executor = LocalExecutor(max_task_retries=0, failure_injector=injector)
+        node = NarrowNode(SourceNode([[1]]), lambda part: list(part), "boom")
+        with pytest.raises(TaskFailedError, match="1 attempts"):
+            executor.execute(node)
+
+
+class TestMetrics:
+    def test_task_metrics_recorded(self):
+        executor = LocalExecutor()
+        source = SourceNode([[1, 2], [3]])
+        node = NarrowNode(source, lambda part: list(part), "copy")
+        executor.execute(node)
+        metrics = executor.last_job_metrics
+        copy_tasks = [t for t in metrics.tasks if t.node_name == "copy"]
+        assert len(copy_tasks) == 2
+        assert sum(t.rows_out for t in copy_tasks) == 3
+        assert all(t.seconds >= 0 for t in metrics.tasks)
+
+    def test_metrics_reset_between_jobs(self):
+        executor = LocalExecutor()
+        node = NarrowNode(SourceNode([[1]]), lambda part: list(part), "copy")
+        executor.execute(node)
+        first = executor.last_job_metrics.task_count
+        executor.execute(node)
+        assert executor.last_job_metrics.task_count == first
+
+    def test_by_node_aggregation(self):
+        executor = LocalExecutor()
+        source = SourceNode([[("a", 1)], [("b", 2)]])
+        node = ShuffleNode(source, 2, name="sh")
+        executor.execute(node)
+        assert "sh.map" in executor.last_job_metrics.by_node()
+
+
+class TestConcurrency:
+    def test_tasks_actually_run_concurrently(self):
+        barrier = threading.Barrier(parties=4, timeout=10.0)
+
+        def wait_at_barrier(part):
+            barrier.wait()
+            return list(part)
+
+        context = EngineContext(parallelism=4)
+        data = context.parallelize(range(8), num_partitions=4)
+        result = data.map_partitions(wait_at_barrier).collect()
+        assert sorted(result) == list(range(8))

@@ -1,0 +1,86 @@
+"""Tests for the logical plan DAG."""
+
+import pytest
+
+from repro.engine.plan import (
+    GatherNode,
+    NarrowNode,
+    ShuffleNode,
+    SourceNode,
+    UnionNode,
+    stage_boundaries,
+)
+
+
+class TestSourceNode:
+    def test_partition_count(self):
+        node = SourceNode([[1, 2], [3], [4, 5, 6]])
+        assert node.num_partitions == 3
+        assert node.chunks == ((1, 2), (3,), (4, 5, 6))
+
+    def test_empty_source_gets_one_partition(self):
+        node = SourceNode([])
+        assert node.num_partitions == 1
+        assert node.chunks == ((),)
+
+    def test_describe_mentions_rows(self):
+        node = SourceNode([[1, 2], [3]])
+        assert "rows=3" in node.describe()
+
+
+class TestNarrowNode:
+    def test_inherits_partition_count(self):
+        source = SourceNode([[1], [2], [3]])
+        node = NarrowNode(source, lambda part: part, "map")
+        assert node.num_partitions == 3
+        assert node.parents == (source,)
+
+
+class TestShuffleNode:
+    def test_partition_of_is_stable(self):
+        source = SourceNode([[("a", 1)]])
+        node = ShuffleNode(source, 4)
+        assert node.partition_of("a") == node.partition_of("a")
+        assert 0 <= node.partition_of("a") < 4
+
+    def test_invalid_partition_count(self):
+        source = SourceNode([[("a", 1)]])
+        with pytest.raises(ValueError):
+            ShuffleNode(source, 0)
+
+
+class TestUnionNode:
+    def test_partitions_sum(self):
+        a = SourceNode([[1], [2]])
+        b = SourceNode([[3]])
+        assert UnionNode((a, b)).num_partitions == 3
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(ValueError):
+            UnionNode(())
+
+
+class TestExplainAndStages:
+    def test_explain_renders_tree(self):
+        source = SourceNode([[("a", 1)]], name="events")
+        shuffle = ShuffleNode(source, 2, name="by_vm")
+        narrow = NarrowNode(shuffle, lambda p: p, "group")
+        text = narrow.explain()
+        assert "Narrow[group]" in text
+        assert "Shuffle[by_vm]" in text
+        assert "Source[events]" in text
+
+    def test_stage_boundaries_in_dependency_order(self):
+        source = SourceNode([[("a", 1)]])
+        first = ShuffleNode(source, 2, name="first")
+        mid = NarrowNode(first, lambda p: p, "mid")
+        second = ShuffleNode(mid, 2, name="second")
+        gather = GatherNode(second, lambda rows: rows, "sort")
+        bounds = stage_boundaries(gather)
+        assert [b.name for b in bounds] == ["first", "second", "sort"]
+
+    def test_shared_subtree_visited_once(self):
+        source = SourceNode([[("a", 1)]])
+        shuffle = ShuffleNode(source, 2)
+        union = UnionNode((shuffle, shuffle))
+        assert len(stage_boundaries(union)) == 1

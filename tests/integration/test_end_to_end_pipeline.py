@@ -1,0 +1,103 @@
+"""Integration test: simulator → extractor → daily job → BI roll-up.
+
+Covers the whole Fig. 4 dataflow on a small fleet: faults are rendered
+into raw telemetry, extracted into events, ingested into the events
+table, computed into the two output tables by the daily job on the
+mini engine, and aggregated by the BI layer — with the damage landing
+in the right region.
+"""
+
+import pytest
+
+from repro.cloudbot.collector import DataCollector
+from repro.cloudbot.extractor import (
+    EventExtractor,
+    default_log_rules,
+    default_metric_rules,
+)
+from repro.core.events import default_catalog
+from repro.core.indicator import ServicePeriod
+from repro.engine.dataset import EngineContext
+from repro.pipeline.bi import aggregate_by, global_report
+from repro.pipeline.daily import DailyCdiJob
+from repro.pipeline.tables import VM_CDI_TABLE
+from repro.scenarios.common import default_weights
+from repro.storage.configdb import ConfigDB
+from repro.storage.table import TableStore
+from repro.telemetry.faults import Fault, FaultKind
+from repro.telemetry.topology import build_fleet
+
+DAY = 86400.0
+
+
+@pytest.fixture(scope="module")
+def pipeline_run():
+    fleet = build_fleet(seed=1, regions=2, azs_per_region=1,
+                        clusters_per_az=1, ncs_per_cluster=2, vms_per_nc=2)
+    vm_ids = sorted(fleet.vms)
+    # Fault blast radius: every VM in region-1 suffers slow IO; one VM
+    # in region-0 goes down briefly.
+    region1_vms = [vm for vm in vm_ids if fleet.region_of(vm) == "region-1"]
+    downed_vm = [vm for vm in vm_ids
+                 if fleet.region_of(vm) == "region-0"][0]
+    faults = [
+        Fault(FaultKind.SLOW_IO, vm, 6 * 3600.0, 3 * 3600.0)
+        for vm in region1_vms
+    ] + [Fault(FaultKind.VM_DOWN, downed_vm, 1000.0, 1800.0)]
+
+    collector = DataCollector(fleet, seed=1, interval=300.0)
+    bundle = collector.collect(vm_ids, 0.0, DAY, faults=faults)
+    extractor = EventExtractor(metric_rules=default_metric_rules(),
+                               log_rules=default_log_rules())
+    events = extractor.extract_all(metrics=bundle.metrics, logs=bundle.logs)
+
+    job = DailyCdiJob(EngineContext(parallelism=4), TableStore(),
+                      ConfigDB(), default_catalog())
+    job.store_weights(default_weights())
+    job.ingest_events(events, "day0")
+    services = {vm: ServicePeriod(0.0, DAY) for vm in vm_ids}
+    result = job.run("day0", services)
+    rows = job._tables.get(VM_CDI_TABLE).rows("day0")
+    return fleet, downed_vm, region1_vms, result, rows
+
+
+class TestEndToEndPipeline:
+    def test_every_vm_has_a_row(self, pipeline_run):
+        fleet, _, _, result, rows = pipeline_run
+        assert result.vm_count == len(fleet.vms)
+        assert {r["vm"] for r in rows} == set(fleet.vms)
+
+    def test_downed_vm_has_unavailability(self, pipeline_run):
+        _, downed_vm, _, _, rows = pipeline_run
+        row = next(r for r in rows if r["vm"] == downed_vm)
+        assert row["unavailability"] > 0.0
+
+    def test_slow_io_vms_have_performance_damage(self, pipeline_run):
+        _, _, region1_vms, _, rows = pipeline_run
+        for vm in region1_vms:
+            row = next(r for r in rows if r["vm"] == vm)
+            assert row["performance"] > 0.0, vm
+
+    def test_bi_localizes_damage_to_region_1(self, pipeline_run):
+        fleet, _, _, _, rows = pipeline_run
+        by_region = aggregate_by(rows, fleet.dimensions_of, "region")
+        assert by_region["region-1"].performance > (
+            5.0 * max(by_region["region-0"].performance, 1e-9)
+        )
+
+    def test_global_report_matches_job_summary(self, pipeline_run):
+        _, _, _, result, rows = pipeline_run
+        report = global_report(rows)
+        assert report.performance == pytest.approx(
+            result.fleet_report.performance
+        )
+        assert report.unavailability == pytest.approx(
+            result.fleet_report.unavailability
+        )
+
+    def test_damage_magnitude_reasonable(self, pipeline_run):
+        """Slow IO for 3 of 24 hours with weight < 1 bounds CDI-P."""
+        _, _, region1_vms, _, rows = pipeline_run
+        for vm in region1_vms:
+            row = next(r for r in rows if r["vm"] == vm)
+            assert row["performance"] <= 3.5 / 24.0

@@ -1,0 +1,34 @@
+"""Regression guard: every example script runs to completion.
+
+Examples are documentation; a stale import or API drift should fail
+the suite, not a user.  Each script runs in a subprocess with the
+repository's source on the path.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_expected_examples_present():
+    assert "quickstart.py" in EXAMPLES
+    assert "nic_incident.py" in EXAMPLES
+    assert len(EXAMPLES) >= 3

@@ -1,0 +1,111 @@
+"""Integration test: daily pipeline → monitor → detection → RCA.
+
+Runs the real daily job over a 20-day window in which a Case 6-style
+scheduler bug hits one region's VMs on day 15, then checks the monitor
+detects the spike on both the fleet curve and the event-level curve
+and localizes the damage to the right region.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.events import Event, Severity, default_catalog
+from repro.core.indicator import ServicePeriod
+from repro.engine.dataset import EngineContext
+from repro.pipeline.backfill import run_days
+from repro.pipeline.daily import DailyCdiJob
+from repro.pipeline.monitor import CdiMonitor
+from repro.scenarios.common import default_weights
+from repro.storage.configdb import ConfigDB
+from repro.storage.table import TableStore
+from repro.telemetry.topology import build_fleet
+
+DAY = 86400.0
+SPIKE_DAY = 15
+
+
+@pytest.fixture(scope="module")
+def backfill():
+    fleet = build_fleet(seed=2, regions=2, azs_per_region=1,
+                        clusters_per_az=1, ncs_per_cluster=2, vms_per_nc=3)
+    vm_ids = sorted(fleet.vms)
+    bad_region_vms = [vm for vm in vm_ids
+                      if fleet.region_of(vm) == "region-1"]
+    rng = np.random.default_rng(0)
+
+    def events_for_day(index: int, partition: str) -> list[Event]:
+        events = []
+        # Ambient allocation failures on a couple of random VMs.
+        for vm in rng.choice(vm_ids, size=2, replace=False):
+            events.append(Event(
+                "vm_allocation_failed",
+                time=float(rng.uniform(0, DAY)),
+                target=str(vm), level=Severity.CRITICAL,
+                attributes={"duration": float(rng.uniform(300, 900))},
+            ))
+        if index == SPIKE_DAY:
+            # Scheduler bug: every region-1 VM loses exclusive cores
+            # for hours.
+            for vm in bad_region_vms:
+                events.append(Event(
+                    "vm_allocation_failed", time=DAY / 2, target=vm,
+                    level=Severity.CRITICAL,
+                    attributes={"duration": 6 * 3600.0},
+                ))
+        return events
+
+    job = DailyCdiJob(EngineContext(parallelism=2), TableStore(),
+                      ConfigDB(), default_catalog())
+    job.store_weights(default_weights())
+    services = {vm: ServicePeriod(0.0, DAY) for vm in vm_ids}
+    monitor = CdiMonitor(
+        resolver=fleet.dimensions_of,
+        tracked_events=["vm_allocation_failed"],
+    )
+    return run_days(job, events_for_day, services, days=20,
+                    monitor=monitor)
+
+
+class TestMonitoringLoop:
+    def test_all_days_ran(self, backfill):
+        assert len(backfill.job_results) == 20
+        assert backfill.partitions[0] == "day00"
+        assert backfill.monitor.days == list(backfill.partitions)
+
+    def test_fleet_spike_detected(self, backfill):
+        findings = backfill.monitor.findings()
+        fleet_findings = [f for f in findings
+                          if f.curve == "fleet.performance"]
+        assert any(
+            f.day == f"day{SPIKE_DAY}" and f.direction == "spike"
+            for f in fleet_findings
+        )
+
+    def test_event_level_spike_detected(self, backfill):
+        findings = backfill.monitor.findings()
+        assert any(
+            f.curve == "event.vm_allocation_failed"
+            and f.day == f"day{SPIKE_DAY}"
+            for f in findings
+        )
+
+    def test_root_cause_localized_to_region(self, backfill):
+        findings = [
+            f for f in backfill.monitor.findings()
+            if f.curve == "fleet.performance" and f.day == f"day{SPIKE_DAY}"
+        ]
+        assert findings
+        cause = findings[0].root_cause
+        assert cause is not None
+        # With one AZ per region the "az" and "region" dimensions are
+        # coextensive; either is a correct localization as long as it
+        # points inside region-1.
+        assert cause.dimension in ("region", "az")
+        assert len(cause.values) == 1
+        assert cause.values[0].startswith("region-1")
+
+    def test_event_curve_shape(self, backfill):
+        curve = backfill.monitor.event_curve("vm_allocation_failed")
+        spike = curve[SPIKE_DAY]
+        others = [v for i, v in enumerate(curve) if i != SPIKE_DAY]
+        assert spike > 5.0 * max(others)

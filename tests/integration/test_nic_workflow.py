@@ -1,0 +1,62 @@
+"""Integration test: the full Fig. 1 NIC workflow (Example 1)."""
+
+import pytest
+
+from repro.cloudbot.actions import ActionType
+from repro.cloudbot.platform import ExecutionStatus
+from repro.scenarios.nic_case import run_nic_incident
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return run_nic_incident(seed=0)
+
+
+class TestNicWorkflow:
+    def test_extractor_recovers_both_events(self, outcome):
+        names = {e.name for e in outcome.events}
+        assert "slow_io" in names
+        assert "nic_flapping" in names
+
+    def test_slow_io_extracted_on_the_vm(self, outcome):
+        # The NC may legitimately report slow IO too (its NIC flap
+        # degrades host IO); the VM must be among the afflicted.
+        slow_io = [e for e in outcome.events if e.name == "slow_io"]
+        assert any(e.target == outcome.vm for e in slow_io)
+
+    def test_nic_flapping_extracted_on_the_nc(self, outcome):
+        flaps = [e for e in outcome.events if e.name == "nic_flapping"]
+        assert any(e.target == outcome.nc for e in flaps)
+
+    def test_correct_rule_matches(self, outcome):
+        matched = {m.rule.name for m in outcome.matches}
+        assert "nic_error_cause_slow_io" in matched
+        # Without a vm_hang event the second rule must not match.
+        assert "nic_error_cause_vm_hang" not in matched
+
+    def test_three_actions_executed(self, outcome):
+        executed = [
+            r.action.type for r in outcome.records
+            if r.status is ExecutionStatus.EXECUTED
+        ]
+        assert ActionType.LIVE_MIGRATION in executed
+        assert ActionType.REPAIR_REQUEST in executed
+        assert ActionType.NC_LOCK in executed
+
+    def test_vm_left_the_faulty_nc(self, outcome):
+        assert outcome.platform.placements[outcome.vm] != outcome.nc
+
+    def test_faulty_nc_locked_and_ticketed(self, outcome):
+        assert outcome.platform.is_locked(outcome.nc)
+        assert any(t.target == outcome.nc
+                   for t in outcome.platform.open_tickets)
+
+    def test_migration_cannot_return_to_locked_nc(self, outcome):
+        """While the repair ticket is open, nothing migrates back."""
+        from repro.cloudbot.actions import Action
+
+        records = outcome.platform.submit([
+            Action(ActionType.LIVE_MIGRATION, outcome.vm,
+                   params={"destination": outcome.nc})
+        ])
+        assert records[0].status is ExecutionStatus.REJECTED_LOCKED

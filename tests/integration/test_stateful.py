@@ -1,0 +1,134 @@
+"""Stateful property tests (hypothesis RuleBasedStateMachine).
+
+Two long-lived mutable components get model-based testing:
+
+* :class:`LogStoreMachine` — the SLS stand-in against a plain-list
+  model: arbitrary interleavings of appends (in/out of order),
+  range queries, and expirations must always agree with the model.
+* :class:`PlatformMachine` — the Operation Platform: under any action
+  sequence, every VM stays placed on exactly one NC and locked NCs
+  never *gain* VMs.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.cloudbot.actions import Action, ActionType
+from repro.cloudbot.platform import ExecutionStatus, OperationPlatform
+from repro.storage.logstore import LogStore
+from repro.telemetry.topology import build_fleet
+
+times = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+class LogStoreMachine(RuleBasedStateMachine):
+    RETENTION = 1e9  # effectively no retention during random appends
+
+    def __init__(self):
+        super().__init__()
+        self.store = LogStore(retention=self.RETENTION)
+        self.model: list[tuple[float, str]] = []
+
+    @rule(time=times, name=st.sampled_from(["slow_io", "vm_down", "x"]))
+    def append(self, time, name):
+        self.store.append(time, name=name)
+        self.model.append((time, name))
+
+    @rule(start=times, end=times)
+    def query_matches_model(self, start, end):
+        lo, hi = min(start, end), max(start, end)
+        got = [(e.time, e.get("name")) for e in self.store.query(lo, hi)]
+        expected = sorted(
+            (t, n) for t, n in self.model if lo <= t < hi
+        )
+        assert sorted(got) == expected
+
+    @rule(name=st.sampled_from(["slow_io", "vm_down", "x"]))
+    def filtered_count_matches_model(self, name):
+        got = self.store.count(0.0, 2e6, name=name)
+        assert got == sum(1 for _, n in self.model if n == name)
+
+    @invariant()
+    def size_matches(self):
+        assert len(self.store) == len(self.model)
+
+    @invariant()
+    def internally_sorted(self):
+        entries = list(self.store.query(0.0, 2e6))
+        assert [e.time for e in entries] == sorted(e.time for e in entries)
+
+
+class PlatformMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.fleet = build_fleet(seed=0, regions=1, azs_per_region=1,
+                                 clusters_per_az=1, ncs_per_cluster=4,
+                                 vms_per_nc=2)
+        self.platform = OperationPlatform(self.fleet)
+        self.vms = sorted(self.fleet.vms)
+        self.ncs = sorted(self.fleet.ncs)
+
+    @rule(vm_index=st.integers(min_value=0, max_value=7))
+    def migrate(self, vm_index):
+        vm = self.vms[vm_index]
+        self.platform.submit([Action(ActionType.LIVE_MIGRATION, vm)])
+
+    @rule(vm_index=st.integers(min_value=0, max_value=7),
+          nc_index=st.integers(min_value=0, max_value=3))
+    def migrate_to_explicit(self, vm_index, nc_index):
+        vm = self.vms[vm_index]
+        destination = self.ncs[nc_index]
+        locked_before = self.platform.is_locked(destination)
+        records = self.platform.submit([
+            Action(ActionType.LIVE_MIGRATION, vm,
+                   params={"destination": destination})
+        ])
+        if locked_before:
+            assert records[0].status is ExecutionStatus.REJECTED_LOCKED
+
+    @rule(nc_index=st.integers(min_value=0, max_value=3))
+    def lock(self, nc_index):
+        self.platform.submit([Action(ActionType.NC_LOCK,
+                                     self.ncs[nc_index])])
+
+    @rule(nc_index=st.integers(min_value=0, max_value=3))
+    def unlock(self, nc_index):
+        self.platform.unlock(self.ncs[nc_index])
+
+    @rule(nc_index=st.integers(min_value=0, max_value=3))
+    def repair_ticket(self, nc_index):
+        self.platform.submit([Action(ActionType.REPAIR_REQUEST,
+                                     self.ncs[nc_index])])
+
+    @invariant()
+    def every_vm_placed_exactly_once(self):
+        assert set(self.platform.placements) == set(self.vms)
+        for vm, nc in self.platform.placements.items():
+            assert nc in self.fleet.ncs
+
+    @invariant()
+    def vms_on_partitions_the_placements(self):
+        total = sum(len(self.platform.vms_on(nc)) for nc in self.ncs)
+        assert total == len(self.vms)
+
+    @invariant()
+    def log_statuses_valid(self):
+        for record in self.platform.log:
+            assert isinstance(record.status, ExecutionStatus)
+
+
+TestLogStoreStateful = LogStoreMachine.TestCase
+TestLogStoreStateful.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None,
+)
+
+TestPlatformStateful = PlatformMachine.TestCase
+TestPlatformStateful.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None,
+)

@@ -1,0 +1,106 @@
+"""Tests for BI aggregation and drill-down (Section V)."""
+
+import pytest
+
+from repro.pipeline.bi import (
+    aggregate_by,
+    drill_down,
+    event_level_series,
+    global_report,
+)
+from repro.telemetry.topology import build_fleet
+
+
+def make_rows_and_fleet():
+    fleet = build_fleet(seed=0, regions=2, azs_per_region=2,
+                        clusters_per_az=1, ncs_per_cluster=2, vms_per_nc=2)
+    rows = []
+    for index, vm_id in enumerate(fleet.iter_vm_ids()):
+        region = fleet.region_of(vm_id)
+        # Damage concentrated in region-1.
+        value = 0.2 if region == "region-1" else 0.0
+        rows.append({
+            "vm": vm_id, "unavailability": value, "performance": value / 2,
+            "control_plane": 0.0, "service_time": 86400.0,
+        })
+    return rows, fleet
+
+
+class TestGlobalReport:
+    def test_formula4_over_all_vms(self):
+        rows, _ = make_rows_and_fleet()
+        report = global_report(rows)
+        region1_fraction = sum(
+            1 for r in rows if r["unavailability"] > 0
+        ) / len(rows)
+        assert report.unavailability == pytest.approx(0.2 * region1_fraction)
+
+
+class TestAggregateBy:
+    def test_per_region(self):
+        rows, fleet = make_rows_and_fleet()
+        by_region = aggregate_by(rows, fleet.dimensions_of, "region")
+        assert set(by_region) == {"region-0", "region-1"}
+        assert by_region["region-0"].unavailability == 0.0
+        assert by_region["region-1"].unavailability == pytest.approx(0.2)
+
+    def test_rollup_consistent_with_global(self):
+        """Region roll-ups re-aggregated must equal the global figure."""
+        from repro.core.indicator import aggregate
+
+        rows, fleet = make_rows_and_fleet()
+        by_region = aggregate_by(rows, fleet.dimensions_of, "region")
+        rolled = aggregate(
+            (report.service_time, report.unavailability)
+            for report in by_region.values()
+        )
+        assert rolled == pytest.approx(global_report(rows).unavailability)
+
+    def test_unknown_dimension_yields_empty(self):
+        rows, fleet = make_rows_and_fleet()
+        assert aggregate_by(rows, fleet.dimensions_of, "nonexistent") == {}
+
+
+class TestDrillDown:
+    def test_region_to_az(self):
+        rows, fleet = make_rows_and_fleet()
+        azs = drill_down(rows, fleet.dimensions_of,
+                         [("region", "region-1")], "az")
+        assert all(az.startswith("region-1") for az in azs)
+        for report in azs.values():
+            assert report.unavailability == pytest.approx(0.2)
+
+    def test_pinned_path_filters(self):
+        rows, fleet = make_rows_and_fleet()
+        azs = drill_down(rows, fleet.dimensions_of,
+                         [("region", "region-0")], "az")
+        total = sum(r.service_time for r in azs.values())
+        vm_count = sum(
+            1 for row in rows
+            if fleet.region_of(row["vm"]) == "region-0"
+        )
+        assert total == pytest.approx(vm_count * 86400.0)
+
+
+class TestEventLevelSeries:
+    def test_daily_curve(self):
+        rows_by_day = {
+            "d1": [
+                {"vm": "a", "event": "slow_io", "cdi": 0.1,
+                 "service_time": 100.0},
+                {"vm": "b", "event": "slow_io", "cdi": 0.3,
+                 "service_time": 100.0},
+                {"vm": "a", "event": "vm_down", "cdi": 0.9,
+                 "service_time": 100.0},
+            ],
+            "d2": [
+                {"vm": "a", "event": "slow_io", "cdi": 0.5,
+                 "service_time": 100.0},
+            ],
+        }
+        series = event_level_series(rows_by_day, "slow_io")
+        assert series == [("d1", pytest.approx(0.2)), ("d2", pytest.approx(0.5))]
+
+    def test_missing_event_gives_zeroes(self):
+        series = event_level_series({"d1": []}, "slow_io")
+        assert series == [("d1", 0.0)]

@@ -1,0 +1,139 @@
+"""Tests for the daily CDI job (the Spark application of Section V)."""
+
+import pytest
+
+from repro.core.events import Event, Severity, default_catalog
+from repro.core.indicator import ServicePeriod
+from repro.core.weights import expert_only_config
+from repro.engine.dataset import EngineContext
+from repro.pipeline.daily import (
+    WEIGHTS_CONFIG_KEY,
+    DailyCdiJob,
+    event_to_row,
+    row_to_event,
+)
+from repro.pipeline.tables import EVENT_CDI_TABLE, EVENTS_TABLE, VM_CDI_TABLE
+from repro.storage.configdb import ConfigDB
+from repro.storage.table import TableStore
+
+DAY = 86400.0
+
+
+@pytest.fixture
+def job() -> DailyCdiJob:
+    job = DailyCdiJob(EngineContext(parallelism=2), TableStore(),
+                      ConfigDB(), default_catalog())
+    job.store_weights(expert_only_config())
+    return job
+
+
+def make_events() -> list[Event]:
+    return [
+        Event("vm_down", 3600.0, "vm-a", expire_interval=600.0,
+              level=Severity.FATAL, attributes={"duration": 1800.0}),
+        Event("slow_io", 7200.0, "vm-a", expire_interval=600.0,
+              level=Severity.CRITICAL),
+        Event("vm_start_failed", 1000.0, "vm-b", expire_interval=600.0,
+              level=Severity.CRITICAL),
+    ]
+
+
+class TestRowRoundtrip:
+    def test_event_row_roundtrip(self):
+        event = make_events()[0]
+        assert row_to_event(event_to_row(event)) == event
+
+    def test_roundtrip_without_duration(self):
+        event = make_events()[1]
+        restored = row_to_event(event_to_row(event))
+        assert restored.duration_hint() is None
+        assert restored == event
+
+
+class TestDailyJob:
+    def test_output_tables_created(self, job):
+        assert EVENTS_TABLE in job._tables
+        assert VM_CDI_TABLE in job._tables
+        assert EVENT_CDI_TABLE in job._tables
+
+    def test_run_produces_vm_rows(self, job):
+        job.ingest_events(make_events(), "20240101")
+        services = {
+            "vm-a": ServicePeriod(0.0, DAY),
+            "vm-b": ServicePeriod(0.0, DAY),
+            "vm-quiet": ServicePeriod(0.0, DAY),
+        }
+        result = job.run("20240101", services)
+        assert result.vm_count == 3
+        assert result.event_count == 3
+        rows = {r["vm"]: r for r in
+                job._tables.get(VM_CDI_TABLE).rows("20240101")}
+        # vm-a: 1800 s of unavailability (measured duration).
+        assert rows["vm-a"]["unavailability"] == pytest.approx(1800.0 / DAY)
+        assert rows["vm-a"]["performance"] > 0.0
+        assert rows["vm-b"]["control_plane"] > 0.0
+        # A quiet VM still contributes a zero row.
+        assert rows["vm-quiet"]["unavailability"] == 0.0
+        assert rows["vm-quiet"]["service_time"] == DAY
+
+    def test_event_level_table(self, job):
+        job.ingest_events(make_events(), "20240101")
+        services = {"vm-a": ServicePeriod(0.0, DAY),
+                    "vm-b": ServicePeriod(0.0, DAY)}
+        job.run("20240101", services)
+        rows = job._tables.get(EVENT_CDI_TABLE).rows("20240101")
+        keys = {(r["vm"], r["event"]) for r in rows}
+        assert ("vm-a", "vm_down") in keys
+        assert ("vm-a", "slow_io") in keys
+        assert ("vm-b", "vm_start_failed") in keys
+        for row in rows:
+            assert row["cdi"] > 0.0
+
+    def test_events_outside_services_ignored(self, job):
+        job.ingest_events(make_events(), "20240101")
+        result = job.run("20240101", {"vm-b": ServicePeriod(0.0, DAY)})
+        assert result.event_count == 1
+        assert result.vm_count == 1
+
+    def test_rerun_is_idempotent(self, job):
+        job.ingest_events(make_events(), "20240101")
+        services = {"vm-a": ServicePeriod(0.0, DAY)}
+        first = job.run("20240101", services)
+        second = job.run("20240101", services)
+        assert first.fleet_report == second.fleet_report
+        assert job._tables.get(VM_CDI_TABLE).count("20240101") == 1
+
+    def test_partitions_isolated(self, job):
+        job.ingest_events(make_events(), "day1")
+        job.ingest_events([], "day2")
+        services = {"vm-a": ServicePeriod(0.0, DAY)}
+        busy = job.run("day1", services)
+        quiet = job.run("day2", services)
+        assert busy.fleet_report.unavailability > 0.0
+        assert quiet.fleet_report.unavailability == 0.0
+
+    def test_weights_versioning_respected(self, job):
+        from repro.core.weights import WeightConfig
+        job.ingest_events(make_events(), "d")
+        services = {"vm-a": ServicePeriod(0.0, DAY)}
+        before = job.run("d", services).fleet_report.performance
+        # Downgrade performance weights drastically and re-run.
+        job.store_weights(WeightConfig(
+            alpha_expert=1.0, alpha_customer=0.0,
+            expert_levels=100, customer_levels=1,
+        ))
+        after = job.run("d", services).fleet_report.performance
+        assert after < before
+        assert job._config_db.get(WEIGHTS_CONFIG_KEY).version == 2
+
+    def test_stateful_events_resolved_in_job(self, job):
+        events = [
+            Event("ddos_blackhole_add", 1000.0, "vm-a",
+                  level=Severity.FATAL),
+            Event("ddos_blackhole_del", 4600.0, "vm-a"),
+        ]
+        job.ingest_events(events, "d")
+        result = job.run("d", {"vm-a": ServicePeriod(0.0, DAY)})
+        assert result.fleet_report.unavailability == pytest.approx(
+            3600.0 / DAY
+        )

@@ -1,0 +1,111 @@
+"""Tests for the daily CDI monitor (Sections VI-A / VI-C loop)."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import EventCategory
+from repro.pipeline.monitor import CdiMonitor
+
+
+def vm_rows(vm_values: dict[str, float], metric: str = "performance"):
+    rows = []
+    for vm, value in vm_values.items():
+        row = {"vm": vm, "unavailability": 0.0, "performance": 0.0,
+               "control_plane": 0.0, "service_time": 86400.0}
+        row[metric] = value
+        rows.append(row)
+    return rows
+
+
+def resolver_factory(region_of: dict[str, str]):
+    return lambda vm: {"vm": vm, "region": region_of[vm]}
+
+
+class TestCurves:
+    def test_fleet_curve(self):
+        monitor = CdiMonitor()
+        monitor.observe_day("d1", vm_rows({"a": 0.1, "b": 0.3}))
+        monitor.observe_day("d2", vm_rows({"a": 0.2, "b": 0.2}))
+        assert monitor.fleet_curve(EventCategory.PERFORMANCE) == [
+            pytest.approx(0.2), pytest.approx(0.2),
+        ]
+        assert monitor.days == ["d1", "d2"]
+
+    def test_event_curve(self):
+        monitor = CdiMonitor(tracked_events=["slow_io"])
+        monitor.observe_day("d1", vm_rows({"a": 0.0}), [
+            {"vm": "a", "event": "slow_io", "cdi": 0.4,
+             "service_time": 100.0},
+            {"vm": "a", "event": "vm_down", "cdi": 0.9,
+             "service_time": 100.0},
+        ])
+        monitor.observe_day("d2", vm_rows({"a": 0.0}), [])
+        assert monitor.event_curve("slow_io") == [pytest.approx(0.4), 0.0]
+
+
+class TestFindings:
+    def make_history(self, monitor: CdiMonitor, rng, days: int = 20,
+                     spike_day: int | None = None):
+        region_of = {f"vm-{i}": ("region-1" if i < 5 else "region-0")
+                     for i in range(10)}
+        for day in range(days):
+            values = {
+                vm: max(0.0, float(rng.normal(0.05, 0.005)))
+                for vm in region_of
+            }
+            if spike_day is not None and day == spike_day:
+                for vm, region in region_of.items():
+                    if region == "region-1":
+                        values[vm] = 0.9
+            monitor.observe_day(f"d{day:02d}", vm_rows(values))
+        return region_of
+
+    def test_quiet_history_no_findings(self):
+        monitor = CdiMonitor()
+        rng = np.random.default_rng(0)
+        self.make_history(monitor, rng)
+        assert monitor.findings() == []
+
+    def test_spike_detected_and_localized(self):
+        region_of = {f"vm-{i}": ("region-1" if i < 5 else "region-0")
+                     for i in range(10)}
+        monitor = CdiMonitor(resolver=resolver_factory(region_of))
+        rng = np.random.default_rng(1)
+        self.make_history(monitor, rng, spike_day=15)
+        findings = monitor.findings()
+        performance = [f for f in findings
+                       if f.curve == "fleet.performance"]
+        assert performance
+        spike = performance[0]
+        assert spike.day == "d15"
+        assert spike.direction == "spike"
+        assert spike.root_cause is not None
+        assert spike.root_cause.dimension == "region"
+        assert spike.root_cause.values == ("region-1",)
+
+    def test_event_curve_findings(self):
+        monitor = CdiMonitor(tracked_events=["vm_allocation_failed"])
+        rng = np.random.default_rng(2)
+        for day in range(20):
+            value = 0.5 if day == 15 else float(rng.normal(0.01, 0.002))
+            monitor.observe_day(f"d{day:02d}", vm_rows({"a": 0.0}), [
+                {"vm": "a", "event": "vm_allocation_failed",
+                 "cdi": max(0.0, value), "service_time": 86400.0},
+            ])
+        findings = monitor.findings()
+        assert any(
+            f.curve == "event.vm_allocation_failed" and f.day == "d15"
+            for f in findings
+        )
+
+    def test_no_resolver_no_rca(self):
+        monitor = CdiMonitor()
+        rng = np.random.default_rng(3)
+        self.make_history(monitor, rng, spike_day=15)
+        findings = monitor.findings()
+        assert findings
+        assert all(f.root_cause is None for f in findings)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CdiMonitor(baseline_days=1)

@@ -1,0 +1,126 @@
+"""Tests for daily stability report rendering (Section VI-A)."""
+
+import pytest
+
+from repro.analytics.rca import RootCause
+from repro.pipeline.monitor import MonitorFinding
+from repro.pipeline.reports import (
+    DailyReportInput,
+    render_daily_report,
+    top_event_contributors,
+)
+
+
+def vm_row(vm: str, performance: float = 0.0, unavailability: float = 0.0):
+    return {"vm": vm, "unavailability": unavailability,
+            "performance": performance, "control_plane": 0.0,
+            "service_time": 86400.0}
+
+
+def resolver(vm: str):
+    region = "region-1" if vm.endswith(("1", "3")) else "region-0"
+    return {"vm": vm, "region": region, "az": f"{region}/az-a"}
+
+
+class TestTopEventContributors:
+    def test_ranked_by_fleet_cdi(self):
+        rows = [
+            {"vm": "a", "event": "slow_io", "cdi": 0.5, "service_time": 100.0},
+            {"vm": "b", "event": "slow_io", "cdi": 0.1, "service_time": 100.0},
+            {"vm": "a", "event": "vm_down", "cdi": 0.9, "service_time": 100.0},
+        ]
+        top = top_event_contributors(rows)
+        assert top[0][0] == "vm_down"
+        assert top[1] == ("slow_io", pytest.approx(0.3))
+
+    def test_limit_and_zero_filter(self):
+        rows = [
+            {"vm": "a", "event": f"e{i}", "cdi": 0.1 * i,
+             "service_time": 10.0}
+            for i in range(5)
+        ]
+        top = top_event_contributors(rows, limit=2)
+        assert len(top) == 2
+        assert all(value > 0 for _, value in top)
+
+    def test_empty(self):
+        assert top_event_contributors([]) == []
+
+
+class TestRenderDailyReport:
+    def test_fleet_section(self):
+        report = render_daily_report(DailyReportInput(
+            day="20240101",
+            vm_rows=[vm_row("vm-0", performance=0.2), vm_row("vm-1")],
+        ))
+        assert "DAILY STABILITY REPORT — 20240101" in report
+        assert "CDI-P  0.100000" in report
+        assert "monitor findings: none" in report
+
+    def test_day_over_day_movement(self):
+        report = render_daily_report(DailyReportInput(
+            day="d2",
+            vm_rows=[vm_row("vm-0", performance=0.2)],
+            previous_vm_rows=[vm_row("vm-0", performance=0.1)],
+        ))
+        assert "▲100%" in report
+
+    def test_movement_down(self):
+        report = render_daily_report(DailyReportInput(
+            day="d2",
+            vm_rows=[vm_row("vm-0", performance=0.1)],
+            previous_vm_rows=[vm_row("vm-0", performance=0.2)],
+        ))
+        assert "▼50%" in report
+
+    def test_new_damage_marker(self):
+        report = render_daily_report(DailyReportInput(
+            day="d2",
+            vm_rows=[vm_row("vm-0", performance=0.1)],
+            previous_vm_rows=[vm_row("vm-0", performance=0.0)],
+        ))
+        assert "(new)" in report
+
+    def test_dimension_breakdown(self):
+        rows = [vm_row("vm-0"), vm_row("vm-1", performance=0.4),
+                vm_row("vm-2"), vm_row("vm-3", performance=0.2)]
+        report = render_daily_report(
+            DailyReportInput(day="d", vm_rows=rows),
+            resolver=resolver,
+        )
+        assert "most damaged by region:" in report
+        assert "region-1=0.3" in report
+
+    def test_event_contributors_section(self):
+        report = render_daily_report(DailyReportInput(
+            day="d",
+            vm_rows=[vm_row("vm-0", performance=0.1)],
+            event_rows=[{"vm": "vm-0", "event": "slow_io", "cdi": 0.1,
+                         "service_time": 86400.0}],
+        ))
+        assert "top event contributors:" in report
+        assert "slow_io: 0.100000" in report
+
+    def test_findings_section_with_rca(self):
+        finding = MonitorFinding(
+            curve="fleet.performance", day_index=1, day="d",
+            direction="spike", value=0.3,
+            root_cause=RootCause(dimension="region", values=("region-1",),
+                                 explanatory_power=1.0, surprise=0.5),
+        )
+        report = render_daily_report(DailyReportInput(
+            day="d", vm_rows=[vm_row("vm-0", performance=0.3)],
+            findings=[finding],
+        ))
+        assert "SPIKE on fleet.performance" in report
+        assert "root cause region=['region-1']" in report
+
+    def test_findings_from_other_days_excluded(self):
+        finding = MonitorFinding(
+            curve="fleet.performance", day_index=0, day="other",
+            direction="spike", value=0.3,
+        )
+        report = render_daily_report(DailyReportInput(
+            day="d", vm_rows=[vm_row("vm-0")], findings=[finding],
+        ))
+        assert "monitor findings: none" in report

@@ -1,0 +1,58 @@
+"""Tests for the Case 2 AccessKey incident scenario."""
+
+import pytest
+
+from repro.scenarios.access_key import simulate_access_key_incident
+
+
+@pytest.fixture(scope="module")
+def result():
+    return simulate_access_key_incident(seed=0)
+
+
+class TestCase2AccessKey:
+    def test_control_plane_damage_dominates(self, result):
+        """The control plane 'encountered more severe issues' — CDI-C
+        must dwarf the baseline while CDI-U moves only modestly."""
+        control_ratio = (
+            result.incident_cdi.control_plane
+            / max(result.baseline_cdi.control_plane, 1e-12)
+        )
+        unavail_ratio = (
+            result.incident_cdi.unavailability
+            / max(result.baseline_cdi.unavailability, 1e-12)
+        )
+        assert control_ratio > 10.0
+        assert control_ratio > 3.0 * unavail_ratio
+
+    def test_most_servers_kept_running(self, result):
+        """'Most of the existing cloud servers continued to run
+        normally' — only the encrypted-disk minority went down."""
+        assert result.affected_data_plane_vms < result.total_vms * 0.1
+
+    def test_downtime_percentage_understates_the_incident(self, result):
+        """DP sees only the ~4% encrypted-disk victims; its incident
+        ratio must be far below the CDI-C ratio."""
+        dp_ratio = result.incident_dp / max(result.baseline_dp, 1e-12)
+        control_ratio = (
+            result.incident_cdi.control_plane
+            / max(result.baseline_cdi.control_plane, 1e-12)
+        )
+        assert control_ratio > 3.0 * dp_ratio
+
+    def test_data_plane_damage_present_but_small(self, result):
+        # Encrypted-disk VMs were genuinely down: CDI-U rises above
+        # baseline, bounded by the affected share x duration.
+        assert result.incident_cdi.unavailability > (
+            result.baseline_cdi.unavailability
+        )
+        upper_bound = (
+            result.affected_data_plane_vms / result.total_vms
+            * (3.5 / 24.0)
+        )
+        assert result.incident_cdi.unavailability < upper_bound * 2.0
+
+    def test_control_plane_magnitude_matches_blast_radius(self, result):
+        """Every VM was uncontrollable for 3.5 h at weight <= 1."""
+        assert result.incident_cdi.control_plane <= 3.5 / 24.0 + 0.01
+        assert result.incident_cdi.control_plane > 0.5 * 3.5 / 24.0 * 0.5

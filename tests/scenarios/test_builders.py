@@ -1,0 +1,68 @@
+"""Direct tests for scenario builders (beyond their integration uses)."""
+
+import pytest
+
+from repro.abtest.experiment import AbExperiment
+from repro.core.events import EventCategory
+from repro.scenarios.abtest_case8 import PAPER_MEANS, build_case8_experiment
+from repro.scenarios.nic_case import nic_rules, run_nic_incident
+
+
+class TestCase8Builder:
+    def test_observation_counts(self):
+        experiment = build_case8_experiment(hits_per_variant=30, seed=1)
+        assert isinstance(experiment, AbExperiment)
+        assert experiment.counts() == {"A": 30, "B": 30, "C": 30}
+
+    def test_performance_means_near_paper(self):
+        experiment = build_case8_experiment(hits_per_variant=200, seed=1)
+        sequences = experiment.sequences(EventCategory.PERFORMANCE)
+        for name, paper_mean in PAPER_MEANS.items():
+            observed = sum(sequences[name]) / len(sequences[name])
+            assert observed == pytest.approx(paper_mean, abs=0.04)
+
+    def test_reports_bounded(self):
+        experiment = build_case8_experiment(hits_per_variant=50, seed=2)
+        for observation in experiment.observations:
+            report = observation.report
+            for value in (report.unavailability, report.performance,
+                          report.control_plane):
+                assert 0.0 <= value <= 1.0
+
+    def test_deterministic(self):
+        a = build_case8_experiment(hits_per_variant=10, seed=3)
+        b = build_case8_experiment(hits_per_variant=10, seed=3)
+        assert a.observations == b.observations
+
+    def test_non_performance_arms_indistinguishable_by_design(self):
+        experiment = build_case8_experiment(hits_per_variant=200, seed=4)
+        for category in (EventCategory.UNAVAILABILITY,
+                         EventCategory.CONTROL_PLANE):
+            sequences = experiment.sequences(category)
+            means = [sum(s) / len(s) for s in sequences.values()]
+            assert max(means) - min(means) < 0.02
+
+
+class TestNicCaseBuilder:
+    def test_rules_cover_fig1(self):
+        rules = {r.name: r for r in nic_rules()}
+        assert set(rules) == {"nic_error_cause_slow_io",
+                              "nic_error_cause_vm_hang"}
+        assert rules["nic_error_cause_slow_io"].referenced_events == {
+            "slow_io", "nic_flapping",
+        }
+        assert len(rules["nic_error_cause_slow_io"].actions) == 3
+
+    def test_outcome_structure(self):
+        outcome = run_nic_incident(seed=1)
+        assert outcome.vm in outcome.fleet.vms
+        assert outcome.nc == outcome.fleet.vms[outcome.vm].nc_id
+        assert outcome.bundle.metrics
+        assert outcome.bundle.logs
+        assert outcome.matches
+        assert outcome.records
+
+    def test_different_seed_still_resolves(self):
+        outcome = run_nic_incident(seed=7)
+        assert any(m.rule.name == "nic_error_cause_slow_io"
+                   for m in outcome.matches)

@@ -1,0 +1,47 @@
+"""Determinism guarantees: same seed, same experiment, always.
+
+Reproducibility is the whole point of simulator-backed experiments;
+every scenario must be a pure function of its seed.
+"""
+
+import pytest
+
+from repro.scenarios.architecture import simulate_architecture_comparison
+from repro.scenarios.event_level import simulate_event_level_curves
+from repro.scenarios.fiscal_year import simulate_fiscal_year
+from repro.scenarios.incidents import simulate_incident_days
+
+
+@pytest.mark.slow
+class TestScenarioDeterminism:
+    def test_incidents(self):
+        a = simulate_incident_days(seed=11, vm_count=100)
+        b = simulate_incident_days(seed=11, vm_count=100)
+        for day in a:
+            assert a[day].cdi == b[day].cdi
+            assert a[day].air == b[day].air
+
+    def test_incidents_seed_sensitivity(self):
+        a = simulate_incident_days(seed=11, vm_count=100)
+        b = simulate_incident_days(seed=12, vm_count=100)
+        assert a["daily"].cdi != b["daily"].cdi
+
+    def test_fiscal_year(self):
+        a = simulate_fiscal_year(seed=5, vm_count=64, months=6)
+        b = simulate_fiscal_year(seed=5, vm_count=64, months=6)
+        assert [m.report for m in a] == [m.report for m in b]
+
+    def test_architecture(self):
+        a = simulate_architecture_comparison(seed=3, days=10, bug_onset=5,
+                                             rollback_start=8)
+        b = simulate_architecture_comparison(seed=3, days=10, bug_onset=5,
+                                             rollback_start=8)
+        assert a == b
+
+    def test_event_level(self):
+        a = simulate_event_level_curves(seed=4, days=12, spike_day=6,
+                                        dip_start=5, dip_end=8, vm_count=40)
+        b = simulate_event_level_curves(seed=4, days=12, spike_day=6,
+                                        dip_start=5, dip_end=8, vm_count=40)
+        assert a.allocation_failed == b.allocation_failed
+        assert a.power_tdp == b.power_tdp

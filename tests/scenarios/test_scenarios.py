@@ -1,0 +1,166 @@
+"""Tests for the experiment scenarios (paper-shape assertions)."""
+
+import pytest
+
+from repro.core.events import EventCategory, default_catalog
+from repro.scenarios.architecture import (
+    divergence_ratio,
+    simulate_architecture_comparison,
+)
+from repro.scenarios.common import (
+    FAULT_EVENT_NAME,
+    fault_to_period,
+    fleet_cdi,
+    full_day_services,
+    periods_by_vm,
+)
+from repro.scenarios.event_level import simulate_event_level_curves
+from repro.scenarios.fiscal_year import (
+    simulate_fiscal_year,
+    smoothed,
+    year_over_year_reduction,
+)
+from repro.scenarios.incidents import normalize_to_daily, simulate_incident_days
+from repro.telemetry.faults import Fault, FaultKind
+
+
+class TestCommon:
+    def test_every_fault_kind_maps_to_a_catalog_event(self):
+        catalog = default_catalog()
+        assert set(FAULT_EVENT_NAME) == set(FaultKind)
+        for name in FAULT_EVENT_NAME.values():
+            assert catalog.logical_name(name) is not None
+
+    def test_fault_to_period(self):
+        catalog = default_catalog()
+        fault = Fault(FaultKind.SLOW_IO, "vm-1", 100.0, 60.0)
+        period = fault_to_period(fault, catalog)
+        assert period.name == "slow_io"
+        assert (period.start, period.end) == (100.0, 160.0)
+
+    def test_fleet_cdi_dilution(self):
+        catalog = default_catalog()
+        faults = [Fault(FaultKind.VM_DOWN, "vm-0", 0.0, 86400.0)]
+        periods = periods_by_vm(faults, catalog)
+        one = fleet_cdi(periods, full_day_services(["vm-0"]))
+        diluted = fleet_cdi(periods, full_day_services(
+            [f"vm-{i}" for i in range(10)]
+        ))
+        assert one.unavailability == pytest.approx(1.0)
+        assert diluted.unavailability == pytest.approx(0.1)
+
+
+@pytest.mark.slow
+class TestFig5Incidents:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return normalize_to_daily(simulate_incident_days(seed=0))
+
+    def test_data_plane_incidents_move_air_dp_and_cdi_u(self, rows):
+        for day in ("20240425", "20240702"):
+            assert rows[day]["AIR"] > 1.5
+            assert rows[day]["DP"] > 5.0
+            assert rows[day]["CDI-U"] > 5.0
+
+    def test_control_plane_incident_invisible_to_air_dp(self, rows):
+        """The paper's key claim: AIR and DP cannot reflect 20250107."""
+        assert 0.5 < rows["20250107"]["AIR"] < 1.5
+        assert 0.5 < rows["20250107"]["DP"] < 1.5
+
+    def test_control_plane_incident_visible_to_cdi(self, rows):
+        assert rows["20250107"]["CDI-C"] > 10.0
+
+
+@pytest.mark.slow
+class TestFig6FiscalYear:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        return simulate_fiscal_year(seed=0)
+
+    def test_twelve_months(self, curve):
+        assert len(curve) == 12
+        assert curve[0].month == "Apr"
+        assert curve[-1].month == "Mar"
+
+    def test_reductions_match_paper_shape(self, curve):
+        """Paper: -40% U, -80% P, -35% C; Performance falls the most."""
+        reductions = year_over_year_reduction(curve)
+        assert 0.15 <= reductions[EventCategory.UNAVAILABILITY] <= 0.60
+        assert 0.55 <= reductions[EventCategory.PERFORMANCE] <= 0.95
+        assert 0.10 <= reductions[EventCategory.CONTROL_PLANE] <= 0.55
+        assert reductions[EventCategory.PERFORMANCE] == max(
+            reductions.values()
+        )
+
+    def test_smoothing_preserves_length_and_reduces_variance(self, curve):
+        import numpy as np
+
+        smooth = smoothed(curve, window=3)
+        assert len(smooth) == len(curve)
+        raw = np.array([m.report.performance for m in curve])
+        flat = np.array([m.report.performance for m in smooth])
+        assert np.std(np.diff(flat)) <= np.std(np.diff(raw)) + 1e-12
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            simulate_fiscal_year(months=1)
+        with pytest.raises(ValueError):
+            year_over_year_reduction(simulate_fiscal_year(months=4), edge=3)
+
+
+@pytest.mark.slow
+class TestFig8Architecture:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        return simulate_architecture_comparison(seed=0)
+
+    def test_arms_track_before_onset(self, curve):
+        assert 0.5 < divergence_ratio(curve, (1, 12)) < 2.0
+
+    def test_hybrid_diverges_after_day_13(self, curve):
+        assert divergence_ratio(curve, (14, 20)) > 5.0
+
+    def test_converged_by_day_28(self, curve):
+        assert 0.4 < divergence_ratio(curve, (27, 28)) < 2.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_architecture_comparison(days=10, bug_onset=20)
+
+
+@pytest.mark.slow
+class TestFig9EventLevel:
+    @pytest.fixture(scope="class")
+    def curves(self):
+        return simulate_event_level_curves(seed=0)
+
+    def test_case6_spike_on_day_14(self, curves):
+        spike = curves.allocation_failed[curves.spike_day - 1]
+        others = [
+            v for i, v in enumerate(curves.allocation_failed)
+            if i != curves.spike_day - 1
+        ]
+        assert spike > 5.0 * max(others)
+
+    def test_case6_reverts_next_day(self, curves):
+        after = curves.allocation_failed[curves.spike_day]
+        spike = curves.allocation_failed[curves.spike_day - 1]
+        assert after < spike / 5.0
+
+    def test_case7_dip_window_low(self, curves):
+        import numpy as np
+
+        normal = np.mean(curves.power_tdp[: curves.dip_start - 1])
+        bottom = curves.power_tdp[curves.dip_end - 1]
+        assert bottom < normal / 5.0
+
+    def test_case7_recovers(self, curves):
+        import numpy as np
+
+        normal = np.mean(curves.power_tdp[: curves.dip_start - 1])
+        recovered = np.mean(curves.power_tdp[curves.dip_end + 1:])
+        assert recovered > normal / 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_event_level_curves(days=10, spike_day=20)

@@ -1,0 +1,60 @@
+"""Tests for normality and homogeneity checks."""
+
+import numpy as np
+import pytest
+
+from repro.stats.assumptions import (
+    all_normal,
+    levene_homogeneity,
+    shapiro_normality,
+)
+
+
+def normal_groups(seed=0, scale=(1.0, 1.0, 1.0), n=60):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(0.0, s, n) for s in scale]
+
+
+class TestShapiro:
+    def test_normal_data_passes(self):
+        results = shapiro_normality(normal_groups())
+        assert all(r.passed for r in results)
+        assert all_normal(normal_groups())
+
+    def test_exponential_data_fails(self):
+        rng = np.random.default_rng(1)
+        groups = [rng.exponential(1.0, 100) for _ in range(2)]
+        results = shapiro_normality(groups)
+        assert not any(r.passed for r in results)
+        assert not all_normal(groups)
+
+    def test_constant_group_reported_non_normal(self):
+        groups = [np.ones(20), np.random.default_rng(0).normal(0, 1, 20)]
+        results = shapiro_normality(groups)
+        assert not results[0].passed
+        assert results[0].pvalue == 0.0
+
+    def test_too_few_groups_rejected(self):
+        with pytest.raises(ValueError):
+            shapiro_normality([[1.0, 2.0, 3.0]])
+
+    def test_tiny_group_rejected(self):
+        with pytest.raises(ValueError):
+            shapiro_normality([[1.0, 2.0], [1.0, 2.0, 3.0]])
+
+
+class TestLevene:
+    def test_equal_variances_pass(self):
+        result = levene_homogeneity(normal_groups(scale=(1.0, 1.0, 1.0)))
+        assert result.passed
+
+    def test_unequal_variances_fail(self):
+        result = levene_homogeneity(
+            normal_groups(scale=(1.0, 10.0, 1.0), n=200)
+        )
+        assert not result.passed
+
+    def test_all_constant_groups_trivially_pass(self):
+        result = levene_homogeneity([np.ones(10), np.full(10, 2.0)])
+        assert result.passed
+        assert result.pvalue == 1.0

@@ -1,0 +1,93 @@
+"""Tests for the omnibus tests (ANOVA, Welch, Kruskal-Wallis)."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.stats.omnibus import kruskal_wallis, one_way_anova, welch_anova
+
+
+def shifted_groups(seed=0, shifts=(0.0, 0.0, 0.0), scale=1.0, n=50):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(shift, scale, n) for shift in shifts]
+
+
+class TestOneWayAnova:
+    def test_matches_scipy(self):
+        groups = shifted_groups(shifts=(0.0, 0.5, 1.0))
+        ours = one_way_anova(groups)
+        scipy_f, scipy_p = sps.f_oneway(*groups)
+        assert ours.statistic == pytest.approx(float(scipy_f))
+        assert ours.pvalue == pytest.approx(float(scipy_p))
+
+    def test_detects_separation(self):
+        result = one_way_anova(shifted_groups(shifts=(0.0, 3.0, 6.0)))
+        assert result.significant(0.05)
+
+    def test_null_not_significant(self):
+        result = one_way_anova(shifted_groups(seed=5))
+        assert not result.significant(0.01)
+
+    def test_constant_identical_groups(self):
+        result = one_way_anova([[1.0, 1.0, 1.0], [1.0, 1.0, 1.0]])
+        assert result.pvalue == 1.0
+
+    def test_constant_distinct_groups(self):
+        result = one_way_anova([[1.0, 1.0, 1.0], [2.0, 2.0, 2.0]])
+        assert result.pvalue == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            one_way_anova([[1.0, 2.0]])
+        with pytest.raises(ValueError):
+            one_way_anova([[1.0], [2.0]])
+
+
+class TestWelchAnova:
+    def test_detects_separation_under_heteroscedasticity(self):
+        groups = shifted_groups(shifts=(0.0, 2.0), scale=1.0)
+        groups[1] = groups[1] * 3.0  # inflate variance of group 2
+        result = welch_anova(groups)
+        assert result.significant(0.05)
+
+    def test_null_not_significant(self):
+        rng = np.random.default_rng(2)
+        groups = [rng.normal(0, 1, 50), rng.normal(0, 5, 80),
+                  rng.normal(0, 0.5, 30)]
+        result = welch_anova(groups)
+        assert not result.significant(0.01)
+
+    def test_two_equal_size_groups_matches_welch_ttest(self):
+        rng = np.random.default_rng(3)
+        a, b = rng.normal(0, 1, 40), rng.normal(1, 3, 40)
+        ours = welch_anova([a, b])
+        _, p_ttest = sps.ttest_ind(a, b, equal_var=False)
+        assert ours.pvalue == pytest.approx(float(p_ttest), rel=1e-6)
+
+    def test_constant_group_degenerate(self):
+        result = welch_anova([[1.0, 1.0, 1.0], [2.0, 2.1, 1.9]])
+        assert result.pvalue == 0.0
+
+    def test_df_within_reasonable(self):
+        groups = shifted_groups(shifts=(0.0, 0.0), n=30)
+        result = welch_anova(groups)
+        assert 0 < result.df_within <= 58
+
+
+class TestKruskalWallis:
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(4)
+        groups = [rng.exponential(1.0, 50), rng.exponential(2.0, 60)]
+        ours = kruskal_wallis(groups)
+        scipy_h, scipy_p = sps.kruskal(*groups)
+        assert ours.statistic == pytest.approx(float(scipy_h))
+        assert ours.pvalue == pytest.approx(float(scipy_p))
+
+    def test_detects_shift_in_skewed_data(self):
+        rng = np.random.default_rng(5)
+        groups = [rng.exponential(1.0, 80), rng.exponential(1.0, 80) + 2.0]
+        assert kruskal_wallis(groups).significant(0.05)
+
+    def test_all_identical_values(self):
+        result = kruskal_wallis([[1.0, 1.0, 1.0], [1.0, 1.0]])
+        assert result.pvalue == 1.0

@@ -1,0 +1,117 @@
+"""Tests for post-hoc pairwise comparisons."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.stats.posthoc import dunn, games_howell, tukey_hsd, tukey_kramer
+
+
+def groups_with_outlier_mean(seed=0, n=40):
+    """Groups A and C similar, B clearly shifted."""
+    rng = np.random.default_rng(seed)
+    return [
+        rng.normal(0.40, 0.05, n),
+        rng.normal(0.08, 0.05, n),
+        rng.normal(0.42, 0.05, n),
+    ]
+
+
+class TestTukeyHsd:
+    def test_identifies_only_true_differences(self):
+        groups = groups_with_outlier_mean()
+        results = {(r.group_a, r.group_b): r for r in tukey_hsd(groups)}
+        assert results[(0, 1)].significant(0.05)
+        assert results[(1, 2)].significant(0.05)
+        assert not results[(0, 2)].significant(0.05)
+
+    def test_matches_scipy_tukey(self):
+        groups = groups_with_outlier_mean(seed=1)
+        ours = tukey_hsd(groups)
+        scipy_result = sps.tukey_hsd(*groups)
+        for r in ours:
+            assert r.pvalue == pytest.approx(
+                float(scipy_result.pvalue[r.group_a, r.group_b]), abs=1e-6
+            )
+
+    def test_kramer_handles_unequal_sizes(self):
+        rng = np.random.default_rng(2)
+        groups = [rng.normal(0, 1, 20), rng.normal(4, 1, 55),
+                  rng.normal(0, 1, 33)]
+        results = {(r.group_a, r.group_b): r for r in tukey_kramer(groups)}
+        assert results[(0, 1)].significant(0.05)
+        assert not results[(0, 2)].significant(0.05)
+
+    def test_all_pairs_returned(self):
+        groups = groups_with_outlier_mean()
+        assert len(tukey_hsd(groups)) == 3
+
+    def test_constant_groups(self):
+        results = tukey_hsd([[1.0, 1.0], [2.0, 2.0]])
+        assert results[0].pvalue == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tukey_hsd([[1.0, 2.0]])
+
+
+class TestGamesHowell:
+    def test_heteroscedastic_difference_found(self):
+        rng = np.random.default_rng(3)
+        groups = [rng.normal(0, 0.1, 40), rng.normal(2, 3.0, 40),
+                  rng.normal(0, 0.1, 40)]
+        results = {(r.group_a, r.group_b): r for r in games_howell(groups)}
+        assert results[(0, 1)].significant(0.05)
+        assert not results[(0, 2)].significant(0.05)
+
+    def test_null_no_findings(self):
+        rng = np.random.default_rng(4)
+        groups = [rng.normal(0, 1, 60) for _ in range(3)]
+        assert not any(r.significant(0.01) for r in games_howell(groups))
+
+    def test_zero_variance_pair(self):
+        results = games_howell([[1.0, 1.0, 1.0], [5.0, 5.0, 5.0]])
+        assert results[0].pvalue == 0.0
+
+
+class TestDunn:
+    def test_skewed_difference_found(self):
+        rng = np.random.default_rng(5)
+        groups = [rng.exponential(1.0, 60), rng.exponential(1.0, 60) + 3.0,
+                  rng.exponential(1.0, 60)]
+        results = {(r.group_a, r.group_b): r for r in dunn(groups)}
+        assert results[(0, 1)].significant(0.05)
+        assert results[(1, 2)].significant(0.05)
+        assert not results[(0, 2)].significant(0.05)
+
+    def test_adjustment_orders(self):
+        rng = np.random.default_rng(6)
+        groups = [rng.normal(i * 0.5, 1, 40) for i in range(3)]
+        raw = {(r.group_a, r.group_b): r.pvalue
+               for r in dunn(groups, adjust="none")}
+        bonf = {(r.group_a, r.group_b): r.pvalue
+                for r in dunn(groups, adjust="bonferroni")}
+        holm = {(r.group_a, r.group_b): r.pvalue
+                for r in dunn(groups, adjust="holm")}
+        for pair in raw:
+            assert raw[pair] <= holm[pair] + 1e-12
+            assert holm[pair] <= bonf[pair] + 1e-12
+
+    def test_holm_monotone_in_raw_order(self):
+        rng = np.random.default_rng(7)
+        groups = [rng.normal(i, 1, 30) for i in range(4)]
+        raw = dunn(groups, adjust="none")
+        holm = dunn(groups, adjust="holm")
+        order_raw = sorted(range(len(raw)), key=lambda i: raw[i].pvalue)
+        holm_sorted = [holm[i].pvalue for i in order_raw]
+        assert holm_sorted == sorted(holm_sorted)
+
+    def test_tied_data_does_not_crash(self):
+        groups = [[1.0, 1.0, 2.0, 2.0], [1.0, 2.0, 2.0, 2.0],
+                  [5.0, 5.0, 6.0, 6.0]]
+        results = dunn(groups)
+        assert len(results) == 3
+
+    def test_unknown_adjustment_rejected(self):
+        with pytest.raises(ValueError):
+            dunn([[1.0, 2.0], [3.0, 4.0]], adjust="fdr")

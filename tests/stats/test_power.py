@@ -1,0 +1,110 @@
+"""Tests for A/B sample-size and power analysis."""
+
+import numpy as np
+import pytest
+
+from repro.stats.power import (
+    achieved_power,
+    detectable_difference,
+    plan_experiment,
+    required_sample_size,
+)
+
+
+class TestRequiredSampleSize:
+    def test_textbook_value(self):
+        # d = delta/sigma = 0.5, alpha 0.05 two-sided, power 0.8:
+        # classic answer ~64 per arm.
+        n = required_sample_size(0.5, 1.0)
+        assert 62 <= n <= 66
+
+    def test_smaller_effect_needs_more_samples(self):
+        assert required_sample_size(0.1, 1.0) > required_sample_size(0.5, 1.0)
+
+    def test_higher_power_needs_more_samples(self):
+        assert (
+            required_sample_size(0.5, 1.0, power=0.95)
+            > required_sample_size(0.5, 1.0, power=0.8)
+        )
+
+    def test_one_sided_needs_fewer(self):
+        assert (
+            required_sample_size(0.5, 1.0, two_sided=False)
+            < required_sample_size(0.5, 1.0, two_sided=True)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_sample_size(0.0, 1.0)
+        with pytest.raises(ValueError):
+            required_sample_size(0.5, 0.0)
+        with pytest.raises(ValueError):
+            required_sample_size(0.5, 1.0, alpha=1.5)
+        with pytest.raises(ValueError):
+            required_sample_size(0.5, 1.0, power=0.0)
+
+
+class TestRoundTrips:
+    def test_detectable_difference_inverts_sample_size(self):
+        n = required_sample_size(0.2, 1.0)
+        delta = detectable_difference(n, 1.0)
+        assert delta <= 0.2 + 0.01  # ceil() only helps
+
+    def test_achieved_power_at_planned_n(self):
+        n = required_sample_size(0.3, 1.0, power=0.8)
+        assert achieved_power(n, 0.3, 1.0) >= 0.8 - 1e-6
+
+    def test_power_monotone_in_n(self):
+        assert achieved_power(200, 0.2, 1.0) > achieved_power(50, 0.2, 1.0)
+
+    def test_zero_delta_power_is_alpha_half(self):
+        # With no true difference, "power" collapses to the one-tail
+        # false positive rate.
+        assert achieved_power(100, 0.0, 1.0, alpha=0.05) == pytest.approx(
+            0.025, abs=1e-3
+        )
+
+    def test_empirical_power_matches_prediction(self):
+        """Monte-Carlo check: the z-approximation predicts reality."""
+        rng = np.random.default_rng(0)
+        n = required_sample_size(0.5, 1.0, power=0.8)
+        from scipy import stats as sps
+
+        rejections = 0
+        trials = 400
+        for _ in range(trials):
+            a = rng.normal(0.0, 1.0, n)
+            b = rng.normal(0.5, 1.0, n)
+            _, p = sps.ttest_ind(a, b)
+            if p < 0.05:
+                rejections += 1
+        assert rejections / trials == pytest.approx(0.8, abs=0.08)
+
+
+class TestPlanExperiment:
+    def test_case8_shape_implies_months(self):
+        """Three arms, sigma ~0.1, smallest interesting gap 0.02
+        (the paper's A-C difference): detecting it takes months at a
+        modest hit rate — consistent with the paper's 3-month run."""
+        plan = plan_experiment(arms=3, hits_per_day=15, sigma=0.10,
+                               target_delta=0.02)
+        assert plan.days >= 60
+        assert plan.per_arm_n >= required_sample_size(0.02, 0.10) - 1
+
+    def test_big_effects_resolve_quickly(self):
+        plan = plan_experiment(arms=2, hits_per_day=100, sigma=0.10,
+                               target_delta=0.30)
+        assert plan.days <= 2
+
+    def test_detectable_delta_consistent(self):
+        plan = plan_experiment(arms=3, hits_per_day=30, sigma=0.1,
+                               target_delta=0.05)
+        assert plan.detectable_delta <= 0.05 + 0.005
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_experiment(arms=1, hits_per_day=10, sigma=0.1,
+                            target_delta=0.1)
+        with pytest.raises(ValueError):
+            plan_experiment(arms=2, hits_per_day=0.0, sigma=0.1,
+                            target_delta=0.1)

@@ -1,0 +1,93 @@
+"""Property-based tests on the statistical test implementations."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.omnibus import kruskal_wallis, one_way_anova, welch_anova
+from repro.stats.posthoc import dunn, games_howell, tukey_hsd
+
+group_st = st.lists(
+    st.floats(min_value=-100.0, max_value=100.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=5, max_size=30,
+)
+groups_st = st.lists(group_st, min_size=2, max_size=4)
+shift_st = st.floats(min_value=-50.0, max_value=50.0,
+                     allow_nan=False, allow_infinity=False)
+
+
+class TestOmnibusProperties:
+    @given(groups_st)
+    @settings(max_examples=60, deadline=None)
+    def test_pvalues_in_unit_interval(self, groups):
+        for test in (one_way_anova, welch_anova, kruskal_wallis):
+            result = test(groups)
+            assert 0.0 <= result.pvalue <= 1.0
+            assert result.statistic >= 0.0 or result.statistic == float("inf")
+
+    @given(groups_st, shift_st)
+    @settings(max_examples=60, deadline=None)
+    def test_anova_invariant_under_common_shift(self, groups, shift):
+        """Adding the same constant to every observation changes
+        nothing — the F statistic depends only on relative structure."""
+        base = one_way_anova(groups)
+        shifted = one_way_anova([[x + shift for x in g] for g in groups])
+        assert np.isclose(base.pvalue, shifted.pvalue, atol=1e-9)
+
+    @given(groups_st)
+    @settings(max_examples=60, deadline=None)
+    def test_anova_invariant_under_group_order(self, groups):
+        base = one_way_anova(groups)
+        reordered = one_way_anova(list(reversed(groups)))
+        assert np.isclose(base.pvalue, reordered.pvalue, atol=1e-9)
+
+    @given(group_st)
+    @settings(max_examples=60, deadline=None)
+    def test_identical_groups_never_significant(self, group):
+        result = one_way_anova([list(group), list(group)])
+        assert result.pvalue > 0.99 or np.isnan(result.statistic) is False
+        assert not result.significant(0.05)
+
+    # Scale up only (powers of two): scaling down can underflow
+    # subnormal inputs to zero and create new ties.
+    @given(groups_st, st.sampled_from([2.0, 4.0, 8.0]))
+    @settings(max_examples=60, deadline=None)
+    def test_kruskal_invariant_under_monotone_scaling(self, groups, scale):
+        """Rank-based tests only see order, so positive scaling is a
+        no-op (power-of-two scales keep float comparisons exact)."""
+        base = kruskal_wallis(groups)
+        scaled = kruskal_wallis([[x * scale for x in g] for g in groups])
+        assert np.isclose(base.pvalue, scaled.pvalue, atol=1e-9)
+
+
+class TestPosthocProperties:
+    @given(groups_st)
+    @settings(max_examples=40, deadline=None)
+    def test_pair_count_and_pvalues(self, groups):
+        k = len(groups)
+        expected_pairs = k * (k - 1) // 2
+        for test in (tukey_hsd, games_howell, dunn):
+            results = test(groups)
+            assert len(results) == expected_pairs
+            for pair in results:
+                assert 0.0 <= pair.pvalue <= 1.0
+                assert pair.group_a < pair.group_b
+
+    @given(groups_st)
+    @settings(max_examples=40, deadline=None)
+    def test_dunn_adjustment_only_raises_pvalues(self, groups):
+        raw = dunn(groups, adjust="none")
+        for method in ("holm", "bonferroni"):
+            adjusted = dunn(groups, adjust=method)
+            for r, a in zip(raw, adjusted):
+                assert a.pvalue >= r.pvalue - 1e-12
+
+    @given(group_st, shift_st)
+    @settings(max_examples=40, deadline=None)
+    def test_tukey_symmetric_in_group_swap(self, group, shift):
+        a = list(group)
+        b = [x + shift for x in group]
+        first = tukey_hsd([a, b])[0]
+        second = tukey_hsd([b, a])[0]
+        assert np.isclose(first.pvalue, second.pvalue, atol=1e-9)

@@ -1,0 +1,81 @@
+"""Tests for the Fig. 10 test-selection workflow."""
+
+import numpy as np
+import pytest
+
+from repro.stats.workflow import HypothesisTestWorkflow
+
+
+def named(groups):
+    return {f"g{i}": g for i, g in enumerate(groups)}
+
+
+class TestBranchSelection:
+    def test_normal_homogeneous_uses_anova_and_tukey(self):
+        rng = np.random.default_rng(0)
+        groups = named([rng.normal(i * 2.0, 1.0, 60) for i in range(3)])
+        result = HypothesisTestWorkflow().run(groups)
+        assert result.omnibus.test == "one_way_anova"
+        assert result.omnibus_significant
+        assert result.posthoc_test == "tukey_hsd"
+        assert result.pairs
+
+    def test_normal_heteroscedastic_uses_welch_and_games_howell(self):
+        rng = np.random.default_rng(1)
+        groups = named([
+            rng.normal(0.0, 0.2, 100),
+            rng.normal(3.0, 4.0, 100),
+            rng.normal(0.0, 0.2, 100),
+        ])
+        result = HypothesisTestWorkflow().run(groups)
+        assert result.omnibus.test == "welch_anova"
+        assert result.homogeneity is not None
+        assert not result.homogeneity.passed
+        assert result.posthoc_test == "games_howell"
+
+    def test_non_normal_uses_kruskal_and_dunn(self):
+        rng = np.random.default_rng(2)
+        groups = named([
+            rng.exponential(1.0, 80),
+            rng.exponential(1.0, 80) + 3.0,
+            rng.exponential(1.0, 80),
+        ])
+        result = HypothesisTestWorkflow().run(groups)
+        assert result.omnibus.test == "kruskal_wallis"
+        assert result.homogeneity is None
+        assert result.posthoc_test == "dunn"
+
+    def test_posthoc_skipped_when_not_significant(self):
+        rng = np.random.default_rng(3)
+        groups = named([rng.normal(0.0, 1.0, 50) for _ in range(3)])
+        result = HypothesisTestWorkflow(alpha=0.01).run(groups)
+        assert not result.omnibus_significant
+        assert result.posthoc_test is None
+        assert result.pairs == ()
+
+    def test_posthoc_skipped_for_two_groups(self):
+        rng = np.random.default_rng(4)
+        groups = named([rng.normal(0.0, 1.0, 50),
+                        rng.normal(5.0, 1.0, 50)])
+        result = HypothesisTestWorkflow().run(groups)
+        assert result.omnibus_significant
+        assert result.posthoc_test is None
+
+    def test_significant_pairs_labelled_with_names(self):
+        rng = np.random.default_rng(5)
+        groups = {
+            "A": rng.normal(0.40, 0.05, 60),
+            "B": rng.normal(0.08, 0.05, 60),
+            "C": rng.normal(0.42, 0.05, 60),
+        }
+        result = HypothesisTestWorkflow().run(groups)
+        # B differs from both A and C for sure; A-C (0.40 vs 0.42) is
+        # borderline — the paper's own Table V finds it significant at
+        # p = 0.03, so either outcome is acceptable here.
+        assert {("A", "B"), ("B", "C")} <= set(result.significant_pairs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HypothesisTestWorkflow(alpha=0.0)
+        with pytest.raises(ValueError):
+            HypothesisTestWorkflow().run({"only": [1.0, 2.0, 3.0]})

@@ -1,0 +1,72 @@
+"""Tests for the MySQL-like versioned config store."""
+
+import pytest
+
+from repro.storage.configdb import (
+    ConfigDB,
+    ConfigNotFoundError,
+    StaleVersionError,
+)
+
+
+class TestConfigDB:
+    def test_put_and_get_latest(self):
+        db = ConfigDB()
+        db.put("weights", {"slow_io": 2})
+        record = db.get("weights")
+        assert record.version == 1
+        assert record.value == {"slow_io": 2}
+
+    def test_versions_increment(self):
+        db = ConfigDB()
+        db.put("weights", {"v": 1})
+        db.put("weights", {"v": 2})
+        assert db.get("weights").version == 2
+        assert db.get("weights", version=1).value == {"v": 1}
+
+    def test_missing_key(self):
+        with pytest.raises(ConfigNotFoundError):
+            ConfigDB().get("nope")
+
+    def test_missing_version(self):
+        db = ConfigDB()
+        db.put("k", 1)
+        with pytest.raises(ConfigNotFoundError):
+            db.get("k", version=7)
+
+    def test_optimistic_concurrency(self):
+        db = ConfigDB()
+        db.put("k", 1)
+        db.put("k", 2, expected_version=1)
+        with pytest.raises(StaleVersionError):
+            db.put("k", 3, expected_version=1)
+
+    def test_non_serializable_rejected(self):
+        db = ConfigDB()
+        with pytest.raises(TypeError):
+            db.put("k", object())
+
+    def test_stored_value_isolated_from_caller(self):
+        db = ConfigDB()
+        value = {"nested": [1, 2]}
+        db.put("k", value)
+        value["nested"].append(3)
+        assert db.get("k").value == {"nested": [1, 2]}
+
+    def test_copy_value_isolated_from_store(self):
+        db = ConfigDB()
+        db.put("k", {"nested": [1]})
+        copied = db.get("k").copy_value()
+        copied["nested"].append(2)
+        assert db.get("k").value == {"nested": [1]}
+
+    def test_history_and_keys(self):
+        db = ConfigDB()
+        db.put("a", 1)
+        db.put("a", 2)
+        db.put("b", 1)
+        assert [r.version for r in db.history("a")] == [1, 2]
+        assert db.keys() == ["a", "b"]
+        assert "a" in db
+        with pytest.raises(ConfigNotFoundError):
+            db.history("zzz")

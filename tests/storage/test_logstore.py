@@ -1,0 +1,86 @@
+"""Tests for the SLS-like log store."""
+
+import pytest
+
+from repro.storage.logstore import LogEntry, LogStore
+
+
+class TestLogStore:
+    def test_append_and_query_range(self):
+        store = LogStore()
+        store.append(10.0, name="slow_io", target="vm-1")
+        store.append(20.0, name="vm_down", target="vm-2")
+        store.append(30.0, name="slow_io", target="vm-1")
+        hits = list(store.query(10.0, 30.0))
+        assert [e.time for e in hits] == [10.0, 20.0]
+
+    def test_query_end_exclusive_start_inclusive(self):
+        store = LogStore()
+        store.append(10.0, name="a")
+        hits_in = list(store.query(10.0, 10.1))
+        hits_out = list(store.query(9.0, 10.0))
+        assert len(hits_in) == 1
+        assert len(hits_out) == 0
+
+    def test_field_filters(self):
+        store = LogStore()
+        store.append(1.0, name="slow_io", target="vm-1")
+        store.append(2.0, name="slow_io", target="vm-2")
+        hits = list(store.query(0.0, 10.0, target="vm-2"))
+        assert len(hits) == 1
+        assert hits[0].get("target") == "vm-2"
+
+    def test_predicate_filter(self):
+        store = LogStore()
+        store.append(1.0, level=3)
+        store.append(2.0, level=1)
+        hits = list(store.query(0.0, 10.0, predicate=lambda e: e.get("level") > 2))
+        assert [e.time for e in hits] == [1.0]
+
+    def test_out_of_order_appends_sorted(self):
+        store = LogStore()
+        store.append(30.0, name="c")
+        store.append(10.0, name="a")
+        store.append(20.0, name="b")
+        assert [e.get("name") for e in store.query(0.0, 100.0)] == ["a", "b", "c"]
+
+    def test_count(self):
+        store = LogStore()
+        for t in range(5):
+            store.append(float(t), name="x")
+        assert store.count(1.0, 4.0) == 3
+
+    def test_reversed_range_rejected(self):
+        with pytest.raises(ValueError):
+            list(LogStore().query(5.0, 1.0))
+
+    def test_retention_expires_old_entries(self):
+        store = LogStore(retention=100.0)
+        store.append(0.0, name="old")
+        store.append(50.0, name="mid")
+        store.append(200.0, name="new")  # cutoff 100: drops t=0, t=50
+        assert len(store) == 1
+        assert store.latest_time == 200.0
+
+    def test_explicit_expire(self):
+        store = LogStore(retention=10.0)
+        store.append(0.0, name="old")
+        assert store.expire(now=100.0) == 1
+        assert len(store) == 0
+
+    def test_invalid_retention(self):
+        with pytest.raises(ValueError):
+            LogStore(retention=0.0)
+
+    def test_extend_rows(self):
+        store = LogStore()
+        count = store.extend(rows=[(1.0, {"name": "a"}), (2.0, {"name": "b"})])
+        assert count == 2
+        assert len(store) == 2
+
+
+class TestLogEntry:
+    def test_get_default(self):
+        entry = LogEntry(time=1.0, fields={"a": 1})
+        assert entry.get("a") == 1
+        assert entry.get("b", "dflt") == "dflt"

@@ -1,0 +1,98 @@
+"""Tests for JSON persistence of the storage substrates."""
+
+import json
+
+import pytest
+
+from repro.storage.configdb import ConfigDB
+from repro.storage.persistence import (
+    load_config_db,
+    load_table_store,
+    save_config_db,
+    save_table_store,
+    snapshot_table,
+)
+from repro.storage.schema import Column, Schema
+from repro.storage.table import TableStore
+
+
+def make_store() -> TableStore:
+    store = TableStore()
+    table = store.create("vm_cdi", Schema([
+        Column("vm", str), Column("cdi", float),
+        Column("note", str, nullable=True),
+    ]))
+    table.append([{"vm": "a", "cdi": 0.1}], partition="d1")
+    table.append([{"vm": "b", "cdi": 0.2, "note": "x"}], partition="d2")
+    store.create("empty", Schema([Column("k", int)]))
+    return store
+
+
+class TestTableStorePersistence:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "store.json"
+        original = make_store()
+        save_table_store(original, path)
+        restored = load_table_store(path)
+        assert restored.names() == original.names()
+        table = restored.get("vm_cdi")
+        assert table.partitions == ["d1", "d2"]
+        assert table.rows(partition="d1") == [
+            {"vm": "a", "cdi": 0.1, "note": None}
+        ]
+        assert table.schema.names == ("vm", "cdi", "note")
+        assert table.schema.column("note").nullable
+
+    def test_empty_table_preserved(self, tmp_path):
+        path = tmp_path / "store.json"
+        save_table_store(make_store(), path)
+        restored = load_table_store(path)
+        assert restored.get("empty").count() == 0
+
+    def test_restored_rows_revalidated(self, tmp_path):
+        path = tmp_path / "store.json"
+        save_table_store(make_store(), path)
+        payload = json.loads(path.read_text())
+        payload["vm_cdi"]["partitions"]["d1"][0]["cdi"] = "corrupted"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(Exception):
+            load_table_store(path)
+
+    def test_snapshot_table(self, tmp_path):
+        path = tmp_path / "snap.json"
+        store = make_store()
+        count = snapshot_table(store.get("vm_cdi"), path)
+        assert count == 2
+        assert len(json.loads(path.read_text())) == 2
+
+    def test_snapshot_one_partition(self, tmp_path):
+        path = tmp_path / "snap.json"
+        store = make_store()
+        assert snapshot_table(store.get("vm_cdi"), path, partition="d1") == 1
+
+
+class TestConfigDbPersistence:
+    def test_roundtrip_with_history(self, tmp_path):
+        path = tmp_path / "config.json"
+        db = ConfigDB()
+        db.put("weights", {"v": 1})
+        db.put("weights", {"v": 2})
+        db.put("other", [1, 2, 3])
+        save_config_db(db, path)
+        restored = load_config_db(path)
+        assert restored.get("weights").version == 2
+        assert restored.get("weights", version=1).value == {"v": 1}
+        assert restored.get("other").value == [1, 2, 3]
+
+    def test_non_contiguous_versions_rejected(self, tmp_path):
+        path = tmp_path / "config.json"
+        path.write_text(json.dumps({
+            "k": [{"version": 1, "value": 1}, {"version": 3, "value": 2}]
+        }))
+        with pytest.raises(ValueError, match="non-contiguous"):
+            load_config_db(path)
+
+    def test_empty_db(self, tmp_path):
+        path = tmp_path / "config.json"
+        save_config_db(ConfigDB(), path)
+        assert load_config_db(path).keys() == []

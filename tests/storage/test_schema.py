@@ -1,0 +1,73 @@
+"""Tests for row schemas."""
+
+import pytest
+
+from repro.storage.schema import Column, Schema, SchemaError
+
+
+def make_schema() -> Schema:
+    return Schema([
+        Column("vm", str),
+        Column("cdi", float),
+        Column("count", int),
+        Column("note", str, nullable=True),
+    ])
+
+
+class TestColumn:
+    def test_accepts_matching_type(self):
+        assert Column("x", int).validate(3) == 3
+
+    def test_int_widens_to_float(self):
+        assert Column("x", float).validate(3) == 3.0
+        assert isinstance(Column("x", float).validate(3), float)
+
+    def test_bool_is_not_int(self):
+        with pytest.raises(SchemaError):
+            Column("x", int).validate(True)
+
+    def test_bool_is_not_float(self):
+        with pytest.raises(SchemaError):
+            Column("x", float).validate(True)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(SchemaError, match="expects str"):
+            Column("x", str).validate(3)
+
+    def test_null_handling(self):
+        assert Column("x", str, nullable=True).validate(None) is None
+        with pytest.raises(SchemaError, match="not nullable"):
+            Column("x", str).validate(None)
+
+
+class TestSchema:
+    def test_valid_row_normalized(self):
+        schema = make_schema()
+        row = schema.validate_row({"vm": "vm-1", "cdi": 0.1, "count": 2})
+        assert row == {"vm": "vm-1", "cdi": 0.1, "count": 2, "note": None}
+
+    def test_missing_required_column(self):
+        with pytest.raises(SchemaError, match="missing required"):
+            make_schema().validate_row({"vm": "vm-1", "count": 2})
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(SchemaError, match="unknown columns"):
+            make_schema().validate_row(
+                {"vm": "a", "cdi": 0.1, "count": 1, "bogus": 1}
+            )
+
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema([Column("a", int), Column("a", str)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_names_and_lookup(self):
+        schema = make_schema()
+        assert schema.names == ("vm", "cdi", "count", "note")
+        assert "cdi" in schema
+        assert schema.column("cdi").dtype is float
+        with pytest.raises(KeyError):
+            schema.column("nope")

@@ -1,0 +1,97 @@
+"""Tests for the MaxCompute-like table store."""
+
+import pytest
+
+from repro.storage.schema import Column, Schema, SchemaError
+from repro.storage.table import Table, TableNotFoundError, TableStore
+
+
+def make_table() -> Table:
+    schema = Schema([Column("vm", str), Column("value", float)])
+    return Table("indicators", schema)
+
+
+class TestTable:
+    def test_append_and_scan(self):
+        table = make_table()
+        assert table.append([{"vm": "a", "value": 0.1}]) == 1
+        assert table.rows() == [{"vm": "a", "value": 0.1}]
+
+    def test_append_validates_all_or_nothing(self):
+        table = make_table()
+        with pytest.raises(SchemaError):
+            table.append([{"vm": "a", "value": 0.1}, {"vm": "b"}])
+        assert table.count() == 0
+
+    def test_partitioned_writes(self):
+        table = make_table()
+        table.append([{"vm": "a", "value": 0.1}], partition="20240101")
+        table.append([{"vm": "b", "value": 0.2}], partition="20240102")
+        assert table.partitions == ["20240101", "20240102"]
+        assert table.count(partition="20240101") == 1
+        assert [r["vm"] for r in table.scan(partition="20240102")] == ["b"]
+
+    def test_overwrite_partition_is_idempotent(self):
+        table = make_table()
+        table.append([{"vm": "a", "value": 0.1}], partition="d")
+        table.overwrite_partition([{"vm": "b", "value": 0.5}], partition="d")
+        table.overwrite_partition([{"vm": "b", "value": 0.5}], partition="d")
+        assert table.rows(partition="d") == [{"vm": "b", "value": 0.5}]
+
+    def test_drop_partition(self):
+        table = make_table()
+        table.append([{"vm": "a", "value": 0.1}], partition="d")
+        table.drop_partition("d")
+        table.drop_partition("missing")  # no-op
+        assert table.count() == 0
+
+    def test_scan_with_predicate(self):
+        table = make_table()
+        table.append([{"vm": "a", "value": 0.1}, {"vm": "b", "value": 0.9}])
+        hot = list(table.scan(lambda r: r["value"] > 0.5))
+        assert [r["vm"] for r in hot] == ["b"]
+
+    def test_scan_returns_copies(self):
+        table = make_table()
+        table.append([{"vm": "a", "value": 0.1}])
+        row = next(table.scan())
+        row["value"] = 999.0
+        assert table.rows()[0]["value"] == 0.1
+
+    def test_scan_missing_partition_is_empty(self):
+        assert list(make_table().scan(partition="nope")) == []
+
+
+class TestTableStore:
+    def test_create_and_get(self):
+        store = TableStore()
+        schema = Schema([Column("x", int)])
+        table = store.create("t", schema)
+        assert store.get("t") is table
+        assert "t" in store
+        assert store.names() == ["t"]
+
+    def test_duplicate_create_rejected(self):
+        store = TableStore()
+        schema = Schema([Column("x", int)])
+        store.create("t", schema)
+        with pytest.raises(SchemaError, match="already exists"):
+            store.create("t", schema)
+
+    def test_if_not_exists_returns_existing(self):
+        store = TableStore()
+        schema = Schema([Column("x", int)])
+        first = store.create("t", schema)
+        second = store.create("t", schema, if_not_exists=True)
+        assert first is second
+
+    def test_missing_table_raises(self):
+        with pytest.raises(TableNotFoundError):
+            TableStore().get("nope")
+
+    def test_drop(self):
+        store = TableStore()
+        store.create("t", Schema([Column("x", int)]))
+        store.drop("t")
+        store.drop("t")  # no-op
+        assert "t" not in store

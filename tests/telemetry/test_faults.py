@@ -1,0 +1,94 @@
+"""Tests for fault injection ground truth."""
+
+import pytest
+
+from repro.core.events import EventCategory
+from repro.telemetry.faults import (
+    FAULT_CATEGORY,
+    Fault,
+    FaultInjector,
+    FaultKind,
+    FaultRate,
+    baseline_rates,
+)
+
+
+class TestFault:
+    def test_end_and_category(self):
+        fault = Fault(FaultKind.SLOW_IO, "vm-1", 100.0, 60.0)
+        assert fault.end == 160.0
+        assert fault.category is EventCategory.PERFORMANCE
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Fault(FaultKind.SLOW_IO, "vm-1", 100.0, -1.0)
+
+    def test_every_kind_has_a_category(self):
+        assert set(FAULT_CATEGORY) == set(FaultKind)
+
+
+class TestFaultRate:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultRate(FaultKind.SLOW_IO, -0.1, 60.0)
+        with pytest.raises(ValueError):
+            FaultRate(FaultKind.SLOW_IO, 0.1, 0.0)
+
+
+class TestFaultInjector:
+    def test_deterministic_for_seed(self):
+        rates = [FaultRate(FaultKind.SLOW_IO, 5.0, 60.0)]
+        a = FaultInjector(rates, seed=3).sample(["vm-1", "vm-2"], 0.0, 86400.0)
+        b = FaultInjector(rates, seed=3).sample(["vm-1", "vm-2"], 0.0, 86400.0)
+        assert a == b
+
+    def test_faults_within_window(self):
+        rates = [FaultRate(FaultKind.SLOW_IO, 10.0, 600.0)]
+        faults = FaultInjector(rates, seed=0).sample(["vm-1"], 1000.0, 87400.0)
+        assert faults
+        for fault in faults:
+            assert 1000.0 <= fault.start < 87400.0
+            assert fault.end <= 87400.0
+
+    def test_rate_scales_expected_count(self):
+        low = FaultInjector([FaultRate(FaultKind.SLOW_IO, 1.0, 60.0)], seed=0)
+        high = FaultInjector([FaultRate(FaultKind.SLOW_IO, 20.0, 60.0)], seed=0)
+        targets = [f"vm-{i}" for i in range(50)]
+        assert len(high.sample(targets, 0.0, 86400.0)) > len(
+            low.sample(targets, 0.0, 86400.0)
+        )
+
+    def test_zero_rate_produces_nothing(self):
+        injector = FaultInjector([FaultRate(FaultKind.SLOW_IO, 0.0, 60.0)])
+        assert injector.sample(["vm-1"], 0.0, 86400.0) == []
+
+    def test_reversed_window_rejected(self):
+        injector = FaultInjector([])
+        with pytest.raises(ValueError):
+            injector.sample(["vm-1"], 10.0, 5.0)
+
+    def test_output_sorted_by_time(self):
+        rates = [FaultRate(FaultKind.SLOW_IO, 10.0, 60.0)]
+        faults = FaultInjector(rates, seed=0).sample(
+            [f"vm-{i}" for i in range(10)], 0.0, 86400.0
+        )
+        times = [f.start for f in faults]
+        assert times == sorted(times)
+
+
+class TestBaselineRates:
+    def test_scaling(self):
+        full = baseline_rates(1.0)
+        half = baseline_rates(0.5)
+        for a, b in zip(full, half):
+            assert b.per_target_per_day == pytest.approx(
+                a.per_target_per_day / 2
+            )
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            baseline_rates(-1.0)
+
+    def test_covers_all_three_categories(self):
+        categories = {FAULT_CATEGORY[r.kind] for r in baseline_rates()}
+        assert categories == set(EventCategory)

@@ -1,0 +1,60 @@
+"""Tests for synthetic log rendering."""
+
+import pytest
+
+from repro.telemetry.faults import Fault, FaultKind
+from repro.telemetry.logs import LogGenerator, render_fault_logs
+
+
+class TestRenderFaultLogs:
+    def test_nic_flapping_matches_paper_fig1(self):
+        fault = Fault(FaultKind.NIC_FLAPPING, "nc-1", 100.0, 30.0)
+        lines = render_fault_logs(fault)
+        assert any("NIC Link is Down" in l.line for l in lines)
+        assert any("NIC Link is Up" in l.line for l in lines)
+        assert all(l.target == "nc-1" for l in lines)
+
+    def test_ddos_emits_add_and_del(self):
+        fault = Fault(FaultKind.DDOS_BLACKHOLE, "vm-1", 0.0, 120.0)
+        lines = render_fault_logs(fault)
+        assert lines[0].time == 0.0
+        assert "added" in lines[0].line
+        assert lines[1].time == 120.0
+        assert "removed" in lines[1].line
+
+    def test_unloggable_kind_is_silent(self):
+        fault = Fault(FaultKind.POWER_SENSOR_ZERO, "nc-1", 0.0, 60.0)
+        assert render_fault_logs(fault) == []
+
+
+class TestLogGenerator:
+    def test_fault_lines_within_window_kept(self):
+        gen = LogGenerator(seed=0, noise_per_target_per_hour=0.0)
+        fault = Fault(FaultKind.VM_DOWN, "vm-1", 100.0, 60.0)
+        lines = gen.emit(["vm-1"], 0.0, 3600.0, [fault])
+        assert len(lines) == 1
+        assert "panicked" in lines[0].line
+
+    def test_fault_lines_outside_window_dropped(self):
+        gen = LogGenerator(seed=0, noise_per_target_per_hour=0.0)
+        fault = Fault(FaultKind.VM_DOWN, "vm-1", 5000.0, 60.0)
+        assert gen.emit(["vm-1"], 0.0, 3600.0, [fault]) == []
+
+    def test_noise_lines_emitted(self):
+        gen = LogGenerator(seed=0, noise_per_target_per_hour=10.0)
+        lines = gen.emit(["vm-1", "vm-2"], 0.0, 3600.0)
+        assert lines
+        assert all(0.0 <= l.time < 3600.0 for l in lines)
+
+    def test_output_sorted(self):
+        gen = LogGenerator(seed=0, noise_per_target_per_hour=5.0)
+        fault = Fault(FaultKind.NIC_FLAPPING, "nc-1", 1800.0, 30.0)
+        lines = gen.emit(["nc-1"], 0.0, 3600.0, [fault])
+        times = [l.time for l in lines]
+        assert times == sorted(times)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            LogGenerator(noise_per_target_per_hour=-1.0)
+        with pytest.raises(ValueError):
+            LogGenerator().emit(["vm-1"], 10.0, 5.0)

@@ -1,0 +1,124 @@
+"""Tests for synthetic metric generation and fault overlays."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.faults import Fault, FaultKind
+from repro.telemetry.metrics import (
+    CPU_POWER,
+    HEARTBEAT,
+    READ_LATENCY,
+    DEFAULT_SPECS,
+    MetricGenerator,
+    apply_fault,
+    healthy_series,
+)
+
+
+class TestHealthySeries:
+    def test_stays_above_floor(self):
+        rng = np.random.default_rng(0)
+        times = np.arange(0.0, 86400.0, 60.0)
+        spec = DEFAULT_SPECS[READ_LATENCY]
+        values = healthy_series(spec, times, rng)
+        assert (values >= spec.floor).all()
+
+    def test_daily_seasonality_present(self):
+        rng = np.random.default_rng(0)
+        times = np.arange(0.0, 86400.0, 60.0)
+        spec = DEFAULT_SPECS[CPU_POWER]
+        values = healthy_series(spec, times, rng)
+        # Evening (18:00-22:00) should average higher than early morning.
+        evening = values[(times >= 18 * 3600) & (times < 22 * 3600)].mean()
+        morning = values[(times >= 3 * 3600) & (times < 7 * 3600)].mean()
+        assert evening > morning
+
+    def test_heartbeat_is_constant_one(self):
+        rng = np.random.default_rng(0)
+        times = np.arange(0.0, 3600.0, 60.0)
+        values = healthy_series(DEFAULT_SPECS[HEARTBEAT], times, rng)
+        assert (values == 1.0).all()
+
+
+class TestApplyFault:
+    times = np.arange(0.0, 3600.0, 60.0)
+
+    def test_slow_io_raises_latency(self):
+        base = np.full_like(self.times, 2.0)
+        fault = Fault(FaultKind.SLOW_IO, "vm-1", 600.0, 300.0)
+        out = apply_fault(base, self.times, fault, READ_LATENCY)
+        mask = (self.times >= 600.0) & (self.times < 900.0)
+        assert (out[mask] >= 20.0).all()
+        assert (out[~mask] == 2.0).all()
+
+    def test_power_sensor_zero(self):
+        base = np.full_like(self.times, 180.0)
+        fault = Fault(FaultKind.POWER_SENSOR_ZERO, "nc-1", 0.0, 3600.0)
+        out = apply_fault(base, self.times, fault, CPU_POWER)
+        assert (out == 0.0).all()
+
+    def test_vm_down_kills_heartbeat(self):
+        base = np.ones_like(self.times)
+        fault = Fault(FaultKind.VM_DOWN, "vm-1", 1200.0, 600.0)
+        out = apply_fault(base, self.times, fault, HEARTBEAT)
+        mask = (self.times >= 1200.0) & (self.times < 1800.0)
+        assert (out[mask] == 0.0).all()
+        assert (out[~mask] == 1.0).all()
+
+    def test_unrelated_metric_untouched(self):
+        base = np.full_like(self.times, 2.0)
+        fault = Fault(FaultKind.VM_DOWN, "vm-1", 0.0, 3600.0)
+        out = apply_fault(base, self.times, fault, READ_LATENCY)
+        assert (out == base).all()
+
+    def test_input_not_mutated(self):
+        base = np.full_like(self.times, 2.0)
+        fault = Fault(FaultKind.SLOW_IO, "vm-1", 0.0, 3600.0)
+        apply_fault(base, self.times, fault, READ_LATENCY)
+        assert (base == 2.0).all()
+
+    def test_zero_duration_fault_touches_one_sample(self):
+        base = np.full_like(self.times, 2.0)
+        fault = Fault(FaultKind.SLOW_IO, "vm-1", 600.0, 0.0)
+        out = apply_fault(base, self.times, fault, READ_LATENCY)
+        assert (out != base).sum() == 1
+
+
+class TestMetricGenerator:
+    def test_deterministic_per_target(self):
+        gen = MetricGenerator(seed=5)
+        times = gen.sample_times(0.0, 3600.0)
+        a = gen.series_for("vm-1", READ_LATENCY, times)
+        b = gen.series_for("vm-1", READ_LATENCY, times)
+        assert (a == b).all()
+
+    def test_targets_are_independent(self):
+        gen = MetricGenerator(seed=5)
+        times = gen.sample_times(0.0, 3600.0)
+        a = gen.series_for("vm-1", READ_LATENCY, times)
+        b = gen.series_for("vm-2", READ_LATENCY, times)
+        assert not (a == b).all()
+
+    def test_fault_applied_only_to_its_target(self):
+        gen = MetricGenerator(seed=5)
+        times = gen.sample_times(0.0, 3600.0)
+        fault = Fault(FaultKind.SLOW_IO, "vm-1", 0.0, 3600.0)
+        faulted = gen.series_for("vm-1", READ_LATENCY, times, [fault])
+        clean = gen.series_for("vm-2", READ_LATENCY, times, [fault])
+        baseline_2 = gen.series_for("vm-2", READ_LATENCY, times)
+        assert faulted.mean() > 10.0
+        assert (clean == baseline_2).all()
+
+    def test_emit_cross_product(self):
+        gen = MetricGenerator(seed=5)
+        samples = gen.emit(["vm-1", "vm-2"], [READ_LATENCY, HEARTBEAT],
+                           0.0, 600.0, interval=60.0)
+        assert len(samples) == 2 * 2 * 10
+        assert {s.target for s in samples} == {"vm-1", "vm-2"}
+
+    def test_invalid_windows(self):
+        gen = MetricGenerator()
+        with pytest.raises(ValueError):
+            gen.sample_times(10.0, 0.0)
+        with pytest.raises(ValueError):
+            gen.sample_times(0.0, 10.0, interval=0.0)

@@ -1,0 +1,120 @@
+"""Tests for multi-granularity power telemetry (Section II-B, Case 7)."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.faults import Fault, FaultKind
+from repro.telemetry.power import (
+    PowerTelemetry,
+    build_power_topology,
+    check_consistency,
+)
+
+TIMES = np.arange(0.0, 3600.0, 300.0)
+
+
+def small_topology():
+    return build_power_topology(racks=1, machines_per_rack=2,
+                                sockets_per_machine=2, cores_per_socket=4)
+
+
+class TestTopology:
+    def test_node_counts(self):
+        roots = small_topology()
+        nodes = [n for root in roots for n in root.walk()]
+        levels = {}
+        for node in nodes:
+            levels[node.level] = levels.get(node.level, 0) + 1
+        assert levels == {"rack": 1, "machine": 2, "socket": 4, "core": 16}
+
+    def test_ids_hierarchical(self):
+        roots = small_topology()
+        for root in roots:
+            for node in root.walk():
+                if node.level != "rack":
+                    assert node.node_id.startswith("rack-")
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            build_power_topology(racks=0)
+
+
+class TestReadings:
+    def test_consistency_without_faults(self):
+        roots = small_topology()
+        readings = PowerTelemetry(seed=1).readings(roots, TIMES)
+        assert check_consistency(roots, readings) == []
+
+    def test_parent_equals_children_plus_overhead(self):
+        roots = small_topology()
+        readings = PowerTelemetry(seed=1).readings(roots, TIMES)
+        machine = roots[0].children[0]
+        children_sum = sum(
+            readings[s.node_id] for s in machine.children
+        ) + machine.overhead_watts
+        assert np.allclose(readings[machine.node_id], children_sum)
+
+    def test_core_power_positive_and_seasonal(self):
+        roots = small_topology()
+        times = np.arange(0.0, 86400.0, 600.0)
+        readings = PowerTelemetry(seed=1).readings(roots, times)
+        core_id = "rack-0/machine-0/socket-0/core-0"
+        core = readings[core_id]
+        assert (core > 0).all()
+        afternoon = core[(times >= 12 * 3600) & (times < 16 * 3600)].mean()
+        night = core[(times >= 0) & (times < 4 * 3600)].mean()
+        assert afternoon > night
+
+    def test_deterministic(self):
+        roots = small_topology()
+        a = PowerTelemetry(seed=2).readings(roots, TIMES)
+        b = PowerTelemetry(seed=2).readings(roots, TIMES)
+        for node_id in a:
+            assert (a[node_id] == b[node_id]).all()
+
+
+class TestCase7SensorBug:
+    def test_zeroed_sensor_reports_zero(self):
+        roots = small_topology()
+        machine_id = "rack-0/machine-0"
+        fault = Fault(FaultKind.POWER_SENSOR_ZERO, machine_id, 0.0, 3600.0)
+        readings = PowerTelemetry(seed=1).readings(roots, TIMES, [fault])
+        assert (readings[machine_id] == 0.0).all()
+
+    def test_children_keep_reporting(self):
+        roots = small_topology()
+        machine_id = "rack-0/machine-0"
+        fault = Fault(FaultKind.POWER_SENSOR_ZERO, machine_id, 0.0, 3600.0)
+        readings = PowerTelemetry(seed=1).readings(roots, TIMES, [fault])
+        socket_id = "rack-0/machine-0/socket-0"
+        assert (readings[socket_id] > 0.0).all()
+
+    def test_consistency_check_catches_the_bug(self):
+        """The data-quality monitor Case 7 motivated: a zeroed parent
+        is instantly inconsistent with its children."""
+        roots = small_topology()
+        machine_id = "rack-0/machine-0"
+        fault = Fault(FaultKind.POWER_SENSOR_ZERO, machine_id, 0.0, 1500.0)
+        readings = PowerTelemetry(seed=1).readings(roots, TIMES, [fault])
+        violations = check_consistency(roots, readings)
+        assert violations
+        # The zeroed machine is inconsistent with its sockets; the rack
+        # is inconsistent too because its *reported* children include
+        # the zeroed machine.
+        assert {v.node_id for v in violations} == {machine_id, "rack-0"}
+        # Only during the fault window (first 5 samples).
+        assert {v.time_index for v in violations} == {0, 1, 2, 3, 4}
+        machine_violations = [v for v in violations
+                              if v.node_id == machine_id]
+        for violation in machine_violations:
+            assert violation.parent_reading == 0.0
+            assert violation.children_sum > 0.0
+
+    def test_rack_aggregation_unaffected_by_machine_sensor_bug(self):
+        """True power still flows up: the rack reads the real total."""
+        roots = small_topology()
+        fault = Fault(FaultKind.POWER_SENSOR_ZERO, "rack-0/machine-0",
+                      0.0, 3600.0)
+        clean = PowerTelemetry(seed=1).readings(roots, TIMES)
+        faulty = PowerTelemetry(seed=1).readings(roots, TIMES, [fault])
+        assert np.allclose(clean["rack-0"], faulty["rack-0"])

@@ -1,0 +1,78 @@
+"""Tests for ticket generation."""
+
+import pytest
+
+from repro.core.events import EventCategory
+from repro.telemetry.tickets import (
+    PAPER_TICKET_MIXTURE,
+    TicketGenerator,
+    ticket_counts_by_event,
+)
+
+
+class TestTicketGenerator:
+    def test_mixture_approximated(self):
+        generator = TicketGenerator(seed=0)
+        tickets = generator.generate(5000, targets=["vm-1"])
+        for category, expected in PAPER_TICKET_MIXTURE.items():
+            observed = sum(1 for t in tickets if t.category is category) / 5000
+            assert observed == pytest.approx(expected, abs=0.03)
+
+    def test_deterministic(self):
+        a = TicketGenerator(seed=9).generate(50, targets=["vm-1"])
+        b = TicketGenerator(seed=9).generate(50, targets=["vm-1"])
+        assert a == b
+
+    def test_times_within_window(self):
+        tickets = TicketGenerator(seed=0).generate(
+            100, targets=["vm-1"], start=100.0, end=200.0
+        )
+        assert all(100.0 <= t.time < 200.0 for t in tickets)
+        assert [t.time for t in tickets] == sorted(t.time for t in tickets)
+
+    def test_related_event_attribution(self):
+        names = {
+            EventCategory.UNAVAILABILITY: ["vm_down"],
+            EventCategory.PERFORMANCE: ["slow_io", "packet_loss"],
+            EventCategory.CONTROL_PLANE: ["vm_start_failed"],
+        }
+        tickets = TicketGenerator(seed=0).generate(
+            200, targets=["vm-1"], event_names=names
+        )
+        for ticket in tickets:
+            assert ticket.related_event in names[ticket.category]
+
+    def test_no_event_names_leaves_attribution_empty(self):
+        tickets = TicketGenerator(seed=0).generate(10, targets=["vm-1"])
+        assert all(t.related_event is None for t in tickets)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            TicketGenerator(mixture={EventCategory.PERFORMANCE: 0.0})
+        with pytest.raises(ValueError):
+            TicketGenerator().generate(-1, targets=["vm-1"])
+        with pytest.raises(ValueError):
+            TicketGenerator().generate(1, targets=[])
+
+    def test_text_nonempty_and_category_flavored(self):
+        tickets = TicketGenerator(seed=0).generate(50, targets=["vm-1"])
+        assert all(t.text for t in tickets)
+
+
+class TestTicketCounts:
+    def test_counts_by_event(self):
+        names = {
+            EventCategory.UNAVAILABILITY: ["vm_down"],
+            EventCategory.PERFORMANCE: ["slow_io"],
+            EventCategory.CONTROL_PLANE: ["vm_start_failed"],
+        }
+        tickets = TicketGenerator(seed=0).generate(
+            300, targets=["vm-1"], event_names=names
+        )
+        counts = ticket_counts_by_event(tickets)
+        assert set(counts) <= {"vm_down", "slow_io", "vm_start_failed"}
+        assert sum(counts.values()) == 300
+
+    def test_unattributed_tickets_skipped(self):
+        tickets = TicketGenerator(seed=0).generate(10, targets=["vm-1"])
+        assert ticket_counts_by_event(tickets) == {}

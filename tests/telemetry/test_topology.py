@@ -1,0 +1,91 @@
+"""Tests for the fleet topology builder."""
+
+import pytest
+
+from repro.telemetry.topology import (
+    DeploymentArch,
+    NodeController,
+    VirtualMachine,
+    VmType,
+    build_fleet,
+)
+
+
+class TestDataclasses:
+    def test_vm_core_validation(self):
+        with pytest.raises(ValueError):
+            VirtualMachine("vm-1", "nc-1", VmType.SHARED, cores=0)
+
+    def test_nc_core_validation(self):
+        with pytest.raises(ValueError):
+            NodeController("nc-1", "c-1", "M1", cores=0,
+                           arch=DeploymentArch.HOMOGENEOUS)
+
+
+class TestBuildFleet:
+    def test_counts(self):
+        fleet = build_fleet(regions=2, azs_per_region=2, clusters_per_az=2,
+                            ncs_per_cluster=3, vms_per_nc=4)
+        assert len(fleet.regions) == 2
+        assert len(fleet.azs) == 4
+        assert len(fleet.clusters) == 8
+        assert len(fleet.ncs) == 24
+        assert len(fleet.vms) == 96
+
+    def test_deterministic_for_seed(self):
+        a = build_fleet(seed=42)
+        b = build_fleet(seed=42)
+        assert a.vms == b.vms
+        assert a.ncs == b.ncs
+
+    def test_different_seed_changes_models(self):
+        a = build_fleet(seed=1, ncs_per_cluster=16)
+        b = build_fleet(seed=2, ncs_per_cluster=16)
+        models_a = [nc.machine_model for nc in a.ncs.values()]
+        models_b = [nc.machine_model for nc in b.ncs.values()]
+        assert models_a != models_b
+
+    def test_homogeneous_ncs_host_single_type(self):
+        fleet = build_fleet(arch=DeploymentArch.HOMOGENEOUS, vms_per_nc=4,
+                            ncs_per_cluster=4)
+        for nc_id in fleet.ncs:
+            types = {vm.vm_type for vm in fleet.vms_on(nc_id)}
+            assert len(types) == 1
+
+    def test_hybrid_ncs_host_both_types(self):
+        fleet = build_fleet(arch=DeploymentArch.HYBRID, vms_per_nc=4,
+                            shared_fraction=0.5)
+        for nc_id in fleet.ncs:
+            types = {vm.vm_type for vm in fleet.vms_on(nc_id)}
+            assert types == {VmType.SHARED, VmType.DEDICATED}
+
+    def test_shared_fraction_respected_globally(self):
+        fleet = build_fleet(arch=DeploymentArch.HOMOGENEOUS,
+                            shared_fraction=0.5, ncs_per_cluster=4)
+        shared = sum(1 for vm in fleet.vms.values()
+                     if vm.vm_type is VmType.SHARED)
+        assert shared == len(fleet.vms) // 2
+
+    def test_invalid_shared_fraction(self):
+        with pytest.raises(ValueError):
+            build_fleet(shared_fraction=1.5)
+
+
+class TestDrillDownIndexes:
+    def test_dimension_lookups_consistent(self):
+        fleet = build_fleet(regions=2)
+        for vm_id in fleet.iter_vm_ids():
+            dims = fleet.dimensions_of(vm_id)
+            assert dims["vm"] == vm_id
+            assert dims["nc"] == fleet.vms[vm_id].nc_id
+            assert dims["cluster"] == fleet.cluster_of(vm_id).cluster_id
+            assert dims["az"] == fleet.az_of(vm_id).az_id
+            assert dims["region"] == fleet.region_of(vm_id)
+            assert dims["az"].startswith(dims["region"])
+            assert dims["cluster"].startswith(dims["az"])
+            assert dims["nc"].startswith(dims["cluster"])
+
+    def test_vms_on_partition_the_fleet(self):
+        fleet = build_fleet()
+        total = sum(len(fleet.vms_on(nc_id)) for nc_id in fleet.ncs)
+        assert total == len(fleet.vms)

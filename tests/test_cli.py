@@ -1,0 +1,74 @@
+"""Tests for the reproduction CLI."""
+
+import pytest
+
+from repro.cli import COMMANDS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in COMMANDS:
+            assert name in out
+
+    def test_table4_exact_values(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "0.020" in out
+        assert "Table IV" in out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out
+        assert "performance" in out
+
+    @pytest.mark.slow
+    def test_fig5(self, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "20250107" in out
+
+    @pytest.mark.slow
+    def test_fig9(self, capsys):
+        assert main(["fig9", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "spike detections" in out
+
+    @pytest.mark.slow
+    def test_table5(self, capsys):
+        assert main(["table5"]) == 0
+        out = capsys.readouterr().out
+        assert "recommended action: B" in out
+
+    @pytest.mark.slow
+    def test_fig6(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "year-over-year reduction" in out
+
+    @pytest.mark.slow
+    def test_fig8(self, capsys):
+        assert main(["fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "hybrid" in out
+
+    @pytest.mark.slow
+    def test_all_runs_every_artifact(self, capsys):
+        assert main(["all"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("Fig. 2", "Table IV", "Fig. 5", "Fig. 6",
+                       "Fig. 8", "Fig. 9", "Table V"):
+            assert marker in out, marker
+
+    def test_seed_flag_changes_output(self, capsys):
+        main(["fig2", "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["fig2", "--seed", "2"])
+        second = capsys.readouterr().out
+        assert first != second
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure99"])

@@ -1,0 +1,76 @@
+"""Tests for the naive-Bayes ticket classifier."""
+
+import pytest
+
+from repro.core.events import EventCategory
+from repro.telemetry.tickets import TicketGenerator
+from repro.tickets.classifier import (
+    NaiveBayesTicketClassifier,
+    tokenize,
+    train_default_classifier,
+)
+
+
+class TestTokenize:
+    def test_lowercase_alpha_tokens(self):
+        assert tokenize("API latency INCREASED! on vm-42") == [
+            "api", "latency", "increased", "on", "vm",
+        ]
+
+    def test_empty(self):
+        assert tokenize("12345 !!!") == []
+
+
+class TestClassifier:
+    def test_fit_predict_separable(self):
+        docs = ["server crashed down", "server crashed offline",
+                "slow latency degraded", "slow throughput degraded"]
+        labels = [EventCategory.UNAVAILABILITY, EventCategory.UNAVAILABILITY,
+                  EventCategory.PERFORMANCE, EventCategory.PERFORMANCE]
+        clf = NaiveBayesTicketClassifier().fit(docs, labels)
+        assert clf.predict_one("machine crashed").category is (
+            EventCategory.UNAVAILABILITY
+        )
+        assert clf.predict_one("very slow latency").category is (
+            EventCategory.PERFORMANCE
+        )
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            NaiveBayesTicketClassifier().predict_one("x")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            NaiveBayesTicketClassifier().fit(["a"], [])
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            NaiveBayesTicketClassifier().fit([], [])
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            NaiveBayesTicketClassifier(alpha=0.0)
+
+    def test_unknown_words_fall_back_to_prior(self):
+        docs = ["down"] * 3 + ["slow"]
+        labels = [EventCategory.UNAVAILABILITY] * 3 + [EventCategory.PERFORMANCE]
+        clf = NaiveBayesTicketClassifier().fit(docs, labels)
+        # Text with only unseen words: prior dominates (3:1 unavailability).
+        assert clf.predict_one("zzz qqq").category is EventCategory.UNAVAILABILITY
+
+    def test_log_scores_cover_all_classes(self):
+        clf = train_default_classifier(samples_per_category=50)
+        prediction = clf.predict_one("instance crashed")
+        assert set(prediction.log_scores) == set(EventCategory)
+
+    def test_accuracy_on_held_out_tickets(self):
+        clf = train_default_classifier(seed=7, samples_per_category=200)
+        holdout = TicketGenerator(seed=99).generate(600, targets=["vm-1"])
+        accuracy = clf.accuracy([t.text for t in holdout],
+                                [t.category for t in holdout])
+        assert accuracy > 0.9
+
+    def test_accuracy_empty_rejected(self):
+        clf = train_default_classifier(samples_per_category=10)
+        with pytest.raises(ValueError):
+            clf.accuracy([], [])
