@@ -6,7 +6,23 @@ cleaning/IO, while the *core CDI computation* is ~500 seconds.  We
 cannot match a production cluster, but we reproduce the job's
 structure at laptop scale and report the analogous breakdown: total
 wall time vs core-computation task time, plus engine task counts.
+
+Besides the printed table, the benchmark writes a machine-readable
+``BENCH_pipeline_scale.json`` next to the repo root so the perf
+trajectory is tracked across PRs: end-to-end wall time (best of
+:data:`TIMED_REPEATS`), core-compute task seconds, task counts, the
+executor backend, and the speedup against the recorded pre-fast-path
+seed baseline.
+
+Environment knobs: ``REPRO_BENCH_BACKEND`` selects the executor
+backend (``thread``/``process``; threads are the default and the
+right choice here — the fast path's hot loop is a numpy kernel).
 """
+
+import json
+import os
+import time
+from pathlib import Path
 
 from conftest import print_table, run_once
 
@@ -21,6 +37,20 @@ from repro.telemetry.faults import FaultInjector, baseline_rates
 
 DAY = 86400.0
 VM_COUNT = 2000
+PARALLELISM = 8
+#: Extra timed end-to-end repeats for the JSON artifact (the reported
+#: wall time is the minimum — standard practice for wall benchmarks).
+TIMED_REPEATS = 5
+
+#: Where the machine-readable result lands (repo root).
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_pipeline_scale.json"
+
+#: End-to-end wall seconds of this benchmark at the growth seed
+#: (commit 996a564: pure-Python per-VM sweeps + per-event-name
+#: re-sweeps on the thread pool), measured as best-of-5 on the same
+#: 8-core container that produced the committed artifact.  Kept here
+#: so every rerun reports its speedup against the same "before".
+SEED_BASELINE_WALL_SECONDS = 0.0775
 
 
 def build_job_inputs():
@@ -42,8 +72,11 @@ def build_job_inputs():
     return events, services
 
 
-def run_daily_job(events, services):
-    context = EngineContext(parallelism=8)
+def run_daily_job(events, services, backend=None):
+    context = EngineContext(
+        parallelism=PARALLELISM,
+        backend=backend or os.environ.get("REPRO_BENCH_BACKEND", "thread"),
+    )
     job = DailyCdiJob(context, TableStore(), ConfigDB(), default_catalog())
     job.store_weights(default_weights())
     job.ingest_events(events, "bench")
@@ -52,20 +85,51 @@ def run_daily_job(events, services):
 
 
 def test_sec5_pipeline_scale(benchmark):
+    backend = os.environ.get("REPRO_BENCH_BACKEND", "thread")
     events, services = build_job_inputs()
     result, metrics = run_once(benchmark, run_daily_job, events, services)
     core_seconds = metrics.total_seconds
+
+    # Steady-state repeats for the JSON artifact (the single
+    # benchmark-harness round above still carries warmup costs).
+    walls = []
+    for _ in range(TIMED_REPEATS):
+        started = time.perf_counter()
+        run_daily_job(events, services)
+        walls.append(time.perf_counter() - started)
+    wall_seconds = min(walls)
+
     print_table(
         "Section V: daily job scale (laptop-scale analogue)",
         ["quantity", "paper (production)", "reproduced"],
         [
             ("input events", "~10 GB/day", f"{result.event_count} events"),
             ("VMs", "tens of millions", f"{result.vm_count}"),
-            ("executors", "100 x 8 cores", "1 x 8 threads"),
+            ("executors", "100 x 8 cores",
+             f"1 x {PARALLELISM} {backend}s"),
             ("core CDI task time", "~500 s",
              f"{core_seconds:.2f} s across {metrics.task_count} tasks"),
+            ("end-to-end wall", "~2 h",
+             f"{wall_seconds * 1000:.1f} ms (best of {TIMED_REPEATS})"),
+            ("speedup vs seed", "-",
+             f"{SEED_BASELINE_WALL_SECONDS / wall_seconds:.1f}x"),
         ],
     )
+
+    RESULT_PATH.write_text(json.dumps({
+        "benchmark": "sec5_pipeline_scale",
+        "vm_count": result.vm_count,
+        "event_count": result.event_count,
+        "backend": backend,
+        "parallelism": PARALLELISM,
+        "timed_repeats": TIMED_REPEATS,
+        "wall_seconds": wall_seconds,
+        "core_compute_seconds": core_seconds,
+        "task_count": metrics.task_count,
+        "seed_baseline_wall_seconds": SEED_BASELINE_WALL_SECONDS,
+        "speedup_vs_seed": SEED_BASELINE_WALL_SECONDS / wall_seconds,
+    }, indent=2) + "\n")
+
     assert result.vm_count == VM_COUNT
     assert result.event_count == len(events)
     assert metrics.task_count > 0

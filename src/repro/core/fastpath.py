@@ -1,0 +1,394 @@
+"""Batched fleet-wide CDI kernel (the daily job's fast path).
+
+The production Spark job (Section V) computes Algorithm 1 for millions
+of VMs per day.  The straightforward reproduction runs one pure-Python
+boundary sweep per VM per category — and then re-runs the whole sweep
+once more *per event name* for the drill-down table.  This module
+replaces all of those sweeps with **one** vectorized pass over the
+entire fleet:
+
+1. every clipped weighted interval of every VM is flattened into flat
+   numpy arrays, tagged with an integer *group id* — one group per
+   ``(vm, category)`` for the per-VM sub-metrics and one per
+   ``(vm, event_name)`` for the drill-down table;
+2. :func:`grouped_damage_integrals` computes the damage integral of
+   every group simultaneously via a group-major ``lexsort`` boundary
+   sweep combined with the quantized-weight level decomposition
+   (weights come from a small set of levels, Formulas 1-3), so the
+   per-segment max weight is recovered with one exact coverage cumsum
+   per distinct level instead of a per-VM heap.
+
+The kernel is **bit-identical** to :func:`repro.core.indicator.
+damage_integral`: per group it forms the same boundary segments, the
+same per-segment max weight, the same ``weight * length`` products,
+and accumulates them in the same left-to-right time order (via
+``np.bincount``, which sums in index order), so every float rounding
+step matches the reference heap sweep.
+
+:class:`WeightTable` precomputes the ``(event name, severity) →
+weight`` resolution once per job (satellite of the same optimisation:
+``CdiCalculator`` used to call ``WeightConfig.resolve`` per period).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.events import EventCatalog, EventCategory, EventKind, Severity
+from repro.core.indicator import ServicePeriod
+from repro.core.periods import EventPeriod
+from repro.core.weights import WeightConfig
+
+#: Fixed category order of the per-VM output row.
+CATEGORY_ORDER: tuple[EventCategory, ...] = (
+    EventCategory.UNAVAILABILITY,
+    EventCategory.PERFORMANCE,
+    EventCategory.CONTROL_PLANE,
+)
+
+_CATEGORY_INDEX = {category: i for i, category in enumerate(CATEGORY_ORDER)}
+
+
+@dataclass(frozen=True)
+class WeightTable:
+    """Precomputed ``(name, severity) → (weight, category index)`` lookup.
+
+    Built once per daily job from the event catalog and the weight
+    configuration; the per-period dict lookup replaces a
+    ``WeightConfig.resolve`` call (Formulas 1-3 re-evaluated per
+    period) with a single hash probe.  The cached weights are the exact
+    floats ``resolve`` returns, so downstream CDI numbers are
+    unchanged.
+    """
+
+    entries: Mapping[tuple[str, Severity], tuple[float, int]]
+
+    @classmethod
+    def from_config(cls, catalog: EventCatalog,
+                    config: WeightConfig) -> "WeightTable":
+        """Resolve every (catalog name, severity) combination once."""
+        entries: dict[tuple[str, Severity], tuple[float, int]] = {}
+        for spec in catalog:
+            category_index = _CATEGORY_INDEX[spec.category]
+            for level in Severity:
+                weight = config.resolve(spec.name, level, spec.category)
+                entries[(spec.name, level)] = (weight, category_index)
+        return cls(entries=entries)
+
+    def lookup(self, name: str,
+               level: Severity) -> tuple[float, int] | None:
+        """Weight and category index, or ``None`` for unknown names."""
+        return self.entries.get((name, level))
+
+
+@dataclass(frozen=True)
+class ResolverIndex:
+    """Per-raw-event-name dispatch for fused period resolution.
+
+    The hot path of the daily job resolves stateless events (the vast
+    majority) straight from table rows to weighted intervals without
+    materializing :class:`~repro.core.events.Event` or
+    :class:`~repro.core.periods.EventPeriod` objects.  This index
+    pre-answers, once per job, the two questions that loop would
+    otherwise ask the catalog and weight config per event:
+
+    * ``stateless`` — raw stateless name → ``(detection window,
+      {int severity level: (weight, category index)})``;
+    * ``stateful_names`` — every raw name (detail or logical) owned by
+      a stateful spec; those events take the slow pairing path.
+
+    Names in neither map are unknown and skipped, exactly like
+    :func:`~repro.core.periods.resolve_periods`.
+    """
+
+    stateless: Mapping[str, tuple[float, Mapping[int, tuple[float, int]]]]
+    stateful_names: frozenset[str]
+
+    @classmethod
+    def build(cls, catalog: EventCatalog,
+              weight_table: WeightTable) -> "ResolverIndex":
+        """Index every name of ``catalog`` against ``weight_table``."""
+        stateless: dict[str, tuple[float, dict[int, tuple[float, int]]]] = {}
+        stateful: set[str] = set()
+        for spec in catalog:
+            if spec.kind is EventKind.STATEFUL:
+                stateful.add(spec.name)
+                stateful.add(spec.start_name)
+                stateful.add(spec.end_name)
+                continue
+            levels = {}
+            for level in Severity:
+                entry = weight_table.entries.get((spec.name, level))
+                if entry is not None:
+                    levels[int(level)] = entry
+            stateless[spec.name] = (spec.window, levels)
+        return cls(stateless=stateless, stateful_names=frozenset(stateful))
+
+
+def grouped_damage_integrals(starts: np.ndarray, ends: np.ndarray,
+                             weights: np.ndarray, group_ids: np.ndarray,
+                             num_groups: int) -> np.ndarray:
+    """Damage integral of every group in one vectorized sweep.
+
+    Inputs are parallel arrays of already-clipped intervals: every
+    entry must have ``end > start`` and ``weight > 0`` (callers filter
+    exactly like :func:`~repro.core.indicator.damage_integral` does).
+    Groups need not be sorted.  Returns ``num_groups`` integrals;
+    groups with no intervals get ``0.0``.
+
+    Algorithm: each interval contributes a ``+1`` boundary at its start
+    and a ``-1`` at its end.  After a group-major time ``lexsort``,
+    the per-level coverage of every inter-boundary segment is an exact
+    integer cumsum (each group's deltas net to zero, so no cross-group
+    correction is needed), and the per-segment max weight is filled in
+    by walking the distinct weight levels in descending order — the
+    grouped generalization of the quantized-weight decomposition in
+    :func:`~repro.core.indicator.damage_integral_quantized`.  Summing
+    ``max_weight * segment_length`` per group in index order
+    (``np.bincount``) reproduces the reference heap sweep's float
+    operations exactly.
+    """
+    starts = np.ascontiguousarray(starts, dtype=np.float64)
+    ends = np.ascontiguousarray(ends, dtype=np.float64)
+    weights = np.ascontiguousarray(weights, dtype=np.float64)
+    group_ids = np.ascontiguousarray(group_ids, dtype=np.int64)
+    n = starts.size
+    if n == 0:
+        return np.zeros(num_groups, dtype=np.float64)
+
+    # Boundary stream: (time, group, weight, coverage delta).
+    times = np.concatenate((starts, ends))
+    groups = np.concatenate((group_ids, group_ids))
+    bweights = np.concatenate((weights, weights))
+    deltas = np.concatenate(
+        (np.ones(n, dtype=np.int64), -np.ones(n, dtype=np.int64))
+    )
+    total = 2 * n
+    # Group-major time sort.  ``lexsort`` is a stable mergesort per key;
+    # packing (group, time-rank) into one int64 and quicksorting that is
+    # ~5x faster at fleet sizes.  Time ranks break ties among equal
+    # timestamps arbitrarily, which is harmless: equal-time boundaries
+    # delimit zero-length segments whose products are exactly 0.0, and
+    # coverage counts at any later segment are order-independent sums.
+    if num_groups <= (2**62) // max(total, 1):
+        time_rank = np.empty(total, dtype=np.int64)
+        time_rank[np.argsort(times)] = np.arange(total, dtype=np.int64)
+        order = np.argsort(groups * total + time_rank)
+    else:  # pragma: no cover - astronomically many groups
+        order = np.lexsort((times, groups))
+    times = times[order]
+    groups = groups[order]
+    bweights = bweights[order]
+    deltas = deltas[order]
+
+    # Segment i spans [times[i], times[i+1]) and is valid only inside
+    # one group; zero-length segments contribute an exact 0.0, matching
+    # the reference's deduplicated boundary set.
+    seg_len = np.zeros(total, dtype=np.float64)
+    seg_len[:-1] = times[1:] - times[:-1]
+    same_group = np.zeros(total, dtype=bool)
+    same_group[:-1] = groups[1:] == groups[:-1]
+
+    # Per-segment max active weight via descending weight levels: a
+    # segment's max is the highest level with positive coverage.
+    seg_max = np.zeros(total, dtype=np.float64)
+    unset = np.ones(total, dtype=bool)
+    for level in np.unique(weights)[::-1]:
+        coverage = np.cumsum(np.where(bweights >= level, deltas, 0))
+        hit = unset & (coverage > 0)
+        seg_max[hit] = level
+        unset &= ~hit
+        if not unset.any():
+            break
+
+    products = np.where(same_group, seg_max * seg_len, 0.0)
+    return np.bincount(groups, weights=products, minlength=num_groups)
+
+
+@dataclass(frozen=True, slots=True)
+class FleetTables:
+    """Output of one fleet sweep: the two tables of the daily job."""
+
+    vm_rows: list[dict]
+    event_rows: list[dict]
+
+
+#: Flat resolved interval: ``(name, weight, category index, start, end)``.
+#: Plain tuples instead of :class:`~repro.core.periods.EventPeriod`
+#: objects — at fleet scale the dataclass construction cost alone
+#: dominates the kernel, so the hot path never materializes periods.
+FlatInterval = tuple[str, float, int, float, float]
+
+
+def fleet_cdi_tables(
+    vm_periods: Sequence[tuple[str, Sequence[EventPeriod]]],
+    services: Mapping[str, ServicePeriod],
+    weight_table: WeightTable,
+) -> FleetTables:
+    """Both daily output tables from a single grouped kernel sweep.
+
+    ``vm_periods`` holds the resolved event periods of every VM that
+    had events; ``services`` maps VMs to their service periods.
+    Periods whose name the weight table does not know are skipped,
+    exactly like the reference calculator.  VMs without events are the
+    caller's concern (they contribute zero rows without touching the
+    kernel).
+    """
+    lookup = weight_table.entries.get
+    vm_intervals: list[tuple[str, list[FlatInterval]]] = []
+    for vm, periods in vm_periods:
+        flat: list[FlatInterval] = []
+        for period in periods:
+            entry = lookup((period.name, period.level))
+            if entry is not None:
+                flat.append(
+                    (period.name, entry[0], entry[1], period.start, period.end)
+                )
+        vm_intervals.append((vm, flat))
+    return fleet_cdi_tables_flat(vm_intervals, services)
+
+
+def fleet_cdi_tables_flat(
+    vm_intervals: Sequence[tuple[str, Sequence[FlatInterval]]],
+    services: Mapping[str, ServicePeriod],
+) -> FleetTables:
+    """Kernel assembly over already weight-resolved flat intervals.
+
+    The per-VM sub-metric groups ``(vm, category)`` and the drill-down
+    groups ``(vm, event_name)`` are concatenated into one group-id
+    space so :func:`grouped_damage_integrals` runs exactly once.
+    """
+    starts: list[float] = []
+    ends: list[float] = []
+    interval_weights: list[float] = []
+    cat_gids: list[int] = []
+    name_gids: list[int] = []
+    add_start = starts.append
+    add_end = ends.append
+    add_weight = interval_weights.append
+    add_cat = cat_gids.append
+    add_name = name_gids.append
+    name_groups: list[tuple[int, str]] = []
+    name_gid_of: dict[tuple[int, str], int] = {}
+    register = name_groups.append
+
+    vm_list: list[str] = []
+    durations: list[float] = []
+    for vm_index, (vm, flat) in enumerate(vm_intervals):
+        vm_list.append(vm)
+        service = services[vm]
+        svc_start, svc_end = service.start, service.end
+        durations.append(svc_end - svc_start)
+        base = 3 * vm_index
+        for name, weight, category_index, raw_start, raw_end in flat:
+            # The drill-down row exists even when every occurrence
+            # clips out of the service period (its CDI is then 0.0),
+            # matching the reference per-name re-sweep.
+            key = (vm_index, name)
+            name_gid = name_gid_of.get(key)
+            if name_gid is None:
+                name_gid = len(name_groups)
+                name_gid_of[key] = name_gid
+                register(key)
+            start = raw_start if raw_start > svc_start else svc_start
+            end = raw_end if raw_end < svc_end else svc_end
+            if end > start and weight > 0.0:
+                add_start(start)
+                add_end(end)
+                add_weight(weight)
+                add_cat(base + category_index)
+                add_name(name_gid)
+
+    vm_count = len(vm_list)
+    cat_group_count = 3 * vm_count
+    num_groups = cat_group_count + len(name_groups)
+
+    # Each interval participates in two groups — its (vm, category)
+    # sub-metric group and its (vm, event-name) drill-down group — so
+    # the coordinate arrays are doubled while the gid arrays differ.
+    half_starts = np.array(starts, dtype=np.float64)
+    half_ends = np.array(ends, dtype=np.float64)
+    half_weights = np.array(interval_weights, dtype=np.float64)
+    starts_arr = np.concatenate((half_starts, half_starts))
+    ends_arr = np.concatenate((half_ends, half_ends))
+    weights_arr = np.concatenate((half_weights, half_weights))
+    gids_arr = np.concatenate((
+        np.array(cat_gids, dtype=np.int64),
+        np.array(name_gids, dtype=np.int64) + cat_group_count,
+    ))
+    integral_arr = grouped_damage_integrals(
+        starts_arr, ends_arr, weights_arr, gids_arr, num_groups
+    )
+
+    # Normalize by service time in bulk (elementwise IEEE division is
+    # identical to the reference's scalar divisions); tolist() yields
+    # native Python floats so output rows carry the same value types
+    # as the reference path.
+    dur_arr = np.asarray(durations, dtype=np.float64)
+    cat_cdi = integral_arr[:cat_group_count].reshape(vm_count, 3)
+    cat_cdi = cat_cdi / dur_arr[:, None] if vm_count else cat_cdi
+    vm_rows = [
+        {
+            "vm": vm,
+            "unavailability": unavailability,
+            "performance": performance,
+            "control_plane": control_plane,
+            "service_time": duration,
+        }
+        for vm, unavailability, performance, control_plane, duration in zip(
+            vm_list, cat_cdi[:, 0].tolist(), cat_cdi[:, 1].tolist(),
+            cat_cdi[:, 2].tolist(), durations,
+        )
+    ]
+
+    if name_groups:
+        group_vms = np.fromiter(
+            (group[0] for group in name_groups),
+            dtype=np.int64, count=len(name_groups),
+        )
+        name_cdi = (integral_arr[cat_group_count:] / dur_arr[group_vms]).tolist()
+    else:
+        name_cdi = []
+    event_rows = [
+        {
+            "vm": vm_list[vm_index],
+            "event": name,
+            "cdi": cdi_value,
+            "service_time": durations[vm_index],
+        }
+        for (vm_index, name), cdi_value in zip(name_groups, name_cdi)
+    ]
+    return FleetTables(vm_rows=vm_rows, event_rows=event_rows)
+
+
+def damage_integrals_by_group(
+    intervals: Iterable[tuple[int, float, float, float]],
+    period_by_group: Mapping[int, ServicePeriod],
+    num_groups: int,
+) -> np.ndarray:
+    """Convenience wrapper: clip ``(group, start, end, weight)`` tuples
+    against per-group service periods, then run the kernel.
+
+    Mainly used by tests and ad-hoc callers that already have flat
+    tuples instead of :class:`~repro.core.periods.EventPeriod` objects.
+    """
+    gids: list[int] = []
+    starts: list[float] = []
+    ends: list[float] = []
+    weights: list[float] = []
+    for group, start, end, weight in intervals:
+        service = period_by_group[group]
+        clipped_start = start if start > service.start else service.start
+        clipped_end = end if end < service.end else service.end
+        if clipped_end > clipped_start and weight > 0.0:
+            gids.append(group)
+            starts.append(clipped_start)
+            ends.append(clipped_end)
+            weights.append(weight)
+    return grouped_damage_integrals(
+        np.asarray(starts), np.asarray(ends), np.asarray(weights),
+        np.asarray(gids, dtype=np.int64), num_groups,
+    )

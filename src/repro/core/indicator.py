@@ -20,12 +20,13 @@ service time::
 
 from __future__ import annotations
 
+import bisect
 import heapq
 import math
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping, Sequence
 
-from repro.core.events import EventCatalog, EventCategory
+from repro.core.events import EventCatalog, EventCategory, Severity
 from repro.core.periods import EventPeriod
 from repro.core.weights import WeightConfig
 
@@ -127,7 +128,16 @@ def damage_integral_quantized(intervals: Sequence[WeightedInterval],
     ``U_i`` is the union length of all intervals with weight >= w_i.
     Each union is computed with numpy sorting, so the cost is
     ``O(k * n log n)`` for ``k`` distinct weights — typically k <= 16.
-    Exactly equivalent to :func:`damage_integral`.
+    Equivalent to :func:`damage_integral` up to float summation order.
+
+    Levels are matched exactly (``np.unique`` on the weight array), so
+    two genuinely distinct float weights are never merged, and an
+    empty level mask can only arise from an empty interval set — which
+    returns 0.0 before any union is computed.
+
+    The fleet-scale generalization of this decomposition — every VM,
+    category, and event name in one grouped sweep — lives in
+    :func:`repro.core.fastpath.grouped_damage_integrals`.
     """
     import numpy as np
 
@@ -147,6 +157,8 @@ def damage_integral_quantized(intervals: Sequence[WeightedInterval],
 
     def union_length(mask: np.ndarray) -> float:
         s = starts_arr[mask]
+        if s.size == 0:
+            return 0.0
         e = ends_arr[mask]
         order = np.argsort(s)
         s, e = s[order], e[order]
@@ -156,17 +168,15 @@ def damage_integral_quantized(intervals: Sequence[WeightedInterval],
         new_segment = np.empty(s.shape, dtype=bool)
         new_segment[0] = True
         new_segment[1:] = s[1:] > running_end[:-1]
-        segment_ids = np.cumsum(new_segment) - 1
         seg_starts = s[new_segment]
         seg_ends = np.maximum.reduceat(e, np.flatnonzero(new_segment))
-        del segment_ids
         return float((seg_ends - seg_starts).sum())
 
     total = 0.0
     previous_union = 0.0
-    for level in sorted(set(weights), reverse=True):
-        union = union_length(weights_arr >= level - 1e-15)
-        total += level * (union - previous_union)
+    for level in np.unique(weights_arr)[::-1]:
+        union = union_length(weights_arr >= level)
+        total += float(level) * (union - previous_union)
         previous_union = union
     return total
 
@@ -180,19 +190,19 @@ def cdi_slotted(intervals: Sequence[WeightedInterval], period: ServicePeriod,
     slots, so the result only matches :func:`cdi` when all timestamps
     are slot-aligned.
     """
+    import numpy as np
+
     if slot <= 0:
         raise ValueError(f"slot must be positive, got {slot}")
     slots = max(1, math.ceil(period.duration / slot))
-    weights = [0.0] * slots
+    weights = np.zeros(slots)
     for iv in intervals:
         if iv.end <= period.start or iv.start >= period.end:
             continue
         first = max(0, int((max(iv.start, period.start) - period.start) // slot))
         last = min(slots, math.ceil((min(iv.end, period.end) - period.start) / slot))
-        for index in range(first, last):
-            if iv.weight > weights[index]:
-                weights[index] = iv.weight
-    return sum(weights) / slots
+        np.maximum(weights[first:last], iv.weight, out=weights[first:last])
+    return float(weights.sum()) / slots
 
 
 def aggregate(per_vm: Iterable[tuple[float, float]]) -> float:
@@ -264,6 +274,11 @@ class CdiCalculator:
     def __init__(self, catalog: EventCatalog, weights: WeightConfig) -> None:
         self._catalog = catalog
         self._weights = weights
+        # (name, level) → (weight, category); weight resolution is pure
+        # in the config, so each combination is computed at most once
+        # per calculator (and therefore once per daily job).
+        self._resolved: dict[tuple[str, Severity],
+                             tuple[float, EventCategory] | None] = {}
 
     @property
     def catalog(self) -> EventCatalog:
@@ -277,12 +292,24 @@ class CdiCalculator:
         cannot be categorized and are excluded from CDI, matching the
         production behaviour of only evaluating registered events).
         """
-        category = self._catalog.category_of(period.name)
-        if category is None:
+        key = (period.name, period.level)
+        try:
+            resolved = self._resolved[key]
+        except KeyError:
+            category = self._catalog.category_of(period.name)
+            if category is None:
+                resolved = None
+            else:
+                resolved = (
+                    self._weights.resolve(period.name, period.level, category),
+                    category,
+                )
+            self._resolved[key] = resolved
+        if resolved is None:
             return None
-        weight = self._weights.resolve(period.name, period.level, category)
         return WeightedInterval(
-            start=period.start, end=period.end, weight=weight, name=period.name
+            start=period.start, end=period.end, weight=resolved[0],
+            name=period.name,
         )
 
     def _intervals_by_category(
@@ -292,11 +319,10 @@ class CdiCalculator:
             category: [] for category in EventCategory
         }
         for period in periods:
-            category = self._catalog.category_of(period.name)
-            if category is None:
-                continue
             interval = self.weighted_interval(period)
-            assert interval is not None
+            if interval is None:
+                continue
+            _, category = self._resolved[(period.name, period.level)]
             buckets[category].append(interval)
         return buckets
 
@@ -359,6 +385,13 @@ def damage_integral_with(intervals: Iterable[WeightedInterval],
     weights of all simultaneously active events in a segment (the paper
     uses ``max``; the ablation contrasts ``sum`` — capped at 1 — and
     ``mean``).
+
+    Runs as an ``O((n + b) log n)`` sorted-boundary sweep with an
+    explicit active set instead of re-filtering all ``n`` clipped
+    intervals for each of the ``b`` boundary segments.  ``combine``
+    still receives the active weights in the same (input) order the
+    per-segment rescan produced, so its result — including float
+    summation order for ``sum``/``mean`` — is unchanged.
     """
     clipped = [
         (max(iv.start, period.start), min(iv.end, period.end), iv.weight)
@@ -368,9 +401,25 @@ def damage_integral_with(intervals: Iterable[WeightedInterval],
     if not clipped:
         return 0.0
     boundaries = sorted({t for s, e, _ in clipped for t in (s, e)})
+    # Intervals indexed by clipped (input) order; entry/exit queues are
+    # processed in time order while the active set stays sorted by
+    # input index so ``combine`` sees the exact list the naive rescan
+    # would have built for each segment.
+    by_start = sorted(range(len(clipped)), key=lambda i: clipped[i][0])
+    expiry: list[tuple[float, int]] = []  # (end, index) min-heap
+    active_indices: list[int] = []  # sorted input indices of active intervals
     total = 0.0
+    next_entry = 0
     for left, right in zip(boundaries, boundaries[1:]):
-        active = [w for s, e, w in clipped if s <= left and e >= right]
-        if active:
+        while next_entry < len(by_start) and clipped[by_start[next_entry]][0] <= left:
+            index = by_start[next_entry]
+            bisect.insort(active_indices, index)
+            heapq.heappush(expiry, (clipped[index][1], index))
+            next_entry += 1
+        while expiry and expiry[0][0] <= left:
+            _, index = heapq.heappop(expiry)
+            del active_indices[bisect.bisect_left(active_indices, index)]
+        if active_indices:
+            active = [clipped[i][2] for i in active_indices]
             total += combine(active) * (right - left)
     return total

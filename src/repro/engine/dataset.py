@@ -4,6 +4,12 @@ Mirrors the subset of the Spark RDD API the paper's daily CDI job
 needs: lazy transformations over partitioned collections, key/value
 wide operations, and materializing actions.
 
+Every transformation is expressed as a small module-level adapter
+object (``_MapFn``, ``_GroupValues``, ...) rather than an inline
+closure, so a plan is picklable end-to-end whenever the user-supplied
+functions are — the requirement for running on the
+:class:`~repro.engine.executor.LocalExecutor` process backend.
+
 Example::
 
     ctx = EngineContext(parallelism=4)
@@ -18,7 +24,9 @@ Example::
 
 from __future__ import annotations
 
+import heapq
 import itertools
+from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Iterable, Iterator, Sequence, TypeVar
 
 from repro.engine.executor import JobMetrics, LocalExecutor
@@ -52,19 +60,234 @@ def _chunk(data: Sequence[Any], parts: int) -> list[list[Any]]:
     return chunks
 
 
+# -- picklable transformation adapters ---------------------------------------
+
+
+@dataclass(frozen=True)
+class _MapFn:
+    fn: Callable[[Any], Any]
+
+    def __call__(self, part: Iterator[Any]) -> Iterable[Any]:
+        fn = self.fn
+        return (fn(x) for x in part)
+
+
+@dataclass(frozen=True)
+class _FilterFn:
+    predicate: Callable[[Any], bool]
+
+    def __call__(self, part: Iterator[Any]) -> Iterable[Any]:
+        predicate = self.predicate
+        return (x for x in part if predicate(x))
+
+
+@dataclass(frozen=True)
+class _FlatMapFn:
+    fn: Callable[[Any], Iterable[Any]]
+
+    def __call__(self, part: Iterator[Any]) -> Iterable[Any]:
+        fn = self.fn
+        return itertools.chain.from_iterable(fn(x) for x in part)
+
+
+@dataclass(frozen=True)
+class _KeyByFn:
+    key_fn: Callable[[Any], Any]
+
+    def __call__(self, part: Iterator[Any]) -> Iterable[tuple[Any, Any]]:
+        key_fn = self.key_fn
+        return ((key_fn(x), x) for x in part)
+
+
+@dataclass(frozen=True)
+class _MapValuesFn:
+    fn: Callable[[Any], Any]
+
+    def __call__(self, part: Iterator[tuple[Any, Any]]
+                 ) -> Iterable[tuple[Any, Any]]:
+        fn = self.fn
+        return ((k, fn(v)) for k, v in part)
+
+
+class _GroupValues:
+    def __call__(self, part: Iterator[tuple[Any, Any]]
+                 ) -> Iterable[tuple[Any, list[Any]]]:
+        groups: dict[Any, list[Any]] = {}
+        for key, value in part:
+            groups.setdefault(key, []).append(value)
+        return groups.items()
+
+
+@dataclass(frozen=True)
+class _ReduceCombine:
+    fn: Callable[[Any, Any], Any]
+
+    def __call__(self, part: Iterator[tuple[Any, Any]]
+                 ) -> Iterable[tuple[Any, Any]]:
+        fn = self.fn
+        acc: dict[Any, Any] = {}
+        for key, value in part:
+            acc[key] = fn(acc[key], value) if key in acc else value
+        return acc.items()
+
+
+@dataclass(frozen=True)
+class _AggregateSeq:
+    zero: Any
+    seq_fn: Callable[[Any, Any], Any]
+
+    def __call__(self, part: Iterator[tuple[Any, Any]]
+                 ) -> Iterable[tuple[Any, Any]]:
+        seq_fn, zero = self.seq_fn, self.zero
+        acc: dict[Any, Any] = {}
+        for key, value in part:
+            acc[key] = seq_fn(acc.get(key, zero), value)
+        return acc.items()
+
+
+@dataclass(frozen=True)
+class _AggregateMerge:
+    comb_fn: Callable[[Any, Any], Any]
+
+    def __call__(self, part: Iterator[tuple[Any, Any]]
+                 ) -> Iterable[tuple[Any, Any]]:
+        comb_fn = self.comb_fn
+        acc: dict[Any, Any] = {}
+        for key, value in part:
+            acc[key] = comb_fn(acc[key], value) if key in acc else value
+        return acc.items()
+
+
+class _DistinctKey:
+    def __call__(self, part: Iterator[Any]) -> Iterable[tuple[Any, None]]:
+        return ((x, None) for x in part)
+
+
+class _DistinctValues:
+    def __call__(self, part: Iterator[tuple[Any, Any]]) -> Iterable[Any]:
+        return (k for k, _ in part)
+
+
+class _KeepFirst:
+    def __call__(self, a: Any, _: Any) -> Any:
+        return a
+
+
+@dataclass(frozen=True)
+class _JoinTag:
+    tag: int
+
+    def __call__(self, part: Iterator[tuple[Any, Any]]
+                 ) -> Iterable[tuple[Any, tuple[int, Any]]]:
+        tag = self.tag
+        return ((k, (tag, v)) for k, v in part)
+
+
+@dataclass(frozen=True)
+class _JoinMerge:
+    keep_unmatched_left: bool
+
+    def __call__(self, part: Iterator[tuple[Any, tuple[int, Any]]]
+                 ) -> Iterable[Any]:
+        lefts: dict[Any, list[Any]] = {}
+        rights: dict[Any, list[Any]] = {}
+        for key, (tag, value) in part:
+            (lefts if tag == 0 else rights).setdefault(key, []).append(value)
+        for key, left_values in lefts.items():
+            right_values = rights.get(key)
+            if right_values:
+                for lv in left_values:
+                    for rv in right_values:
+                        yield key, (lv, rv)
+            elif self.keep_unmatched_left:
+                for lv in left_values:
+                    yield key, (lv, None)
+
+
+@dataclass(frozen=True)
+class _SortGather:
+    key_fn: Callable[[Any], Any]
+    reverse: bool
+
+    def __call__(self, rows: list[Any]) -> Iterable[Any]:
+        return sorted(rows, key=self.key_fn, reverse=self.reverse)
+
+
+@dataclass(frozen=True)
+class _RepartitionKey:
+    num_partitions: int
+
+    def __call__(self, part: Iterator[Any]) -> Iterable[tuple[int, Any]]:
+        n = self.num_partitions
+        return ((i % n, x) for i, x in enumerate(part))
+
+
+class _RepartitionValues:
+    def __call__(self, part: Iterator[tuple[int, Any]]) -> Iterable[Any]:
+        return (x for _, x in part)
+
+
+@dataclass(frozen=True)
+class _Sampler:
+    fraction: float
+    seed: int
+
+    def __call__(self, index: int, part: Iterator[Any]) -> Iterable[Any]:
+        import numpy as np
+
+        rng = np.random.default_rng((self.seed, index))
+        fraction = self.fraction
+        return (x for x in part if rng.random() < fraction)
+
+
+@dataclass(frozen=True)
+class _Indexer:
+    offsets: tuple[int, ...]
+
+    def __call__(self, index: int, part: Iterator[Any]
+                 ) -> Iterable[tuple[Any, int]]:
+        offset = self.offsets[index]
+        return ((x, offset + i) for i, x in enumerate(part))
+
+
+class _CountPartition:
+    def __call__(self, part: Iterator[Any]) -> Iterable[int]:
+        return [sum(1 for _ in part)]
+
+
+@dataclass(frozen=True)
+class _TakeOrderedLocal:
+    n: int
+    key_fn: Callable[[Any], Any] | None
+
+    def __call__(self, part: Iterator[Any]) -> Iterable[Any]:
+        key = self.key_fn if self.key_fn is not None else _identity
+        return heapq.nsmallest(self.n, part, key=key)
+
+
+def _identity(x: Any) -> Any:
+    return x
+
+
 class EngineContext:
     """Entry point, analogous to a SparkContext.
 
     ``parallelism`` is the default partition count for new datasets and
-    the thread-pool width of the bundled executor.
+    the worker-pool width of the bundled executor; ``backend`` and
+    ``chunk_size`` are forwarded to :class:`LocalExecutor` (``backend
+    ="process"`` schedules CPU-bound stages on a process pool).
     """
 
     def __init__(self, parallelism: int = 4,
-                 executor: LocalExecutor | None = None) -> None:
+                 executor: LocalExecutor | None = None, *,
+                 backend: str = "thread",
+                 chunk_size: int | None = None) -> None:
         if parallelism < 1:
             raise ValueError(f"parallelism must be >= 1, got {parallelism}")
         self.parallelism = parallelism
-        self.executor = executor or LocalExecutor(max_workers=parallelism)
+        self.executor = executor or LocalExecutor(
+            max_workers=parallelism, backend=backend, chunk_size=chunk_size
+        )
 
     def parallelize(self, data: Iterable[T],
                     num_partitions: int | None = None,
@@ -120,34 +343,23 @@ class Dataset:
 
     def map(self, fn: Callable[[T], U]) -> "Dataset[U]":
         """Apply ``fn`` to every element."""
-        return self.map_partitions(
-            lambda part: (fn(x) for x in part), name="map"
-        )
+        return self.map_partitions(_MapFn(fn), name="map")
 
     def filter(self, predicate: Callable[[T], bool]) -> "Dataset[T]":
         """Keep elements for which ``predicate`` is true."""
-        return self.map_partitions(
-            lambda part: (x for x in part if predicate(x)), name="filter"
-        )
+        return self.map_partitions(_FilterFn(predicate), name="filter")
 
     def flat_map(self, fn: Callable[[T], Iterable[U]]) -> "Dataset[U]":
         """Apply ``fn`` and flatten the resulting iterables."""
-        return self.map_partitions(
-            lambda part: itertools.chain.from_iterable(fn(x) for x in part),
-            name="flat_map",
-        )
+        return self.map_partitions(_FlatMapFn(fn), name="flat_map")
 
     def key_by(self, key_fn: Callable[[T], K]) -> "Dataset[tuple[K, T]]":
         """Pair every element with a key: ``x -> (key_fn(x), x)``."""
-        return self.map_partitions(
-            lambda part: ((key_fn(x), x) for x in part), name="key_by"
-        )
+        return self.map_partitions(_KeyByFn(key_fn), name="key_by")
 
     def map_values(self, fn: Callable[[V], U]) -> "Dataset[tuple[K, U]]":
         """Transform the value of each ``(key, value)`` pair."""
-        return self.map_partitions(
-            lambda part: ((k, fn(v)) for k, v in part), name="map_values"
-        )
+        return self.map_partitions(_MapValuesFn(fn), name="map_values")
 
     def union(self, other: "Dataset[T]") -> "Dataset[T]":
         """Concatenate two datasets (no dedup, like Spark's union)."""
@@ -167,14 +379,7 @@ class Dataset:
                      ) -> "Dataset[tuple[K, list[V]]]":
         """Group values by key: ``(k, v)* -> (k, [v, ...])``."""
         shuffled = self.partition_by_key(num_partitions, name="group_by_key")
-
-        def grouper(part: Iterator[tuple[K, V]]) -> Iterable[tuple[K, list[V]]]:
-            groups: dict[K, list[V]] = {}
-            for key, value in part:
-                groups.setdefault(key, []).append(value)
-            return groups.items()
-
-        return shuffled.map_partitions(grouper, name="group_values")
+        return shuffled.map_partitions(_GroupValues(), name="group_values")
 
     def reduce_by_key(self, fn: Callable[[V, V], V],
                       num_partitions: int | None = None
@@ -183,46 +388,28 @@ class Dataset:
 
         Applies a map-side combine before the shuffle, like Spark.
         """
-        def combine(part: Iterator[tuple[K, V]]) -> Iterable[tuple[K, V]]:
-            acc: dict[K, V] = {}
-            for key, value in part:
-                acc[key] = fn(acc[key], value) if key in acc else value
-            return acc.items()
-
-        pre = self.map_partitions(combine, name="combine_local")
+        pre = self.map_partitions(_ReduceCombine(fn), name="combine_local")
         shuffled = pre.partition_by_key(num_partitions, name="reduce_by_key")
-        return shuffled.map_partitions(combine, name="combine_merge")
+        return shuffled.map_partitions(_ReduceCombine(fn), name="combine_merge")
 
     def aggregate_by_key(self, zero: U, seq_fn: Callable[[U, V], U],
                          comb_fn: Callable[[U, U], U],
                          num_partitions: int | None = None
                          ) -> "Dataset[tuple[K, U]]":
         """Per-key aggregation with distinct element/partial combiners."""
-        def seq_combine(part: Iterator[tuple[K, V]]) -> Iterable[tuple[K, U]]:
-            acc: dict[K, U] = {}
-            for key, value in part:
-                acc[key] = seq_fn(acc.get(key, zero), value)
-            return acc.items()
-
-        def merge(part: Iterator[tuple[K, U]]) -> Iterable[tuple[K, U]]:
-            acc: dict[K, U] = {}
-            for key, value in part:
-                acc[key] = comb_fn(acc[key], value) if key in acc else value
-            return acc.items()
-
-        pre = self.map_partitions(seq_combine, name="aggregate_local")
+        pre = self.map_partitions(
+            _AggregateSeq(zero, seq_fn), name="aggregate_local"
+        )
         shuffled = pre.partition_by_key(num_partitions, name="aggregate_by_key")
-        return shuffled.map_partitions(merge, name="aggregate_merge")
+        return shuffled.map_partitions(
+            _AggregateMerge(comb_fn), name="aggregate_merge"
+        )
 
     def distinct(self, num_partitions: int | None = None) -> "Dataset[T]":
         """Remove duplicate elements (elements must be hashable)."""
-        keyed = self.map_partitions(
-            lambda part: ((x, None) for x in part), name="distinct_key"
-        )
-        reduced = keyed.reduce_by_key(lambda a, _: a, num_partitions)
-        return reduced.map_partitions(
-            lambda part: (k for k, _ in part), name="distinct_values"
-        )
+        keyed = self.map_partitions(_DistinctKey(), name="distinct_key")
+        reduced = keyed.reduce_by_key(_KeepFirst(), num_partitions)
+        return reduced.map_partitions(_DistinctValues(), name="distinct_values")
 
     def join(self, other: "Dataset[tuple[K, Any]]",
              num_partitions: int | None = None
@@ -239,53 +426,32 @@ class Dataset:
     def _cogroup_join(self, other: "Dataset[tuple[K, Any]]",
                       num_partitions: int | None,
                       keep_unmatched_left: bool) -> "Dataset[Any]":
-        left = self.map_partitions(
-            lambda part: ((k, (0, v)) for k, v in part), name="join_tag_left"
-        )
-        right = other.map_partitions(
-            lambda part: ((k, (1, v)) for k, v in part), name="join_tag_right"
-        )
+        left = self.map_partitions(_JoinTag(0), name="join_tag_left")
+        right = other.map_partitions(_JoinTag(1), name="join_tag_right")
         shuffled = left.union(right).partition_by_key(num_partitions, name="join")
-
-        def joiner(part: Iterator[tuple[K, tuple[int, Any]]]) -> Iterable[Any]:
-            lefts: dict[K, list[Any]] = {}
-            rights: dict[K, list[Any]] = {}
-            for key, (tag, value) in part:
-                (lefts if tag == 0 else rights).setdefault(key, []).append(value)
-            for key, left_values in lefts.items():
-                right_values = rights.get(key)
-                if right_values:
-                    for lv in left_values:
-                        for rv in right_values:
-                            yield key, (lv, rv)
-                elif keep_unmatched_left:
-                    for lv in left_values:
-                        yield key, (lv, None)
-
-        return shuffled.map_partitions(joiner, name="join_merge")
+        return shuffled.map_partitions(
+            _JoinMerge(keep_unmatched_left), name="join_merge"
+        )
 
     def sort_by(self, key_fn: Callable[[T], Any],
                 reverse: bool = False) -> "Dataset[T]":
         """Globally sort (gathers to a single partition)."""
         node = GatherNode(
-            self._node,
-            lambda rows: sorted(rows, key=key_fn, reverse=reverse),
-            name="sort_by",
+            self._node, _SortGather(key_fn, reverse), name="sort_by"
         )
         return Dataset(self._context, node)
 
     def repartition(self, num_partitions: int) -> "Dataset[T]":
         """Rebalance into ``num_partitions`` partitions."""
         indexed = self.map_partitions(
-            lambda part: ((i % num_partitions, x) for i, x in enumerate(part)),
-            name="repartition_key",
+            _RepartitionKey(num_partitions), name="repartition_key"
         )
         shuffled = Dataset(
             self._context,
             ShuffleNode(indexed._node, num_partitions, name="repartition"),
         )
         return shuffled.map_partitions(
-            lambda part: (x for _, x in part), name="repartition_values"
+            _RepartitionValues(), name="repartition_values"
         )
 
     def sample(self, fraction: float, seed: int = 0) -> "Dataset[T]":
@@ -296,13 +462,9 @@ class Dataset:
         """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction must be in [0, 1], got {fraction}")
-        import numpy as np
-
-        def sampler(index: int, part: Iterator[T]) -> Iterable[T]:
-            rng = np.random.default_rng((seed, index))
-            return (x for x in part if rng.random() < fraction)
-
-        return self.map_partitions_with_index(sampler, name="sample")
+        return self.map_partitions_with_index(
+            _Sampler(fraction, seed), name="sample"
+        )
 
     def zip_with_index(self) -> "Dataset[tuple[T, int]]":
         """Pair each element with its global 0-based index.
@@ -311,16 +473,14 @@ class Dataset:
         per-partition sizes before building the indexed dataset.
         """
         sizes = self.map_partitions(
-            lambda part: [sum(1 for _ in part)], name="count_partitions"
+            _CountPartition(), name="count_partitions"
         ).collect()
         offsets = [0]
         for size in sizes[:-1]:
             offsets.append(offsets[-1] + size)
-
-        def indexer(index: int, part: Iterator[T]) -> Iterable[tuple[T, int]]:
-            return ((x, offsets[index] + i) for i, x in enumerate(part))
-
-        return self.map_partitions_with_index(indexer, name="zip_with_index")
+        return self.map_partitions_with_index(
+            _Indexer(tuple(offsets)), name="zip_with_index"
+        )
 
     def persist(self) -> "Dataset[T]":
         """Materialize now and return a dataset backed by the result.
@@ -342,12 +502,9 @@ class Dataset:
         """
         if n < 0:
             raise ValueError(f"n must be >= 0, got {n}")
-        import heapq
-
-        key = key_fn if key_fn is not None else (lambda x: x)
+        key = key_fn if key_fn is not None else _identity
         local = self.map_partitions(
-            lambda part: heapq.nsmallest(n, part, key=key),
-            name="take_ordered_local",
+            _TakeOrderedLocal(n, key_fn), name="take_ordered_local"
         )
         return heapq.nsmallest(n, local.collect(), key=key)
 
@@ -389,5 +546,15 @@ class Dataset:
 
     def count_by_key(self) -> dict[Any, int]:
         """Count elements per key of a key/value dataset."""
-        counts = self.map_values(lambda _: 1).reduce_by_key(lambda a, b: a + b)
+        counts = self.map_values(_One()).reduce_by_key(_Add())
         return counts.to_dict()
+
+
+class _One:
+    def __call__(self, _: Any) -> int:
+        return 1
+
+
+class _Add:
+    def __call__(self, a: int, b: int) -> int:
+        return a + b

@@ -14,10 +14,39 @@ it.  Two node families mirror Spark's narrow/wide distinction:
 from __future__ import annotations
 
 import itertools
+import zlib
 from abc import ABC, abstractmethod
 from typing import Any, Callable, Iterable, Sequence
 
 _ids = itertools.count()
+
+
+def stable_hash(key: Any) -> int:
+    """Deterministic hash for shuffle partitioning.
+
+    Python's built-in ``hash`` is randomized per process for strings,
+    so two worker *processes* of the process-pool backend would
+    disagree on which partition a key belongs to.  This hash is stable
+    across processes (and runs) for the key types shuffles actually
+    use — strings, bytes, ints, bools, None, and tuples thereof — and
+    falls back to ``hash`` for anything else (safe under the thread
+    backend, which shares one interpreter).
+    """
+    if isinstance(key, str):
+        return zlib.crc32(key.encode("utf-8", "surrogatepass"))
+    if isinstance(key, (bytes, bytearray)):
+        return zlib.crc32(key)
+    if isinstance(key, bool) or key is None:
+        return int(bool(key))
+    if isinstance(key, int):
+        return key
+    if isinstance(key, tuple):
+        acc = 0x345678
+        for element in key:
+            acc = (acc * 1000003) ^ stable_hash(element)
+            acc &= 0xFFFFFFFFFFFFFFFF
+        return acc
+    return hash(key)
 
 
 class PlanNode(ABC):
@@ -96,8 +125,8 @@ class ShuffleNode(PlanNode):
         super().__init__(name, parents=(parent,), num_partitions=num_partitions)
 
     def partition_of(self, key: Any) -> int:
-        """Output partition index of ``key``."""
-        return hash(key) % self.num_partitions
+        """Output partition index of ``key`` (stable across processes)."""
+        return stable_hash(key) % self.num_partitions
 
     def describe(self) -> str:
         return f"Shuffle[{self.name}] partitions={self.num_partitions}"

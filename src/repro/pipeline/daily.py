@@ -5,14 +5,35 @@ configuration from the MySQL-like config DB, computes per-VM CDI
 reports and per-(VM, event) drill-down CDIs on the mini dataset
 engine, and writes the two output tables back — the exact dataflow of
 Fig. 4.
+
+Two compute paths produce identical tables:
+
+* the **fast path** (default) resolves event periods per VM on the
+  engine, then computes every damage integral of the whole fleet —
+  all VMs × categories *and* all (VM, event-name) drill-down groups —
+  in one vectorized kernel sweep
+  (:func:`repro.core.fastpath.fleet_cdi_tables`);
+* the **reference path** runs Algorithm 1 per VM per category with
+  the pure-Python sweep, then once more per event name — the paper's
+  pseudocode executed literally, kept as the correctness oracle.
+
+Output rows are written sorted (by VM, then event name) so reruns,
+backends, and compute paths all produce byte-identical tables.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Mapping
+from operator import itemgetter
+from typing import Any, Iterable, Iterator, Mapping
 
 from repro.core.events import Event, EventCatalog, Severity
+from repro.core.fastpath import (
+    FlatInterval,
+    ResolverIndex,
+    WeightTable,
+    fleet_cdi_tables_flat,
+)
 from repro.core.indicator import CdiCalculator, CdiReport, ServicePeriod
 from repro.core.periods import resolve_periods
 from repro.core.weights import WeightConfig
@@ -34,25 +55,30 @@ WEIGHTS_CONFIG_KEY = "cdi_weights"
 
 def event_to_row(event: Event) -> dict[str, Any]:
     """Serialize an event into an events-table row."""
+    duration = event.attributes.get("duration")
     return {
         "name": event.name,
         "time": event.time,
         "target": event.target,
         "level": int(event.level),
         "expire_interval": event.expire_interval,
-        "duration": event.duration_hint(),
+        "duration": float(duration) if duration is not None else None,
     }
+
+
+#: Value → member lookup; ``Severity(value)`` goes through ``EnumMeta.__call__``
+#: which is too slow for the per-event deserialization loop.
+_SEVERITY_BY_VALUE = {int(level): level for level in Severity}
 
 
 def row_to_event(row: Mapping[str, Any]) -> Event:
     """Deserialize an events-table row."""
-    attributes = {}
-    if row.get("duration") is not None:
-        attributes["duration"] = float(row["duration"])
+    duration = row.get("duration")
+    attributes = {} if duration is None else {"duration": float(duration)}
     return Event(
         name=row["name"], time=float(row["time"]), target=row["target"],
         expire_interval=float(row["expire_interval"]),
-        level=Severity(int(row["level"])), attributes=attributes,
+        level=_SEVERITY_BY_VALUE[int(row["level"])], attributes=attributes,
     )
 
 
@@ -64,6 +90,117 @@ class DailyJobResult:
     vm_count: int
     event_count: int
     fleet_report: CdiReport
+
+
+@dataclass(frozen=True)
+class _ResolveIntervalsStage:
+    """Engine stage: ``(vm, [event rows]) → (vm, [flat intervals])``.
+
+    The fast path's period resolution, fused: stateless rows (the vast
+    majority) go straight from table row to weight-resolved interval
+    tuple via the precomputed :class:`ResolverIndex` — no ``Event`` or
+    ``EventPeriod`` objects — while stateful detail rows fall back to
+    the reference pairing in :func:`~repro.core.periods.
+    resolve_periods`.  Module-level and built from picklable parts so
+    the stage runs on the process backend too.
+    """
+
+    catalog: EventCatalog
+    weight_table: WeightTable
+    index: ResolverIndex
+    horizon: float
+
+    def __call__(
+        self, part: Iterator[tuple[str, list[Mapping[str, Any]]]]
+    ) -> Iterable[tuple[str, list[FlatInterval]]]:
+        stateless = self.index.stateless
+        stateful_names = self.index.stateful_names
+        out: list[tuple[str, list[FlatInterval]]] = []
+        for vm, vm_rows in part:
+            flat: list[FlatInterval] = []
+            stateful_rows: list[Mapping[str, Any]] | None = None
+            for row in vm_rows:
+                name = row["name"]
+                info = stateless.get(name)
+                if info is not None:
+                    entry = info[1].get(row["level"])
+                    if entry is None:
+                        continue
+                    duration = row["duration"]
+                    if duration is None:
+                        duration = info[0]
+                    elif duration < 0:
+                        raise ValueError(
+                            f"negative duration {duration} on event {name!r}"
+                        )
+                    end = row["time"]
+                    flat.append((name, entry[0], entry[1], end - duration, end))
+                elif name in stateful_names:
+                    if stateful_rows is None:
+                        stateful_rows = []
+                    stateful_rows.append(row)
+            if stateful_rows is not None:
+                flat.extend(self._resolve_stateful(stateful_rows))
+            out.append((vm, flat))
+        return out
+
+    def _resolve_stateful(
+        self, rows: list[Mapping[str, Any]]
+    ) -> list[FlatInterval]:
+        events = [row_to_event(row) for row in rows]
+        periods = resolve_periods(events, self.catalog, horizon=self.horizon)
+        lookup = self.weight_table.entries.get
+        flat: list[FlatInterval] = []
+        for period in periods:
+            entry = lookup((period.name, period.level))
+            if entry is not None:
+                flat.append(
+                    (period.name, entry[0], entry[1], period.start, period.end)
+                )
+        return flat
+
+
+@dataclass(frozen=True)
+class _ComputeVmStage:
+    """Engine stage of the reference path: full Algorithm 1 per VM.
+
+    Runs the per-category sweep and the per-event-name re-sweep with
+    the pure-Python reference implementation; picklable for the
+    process backend (the calculator holds only plain dataclasses).
+    """
+
+    calculator: CdiCalculator
+    services: Mapping[str, ServicePeriod]
+    horizon: float
+
+    def __call__(
+        self, kv: tuple[str, list[Event]]
+    ) -> dict[str, Any]:
+        vm, vm_events = kv
+        service = self.services[vm]
+        periods = resolve_periods(
+            vm_events, self.calculator.catalog, horizon=self.horizon
+        )
+        report = self.calculator.vm_report(periods, service)
+        event_rows = [
+            {
+                "vm": vm,
+                "event": name,
+                "cdi": self.calculator.event_level_cdi(periods, service, name),
+                "service_time": service.duration,
+            }
+            for name in sorted({p.name for p in periods})
+        ]
+        return {
+            "vm_row": {
+                "vm": vm,
+                "unavailability": report.unavailability,
+                "performance": report.performance,
+                "control_plane": report.control_plane,
+                "service_time": report.service_time,
+            },
+            "event_rows": event_rows,
+        }
 
 
 class DailyCdiJob:
@@ -80,14 +217,24 @@ class DailyCdiJob:
         :data:`WEIGHTS_CONFIG_KEY`.
     catalog:
         Event catalog (name → category/kind/window).
+    use_fastpath:
+        Default compute path for :meth:`run`.  ``True`` (default) uses
+        the vectorized fleet kernel; ``False`` the per-VM reference
+        sweep.  Either way the output tables are identical.
     """
 
     def __init__(self, context: EngineContext, tables: TableStore,
-                 config_db: ConfigDB, catalog: EventCatalog) -> None:
+                 config_db: ConfigDB, catalog: EventCatalog, *,
+                 use_fastpath: bool = True) -> None:
         self._context = context
         self._tables = tables
         self._config_db = config_db
         self._catalog = catalog
+        self._use_fastpath = use_fastpath
+        # (config version → resolved weight table + resolver index);
+        # weight resolution is computed once per configuration, not
+        # once per run (let alone once per period).
+        self._weight_cache: tuple[int, WeightTable, ResolverIndex] | None = None
         for name, schema in (
             (EVENTS_TABLE, events_schema()),
             (VM_CDI_TABLE, vm_cdi_schema()),
@@ -111,65 +258,69 @@ class DailyCdiJob:
         record = self._config_db.get(WEIGHTS_CONFIG_KEY)
         return WeightConfig.from_dict(record.value)
 
+    def _resolved_weights(self) -> tuple[WeightTable, ResolverIndex]:
+        """Weight table + resolver index for the current config version."""
+        record = self._config_db.get(WEIGHTS_CONFIG_KEY)
+        cached = self._weight_cache
+        if cached is not None and cached[0] == record.version:
+            return cached[1], cached[2]
+        weights = WeightConfig.from_dict(record.value)
+        weight_table = WeightTable.from_config(self._catalog, weights)
+        index = ResolverIndex.build(self._catalog, weight_table)
+        self._weight_cache = (record.version, weight_table, index)
+        return weight_table, index
+
     # -- the job -------------------------------------------------------------
 
-    def run(self, partition: str,
-            services: Mapping[str, ServicePeriod]) -> DailyJobResult:
+    def run(self, partition: str, services: Mapping[str, ServicePeriod], *,
+            use_fastpath: bool | None = None) -> DailyJobResult:
         """Compute and write the two output tables for one day.
 
         ``services`` maps each VM in service to its service period; VMs
         without any events still contribute zero-CDI rows (their
         service time dilutes the fleet aggregate, Formula 4).
+        ``use_fastpath`` overrides the job default for this run.
         """
-        weights = self.load_weights()
-        calculator = CdiCalculator(self._catalog, weights)
-        rows = self._tables.get(EVENTS_TABLE).rows(partition=partition)
-        events = [row_to_event(row) for row in rows]
-        catalog = self._catalog
+        rows = self._tables.get(EVENTS_TABLE).rows(
+            partition=partition, copy=False
+        )
         horizon = max((s.end for s in services.values()), default=0.0)
 
-        def compute_vm(pair: tuple[str, list[Event]]) -> dict[str, Any]:
-            vm, vm_events = pair
-            service = services[vm]
-            periods = resolve_periods(vm_events, catalog, horizon=horizon)
-            report = calculator.vm_report(periods, service)
-            event_rows = [
-                {
-                    "vm": vm,
-                    "event": name,
-                    "cdi": calculator.event_level_cdi(periods, service, name),
-                    "service_time": service.duration,
-                }
-                for name in sorted({p.name for p in periods})
-            ]
-            return {
-                "vm_row": {
-                    "vm": vm,
-                    "unavailability": report.unavailability,
-                    "performance": report.performance,
-                    "control_plane": report.control_plane,
-                    "service_time": report.service_time,
-                },
-                "event_rows": event_rows,
+        fast = self._use_fastpath if use_fastpath is None else use_fastpath
+        if fast:
+            # Every VM in service goes through the kernel (eventless VMs
+            # contribute zero records and come back as zero rows), in
+            # sorted order — so vm_rows needs no fill pass and no sort,
+            # and event_rows arrives pre-grouped by VM.
+            grouped: dict[str, list[dict[str, Any]]] = {
+                vm: [] for vm in sorted(services)
             }
-
-        in_service = [e for e in events if e.target in services]
-        grouped = (
-            self._context.parallelize(in_service, name="events")
-            .key_by(lambda e: e.target)
-            .group_by_key()
-        )
-        computed = grouped.map(lambda kv: compute_vm(kv)).collect()
-
-        vm_rows = [c["vm_row"] for c in computed]
-        seen = {row["vm"] for row in vm_rows}
-        for vm, service in services.items():
-            if vm not in seen:
-                vm_rows.append({
-                    "vm": vm, "unavailability": 0.0, "performance": 0.0,
-                    "control_plane": 0.0, "service_time": service.duration,
-                })
-        event_rows = [row for c in computed for row in c["event_rows"]]
+            event_count = 0
+            for row in rows:
+                bucket = grouped.get(row["target"])
+                if bucket is not None:
+                    event_count += 1
+                    bucket.append(row)
+            vm_rows, event_rows = self._run_fastpath(
+                grouped, services, horizon
+            )
+        else:
+            weights = self.load_weights()
+            events = [row_to_event(row) for row in rows]
+            in_service = [e for e in events if e.target in services]
+            event_count = len(in_service)
+            vm_rows, event_rows = self._run_reference(
+                in_service, services, weights, horizon
+            )
+            seen = {row["vm"] for row in vm_rows}
+            for vm, service in services.items():
+                if vm not in seen:
+                    vm_rows.append({
+                        "vm": vm, "unavailability": 0.0, "performance": 0.0,
+                        "control_plane": 0.0, "service_time": service.duration,
+                    })
+            vm_rows.sort(key=_vm_row_key)
+        event_rows.sort(key=_event_row_key)
 
         self._tables.get(VM_CDI_TABLE).overwrite_partition(vm_rows, partition)
         self._tables.get(EVENT_CDI_TABLE).overwrite_partition(
@@ -178,25 +329,78 @@ class DailyCdiJob:
         return DailyJobResult(
             partition=partition,
             vm_count=len(vm_rows),
-            event_count=len(in_service),
+            event_count=event_count,
             fleet_report=fleet_report_from_rows(vm_rows),
         )
 
+    def _run_fastpath(
+        self, grouped: Mapping[str, list[dict[str, Any]]],
+        services: Mapping[str, ServicePeriod], horizon: float,
+    ) -> tuple[list[dict[str, Any]], list[dict[str, Any]]]:
+        """Distributed fused resolution + one fleet kernel sweep."""
+        weight_table, index = self._resolved_weights()
+        stage = _ResolveIntervalsStage(
+            self._catalog, weight_table, index, horizon
+        )
+        resolved = (
+            self._context.parallelize(list(grouped.items()), name="events")
+            .map_partitions(stage, name="resolve_intervals")
+            .collect()
+        )
+        tables = fleet_cdi_tables_flat(resolved, services)
+        return tables.vm_rows, tables.event_rows
+
+    def _run_reference(
+        self, in_service: list[Event],
+        services: Mapping[str, ServicePeriod],
+        weights: WeightConfig, horizon: float,
+    ) -> tuple[list[dict[str, Any]], list[dict[str, Any]]]:
+        """Algorithm 1 executed literally, per VM per category per name."""
+        calculator = CdiCalculator(self._catalog, weights)
+        grouped = (
+            self._context.parallelize(in_service, name="events")
+            .key_by(_event_target)
+            .group_by_key()
+        )
+        stage = _ComputeVmStage(calculator, dict(services), horizon)
+        computed = grouped.map(stage).collect()
+        vm_rows = [c["vm_row"] for c in computed]
+        event_rows = [row for c in computed for row in c["event_rows"]]
+        return vm_rows, event_rows
+
+
+def _event_target(event: Event) -> str:
+    """Shuffle key of the reference path (picklable module function)."""
+    return event.target
+
+
+#: Deterministic output orders (C-level key extraction for the sorts).
+_vm_row_key = itemgetter("vm")
+_event_row_key = itemgetter("vm", "event")
+
 
 def fleet_report_from_rows(rows: list[Mapping[str, Any]]) -> CdiReport:
-    """Formula 4 aggregation over vm_cdi rows."""
-    from repro.core.indicator import aggregate
+    """Formula 4 aggregation over vm_cdi rows.
 
-    total = sum(r["service_time"] for r in rows)
+    One fused pass accumulating the three numerators and the shared
+    service-time denominator in row order — float-identical to calling
+    :func:`repro.core.indicator.aggregate` per category.
+    """
+    num_u = num_p = num_c = total = 0.0
+    for r in rows:
+        service_time = r["service_time"]
+        if service_time < 0:
+            raise ValueError(f"negative service time {service_time}")
+        num_u += service_time * r["unavailability"]
+        num_p += service_time * r["performance"]
+        num_c += service_time * r["control_plane"]
+        total += service_time
+    if total == 0.0:
+        return CdiReport(unavailability=0.0, performance=0.0,
+                         control_plane=0.0, service_time=total)
     return CdiReport(
-        unavailability=aggregate(
-            (r["service_time"], r["unavailability"]) for r in rows
-        ),
-        performance=aggregate(
-            (r["service_time"], r["performance"]) for r in rows
-        ),
-        control_plane=aggregate(
-            (r["service_time"], r["control_plane"]) for r in rows
-        ),
+        unavailability=num_u / total,
+        performance=num_p / total,
+        control_plane=num_c / total,
         service_time=total,
     )

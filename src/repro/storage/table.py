@@ -43,14 +43,14 @@ class Table:
         Validation is all-or-nothing: a schema violation in any row
         aborts the whole append, leaving the table unchanged.
         """
-        validated = [self.schema.validate_row(row) for row in rows]
+        validated = self.schema.validate_rows(rows)
         self._partitions.setdefault(partition, []).extend(validated)
         return len(validated)
 
     def overwrite_partition(self, rows: Iterable[Mapping[str, Any]],
                             partition: str) -> int:
         """Replace the contents of one partition (idempotent daily write)."""
-        validated = [self.schema.validate_row(row) for row in rows]
+        validated = self.schema.validate_rows(rows)
         self._partitions[partition] = validated
         return len(validated)
 
@@ -66,10 +66,13 @@ class Table:
         return sorted(self._partitions)
 
     def scan(self, predicate: Callable[[Mapping[str, Any]], bool] | None = None,
-             partition: str | None = None) -> Iterator[dict[str, Any]]:
+             partition: str | None = None, *,
+             copy: bool = True) -> Iterator[dict[str, Any]]:
         """Iterate rows, optionally pruned to one partition and filtered.
 
-        Rows are yielded as copies so callers cannot mutate stored data.
+        Rows are yielded as copies so callers cannot mutate stored
+        data; read-only callers on hot paths may pass ``copy=False``
+        to skip the per-row dict copy (and must not mutate the rows).
         """
         if partition is not None:
             sources = [self._partitions.get(partition, [])]
@@ -78,11 +81,12 @@ class Table:
         for rows in sources:
             for row in rows:
                 if predicate is None or predicate(row):
-                    yield dict(row)
+                    yield dict(row) if copy else row
 
-    def rows(self, partition: str | None = None) -> list[dict[str, Any]]:
-        """All rows (of a partition) as a list."""
-        return list(self.scan(partition=partition))
+    def rows(self, partition: str | None = None, *,
+             copy: bool = True) -> list[dict[str, Any]]:
+        """All rows (of a partition) as a list (``copy`` as in :meth:`scan`)."""
+        return list(self.scan(partition=partition, copy=copy))
 
     def count(self, partition: str | None = None) -> int:
         """Row count, optionally for one partition."""

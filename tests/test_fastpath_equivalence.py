@@ -1,0 +1,341 @@
+"""Equivalence suite for the batched fleet-CDI fast path.
+
+Three layers of guarantees, matching the acceptance criteria of the
+fast-path optimisation:
+
+* the grouped kernel (:func:`repro.core.fastpath.grouped_damage_integrals`)
+  matches both reference implementations of Algorithm 1
+  (:func:`~repro.core.indicator.damage_integral` and
+  :func:`~repro.core.indicator.damage_integral_quantized`) to <= 1e-9
+  absolute on randomized interval sets — overlaps, duplicate
+  timestamps, zero weights, out-of-period clipping, empty groups;
+* :class:`~repro.pipeline.daily.DailyCdiJob` produces byte-identical
+  ``vm_cdi`` / ``event_cdi`` tables on the fast path and the reference
+  path;
+* the thread and process executor backends return identical partitions
+  for the same plan, and identical daily-job tables.
+"""
+
+import json
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.events import Event, Severity, default_catalog
+from repro.core.fastpath import (
+    WeightTable,
+    damage_integrals_by_group,
+    fleet_cdi_tables,
+    grouped_damage_integrals,
+)
+from repro.core.indicator import (
+    ServicePeriod,
+    WeightedInterval,
+    damage_integral,
+    damage_integral_quantized,
+    damage_integral_with,
+)
+from repro.core.periods import EventPeriod
+from repro.core.weights import expert_only_config
+from repro.engine.dataset import EngineContext
+from repro.pipeline.daily import DailyCdiJob
+from repro.pipeline.tables import EVENT_CDI_TABLE, VM_CDI_TABLE
+from repro.storage.configdb import ConfigDB
+from repro.storage.table import TableStore
+
+DAY = 86400.0
+
+#: Quantized weight pool (the realistic case: Formulas 1-3 produce a
+#: small set of levels) plus awkward values: zero, full, subnormal
+#: differences.
+WEIGHT_POOLS = [
+    [0.1, 0.3, 0.5, 0.8, 1.0],
+    [0.0, 0.25, 0.25, 0.5, 1.0],
+    [0.7],
+    [0.5, np.nextafter(0.5, 1.0), 0.5000000000000001],
+]
+
+
+def random_group(rng: random.Random, pool: list[float], period: ServicePeriod,
+                 max_intervals: int = 12) -> list[WeightedInterval]:
+    """One group's interval set, biased toward edge cases."""
+    intervals = []
+    for _ in range(rng.randrange(max_intervals + 1)):
+        kind = rng.random()
+        if kind < 0.15:
+            # Entirely outside the service period (clips away).
+            start = period.end + rng.uniform(0.0, 500.0)
+            end = start + rng.uniform(0.0, 100.0)
+        elif kind < 0.3:
+            # Straddles a period edge (partial clip).
+            start = period.start - rng.uniform(0.0, 100.0)
+            end = period.start + rng.uniform(0.0, 100.0)
+        else:
+            start = rng.uniform(period.start - 50.0, period.end)
+            end = start + rng.uniform(0.0, (period.end - period.start) / 2)
+        weight = rng.choice(pool)
+        intervals.append(WeightedInterval(start, min(end, start + 1e6), weight))
+    return intervals
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_both_references_on_random_fleets(self, seed):
+        rng = random.Random(seed)
+        pool = WEIGHT_POOLS[seed % len(WEIGHT_POOLS)]
+        period = ServicePeriod(0.0, 1000.0)
+        num_groups = rng.randrange(1, 12)
+        groups = [random_group(rng, pool, period) for _ in range(num_groups)]
+
+        flat = [
+            (gid, iv.start, iv.end, iv.weight)
+            for gid, intervals in enumerate(groups)
+            for iv in intervals
+        ]
+        rng.shuffle(flat)  # kernel must not rely on input order
+        result = damage_integrals_by_group(
+            flat, {gid: period for gid in range(num_groups)}, num_groups
+        )
+
+        assert result.shape == (num_groups,)
+        for gid, intervals in enumerate(groups):
+            exact = damage_integral(intervals, period)
+            quantized = damage_integral_quantized(intervals, period)
+            assert math.isclose(result[gid], exact, abs_tol=1e-9), (
+                f"group {gid}: kernel {result[gid]!r} != sweep {exact!r}"
+            )
+            assert math.isclose(result[gid], quantized, abs_tol=1e-9)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_continuous_weights(self, seed):
+        """Not just quantized pools: arbitrary float weights."""
+        rng = random.Random(1000 + seed)
+        period = ServicePeriod(100.0, 900.0)
+        intervals = [
+            WeightedInterval(rng.uniform(0, 1000), rng.uniform(0, 1000) + 1000,
+                             rng.random())
+            for _ in range(30)
+        ]
+        result = damage_integrals_by_group(
+            [(0, iv.start, iv.end, iv.weight) for iv in intervals],
+            {0: period}, 1,
+        )
+        assert math.isclose(
+            result[0], damage_integral(intervals, period), abs_tol=1e-9
+        )
+
+    def test_empty_input(self):
+        result = grouped_damage_integrals(
+            np.array([]), np.array([]), np.array([]),
+            np.array([], dtype=np.int64), 4,
+        )
+        assert result.tolist() == [0.0, 0.0, 0.0, 0.0]
+
+    def test_empty_groups_get_zero(self):
+        period = ServicePeriod(0.0, 100.0)
+        result = damage_integrals_by_group(
+            [(2, 10.0, 20.0, 0.5)], {gid: period for gid in range(5)}, 5
+        )
+        assert result.tolist() == [0.0, 0.0, 0.5 * 10.0, 0.0, 0.0]
+
+    def test_groups_do_not_leak_into_each_other(self):
+        """Same timestamps in two groups: unions must stay per-group."""
+        period = ServicePeriod(0.0, 100.0)
+        result = damage_integrals_by_group(
+            [(0, 0.0, 50.0, 0.4), (1, 0.0, 50.0, 0.8),
+             (0, 25.0, 75.0, 0.4)],
+            {0: period, 1: period}, 2,
+        )
+        assert result[0] == pytest.approx(0.4 * 75.0)
+        assert result[1] == pytest.approx(0.8 * 50.0)
+
+    def test_duplicate_boundaries_and_zero_length(self):
+        period = ServicePeriod(0.0, 10.0)
+        intervals = [
+            WeightedInterval(2.0, 2.0, 0.9),  # zero length
+            WeightedInterval(2.0, 5.0, 0.5),
+            WeightedInterval(2.0, 5.0, 0.7),  # identical span, higher weight
+            WeightedInterval(5.0, 8.0, 0.2),  # shares a boundary
+        ]
+        result = damage_integrals_by_group(
+            [(0, iv.start, iv.end, iv.weight) for iv in intervals],
+            {0: period}, 1,
+        )
+        assert result[0] == pytest.approx(damage_integral(intervals, period))
+        assert result[0] == pytest.approx(0.7 * 3 + 0.2 * 3)
+
+
+class TestQuantizedRegression:
+    """Hardening of ``damage_integral_quantized`` (satellite fix)."""
+
+    def test_all_intervals_clip_out(self):
+        period = ServicePeriod(0.0, 100.0)
+        intervals = [
+            WeightedInterval(200.0, 300.0, 0.5),
+            WeightedInterval(-50.0, 0.0, 0.8),
+        ]
+        assert damage_integral_quantized(intervals, period) == 0.0
+
+    def test_zero_weight_only(self):
+        period = ServicePeriod(0.0, 100.0)
+        assert damage_integral_quantized(
+            [WeightedInterval(10.0, 20.0, 0.0)], period
+        ) == 0.0
+
+    def test_adjacent_float_weights_not_merged(self):
+        """Weights one ulp apart are distinct levels, not one."""
+        period = ServicePeriod(0.0, 100.0)
+        low, high = 0.5, np.nextafter(0.5, 1.0)
+        intervals = [
+            WeightedInterval(0.0, 60.0, low),
+            WeightedInterval(40.0, 100.0, high),
+        ]
+        exact = damage_integral(intervals, period)
+        quantized = damage_integral_quantized(intervals, period)
+        # Exactly the two-level decomposition — a merged level would
+        # collapse both weights to one union and change the value.
+        assert quantized == high * 60.0 + low * (100.0 - 60.0)
+        assert quantized == pytest.approx(exact, abs=1e-9)
+
+
+class TestOverlapSemanticsSweep:
+    """The rewritten ``damage_integral_with`` active-set sweep must
+    reproduce the naive per-segment rescan bit for bit."""
+
+    @staticmethod
+    def naive(intervals, period, combine):
+        clipped = [
+            (max(iv.start, period.start), min(iv.end, period.end), iv.weight)
+            for iv in intervals
+            if min(iv.end, period.end) > max(iv.start, period.start)
+            and iv.weight > 0
+        ]
+        if not clipped:
+            return 0.0
+        boundaries = sorted({t for s, e, _ in clipped for t in (s, e)})
+        total = 0.0
+        for left, right in zip(boundaries, boundaries[1:]):
+            active = [w for s, e, w in clipped if s <= left and e > left]
+            if active:
+                total += combine(active) * (right - left)
+        return total
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("combine", [
+        max,
+        lambda ws: min(1.0, sum(ws)),
+        lambda ws: sum(ws) / len(ws),
+    ], ids=["max", "capped_sum", "mean"])
+    def test_matches_naive_rescan(self, seed, combine):
+        rng = random.Random(seed)
+        period = ServicePeriod(0.0, 500.0)
+        intervals = random_group(rng, [0.2, 0.4, 0.9], period,
+                                 max_intervals=15)
+        assert damage_integral_with(intervals, period, combine) == (
+            self.naive(intervals, period, combine)
+        )
+
+
+class TestFleetTables:
+    def test_weight_table_matches_config_resolution(self):
+        catalog = default_catalog()
+        config = expert_only_config()
+        table = WeightTable.from_config(catalog, config)
+        for spec in catalog:
+            for level in Severity:
+                entry = table.lookup(spec.name, level)
+                assert entry is not None
+                assert entry[0] == config.resolve(spec.name, level,
+                                                  spec.category)
+        assert table.lookup("no_such_event", Severity.WARNING) is None
+
+    def test_unknown_event_names_are_skipped(self):
+        catalog = default_catalog()
+        table = WeightTable.from_config(catalog, expert_only_config())
+        periods = [
+            EventPeriod("vm_down", "vm-a", 0.0, 600.0, Severity.FATAL),
+            EventPeriod("not_in_catalog", "vm-a", 0.0, 600.0,
+                        Severity.FATAL),
+        ]
+        tables = fleet_cdi_tables(
+            [("vm-a", periods)], {"vm-a": ServicePeriod(0.0, DAY)}, table
+        )
+        assert [r["event"] for r in tables.event_rows] == ["vm_down"]
+        assert tables.vm_rows[0]["unavailability"] > 0.0
+
+
+def make_fleet_events(rng: random.Random, vm_count: int = 40,
+                      events_per_vm: int = 4) -> list[Event]:
+    names = ["vm_down", "slow_io", "vm_start_failed", "nic_flap"]
+    levels = [Severity.WARNING, Severity.CRITICAL, Severity.FATAL]
+    events = []
+    for i in range(vm_count):
+        for _ in range(rng.randrange(events_per_vm + 1)):
+            events.append(Event(
+                name=rng.choice(names),
+                time=rng.uniform(0.0, DAY),
+                target=f"vm-{i:03d}",
+                expire_interval=600.0,
+                level=rng.choice(levels),
+                attributes={"duration": rng.uniform(60.0, 7200.0)},
+            ))
+    return events
+
+
+def run_job(events, services, *, backend="thread", use_fastpath=True):
+    context = EngineContext(parallelism=4, backend=backend)
+    job = DailyCdiJob(context, TableStore(), ConfigDB(), default_catalog(),
+                      use_fastpath=use_fastpath)
+    job.store_weights(expert_only_config())
+    job.ingest_events(events, "d")
+    job.run("d", services)
+    return (
+        job._tables.get(VM_CDI_TABLE).rows("d"),
+        job._tables.get(EVENT_CDI_TABLE).rows("d"),
+    )
+
+
+class TestDailyJobEquivalence:
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_fast_path_tables_byte_identical_to_reference(self, seed):
+        rng = random.Random(seed)
+        events = make_fleet_events(rng)
+        services = {f"vm-{i:03d}": ServicePeriod(0.0, DAY) for i in range(45)}
+        fast = run_job(events, services, use_fastpath=True)
+        reference = run_job(events, services, use_fastpath=False)
+        # Byte-level identity, not approximate equality: same rows,
+        # same order, same float bit patterns.
+        assert json.dumps(fast) == json.dumps(reference)
+
+    def test_thread_and_process_backends_identical_tables(self):
+        rng = random.Random(3)
+        events = make_fleet_events(rng, vm_count=20)
+        services = {f"vm-{i:03d}": ServicePeriod(0.0, DAY) for i in range(20)}
+        threaded = run_job(events, services, backend="thread")
+        processed = run_job(events, services, backend="process")
+        assert json.dumps(threaded) == json.dumps(processed)
+
+
+class TestBackendPartitionEquality:
+    def test_identical_partitions_for_shuffle_plan(self):
+        data = [(f"key-{i % 17}", i) for i in range(400)]
+
+        def build(backend):
+            ctx = EngineContext(parallelism=4, backend=backend)
+            ds = (
+                ctx.parallelize(data, name="pairs")
+                .group_by_key()
+                .map_values(sorted)
+            )
+            return ctx.executor.execute(ds._node)
+
+        thread_parts = build("thread")
+        process_parts = build("process")
+        # Partition-for-partition equality, not just same overall rows:
+        # the shuffle hash must agree across processes.
+        assert [sorted(p) for p in thread_parts] == (
+            [sorted(p) for p in process_parts]
+        )
+        assert thread_parts == process_parts
