@@ -16,7 +16,10 @@ seed baseline.
 
 Environment knobs: ``REPRO_BENCH_BACKEND`` selects the executor
 backend (``thread``/``process``; threads are the default and the
-right choice here — the fast path's hot loop is a numpy kernel).
+right choice here — the fast path's hot loop is a numpy kernel);
+``REPRO_BENCH_VM_COUNT`` overrides the fleet size (CI smoke runs a
+smaller fleet); ``REPRO_BENCH_RESULT_PATH`` redirects the JSON
+artifact.
 """
 
 import json
@@ -30,20 +33,24 @@ from repro.core.events import default_catalog
 from repro.core.indicator import ServicePeriod
 from repro.engine.dataset import EngineContext
 from repro.pipeline.daily import DailyCdiJob
+from repro.pipeline.tables import EVENTS_TABLE
 from repro.scenarios.common import default_weights, fault_to_period
 from repro.storage.configdb import ConfigDB
 from repro.storage.table import TableStore
 from repro.telemetry.faults import FaultInjector, baseline_rates
 
 DAY = 86400.0
-VM_COUNT = 2000
+VM_COUNT = int(os.environ.get("REPRO_BENCH_VM_COUNT", "2000"))
 PARALLELISM = 8
 #: Extra timed end-to-end repeats for the JSON artifact (the reported
 #: wall time is the minimum — standard practice for wall benchmarks).
 TIMED_REPEATS = 5
 
 #: Where the machine-readable result lands (repo root).
-RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_pipeline_scale.json"
+RESULT_PATH = Path(os.environ.get(
+    "REPRO_BENCH_RESULT_PATH",
+    Path(__file__).resolve().parent.parent / "BENCH_pipeline_scale.json",
+))
 
 #: End-to-end wall seconds of this benchmark at the growth seed
 #: (commit 996a564: pure-Python per-VM sweeps + per-event-name
@@ -84,6 +91,46 @@ def run_daily_job(events, services, backend=None):
     return result, context.last_job_metrics
 
 
+def _best_of(repeats, fn, *args, **kwargs):
+    walls = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn(*args, **kwargs)
+        walls.append(time.perf_counter() - started)
+    return min(walls)
+
+
+def compare_compute_paths(events, services, backend):
+    """Row-dict vs columnar timings on one shared, pre-ingested job.
+
+    Times only :meth:`DailyCdiJob.run` (the daily compute), not job
+    construction or ingestion, so the ratio isolates the scan + resolve
+    path difference; plus the raw table-scan timings underneath.
+    """
+    context = EngineContext(parallelism=PARALLELISM, backend=backend)
+    job = DailyCdiJob(context, TableStore(), ConfigDB(), default_catalog())
+    job.store_weights(default_weights())
+    job.ingest_events(events, "bench")
+    # Warm both paths (seals the column blocks, fills weight caches).
+    job.run("bench", services, use_columnar=True)
+    job.run("bench", services, use_columnar=False)
+    run_columnar = _best_of(TIMED_REPEATS, job.run, "bench", services,
+                            use_columnar=True)
+    run_rows = _best_of(TIMED_REPEATS, job.run, "bench", services,
+                        use_columnar=False)
+
+    table = job.tables.get(EVENTS_TABLE)
+    scan_rows = _best_of(TIMED_REPEATS, table.rows, "bench")
+    scan_columns = _best_of(TIMED_REPEATS, table.columns, "bench")
+    return {
+        "job_run_columnar_seconds": run_columnar,
+        "job_run_rows_seconds": run_rows,
+        "columnar_speedup_vs_rows": run_rows / run_columnar,
+        "scan_rows_seconds": scan_rows,
+        "scan_columns_seconds": scan_columns,
+    }
+
+
 def test_sec5_pipeline_scale(benchmark):
     backend = os.environ.get("REPRO_BENCH_BACKEND", "thread")
     events, services = build_job_inputs()
@@ -99,6 +146,8 @@ def test_sec5_pipeline_scale(benchmark):
         walls.append(time.perf_counter() - started)
     wall_seconds = min(walls)
 
+    paths = compare_compute_paths(events, services, backend)
+
     print_table(
         "Section V: daily job scale (laptop-scale analogue)",
         ["quantity", "paper (production)", "reproduced"],
@@ -113,6 +162,13 @@ def test_sec5_pipeline_scale(benchmark):
              f"{wall_seconds * 1000:.1f} ms (best of {TIMED_REPEATS})"),
             ("speedup vs seed", "-",
              f"{SEED_BASELINE_WALL_SECONDS / wall_seconds:.1f}x"),
+            ("columnar vs row-dict run", "-",
+             f"{paths['columnar_speedup_vs_rows']:.1f}x "
+             f"({paths['job_run_columnar_seconds'] * 1000:.1f} ms vs "
+             f"{paths['job_run_rows_seconds'] * 1000:.1f} ms)"),
+            ("columnar vs row scan", "-",
+             f"{paths['scan_columns_seconds'] * 1000:.2f} ms vs "
+             f"{paths['scan_rows_seconds'] * 1000:.2f} ms"),
         ],
     )
 
@@ -128,6 +184,7 @@ def test_sec5_pipeline_scale(benchmark):
         "task_count": metrics.task_count,
         "seed_baseline_wall_seconds": SEED_BASELINE_WALL_SECONDS,
         "speedup_vs_seed": SEED_BASELINE_WALL_SECONDS / wall_seconds,
+        **paths,
     }, indent=2) + "\n")
 
     assert result.vm_count == VM_COUNT

@@ -1,0 +1,45 @@
+"""CI gate: the columnar daily-job path must not be slower than rows.
+
+Reads the JSON artifact written by ``bench_sec5_pipeline_scale.py``
+and fails (exit 1) when ``columnar_speedup_vs_rows`` falls below the
+threshold.  CI runs the smoke fleet with threshold 1.0 ("never
+slower"); the committed full-scale artifact is held to the 1.5x bar
+of the columnar-refactor acceptance criteria.
+
+Usage::
+
+    python benchmarks/check_columnar_speedup.py RESULT.json [THRESHOLD]
+"""
+
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str]) -> int:
+    if not 2 <= len(argv) <= 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = Path(argv[1])
+    threshold = float(argv[2]) if len(argv) == 3 else 1.0
+    data = json.loads(path.read_text())
+    speedup = data.get("columnar_speedup_vs_rows")
+    if speedup is None:
+        print(f"{path}: no columnar_speedup_vs_rows key — "
+              f"was the benchmark run with the columnar comparison?",
+              file=sys.stderr)
+        return 1
+    columnar_ms = data["job_run_columnar_seconds"] * 1000
+    rows_ms = data["job_run_rows_seconds"] * 1000
+    print(f"columnar {columnar_ms:.1f} ms vs rows {rows_ms:.1f} ms "
+          f"at {data['vm_count']} VMs: {speedup:.2f}x "
+          f"(threshold {threshold:.2f}x)")
+    if speedup < threshold:
+        print(f"FAIL: columnar path is below the {threshold:.2f}x bar",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -216,6 +216,20 @@ class FleetTables:
     event_rows: list[dict]
 
 
+@dataclass(frozen=True, slots=True)
+class FleetColumns:
+    """Column-major output of one fleet sweep.
+
+    The same two tables as :class:`FleetTables` but as column value
+    lists, already in the canonical output order (VMs sorted; event
+    rows by ``(vm, event)``) — ready for a columnar partition write
+    with no row-dict materialization in between.
+    """
+
+    vm_columns: dict[str, list]
+    event_columns: dict[str, list]
+
+
 #: Flat resolved interval: ``(name, weight, category index, start, end)``.
 #: Plain tuples instead of :class:`~repro.core.periods.EventPeriod`
 #: objects — at fleet scale the dataclass construction cost alone
@@ -302,25 +316,147 @@ def fleet_cdi_tables_flat(
                 add_cat(base + category_index)
                 add_name(name_gid)
 
+    return _fleet_tables_from_halves(
+        vm_list, durations,
+        np.array(starts, dtype=np.float64),
+        np.array(ends, dtype=np.float64),
+        np.array(interval_weights, dtype=np.float64),
+        np.array(cat_gids, dtype=np.int64),
+        np.array(name_gids, dtype=np.int64),
+        name_groups,
+    )
+
+
+def fleet_cdi_columns_columnar(
+    vm_list: Sequence[str],
+    svc_starts: np.ndarray,
+    svc_ends: np.ndarray,
+    vm_idx: np.ndarray,
+    name_ids: np.ndarray,
+    names_list: Sequence[str],
+    weights: np.ndarray,
+    cats: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+) -> FleetColumns:
+    """Array-native kernel assembly — the columnar daily path.
+
+    Inputs are parallel arrays of weight-resolved, **unclipped**
+    intervals straight out of the column-block resolution stage:
+    ``vm_idx`` indexes into ``vm_list`` (every VM in service, sorted),
+    ``name_ids`` into ``names_list`` (distinct resolved event names),
+    and ``svc_starts``/``svc_ends`` are the per-VM service bounds
+    aligned with ``vm_list``.  Clipping, drill-down group registration,
+    and filtering are vectorized, and the output stays column-major end
+    to end — no row dicts anywhere.  The table *values* are
+    bit-identical to :func:`fleet_cdi_tables_flat`'s: the grouped
+    kernel is insertion-order independent (reordering intervals only
+    permutes zero-length boundary segments, whose products are exactly
+    ``0.0``), the per-group normalizations are the same elementwise
+    IEEE divisions, and the output orders are the same canonical sorts.
+    """
+    durations_arr = svc_ends - svc_starts
+    durations = durations_arr.tolist()
+    name_count = max(len(names_list), 1)
+    # Drill-down groups exist for every resolved interval, clipped-out
+    # or zero-weight occurrences included (their CDI is then 0.0) —
+    # matching the reference per-name re-sweep.
+    pair = vm_idx * name_count + name_ids
+    uniq_pairs, name_gids_all = np.unique(pair, return_inverse=True)
+    group_vms = uniq_pairs // name_count
+    group_names = [names_list[i] for i in (uniq_pairs % name_count).tolist()]
+    clipped_starts = np.maximum(starts, svc_starts[vm_idx])
+    clipped_ends = np.minimum(ends, svc_ends[vm_idx])
+    keep = (clipped_ends > clipped_starts) & (weights > 0.0)
+
     vm_count = len(vm_list)
     cat_group_count = 3 * vm_count
-    num_groups = cat_group_count + len(name_groups)
+    integral_arr = _doubled_group_integrals(
+        clipped_starts[keep], clipped_ends[keep],
+        np.ascontiguousarray(weights, dtype=np.float64)[keep],
+        3 * vm_idx[keep] + cats[keep],
+        np.ascontiguousarray(name_gids_all, dtype=np.int64)[keep],
+        cat_group_count, cat_group_count + len(uniq_pairs),
+    )
 
-    # Each interval participates in two groups — its (vm, category)
-    # sub-metric group and its (vm, event-name) drill-down group — so
-    # the coordinate arrays are doubled while the gid arrays differ.
-    half_starts = np.array(starts, dtype=np.float64)
-    half_ends = np.array(ends, dtype=np.float64)
-    half_weights = np.array(interval_weights, dtype=np.float64)
+    cat_cdi = integral_arr[:cat_group_count].reshape(vm_count, 3)
+    cat_cdi = cat_cdi / durations_arr[:, None] if vm_count else cat_cdi
+    vm_columns = {
+        "vm": list(vm_list),
+        "unavailability": cat_cdi[:, 0].tolist(),
+        "performance": cat_cdi[:, 1].tolist(),
+        "control_plane": cat_cdi[:, 2].tolist(),
+        "service_time": durations,
+    }
+
+    if len(uniq_pairs):
+        name_cdi = (integral_arr[cat_group_count:]
+                    / durations_arr[group_vms]).tolist()
+    else:
+        name_cdi = []
+    group_vm_list = group_vms.tolist()
+    # Canonical event-table order: (vm, event) lexicographic.  vm_list
+    # is sorted, so ordering by vm index == ordering by vm string; the
+    # groups arrive sorted by (vm index, name *id*), which is not
+    # alphabetical in the name — resort by the actual string.
+    order = sorted(
+        range(len(group_names)),
+        key=lambda i: (group_vm_list[i], group_names[i]),
+    )
+    event_columns = {
+        "vm": [vm_list[group_vm_list[i]] for i in order],
+        "event": [group_names[i] for i in order],
+        "cdi": [name_cdi[i] for i in order],
+        "service_time": [durations[group_vm_list[i]] for i in order],
+    }
+    return FleetColumns(vm_columns=vm_columns, event_columns=event_columns)
+
+
+def _doubled_group_integrals(
+    half_starts: np.ndarray,
+    half_ends: np.ndarray,
+    half_weights: np.ndarray,
+    cat_gids: np.ndarray,
+    name_gids: np.ndarray,
+    cat_group_count: int,
+    num_groups: int,
+) -> np.ndarray:
+    """One kernel sweep over both group spaces of the fleet tables.
+
+    Each interval participates in two groups — its (vm, category)
+    sub-metric group and its (vm, event-name) drill-down group — so
+    the coordinate arrays are doubled while the gid arrays differ
+    (drill-down gids are offset past the category block).
+    """
     starts_arr = np.concatenate((half_starts, half_starts))
     ends_arr = np.concatenate((half_ends, half_ends))
     weights_arr = np.concatenate((half_weights, half_weights))
-    gids_arr = np.concatenate((
-        np.array(cat_gids, dtype=np.int64),
-        np.array(name_gids, dtype=np.int64) + cat_group_count,
-    ))
-    integral_arr = grouped_damage_integrals(
+    gids_arr = np.concatenate((cat_gids, name_gids + cat_group_count))
+    return grouped_damage_integrals(
         starts_arr, ends_arr, weights_arr, gids_arr, num_groups
+    )
+
+
+def _fleet_tables_from_halves(
+    vm_list: list[str],
+    durations: list[float],
+    half_starts: np.ndarray,
+    half_ends: np.ndarray,
+    half_weights: np.ndarray,
+    cat_gids: np.ndarray,
+    name_gids: np.ndarray,
+    name_groups: list[tuple[int, str]],
+) -> FleetTables:
+    """Shared tail of the row-oriented fleet-table builders: one kernel
+    sweep plus row assembly.  ``cat_gids``/``name_gids`` are the two
+    group ids of each kept interval; ``name_groups`` maps drill-down
+    group id → ``(vm index, event name)``."""
+    vm_count = len(vm_list)
+    cat_group_count = 3 * vm_count
+    num_groups = cat_group_count + len(name_groups)
+    integral_arr = _doubled_group_integrals(
+        half_starts, half_ends, half_weights, cat_gids, name_gids,
+        cat_group_count, num_groups,
     )
 
     # Normalize by service time in bulk (elementwise IEEE division is

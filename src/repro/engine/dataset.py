@@ -301,6 +301,32 @@ class EngineContext:
         """A dataset with no rows."""
         return self.parallelize([], num_partitions=1, name="empty")
 
+    def scan_columns(self, table: Any, partition: str | None = None,
+                     names: Sequence[str] | None = None, *,
+                     predicate: Any = None,
+                     num_partitions: int | None = None,
+                     name: str = "scan_columns") -> "Dataset[Any]":
+        """Column-batch scan source over a columnar table.
+
+        The columnar analogue of :meth:`parallelize`: ``table`` is any
+        object exposing ``column_batches(partition=..., names=...,
+        predicate=..., batches=...)`` (duck-typed so the engine stays
+        independent of the storage layer — in practice a
+        :class:`repro.storage.table.Table`).  Each engine partition
+        holds exactly one :class:`~repro.storage.columns.ColumnBatch`,
+        a zero-copy row-range of typed column arrays, so stages operate
+        on ``(vm_ids, name_ids, times, levels, ...)`` vectors instead
+        of row dicts.  Partition/column pruning and row predicates are
+        pushed down into the store.
+        """
+        parts = num_partitions or self.parallelism
+        batches = table.column_batches(
+            partition=partition, names=names, predicate=predicate,
+            batches=parts,
+        )
+        chunks: list[list[Any]] = [[batch] for batch in batches] or [[]]
+        return Dataset(self, SourceNode(chunks, name=name))
+
     @property
     def last_job_metrics(self) -> JobMetrics:
         """Metrics of the most recent action on this context."""

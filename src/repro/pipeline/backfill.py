@@ -15,7 +15,6 @@ from repro.core.events import Event
 from repro.core.indicator import ServicePeriod
 from repro.pipeline.daily import DailyCdiJob, DailyJobResult
 from repro.pipeline.monitor import CdiMonitor
-from repro.pipeline.tables import EVENT_CDI_TABLE, VM_CDI_TABLE
 
 #: Supplies one day's raw events given (day_index, partition_label).
 EventSource = Callable[[int, str], Sequence[Event]]
@@ -61,11 +60,8 @@ def run_days(
         job.ingest_events(events, partition)
         result = job.run(partition, services)
         results.append(result)
-        monitor.observe_day(
-            partition,
-            job._tables.get(VM_CDI_TABLE).rows(partition),
-            job._tables.get(EVENT_CDI_TABLE).rows(partition),
-        )
+        vm_rows, event_rows = job.output_rows(partition)
+        monitor.observe_day(partition, vm_rows, event_rows)
     return BackfillResult(
         partitions=tuple(partitions),
         job_results=tuple(results),

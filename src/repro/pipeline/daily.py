@@ -23,15 +23,18 @@ backends, and compute paths all produce byte-identical tables.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from operator import itemgetter
 from typing import Any, Iterable, Iterator, Mapping
+
+import numpy as np
 
 from repro.core.events import Event, EventCatalog, Severity
 from repro.core.fastpath import (
     FlatInterval,
     ResolverIndex,
     WeightTable,
+    fleet_cdi_columns_columnar,
     fleet_cdi_tables_flat,
 )
 from repro.core.indicator import CdiCalculator, CdiReport, ServicePeriod
@@ -147,17 +150,177 @@ class _ResolveIntervalsStage:
     def _resolve_stateful(
         self, rows: list[Mapping[str, Any]]
     ) -> list[FlatInterval]:
-        events = [row_to_event(row) for row in rows]
-        periods = resolve_periods(events, self.catalog, horizon=self.horizon)
-        lookup = self.weight_table.entries.get
-        flat: list[FlatInterval] = []
-        for period in periods:
-            entry = lookup((period.name, period.level))
-            if entry is not None:
-                flat.append(
-                    (period.name, entry[0], entry[1], period.start, period.end)
-                )
-        return flat
+        return _resolve_stateful_rows(
+            rows, self.catalog, self.weight_table, self.horizon
+        )
+
+
+def _resolve_stateful_rows(
+    rows: list[Mapping[str, Any]], catalog: EventCatalog,
+    weight_table: WeightTable, horizon: float,
+) -> list[FlatInterval]:
+    """Reference start/end pairing + weight lookup for stateful rows.
+
+    Shared by the row-wise and columnar fast paths: stateful detail
+    events are rare, so both paths hand them to the same reference
+    resolution in :func:`~repro.core.periods.resolve_periods`.
+    """
+    events = [row_to_event(row) for row in rows]
+    periods = resolve_periods(events, catalog, horizon=horizon)
+    lookup = weight_table.entries.get
+    flat: list[FlatInterval] = []
+    for period in periods:
+        entry = lookup((period.name, period.level))
+        if entry is not None:
+            flat.append(
+                (period.name, entry[0], entry[1], period.start, period.end)
+            )
+    return flat
+
+
+@dataclass(frozen=True, slots=True)
+class _ResolvedBatch:
+    """Per-column-batch output of :class:`_ResolveColumnsStage`.
+
+    Carries the stateless resolution as parallel numpy arrays (indices
+    into the batch-local ``names`` table) plus the raw stateful rows,
+    which the driver re-resolves through the reference pairing.
+    """
+
+    names: tuple[str, ...]
+    name_ids: np.ndarray
+    vm_idx: np.ndarray
+    weights: np.ndarray
+    cats: np.ndarray
+    starts: np.ndarray
+    ends: np.ndarray
+    event_count: int
+    stateful: list[tuple[str, dict[str, Any]]] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class _ResolveColumnsStage:
+    """Engine stage: ``ColumnBatch → _ResolvedBatch`` (no row dicts).
+
+    The columnar fast path's period resolution: event names and targets
+    are factorized with ``np.unique`` once per batch, weight/category/
+    window lookups become small per-unique-name tables, and the whole
+    batch is resolved with array gathers — the hot loop touches no
+    Python object per event.  Stateless semantics (including the
+    negative-duration error and the skip of unknown weights/levels) are
+    bit-identical to :class:`_ResolveIntervalsStage`; stateful rows are
+    reconstructed as dicts and deferred to the driver.
+    """
+
+    index: ResolverIndex
+    vm_of: Mapping[str, int]
+
+    def __call__(self, part: Iterable[Any]) -> list[_ResolvedBatch]:
+        return [self._resolve(batch) for batch in part]
+
+    def _resolve(self, batch: Any) -> _ResolvedBatch:
+        size = len(batch)
+        if size == 0:
+            empty_f = np.empty(0, dtype=np.float64)
+            empty_i = np.empty(0, dtype=np.int64)
+            return _ResolvedBatch((), empty_i, empty_i.copy(), empty_f,
+                                  empty_i.copy(), empty_f.copy(),
+                                  empty_f.copy(), 0)
+        names_col = batch.values("name")
+        targets = batch.values("target")
+        times = np.asarray(batch.values("time"), dtype=np.float64)
+        levels = np.asarray(batch.values("level"), dtype=np.int64)
+        dur_block = batch.column("duration")
+        dur_vals = np.asarray(dur_block.values, dtype=np.float64)
+        dur_null = dur_block.null_mask
+        if dur_null is None:
+            dur_null = np.zeros(size, dtype=np.bool_)
+
+        vm_of = self.vm_of
+        uniq_targets, inv_t = np.unique(targets, return_inverse=True)
+        target_codes = np.fromiter(
+            (vm_of.get(t, -1) for t in uniq_targets.tolist()),
+            dtype=np.int64, count=len(uniq_targets),
+        )
+        vm_idx_all = target_codes[inv_t]
+        in_service = vm_idx_all >= 0
+        event_count = int(np.count_nonzero(in_service))
+
+        uniq_names, inv_n = np.unique(names_col, return_inverse=True)
+        num_levels = int(Severity.FATAL) + 1
+        k = len(uniq_names)
+        windows = np.zeros(k, dtype=np.float64)
+        kind = np.zeros(k, dtype=np.int8)  # 0 unknown / 1 stateless / 2 stateful
+        has_entry = np.zeros((k, num_levels), dtype=np.bool_)
+        weight_lut = np.zeros((k, num_levels), dtype=np.float64)
+        cat_lut = np.zeros((k, num_levels), dtype=np.int64)
+        stateless = self.index.stateless
+        stateful_names = self.index.stateful_names
+        names_tuple = tuple(uniq_names.tolist())
+        for j, name in enumerate(names_tuple):
+            info = stateless.get(name)
+            if info is not None:
+                kind[j] = 1
+                windows[j] = info[0]
+                for level, (weight, category) in info[1].items():
+                    if 0 <= level < num_levels:
+                        has_entry[j, level] = True
+                        weight_lut[j, level] = weight
+                        cat_lut[j, level] = category
+            elif name in stateful_names:
+                kind[j] = 2
+
+        kinds_all = kind[inv_n]
+        level_ok = (levels >= 0) & (levels < num_levels)
+        safe_levels = np.where(level_ok, levels, 0)
+        sel = in_service & (kinds_all == 1) & level_ok
+        sel &= has_entry[inv_n, safe_levels]
+
+        # The row path raises on a negative *explicit* duration for any
+        # stateless in-service event whose (name, level) has a weight
+        # entry — reproduce that before building intervals.
+        explicit = sel & ~dur_null & (dur_vals < 0)
+        if explicit.any():
+            bad = int(np.argmax(explicit))
+            raise ValueError(
+                f"negative duration {float(dur_vals[bad])} on event "
+                f"{names_col[bad]!r}"
+            )
+
+        sel_idx = np.nonzero(sel)[0]
+        sel_names = inv_n[sel_idx]
+        sel_levels = levels[sel_idx]
+        durations = np.where(
+            dur_null[sel_idx], windows[sel_names], dur_vals[sel_idx]
+        )
+        ends = times[sel_idx]
+
+        stateful_rows: list[tuple[str, dict[str, Any]]] = []
+        if (kinds_all == 2).any():
+            exp_vals = np.asarray(
+                batch.values("expire_interval"), dtype=np.float64
+            )
+            for i in np.nonzero(in_service & (kinds_all == 2))[0].tolist():
+                stateful_rows.append((targets[i], {
+                    "name": names_col[i],
+                    "time": float(times[i]),
+                    "target": targets[i],
+                    "level": int(levels[i]),
+                    "expire_interval": float(exp_vals[i]),
+                    "duration": None if dur_null[i] else float(dur_vals[i]),
+                }))
+
+        return _ResolvedBatch(
+            names=names_tuple,
+            name_ids=np.ascontiguousarray(sel_names, dtype=np.int64),
+            vm_idx=np.ascontiguousarray(vm_idx_all[sel_idx], dtype=np.int64),
+            weights=weight_lut[sel_names, sel_levels],
+            cats=cat_lut[sel_names, sel_levels],
+            starts=ends - durations,
+            ends=ends,
+            event_count=event_count,
+            stateful=stateful_rows,
+        )
 
 
 @dataclass(frozen=True)
@@ -221,16 +384,22 @@ class DailyCdiJob:
         Default compute path for :meth:`run`.  ``True`` (default) uses
         the vectorized fleet kernel; ``False`` the per-VM reference
         sweep.  Either way the output tables are identical.
+    use_columnar:
+        When the fast path is active, read the events table through the
+        columnar scan (``True``, default) instead of materializing row
+        dicts.  Output tables are byte-identical either way.
     """
 
     def __init__(self, context: EngineContext, tables: TableStore,
                  config_db: ConfigDB, catalog: EventCatalog, *,
-                 use_fastpath: bool = True) -> None:
+                 use_fastpath: bool = True,
+                 use_columnar: bool = True) -> None:
         self._context = context
         self._tables = tables
         self._config_db = config_db
         self._catalog = catalog
         self._use_fastpath = use_fastpath
+        self._use_columnar = use_columnar
         # (config version → resolved weight table + resolver index);
         # weight resolution is computed once per configuration, not
         # once per run (let alone once per period).
@@ -241,6 +410,24 @@ class DailyCdiJob:
             (EVENT_CDI_TABLE, event_cdi_schema()),
         ):
             tables.create(name, schema, if_not_exists=True)
+
+    @property
+    def tables(self) -> TableStore:
+        """The job's table store (events + the two output tables)."""
+        return self._tables
+
+    def output_rows(
+        self, partition: str
+    ) -> tuple[list[dict[str, Any]], list[dict[str, Any]]]:
+        """``(vm_cdi, event_cdi)`` rows written for one partition.
+
+        Public read path for downstream consumers (e.g. the backfill
+        runner) so they don't reach into the private table store.
+        """
+        return (
+            self._tables.get(VM_CDI_TABLE).rows(partition=partition),
+            self._tables.get(EVENT_CDI_TABLE).rows(partition=partition),
+        )
 
     # -- ingestion ---------------------------------------------------------
 
@@ -273,21 +460,46 @@ class DailyCdiJob:
     # -- the job -------------------------------------------------------------
 
     def run(self, partition: str, services: Mapping[str, ServicePeriod], *,
-            use_fastpath: bool | None = None) -> DailyJobResult:
+            use_fastpath: bool | None = None,
+            use_columnar: bool | None = None) -> DailyJobResult:
         """Compute and write the two output tables for one day.
 
         ``services`` maps each VM in service to its service period; VMs
         without any events still contribute zero-CDI rows (their
         service time dilutes the fleet aggregate, Formula 4).
-        ``use_fastpath`` overrides the job default for this run.
+        ``use_fastpath`` / ``use_columnar`` override the job defaults
+        for this run.
         """
-        rows = self._tables.get(EVENTS_TABLE).rows(
-            partition=partition, copy=False
-        )
         horizon = max((s.end for s in services.values()), default=0.0)
 
         fast = self._use_fastpath if use_fastpath is None else use_fastpath
+        columnar = (
+            self._use_columnar if use_columnar is None else use_columnar
+        )
+        if fast and columnar:
+            # Column blocks in, column blocks out: the outputs are
+            # written through the vectorized columnar validation, never
+            # materializing row dicts (values and order are identical
+            # to the row-path writes below).
+            vm_columns, event_columns, event_count = self._run_columnar(
+                partition, services, horizon
+            )
+            self._tables.get(VM_CDI_TABLE).overwrite_partition_columns(
+                vm_columns, partition
+            )
+            self._tables.get(EVENT_CDI_TABLE).overwrite_partition_columns(
+                event_columns, partition
+            )
+            return DailyJobResult(
+                partition=partition,
+                vm_count=len(vm_columns["vm"]),
+                event_count=event_count,
+                fleet_report=fleet_report_from_columns(vm_columns),
+            )
         if fast:
+            rows = self._tables.get(EVENTS_TABLE).rows(
+                partition=partition, copy=False
+            )
             # Every VM in service goes through the kernel (eventless VMs
             # contribute zero records and come back as zero rows), in
             # sorted order — so vm_rows needs no fill pass and no sort,
@@ -305,6 +517,9 @@ class DailyCdiJob:
                 grouped, services, horizon
             )
         else:
+            rows = self._tables.get(EVENTS_TABLE).rows(
+                partition=partition, copy=False
+            )
             weights = self.load_weights()
             events = [row_to_event(row) for row in rows]
             in_service = [e for e in events if e.target in services]
@@ -350,6 +565,121 @@ class DailyCdiJob:
         tables = fleet_cdi_tables_flat(resolved, services)
         return tables.vm_rows, tables.event_rows
 
+    def _run_columnar(
+        self, partition: str, services: Mapping[str, ServicePeriod],
+        horizon: float,
+    ) -> tuple[dict[str, list], dict[str, list], int]:
+        """Columnar fast path: column-batch scan → vectorized kernel.
+
+        The events table is scanned as typed column blocks (no row
+        dicts), each engine partition resolves its batch with array
+        gathers, and the per-batch name tables are merged into one
+        global table before the fleet kernel sweep.  Stateful detail
+        rows (rare) fall back to the reference pairing per VM.  Returns
+        the two output tables as column value lists in canonical order.
+        """
+        weight_table, index = self._resolved_weights()
+        vm_list = sorted(services)
+        vm_of = {vm: i for i, vm in enumerate(vm_list)}
+        stage = _ResolveColumnsStage(index, vm_of)
+        resolved = (
+            self._context.scan_columns(
+                self._tables.get(EVENTS_TABLE), partition=partition,
+                name="events_columns",
+            )
+            .map_partitions(stage, name="resolve_columns")
+            .collect()
+        )
+
+        name_of: dict[str, int] = {}
+        names_list: list[str] = []
+        vm_parts: list[np.ndarray] = []
+        nid_parts: list[np.ndarray] = []
+        w_parts: list[np.ndarray] = []
+        c_parts: list[np.ndarray] = []
+        s_parts: list[np.ndarray] = []
+        e_parts: list[np.ndarray] = []
+        stateful_by_vm: dict[str, list[dict[str, Any]]] = {}
+        event_count = 0
+        for bundle in resolved:
+            event_count += bundle.event_count
+            if len(bundle.name_ids):
+                # Remap batch-local name ids onto the global name table.
+                lut = np.empty(len(bundle.names), dtype=np.int64)
+                for j, name in enumerate(bundle.names):
+                    gid = name_of.get(name)
+                    if gid is None:
+                        gid = len(names_list)
+                        name_of[name] = gid
+                        names_list.append(name)
+                    lut[j] = gid
+                nid_parts.append(lut[bundle.name_ids])
+                vm_parts.append(bundle.vm_idx)
+                w_parts.append(bundle.weights)
+                c_parts.append(bundle.cats)
+                s_parts.append(bundle.starts)
+                e_parts.append(bundle.ends)
+            for vm, row in bundle.stateful:
+                stateful_by_vm.setdefault(vm, []).append(row)
+
+        if stateful_by_vm:
+            st_vm: list[int] = []
+            st_nid: list[int] = []
+            st_w: list[float] = []
+            st_c: list[int] = []
+            st_s: list[float] = []
+            st_e: list[float] = []
+            for vm, vm_rows_ in stateful_by_vm.items():
+                flat = _resolve_stateful_rows(
+                    vm_rows_, self._catalog, weight_table, horizon
+                )
+                vm_i = vm_of[vm]
+                for name, weight, category, start, end in flat:
+                    gid = name_of.get(name)
+                    if gid is None:
+                        gid = len(names_list)
+                        name_of[name] = gid
+                        names_list.append(name)
+                    st_vm.append(vm_i)
+                    st_nid.append(gid)
+                    st_w.append(weight)
+                    st_c.append(category)
+                    st_s.append(start)
+                    st_e.append(end)
+            vm_parts.append(np.array(st_vm, dtype=np.int64))
+            nid_parts.append(np.array(st_nid, dtype=np.int64))
+            w_parts.append(np.array(st_w, dtype=np.float64))
+            c_parts.append(np.array(st_c, dtype=np.int64))
+            s_parts.append(np.array(st_s, dtype=np.float64))
+            e_parts.append(np.array(st_e, dtype=np.float64))
+
+        if vm_parts:
+            vm_idx = np.concatenate(vm_parts)
+            name_ids = np.concatenate(nid_parts)
+            weights = np.concatenate(w_parts)
+            cats = np.concatenate(c_parts)
+            starts = np.concatenate(s_parts)
+            ends = np.concatenate(e_parts)
+        else:
+            vm_idx = np.empty(0, dtype=np.int64)
+            name_ids = np.empty(0, dtype=np.int64)
+            weights = np.empty(0, dtype=np.float64)
+            cats = np.empty(0, dtype=np.int64)
+            starts = np.empty(0, dtype=np.float64)
+            ends = np.empty(0, dtype=np.float64)
+
+        svc_starts = np.array(
+            [services[vm].start for vm in vm_list], dtype=np.float64
+        )
+        svc_ends = np.array(
+            [services[vm].end for vm in vm_list], dtype=np.float64
+        )
+        columns = fleet_cdi_columns_columnar(
+            vm_list, svc_starts, svc_ends, vm_idx, name_ids, names_list,
+            weights, cats, starts, ends,
+        )
+        return columns.vm_columns, columns.event_columns, event_count
+
     def _run_reference(
         self, in_service: list[Event],
         services: Mapping[str, ServicePeriod],
@@ -394,6 +724,33 @@ def fleet_report_from_rows(rows: list[Mapping[str, Any]]) -> CdiReport:
         num_u += service_time * r["unavailability"]
         num_p += service_time * r["performance"]
         num_c += service_time * r["control_plane"]
+        total += service_time
+    if total == 0.0:
+        return CdiReport(unavailability=0.0, performance=0.0,
+                         control_plane=0.0, service_time=total)
+    return CdiReport(
+        unavailability=num_u / total,
+        performance=num_p / total,
+        control_plane=num_c / total,
+        service_time=total,
+    )
+
+
+def fleet_report_from_columns(columns: Mapping[str, list]) -> CdiReport:
+    """Formula 4 over vm_cdi *columns* — same accumulation order and
+    scalar operations as :func:`fleet_report_from_rows`, so both paths
+    produce the identical report (not a numpy sum: pairwise summation
+    would round differently)."""
+    num_u = num_p = num_c = total = 0.0
+    for service_time, u, p, c in zip(
+        columns["service_time"], columns["unavailability"],
+        columns["performance"], columns["control_plane"],
+    ):
+        if service_time < 0:
+            raise ValueError(f"negative service time {service_time}")
+        num_u += service_time * u
+        num_p += service_time * p
+        num_c += service_time * c
         total += service_time
     if total == 0.0:
         return CdiReport(unavailability=0.0, performance=0.0,

@@ -6,6 +6,11 @@
 * :class:`ConfigDB` — MySQL-like versioned configuration store.
 """
 
+from repro.storage.columns import (
+    ColumnBatch,
+    ColumnBlock,
+    ColumnarPartition,
+)
 from repro.storage.configdb import (
     ConfigDB,
     ConfigNotFoundError,
@@ -31,6 +36,9 @@ from repro.storage.table import (
 __all__ = [
     "DEFAULT_PARTITION",
     "Column",
+    "ColumnBatch",
+    "ColumnBlock",
+    "ColumnarPartition",
     "ConfigDB",
     "ConfigNotFoundError",
     "ConfigRecord",

@@ -5,6 +5,20 @@ stand-ins the same property so a daily pipeline can survive process
 restarts (and so experiments can checkpoint their tables).  Schemas
 are serialized alongside the data; unknown dtypes are rejected rather
 than silently coerced.
+
+Two on-disk layouts exist for table stores:
+
+* **v1 (legacy, row-major)** — one JSON object per table with
+  ``partitions`` as lists of row dicts.  Still readable (and writable
+  via ``layout="rows"``) for backward compatibility.
+* **v2 (columnar)** — the current default: an envelope
+  ``{"format": "repro-table-store", "version": 2, ...}`` whose
+  partitions store column-major value lists (``null`` for masked
+  slots), mirroring the in-memory typed column blocks.  Loading goes
+  through the vectorized columnar schema validation.
+
+:func:`load_table_store` auto-detects the layout, so existing row-major
+files keep loading after the migration.
 """
 
 from __future__ import annotations
@@ -19,6 +33,10 @@ from repro.storage.table import Table, TableStore
 
 _DTYPE_NAMES = {str: "str", int: "int", float: "float", bool: "bool"}
 _DTYPES_BY_NAME = {name: dtype for dtype, name in _DTYPE_NAMES.items()}
+
+#: Envelope marker + current version of the columnar layout.
+STORE_FORMAT = "repro-table-store"
+COLUMNAR_VERSION = 2
 
 
 def _schema_to_dict(schema: Schema) -> list[dict[str, Any]]:
@@ -44,30 +62,101 @@ def _schema_from_dict(data: list[dict[str, Any]]) -> Schema:
     ])
 
 
-def save_table_store(store: TableStore, path: str | Path) -> None:
-    """Serialize every table (schema + partitions) to one JSON file."""
-    payload = {}
+def _columnar_partition_payload(table: Table, partition: str) -> dict[str, Any]:
+    blocks = table.columns(partition)
+    return {
+        "rows": table.count(partition),
+        "columns": {
+            name: block.to_pylist() for name, block in blocks.items()
+        },
+    }
+
+
+def save_table_store(store: TableStore, path: str | Path, *,
+                     layout: str = "columnar") -> None:
+    """Serialize every table (schema + partitions) to one JSON file.
+
+    ``layout="columnar"`` (default) writes the versioned column-major
+    format; ``layout="rows"`` writes the legacy v1 row-major layout for
+    consumers that have not migrated.
+    """
+    if layout == "rows":
+        payload: dict[str, Any] = {}
+        for name in store.names():
+            table = store.get(name)
+            payload[name] = {
+                "schema": _schema_to_dict(table.schema),
+                "partitions": {
+                    partition: table.rows(partition=partition)
+                    for partition in table.partitions
+                },
+            }
+        Path(path).write_text(json.dumps(payload))
+        return
+    if layout != "columnar":
+        raise ValueError(f"unknown table-store layout {layout!r}")
+    tables: dict[str, Any] = {}
     for name in store.names():
         table = store.get(name)
-        payload[name] = {
+        tables[name] = {
             "schema": _schema_to_dict(table.schema),
             "partitions": {
-                partition: table.rows(partition=partition)
+                partition: _columnar_partition_payload(table, partition)
                 for partition in table.partitions
             },
         }
-    Path(path).write_text(json.dumps(payload))
+    Path(path).write_text(json.dumps({
+        "format": STORE_FORMAT,
+        "version": COLUMNAR_VERSION,
+        "layout": "columnar",
+        "tables": tables,
+    }))
+
+
+def _load_columnar_store(payload: dict[str, Any],
+                         path: str | Path) -> TableStore:
+    version = payload.get("version")
+    if version != COLUMNAR_VERSION:
+        raise ValueError(
+            f"unsupported table-store version {version!r} in {path} "
+            f"(expected {COLUMNAR_VERSION})"
+        )
+    store = TableStore()
+    for name, table_data in payload["tables"].items():
+        schema = _schema_from_dict(table_data["schema"])
+        table = store.create(name, schema)
+        for partition, part_data in table_data["partitions"].items():
+            columns = part_data["columns"]
+            rows = part_data.get("rows")
+            loaded = table.overwrite_partition_columns(columns, partition)
+            if rows is not None and loaded != rows:
+                raise ValueError(
+                    f"partition {partition!r} of table {name!r} declares "
+                    f"{rows} rows but holds {loaded} in {path}"
+                )
+    return store
 
 
 def load_table_store(path: str | Path) -> TableStore:
-    """Inverse of :func:`save_table_store`; rows are re-validated."""
+    """Inverse of :func:`save_table_store`; data is re-validated.
+
+    Auto-detects the layout: versioned columnar envelopes load through
+    the vectorized column validation, legacy row-major files (v1)
+    through the row validators.  Empty partitions survive either way.
+    """
     payload = json.loads(Path(path).read_text())
+    if isinstance(payload.get("format"), str):
+        if payload["format"] != STORE_FORMAT:
+            raise ValueError(
+                f"unknown table-store format {payload['format']!r} in {path}"
+            )
+        return _load_columnar_store(payload, path)
     store = TableStore()
     for name, table_data in payload.items():
         schema = _schema_from_dict(table_data["schema"])
         table = store.create(name, schema)
         for partition, rows in table_data["partitions"].items():
-            table.append(rows, partition=partition)
+            table.overwrite_partition(rows, partition)
     return store
 
 

@@ -10,11 +10,25 @@ numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.storage.columns import ColumnBlock
 
 
 class SchemaError(ValueError):
     """A row does not conform to its table schema."""
+
+
+#: Exact value types each declared dtype admits (``set(map(type, ...))``
+#: membership).  ``bool`` is deliberately absent from the numeric sets —
+#: the per-cell validator rejects bools for int/float columns, and
+#: ``type(True) is bool`` keeps that exact semantics batch-side.
+_ALLOWED_TYPES: Mapping[type, frozenset[type]] = {
+    str: frozenset({str}),
+    int: frozenset({int}),
+    float: frozenset({float, int}),  # SQL-style int → float widening
+    bool: frozenset({bool}),
+}
 
 
 @dataclass(frozen=True, slots=True)
@@ -48,6 +62,34 @@ class Column:
                 f"got {type(value).__name__} ({value!r})"
             )
         return value
+
+    def validate_block(self, values: Sequence[Any]) -> ColumnBlock:
+        """Vectorized columnar validation: one column, all rows at once.
+
+        Instead of dispatching :meth:`validate` per cell, the batch is
+        checked with a single ``set(map(type, values))`` pass (a C-level
+        loop): if every value's exact type is admissible the whole
+        column seals straight into a typed :class:`ColumnBlock`.  Any
+        unexpected type falls back to the per-cell validator, so error
+        messages and subclass-widening semantics are identical to the
+        row path.
+        """
+        kinds = set(map(type, values))
+        has_null = type(None) in kinds
+        if has_null:
+            if not self.nullable:
+                raise SchemaError(f"column {self.name!r} is not nullable")
+            kinds.discard(type(None))
+        if not kinds <= _ALLOWED_TYPES[self.dtype]:
+            # Exotic types (violations, or subclasses like numpy
+            # scalars): per-cell validation raises the canonical
+            # SchemaError, or normalizes values we can then seal.
+            values = [self.validate(value) for value in values]
+        elif self.dtype is float and int in kinds:
+            values = [
+                value if value is None else float(value) for value in values
+            ]
+        return ColumnBlock.build(self.dtype, values)
 
 
 class Schema:
@@ -119,6 +161,44 @@ class Schema:
         error behavior is identical.
         """
         return self._batch_validator(rows, self.validate_row)
+
+    def validate_columns(
+        self, columns: Mapping[str, Sequence[Any]]
+    ) -> tuple[dict[str, ColumnBlock], int]:
+        """Columnar counterpart of :meth:`validate_rows`.
+
+        ``columns`` maps column names to equal-length value sequences.
+        Checks run per column (dtype and nullability over the whole
+        vector — see :meth:`Column.validate_block`) instead of per
+        cell.  Missing nullable columns become all-null blocks; missing
+        required columns, unknown names, and ragged lengths raise
+        :class:`SchemaError`.  Returns the sealed typed blocks plus the
+        row count.
+        """
+        unknown = set(columns) - set(self._by_name)
+        if unknown:
+            raise SchemaError(f"unknown columns {sorted(unknown)}")
+        lengths = {name: len(values) for name, values in columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise SchemaError(f"ragged column lengths: {lengths}")
+        length = next(iter(lengths.values()), 0)
+        blocks: dict[str, ColumnBlock] = {}
+        for column in self.columns:
+            if column.name in columns:
+                blocks[column.name] = column.validate_block(
+                    columns[column.name]
+                )
+            elif column.nullable or length == 0:
+                # Zero-row appends have no rows to violate the schema,
+                # matching ``validate_rows([])``.
+                blocks[column.name] = ColumnBlock.all_null(
+                    column.dtype, length
+                )
+            else:
+                raise SchemaError(
+                    f"missing required column {column.name!r}"
+                )
+        return blocks, length
 
 
 #: Compiled validators memoized by column signature: the pipeline

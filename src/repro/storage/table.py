@@ -5,12 +5,30 @@ MaxCompute table for long-term storage, and the daily Spark job writes
 two result tables back (per-VM indicators and event-level CDI).  This
 module provides the equivalent: schema-validated, partitioned,
 append-only tables with predicate scans.
+
+Storage is **columnar**: each partition holds typed column blocks
+(:mod:`repro.storage.columns`) — numpy arrays for numeric columns with
+validity masks for nullables, object arrays for strings.  The
+row-oriented API (:meth:`Table.append`, :meth:`Table.scan`,
+:meth:`Table.rows`) is preserved on top of the blocks for existing
+callers, while the columnar read path (:meth:`Table.columns`,
+:meth:`Table.column_batches`) hands vectorized consumers zero-copy
+column arrays with partition and column pruning.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Iterator, Mapping
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
+import numpy as np
+
+from repro.storage.columns import (
+    ColumnBatch,
+    ColumnBlock,
+    ColumnPredicate,
+    ColumnarPartition,
+    slice_batches,
+)
 from repro.storage.schema import Schema, SchemaError
 
 #: Partition key value used for rows appended without a partition.
@@ -19,6 +37,26 @@ DEFAULT_PARTITION = "default"
 
 class TableNotFoundError(KeyError):
     """Requested table does not exist in the store."""
+
+
+class _LazyColumns:
+    """Read-only name → :class:`ColumnBlock` view handed to predicates.
+
+    Columns seal lazily through the owning table's block loader, so a
+    predicate only pays for (and only counts as touching) the columns
+    it actually reads.
+    """
+
+    def __init__(self, loader: Callable[[Sequence[str]], Mapping[str, ColumnBlock]]) -> None:
+        self._loader = loader
+        self._cache: dict[str, ColumnBlock] = {}
+
+    def __getitem__(self, name: str) -> ColumnBlock:
+        block = self._cache.get(name)
+        if block is None:
+            block = self._loader([name])[name]
+            self._cache[name] = block
+        return block
 
 
 class Table:
@@ -32,7 +70,11 @@ class Table:
     def __init__(self, name: str, schema: Schema) -> None:
         self.name = name
         self.schema = schema
-        self._partitions: dict[str, list[dict[str, Any]]] = {}
+        self._dtypes = {c.name: c.dtype for c in schema.columns}
+        self._partitions: dict[str, ColumnarPartition] = {}
+
+    def _new_partition(self) -> ColumnarPartition:
+        return ColumnarPartition(self.schema.names, self._dtypes)
 
     # -- writes ----------------------------------------------------------------
 
@@ -41,18 +83,53 @@ class Table:
         """Validate and append rows into ``partition``; returns row count.
 
         Validation is all-or-nothing: a schema violation in any row
-        aborts the whole append, leaving the table unchanged.
+        aborts the whole append, leaving the table unchanged.  An empty
+        append is a no-op — it does not create the partition.
         """
         validated = self.schema.validate_rows(rows)
-        self._partitions.setdefault(partition, []).extend(validated)
+        if not validated:
+            return 0
+        stored = self._partitions.get(partition)
+        if stored is None:
+            stored = self._partitions[partition] = self._new_partition()
+        stored.extend_rows(validated)
         return len(validated)
+
+    def append_columns(self, columns: Mapping[str, Sequence[Any]],
+                       partition: str = DEFAULT_PARTITION) -> int:
+        """Columnar write path: validate and append whole columns.
+
+        Validation is vectorized per column
+        (:meth:`~repro.storage.schema.Schema.validate_columns`) and
+        all-or-nothing like :meth:`append`; zero-row appends are a
+        no-op.
+        """
+        blocks, length = self.schema.validate_columns(columns)
+        if length == 0:
+            return 0
+        stored = self._partitions.get(partition)
+        if stored is None:
+            stored = self._partitions[partition] = self._new_partition()
+        stored.extend_blocks(blocks, length)
+        return length
 
     def overwrite_partition(self, rows: Iterable[Mapping[str, Any]],
                             partition: str) -> int:
         """Replace the contents of one partition (idempotent daily write)."""
         validated = self.schema.validate_rows(rows)
-        self._partitions[partition] = validated
+        replacement = self._new_partition()
+        replacement.extend_rows(validated)
+        self._partitions[partition] = replacement
         return len(validated)
+
+    def overwrite_partition_columns(self, columns: Mapping[str, Sequence[Any]],
+                                    partition: str) -> int:
+        """Columnar :meth:`overwrite_partition` (keeps empty partitions)."""
+        blocks, length = self.schema.validate_columns(columns)
+        replacement = self._new_partition()
+        replacement.extend_blocks(blocks, length)
+        self._partitions[partition] = replacement
+        return length
 
     def drop_partition(self, partition: str) -> None:
         """Remove one partition; missing partitions are a no-op."""
@@ -65,23 +142,39 @@ class Table:
         """Existing partition keys, sorted."""
         return sorted(self._partitions)
 
+    def _load_blocks(self, partition: str,
+                     names: Sequence[str]) -> dict[str, ColumnBlock]:
+        """Seal and return the requested blocks of one partition.
+
+        Every block access — row scans included — funnels through this
+        method, so subclasses can instrument it to verify partition and
+        column pruning (no other partition's blocks are ever touched by
+        a pruned read).
+        """
+        return self._partitions[partition].blocks(names)
+
     def scan(self, predicate: Callable[[Mapping[str, Any]], bool] | None = None,
              partition: str | None = None, *,
              copy: bool = True) -> Iterator[dict[str, Any]]:
         """Iterate rows, optionally pruned to one partition and filtered.
 
-        Rows are yielded as copies so callers cannot mutate stored
-        data; read-only callers on hot paths may pass ``copy=False``
-        to skip the per-row dict copy (and must not mutate the rows).
+        Rows are reconstructed from the column blocks, so every yielded
+        dict is a fresh object the caller may keep (``copy`` is retained
+        for API compatibility; both values behave identically now).
         """
+        del copy  # rows are always materialized fresh from columns
         if partition is not None:
-            sources = [self._partitions.get(partition, [])]
+            keys = [partition] if partition in self._partitions else []
         else:
-            sources = [self._partitions[p] for p in self.partitions]
-        for rows in sources:
-            for row in rows:
+            keys = self.partitions
+        names = self.schema.names
+        for key in keys:
+            blocks = self._load_blocks(key, names)
+            columns = [blocks[name].to_pylist() for name in names]
+            for values in zip(*columns):
+                row = dict(zip(names, values))
                 if predicate is None or predicate(row):
-                    yield dict(row) if copy else row
+                    yield row
 
     def rows(self, partition: str | None = None, *,
              copy: bool = True) -> list[dict[str, Any]]:
@@ -91,8 +184,90 @@ class Table:
     def count(self, partition: str | None = None) -> int:
         """Row count, optionally for one partition."""
         if partition is not None:
-            return len(self._partitions.get(partition, []))
-        return sum(len(rows) for rows in self._partitions.values())
+            stored = self._partitions.get(partition)
+            return 0 if stored is None else len(stored)
+        return sum(len(stored) for stored in self._partitions.values())
+
+    # -- columnar reads --------------------------------------------------------
+
+    def columns(self, partition: str | None = None,
+                names: Sequence[str] | None = None, *,
+                predicate: ColumnPredicate | None = None
+                ) -> dict[str, ColumnBlock]:
+        """Typed column blocks with partition, column, and row pruning.
+
+        ``partition`` selects one partition (``None`` concatenates all
+        partitions in sorted order); ``names`` prunes to the requested
+        columns (``None`` means every schema column); ``predicate``
+        receives a lazy name → :class:`ColumnBlock` mapping and returns
+        a boolean row mask used to filter the returned columns.
+
+        Without a predicate, single-partition reads are **zero-copy**:
+        the returned blocks alias the sealed storage arrays (which are
+        read-only).  Predicate filtering and multi-partition reads
+        materialize new arrays.
+        """
+        for name in names or ():
+            if name not in self.schema:
+                raise SchemaError(f"unknown column {name!r}")
+        wanted = tuple(self.schema.names if names is None else names)
+        if partition is not None:
+            if partition not in self._partitions:
+                return {
+                    name: ColumnBlock.empty(self._dtypes[name])
+                    for name in wanted
+                }
+            return self._columns_of(partition, wanted, predicate)
+        parts = [
+            self._columns_of(key, wanted, predicate)
+            for key in self.partitions
+        ]
+        if not parts:
+            return {
+                name: ColumnBlock.empty(self._dtypes[name]) for name in wanted
+            }
+        if len(parts) == 1:
+            return parts[0]
+        return {
+            name: ColumnBlock.concat([part[name] for part in parts])
+            for name in wanted
+        }
+
+    def _columns_of(self, partition: str, names: Sequence[str],
+                    predicate: ColumnPredicate | None
+                    ) -> dict[str, ColumnBlock]:
+        if predicate is None:
+            return self._load_blocks(partition, names)
+        lazy = _LazyColumns(lambda cols: self._load_blocks(partition, cols))
+        mask = np.asarray(predicate(lazy), dtype=bool)
+        expected = len(self._partitions[partition])
+        if mask.shape != (expected,):
+            raise ValueError(
+                f"predicate mask has shape {mask.shape}, "
+                f"expected ({expected},)"
+            )
+        blocks = self._load_blocks(partition, names)
+        return {
+            name: ColumnBlock(
+                block.values[mask],
+                block.null_mask[mask] if block.null_mask is not None else None,
+            )
+            for name, block in blocks.items()
+        }
+
+    def column_batches(self, partition: str | None = None,
+                       names: Sequence[str] | None = None, *,
+                       predicate: ColumnPredicate | None = None,
+                       batches: int = 1) -> list[ColumnBatch]:
+        """Split a columnar read into balanced row-range batches.
+
+        The building block of the engine's column-batch scan source:
+        each :class:`~repro.storage.columns.ColumnBatch` is a zero-copy
+        slice of the (pruned, optionally filtered) column blocks.
+        """
+        blocks = self.columns(partition, names, predicate=predicate)
+        length = len(next(iter(blocks.values()))) if blocks else 0
+        return slice_batches(blocks, length, batches)
 
 
 class TableStore:
@@ -111,6 +286,16 @@ class TableStore:
             raise SchemaError(f"table {name!r} already exists")
         table = Table(name, schema)
         self._tables[name] = table
+        return table
+
+    def add(self, table: Table, *, if_not_exists: bool = False) -> Table:
+        """Register an existing :class:`Table` (or subclass) instance."""
+        existing = self._tables.get(table.name)
+        if existing is not None:
+            if if_not_exists:
+                return existing
+            raise SchemaError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
         return table
 
     def get(self, name: str) -> Table:

@@ -108,3 +108,58 @@ class TestTakeOrdered:
         data = ctx.parallelize(values, num_partitions=5)
         assert data.take_ordered(20) == sorted(values)[:20]
         assert Counter(data.collect()) == Counter(values)
+
+
+class TestScanColumns:
+    """The column-batch scan source over a columnar table."""
+
+    def make_table(self):
+        from repro.storage.schema import Column, Schema
+        from repro.storage.table import Table
+
+        table = Table("t", Schema([
+            Column("vm", str), Column("value", float),
+        ]))
+        table.append(
+            [{"vm": f"v{i}", "value": float(i)} for i in range(10)], "d"
+        )
+        return table
+
+    def test_one_batch_per_engine_partition(self, ctx):
+        ds = ctx.scan_columns(self.make_table(), partition="d")
+        batches = ds.collect()
+        assert len(batches) == 3  # ctx.parallelism
+        assert sum(len(b) for b in batches) == 10
+
+    def test_column_pruning_passed_through(self, ctx):
+        ds = ctx.scan_columns(
+            self.make_table(), partition="d", names=["value"],
+            num_partitions=2,
+        )
+        batches = ds.collect()
+        assert all(b.names == ("value",) for b in batches)
+        values = [v for b in batches for v in b.values("value").tolist()]
+        assert values == [float(i) for i in range(10)]
+
+    def test_predicate_pushdown(self, ctx):
+        import numpy as np
+
+        ds = ctx.scan_columns(
+            self.make_table(), partition="d", names=["vm"],
+            predicate=lambda c: np.asarray(c["value"]) >= 8.0,
+            num_partitions=1,
+        )
+        (batch,) = ds.collect()
+        assert batch.column("vm").to_pylist() == ["v8", "v9"]
+
+    def test_empty_table_yields_empty_source(self, ctx):
+        ds = ctx.scan_columns(self.make_table(), partition="missing")
+        assert sum(len(b) for b in ds.collect()) == 0
+
+    def test_batches_compose_with_stages(self, ctx):
+        ds = ctx.scan_columns(self.make_table(), partition="d")
+        total = (
+            ds.map(lambda batch: float(batch.values("value").sum()))
+            .reduce(lambda a, b: a + b)
+        )
+        assert total == sum(range(10))

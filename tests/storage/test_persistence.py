@@ -53,9 +53,100 @@ class TestTableStorePersistence:
         path = tmp_path / "store.json"
         save_table_store(make_store(), path)
         payload = json.loads(path.read_text())
-        payload["vm_cdi"]["partitions"]["d1"][0]["cdi"] = "corrupted"
+        columns = payload["tables"]["vm_cdi"]["partitions"]["d1"]["columns"]
+        columns["cdi"][0] = "corrupted"
         path.write_text(json.dumps(payload))
         with pytest.raises(Exception):
+            load_table_store(path)
+
+    def test_columnar_envelope_on_disk(self, tmp_path):
+        path = tmp_path / "store.json"
+        save_table_store(make_store(), path)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-table-store"
+        assert payload["version"] == 2
+        assert payload["layout"] == "columnar"
+        part = payload["tables"]["vm_cdi"]["partitions"]["d1"]
+        assert part["rows"] == 1
+        assert part["columns"] == {
+            "vm": ["a"], "cdi": [0.1], "note": [None],
+        }
+
+    def test_legacy_rows_layout_roundtrip(self, tmp_path):
+        """v1 row-major files (and ``layout="rows"`` writes) keep
+        loading into the columnar store byte-for-byte."""
+        legacy = tmp_path / "legacy.json"
+        save_table_store(make_store(), legacy, layout="rows")
+        payload = json.loads(legacy.read_text())
+        assert "format" not in payload  # bare v1 mapping, no envelope
+        restored = load_table_store(legacy)
+        assert restored.get("vm_cdi").rows(partition="d1") == [
+            {"vm": "a", "cdi": 0.1, "note": None}
+        ]
+        # Migration: legacy load → columnar save → reload is lossless.
+        migrated = tmp_path / "migrated.json"
+        save_table_store(restored, migrated)
+        assert json.loads(migrated.read_text())["version"] == 2
+        final = load_table_store(migrated)
+        for name in ("vm_cdi", "empty"):
+            assert final.get(name).rows() == restored.get(name).rows()
+        assert final.get("vm_cdi").schema.column("note").nullable
+
+    def test_empty_partition_survives_both_layouts(self, tmp_path):
+        store = TableStore()
+        table = store.create("t", Schema([Column("k", int)]))
+        table.overwrite_partition([], partition="empty_day")
+        table.append([{"k": 1}], partition="full_day")
+        for layout in ("columnar", "rows"):
+            path = tmp_path / f"{layout}.json"
+            save_table_store(store, path, layout=layout)
+            restored = load_table_store(path)
+            assert restored.get("t").partitions == ["empty_day", "full_day"]
+            assert restored.get("t").count("empty_day") == 0
+
+    def test_nullable_column_roundtrip(self, tmp_path):
+        store = TableStore()
+        table = store.create("t", Schema([
+            Column("k", int), Column("note", str, nullable=True),
+        ]))
+        table.append([
+            {"k": 1, "note": None}, {"k": 2, "note": "x"}, {"k": 3},
+        ])
+        path = tmp_path / "store.json"
+        save_table_store(store, path)
+        restored = load_table_store(path)
+        assert restored.get("t").rows() == [
+            {"k": 1, "note": None}, {"k": 2, "note": "x"},
+            {"k": 3, "note": None},
+        ]
+
+    def test_unknown_layout_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown table-store layout"):
+            save_table_store(make_store(), tmp_path / "x.json",
+                             layout="parquet")
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "store.json"
+        save_table_store(make_store(), path)
+        payload = json.loads(path.read_text())
+        payload["version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="unsupported table-store version"):
+            load_table_store(path)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "store.json"
+        path.write_text(json.dumps({"format": "other-store", "tables": {}}))
+        with pytest.raises(ValueError, match="unknown table-store format"):
+            load_table_store(path)
+
+    def test_row_count_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "store.json"
+        save_table_store(make_store(), path)
+        payload = json.loads(path.read_text())
+        payload["tables"]["vm_cdi"]["partitions"]["d1"]["rows"] = 7
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="declares 7 rows"):
             load_table_store(path)
 
     def test_snapshot_table(self, tmp_path):

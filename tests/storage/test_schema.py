@@ -71,3 +71,59 @@ class TestSchema:
         assert schema.column("cdi").dtype is float
         with pytest.raises(KeyError):
             schema.column("nope")
+
+
+class TestColumnarValidation:
+    """Vectorized per-column validation must keep per-cell semantics."""
+
+    def test_validate_block_seals_typed_array(self):
+        block = Column("x", float).validate_block([0.1, 0.2])
+        assert block.to_pylist() == [0.1, 0.2]
+
+    def test_validate_block_widens_ints(self):
+        block = Column("x", float).validate_block([1, 2.5])
+        assert block.to_pylist() == [1.0, 2.5]
+        assert all(isinstance(v, float) for v in block.to_pylist())
+
+    def test_validate_block_rejects_bool_for_numeric(self):
+        with pytest.raises(SchemaError, match="got bool"):
+            Column("x", int).validate_block([1, True])
+        with pytest.raises(SchemaError, match="got bool"):
+            Column("x", float).validate_block([0.5, True])
+
+    def test_validate_block_nullability(self):
+        block = Column("x", str, nullable=True).validate_block(["a", None])
+        assert block.to_pylist() == ["a", None]
+        with pytest.raises(SchemaError, match="not nullable"):
+            Column("x", str).validate_block(["a", None])
+
+    def test_validate_block_rejects_wrong_type(self):
+        with pytest.raises(SchemaError, match="expects str"):
+            Column("x", str).validate_block(["a", 3])
+
+    def test_validate_columns_roundtrip(self):
+        blocks, length = make_schema().validate_columns({
+            "vm": ["a", "b"], "cdi": [0.1, 1], "count": [1, 2],
+        })
+        assert length == 2
+        assert blocks["cdi"].to_pylist() == [0.1, 1.0]
+        assert blocks["note"].to_pylist() == [None, None]
+
+    def test_validate_columns_ragged_rejected(self):
+        with pytest.raises(SchemaError, match="ragged"):
+            make_schema().validate_columns({
+                "vm": ["a"], "cdi": [0.1, 0.2], "count": [1],
+            })
+
+    def test_validate_columns_unknown_rejected(self):
+        with pytest.raises(SchemaError, match="unknown columns"):
+            make_schema().validate_columns({"bogus": [1]})
+
+    def test_validate_columns_missing_required_rejected(self):
+        with pytest.raises(SchemaError, match="missing required"):
+            make_schema().validate_columns({"vm": ["a"]})
+
+    def test_validate_columns_zero_rows_is_fine(self):
+        blocks, length = make_schema().validate_columns({})
+        assert length == 0
+        assert all(len(block) == 0 for block in blocks.values())

@@ -1,5 +1,6 @@
 """Tests for the MaxCompute-like table store."""
 
+import numpy as np
 import pytest
 
 from repro.storage.schema import Column, Schema, SchemaError
@@ -60,6 +61,160 @@ class TestTable:
 
     def test_scan_missing_partition_is_empty(self):
         assert list(make_table().scan(partition="nope")) == []
+
+    def test_empty_append_is_a_noop(self):
+        """Regression: an empty append must not create a phantom
+        partition (``setdefault`` used to)."""
+        table = make_table()
+        assert table.append([], partition="ghost") == 0
+        assert table.partitions == []
+        assert table.append_columns({}, partition="ghost") == 0
+        assert table.partitions == []
+
+    def test_overwrite_keeps_empty_partition(self):
+        table = make_table()
+        table.overwrite_partition([], partition="d")
+        assert table.partitions == ["d"]
+        assert table.rows(partition="d") == []
+
+
+class TestColumnarReads:
+    def make_table(self) -> Table:
+        schema = Schema([
+            Column("vm", str), Column("value", float),
+            Column("note", str, nullable=True),
+        ])
+        table = Table("t", schema)
+        table.append([
+            {"vm": "a", "value": 0.1},
+            {"vm": "b", "value": 0.9, "note": "hot"},
+        ], partition="p1")
+        table.append([{"vm": "c", "value": 0.5}], partition="p2")
+        return table
+
+    def test_columns_single_partition(self):
+        blocks = self.make_table().columns("p1")
+        assert blocks["vm"].to_pylist() == ["a", "b"]
+        assert blocks["value"].values.dtype == np.float64
+        assert blocks["note"].to_pylist() == [None, "hot"]
+
+    def test_columns_all_partitions_concat_sorted(self):
+        blocks = self.make_table().columns()
+        assert blocks["vm"].to_pylist() == ["a", "b", "c"]
+
+    def test_column_pruning(self):
+        blocks = self.make_table().columns("p1", ["value"])
+        assert list(blocks) == ["value"]
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(SchemaError, match="unknown column"):
+            self.make_table().columns("p1", ["nope"])
+
+    def test_missing_partition_returns_empty_blocks(self):
+        blocks = self.make_table().columns("nope", ["value"])
+        assert len(blocks["value"]) == 0
+        assert blocks["value"].values.dtype == np.float64
+
+    def test_zero_copy_single_partition(self):
+        table = self.make_table()
+        blocks = table.columns("p1", ["value"])
+        again = table.columns("p1", ["value"])
+        assert blocks["value"] is again["value"]
+
+    def test_predicate_filters_rows(self):
+        table = self.make_table()
+        blocks = table.columns(
+            "p1", ["vm"], predicate=lambda c: np.asarray(c["value"]) > 0.5
+        )
+        assert blocks["vm"].to_pylist() == ["b"]
+
+    def test_predicate_bad_mask_shape_rejected(self):
+        table = self.make_table()
+        with pytest.raises(ValueError, match="mask has shape"):
+            table.columns("p1", predicate=lambda c: np.array([True]))
+
+    def test_column_batches_balanced(self):
+        table = make_table()
+        table.append([{"vm": f"v{i}", "value": float(i)} for i in range(7)])
+        batches = table.column_batches(batches=3)
+        assert [len(b) for b in batches] == [3, 2, 2]
+        flattened = [
+            vm for batch in batches for vm in batch.column("vm").to_pylist()
+        ]
+        assert flattened == [f"v{i}" for i in range(7)]
+
+    def test_row_and_column_reads_agree(self):
+        table = self.make_table()
+        rows = table.rows()
+        blocks = table.columns()
+        rebuilt = [
+            dict(zip(blocks, values))
+            for values in zip(*(blocks[n].to_pylist() for n in blocks))
+        ]
+        assert rebuilt == rows
+
+
+class _CountingTable(Table):
+    """Instrumented table recording every block access."""
+
+    def __init__(self, name, schema):
+        super().__init__(name, schema)
+        self.loads: list[tuple[str, tuple[str, ...]]] = []
+
+    def _load_blocks(self, partition, names):
+        self.loads.append((partition, tuple(names)))
+        return super()._load_blocks(partition, names)
+
+
+class TestPredicatePushdownPruning:
+    """Satellite: pruned reads must never touch other partitions'
+    blocks, and column pruning must never materialize other columns."""
+
+    def make_counting_table(self) -> _CountingTable:
+        schema = Schema([Column("vm", str), Column("value", float)])
+        table = _CountingTable("t", schema)
+        for partition in ("p1", "p2", "p3"):
+            table.append(
+                [{"vm": f"{partition}-vm", "value": 0.5}], partition
+            )
+        table.loads.clear()
+        return table
+
+    def test_partition_pruned_read_touches_one_partition(self):
+        table = self.make_counting_table()
+        table.columns("p2", ["value"])
+        assert {partition for partition, _ in table.loads} == {"p2"}
+
+    def test_column_pruned_read_touches_requested_columns_only(self):
+        table = self.make_counting_table()
+        table.columns("p1", ["value"])
+        assert all(names == ("value",) for _, names in table.loads)
+
+    def test_predicate_pushdown_stays_partition_pruned(self):
+        table = self.make_counting_table()
+        table.columns(
+            "p3", ["vm"], predicate=lambda c: np.asarray(c["value"]) > 0.0
+        )
+        touched = {partition for partition, _ in table.loads}
+        assert touched == {"p3"}
+        # The predicate lazily loaded "value", the result "vm" — but
+        # never any column of another partition.
+        loaded_columns = {n for _, names in table.loads for n in names}
+        assert loaded_columns == {"vm", "value"}
+
+    def test_column_batches_partition_pruned(self):
+        table = self.make_counting_table()
+        table.column_batches("p1", ["value"], batches=4)
+        assert {partition for partition, _ in table.loads} == {"p1"}
+
+    def test_counting_table_registers_in_store(self):
+        table = self.make_counting_table()
+        store = TableStore()
+        assert store.add(table) is table
+        assert store.get("t") is table
+        with pytest.raises(SchemaError, match="already exists"):
+            store.add(table)
+        assert store.add(table, if_not_exists=True) is table
 
 
 class TestTableStore:

@@ -40,6 +40,7 @@ from repro.core.indicator import (
 from repro.core.periods import EventPeriod
 from repro.core.weights import expert_only_config
 from repro.engine.dataset import EngineContext
+from repro.engine.executor import TaskFailedError
 from repro.pipeline.daily import DailyCdiJob
 from repro.pipeline.tables import EVENT_CDI_TABLE, VM_CDI_TABLE
 from repro.storage.configdb import ConfigDB
@@ -267,43 +268,69 @@ class TestFleetTables:
 
 
 def make_fleet_events(rng: random.Random, vm_count: int = 40,
-                      events_per_vm: int = 4) -> list[Event]:
+                      events_per_vm: int = 4, *,
+                      null_durations: bool = False,
+                      stateful: bool = False) -> list[Event]:
     names = ["vm_down", "slow_io", "vm_start_failed", "nic_flap"]
     levels = [Severity.WARNING, Severity.CRITICAL, Severity.FATAL]
     events = []
     for i in range(vm_count):
+        vm = f"vm-{i:03d}"
         for _ in range(rng.randrange(events_per_vm + 1)):
+            if null_durations and rng.random() < 0.4:
+                # No explicit duration → the catalog window applies.
+                attributes = {}
+            else:
+                attributes = {"duration": rng.uniform(60.0, 7200.0)}
             events.append(Event(
                 name=rng.choice(names),
                 time=rng.uniform(0.0, DAY),
-                target=f"vm-{i:03d}",
+                target=vm,
                 expire_interval=600.0,
                 level=rng.choice(levels),
-                attributes={"duration": rng.uniform(60.0, 7200.0)},
+                attributes=attributes,
             ))
+        if stateful and rng.random() < 0.5:
+            start = rng.uniform(0.0, DAY / 2)
+            events.append(Event(
+                name="ddos_blackhole_add", time=start, target=vm,
+                expire_interval=3600.0, level=Severity.FATAL,
+            ))
+            if rng.random() < 0.7:  # some periods stay open → horizon
+                events.append(Event(
+                    name="ddos_blackhole_del",
+                    time=start + rng.uniform(60.0, 7200.0), target=vm,
+                    expire_interval=3600.0, level=Severity.FATAL,
+                ))
     return events
 
 
-def run_job(events, services, *, backend="thread", use_fastpath=True):
+def run_job(events, services, *, backend="thread", use_fastpath=True,
+            use_columnar=True):
     context = EngineContext(parallelism=4, backend=backend)
     job = DailyCdiJob(context, TableStore(), ConfigDB(), default_catalog(),
-                      use_fastpath=use_fastpath)
+                      use_fastpath=use_fastpath, use_columnar=use_columnar)
     job.store_weights(expert_only_config())
     job.ingest_events(events, "d")
     job.run("d", services)
     return (
-        job._tables.get(VM_CDI_TABLE).rows("d"),
-        job._tables.get(EVENT_CDI_TABLE).rows("d"),
+        job.tables.get(VM_CDI_TABLE).rows("d"),
+        job.tables.get(EVENT_CDI_TABLE).rows("d"),
     )
 
 
 class TestDailyJobEquivalence:
+    @pytest.mark.parametrize("use_columnar", [True, False],
+                             ids=["columnar", "rows"])
     @pytest.mark.parametrize("seed", [0, 7])
-    def test_fast_path_tables_byte_identical_to_reference(self, seed):
+    def test_fast_path_tables_byte_identical_to_reference(
+        self, seed, use_columnar
+    ):
         rng = random.Random(seed)
         events = make_fleet_events(rng)
         services = {f"vm-{i:03d}": ServicePeriod(0.0, DAY) for i in range(45)}
-        fast = run_job(events, services, use_fastpath=True)
+        fast = run_job(events, services, use_fastpath=True,
+                       use_columnar=use_columnar)
         reference = run_job(events, services, use_fastpath=False)
         # Byte-level identity, not approximate equality: same rows,
         # same order, same float bit patterns.
@@ -316,6 +343,62 @@ class TestDailyJobEquivalence:
         threaded = run_job(events, services, backend="thread")
         processed = run_job(events, services, backend="process")
         assert json.dumps(threaded) == json.dumps(processed)
+
+
+class TestColumnarPathEquivalence:
+    """The columnar scan path (typed column blocks → array-native
+    resolution → :func:`fleet_cdi_tables_columnar`) must emit the same
+    bytes as both the row-dict fast path and the reference sweep."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_columnar_byte_identical_to_row_fast_path(self, seed):
+        rng = random.Random(100 + seed)
+        events = make_fleet_events(rng, null_durations=True)
+        services = {f"vm-{i:03d}": ServicePeriod(0.0, DAY) for i in range(45)}
+        columnar = run_job(events, services, use_columnar=True)
+        row_path = run_job(events, services, use_columnar=False)
+        assert json.dumps(columnar) == json.dumps(row_path)
+
+    @pytest.mark.parametrize("seed", [1, 4])
+    def test_columnar_with_stateful_events_matches_reference(self, seed):
+        rng = random.Random(200 + seed)
+        events = make_fleet_events(rng, null_durations=True, stateful=True)
+        services = {f"vm-{i:03d}": ServicePeriod(0.0, DAY) for i in range(45)}
+        columnar = run_job(events, services, use_columnar=True)
+        reference = run_job(events, services, use_fastpath=False)
+        assert json.dumps(columnar) == json.dumps(reference)
+
+    def test_columnar_on_process_backend(self):
+        rng = random.Random(42)
+        events = make_fleet_events(rng, vm_count=20, stateful=True)
+        services = {f"vm-{i:03d}": ServicePeriod(0.0, DAY) for i in range(20)}
+        threaded = run_job(events, services, backend="thread")
+        processed = run_job(events, services, backend="process")
+        assert json.dumps(threaded) == json.dumps(processed)
+
+    @pytest.mark.parametrize("use_columnar", [True, False],
+                             ids=["columnar", "rows"])
+    def test_negative_duration_rejected(self, use_columnar):
+        services = {"vm-0": ServicePeriod(0.0, DAY)}
+        bad = [Event(name="vm_down", time=100.0, target="vm-0",
+                     expire_interval=600.0, level=Severity.FATAL,
+                     attributes={"duration": -5.0})]
+        # Stage errors surface as the engine's retry-exhausted failure;
+        # both paths raise the same ValueError underneath.
+        with pytest.raises(TaskFailedError) as exc_info:
+            run_job(bad, services, use_columnar=use_columnar)
+        cause = exc_info.value.__cause__
+        assert isinstance(cause, ValueError)
+        assert "negative duration -5.0 on event 'vm_down'" in str(cause)
+
+    def test_columnar_empty_partition(self):
+        services = {"vm-0": ServicePeriod(0.0, DAY)}
+        vm_rows, event_rows = run_job([], services, use_columnar=True)
+        assert event_rows == []
+        assert vm_rows == [{
+            "vm": "vm-0", "unavailability": 0.0, "performance": 0.0,
+            "control_plane": 0.0, "service_time": DAY,
+        }]
 
 
 class TestBackendPartitionEquality:
