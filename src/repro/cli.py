@@ -194,6 +194,75 @@ def cmd_table5(seed: int) -> None:
     print(f"\nrecommended action: {analysis.recommendation}")
 
 
+def cmd_daily(seed: int, *, days: int = 1, vms: int = 64,
+              backend: str = "thread", max_retries: int = 2,
+              checkpoint_dir: str | None = None, resume: bool = True,
+              shards: int = 8, chaos_seed: int | None = None) -> None:
+    """Fault-tolerant daily CDI job over a synthetic fleet."""
+    from repro.core.events import Event, default_catalog
+    from repro.core.indicator import ServicePeriod
+    from repro.engine import ChaosInjector, EngineContext, spark_like_policy
+    from repro.pipeline.backfill import run_days
+    from repro.pipeline.daily import DailyCdiJob
+    from repro.scenarios.common import default_weights, fault_to_period
+    from repro.storage.configdb import ConfigDB
+    from repro.storage.table import TableStore
+    from repro.telemetry.faults import FaultInjector, baseline_rates
+
+    day_seconds = 86400.0
+    catalog = default_catalog()
+    vm_ids = [f"vm-{index:05d}" for index in range(vms)]
+    services = {vm: ServicePeriod(0.0, day_seconds) for vm in vm_ids}
+
+    def events_for_day(index: int, partition: str) -> list[Event]:
+        injector = FaultInjector(baseline_rates(scale=20.0),
+                                 seed=seed * 1000 + index)
+        events = []
+        for fault in injector.sample(vm_ids, 0.0, day_seconds):
+            period = fault_to_period(fault, catalog)
+            events.append(Event(
+                name=period.name, time=period.end, target=period.target,
+                expire_interval=600.0, level=period.level,
+                attributes={"duration": period.duration},
+            ))
+        return events
+
+    chaos = None
+    if chaos_seed is not None:
+        chaos = ChaosInjector.storm(seed=chaos_seed)
+    context = EngineContext(
+        parallelism=4, backend=backend,
+        retry_policy=spark_like_policy(max_retries, seed=seed),
+        chaos=chaos,
+    )
+    job = DailyCdiJob(context, TableStore(), ConfigDB(), catalog)
+    job.store_weights(default_weights())
+    backfill = run_days(
+        job, events_for_day, services, days,
+        checkpoint_dir=checkpoint_dir, resume=resume, shards=shards,
+    )
+    rows = [
+        (result.partition, result.vm_count, result.event_count,
+         f"{result.fleet_report.unavailability:.5f}",
+         f"{result.fleet_report.performance:.5f}",
+         f"{result.fleet_report.control_plane:.5f}")
+        for result in backfill.job_results
+    ]
+    _print_table(
+        f"Daily CDI job ({backend} backend"
+        + (", chaos on" if chaos else "") + ")",
+        ["day", "VMs", "events", "CDI-U", "CDI-P", "CDI-C"], rows,
+    )
+    metrics = context.executor.last_job_metrics
+    print(f"\nlast stage: {len(metrics.tasks)} tasks, "
+          f"{metrics.retry_attempts} retried attempts, "
+          f"{metrics.failed_tasks} failed, "
+          f"{metrics.timed_out_tasks} timed out")
+    if checkpoint_dir is not None:
+        print(f"checkpoints under {checkpoint_dir} "
+              f"({'resume enabled' if resume else 'resume disabled'})")
+
+
 COMMANDS: dict[str, Callable[[int], None]] = {
     "fig2": cmd_fig2,
     "table4": cmd_table4,
@@ -202,6 +271,7 @@ COMMANDS: dict[str, Callable[[int], None]] = {
     "fig8": cmd_fig8,
     "fig9": cmd_fig9,
     "table5": cmd_table5,
+    "daily": cmd_daily,
 }
 
 
@@ -215,6 +285,30 @@ def build_parser() -> argparse.ArgumentParser:
                         help="which artifact to regenerate")
     parser.add_argument("--seed", type=int, default=0,
                         help="simulation seed (default 0)")
+    daily = parser.add_argument_group(
+        "daily", "options for the fault-tolerant daily job"
+    )
+    daily.add_argument("--days", type=int, default=1,
+                       help="number of day partitions to run (default 1)")
+    daily.add_argument("--vms", type=int, default=64,
+                       help="synthetic fleet size (default 64)")
+    daily.add_argument("--backend", choices=["thread", "process"],
+                       default="thread",
+                       help="executor backend (default thread)")
+    daily.add_argument("--max-retries", type=int, default=2,
+                       help="per-task retry budget (default 2)")
+    daily.add_argument("--checkpoint-dir", default=None,
+                       help="directory for per-day checkpoint files "
+                            "(enables checkpoint/resume)")
+    daily.add_argument("--resume", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="resume from existing checkpoints "
+                            "(default on; --no-resume starts over)")
+    daily.add_argument("--shards", type=int, default=8,
+                       help="VM shards per checkpointed day (default 8)")
+    daily.add_argument("--chaos-seed", type=int, default=None,
+                       help="enable deterministic chaos injection "
+                            "with this seed")
     return parser
 
 
@@ -227,6 +321,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "all":
         for fn in COMMANDS.values():
             fn(args.seed)
+        return 0
+    if args.command == "daily":
+        cmd_daily(
+            args.seed, days=args.days, vms=args.vms, backend=args.backend,
+            max_retries=args.max_retries, checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume, shards=args.shards,
+            chaos_seed=args.chaos_seed,
+        )
         return 0
     COMMANDS[args.command](args.seed)
     return 0

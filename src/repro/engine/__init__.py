@@ -11,13 +11,22 @@ events (Section V).  This package provides the equivalent substrate:
 * :mod:`repro.engine.plan` — the logical plan node DAG.
 """
 
+from repro.engine.chaos import (
+    ChaosInjector,
+    DroppedResult,
+    FaultRule,
+    InjectedFault,
+)
 from repro.engine.dataset import Dataset, EngineContext
 from repro.engine.executor import (
     JobMetrics,
     LocalExecutor,
     TaskFailedError,
+    TaskFailure,
     TaskMetrics,
+    TaskTimeoutError,
 )
+from repro.engine.retry import RetryPolicy, spark_like_policy
 from repro.engine.plan import (
     GatherNode,
     NarrowNode,
@@ -29,17 +38,25 @@ from repro.engine.plan import (
 )
 
 __all__ = [
+    "ChaosInjector",
     "Dataset",
+    "DroppedResult",
     "EngineContext",
+    "FaultRule",
     "GatherNode",
+    "InjectedFault",
     "JobMetrics",
     "LocalExecutor",
     "NarrowNode",
     "PlanNode",
+    "RetryPolicy",
     "ShuffleNode",
     "SourceNode",
     "TaskFailedError",
+    "TaskFailure",
     "TaskMetrics",
+    "TaskTimeoutError",
     "UnionNode",
+    "spark_like_policy",
     "stage_boundaries",
 ]

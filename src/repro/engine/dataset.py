@@ -29,7 +29,9 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Iterable, Iterator, Sequence, TypeVar
 
+from repro.engine.chaos import ChaosInjector
 from repro.engine.executor import JobMetrics, LocalExecutor
+from repro.engine.retry import RetryPolicy
 from repro.engine.plan import (
     GatherNode,
     NarrowNode,
@@ -273,20 +275,25 @@ class EngineContext:
     """Entry point, analogous to a SparkContext.
 
     ``parallelism`` is the default partition count for new datasets and
-    the worker-pool width of the bundled executor; ``backend`` and
-    ``chunk_size`` are forwarded to :class:`LocalExecutor` (``backend
-    ="process"`` schedules CPU-bound stages on a process pool).
+    the worker-pool width of the bundled executor; ``backend``,
+    ``chunk_size``, ``retry_policy``, and ``chaos`` are forwarded to
+    :class:`LocalExecutor` (``backend="process"`` schedules CPU-bound
+    stages on a process pool; ``retry_policy`` and ``chaos`` configure
+    fault-tolerant execution and deterministic fault injection).
     """
 
     def __init__(self, parallelism: int = 4,
                  executor: LocalExecutor | None = None, *,
                  backend: str = "thread",
-                 chunk_size: int | None = None) -> None:
+                 chunk_size: int | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 chaos: ChaosInjector | None = None) -> None:
         if parallelism < 1:
             raise ValueError(f"parallelism must be >= 1, got {parallelism}")
         self.parallelism = parallelism
         self.executor = executor or LocalExecutor(
-            max_workers=parallelism, backend=backend, chunk_size=chunk_size
+            max_workers=parallelism, backend=backend, chunk_size=chunk_size,
+            retry_policy=retry_policy, chaos=chaos,
         )
 
     def parallelize(self, data: Iterable[T],

@@ -5,17 +5,22 @@ one task per partition, with:
 
 * stage-at-a-time scheduling (shuffles fully materialize their input),
 * two backends: ``"thread"`` (default; shares the interpreter, right
-  for IO-ish stages and for the failure-injection tests) and
+  for IO-ish stages and for closure-based test hooks) and
   ``"process"`` (a ``ProcessPoolExecutor``, so CPU-bound pure-Python
   stages actually scale with cores instead of serializing on the GIL),
 * **chunked task batching** on the process backend: tasks are shipped
   to workers in chunks (one chunk per worker by default) so the
   per-task IPC/pickling overhead is amortized across a whole batch,
-* bounded task retries with a pluggable failure injector (used by the
-  failure-injection tests; thread backend only),
-* per-node task metrics (rows in/out, wall time) mirroring the kind of
-  accounting the paper reports for the production Spark job
-  (Section V: "core CDI computation time is around 500 seconds").
+* **fault-tolerant task attempts** on both backends: a pluggable
+  :class:`~repro.engine.retry.RetryPolicy` (bounded retries with
+  deterministic exponential backoff and optional per-attempt
+  timeouts) plus a seedable executor-level
+  :class:`~repro.engine.chaos.ChaosInjector` that can crash, delay,
+  duplicate, or drop task attempts at named plan nodes,
+* per-node task metrics (rows in/out, wall time, attempts, failed
+  attempts) mirroring the kind of accounting the paper reports for
+  the production Spark job (Section V: "core CDI computation time is
+  around 500 seconds").
 
 Both backends produce identical partition contents for deterministic
 task functions: tasks are collected in submission (partition) order
@@ -27,6 +32,10 @@ module-level functions or instances of module-level classes.  The
 :mod:`repro.engine.dataset` API builds its transformations out of
 picklable adapter objects, so any dataset pipeline whose user
 functions are themselves picklable runs on either backend unchanged.
+Retry policies and chaos injectors are frozen dataclasses, so the
+whole fault-tolerance configuration ships to worker processes too;
+only the legacy ``failure_injector`` hook (an arbitrary closure)
+remains thread-only.
 """
 
 from __future__ import annotations
@@ -35,10 +44,12 @@ import math
 import pickle
 import threading
 import time
+import traceback
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from repro.engine.chaos import ChaosInjector, DroppedResult, InjectedFault
 from repro.engine.plan import (
     GatherNode,
     NarrowNode,
@@ -48,6 +59,7 @@ from repro.engine.plan import (
     UnionNode,
     stable_hash,
 )
+from repro.engine.retry import RetryPolicy
 
 #: Hook signature: ``(node_name, partition_index, attempt)``; raise to
 #: make that task attempt fail.
@@ -57,8 +69,32 @@ FailureInjector = Callable[[str, int, int], None]
 BACKENDS = ("thread", "process")
 
 
+class TaskTimeoutError(RuntimeError):
+    """One task attempt exceeded the policy's per-attempt timeout."""
+
+
 class TaskFailedError(RuntimeError):
-    """A task exhausted its retries."""
+    """A task exhausted its retries.
+
+    Carries structured context so failures survive the process
+    boundary: the offending plan-node name and partition, the attempt
+    count, and the original cause's type, message, and formatted
+    traceback (``__cause__`` itself cannot be pickled across worker
+    processes in general, so the traceback text is first-class).
+    """
+
+    def __init__(self, message: str, *, node_name: str | None = None,
+                 partition: int | None = None, attempts: int | None = None,
+                 cause_type: str | None = None,
+                 cause_message: str | None = None,
+                 cause_traceback: str | None = None) -> None:
+        super().__init__(message)
+        self.node_name = node_name
+        self.partition = partition
+        self.attempts = attempts
+        self.cause_type = cause_type
+        self.cause_message = cause_message
+        self.cause_traceback = cause_traceback
 
 
 # Thread pools are shared process-wide, like long-lived Spark
@@ -93,11 +129,46 @@ class TaskMetrics:
     attempts: int
 
 
+@dataclass(frozen=True, slots=True)
+class TaskFailure:
+    """Accounting for one *failed* task attempt.
+
+    ``kind`` classifies the failure: ``"error"`` (the task body
+    raised), ``"timeout"`` (per-attempt timeout), ``"injected"``
+    (chaos crash), or ``"dropped"`` (chaos result loss).  ``fatal``
+    marks the attempt that exhausted the retry budget.
+    """
+
+    node_name: str
+    partition: int
+    attempt: int
+    kind: str
+    error: str
+    fatal: bool = False
+
+
+@dataclass(slots=True)
+class _FinalError:
+    """Final-failure details of a retry-exhausted task.
+
+    The string fields are always portable; ``exception`` holds the
+    live original exception in-process (so the thread backend can
+    chain it as ``__cause__``) and is stripped before crossing a
+    process boundary, where arbitrary exceptions may not pickle.
+    """
+
+    type_name: str
+    message: str
+    traceback_text: str
+    exception: BaseException | None = None
+
+
 @dataclass
 class JobMetrics:
     """Aggregated accounting for one ``execute`` call."""
 
     tasks: list[TaskMetrics] = field(default_factory=list)
+    failures: list[TaskFailure] = field(default_factory=list)
 
     @property
     def task_count(self) -> int:
@@ -116,8 +187,26 @@ class JobMetrics:
 
     @property
     def retried_tasks(self) -> int:
-        """Tasks that needed more than one attempt."""
+        """Successful tasks that needed more than one attempt."""
         return sum(1 for t in self.tasks if t.attempts > 1)
+
+    @property
+    def retry_attempts(self) -> int:
+        """Total failed attempts that were given another try."""
+        return sum(1 for f in self.failures if not f.fatal)
+
+    @property
+    def failed_tasks(self) -> int:
+        """Tasks that exhausted their retry budget (job-fatal)."""
+        return sum(1 for f in self.failures if f.fatal)
+
+    @property
+    def timed_out_tasks(self) -> int:
+        """Distinct tasks with at least one timed-out attempt."""
+        return len({
+            (f.node_name, f.partition)
+            for f in self.failures if f.kind == "timeout"
+        })
 
     def by_node(self) -> dict[str, float]:
         """Wall time aggregated per plan-node name."""
@@ -170,38 +259,162 @@ def _gather_task(fn: Callable[[list[Any]], Any],
     return list(fn(rows))
 
 
+# -- the shared per-task attempt loop ----------------------------------------
+
+
+def _call_with_timeout(fn: Callable[..., list[Any]], args: tuple[Any, ...],
+                       timeout: float | None) -> list[Any]:
+    """Run ``fn(*args)``, raising :class:`TaskTimeoutError` on overrun.
+
+    With a timeout, the body runs on a dedicated daemon thread that is
+    abandoned on overrun (Python cannot preempt arbitrary code); the
+    executor then treats the attempt as failed and retries — the same
+    semantics as a Spark driver giving up on a straggler task.
+    """
+    if timeout is None:
+        return fn(*args)
+    box: dict[str, Any] = {}
+
+    def runner() -> None:
+        try:
+            box["result"] = fn(*args)
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            box["error"] = exc
+
+    worker = threading.Thread(
+        target=runner, daemon=True, name="repro-task-attempt"
+    )
+    worker.start()
+    worker.join(timeout)
+    if worker.is_alive():
+        raise TaskTimeoutError(
+            f"attempt exceeded the {timeout}s per-task timeout"
+        )
+    if "error" in box:
+        raise box["error"]
+    return box["result"]
+
+
+def _failure_kind(exc: BaseException) -> str:
+    if isinstance(exc, TaskTimeoutError):
+        return "timeout"
+    if isinstance(exc, InjectedFault):
+        return "injected"
+    if isinstance(exc, DroppedResult):
+        return "dropped"
+    return "error"
+
+
+def _run_attempts(
+    name: str, partition: int, fn: Callable[..., list[Any]],
+    args: tuple[Any, ...], policy: RetryPolicy,
+    chaos: ChaosInjector | None,
+    failure_injector: FailureInjector | None = None,
+) -> tuple[TaskMetrics | None, list[Any] | None, list[TaskFailure],
+           _FinalError | None]:
+    """Run one task to success or retry exhaustion.
+
+    The single attempt loop used by **both** backends: chaos plan →
+    injected delay → (injected crash | task body under timeout) →
+    injected result loss, with backoff sleeps between attempts.
+    Returns ``(metrics, result, failed_attempts, final_error)`` where
+    exactly one of ``metrics``/``final_error`` is set; errors travel as
+    portable ``(type, message, traceback)`` strings so un-picklable
+    user exceptions cannot poison a process result channel.
+    """
+    failures: list[TaskFailure] = []
+    last_exc: BaseException | None = None
+    for attempt in range(1, policy.max_attempts + 1):
+        started = time.perf_counter()
+        try:
+            plan = (chaos.plan(name, partition, attempt)
+                    if chaos is not None else None)
+            if failure_injector is not None:
+                failure_injector(name, partition, attempt)
+            if plan is not None:
+                if plan.delay > 0.0:
+                    time.sleep(plan.delay)
+                if plan.kind == "crash":
+                    raise InjectedFault(
+                        f"injected crash at {name!r} partition {partition} "
+                        f"attempt {attempt}"
+                    )
+                if plan.kind == "duplicate":
+                    # A speculative duplicate ran first; only the
+                    # second execution's result is kept.  Pure tasks
+                    # make this a no-op by definition.
+                    _call_with_timeout(fn, args, policy.timeout)
+            result = _call_with_timeout(fn, args, policy.timeout)
+            if plan is not None and plan.kind == "drop":
+                raise DroppedResult(
+                    f"injected result loss at {name!r} partition "
+                    f"{partition} attempt {attempt}"
+                )
+        except Exception as exc:  # noqa: BLE001 - retry any task error
+            last_exc = exc
+            fatal = not policy.should_retry(attempt)
+            failures.append(TaskFailure(
+                node_name=name, partition=partition, attempt=attempt,
+                kind=_failure_kind(exc),
+                error=f"{type(exc).__name__}: {exc}", fatal=fatal,
+            ))
+            if fatal:
+                break
+            backoff = policy.delay(attempt, key=(name, partition))
+            if backoff > 0.0:
+                time.sleep(backoff)
+            continue
+        elapsed = time.perf_counter() - started
+        metrics = TaskMetrics(
+            node_name=name, partition=partition, rows_out=len(result),
+            seconds=elapsed, attempts=attempt,
+        )
+        return metrics, result, failures, None
+    assert last_exc is not None
+    final = _FinalError(
+        type_name=type(last_exc).__name__,
+        message=str(last_exc),
+        traceback_text="".join(traceback.format_exception(last_exc)),
+        exception=last_exc,
+    )
+    return None, None, failures, final
+
+
 def _run_task_chunk(
     specs: Sequence[tuple[str, int, Callable[..., list[Any]], tuple[Any, ...]]],
-    max_task_retries: int,
-) -> list[tuple[TaskMetrics | None, list[Any] | None, str | None]]:
+    policy: RetryPolicy,
+    chaos: ChaosInjector | None,
+) -> list[tuple[TaskMetrics | None, list[Any] | None, list[TaskFailure],
+                _FinalError | None]]:
     """Worker-side body of one chunk: run each task with retries.
 
-    Returns one ``(metrics, result, error)`` triple per task, in input
-    order.  Errors are stringified so un-picklable user exceptions
-    cannot poison the result channel back to the parent.
+    Returns one ``(metrics, result, failures, error)`` quadruple per
+    task, in input order.  Live exception objects are stripped from
+    final errors so un-picklable user exceptions cannot poison the
+    result channel back to the parent; their type, message, and
+    formatted traceback still travel as strings.
     """
-    out: list[tuple[TaskMetrics | None, list[Any] | None, str | None]] = []
+    out = []
     for name, partition, fn, args in specs:
-        last_error: str | None = None
-        done = False
-        for attempt in range(1, max_task_retries + 2):
-            started = time.perf_counter()
-            try:
-                result = fn(*args)
-            except Exception as exc:  # noqa: BLE001 - retry any task error
-                last_error = f"{type(exc).__name__}: {exc}"
-                continue
-            elapsed = time.perf_counter() - started
-            metrics = TaskMetrics(
-                node_name=name, partition=partition, rows_out=len(result),
-                seconds=elapsed, attempts=attempt,
-            )
-            out.append((metrics, result, None))
-            done = True
-            break
-        if not done:
-            out.append((None, None, last_error))
+        metrics, result, failures, error = _run_attempts(
+            name, partition, fn, args, policy, chaos
+        )
+        if error is not None:
+            error.exception = None
+        out.append((metrics, result, failures, error))
     return out
+
+
+def _task_failed_error(name: str, partition: int, attempts: int,
+                       error: _FinalError) -> TaskFailedError:
+    return TaskFailedError(
+        f"task {name!r} partition {partition} failed after "
+        f"{attempts} attempts: {error.type_name}: {error.message}\n"
+        f"-- original traceback --\n{error.traceback_text}",
+        node_name=name, partition=partition, attempts=attempts,
+        cause_type=error.type_name, cause_message=error.message,
+        cause_traceback=error.traceback_text,
+    )
 
 
 class LocalExecutor:
@@ -215,25 +428,36 @@ class LocalExecutor:
         ``"thread"`` (default) or ``"process"``.  The process backend
         sidesteps the GIL for CPU-bound pure-Python stages but requires
         picklable task functions; the thread backend supports arbitrary
-        closures and the failure injector.
+        closures and the legacy failure injector.
     chunk_size:
         Process backend only: how many tasks ride in one worker
         submission.  Defaults to ``ceil(tasks / max_workers)`` per
         stage — one chunk per worker — which amortizes IPC overhead
         while keeping all workers busy.
     max_task_retries:
-        Additional attempts after a task failure; 2 by default,
-        matching typical Spark ``task.maxFailures`` behaviour of
-        retrying transient faults.
+        Shorthand for ``retry_policy=RetryPolicy(max_retries=N)``; 2 by
+        default, matching typical Spark ``task.maxFailures`` behaviour
+        of retrying transient faults.  Ignored when ``retry_policy`` is
+        given.
+    retry_policy:
+        Full fault-tolerance knob: retries, exponential backoff with
+        deterministic jitter, per-attempt timeouts.  Works on both
+        backends (the policy is a frozen, picklable dataclass).
+    chaos:
+        Optional :class:`~repro.engine.chaos.ChaosInjector` evaluated
+        around every task attempt on **both** backends — the
+        deterministic, seedable fault source of the chaos test suite.
     failure_injector:
-        Optional hook raised into each task attempt, used by tests to
-        simulate flaky infrastructure.  Thread backend only: the hook
-        is an arbitrary (often closure-based) callable that must share
-        state with the test, which cannot cross a process boundary.
+        Legacy hook raised into each task attempt.  Thread backend
+        only: the hook is an arbitrary (often closure-based) callable
+        that must share state with the test, which cannot cross a
+        process boundary.  Prefer ``chaos`` for new code.
     """
 
     def __init__(self, max_workers: int = 4, *, backend: str = "thread",
                  chunk_size: int | None = None, max_task_retries: int = 2,
+                 retry_policy: RetryPolicy | None = None,
+                 chaos: ChaosInjector | None = None,
                  failure_injector: FailureInjector | None = None) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -248,12 +472,17 @@ class LocalExecutor:
         if backend == "process" and failure_injector is not None:
             raise ValueError(
                 "failure_injector requires the thread backend "
-                "(injector hooks cannot cross process boundaries)"
+                "(injector hooks cannot cross process boundaries); "
+                "use chaos=ChaosInjector(...) instead"
             )
         self._max_workers = max_workers
         self._backend = backend
         self._chunk_size = chunk_size
-        self._max_task_retries = max_task_retries
+        self._retry_policy = (
+            retry_policy if retry_policy is not None
+            else RetryPolicy(max_retries=max_task_retries)
+        )
+        self._chaos = chaos
         self._failure_injector = failure_injector
         self.last_job_metrics = JobMetrics()
 
@@ -261,6 +490,16 @@ class LocalExecutor:
     def backend(self) -> str:
         """The configured backend name."""
         return self._backend
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The active retry policy."""
+        return self._retry_policy
+
+    @property
+    def chaos(self) -> ChaosInjector | None:
+        """The active chaos injector, if any."""
+        return self._chaos
 
     def execute(self, node: PlanNode) -> list[list[Any]]:
         """Materialize ``node`` and return its partitions as lists."""
@@ -354,11 +593,12 @@ class LocalExecutor:
                           for i in range(0, len(specs), chunk_size))
         ]
         futures = [
-            pool.submit(_run_task_chunk, payload, self._max_task_retries)
+            pool.submit(_run_task_chunk, payload, self._retry_policy,
+                        self._chaos)
             for payload in payloads
         ]
         results: list[list[Any]] = []
-        failure: tuple[_TaskSpec, str] | None = None
+        failure: tuple[str, int, _FinalError] | None = None
         for payload_index, future in enumerate(futures):
             try:
                 chunk_results = future.result()
@@ -368,49 +608,39 @@ class LocalExecutor:
                     f"tasks of node {name!r} cannot be shipped to the "
                     "process backend (functions and their captured state "
                     "must be picklable — use module-level functions, or "
-                    "the thread backend for closures)"
+                    "the thread backend for closures)",
+                    node_name=name,
                 ) from exc
-            for task_index, (metrics, result, error) in enumerate(
+            for task_index, (metrics, result, failures, error) in enumerate(
                 chunk_results
             ):
+                self.last_job_metrics.failures.extend(failures)
                 spec = payloads[payload_index][task_index]
                 if error is not None:
-                    failure = failure or (
-                        _TaskSpec(spec[0], spec[1], spec[2], spec[3]), error
-                    )
+                    failure = failure or (spec[0], spec[1], error)
                     continue
                 assert metrics is not None and result is not None
                 self.last_job_metrics.tasks.append(metrics)
                 results.append(result)
         if failure is not None:
-            spec, error = failure
-            raise TaskFailedError(
-                f"task {spec.node_name!r} partition {spec.partition} failed "
-                f"after {self._max_task_retries + 1} attempts: {error}"
+            name, partition, error = failure
+            raise _task_failed_error(
+                name, partition, self._retry_policy.max_attempts, error
             )
         return results
 
     def _run_task(self, name: str, partition: int,
                   fn: Callable[..., list[Any]],
                   args: tuple[Any, ...]) -> list[Any]:
-        last_error: BaseException | None = None
-        for attempt in range(1, self._max_task_retries + 2):
-            started = time.perf_counter()
-            try:
-                if self._failure_injector is not None:
-                    self._failure_injector(name, partition, attempt)
-                result = fn(*args)
-            except Exception as exc:  # noqa: BLE001 - retry any task error
-                last_error = exc
-                continue
-            elapsed = time.perf_counter() - started
-            self.last_job_metrics.tasks.append(
-                TaskMetrics(node_name=name, partition=partition,
-                            rows_out=len(result), seconds=elapsed,
-                            attempts=attempt)
-            )
-            return result
-        raise TaskFailedError(
-            f"task {name!r} partition {partition} failed after "
-            f"{self._max_task_retries + 1} attempts"
-        ) from last_error
+        metrics, result, failures, error = _run_attempts(
+            name, partition, fn, args, self._retry_policy, self._chaos,
+            self._failure_injector,
+        )
+        self.last_job_metrics.failures.extend(failures)
+        if error is not None:
+            raise _task_failed_error(
+                name, partition, self._retry_policy.max_attempts, error
+            ) from error.exception
+        assert metrics is not None and result is not None
+        self.last_job_metrics.tasks.append(metrics)
+        return result

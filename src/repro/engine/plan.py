@@ -49,6 +49,25 @@ def stable_hash(key: Any) -> int:
     return hash(key)
 
 
+def stable_uniform(key: Any) -> float:
+    """Deterministic pseudo-uniform draw in ``[0, 1)`` for ``key``.
+
+    :func:`stable_hash` optimizes for speed and process stability, not
+    bit diffusion — neighbouring integer keys map to neighbouring
+    hashes, which is fine for bucket routing but would make
+    probability draws fire all-or-nothing across partitions.  This
+    runs the hash through a splitmix64-style finalizer so every key
+    bit avalanches into the result, while staying just as stable
+    across processes and runs (the property chaos injection and retry
+    jitter rely on).
+    """
+    mixed = stable_hash(key) & 0xFFFFFFFFFFFFFFFF
+    mixed = ((mixed ^ (mixed >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    mixed = ((mixed ^ (mixed >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    mixed ^= mixed >> 31
+    return (mixed >> 32) / 2.0**32
+
+
 class PlanNode(ABC):
     """A node in the logical plan DAG."""
 

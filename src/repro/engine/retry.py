@@ -1,0 +1,164 @@
+"""Retry policies for the task executor.
+
+Task failures in the production daily job are routine, not
+exceptional: Spark retries a failed task up to
+``spark.task.maxFailures`` times, backing off between attempts so a
+struggling executor is not immediately re-hammered.  This module
+provides the equivalent knob for :class:`~repro.engine.executor.
+LocalExecutor` — a pluggable, picklable :class:`RetryPolicy` with
+exponential backoff, a delay cap, deterministic jitter, and an
+optional per-attempt timeout.
+
+Backoff schedules are **deterministic** (seeded, keyed by task) and
+**monotone non-decreasing** by construction: the raw exponential
+delay is jittered multiplicatively, then clamped through a running
+maximum and the cap.  This keeps chaos tests reproducible — the same
+seed always produces the same sleep sequence — while still spreading
+retry storms across tasks (each task key draws an independent jitter
+stream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.engine.plan import stable_uniform
+
+
+def _unit_interval(seed: int, key: Hashable, attempt: int) -> float:
+    """Deterministic pseudo-uniform draw in ``[0, 1)``.
+
+    Derived from :func:`~repro.engine.plan.stable_uniform`, so the
+    draw is well-mixed yet identical across worker processes and runs
+    — the property that lets the process backend replay the exact same
+    backoff schedule.
+    """
+    return stable_uniform((seed, key, attempt))
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """How the executor retries, paces, and bounds task attempts.
+
+    Parameters
+    ----------
+    max_retries:
+        Additional attempts after the first failure (Spark's
+        ``task.maxFailures - 1``).  ``0`` disables retries.
+    base_delay:
+        Backoff before the first retry, in seconds.  The default of
+        ``0.0`` keeps unit-test jobs instant; production-ish callers
+        (the CLI) set a small positive base.
+    multiplier:
+        Exponential growth factor of the raw backoff.
+    max_delay:
+        Hard cap on any single backoff delay, in seconds.
+    jitter:
+        Fractional jitter: each raw delay is scaled by a deterministic
+        factor in ``[1, 1 + jitter)``.  Monotonicity of the schedule is
+        preserved regardless (see :meth:`schedule`).
+    timeout:
+        Per-attempt wall-clock timeout in seconds; ``None`` disables.
+        A timed-out attempt counts as a failure and is retried.
+    seed:
+        Seed of the jitter stream (per task key).
+    """
+
+    max_retries: int = 2
+    base_delay: float = 0.0
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.0
+    timeout: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.base_delay < 0:
+            raise ValueError(
+                f"base_delay must be >= 0, got {self.base_delay}"
+            )
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if self.max_delay < 0:
+            raise ValueError(
+                f"max_delay must be >= 0, got {self.max_delay}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(
+                f"timeout must be > 0 when set, got {self.timeout}"
+            )
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """A policy that never retries (first failure is fatal)."""
+        return cls(max_retries=0)
+
+    @property
+    def max_attempts(self) -> int:
+        """Total attempts a task may take (first run + retries)."""
+        return self.max_retries + 1
+
+    def should_retry(self, attempt: int) -> bool:
+        """Whether a failure on 1-based ``attempt`` gets another try."""
+        return attempt < self.max_attempts
+
+    def delay(self, attempt: int, key: Hashable = None) -> float:
+        """Backoff before retry number ``attempt`` (1-based), seconds."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        return self.schedule(attempt, key)[-1]
+
+    def schedule(self, retries: int, key: Hashable = None) -> list[float]:
+        """The first ``retries`` backoff delays for one task.
+
+        Monotone non-decreasing and bounded by ``max_delay`` for every
+        seed and key: each jittered exponential step is folded through
+        a running maximum before the cap, so jitter can spread delays
+        without ever shrinking them between consecutive retries.
+        """
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        delays: list[float] = []
+        previous = 0.0
+        raw = self.base_delay
+        for attempt in range(1, retries + 1):
+            jittered = raw * (1.0 + self.jitter
+                              * _unit_interval(self.seed, key, attempt))
+            previous = min(self.max_delay, max(previous, jittered))
+            delays.append(previous)
+            raw *= self.multiplier
+        return delays
+
+    def describe(self) -> str:
+        """One-line human-readable summary (CLI / logs)."""
+        timeout = "none" if self.timeout is None else f"{self.timeout}s"
+        return (
+            f"retries={self.max_retries} base={self.base_delay}s "
+            f"x{self.multiplier} cap={self.max_delay}s "
+            f"jitter={self.jitter} timeout={timeout}"
+        )
+
+
+def spark_like_policy(max_retries: int = 3, *,
+                      timeout: float | None = None,
+                      seed: int = 0) -> RetryPolicy:
+    """The production-shaped default: 3 retries, 100ms..10s backoff.
+
+    Mirrors typical ``spark.task.maxFailures=4`` deployments with a
+    jittered exponential backoff; used by the CLI's daily runner.
+    """
+    return RetryPolicy(
+        max_retries=max_retries, base_delay=0.1, multiplier=2.0,
+        max_delay=10.0, jitter=0.25, timeout=timeout, seed=seed,
+    )

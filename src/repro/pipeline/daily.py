@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from operator import itemgetter
-from typing import Any, Iterable, Iterator, Mapping
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -41,6 +41,12 @@ from repro.core.indicator import CdiCalculator, CdiReport, ServicePeriod
 from repro.core.periods import resolve_periods
 from repro.core.weights import WeightConfig
 from repro.engine.dataset import EngineContext
+from repro.pipeline.checkpoint import (
+    JobCheckpoint,
+    job_fingerprint,
+    shard_units,
+    split_shards,
+)
 from repro.pipeline.tables import (
     EVENT_CDI_TABLE,
     EVENTS_TABLE,
@@ -471,31 +477,120 @@ class DailyCdiJob:
         for this run.
         """
         horizon = max((s.end for s in services.values()), default=0.0)
-
         fast = self._use_fastpath if use_fastpath is None else use_fastpath
         columnar = (
             self._use_columnar if use_columnar is None else use_columnar
         )
+        vm_columns, event_columns, event_count = self._compute_columns(
+            partition, services, horizon, fast, columnar
+        )
+        return self._write_outputs(
+            partition, vm_columns, event_columns, event_count
+        )
+
+    def run_checkpointed(
+        self, partition: str, services: Mapping[str, ServicePeriod], *,
+        checkpoint: JobCheckpoint, shards: int = 8, resume: bool = True,
+        use_fastpath: bool | None = None, use_columnar: bool | None = None,
+    ) -> DailyJobResult:
+        """Fault-tolerant :meth:`run`: compute in VM shards, checkpoint
+        each, and resume a killed run from the last completed shard.
+
+        The sorted VM list is split into ``shards`` contiguous shards;
+        each shard's output columns are staged durably through
+        ``checkpoint`` as soon as it completes.  On ``resume``, shards
+        already recorded (under a matching job fingerprint) are **not
+        recomputed** — their events are never even re-scanned — and a
+        fully finalized checkpoint skips straight to rewriting the
+        merged outputs.  Output tables are byte-identical to a plain
+        :meth:`run` because the fleet kernel's per-VM results are exact
+        per group: sharding only partitions the sweep, never changes
+        any value, and contiguous shards concatenate back into the
+        canonical global order.
+        """
+        horizon = max((s.end for s in services.values()), default=0.0)
+        fast = self._use_fastpath if use_fastpath is None else use_fastpath
+        columnar = (
+            self._use_columnar if use_columnar is None else use_columnar
+        )
+        fingerprint = self.checkpoint_fingerprint(
+            partition, services, shards=shards,
+            use_fastpath=fast, use_columnar=columnar,
+        )
+        done = checkpoint.ensure(fingerprint, partition, resume=resume)
+        vm_list = sorted(services)
+        shard_vms = split_shards(vm_list, shards)
+        units = shard_units(len(shard_vms))
+        for unit, vms in zip(units, shard_vms):
+            if unit in done:
+                continue
+            shard_services = {vm: services[vm] for vm in vms}
+            vm_cols, event_cols, count = self._compute_columns(
+                partition, shard_services, horizon, fast, columnar
+            )
+            checkpoint.record_shard(unit, vm_cols, event_cols, count)
+        event_count = sum(checkpoint.completed_units().values())
+        vm_columns, event_columns = checkpoint.merged_columns(units)
+        result = self._write_outputs(
+            partition, vm_columns, event_columns, event_count
+        )
+        checkpoint.mark_finalized()
+        return result
+
+    def checkpoint_fingerprint(
+        self, partition: str, services: Mapping[str, ServicePeriod], *,
+        shards: int, use_fastpath: bool | None = None,
+        use_columnar: bool | None = None,
+    ) -> str:
+        """Fingerprint of one checkpointed run's inputs.
+
+        Used to decide whether an on-disk checkpoint belongs to the
+        same work (same day, services, weight-config version, shard
+        count, and compute path) before resuming from it.
+        """
+        fast = self._use_fastpath if use_fastpath is None else use_fastpath
+        columnar = (
+            self._use_columnar if use_columnar is None else use_columnar
+        )
+        path = ("columnar" if fast and columnar
+                else "fastpath" if fast else "reference")
+        version = self._config_db.get(WEIGHTS_CONFIG_KEY).version
+        return job_fingerprint(partition, services, version, shards, path)
+
+    def _write_outputs(self, partition: str, vm_columns: dict[str, list],
+                       event_columns: dict[str, list],
+                       event_count: int) -> DailyJobResult:
+        """Overwrite both output partitions and build the run summary."""
+        self._tables.get(VM_CDI_TABLE).overwrite_partition_columns(
+            vm_columns, partition
+        )
+        self._tables.get(EVENT_CDI_TABLE).overwrite_partition_columns(
+            event_columns, partition
+        )
+        return DailyJobResult(
+            partition=partition,
+            vm_count=len(vm_columns["vm"]),
+            event_count=event_count,
+            fleet_report=fleet_report_from_columns(vm_columns),
+        )
+
+    def _compute_columns(
+        self, partition: str, services: Mapping[str, ServicePeriod],
+        horizon: float, fast: bool, columnar: bool,
+    ) -> tuple[dict[str, list], dict[str, list], int]:
+        """One compute pass over ``services``, as output column lists.
+
+        The single entry point behind :meth:`run` and each checkpoint
+        shard; all three compute paths produce identical values, and
+        the row-producing paths are converted column-major here so the
+        write side is uniform.
+        """
         if fast and columnar:
             # Column blocks in, column blocks out: the outputs are
             # written through the vectorized columnar validation, never
             # materializing row dicts (values and order are identical
-            # to the row-path writes below).
-            vm_columns, event_columns, event_count = self._run_columnar(
-                partition, services, horizon
-            )
-            self._tables.get(VM_CDI_TABLE).overwrite_partition_columns(
-                vm_columns, partition
-            )
-            self._tables.get(EVENT_CDI_TABLE).overwrite_partition_columns(
-                event_columns, partition
-            )
-            return DailyJobResult(
-                partition=partition,
-                vm_count=len(vm_columns["vm"]),
-                event_count=event_count,
-                fleet_report=fleet_report_from_columns(vm_columns),
-            )
+            # to the row paths below).
+            return self._run_columnar(partition, services, horizon)
         if fast:
             rows = self._tables.get(EVENTS_TABLE).rows(
                 partition=partition, copy=False
@@ -536,16 +631,10 @@ class DailyCdiJob:
                     })
             vm_rows.sort(key=_vm_row_key)
         event_rows.sort(key=_event_row_key)
-
-        self._tables.get(VM_CDI_TABLE).overwrite_partition(vm_rows, partition)
-        self._tables.get(EVENT_CDI_TABLE).overwrite_partition(
-            event_rows, partition
-        )
-        return DailyJobResult(
-            partition=partition,
-            vm_count=len(vm_rows),
-            event_count=event_count,
-            fleet_report=fleet_report_from_rows(vm_rows),
+        return (
+            _rows_to_columns(vm_rows, vm_cdi_schema().names),
+            _rows_to_columns(event_rows, event_cdi_schema().names),
+            event_count,
         )
 
     def _run_fastpath(
@@ -702,6 +791,12 @@ class DailyCdiJob:
 def _event_target(event: Event) -> str:
     """Shuffle key of the reference path (picklable module function)."""
     return event.target
+
+
+def _rows_to_columns(rows: list[dict[str, Any]],
+                     names: Sequence[str]) -> dict[str, list]:
+    """Row dicts → column value lists, preserving row order."""
+    return {name: [row[name] for row in rows] for name in names}
 
 
 #: Deterministic output orders (C-level key extraction for the sorts).

@@ -24,6 +24,7 @@ files keep loading after the migration.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any
 
@@ -72,13 +73,33 @@ def _columnar_partition_payload(table: Table, partition: str) -> dict[str, Any]:
     }
 
 
+def _write_text(path: str | Path, text: str, atomic: bool) -> None:
+    """Write ``text`` to ``path``, optionally via rename for atomicity.
+
+    Atomic writes go through a same-directory temp file and
+    ``os.replace``, so a reader (or a process killed mid-write) never
+    observes a truncated file — the property checkpoint files rely on.
+    """
+    target = Path(path)
+    if not atomic:
+        target.write_text(text)
+        return
+    scratch = target.with_name(target.name + ".tmp")
+    scratch.write_text(text)
+    os.replace(scratch, target)
+
+
 def save_table_store(store: TableStore, path: str | Path, *,
-                     layout: str = "columnar") -> None:
+                     layout: str = "columnar", atomic: bool = False) -> None:
     """Serialize every table (schema + partitions) to one JSON file.
 
     ``layout="columnar"`` (default) writes the versioned column-major
     format; ``layout="rows"`` writes the legacy v1 row-major layout for
-    consumers that have not migrated.
+    consumers that have not migrated.  ``atomic=True`` writes through a
+    temp file + rename so a kill mid-save cannot corrupt an existing
+    file.  Output is deterministic: tables and partitions are emitted
+    in sorted order, so saving an unchanged store reproduces the file
+    byte for byte.
     """
     if layout == "rows":
         payload: dict[str, Any] = {}
@@ -91,7 +112,7 @@ def save_table_store(store: TableStore, path: str | Path, *,
                     for partition in table.partitions
                 },
             }
-        Path(path).write_text(json.dumps(payload))
+        _write_text(path, json.dumps(payload), atomic)
         return
     if layout != "columnar":
         raise ValueError(f"unknown table-store layout {layout!r}")
@@ -105,12 +126,12 @@ def save_table_store(store: TableStore, path: str | Path, *,
                 for partition in table.partitions
             },
         }
-    Path(path).write_text(json.dumps({
+    _write_text(path, json.dumps({
         "format": STORE_FORMAT,
         "version": COLUMNAR_VERSION,
         "layout": "columnar",
         "tables": tables,
-    }))
+    }), atomic)
 
 
 def _load_columnar_store(payload: dict[str, Any],

@@ -1,12 +1,30 @@
 """Tests for the local executor: scheduling, retries, metrics."""
 
 import threading
+import time
 
 import pytest
 
+from repro.engine.chaos import ChaosInjector, FaultRule
 from repro.engine.dataset import EngineContext
-from repro.engine.executor import LocalExecutor, TaskFailedError
+from repro.engine.executor import (
+    JobMetrics,
+    LocalExecutor,
+    TaskFailedError,
+    TaskFailure,
+    TaskMetrics,
+)
 from repro.engine.plan import NarrowNode, ShuffleNode, SourceNode
+from repro.engine.retry import RetryPolicy
+
+
+def _kaput(part):
+    raise ValueError("kaput")
+
+
+def _sleepy(part):
+    time.sleep(0.5)
+    return list(part)
 
 
 class TestBasicExecution:
@@ -113,6 +131,130 @@ class TestMetrics:
         node = ShuffleNode(source, 2, name="sh")
         executor.execute(node)
         assert "sh.map" in executor.last_job_metrics.by_node()
+
+
+class TestFailureAccounting:
+    """Satellite: JobMetrics failure counters (retried/failed/timed out)."""
+
+    def test_counters_from_synthetic_failures(self):
+        metrics = JobMetrics(
+            tasks=[
+                TaskMetrics("a", 0, rows_out=1, seconds=0.0, attempts=1),
+                TaskMetrics("a", 1, rows_out=1, seconds=0.0, attempts=3),
+            ],
+            failures=[
+                TaskFailure("a", 1, attempt=1, kind="error", error="E"),
+                TaskFailure("a", 1, attempt=2, kind="timeout", error="T"),
+                TaskFailure("b", 0, attempt=1, kind="timeout", error="T"),
+                TaskFailure("b", 0, attempt=2, kind="timeout", error="T",
+                            fatal=True),
+            ],
+        )
+        assert metrics.retried_tasks == 1       # only ("a", 1) succeeded late
+        assert metrics.retry_attempts == 3      # non-fatal failures
+        assert metrics.failed_tasks == 1        # the fatal one
+        assert metrics.timed_out_tasks == 2     # distinct (node, partition)
+
+    def test_retried_tasks_counts_tasks_not_attempts(self):
+        executor = LocalExecutor(
+            max_workers=2, retry_policy=RetryPolicy(max_retries=3),
+            chaos=ChaosInjector([FaultRule(kind="crash", attempts=2)]),
+        )
+        node = NarrowNode(SourceNode([[1], [2]]), lambda p: list(p), "flaky")
+        assert executor.execute(node) == [[1], [2]]
+        metrics = executor.last_job_metrics
+        assert metrics.retried_tasks == 2   # 2 tasks recovered
+        assert metrics.retry_attempts == 4  # 2 injected crashes each
+        assert metrics.failed_tasks == 0
+        assert all(t.attempts == 3 for t in metrics.tasks)
+
+    def test_failed_tasks_counted_on_exhaustion(self):
+        executor = LocalExecutor(max_task_retries=1)
+        node = NarrowNode(SourceNode([[1]]), _kaput, "doomed")
+        with pytest.raises(TaskFailedError):
+            executor.execute(node)
+        metrics = executor.last_job_metrics
+        assert metrics.failed_tasks == 1
+        assert metrics.retry_attempts == 1
+        assert [f.kind for f in metrics.failures] == ["error", "error"]
+        assert [f.fatal for f in metrics.failures] == [False, True]
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_timeout_attempts_counted(self, backend):
+        executor = LocalExecutor(
+            max_workers=1, backend=backend,
+            retry_policy=RetryPolicy(max_retries=1, timeout=0.05),
+        )
+        node = NarrowNode(SourceNode([[1]]), _sleepy, "straggler")
+        with pytest.raises(TaskFailedError) as excinfo:
+            executor.execute(node)
+        assert excinfo.value.cause_type == "TaskTimeoutError"
+        metrics = executor.last_job_metrics
+        assert metrics.timed_out_tasks == 1
+        assert metrics.failed_tasks == 1
+        assert all(f.kind == "timeout" for f in metrics.failures)
+
+    def test_timeout_recovers_when_retry_is_fast(self):
+        slow_once = {"done": False}
+
+        def sometimes_slow(part):
+            if not slow_once["done"]:
+                slow_once["done"] = True
+                time.sleep(0.5)
+            return list(part)
+
+        executor = LocalExecutor(
+            max_workers=1, retry_policy=RetryPolicy(max_retries=1,
+                                                    timeout=0.1),
+        )
+        node = NarrowNode(SourceNode([[7]]), sometimes_slow, "warmup")
+        assert executor.execute(node) == [[7]]
+        metrics = executor.last_job_metrics
+        assert metrics.timed_out_tasks == 1
+        assert metrics.retried_tasks == 1
+        assert metrics.failed_tasks == 0
+
+
+class TestErrorContext:
+    """Satellite: TaskFailedError preserves node, cause, and traceback."""
+
+    def test_thread_backend_chains_original_exception(self):
+        executor = LocalExecutor(max_task_retries=1)
+        node = NarrowNode(SourceNode([[1]]), _kaput, "exploding_node")
+        with pytest.raises(TaskFailedError) as excinfo:
+            executor.execute(node)
+        error = excinfo.value
+        assert error.node_name == "exploding_node"
+        assert error.partition == 0
+        assert error.attempts == 2
+        assert error.cause_type == "ValueError"
+        assert error.cause_message == "kaput"
+        assert 'raise ValueError("kaput")' in error.cause_traceback
+        assert isinstance(error.__cause__, ValueError)
+        assert str(error.__cause__) == "kaput"
+
+    def test_process_backend_preserves_traceback_text(self):
+        executor = LocalExecutor(max_workers=2, backend="process",
+                                 max_task_retries=1)
+        node = NarrowNode(SourceNode([[1], [2]]), _kaput, "exploding_node")
+        with pytest.raises(TaskFailedError) as excinfo:
+            executor.execute(node)
+        error = excinfo.value
+        assert error.node_name == "exploding_node"
+        assert error.attempts == 2
+        assert error.cause_type == "ValueError"
+        assert error.cause_message == "kaput"
+        assert "ValueError: kaput" in error.cause_traceback
+        assert 'raise ValueError("kaput")' in error.cause_traceback
+        assert "-- original traceback --" in str(error)
+
+    def test_message_names_node_and_attempts(self):
+        executor = LocalExecutor(max_task_retries=0)
+        node = NarrowNode(SourceNode([[1]]), _kaput, "boom")
+        with pytest.raises(TaskFailedError,
+                           match="task 'boom' partition 0 failed after "
+                                 "1 attempts: ValueError: kaput"):
+            executor.execute(node)
 
 
 class TestConcurrency:

@@ -1,0 +1,143 @@
+"""Tests for retry policies: validation, backoff shape, determinism.
+
+The hypothesis properties pin the two contracts chaos tests lean on:
+for **every** seed/key/shape, backoff schedules are monotone
+non-decreasing and bounded by the cap.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.retry import RetryPolicy, spark_like_policy
+
+
+class TestValidation:
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+
+    def test_negative_base_delay_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
+
+    def test_multiplier_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_jitter_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=-1.0)
+
+    def test_bad_attempt_arguments_rejected(self):
+        policy = RetryPolicy()
+        with pytest.raises(ValueError):
+            policy.delay(0)
+        with pytest.raises(ValueError):
+            policy.schedule(-1)
+
+
+class TestSemantics:
+    def test_none_policy_never_retries(self):
+        policy = RetryPolicy.none()
+        assert policy.max_attempts == 1
+        assert not policy.should_retry(1)
+
+    def test_attempt_budget(self):
+        policy = RetryPolicy(max_retries=2)
+        assert policy.max_attempts == 3
+        assert policy.should_retry(1)
+        assert policy.should_retry(2)
+        assert not policy.should_retry(3)
+
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(max_retries=4, base_delay=0.1, multiplier=2.0,
+                             max_delay=100.0)
+        assert policy.schedule(4) == pytest.approx([0.1, 0.2, 0.4, 0.8])
+
+    def test_cap_applies(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=10.0, max_delay=5.0)
+        assert policy.schedule(3) == pytest.approx([1.0, 5.0, 5.0])
+
+    def test_schedule_deterministic_per_key(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.5, seed=7)
+        assert policy.schedule(5, key=("node", 3)) == \
+            policy.schedule(5, key=("node", 3))
+
+    def test_different_keys_draw_different_jitter(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.5, seed=7)
+        schedules = {
+            tuple(policy.schedule(4, key=("node", i))) for i in range(16)
+        }
+        assert len(schedules) > 1
+
+    def test_delay_is_last_schedule_entry(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.3, seed=3)
+        for attempt in range(1, 5):
+            assert policy.delay(attempt, key="k") == \
+                policy.schedule(attempt, key="k")[-1]
+
+    def test_describe_mentions_all_knobs(self):
+        text = RetryPolicy(timeout=2.0).describe()
+        for fragment in ("retries=2", "cap=30.0s", "timeout=2.0s"):
+            assert fragment in text
+
+    def test_spark_like_policy_shape(self):
+        policy = spark_like_policy(3, timeout=60.0, seed=5)
+        assert policy.max_attempts == 4
+        assert policy.base_delay == pytest.approx(0.1)
+        assert policy.max_delay == pytest.approx(10.0)
+        assert policy.jitter == pytest.approx(0.25)
+        assert policy.timeout == pytest.approx(60.0)
+        assert policy.seed == 5
+
+
+policy_st = st.builds(
+    RetryPolicy,
+    max_retries=st.integers(min_value=0, max_value=6),
+    base_delay=st.floats(min_value=0.0, max_value=10.0,
+                         allow_nan=False, allow_infinity=False),
+    multiplier=st.floats(min_value=1.0, max_value=8.0,
+                         allow_nan=False, allow_infinity=False),
+    max_delay=st.floats(min_value=0.0, max_value=60.0,
+                        allow_nan=False, allow_infinity=False),
+    jitter=st.floats(min_value=0.0, max_value=1.0,
+                     allow_nan=False, allow_infinity=False),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+key_st = st.one_of(
+    st.none(),
+    st.text(max_size=8),
+    st.tuples(st.text(max_size=8), st.integers(min_value=0, max_value=99)),
+)
+
+
+class TestBackoffProperties:
+    @given(policy_st, key_st, st.integers(min_value=0, max_value=10))
+    @settings(max_examples=200)
+    def test_schedule_monotone_and_bounded(self, policy, key, retries):
+        """ISSUE property: monotone non-decreasing, bounded by the cap,
+        for all seeds, keys, and policy shapes."""
+        schedule = policy.schedule(retries, key=key)
+        assert len(schedule) == retries
+        for earlier, later in zip(schedule, schedule[1:]):
+            assert later >= earlier
+        for delay in schedule:
+            assert 0.0 <= delay <= policy.max_delay
+
+    @given(policy_st, key_st, st.integers(min_value=1, max_value=10))
+    @settings(max_examples=100)
+    def test_schedule_is_a_prefix_stream(self, policy, key, retries):
+        """Growing the schedule never rewrites earlier delays, so
+        per-attempt ``delay()`` calls walk one consistent stream."""
+        longer = policy.schedule(retries, key=key)
+        shorter = policy.schedule(retries - 1, key=key)
+        assert longer[:retries - 1] == shorter
