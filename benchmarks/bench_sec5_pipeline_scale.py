@@ -11,8 +11,9 @@ Besides the printed table, the benchmark writes a machine-readable
 ``BENCH_pipeline_scale.json`` next to the repo root so the perf
 trajectory is tracked across PRs: end-to-end wall time (best of
 :data:`TIMED_REPEATS`), core-compute task seconds, task counts, the
-executor backend, and the speedup against the recorded pre-fast-path
-seed baseline.
+executor backend, the speedup against the recorded pre-fast-path
+seed baseline, and per-stage wall timings from a completeness-
+validated run trace (the Spark-UI analogue).
 
 Environment knobs: ``REPRO_BENCH_BACKEND`` selects the executor
 backend (``thread``/``process``; threads are the default and the
@@ -79,7 +80,7 @@ def build_job_inputs():
     return events, services
 
 
-def run_daily_job(events, services, backend=None):
+def run_daily_job(events, services, backend=None, trace=None):
     context = EngineContext(
         parallelism=PARALLELISM,
         backend=backend or os.environ.get("REPRO_BENCH_BACKEND", "thread"),
@@ -87,7 +88,7 @@ def run_daily_job(events, services, backend=None):
     job = DailyCdiJob(context, TableStore(), ConfigDB(), default_catalog())
     job.store_weights(default_weights())
     job.ingest_events(events, "bench")
-    result = job.run("bench", services)
+    result = job.run("bench", services, trace=trace)
     return result, context.last_job_metrics
 
 
@@ -148,6 +149,18 @@ def test_sec5_pipeline_scale(benchmark):
 
     paths = compare_compute_paths(events, services, backend)
 
+    # One traced run for the per-stage breakdown (the analogue of
+    # reading the production job's Spark UI): pipeline + node stage
+    # wall seconds, validated for completeness before they are
+    # trusted enough to land in the artifact.
+    from repro.engine.trace import RunTrace
+
+    trace = RunTrace("bench")
+    _, traced_metrics = run_daily_job(events, services, trace=trace)
+    assert trace.validate(traced_metrics) == []
+    stage_seconds = trace.stage_seconds()
+    slowest = sorted(stage_seconds.items(), key=lambda kv: -kv[1])
+
     print_table(
         "Section V: daily job scale (laptop-scale analogue)",
         ["quantity", "paper (production)", "reproduced"],
@@ -169,6 +182,10 @@ def test_sec5_pipeline_scale(benchmark):
             ("columnar vs row scan", "-",
              f"{paths['scan_columns_seconds'] * 1000:.2f} ms vs "
              f"{paths['scan_rows_seconds'] * 1000:.2f} ms"),
+            *[
+                (f"stage: {name}", "-", f"{seconds * 1000:.2f} ms")
+                for name, seconds in slowest[:4]
+            ],
         ],
     )
 
@@ -184,6 +201,10 @@ def test_sec5_pipeline_scale(benchmark):
         "task_count": metrics.task_count,
         "seed_baseline_wall_seconds": SEED_BASELINE_WALL_SECONDS,
         "speedup_vs_seed": SEED_BASELINE_WALL_SECONDS / wall_seconds,
+        "stage_seconds": {
+            name: round(seconds, 6)
+            for name, seconds in sorted(stage_seconds.items())
+        },
         **paths,
     }, indent=2) + "\n")
 

@@ -9,7 +9,7 @@ detector that reports direction-tagged findings.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 import numpy as np
@@ -20,12 +20,18 @@ from repro.analytics.ksigma import Anomaly, rolling_ksigma
 
 @dataclass(frozen=True, slots=True)
 class Detection:
-    """One detected change in a CDI curve."""
+    """One detected change in a CDI curve.
+
+    ``methods`` lists the detectors that flagged this index *in this
+    direction* — opposite-direction votes never merge into one
+    detection, they surface as two detections with ``conflict=True``.
+    """
 
     index: int
     value: float
     direction: str        # "spike" or "dip"
     methods: tuple[str, ...]  # detectors that agreed ("ksigma", "evt")
+    conflict: bool = False    # the opposite direction also fired here
 
 
 class CdiCurveDetector:
@@ -65,7 +71,14 @@ class CdiCurveDetector:
         return set(alerts)
 
     def detect(self, values: Sequence[float]) -> list[Detection]:
-        """All spike/dip detections in ``values``, in index order."""
+        """All spike/dip detections in ``values``, in index order.
+
+        Detections are keyed by ``(index, direction)``, so a method
+        voting "dip" can never merge into — and silently flip or ride
+        along with — an existing "spike" detection at the same index.
+        When both directions fire at one index, *two* detections come
+        back, each tagged ``conflict=True``.
+        """
         data = np.asarray(values, dtype=float)
         ks: dict[int, Anomaly] = {
             a.index: a for a in rolling_ksigma(data, self._window, self._k)
@@ -73,32 +86,54 @@ class CdiCurveDetector:
         evt_spikes = self._evt_indices(data)
         evt_dips = self._evt_indices(-data)
 
-        detections: dict[int, Detection] = {}
+        detections: dict[tuple[int, str], Detection] = {}
         for index, anomaly in ks.items():
-            detections[index] = Detection(
+            detections[(index, anomaly.direction)] = Detection(
                 index=index, value=float(data[index]),
                 direction=anomaly.direction, methods=("ksigma",),
             )
         for index in evt_spikes:
-            detections[index] = self._merge(detections.get(index), index,
-                                            data, "spike")
+            key = (index, "spike")
+            detections[key] = self._merge(detections.get(key), index,
+                                          data, "spike")
         for index in evt_dips:
-            detections[index] = self._merge(detections.get(index), index,
-                                            data, "dip")
-        return [detections[i] for i in sorted(detections)]
+            key = (index, "dip")
+            detections[key] = self._merge(detections.get(key), index,
+                                          data, "dip")
+        directions_at: dict[int, set[str]] = {}
+        for index, direction in detections:
+            directions_at.setdefault(index, set()).add(direction)
+        return [
+            (replace(detection, conflict=True)
+             if len(directions_at[index]) > 1 else detection)
+            for (index, _), detection in sorted(detections.items())
+        ]
 
     @staticmethod
     def _merge(existing: Detection | None, index: int, data: np.ndarray,
                direction: str) -> Detection:
+        """Fold an EVT vote into the same-direction detection, if any.
+
+        Callers key detections by ``(index, direction)``, so
+        ``existing`` (when present) is guaranteed to already point the
+        same way as the vote — merging can extend ``methods`` but never
+        change direction.
+        """
         if existing is None:
             return Detection(index=index, value=float(data[index]),
                              direction=direction, methods=("evt",))
+        assert existing.direction == direction
         methods = existing.methods
         if "evt" not in methods:
             methods = methods + ("evt",)
-        return Detection(index=index, value=existing.value,
-                         direction=existing.direction, methods=methods)
+        return replace(existing, methods=methods)
 
     def detect_consensus(self, values: Sequence[float]) -> list[Detection]:
-        """Only detections confirmed by both K-Sigma and EVT."""
+        """Only detections confirmed by both K-Sigma and EVT.
+
+        Because detections are keyed by ``(index, direction)``, two or
+        more methods here means two votes for the *same* direction —
+        an EVT dip no longer counts as confirmation of a K-Sigma spike
+        at the same index.
+        """
         return [d for d in self.detect(values) if len(d.methods) >= 2]

@@ -197,11 +197,19 @@ def cmd_table5(seed: int) -> None:
 def cmd_daily(seed: int, *, days: int = 1, vms: int = 64,
               backend: str = "thread", max_retries: int = 2,
               checkpoint_dir: str | None = None, resume: bool = True,
-              shards: int = 8, chaos_seed: int | None = None) -> None:
+              shards: int = 8, chaos_seed: int | None = None,
+              trace_dir: str | None = None) -> None:
     """Fault-tolerant daily CDI job over a synthetic fleet."""
+    from pathlib import Path
+
     from repro.core.events import Event, default_catalog
     from repro.core.indicator import ServicePeriod
-    from repro.engine import ChaosInjector, EngineContext, spark_like_policy
+    from repro.engine import (
+        ChaosInjector,
+        EngineContext,
+        RunTrace,
+        spark_like_policy,
+    )
     from repro.pipeline.backfill import run_days
     from repro.pipeline.daily import DailyCdiJob
     from repro.scenarios.common import default_weights, fault_to_period
@@ -237,9 +245,11 @@ def cmd_daily(seed: int, *, days: int = 1, vms: int = 64,
     )
     job = DailyCdiJob(context, TableStore(), ConfigDB(), catalog)
     job.store_weights(default_weights())
+    trace = RunTrace("daily") if trace_dir is not None else None
     backfill = run_days(
         job, events_for_day, services, days,
         checkpoint_dir=checkpoint_dir, resume=resume, shards=shards,
+        trace=trace,
     )
     rows = [
         (result.partition, result.vm_count, result.event_count,
@@ -261,6 +271,48 @@ def cmd_daily(seed: int, *, days: int = 1, vms: int = 64,
     if checkpoint_dir is not None:
         print(f"checkpoints under {checkpoint_dir} "
               f"({'resume enabled' if resume else 'resume disabled'})")
+    if trace is not None and trace_dir is not None:
+        target = trace.write_jsonl(
+            Path(trace_dir) / f"daily-seed{seed}.jsonl"
+        )
+        problems = trace.validate()
+        print(f"\ntrace written to {target} "
+              f"({'complete' if not problems else 'INCOMPLETE'})")
+        for problem in problems:
+            print(f"  trace problem: {problem}")
+        print(trace.summary())
+
+
+def _newest_trace(trace_dir: str) -> "str | None":
+    from pathlib import Path
+
+    candidates = sorted(
+        Path(trace_dir).glob("*.jsonl"),
+        key=lambda p: p.stat().st_mtime,
+    )
+    return str(candidates[-1]) if candidates else None
+
+
+def cmd_trace(seed: int, *, trace_file: str | None = None,
+              trace_dir: str | None = None) -> None:
+    """Summarize a run trace written by `daily --trace-dir`."""
+    from repro.engine import RunTrace
+
+    path = trace_file
+    if path is None and trace_dir is not None:
+        path = _newest_trace(trace_dir)
+    if path is None:
+        print("no trace file given; run `repro daily --trace-dir DIR` "
+              "first, then `repro trace --trace-dir DIR` (or "
+              "--trace-file FILE)")
+        return
+    trace = RunTrace.load(path)
+    problems = trace.validate()
+    print(f"trace file: {path} "
+          f"({'complete' if not problems else 'INCOMPLETE'})")
+    for problem in problems:
+        print(f"  trace problem: {problem}")
+    print(trace.summary())
 
 
 COMMANDS: dict[str, Callable[[int], None]] = {
@@ -272,6 +324,7 @@ COMMANDS: dict[str, Callable[[int], None]] = {
     "fig9": cmd_fig9,
     "table5": cmd_table5,
     "daily": cmd_daily,
+    "trace": cmd_trace,
 }
 
 
@@ -309,6 +362,14 @@ def build_parser() -> argparse.ArgumentParser:
     daily.add_argument("--chaos-seed", type=int, default=None,
                        help="enable deterministic chaos injection "
                             "with this seed")
+    daily.add_argument("--trace-dir", default=None,
+                       help="write a JSONL run trace into this directory "
+                            "and print its summary")
+    trace = parser.add_argument_group(
+        "trace", "options for summarizing run traces"
+    )
+    trace.add_argument("--trace-file", default=None,
+                       help="trace JSONL file to summarize")
     return parser
 
 
@@ -327,8 +388,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.seed, days=args.days, vms=args.vms, backend=args.backend,
             max_retries=args.max_retries, checkpoint_dir=args.checkpoint_dir,
             resume=args.resume, shards=args.shards,
-            chaos_seed=args.chaos_seed,
+            chaos_seed=args.chaos_seed, trace_dir=args.trace_dir,
         )
+        return 0
+    if args.command == "trace":
+        cmd_trace(args.seed, trace_file=args.trace_file,
+                  trace_dir=args.trace_dir)
         return 0
     COMMANDS[args.command](args.seed)
     return 0

@@ -27,6 +27,13 @@ from repro.engine.executor import (
     TaskTimeoutError,
 )
 from repro.engine.retry import RetryPolicy, spark_like_policy
+from repro.engine.trace import (
+    RunTrace,
+    Span,
+    TaskAttemptRecord,
+    executor_tracing,
+    trace_span,
+)
 from repro.engine.plan import (
     GatherNode,
     NarrowNode,
@@ -50,13 +57,18 @@ __all__ = [
     "NarrowNode",
     "PlanNode",
     "RetryPolicy",
+    "RunTrace",
     "ShuffleNode",
     "SourceNode",
+    "Span",
+    "TaskAttemptRecord",
     "TaskFailedError",
     "TaskFailure",
     "TaskMetrics",
     "TaskTimeoutError",
     "UnionNode",
+    "executor_tracing",
     "spark_like_policy",
     "stage_boundaries",
+    "trace_span",
 ]

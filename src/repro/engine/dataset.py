@@ -32,6 +32,7 @@ from typing import Any, Callable, Hashable, Iterable, Iterator, Sequence, TypeVa
 from repro.engine.chaos import ChaosInjector
 from repro.engine.executor import JobMetrics, LocalExecutor
 from repro.engine.retry import RetryPolicy
+from repro.engine.trace import RunTrace
 from repro.engine.plan import (
     GatherNode,
     NarrowNode,
@@ -276,10 +277,12 @@ class EngineContext:
 
     ``parallelism`` is the default partition count for new datasets and
     the worker-pool width of the bundled executor; ``backend``,
-    ``chunk_size``, ``retry_policy``, and ``chaos`` are forwarded to
-    :class:`LocalExecutor` (``backend="process"`` schedules CPU-bound
-    stages on a process pool; ``retry_policy`` and ``chaos`` configure
-    fault-tolerant execution and deterministic fault injection).
+    ``chunk_size``, ``retry_policy``, ``chaos``, and ``trace`` are
+    forwarded to :class:`LocalExecutor` (``backend="process"``
+    schedules CPU-bound stages on a process pool; ``retry_policy`` and
+    ``chaos`` configure fault-tolerant execution and deterministic
+    fault injection; ``trace`` attaches a
+    :class:`~repro.engine.trace.RunTrace` flight recorder).
     """
 
     def __init__(self, parallelism: int = 4,
@@ -287,13 +290,14 @@ class EngineContext:
                  backend: str = "thread",
                  chunk_size: int | None = None,
                  retry_policy: RetryPolicy | None = None,
-                 chaos: ChaosInjector | None = None) -> None:
+                 chaos: ChaosInjector | None = None,
+                 trace: RunTrace | None = None) -> None:
         if parallelism < 1:
             raise ValueError(f"parallelism must be >= 1, got {parallelism}")
         self.parallelism = parallelism
         self.executor = executor or LocalExecutor(
             max_workers=parallelism, backend=backend, chunk_size=chunk_size,
-            retry_policy=retry_policy, chaos=chaos,
+            retry_policy=retry_policy, chaos=chaos, trace=trace,
         )
 
     def parallelize(self, data: Iterable[T],
@@ -338,6 +342,11 @@ class EngineContext:
     def last_job_metrics(self) -> JobMetrics:
         """Metrics of the most recent action on this context."""
         return self.executor.last_job_metrics
+
+    @property
+    def trace(self) -> RunTrace | None:
+        """The run trace currently attached to the executor, if any."""
+        return self.executor.trace
 
 
 class Dataset:

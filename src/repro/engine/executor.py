@@ -17,10 +17,17 @@ one task per partition, with:
   timeouts) plus a seedable executor-level
   :class:`~repro.engine.chaos.ChaosInjector` that can crash, delay,
   duplicate, or drop task attempts at named plan nodes,
-* per-node task metrics (rows in/out, wall time, attempts, failed
-  attempts) mirroring the kind of accounting the paper reports for
-  the production Spark job (Section V: "core CDI computation time is
-  around 500 seconds").
+* per-node task metrics (rows in/out, cumulative busy time, attempts,
+  failed attempts) mirroring the kind of accounting the paper reports
+  for the production Spark job (Section V: "core CDI computation time
+  is around 500 seconds"),
+* optional **run tracing**: attach a
+  :class:`~repro.engine.trace.RunTrace` and every stage becomes a
+  node span while every task attempt — retries, backoffs, timeouts,
+  chaos injections, speculative duplicates — becomes a
+  :class:`~repro.engine.trace.TaskAttemptRecord`; on the process
+  backend the records ride home with the task result tuples, so no
+  shared state crosses the worker boundary.
 
 Both backends produce identical partition contents for deterministic
 task functions: tasks are collected in submission (partition) order
@@ -60,6 +67,7 @@ from repro.engine.plan import (
     stable_hash,
 )
 from repro.engine.retry import RetryPolicy
+from repro.engine.trace import RunTrace, TaskAttemptRecord, stamp_job
 
 #: Hook signature: ``(node_name, partition_index, attempt)``; raise to
 #: make that task attempt fail.
@@ -120,7 +128,16 @@ def _shared_thread_pool(max_workers: int) -> ThreadPoolExecutor:
 
 @dataclass(frozen=True, slots=True)
 class TaskMetrics:
-    """Accounting for one successful task attempt."""
+    """Accounting for one successful task.
+
+    ``seconds`` is the task's *cumulative busy time*: the summed body
+    runtime plus injected chaos delay across **all** attempts, failed
+    ones included.  (It excludes backoff sleeps — the worker is idle —
+    and chaos-``duplicate`` speculative executions, which are timed as
+    their own :class:`~repro.engine.trace.TaskAttemptRecord`s.)  A
+    retried task therefore reports every second it actually burned,
+    not just its final attempt.
+    """
 
     node_name: str
     partition: int
@@ -165,10 +182,18 @@ class _FinalError:
 
 @dataclass
 class JobMetrics:
-    """Aggregated accounting for one ``execute`` call."""
+    """Aggregated accounting for one ``execute`` call.
+
+    ``job`` is the executor-local sequence number of the ``execute``
+    call that produced these metrics; attempt records in a
+    :class:`~repro.engine.trace.RunTrace` carry the same id, which is
+    how a trace spanning many engine actions (e.g. one per checkpoint
+    shard) keeps re-executions of identically named plan nodes apart.
+    """
 
     tasks: list[TaskMetrics] = field(default_factory=list)
     failures: list[TaskFailure] = field(default_factory=list)
+    job: int = 0
 
     @property
     def task_count(self) -> int:
@@ -182,7 +207,7 @@ class JobMetrics:
 
     @property
     def total_seconds(self) -> float:
-        """Sum of task wall times (CPU-seconds analogue)."""
+        """Sum of cumulative task busy times (CPU-seconds analogue)."""
         return sum(t.seconds for t in self.tasks)
 
     @property
@@ -305,27 +330,79 @@ def _failure_kind(exc: BaseException) -> str:
     return "error"
 
 
+def _run_speculative(
+    name: str, partition: int, attempt: int, fn: Callable[..., list[Any]],
+    args: tuple[Any, ...], policy: RetryPolicy,
+    records: list[TaskAttemptRecord],
+) -> None:
+    """Run a chaos-``duplicate`` speculative execution.
+
+    The run is timed as its *own* attempt record (sharing the kept
+    attempt's number, flagged ``speculative``) so its runtime never
+    double-counts into the kept attempt's ``run_seconds`` — and
+    therefore never inflates :attr:`TaskMetrics.seconds`.  An exception
+    propagates unchanged: a failing task body fails its attempt exactly
+    as it did before speculation was instrumented.
+    """
+    started = time.monotonic()
+    try:
+        _call_with_timeout(fn, args, policy.timeout)
+    except Exception as exc:
+        ended = time.monotonic()
+        records.append(TaskAttemptRecord(
+            node_name=name, partition=partition, attempt=attempt,
+            speculative=True, started=started, ended=ended,
+            run_seconds=ended - started, status=_failure_kind(exc),
+            error=f"{type(exc).__name__}: {exc}", chaos_kind="duplicate",
+        ))
+        raise
+    ended = time.monotonic()
+    records.append(TaskAttemptRecord(
+        node_name=name, partition=partition, attempt=attempt,
+        speculative=True, started=started, ended=ended,
+        run_seconds=ended - started, status="ok", chaos_kind="duplicate",
+    ))
+
+
 def _run_attempts(
     name: str, partition: int, fn: Callable[..., list[Any]],
     args: tuple[Any, ...], policy: RetryPolicy,
     chaos: ChaosInjector | None,
     failure_injector: FailureInjector | None = None,
+    submitted: float | None = None,
 ) -> tuple[TaskMetrics | None, list[Any] | None, list[TaskFailure],
-           _FinalError | None]:
+           list[TaskAttemptRecord], _FinalError | None]:
     """Run one task to success or retry exhaustion.
 
     The single attempt loop used by **both** backends: chaos plan →
     injected delay → (injected crash | task body under timeout) →
     injected result loss, with backoff sleeps between attempts.
-    Returns ``(metrics, result, failed_attempts, final_error)`` where
-    exactly one of ``metrics``/``final_error`` is set; errors travel as
-    portable ``(type, message, traceback)`` strings so un-picklable
-    user exceptions cannot poison a process result channel.
+    Returns ``(metrics, result, failed_attempts, attempt_records,
+    final_error)`` where exactly one of ``metrics``/``final_error`` is
+    set; errors travel as portable ``(type, message, traceback)``
+    strings so un-picklable user exceptions cannot poison a process
+    result channel, and the attempt records ride the same tuple so
+    process workers need no shared trace state.
+
+    ``submitted`` is the driver-side ``time.monotonic()`` at stage
+    submission; the gap to attempt 1's start is the task's queue wait.
+    The returned metrics' ``seconds`` is cumulative across attempts
+    (body runtime + injected delay; backoff and speculative duplicate
+    runs excluded), so retried tasks no longer under-report.
     """
     failures: list[TaskFailure] = []
+    records: list[TaskAttemptRecord] = []
     last_exc: BaseException | None = None
+    busy_seconds = 0.0
     for attempt in range(1, policy.max_attempts + 1):
-        started = time.perf_counter()
+        started = time.monotonic()
+        queue_seconds = (
+            max(0.0, started - submitted)
+            if submitted is not None and attempt == 1 else 0.0
+        )
+        plan = None
+        chaos_delay = 0.0
+        run_seconds = 0.0
         try:
             plan = (chaos.plan(name, partition, attempt)
                     if chaos is not None else None)
@@ -334,17 +411,24 @@ def _run_attempts(
             if plan is not None:
                 if plan.delay > 0.0:
                     time.sleep(plan.delay)
+                    chaos_delay = plan.delay
                 if plan.kind == "crash":
                     raise InjectedFault(
                         f"injected crash at {name!r} partition {partition} "
                         f"attempt {attempt}"
                     )
                 if plan.kind == "duplicate":
-                    # A speculative duplicate ran first; only the
+                    # A speculative duplicate runs first; only the
                     # second execution's result is kept.  Pure tasks
                     # make this a no-op by definition.
-                    _call_with_timeout(fn, args, policy.timeout)
-            result = _call_with_timeout(fn, args, policy.timeout)
+                    _run_speculative(
+                        name, partition, attempt, fn, args, policy, records
+                    )
+            run_started = time.monotonic()
+            try:
+                result = _call_with_timeout(fn, args, policy.timeout)
+            finally:
+                run_seconds = time.monotonic() - run_started
             if plan is not None and plan.kind == "drop":
                 raise DroppedResult(
                     f"injected result loss at {name!r} partition "
@@ -353,23 +437,42 @@ def _run_attempts(
         except Exception as exc:  # noqa: BLE001 - retry any task error
             last_exc = exc
             fatal = not policy.should_retry(attempt)
+            kind = _failure_kind(exc)
             failures.append(TaskFailure(
                 node_name=name, partition=partition, attempt=attempt,
-                kind=_failure_kind(exc),
-                error=f"{type(exc).__name__}: {exc}", fatal=fatal,
+                kind=kind, error=f"{type(exc).__name__}: {exc}", fatal=fatal,
             ))
+            ended = time.monotonic()
+            backoff = (0.0 if fatal
+                       else policy.delay(attempt, key=(name, partition)))
+            records.append(TaskAttemptRecord(
+                node_name=name, partition=partition, attempt=attempt,
+                started=started, ended=ended, queue_seconds=queue_seconds,
+                run_seconds=run_seconds, backoff_seconds=backoff,
+                chaos_delay_seconds=chaos_delay, status=kind,
+                error=f"{type(exc).__name__}: {exc}",
+                chaos_kind=plan.kind if plan is not None else None,
+            ))
+            busy_seconds += run_seconds + chaos_delay
             if fatal:
                 break
-            backoff = policy.delay(attempt, key=(name, partition))
             if backoff > 0.0:
                 time.sleep(backoff)
             continue
-        elapsed = time.perf_counter() - started
+        ended = time.monotonic()
+        records.append(TaskAttemptRecord(
+            node_name=name, partition=partition, attempt=attempt,
+            started=started, ended=ended, queue_seconds=queue_seconds,
+            run_seconds=run_seconds, chaos_delay_seconds=chaos_delay,
+            status="ok",
+            chaos_kind=plan.kind if plan is not None else None,
+        ))
+        busy_seconds += run_seconds + chaos_delay
         metrics = TaskMetrics(
             node_name=name, partition=partition, rows_out=len(result),
-            seconds=elapsed, attempts=attempt,
+            seconds=busy_seconds, attempts=attempt,
         )
-        return metrics, result, failures, None
+        return metrics, result, failures, records, None
     assert last_exc is not None
     final = _FinalError(
         type_name=type(last_exc).__name__,
@@ -377,31 +480,35 @@ def _run_attempts(
         traceback_text="".join(traceback.format_exception(last_exc)),
         exception=last_exc,
     )
-    return None, None, failures, final
+    return None, None, failures, records, final
 
 
 def _run_task_chunk(
     specs: Sequence[tuple[str, int, Callable[..., list[Any]], tuple[Any, ...]]],
     policy: RetryPolicy,
     chaos: ChaosInjector | None,
+    submitted: float | None = None,
 ) -> list[tuple[TaskMetrics | None, list[Any] | None, list[TaskFailure],
-                _FinalError | None]]:
+                list[TaskAttemptRecord], _FinalError | None]]:
     """Worker-side body of one chunk: run each task with retries.
 
-    Returns one ``(metrics, result, failures, error)`` quadruple per
-    task, in input order.  Live exception objects are stripped from
-    final errors so un-picklable user exceptions cannot poison the
-    result channel back to the parent; their type, message, and
-    formatted traceback still travel as strings.
+    Returns one ``(metrics, result, failures, records, error)`` tuple
+    per task, in input order — the attempt records travel home with
+    the results, so tracing needs no cross-process shared state (on
+    Linux ``time.monotonic`` is system-wide, so worker-side stamps
+    line up with driver-side spans).  Live exception objects are
+    stripped from final errors so un-picklable user exceptions cannot
+    poison the result channel back to the parent; their type, message,
+    and formatted traceback still travel as strings.
     """
     out = []
     for name, partition, fn, args in specs:
-        metrics, result, failures, error = _run_attempts(
-            name, partition, fn, args, policy, chaos
+        metrics, result, failures, records, error = _run_attempts(
+            name, partition, fn, args, policy, chaos, submitted=submitted
         )
         if error is not None:
             error.exception = None
-        out.append((metrics, result, failures, error))
+        out.append((metrics, result, failures, records, error))
     return out
 
 
@@ -452,13 +559,20 @@ class LocalExecutor:
         only: the hook is an arbitrary (often closure-based) callable
         that must share state with the test, which cannot cross a
         process boundary.  Prefer ``chaos`` for new code.
+    trace:
+        Optional :class:`~repro.engine.trace.RunTrace` that collects a
+        node span per stage and per-attempt records for every task on
+        either backend.  Also settable afterwards via the mutable
+        ``trace`` attribute (see
+        :func:`~repro.engine.trace.executor_tracing`).
     """
 
     def __init__(self, max_workers: int = 4, *, backend: str = "thread",
                  chunk_size: int | None = None, max_task_retries: int = 2,
                  retry_policy: RetryPolicy | None = None,
                  chaos: ChaosInjector | None = None,
-                 failure_injector: FailureInjector | None = None) -> None:
+                 failure_injector: FailureInjector | None = None,
+                 trace: RunTrace | None = None) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         if max_task_retries < 0:
@@ -484,6 +598,8 @@ class LocalExecutor:
         )
         self._chaos = chaos
         self._failure_injector = failure_injector
+        self.trace = trace
+        self._job_seq = 0
         self.last_job_metrics = JobMetrics()
 
     @property
@@ -503,7 +619,8 @@ class LocalExecutor:
 
     def execute(self, node: PlanNode) -> list[list[Any]]:
         """Materialize ``node`` and return its partitions as lists."""
-        self.last_job_metrics = JobMetrics()
+        self._job_seq += 1
+        self.last_job_metrics = JobMetrics(job=self._job_seq)
         cache: dict[int, list[list[Any]]] = {}
         if self._backend == "process":
             # Process pools are created per job: worker processes must
@@ -569,17 +686,40 @@ class LocalExecutor:
 
     def _run_tasks(self, specs: list[_TaskSpec],
                    pool: Executor) -> list[list[Any]]:
-        """Run one stage's tasks, returning results in partition order."""
+        """Run one stage's tasks, returning results in partition order.
+
+        When a trace is attached, the whole stage runs inside one
+        ``kind="node"`` span (stamped with the job id so repeated
+        executions of same-named nodes stay distinguishable) and the
+        submission timestamp rides along so attempt records can report
+        their queue wait.
+        """
         if not specs:
             return []
-        if self._backend == "process":
-            return self._run_tasks_chunked(specs, pool)
-        futures = [
-            pool.submit(self._run_task, spec.node_name, spec.partition,
-                        spec.fn, spec.args)
-            for spec in specs
-        ]
-        return [f.result() for f in futures]
+        trace = self.trace
+        span = None
+        if trace is not None:
+            span = trace.begin_span(
+                specs[0].node_name, "node", job=self.last_job_metrics.job,
+                tasks=len(specs), backend=self._backend,
+            )
+        try:
+            if self._backend == "process":
+                results = self._run_tasks_chunked(specs, pool)
+            else:
+                submitted = time.monotonic()
+                futures = [
+                    pool.submit(self._run_task, spec.node_name,
+                                spec.partition, spec.fn, spec.args, submitted)
+                    for spec in specs
+                ]
+                results = [f.result() for f in futures]
+            if span is not None:
+                span.attributes["rows_out"] = sum(len(r) for r in results)
+            return results
+        finally:
+            if span is not None:
+                trace.end_span(span)
 
     def _run_tasks_chunked(self, specs: list[_TaskSpec],
                            pool: Executor) -> list[list[Any]]:
@@ -592,9 +732,10 @@ class LocalExecutor:
             for chunk in (specs[i:i + chunk_size]
                           for i in range(0, len(specs), chunk_size))
         ]
+        submitted = time.monotonic()
         futures = [
             pool.submit(_run_task_chunk, payload, self._retry_policy,
-                        self._chaos)
+                        self._chaos, submitted)
             for payload in payloads
         ]
         results: list[list[Any]] = []
@@ -611,9 +752,13 @@ class LocalExecutor:
                     "the thread backend for closures)",
                     node_name=name,
                 ) from exc
-            for task_index, (metrics, result, failures, error) in enumerate(
-                chunk_results
-            ):
+            for task_index, (
+                metrics, result, failures, records, error
+            ) in enumerate(chunk_results):
+                if self.trace is not None:
+                    self.trace.record_attempts(
+                        stamp_job(records, self.last_job_metrics.job)
+                    )
                 self.last_job_metrics.failures.extend(failures)
                 spec = payloads[payload_index][task_index]
                 if error is not None:
@@ -631,11 +776,16 @@ class LocalExecutor:
 
     def _run_task(self, name: str, partition: int,
                   fn: Callable[..., list[Any]],
-                  args: tuple[Any, ...]) -> list[Any]:
-        metrics, result, failures, error = _run_attempts(
+                  args: tuple[Any, ...],
+                  submitted: float | None = None) -> list[Any]:
+        metrics, result, failures, records, error = _run_attempts(
             name, partition, fn, args, self._retry_policy, self._chaos,
-            self._failure_injector,
+            self._failure_injector, submitted=submitted,
         )
+        if self.trace is not None:
+            self.trace.record_attempts(
+                stamp_job(records, self.last_job_metrics.job)
+            )
         self.last_job_metrics.failures.extend(failures)
         if error is not None:
             raise _task_failed_error(

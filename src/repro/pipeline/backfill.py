@@ -14,6 +14,7 @@ from typing import Callable, Mapping, Sequence
 
 from repro.core.events import Event
 from repro.core.indicator import ServicePeriod
+from repro.engine.trace import RunTrace, trace_span
 from repro.pipeline.checkpoint import JobCheckpoint
 from repro.pipeline.daily import DailyCdiJob, DailyJobResult
 from repro.pipeline.monitor import CdiMonitor
@@ -50,6 +51,7 @@ def run_days(
     checkpoint_dir: str | Path | None = None,
     resume: bool = True,
     shards: int = 8,
+    trace: RunTrace | None = None,
 ) -> BackfillResult:
     """Ingest + run the daily job for ``days`` consecutive partitions.
 
@@ -66,40 +68,55 @@ def run_days(
     already finalized replay their staged outputs without re-ingesting
     or re-scanning any events.  Outputs are byte-identical to an
     uncheckpointed run either way.
+
+    ``trace`` attaches a :class:`~repro.engine.trace.RunTrace` across
+    the whole backfill: one ``kind="day"`` span per partition with
+    ingest/observe stage spans, and inside each day the daily job's
+    own pipeline spans plus the engine's node spans and task attempt
+    records.
     """
     monitor = monitor or CdiMonitor()
     partitions = day_partitions(days, prefix)
     results = []
-    for index, partition in enumerate(partitions):
-        if checkpoint_dir is None:
-            events = list(events_for_day(index, partition))
-            job.ingest_events(events, partition)
-            result = job.run(partition, services)
-        else:
-            checkpoint = JobCheckpoint(
-                Path(checkpoint_dir) / f"{partition}.ckpt.json"
-            )
-            fingerprint = job.checkpoint_fingerprint(
-                partition, services, shards=shards
-            )
-            replayable = (
-                resume and checkpoint.load()
-                and checkpoint.fingerprint() == fingerprint
-                and checkpoint.is_finalized()
-            )
-            if not replayable:
-                # Overwrite-then-ingest keeps a re-run of a partially
-                # processed day idempotent (ingest alone appends).
-                job.tables.get(EVENTS_TABLE).drop_partition(partition)
-                events = list(events_for_day(index, partition))
-                job.ingest_events(events, partition)
-            result = job.run_checkpointed(
-                partition, services, checkpoint=checkpoint,
-                shards=shards, resume=resume,
-            )
-        results.append(result)
-        vm_rows, event_rows = job.output_rows(partition)
-        monitor.observe_day(partition, vm_rows, event_rows)
+    with trace_span(trace, f"backfill[{prefix}x{days}]", "pipeline",
+                    days=days, checkpointed=checkpoint_dir is not None):
+        for index, partition in enumerate(partitions):
+            with trace_span(trace, f"day[{partition}]", "day"):
+                if checkpoint_dir is None:
+                    with trace_span(trace, "ingest", "stage"):
+                        events = list(events_for_day(index, partition))
+                        job.ingest_events(events, partition)
+                    result = job.run(partition, services, trace=trace)
+                else:
+                    checkpoint = JobCheckpoint(
+                        Path(checkpoint_dir) / f"{partition}.ckpt.json"
+                    )
+                    fingerprint = job.checkpoint_fingerprint(
+                        partition, services, shards=shards
+                    )
+                    replayable = (
+                        resume and checkpoint.load()
+                        and checkpoint.fingerprint() == fingerprint
+                        and checkpoint.is_finalized()
+                    )
+                    if not replayable:
+                        # Overwrite-then-ingest keeps a re-run of a
+                        # partially processed day idempotent (ingest
+                        # alone appends).
+                        with trace_span(trace, "ingest", "stage"):
+                            job.tables.get(EVENTS_TABLE).drop_partition(
+                                partition
+                            )
+                            events = list(events_for_day(index, partition))
+                            job.ingest_events(events, partition)
+                    result = job.run_checkpointed(
+                        partition, services, checkpoint=checkpoint,
+                        shards=shards, resume=resume, trace=trace,
+                    )
+                results.append(result)
+                with trace_span(trace, "observe", "stage"):
+                    vm_rows, event_rows = job.output_rows(partition)
+                    monitor.observe_day(partition, vm_rows, event_rows)
     return BackfillResult(
         partitions=tuple(partitions),
         job_results=tuple(results),

@@ -41,6 +41,7 @@ from repro.core.indicator import CdiCalculator, CdiReport, ServicePeriod
 from repro.core.periods import resolve_periods
 from repro.core.weights import WeightConfig
 from repro.engine.dataset import EngineContext
+from repro.engine.trace import RunTrace, executor_tracing, trace_span
 from repro.pipeline.checkpoint import (
     JobCheckpoint,
     job_fingerprint,
@@ -467,31 +468,45 @@ class DailyCdiJob:
 
     def run(self, partition: str, services: Mapping[str, ServicePeriod], *,
             use_fastpath: bool | None = None,
-            use_columnar: bool | None = None) -> DailyJobResult:
+            use_columnar: bool | None = None,
+            trace: RunTrace | None = None) -> DailyJobResult:
         """Compute and write the two output tables for one day.
 
         ``services`` maps each VM in service to its service period; VMs
         without any events still contribute zero-CDI rows (their
         service time dilutes the fleet aggregate, Formula 4).
         ``use_fastpath`` / ``use_columnar`` override the job defaults
-        for this run.
+        for this run.  ``trace`` attaches a
+        :class:`~repro.engine.trace.RunTrace` flight recorder for the
+        duration of the run: pipeline-stage spans here, node spans and
+        attempt records from the engine underneath.
         """
         horizon = max((s.end for s in services.values()), default=0.0)
         fast = self._use_fastpath if use_fastpath is None else use_fastpath
         columnar = (
             self._use_columnar if use_columnar is None else use_columnar
         )
-        vm_columns, event_columns, event_count = self._compute_columns(
-            partition, services, horizon, fast, columnar
-        )
-        return self._write_outputs(
-            partition, vm_columns, event_columns, event_count
-        )
+        path = ("columnar" if fast and columnar
+                else "fastpath" if fast else "reference")
+        with trace_span(trace, f"daily[{partition}]", "pipeline", path=path), \
+                executor_tracing(self._context.executor, trace):
+            with trace_span(trace, "compute", "stage",
+                            vms=len(services)):
+                vm_columns, event_columns, event_count = (
+                    self._compute_columns(
+                        partition, services, horizon, fast, columnar
+                    )
+                )
+            with trace_span(trace, "write_outputs", "stage"):
+                return self._write_outputs(
+                    partition, vm_columns, event_columns, event_count
+                )
 
     def run_checkpointed(
         self, partition: str, services: Mapping[str, ServicePeriod], *,
         checkpoint: JobCheckpoint, shards: int = 8, resume: bool = True,
         use_fastpath: bool | None = None, use_columnar: bool | None = None,
+        trace: RunTrace | None = None,
     ) -> DailyJobResult:
         """Fault-tolerant :meth:`run`: compute in VM shards, checkpoint
         each, and resume a killed run from the last completed shard.
@@ -521,21 +536,30 @@ class DailyCdiJob:
         vm_list = sorted(services)
         shard_vms = split_shards(vm_list, shards)
         units = shard_units(len(shard_vms))
-        for unit, vms in zip(units, shard_vms):
-            if unit in done:
-                continue
-            shard_services = {vm: services[vm] for vm in vms}
-            vm_cols, event_cols, count = self._compute_columns(
-                partition, shard_services, horizon, fast, columnar
-            )
-            checkpoint.record_shard(unit, vm_cols, event_cols, count)
-        event_count = sum(checkpoint.completed_units().values())
-        vm_columns, event_columns = checkpoint.merged_columns(units)
-        result = self._write_outputs(
-            partition, vm_columns, event_columns, event_count
-        )
-        checkpoint.mark_finalized()
-        return result
+        path = ("columnar" if fast and columnar
+                else "fastpath" if fast else "reference")
+        with trace_span(trace, f"daily_checkpointed[{partition}]",
+                        "pipeline", path=path, shards=len(shard_vms),
+                        resumed=len(done)), \
+                executor_tracing(self._context.executor, trace):
+            for unit, vms in zip(units, shard_vms):
+                if unit in done:
+                    continue
+                with trace_span(trace, f"shard[{unit}]", "shard",
+                                vms=len(vms)):
+                    shard_services = {vm: services[vm] for vm in vms}
+                    vm_cols, event_cols, count = self._compute_columns(
+                        partition, shard_services, horizon, fast, columnar
+                    )
+                    checkpoint.record_shard(unit, vm_cols, event_cols, count)
+            with trace_span(trace, "merge_write", "stage"):
+                event_count = sum(checkpoint.completed_units().values())
+                vm_columns, event_columns = checkpoint.merged_columns(units)
+                result = self._write_outputs(
+                    partition, vm_columns, event_columns, event_count
+                )
+                checkpoint.mark_finalized()
+            return result
 
     def checkpoint_fingerprint(
         self, partition: str, services: Mapping[str, ServicePeriod], *,

@@ -65,3 +65,78 @@ class TestCdiCurveDetector:
     def test_short_series(self):
         detector = CdiCurveDetector(window=7, k=3.0, calibration=10)
         assert detector.detect([0.1, 0.2]) == []
+
+
+def spike_curve(seed: int = 0) -> list[float]:
+    rng = np.random.default_rng(seed)
+    return noisy_level(rng, 0.1, 13) + [2.0] + noisy_level(rng, 0.1, 16)
+
+
+class _EvtDipAt13(CdiCurveDetector):
+    """EVT stub voting "dip" at index 13 (fires on the negated pass only)."""
+
+    def _evt_indices(self, values):
+        return {13} if values[13] < 0 else set()
+
+
+class _EvtSpikeAt13(CdiCurveDetector):
+    """EVT stub voting "spike" at index 13 (raw pass only)."""
+
+    def _evt_indices(self, values):
+        return {13} if values[13] > 0 else set()
+
+
+class _EvtBothAt13(CdiCurveDetector):
+    """EVT stub voting both directions at index 13."""
+
+    def _evt_indices(self, values):
+        return {13}
+
+
+class TestDirectionSafety:
+    """Regression: opposite-direction votes must not merge (the old
+    ``_merge`` silently kept the existing direction, so an EVT dip
+    vote rode along as confirmation of a K-Sigma spike)."""
+
+    def test_opposite_vote_stays_a_separate_detection(self):
+        detector = _EvtDipAt13(window=7, k=3.0, calibration=10)
+        at_13 = [d for d in detector.detect(spike_curve()) if d.index == 13]
+        by_direction = {d.direction: d for d in at_13}
+        assert set(by_direction) == {"spike", "dip"}
+        # The EVT dip vote did not leak into the spike's methods.
+        assert by_direction["spike"].methods == ("ksigma",)
+        assert by_direction["dip"].methods == ("evt",)
+
+    def test_conflicting_directions_are_tagged(self):
+        detector = _EvtDipAt13(window=7, k=3.0, calibration=10)
+        at_13 = [d for d in detector.detect(spike_curve()) if d.index == 13]
+        assert all(d.conflict for d in at_13)
+        elsewhere = [d for d in detector.detect(spike_curve())
+                     if d.index != 13]
+        assert not any(d.conflict for d in elsewhere)
+
+    def test_consensus_requires_direction_agreement(self):
+        """A K-Sigma spike + an EVT dip is disagreement, not consensus."""
+        detector = _EvtDipAt13(window=7, k=3.0, calibration=10)
+        consensus = detector.detect_consensus(spike_curve())
+        assert not any(d.index == 13 for d in consensus)
+
+    def test_same_direction_votes_still_merge(self):
+        detector = _EvtSpikeAt13(window=7, k=3.0, calibration=10)
+        at_13 = [d for d in detector.detect(spike_curve()) if d.index == 13]
+        assert len(at_13) == 1
+        assert set(at_13[0].methods) == {"ksigma", "evt"}
+        assert at_13[0].direction == "spike"
+        assert not at_13[0].conflict
+        assert any(d.index == 13
+                   for d in detector.detect_consensus(spike_curve()))
+
+    def test_both_directions_yield_two_tagged_detections(self):
+        detector = _EvtBothAt13(window=7, k=3.0, calibration=10)
+        at_13 = [d for d in detector.detect(spike_curve()) if d.index == 13]
+        assert sorted(d.direction for d in at_13) == ["dip", "spike"]
+        assert all(d.conflict for d in at_13)
+        consensus = [d for d in detector.detect_consensus(spike_curve())
+                     if d.index == 13]
+        # Only the spike has two same-direction votes (ksigma + evt).
+        assert [d.direction for d in consensus] == ["spike"]

@@ -16,6 +16,7 @@ from repro.engine.executor import (
 )
 from repro.engine.plan import NarrowNode, ShuffleNode, SourceNode
 from repro.engine.retry import RetryPolicy
+from repro.engine.trace import RunTrace
 
 
 def _kaput(part):
@@ -131,6 +132,71 @@ class TestMetrics:
         node = ShuffleNode(source, 2, name="sh")
         executor.execute(node)
         assert "sh.map" in executor.last_job_metrics.by_node()
+
+    def test_seconds_cumulative_across_attempts(self):
+        """Regression: a crash-then-succeed task reports the failed
+        attempt's runtime too, not just the final attempt's."""
+        calls = {"n": 0}
+
+        def crash_then_succeed(part):
+            calls["n"] += 1
+            time.sleep(0.05)
+            if calls["n"] == 1:
+                raise RuntimeError("transient")
+            return list(part)
+
+        executor = LocalExecutor(max_workers=1)
+        node = NarrowNode(SourceNode([[1]]), crash_then_succeed, "flaky")
+        assert executor.execute(node) == [[1]]
+        (task,) = executor.last_job_metrics.tasks
+        assert task.attempts == 2
+        # Both ~0.05s attempt bodies must be accounted (the old code
+        # reset the timer every attempt and reported only the last).
+        assert task.seconds >= 0.09
+
+    def test_backoff_sleep_not_counted_as_busy_time(self):
+        calls = {"n": 0}
+
+        def crash_once(part):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient")
+            return list(part)
+
+        executor = LocalExecutor(
+            max_workers=1,
+            retry_policy=RetryPolicy(max_retries=1, base_delay=0.1),
+        )
+        node = NarrowNode(SourceNode([[1]]), crash_once, "flaky")
+        assert executor.execute(node) == [[1]]
+        (task,) = executor.last_job_metrics.tasks
+        assert task.seconds < 0.1   # the 0.1s backoff is idle, not busy
+
+    def test_duplicate_speculation_not_double_counted(self):
+        """Regression: a chaos-``duplicate`` speculative run is its own
+        attempt record, not part of the kept attempt's busy time."""
+        trace = RunTrace()
+        chaos = ChaosInjector([FaultRule(kind="duplicate")])
+        executor = LocalExecutor(max_workers=1, chaos=chaos, trace=trace)
+
+        def nap(part):
+            time.sleep(0.08)
+            return list(part)
+
+        node = NarrowNode(SourceNode([[1]]), nap, "dup")
+        assert executor.execute(node) == [[1]]
+        (task,) = executor.last_job_metrics.tasks
+        # The body ran twice (~0.16s total) but only the kept run counts.
+        assert 0.08 <= task.seconds < 0.14
+        (spec,) = [r for r in trace.attempts if r.speculative]
+        assert spec.run_seconds >= 0.08
+        assert spec.chaos_kind == "duplicate"
+        (kept,) = [r for r in trace.attempts if not r.speculative]
+        # The speculative run happens inside the kept attempt's wall
+        # interval — visible there, excluded from its run_seconds.
+        assert kept.wall_seconds >= 0.16
+        assert kept.run_seconds < 0.14
+        assert trace.validate(executor.last_job_metrics) == []
 
 
 class TestFailureAccounting:

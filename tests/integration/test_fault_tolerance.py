@@ -530,3 +530,72 @@ class TestBackfillCheckpointed:
         for partition in resumed.partitions:
             assert output_bytes(resumed_job, partition) == \
                 output_bytes(reference_job, partition)
+
+
+class TestTraceCompleteness:
+    """Tentpole: chaos-seeded runs leave complete, additive run traces.
+
+    Every fault the storm injects must be visible in the trace as an
+    attempt record, every span must close, and the attempt timings must
+    add up to the span wall time — on both executor backends, across
+    the same seed matrix as the differential tests above.
+    """
+
+    @pytest.mark.parametrize("seed", chaos_seeds())
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_storm_run_trace_is_complete(self, fleet, backend, seed):
+        from repro.engine.trace import RunTrace
+
+        events, services = fleet
+        job = make_job(events, backend=backend,
+                       chaos=ChaosInjector.storm(seed=seed, probability=0.5,
+                                                 delay=0.002))
+        trace = RunTrace(f"storm-{backend}-s{seed}")
+        job.run(PARTITION, services, trace=trace)
+        metrics = job._context.executor.last_job_metrics
+        assert trace.validate(metrics) == []
+        # The storm left visible scars: chaos-annotated attempts exist,
+        # and the pipeline/stage skeleton is intact around them.
+        assert any(r.chaos_kind is not None for r in trace.attempts)
+        pipelines = [s.name for s in trace.spans if s.kind == "pipeline"]
+        assert pipelines == [f"daily[{PARTITION}]"]
+        stages = {s.name for s in trace.spans if s.kind == "stage"}
+        assert {"compute", "write_outputs"} <= stages
+
+    @pytest.mark.parametrize("seed", chaos_seeds())
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_checkpointed_storm_traces_every_shard(self, fleet, tmp_path,
+                                                   backend, seed):
+        from repro.engine.trace import RunTrace
+
+        events, services = fleet
+        job = make_job(events, backend=backend,
+                       chaos=ChaosInjector.storm(seed=seed, probability=0.3,
+                                                 delay=0.002))
+        trace = RunTrace("ckpt")
+        job.run_checkpointed(
+            PARTITION, services,
+            checkpoint=JobCheckpoint(tmp_path / "d0.ckpt.json"),
+            shards=3, trace=trace,
+        )
+        assert trace.validate() == []
+        shard_spans = [s for s in trace.spans if s.kind == "shard"]
+        assert len(shard_spans) == 3
+        assert {"merge_write"} <= {s.name for s in trace.spans
+                                   if s.kind == "stage"}
+
+    def test_storm_trace_survives_jsonl_round_trip(self, fleet, tmp_path):
+        """The exported artifact re-validates clean after loading —
+        what ``repro daily --trace-dir`` writes is trustworthy."""
+        from repro.engine.trace import RunTrace
+
+        events, services = fleet
+        job = make_job(events, chaos=ChaosInjector.storm(
+            seed=chaos_seeds()[0], probability=0.5, delay=0.002))
+        trace = RunTrace("artifact")
+        job.run(PARTITION, services, trace=trace)
+        loaded = RunTrace.load(trace.write_jsonl(tmp_path / "run.jsonl"))
+        assert loaded.validate() == []
+        assert len(loaded.attempts) == len(trace.attempts)
+        assert {r.status for r in loaded.attempts} == \
+            {r.status for r in trace.attempts}

@@ -98,6 +98,31 @@ class TestFindings:
             for f in findings
         )
 
+    def test_direction_conflict_across_curves_same_day(self):
+        """Satellite: a fleet spike and a tracked-event dip on the same
+        day must surface as two findings with the correct per-curve
+        direction (the old ``_merge`` could let one curve's direction
+        masquerade as agreement)."""
+        monitor = CdiMonitor(tracked_events=["inspect_cpu_power_tdp"])
+        rng = np.random.default_rng(4)
+        for day in range(20):
+            fleet_value = (0.9 if day == 15
+                           else max(0.0, float(rng.normal(0.05, 0.005))))
+            event_value = (0.01 if day == 15
+                           else max(0.0, float(rng.normal(0.5, 0.02))))
+            monitor.observe_day(f"d{day:02d}", vm_rows({"a": fleet_value}), [
+                {"vm": "a", "event": "inspect_cpu_power_tdp",
+                 "cdi": event_value, "service_time": 86400.0},
+            ])
+        directions = {}
+        for finding in monitor.findings():
+            if finding.day == "d15":
+                directions.setdefault(finding.curve, set()).add(
+                    finding.direction
+                )
+        assert directions["fleet.performance"] == {"spike"}
+        assert directions["event.inspect_cpu_power_tdp"] == {"dip"}
+
     def test_no_resolver_no_rca(self):
         monitor = CdiMonitor()
         rng = np.random.default_rng(3)

@@ -72,3 +72,38 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure99"])
+
+
+class TestTraceCli:
+    def test_daily_trace_dir_writes_complete_trace(self, tmp_path, capsys):
+        assert main(["daily", "--vms", "12", "--chaos-seed", "1",
+                     "--trace-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        assert "complete" in out and "INCOMPLETE" not in out
+        assert "critical path" in out
+        files = list(tmp_path.glob("*.jsonl"))
+        assert len(files) == 1
+
+    def test_trace_command_summarizes_written_trace(self, tmp_path, capsys):
+        assert main(["daily", "--vms", "12",
+                     "--trace-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "--trace-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace file:" in out
+        assert "slowest stages" in out
+
+    def test_trace_file_flag_picks_a_specific_trace(self, tmp_path, capsys):
+        assert main(["daily", "--vms", "12",
+                     "--trace-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        (target,) = tmp_path.glob("*.jsonl")
+        assert main(["trace", "--trace-file", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert str(target) in out
+
+    def test_trace_without_file_is_graceful(self, capsys):
+        assert main(["trace"]) == 0
+        out = capsys.readouterr().out
+        assert "no trace file given" in out
