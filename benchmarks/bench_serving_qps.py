@@ -1,0 +1,175 @@
+"""Serving-layer QPS: cached query service vs cold recompute.
+
+The paper's BI system answers interactive CDI queries (Section V:
+"aggregates the CDI across diverse dimensions"; Section VI's daily
+dashboards, FY trends, and event drill-downs) from materialized
+tables, not by rescanning raw rows per query.  This benchmark measures
+the repro's analogue: a representative query mix — point lookups,
+range scans, category trends, per-dimension group-bys, top-K damaged
+VMs, event leaderboards and series — answered by
+
+* a **cold** path: a fresh :class:`repro.serving.QueryService` per
+  run, so every rollup is rebuilt from the output tables (the
+  "rescan per query" lower bound), and
+* a **cached** path: one warm service answering the same mix from its
+  generation-stamped LRU.
+
+Besides the printed table, a machine-readable ``BENCH_serving.json``
+lands at the repo root with wall times, QPS, the cached-vs-cold
+speedup (gated at >=10x by ``check_serving_speedup.py``), and the
+warm cache's hit statistics.
+
+Environment knobs: ``REPRO_BENCH_VM_COUNT`` scales the fleet (CI smoke
+uses a small one), ``REPRO_BENCH_DAYS`` the backfill length, and
+``REPRO_BENCH_SERVING_RESULT_PATH`` redirects the JSON artifact.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import print_table
+
+from repro.core.events import Event, default_catalog
+from repro.core.indicator import ServicePeriod
+from repro.engine.dataset import EngineContext
+from repro.pipeline.backfill import run_days
+from repro.pipeline.daily import DailyCdiJob
+from repro.scenarios.common import default_weights, fault_to_period
+from repro.serving import QueryService
+from repro.serving.rollups import CATEGORIES
+from repro.storage.configdb import ConfigDB
+from repro.storage.table import TableStore
+from repro.telemetry.faults import FaultInjector, baseline_rates
+from repro.telemetry.topology import build_fleet
+
+DAY = 86400.0
+VM_COUNT = int(os.environ.get("REPRO_BENCH_VM_COUNT", "1000"))
+DAYS = int(os.environ.get("REPRO_BENCH_DAYS", "5"))
+TIMED_REPEATS = 5
+
+RESULT_PATH = Path(os.environ.get(
+    "REPRO_BENCH_SERVING_RESULT_PATH",
+    Path(__file__).resolve().parent.parent / "BENCH_serving.json",
+))
+
+
+def build_backfilled_job():
+    """A topology-aware fleet backfilled over :data:`DAYS` partitions."""
+    catalog = default_catalog()
+    fleet = build_fleet(seed=0, regions=2, azs_per_region=2,
+                        clusters_per_az=1, ncs_per_cluster=2,
+                        vms_per_nc=max(1, VM_COUNT // 8))
+    vm_ids = sorted(fleet.vms)
+    services = {vm: ServicePeriod(0.0, DAY) for vm in vm_ids}
+
+    def events_for_day(index, partition):
+        injector = FaultInjector(baseline_rates(scale=20.0), seed=index)
+        events = []
+        for fault in injector.sample(vm_ids, 0.0, DAY):
+            period = fault_to_period(fault, catalog)
+            events.append(Event(
+                name=period.name, time=period.end, target=period.target,
+                expire_interval=600.0, level=period.level,
+                attributes={"duration": period.duration},
+            ))
+        return events
+
+    job = DailyCdiJob(EngineContext(parallelism=8), TableStore(),
+                      ConfigDB(), catalog)
+    job.store_weights(default_weights())
+    run_days(job, events_for_day, services, DAYS)
+    return job, fleet
+
+
+def query_mix(service):
+    """One pass of the interactive workload; returns the query count."""
+    days = service.days()
+    answered = 0
+    for day in days:
+        service.fleet(day)
+        service.top_events(day, 5)
+        answered += 2
+        for category in CATEGORIES:
+            service.top_vms(day, category, 5)
+            answered += 1
+        for dimension in ("region", "az"):
+            service.group_by(day, dimension)
+            answered += 1
+    service.fleet_range(days[0], days[-1])
+    answered += 1
+    for category in CATEGORIES:
+        service.trend(category)
+        answered += 1
+    leaders = service.top_events(days[-1], 3)
+    answered += 1
+    for event, _ in leaders:
+        service.event_series(event)
+        answered += 1
+    return answered
+
+
+def _best_of(repeats, fn):
+    walls = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        walls.append(time.perf_counter() - started)
+    return min(walls)
+
+
+def test_serving_qps(benchmark):
+    job, fleet = build_backfilled_job()
+
+    def cold_pass():
+        # A fresh service per pass: every rollup and every cache entry
+        # is rebuilt from the output tables.
+        return query_mix(QueryService(job.tables,
+                                      resolver=fleet.dimensions_of))
+
+    queries = benchmark.pedantic(cold_pass, rounds=1, iterations=1)
+    cold_seconds = _best_of(TIMED_REPEATS, cold_pass)
+
+    warm = QueryService(job.tables, resolver=fleet.dimensions_of)
+    query_mix(warm)  # fill the cache
+    cached_seconds = _best_of(TIMED_REPEATS, lambda: query_mix(warm))
+    stats = warm.cache_stats
+
+    speedup = cold_seconds / cached_seconds
+    cold_qps = queries / cold_seconds
+    cached_qps = queries / cached_seconds
+
+    print_table(
+        "Serving layer: cached QPS vs cold recompute",
+        ["quantity", "cold (fresh service)", "cached (warm LRU)"],
+        [
+            ("queries per pass", queries, queries),
+            ("wall per pass",
+             f"{cold_seconds * 1000:.2f} ms",
+             f"{cached_seconds * 1000:.2f} ms"),
+            ("QPS", f"{cold_qps:,.0f}", f"{cached_qps:,.0f}"),
+            ("speedup", "1.0x", f"{speedup:.1f}x"),
+            ("cache hit rate", "-", f"{stats.hit_rate:.1%}"),
+        ],
+    )
+
+    RESULT_PATH.write_text(json.dumps({
+        "benchmark": "serving_qps",
+        "vm_count": len(fleet.vms),
+        "days": DAYS,
+        "queries_per_pass": queries,
+        "timed_repeats": TIMED_REPEATS,
+        "cold_seconds": cold_seconds,
+        "cached_seconds": cached_seconds,
+        "cached_speedup": speedup,
+        "cold_qps": cold_qps,
+        "cached_qps": cached_qps,
+        "cache_hits": stats.hits,
+        "cache_misses": stats.misses,
+        "cache_hit_rate": stats.hit_rate,
+    }, indent=2) + "\n")
+    print(f"\nresult JSON: {RESULT_PATH}")
+
+    assert queries > 0
+    assert speedup > 1.0

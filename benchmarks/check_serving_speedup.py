@@ -1,0 +1,42 @@
+"""CI gate: the cached serving path must beat cold recompute by >=10x.
+
+Reads the JSON artifact written by ``bench_serving_qps.py`` and fails
+(exit 1) when ``cached_speedup`` falls below the threshold.  Both CI's
+smoke fleet and the committed full-scale artifact are held to the 10x
+bar of the serving-layer acceptance criteria.
+
+Usage::
+
+    python benchmarks/check_serving_speedup.py RESULT.json [THRESHOLD]
+"""
+
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str]) -> int:
+    if not 2 <= len(argv) <= 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = Path(argv[1])
+    threshold = float(argv[2]) if len(argv) == 3 else 10.0
+    data = json.loads(path.read_text())
+    speedup = data.get("cached_speedup")
+    if speedup is None:
+        print(f"{path}: no cached_speedup key — was bench_serving_qps run?",
+              file=sys.stderr)
+        return 1
+    print(f"cached {data['cached_seconds'] * 1000:.2f} ms vs cold "
+          f"{data['cold_seconds'] * 1000:.2f} ms per pass of "
+          f"{data['queries_per_pass']} queries at {data['vm_count']} VMs: "
+          f"{speedup:.1f}x (threshold {threshold:.1f}x)")
+    if speedup < threshold:
+        print(f"FAIL: cached serving path is below the {threshold:.1f}x bar",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -283,6 +283,129 @@ def cmd_daily(seed: int, *, days: int = 1, vms: int = 64,
         print(trace.summary())
 
 
+def _build_query_service(seed: int, days: int, vms: int):
+    """Synthetic fleet + daily-job backfill → a ready QueryService.
+
+    The dataset behind ``repro query``/``repro serve``: a topology-
+    aware fleet (so group-by queries have dimensions to slice),
+    deterministic per-day fault events, and the daily CDI job run over
+    every partition.
+    """
+    from repro.core.events import Event, default_catalog
+    from repro.core.indicator import ServicePeriod
+    from repro.engine.dataset import EngineContext
+    from repro.pipeline.backfill import run_days
+    from repro.pipeline.daily import DailyCdiJob
+    from repro.scenarios.common import default_weights, fault_to_period
+    from repro.serving import QueryService
+    from repro.storage.configdb import ConfigDB
+    from repro.storage.table import TableStore
+    from repro.telemetry.faults import FaultInjector, baseline_rates
+    from repro.telemetry.topology import build_fleet
+
+    day_seconds = 86400.0
+    catalog = default_catalog()
+    fleet = build_fleet(
+        seed=seed, regions=2, azs_per_region=2, clusters_per_az=1,
+        ncs_per_cluster=2, vms_per_nc=max(1, vms // 8),
+    )
+    vm_ids = sorted(fleet.vms)
+    services = {vm: ServicePeriod(0.0, day_seconds) for vm in vm_ids}
+
+    def events_for_day(index: int, partition: str) -> list[Event]:
+        injector = FaultInjector(baseline_rates(scale=20.0),
+                                 seed=seed * 1000 + index)
+        events = []
+        for fault in injector.sample(vm_ids, 0.0, day_seconds):
+            period = fault_to_period(fault, catalog)
+            events.append(Event(
+                name=period.name, time=period.end, target=period.target,
+                expire_interval=600.0, level=period.level,
+                attributes={"duration": period.duration},
+            ))
+        return events
+
+    job = DailyCdiJob(EngineContext(parallelism=4), TableStore(),
+                      ConfigDB(), catalog)
+    job.store_weights(default_weights())
+    run_days(job, events_for_day, services, days)
+    return QueryService(job.tables, resolver=fleet.dimensions_of)
+
+
+def _query_payload(args) -> dict:
+    """Assemble the wire query payload from parsed CLI arguments."""
+    payload: dict = {"kind": args.kind}
+    optional = {
+        "day": args.day, "start": args.start, "end": args.end,
+        "category": args.category, "dimension": args.dimension,
+        "event": args.event, "vm": args.vm_id,
+    }
+    for field, value in optional.items():
+        if value is not None:
+            payload[field] = value
+    if args.kind in ("top-vms", "top-events"):
+        payload["k"] = args.k
+    return payload
+
+
+def cmd_query(seed: int, *, days: int = 2, vms: int = 16,
+              kind: str = "fleet", day: str | None = None,
+              start: str | None = None, end: str | None = None,
+              category: str | None = None, dimension: str | None = None,
+              k: int = 5, event: str | None = None,
+              vm_id: str | None = None) -> None:
+    """One CDI query over a synthetic fleet, answered as JSON."""
+    import json
+    import sys
+    from types import SimpleNamespace
+
+    from repro.serving import run_query
+
+    service = _build_query_service(seed, days, vms)
+    if day is None and kind in ("fleet", "group-by", "top-vms",
+                                "top-events", "vm"):
+        day = service.days()[-1] if service.days() else None
+    if kind == "group-by" and dimension is None:
+        dimension = "region"
+    if kind in ("trend", "top-vms") and category is None:
+        category = "performance"
+    if kind == "event-series" and event is None:
+        leaders = service.top_events(day or service.days()[-1], 1)
+        event = leaders[0][0] if leaders else "vm_down"
+    args = SimpleNamespace(kind=kind, day=day, start=start, end=end,
+                           category=category, dimension=dimension, k=k,
+                           event=event, vm_id=vm_id)
+    response = run_query(service, _query_payload(args))
+    print(json.dumps(response, indent=2, sort_keys=True))
+    stats = service.cache_stats
+    print(f"cache: {stats.hits} hits / {stats.misses} misses "
+          f"({stats.size} entries)", file=sys.stderr)
+
+
+def cmd_serve(seed: int, *, days: int = 2, vms: int = 16) -> None:
+    """JSON-lines query server over stdin/stdout (EOF exits)."""
+    import json
+    import sys
+
+    from repro.serving import QUERY_KINDS, serve_lines
+
+    service = _build_query_service(seed, days, vms)
+    print(
+        f"repro serve: {len(service.days())} days "
+        f"({', '.join(service.days())}), kinds: "
+        f"{', '.join(sorted(QUERY_KINDS))}; one JSON query per line",
+        file=sys.stderr,
+    )
+    answered = serve_lines(service, sys.stdin, print)
+    stats = service.cache_stats
+    print(
+        f"served {answered} queries; cache {stats.hits} hits / "
+        f"{stats.misses} misses "
+        f"({json.dumps(stats.hit_rate)} hit rate)",
+        file=sys.stderr,
+    )
+
+
 def _newest_trace(trace_dir: str) -> "str | None":
     from pathlib import Path
 
@@ -325,7 +448,12 @@ COMMANDS: dict[str, Callable[[int], None]] = {
     "table5": cmd_table5,
     "daily": cmd_daily,
     "trace": cmd_trace,
+    "query": cmd_query,
+    "serve": cmd_serve,
 }
+
+#: Commands skipped by ``repro all`` (interactive: blocks on stdin).
+_INTERACTIVE_COMMANDS = frozenset({"serve"})
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -370,6 +498,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("--trace-file", default=None,
                        help="trace JSONL file to summarize")
+    query = parser.add_argument_group(
+        "query/serve", "options for the CDI query service"
+    )
+    query.add_argument("--kind", default="fleet",
+                       choices=["fleet", "range", "trend", "group-by",
+                                "top-vms", "top-events", "event-series",
+                                "vm"],
+                       help="query kind (default fleet)")
+    query.add_argument("--day", default=None,
+                       help="day partition, e.g. day00 (default: latest)")
+    query.add_argument("--start", default=None,
+                       help="range start day (inclusive)")
+    query.add_argument("--end", default=None,
+                       help="range end day (inclusive)")
+    query.add_argument("--category", default=None,
+                       help="sub-metric: unavailability / performance / "
+                            "control_plane")
+    query.add_argument("--dimension", default=None,
+                       help="group-by dimension, e.g. region / az / "
+                            "cluster (default region)")
+    query.add_argument("--k", type=int, default=5,
+                       help="top-K size (default 5)")
+    query.add_argument("--event", default=None,
+                       help="event name for event-series queries")
+    query.add_argument("--vm-id", default=None,
+                       help="VM id for vm point lookups")
     return parser
 
 
@@ -380,8 +534,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"{name:8} {fn.__doc__.strip() if fn.__doc__ else ''}")
         return 0
     if args.command == "all":
-        for fn in COMMANDS.values():
-            fn(args.seed)
+        for name, fn in COMMANDS.items():
+            if name not in _INTERACTIVE_COMMANDS:
+                fn(args.seed)
         return 0
     if args.command == "daily":
         cmd_daily(
@@ -394,6 +549,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "trace":
         cmd_trace(args.seed, trace_file=args.trace_file,
                   trace_dir=args.trace_dir)
+        return 0
+    if args.command == "query":
+        cmd_query(
+            args.seed, days=args.days, vms=args.vms, kind=args.kind,
+            day=args.day, start=args.start, end=args.end,
+            category=args.category, dimension=args.dimension, k=args.k,
+            event=args.event, vm_id=args.vm_id,
+        )
+        return 0
+    if args.command == "serve":
+        cmd_serve(args.seed, days=args.days, vms=args.vms)
         return 0
     COMMANDS[args.command](args.seed)
     return 0

@@ -11,6 +11,7 @@ from repro.pipeline.monitor import CdiMonitor, MonitorFinding
 from repro.pipeline.reports import (
     DailyReportInput,
     render_daily_report,
+    render_daily_report_from_service,
     top_event_contributors,
 )
 from repro.pipeline.daily import (
@@ -40,6 +41,7 @@ __all__ = [
     "DailyJobResult",
     "DailyReportInput",
     "render_daily_report",
+    "render_daily_report_from_service",
     "top_event_contributors",
     "EVENTS_TABLE",
     "EVENT_CDI_TABLE",

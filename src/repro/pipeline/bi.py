@@ -6,15 +6,27 @@ Formula 4" — global, then drill-down to region, availability zone,
 cluster, or any other dimension.  This module provides the same
 roll-ups over ``vm_cdi`` rows plus a dimension resolver (usually
 :meth:`repro.telemetry.topology.Fleet.dimensions_of`).
+
+The aggregation itself lives in the serving layer's vectorized
+kernels (:mod:`repro.serving.rollups`) — one implementation shared by
+these row-based helpers, the materialized rollups, and the query
+service, all float-identical to the reference accumulation loops.
+For repeated queries over the output *tables* prefer
+:class:`repro.serving.QueryService`, which caches these aggregates
+instead of rescanning rows.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
+import numpy as np
+
 from repro.core.indicator import CdiReport
 from repro.pipeline.daily import fleet_report_from_rows
+from repro.serving.rollups import event_aggregates, group_reports
 
+#: ``resolver(vm_id)`` → dimension attributes (e.g. region/az/cluster).
 DimensionResolver = Callable[[str], Mapping[str, str]]
 
 
@@ -23,25 +35,31 @@ def global_report(rows: Sequence[Mapping[str, Any]]) -> CdiReport:
     return fleet_report_from_rows(list(rows))
 
 
+def _float_column(rows: Sequence[Mapping[str, Any]], name: str) -> np.ndarray:
+    """One row field as a float64 array, preserving row order."""
+    return np.array([row[name] for row in rows], dtype=np.float64)
+
+
 def aggregate_by(rows: Iterable[Mapping[str, Any]],
                  resolver: DimensionResolver,
                  dimension: str) -> dict[str, CdiReport]:
     """CDI per value of one dimension (e.g. per region).
 
     ``resolver(vm)`` returns the VM's dimension attributes; rows whose
-    VM lacks the requested dimension are skipped.
+    VM lacks the requested dimension are skipped.  Delegates to the
+    serving layer's vectorized group-by kernel — float-identical to
+    grouping the rows and running
+    :func:`~repro.pipeline.daily.fleet_report_from_rows` per group.
     """
-    groups: dict[str, list[Mapping[str, Any]]] = {}
-    for row in rows:
-        dims = resolver(row["vm"])
-        value = dims.get(dimension)
-        if value is None:
-            continue
-        groups.setdefault(value, []).append(row)
-    return {
-        value: fleet_report_from_rows(group)
-        for value, group in sorted(groups.items())
-    }
+    materialized = list(rows)
+    keys = [resolver(row["vm"]).get(dimension) for row in materialized]
+    return group_reports(
+        keys,
+        _float_column(materialized, "service_time"),
+        _float_column(materialized, "unavailability"),
+        _float_column(materialized, "performance"),
+        _float_column(materialized, "control_plane"),
+    )
 
 
 def drill_down(rows: Sequence[Mapping[str, Any]],
@@ -71,18 +89,16 @@ def event_level_series(
 
     ``event_rows_by_day`` maps day partitions to ``event_cdi`` rows;
     the result is the Formula 4 aggregate of that event's per-VM CDI
-    per day — the drill-down curve that Cases 6 and 7 monitor.
+    per day — the drill-down curve that Cases 6 and 7 monitor.  Days
+    without the event contribute ``0.0``.
     """
-    from repro.core.indicator import aggregate
-
     series = []
     for day in sorted(event_rows_by_day):
-        relevant = [
-            row for row in event_rows_by_day[day]
-            if row["event"] == event_name
-        ]
-        value = aggregate(
-            (row["service_time"], row["cdi"]) for row in relevant
+        day_rows = list(event_rows_by_day[day])
+        aggregates = event_aggregates(
+            [row["event"] for row in day_rows],
+            _float_column(day_rows, "service_time"),
+            _float_column(day_rows, "cdi"),
         )
-        series.append((day, value))
+        series.append((day, aggregates.get(event_name, 0.0)))
     return series

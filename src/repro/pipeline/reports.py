@@ -11,7 +11,11 @@ the figures engineers read each morning:
 * any monitor findings (spikes/dips with localization).
 
 Everything is plain text so reports are diffable, attachable to
-tickets, and assertable in tests.
+tickets, and assertable in tests.  Two entry points share one
+renderer: :func:`render_daily_report` takes raw output-table rows,
+while :func:`render_daily_report_from_service` reads everything from
+a cached :class:`repro.serving.QueryService` — no row rescans, the
+path the serving CLI uses.
 """
 
 from __future__ import annotations
@@ -19,11 +23,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
-from repro.core.indicator import CdiReport, aggregate
+import numpy as np
+
+from repro.core.indicator import CdiReport
 from repro.pipeline.bi import aggregate_by
 from repro.pipeline.daily import fleet_report_from_rows
 from repro.pipeline.monitor import MonitorFinding
+from repro.serving.rollups import event_aggregates, rank_leaderboard
+from repro.serving.service import QueryService
 
+#: ``resolver(vm_id)`` → dimension attributes (e.g. region/az/cluster).
 DimensionResolver = Callable[[str], Mapping[str, str]]
 
 _SUB_METRICS = (
@@ -45,6 +54,7 @@ class DailyReportInput:
 
 
 def _movement(current: float, previous: float | None) -> str:
+    """Day-over-day movement marker for one sub-metric value."""
     if previous is None:
         return ""
     if previous == 0.0:
@@ -54,10 +64,9 @@ def _movement(current: float, previous: float | None) -> str:
     return f"{arrow}{abs(change):.0%}"
 
 
-def _top_dimension_values(rows: Sequence[Mapping[str, Any]],
-                          resolver: DimensionResolver, dimension: str,
-                          attr: str, limit: int) -> list[tuple[str, float]]:
-    reports = aggregate_by(rows, resolver, dimension)
+def _rank_reports(reports: Mapping[str, CdiReport], attr: str,
+                  limit: int) -> list[tuple[str, float]]:
+    """Rank group-by reports by one sub-metric, stable, zeros dropped."""
     ranked = sorted(
         ((value, getattr(report, attr)) for value, report in reports.items()),
         key=lambda pair: -pair[1],
@@ -67,31 +76,34 @@ def _top_dimension_values(rows: Sequence[Mapping[str, Any]],
 
 def top_event_contributors(event_rows: Sequence[Mapping[str, Any]],
                            limit: int = 5) -> list[tuple[str, float]]:
-    """Event names ranked by their Formula 4 fleet-level CDI."""
-    names = sorted({row["event"] for row in event_rows})
-    scored = []
-    for name in names:
-        relevant = [r for r in event_rows if r["event"] == name]
-        scored.append((name, aggregate(
-            (r["service_time"], r["cdi"]) for r in relevant
-        )))
-    scored.sort(key=lambda pair: -pair[1])
-    return [(name, value) for name, value in scored[:limit] if value > 0]
+    """Event names ranked by their Formula 4 fleet-level CDI.
+
+    Delegates to the serving layer's vectorized leaderboard kernel
+    (float-identical to aggregating each name's rows with
+    :func:`repro.core.indicator.aggregate`).
+    """
+    rows = list(event_rows)
+    aggregates = event_aggregates(
+        [row["event"] for row in rows],
+        np.array([row["service_time"] for row in rows], dtype=np.float64),
+        np.array([row["cdi"] for row in rows], dtype=np.float64),
+    )
+    return rank_leaderboard(aggregates, limit)
 
 
-def render_daily_report(data: DailyReportInput, *,
-                        resolver: DimensionResolver | None = None,
-                        dimensions: Sequence[str] = ("region", "az"),
-                        top_n: int = 3) -> str:
-    """The full text report for one day."""
-    current: CdiReport = fleet_report_from_rows(list(data.vm_rows))
-    previous: CdiReport | None = None
-    if data.previous_vm_rows is not None:
-        previous = fleet_report_from_rows(list(data.previous_vm_rows))
+def _render(day: str, vm_count: int, current: CdiReport,
+            previous: CdiReport | None,
+            dimension_tops: Sequence[tuple[str, list[tuple[str, list[tuple[str, float]]]]]],
+            contributors: Sequence[tuple[str, float]],
+            findings: Sequence[MonitorFinding]) -> str:
+    """The shared report body behind both rendering entry points.
 
+    ``dimension_tops`` is ``[(dimension, [(label, top values)])]`` with
+    sub-metric labels in ``_SUB_METRICS`` order.
+    """
     lines = [
-        f"DAILY STABILITY REPORT — {data.day}",
-        f"fleet: {len(data.vm_rows)} VMs, "
+        f"DAILY STABILITY REPORT — {day}",
+        f"fleet: {vm_count} VMs, "
         f"{current.service_time / 86400.0:.0f} VM-days of service",
         "",
         "fleet CDI:",
@@ -103,32 +115,27 @@ def render_daily_report(data: DailyReportInput, *,
         )
         lines.append(f"  {label}  {value:.6f}  {move}".rstrip())
 
-    if resolver is not None:
-        for dimension in dimensions:
-            header_written = False
-            for label, attr in _SUB_METRICS:
-                top = _top_dimension_values(
-                    data.vm_rows, resolver, dimension, attr, top_n
-                )
-                if not top:
-                    continue
-                if not header_written:
-                    lines.append("")
-                    lines.append(f"most damaged by {dimension}:")
-                    header_written = True
-                rendered = ", ".join(
-                    f"{value}={score:.6f}" for value, score in top
-                )
-                lines.append(f"  {label}: {rendered}")
+    for dimension, per_metric in dimension_tops:
+        header_written = False
+        for label, top in per_metric:
+            if not top:
+                continue
+            if not header_written:
+                lines.append("")
+                lines.append(f"most damaged by {dimension}:")
+                header_written = True
+            rendered = ", ".join(
+                f"{value}={score:.6f}" for value, score in top
+            )
+            lines.append(f"  {label}: {rendered}")
 
-    contributors = top_event_contributors(data.event_rows, limit=top_n)
     if contributors:
         lines.append("")
         lines.append("top event contributors:")
         for name, value in contributors:
             lines.append(f"  {name}: {value:.6f}")
 
-    day_findings = [f for f in data.findings if f.day == data.day]
+    day_findings = [f for f in findings if f.day == day]
     if day_findings:
         lines.append("")
         lines.append("monitor findings:")
@@ -143,3 +150,76 @@ def render_daily_report(data: DailyReportInput, *,
         lines.append("")
         lines.append("monitor findings: none")
     return "\n".join(lines)
+
+
+def render_daily_report(data: DailyReportInput, *,
+                        resolver: DimensionResolver | None = None,
+                        dimensions: Sequence[str] = ("region", "az"),
+                        top_n: int = 3) -> str:
+    """The full text report for one day, from raw output-table rows."""
+    current: CdiReport = fleet_report_from_rows(list(data.vm_rows))
+    previous: CdiReport | None = None
+    if data.previous_vm_rows is not None:
+        previous = fleet_report_from_rows(list(data.previous_vm_rows))
+
+    dimension_tops = []
+    if resolver is not None:
+        for dimension in dimensions:
+            reports = aggregate_by(data.vm_rows, resolver, dimension)
+            dimension_tops.append((dimension, [
+                (label, _rank_reports(reports, attr, top_n))
+                for label, attr in _SUB_METRICS
+            ]))
+
+    return _render(
+        day=data.day,
+        vm_count=len(data.vm_rows),
+        current=current,
+        previous=previous,
+        dimension_tops=dimension_tops,
+        contributors=top_event_contributors(data.event_rows, limit=top_n),
+        findings=data.findings,
+    )
+
+
+def render_daily_report_from_service(
+    service: QueryService, day: str, *,
+    dimensions: Sequence[str] = ("region", "az"),
+    top_n: int = 3,
+    findings: Sequence[MonitorFinding] = (),
+) -> str:
+    """The same daily report, served from materialized rollups.
+
+    Every figure comes from cached :class:`~repro.serving.
+    QueryService` queries instead of row rescans: fleet point lookups
+    for today and the previous day, group-by queries per drill-down
+    dimension, and the top-K event leaderboard.  The rendered text is
+    identical to :func:`render_daily_report` over the same tables.
+    """
+    days = service.days()
+    previous_day = None
+    if day in days:
+        position = days.index(day)
+        if position > 0:
+            previous_day = days[position - 1]
+
+    dimension_tops = []
+    if service.resolver is not None:
+        for dimension in dimensions:
+            reports = service.group_by(day, dimension)
+            dimension_tops.append((dimension, [
+                (label, _rank_reports(reports, attr, top_n))
+                for label, attr in _SUB_METRICS
+            ]))
+
+    return _render(
+        day=day,
+        vm_count=service.vm_count(day),
+        current=service.fleet(day),
+        previous=(
+            service.fleet(previous_day) if previous_day is not None else None
+        ),
+        dimension_tops=dimension_tops,
+        contributors=service.top_events(day, k=top_n),
+        findings=findings,
+    )

@@ -1,0 +1,74 @@
+"""The CDI serving layer: materialized rollups + cached typed queries.
+
+The read path of the repro (paper Section V/VI): the daily job writes
+the ``vm_cdi``/``event_cdi`` tables, :class:`RollupStore` materializes
+multi-grain aggregates from their column blocks, and
+:class:`QueryService` answers typed queries (point lookup, range
+scan, group-by, top-K, trend) through a generation-stamped LRU cache
+that table writes invalidate.  See ``ARCHITECTURE.md`` and DESIGN.md
+§11 for the protocol.
+"""
+
+from repro.serving.cache import MISS, CacheStats, GenerationCache
+from repro.serving.rollups import (
+    CATEGORIES,
+    PartitionRollup,
+    RollupStore,
+    aggregate_arrays,
+    event_aggregates,
+    group_reports,
+    rank_leaderboard,
+    report_from_arrays,
+    sequential_sum,
+    top_damaged,
+)
+from repro.serving.server import (
+    QUERY_KINDS,
+    parse_query,
+    run_query,
+    serve_lines,
+    to_jsonable,
+)
+from repro.serving.service import (
+    CategoryTrendQuery,
+    EventSeriesQuery,
+    FleetQuery,
+    FleetRangeQuery,
+    GroupByQuery,
+    Query,
+    QueryService,
+    TopEventsQuery,
+    TopVmsQuery,
+    VmQuery,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "CacheStats",
+    "CategoryTrendQuery",
+    "EventSeriesQuery",
+    "FleetQuery",
+    "FleetRangeQuery",
+    "GenerationCache",
+    "GroupByQuery",
+    "MISS",
+    "PartitionRollup",
+    "QUERY_KINDS",
+    "Query",
+    "QueryService",
+    "RollupStore",
+    "TopEventsQuery",
+    "TopVmsQuery",
+    "VmQuery",
+    "aggregate_arrays",
+    "event_aggregates",
+    "group_reports",
+    "parse_query",
+    "rank_leaderboard",
+    "report_from_arrays",
+    "run_query",
+    "sequential_sum",
+    "serve_lines",
+    "to_jsonable",
+    "top_damaged",
+]

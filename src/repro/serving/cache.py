@@ -1,0 +1,103 @@
+"""Generation-stamped LRU result cache for the query service.
+
+A cached entry is valid only while the write generations of the
+tables it was computed from are unchanged
+(:attr:`repro.storage.table.Table.generation`): lookups compare the
+caller's current stamp against the stored one and treat a mismatch as
+a miss, dropping the stale entry.  Eviction is least-recently-used.
+
+The cache is thread-safe; the stamp discipline (snapshot generations
+*before* reading table data, writers bump generations *after*
+mutating) guarantees a stale result can never be revalidated — see
+:class:`repro.serving.rollups.RollupStore` for the full protocol.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+#: Sentinel distinguishing "no cached value" from a cached ``None``.
+MISS = object()
+
+
+@dataclass(frozen=True, slots=True)
+class CacheStats:
+    """Counters of one :class:`GenerationCache` (a point-in-time copy)."""
+
+    hits: int
+    misses: int
+    invalidations: int
+    evictions: int
+    size: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when idle)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class GenerationCache:
+    """Thread-safe LRU cache whose entries carry a generation stamp."""
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self._maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, tuple[Any, Any]]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._invalidations = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable, stamp: Any) -> Any:
+        """The cached value for ``key`` at ``stamp``, else :data:`MISS`.
+
+        An entry stored under a different stamp counts as an
+        invalidation (the underlying tables changed) and is removed.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return MISS
+            stored_stamp, value = entry
+            if stored_stamp != stamp:
+                del self._entries[key]
+                self._invalidations += 1
+                self._misses += 1
+                return MISS
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, stamp: Any, value: Any) -> None:
+        """Store ``value`` for ``key`` at ``stamp``, evicting LRU entries."""
+        with self._lock:
+            self._entries[key] = (stamp, value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (the counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Snapshot of the hit/miss/invalidation/eviction counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits, misses=self._misses,
+                invalidations=self._invalidations,
+                evictions=self._evictions, size=len(self._entries),
+            )

@@ -1,0 +1,360 @@
+"""Materialized multi-grain rollups over the daily job's output tables.
+
+The production BI system (paper Section V) serves the CDI to
+interactive consumers — incident evaluation, architecture comparison,
+FY trend dashboards — by slicing the two output tables at query time.
+This module is the materialization layer underneath that read path:
+
+* vectorized **kernels** computing Formula 4 aggregates, group-bys,
+  top-K rankings, and event-name leaderboards directly over column
+  arrays (shared with the row-based helpers in
+  :mod:`repro.pipeline.bi` and :mod:`repro.pipeline.reports`);
+* :class:`PartitionRollup` — every rollup grain of one day partition
+  (fleet, per-category, per-dimension, per-VM, top-K damaged VMs,
+  event-name leaderboard), materialized from the columnar blocks in
+  one vectorized sweep;
+* :class:`RollupStore` — the per-partition rollup cache, stamped with
+  the tables' write generations so any table write invalidates exactly
+  the partitions it touched (:meth:`repro.storage.table.Table.
+  partition_generation`).
+
+Exactness contract: every kernel is **float-identical** to the
+row-at-a-time reference implementations
+(:func:`repro.pipeline.daily.fleet_report_from_rows`,
+:func:`repro.core.indicator.aggregate`) — the differential suite in
+``tests/serving`` enforces byte-identical answers across all compute
+paths.  The key trick is :func:`sequential_sum`: elementwise products
+are vectorized, but the final reduction preserves the reference's
+left-to-right accumulation order (``np.cumsum`` materializes every
+prefix, so it is sequential by construction — unlike ``np.sum``,
+whose pairwise summation rounds differently).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.indicator import CdiReport
+from repro.storage.table import TableStore
+
+#: ``resolver(vm_id)`` → dimension attributes (e.g. region/az/cluster).
+DimensionResolver = Callable[[str], Mapping[str, str]]
+
+#: The three CDI sub-metrics, named as in the ``vm_cdi`` schema.
+CATEGORIES = ("unavailability", "performance", "control_plane")
+
+
+def sequential_sum(values: np.ndarray) -> float:
+    """Left-to-right float64 sum of ``values``.
+
+    Float-identical to a scalar accumulation loop starting at ``0.0``
+    — the reduction order of Formula 4's reference implementations —
+    while staying a single vectorized numpy call.
+    """
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        return 0.0
+    return float(np.cumsum(array)[-1])
+
+
+def _check_service_time(service_time: np.ndarray) -> None:
+    """Reject negative service times like the reference aggregators do."""
+    negative = service_time < 0
+    if negative.any():
+        bad = float(service_time[int(np.argmax(negative))])
+        raise ValueError(f"negative service time {bad}")
+
+
+def report_from_arrays(service_time: np.ndarray, unavailability: np.ndarray,
+                       performance: np.ndarray,
+                       control_plane: np.ndarray) -> CdiReport:
+    """Formula 4 over parallel ``vm_cdi`` column arrays.
+
+    Float-identical to :func:`repro.pipeline.daily.
+    fleet_report_from_rows` on the same rows in the same order: the
+    per-row products are the same scalar float64 multiplies, and each
+    accumulator reduces left to right.
+    """
+    _check_service_time(service_time)
+    total = sequential_sum(service_time)
+    if total == 0.0:
+        return CdiReport(unavailability=0.0, performance=0.0,
+                         control_plane=0.0, service_time=total)
+    return CdiReport(
+        unavailability=sequential_sum(service_time * unavailability) / total,
+        performance=sequential_sum(service_time * performance) / total,
+        control_plane=sequential_sum(service_time * control_plane) / total,
+        service_time=total,
+    )
+
+
+def aggregate_arrays(service_time: np.ndarray, values: np.ndarray) -> float:
+    """Formula 4 over ``(service_time, value)`` pairs.
+
+    Float-identical to :func:`repro.core.indicator.aggregate` over the
+    same pairs in the same order.
+    """
+    _check_service_time(service_time)
+    denominator = sequential_sum(service_time)
+    if denominator == 0.0:
+        return 0.0
+    return sequential_sum(service_time * values) / denominator
+
+
+def group_reports(keys: Sequence[Any], service_time: np.ndarray,
+                  unavailability: np.ndarray, performance: np.ndarray,
+                  control_plane: np.ndarray) -> dict[str, CdiReport]:
+    """Formula 4 per group key, sorted by key; ``None`` keys skipped.
+
+    ``keys[i]`` labels row ``i`` (e.g. the row's region).  Row order is
+    preserved within each group, so the per-group reports are
+    float-identical to filtering the rows and aggregating each subset
+    with the reference loop — the semantics of
+    :func:`repro.pipeline.bi.aggregate_by`.
+    """
+    groups: dict[str, list[int]] = {}
+    for index, key in enumerate(keys):
+        if key is None:
+            continue
+        groups.setdefault(key, []).append(index)
+    reports: dict[str, CdiReport] = {}
+    for key in sorted(groups):
+        take = np.asarray(groups[key], dtype=np.intp)
+        reports[key] = report_from_arrays(
+            service_time[take], unavailability[take],
+            performance[take], control_plane[take],
+        )
+    return reports
+
+
+def event_aggregates(names: Sequence[str], service_time: np.ndarray,
+                     cdi: np.ndarray) -> dict[str, float]:
+    """Formula 4 fleet aggregate per event name, keyed in sorted order.
+
+    ``names[i]`` is the event name of ``event_cdi`` row ``i``; row
+    order is preserved within each name, matching a filtered
+    :func:`repro.core.indicator.aggregate` per name.
+    """
+    groups: dict[str, list[int]] = {}
+    for index, name in enumerate(names):
+        groups.setdefault(name, []).append(index)
+    aggregates: dict[str, float] = {}
+    for name in sorted(groups):
+        take = np.asarray(groups[name], dtype=np.intp)
+        aggregates[name] = aggregate_arrays(service_time[take], cdi[take])
+    return aggregates
+
+
+def rank_leaderboard(aggregates: Mapping[str, float],
+                     limit: int) -> list[tuple[str, float]]:
+    """Rank name → value aggregates: value descending, insertion-stable.
+
+    With ``aggregates`` keyed in sorted-name order this reproduces
+    :func:`repro.pipeline.reports.top_event_contributors` exactly —
+    ties stay in alphabetical order because the sort is stable — and
+    zero/negative contributors are filtered after the cut like the
+    reference does.
+    """
+    ranked = sorted(aggregates.items(), key=lambda pair: -pair[1])
+    return [(name, value) for name, value in ranked[:limit] if value > 0]
+
+
+def top_damaged(labels: np.ndarray, values: np.ndarray,
+                k: int) -> list[tuple[str, float]]:
+    """Top-``k`` labels by value: descending, ties by label ascending.
+
+    Zero-damage entries are excluded — a VM with no damage in a
+    category is not "damaged", however high it ranks by tie-break.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    keep = values > 0
+    if not keep.any():
+        return []
+    kept_labels = labels[keep]
+    kept_values = values[keep]
+    order = np.lexsort((kept_labels, -kept_values))[:k]
+    return [
+        (str(kept_labels[i]), float(kept_values[i])) for i in order.tolist()
+    ]
+
+
+class PartitionRollup:
+    """Every rollup grain of one day partition, from one columnar read.
+
+    Construction performs the single vectorized sweep: the ``vm_cdi``
+    and ``event_cdi`` column blocks are gathered once, the fleet
+    report, per-category top-K rankings, and event-name aggregates are
+    materialized eagerly, and the remaining grains (per-VM index,
+    per-dimension group-bys) fill in lazily on first use.  Instances
+    are immutable snapshots of one table generation — invalidation is
+    the :class:`RollupStore`'s job.
+    """
+
+    def __init__(self, partition: str, vm_blocks: Mapping[str, Any],
+                 event_blocks: Mapping[str, Any],
+                 resolver: DimensionResolver | None) -> None:
+        self.partition = partition
+        self._resolver = resolver
+        self._vms = np.asarray(vm_blocks["vm"].values, dtype=object)
+        self._service_time = np.asarray(
+            vm_blocks["service_time"].values, dtype=np.float64
+        )
+        self._values = {
+            category: np.asarray(vm_blocks[category].values, dtype=np.float64)
+            for category in CATEGORIES
+        }
+        event_names = [str(n) for n in event_blocks["event"].values.tolist()]
+        self.fleet: CdiReport = report_from_arrays(
+            self._service_time, self._values["unavailability"],
+            self._values["performance"], self._values["control_plane"],
+        )
+        self.event_values: dict[str, float] = event_aggregates(
+            event_names,
+            np.asarray(event_blocks["service_time"].values, dtype=np.float64),
+            np.asarray(event_blocks["cdi"].values, dtype=np.float64),
+        )
+        self._rankings = {
+            category: top_damaged(self._vms, self._values[category],
+                                  k=max(1, len(self._vms)))
+            for category in CATEGORIES
+        }
+        self._vm_index: dict[str, int] | None = None
+        self._group_bys: dict[str, dict[str, CdiReport]] = {}
+
+    @property
+    def vm_count(self) -> int:
+        """Number of ``vm_cdi`` rows (VMs in service) this day."""
+        return len(self._vms)
+
+    def vm_report(self, vm: str) -> dict[str, Any] | None:
+        """Point lookup: the ``vm_cdi`` row of one VM, or ``None``."""
+        index = self._vm_index
+        if index is None:
+            index = {vm_id: i for i, vm_id in enumerate(self._vms.tolist())}
+            self._vm_index = index
+        i = index.get(vm)
+        if i is None:
+            return None
+        row: dict[str, Any] = {"vm": str(self._vms[i])}
+        for category in CATEGORIES:
+            row[category] = float(self._values[category][i])
+        row["service_time"] = float(self._service_time[i])
+        return row
+
+    def top_vms(self, category: str, k: int) -> list[tuple[str, float]]:
+        """Top-``k`` most damaged VMs of one sub-metric."""
+        if category not in CATEGORIES:
+            raise ValueError(f"unknown category {category!r}")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        return self._rankings[category][:k]
+
+    def event_leaderboard(self, limit: int) -> list[tuple[str, float]]:
+        """Event names ranked by their fleet-level CDI contribution."""
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        return rank_leaderboard(self.event_values, limit)
+
+    def event_value(self, event: str) -> float:
+        """Fleet-level CDI of one event name (``0.0`` when absent)."""
+        return self.event_values.get(event, 0.0)
+
+    def group_by(self, dimension: str) -> dict[str, CdiReport]:
+        """Formula 4 per value of one topology dimension.
+
+        Requires a dimension resolver; results are cached per
+        dimension (benign if two threads race — both compute the same
+        immutable value).
+        """
+        cached = self._group_bys.get(dimension)
+        if cached is not None:
+            return cached
+        if self._resolver is None:
+            raise ValueError(
+                "group-by queries need a dimension resolver "
+                "(RollupStore(..., resolver=fleet.dimensions_of))"
+            )
+        resolver = self._resolver
+        keys = [resolver(vm).get(dimension) for vm in self._vms.tolist()]
+        reports = group_reports(
+            keys, self._service_time, self._values["unavailability"],
+            self._values["performance"], self._values["control_plane"],
+        )
+        self._group_bys[dimension] = reports
+        return reports
+
+
+class RollupStore:
+    """Per-partition rollups over the two output tables, cached by
+    write generation.
+
+    Each partition's :class:`PartitionRollup` is stamped with the
+    ``(vm_cdi, event_cdi)`` partition generations observed *before*
+    reading the data; a later write to either table's partition bumps
+    its generation and the next access rebuilds the rollup.  Reading
+    the stamp first makes the race with a concurrent writer
+    conservative: a rollup can at worst carry a stamp older than its
+    data (recomputed needlessly next time), never newer (served
+    stale).
+    """
+
+    def __init__(self, tables: TableStore, *,
+                 resolver: DimensionResolver | None = None) -> None:
+        # Deferred to break the import cycle: pipeline.bi consumes the
+        # kernels above at module import, before pipeline.tables exists.
+        from repro.pipeline.tables import EVENT_CDI_TABLE, VM_CDI_TABLE
+
+        self._vm_table = tables.get(VM_CDI_TABLE)
+        self._event_table = tables.get(EVENT_CDI_TABLE)
+        self._resolver = resolver
+        self._lock = threading.Lock()
+        self._rollups: dict[str, tuple[tuple[int, int], PartitionRollup]] = {}
+
+    @property
+    def resolver(self) -> DimensionResolver | None:
+        """The topology dimension resolver, if configured."""
+        return self._resolver
+
+    def generation_stamp(self) -> tuple[int, int]:
+        """Current ``(vm_cdi, event_cdi)`` table write generations."""
+        return (self._vm_table.generation, self._event_table.generation)
+
+    def days(self) -> list[str]:
+        """All day partitions present in either output table, sorted."""
+        return sorted(
+            set(self._vm_table.partitions) | set(self._event_table.partitions)
+        )
+
+    def rollup(self, partition: str) -> PartitionRollup:
+        """The (cached) rollup of one day partition.
+
+        A partition absent from both tables yields an all-zero rollup
+        — the same answer a direct recompute over its (empty) rows
+        gives.
+        """
+        stamp = (
+            self._vm_table.partition_generation(partition),
+            self._event_table.partition_generation(partition),
+        )
+        with self._lock:
+            entry = self._rollups.get(partition)
+            if entry is not None and entry[0] == stamp:
+                return entry[1]
+        rollup = PartitionRollup(
+            partition,
+            self._vm_table.columns(partition=partition),
+            self._event_table.columns(partition=partition),
+            self._resolver,
+        )
+        with self._lock:
+            self._rollups[partition] = (stamp, rollup)
+        return rollup
+
+    def invalidate(self) -> None:
+        """Drop every cached rollup (they rebuild lazily on access)."""
+        with self._lock:
+            self._rollups.clear()

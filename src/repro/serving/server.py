@@ -1,0 +1,153 @@
+"""JSON wire format and serving loop for the query service.
+
+``repro query`` and ``repro serve`` speak this format: a query is a
+JSON object with a ``kind`` plus the fields of the corresponding
+typed query dataclass, a response is ``{"ok": true, "kind": ...,
+"result": ...}`` (or ``{"ok": false, "error": ...}``).  The functions
+here are plain and stream-agnostic so tests drive them without a
+subprocess.
+
+Example::
+
+    {"kind": "fleet", "day": "day00"}
+    {"kind": "top-vms", "day": "day00", "category": "performance", "k": 3}
+    {"kind": "group-by", "day": "day01", "dimension": "region"}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.core.indicator import CdiReport
+from repro.serving.service import (
+    CategoryTrendQuery,
+    EventSeriesQuery,
+    FleetQuery,
+    FleetRangeQuery,
+    GroupByQuery,
+    Query,
+    QueryService,
+    TopEventsQuery,
+    TopVmsQuery,
+    VmQuery,
+)
+
+#: Wire ``kind`` → (query type, required fields, optional fields).
+QUERY_KINDS: dict[str, tuple[type, tuple[str, ...], tuple[str, ...]]] = {
+    "fleet": (FleetQuery, ("day",), ()),
+    "range": (FleetRangeQuery, (), ("start", "end")),
+    "trend": (CategoryTrendQuery, ("category",), ()),
+    "group-by": (GroupByQuery, ("day", "dimension"), ()),
+    "top-vms": (TopVmsQuery, ("day", "category"), ("k",)),
+    "top-events": (TopEventsQuery, ("day",), ("k",)),
+    "event-series": (EventSeriesQuery, ("event",), ()),
+    "vm": (VmQuery, ("day", "vm"), ()),
+}
+
+
+def parse_query(payload: Mapping[str, Any]) -> Query:
+    """Build a typed query from one wire payload.
+
+    Raises :class:`ValueError` on an unknown ``kind``, a missing
+    required field, or an unexpected field.
+    """
+    kind = payload.get("kind")
+    spec = QUERY_KINDS.get(kind) if isinstance(kind, str) else None
+    if spec is None:
+        known = ", ".join(sorted(QUERY_KINDS))
+        raise ValueError(f"unknown query kind {kind!r} (expected one of {known})")
+    query_type, required, optional = spec
+    kwargs: dict[str, Any] = {}
+    for field in required:
+        if field not in payload:
+            raise ValueError(f"query kind {kind!r} requires field {field!r}")
+        kwargs[field] = payload[field]
+    for field in optional:
+        if field in payload:
+            kwargs[field] = payload[field]
+    extra = set(payload) - {"kind", *required, *optional}
+    if extra:
+        raise ValueError(
+            f"unexpected fields for kind {kind!r}: {sorted(extra)}"
+        )
+    return query_type(**kwargs)
+
+
+def _report_dict(report: CdiReport) -> dict[str, float]:
+    """A ``CdiReport`` as a plain JSON object."""
+    return {
+        "unavailability": report.unavailability,
+        "performance": report.performance,
+        "control_plane": report.control_plane,
+        "service_time": report.service_time,
+    }
+
+
+def to_jsonable(query: Query, result: Any) -> Any:
+    """Convert one query's result into JSON-serializable structures."""
+    if isinstance(query, FleetQuery):
+        return _report_dict(result)
+    if isinstance(query, FleetRangeQuery):
+        return [{"day": day, **_report_dict(report)} for day, report in result]
+    if isinstance(query, (CategoryTrendQuery, EventSeriesQuery)):
+        return [{"day": day, "value": value} for day, value in result]
+    if isinstance(query, GroupByQuery):
+        return {
+            value: _report_dict(report) for value, report in result.items()
+        }
+    if isinstance(query, TopVmsQuery):
+        return [{"vm": vm, "value": value} for vm, value in result]
+    if isinstance(query, TopEventsQuery):
+        return [{"event": event, "value": value} for event, value in result]
+    if isinstance(query, VmQuery):
+        return result  # already a plain row dict (or None)
+    raise TypeError(f"unknown query type {type(query).__name__}")
+
+
+def run_query(service: QueryService,
+              payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Parse, execute, and serialize one wire query.
+
+    Errors come back as ``{"ok": false, "error": ...}`` instead of
+    raising, so one bad query never kills a serving loop.
+    """
+    try:
+        query = parse_query(payload)
+        result = service.execute(query)
+        return {
+            "ok": True,
+            "kind": payload["kind"],
+            "result": to_jsonable(query, result),
+        }
+    except (TypeError, ValueError, KeyError) as error:
+        return {"ok": False, "error": str(error)}
+
+
+def serve_lines(service: QueryService, lines: Iterable[str],
+                write: Callable[[str], Any]) -> int:
+    """JSON-lines serving loop: one query per line, one response per line.
+
+    Blank lines are skipped; malformed JSON yields an error response.
+    Returns the number of queries answered.  ``repro serve`` runs this
+    over stdin/stdout.
+    """
+    answered = 0
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            response: dict[str, Any] = {
+                "ok": False, "error": f"invalid JSON: {error}"
+            }
+        else:
+            if isinstance(payload, Mapping):
+                response = run_query(service, payload)
+            else:
+                response = {"ok": False, "error": "query must be a JSON object"}
+        write(json.dumps(response, sort_keys=True))
+        answered += 1
+    return answered

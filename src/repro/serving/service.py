@@ -1,0 +1,235 @@
+"""The CDI query service: typed queries over the daily job's outputs.
+
+:class:`QueryService` is the in-process serving layer of the repro —
+the read path that the paper's interactive workflows (Section VI)
+would hit: daily fleet dashboards (point lookup), FY trend curves
+(range scan / trend), per-dimension drill-downs (group-by), "most
+damaged VM" triage (top-K), and event-level monitoring (event
+series).  Queries are frozen dataclasses, so they double as cache
+keys; results come from the materialized rollups in
+:class:`~repro.serving.rollups.RollupStore` through a
+generation-stamped LRU (:class:`~repro.serving.cache.
+GenerationCache`) that any table write invalidates.
+
+Every answer is byte-identical to recomputing directly from the
+output tables' rows — the serving layer is a cache, never a different
+computation (enforced by ``tests/serving/test_differential.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+from repro.core.indicator import CdiReport
+from repro.serving.cache import MISS, CacheStats, GenerationCache
+from repro.serving.rollups import CATEGORIES, DimensionResolver, RollupStore
+from repro.storage.table import TableStore
+
+
+@dataclass(frozen=True, slots=True)
+class FleetQuery:
+    """Point lookup: the fleet CDI report of one day."""
+
+    day: str
+
+
+@dataclass(frozen=True, slots=True)
+class FleetRangeQuery:
+    """Range scan: per-day fleet reports for ``start <= day <= end``.
+
+    ``None`` bounds are open; day partitions compare as their labels
+    (the pipeline's zero-padded labels sort chronologically).
+    """
+
+    start: str | None = None
+    end: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class CategoryTrendQuery:
+    """FY-trend scan: one sub-metric's daily fleet value over all days."""
+
+    category: str
+
+
+@dataclass(frozen=True, slots=True)
+class GroupByQuery:
+    """Group-by: Formula 4 per value of one topology dimension."""
+
+    day: str
+    dimension: str
+
+
+@dataclass(frozen=True, slots=True)
+class TopVmsQuery:
+    """Top-K: most damaged VMs of one sub-metric on one day."""
+
+    day: str
+    category: str
+    k: int = 5
+
+
+@dataclass(frozen=True, slots=True)
+class TopEventsQuery:
+    """Top-K: event names ranked by fleet-level CDI on one day."""
+
+    day: str
+    k: int = 5
+
+
+@dataclass(frozen=True, slots=True)
+class EventSeriesQuery:
+    """Event-level drill-down curve: one event's daily fleet CDI."""
+
+    event: str
+
+
+@dataclass(frozen=True, slots=True)
+class VmQuery:
+    """Point lookup: one VM's ``vm_cdi`` row on one day."""
+
+    day: str
+    vm: str
+
+
+#: Every typed query the service executes.
+Query = Union[
+    FleetQuery, FleetRangeQuery, CategoryTrendQuery, GroupByQuery,
+    TopVmsQuery, TopEventsQuery, EventSeriesQuery, VmQuery,
+]
+
+
+class QueryService:
+    """Cached, typed queries over the ``vm_cdi``/``event_cdi`` tables.
+
+    Parameters
+    ----------
+    tables:
+        The table store holding the daily job's output tables (usually
+        :attr:`repro.pipeline.daily.DailyCdiJob.tables`).
+    resolver:
+        Optional ``vm → dimensions`` resolver enabling group-by
+        queries (usually ``fleet.dimensions_of``).
+    cache_size:
+        LRU capacity of the result cache.
+
+    The service is thread-safe for concurrent readers while the daily
+    job keeps writing: results are stamped with the tables' write
+    generations *before* the data is read, so a write racing a query
+    can only cause a needless recompute, never a stale answer.
+    """
+
+    def __init__(self, tables: TableStore, *,
+                 resolver: DimensionResolver | None = None,
+                 cache_size: int = 256) -> None:
+        self._rollups = RollupStore(tables, resolver=resolver)
+        self._cache = GenerationCache(maxsize=cache_size)
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(self, query: Query) -> Any:
+        """Run one typed query through the generation-stamped cache."""
+        stamp = self._rollups.generation_stamp()
+        cached = self._cache.get(query, stamp)
+        if cached is not MISS:
+            return cached
+        result = self._dispatch(query)
+        self._cache.put(query, stamp, result)
+        return result
+
+    def _dispatch(self, query: Query) -> Any:
+        """Compute one query from the materialized rollups (uncached)."""
+        if isinstance(query, FleetQuery):
+            return self._rollups.rollup(query.day).fleet
+        if isinstance(query, FleetRangeQuery):
+            return [
+                (day, self._rollups.rollup(day).fleet)
+                for day in self._days_between(query.start, query.end)
+            ]
+        if isinstance(query, CategoryTrendQuery):
+            if query.category not in CATEGORIES:
+                raise ValueError(f"unknown category {query.category!r}")
+            return [
+                (day, getattr(self._rollups.rollup(day).fleet, query.category))
+                for day in self._rollups.days()
+            ]
+        if isinstance(query, GroupByQuery):
+            return self._rollups.rollup(query.day).group_by(query.dimension)
+        if isinstance(query, TopVmsQuery):
+            return self._rollups.rollup(query.day).top_vms(
+                query.category, query.k
+            )
+        if isinstance(query, TopEventsQuery):
+            return self._rollups.rollup(query.day).event_leaderboard(query.k)
+        if isinstance(query, EventSeriesQuery):
+            return [
+                (day, self._rollups.rollup(day).event_value(query.event))
+                for day in self._rollups.days()
+            ]
+        if isinstance(query, VmQuery):
+            return self._rollups.rollup(query.day).vm_report(query.vm)
+        raise TypeError(f"unknown query type {type(query).__name__}")
+
+    def _days_between(self, start: str | None, end: str | None) -> list[str]:
+        """Known day partitions within the (inclusive) label bounds."""
+        return [
+            day for day in self._rollups.days()
+            if (start is None or day >= start) and (end is None or day <= end)
+        ]
+
+    # -- typed convenience wrappers (all cached via execute) -------------------
+
+    def fleet(self, day: str) -> CdiReport:
+        """Fleet CDI report of one day (zeros for an unknown day)."""
+        return self.execute(FleetQuery(day))
+
+    def fleet_range(self, start: str | None = None,
+                    end: str | None = None) -> list[tuple[str, CdiReport]]:
+        """Per-day fleet reports over an inclusive day-label range."""
+        return self.execute(FleetRangeQuery(start, end))
+
+    def trend(self, category: str) -> list[tuple[str, float]]:
+        """One sub-metric's daily fleet curve over every known day."""
+        return self.execute(CategoryTrendQuery(category))
+
+    def group_by(self, day: str, dimension: str) -> dict[str, CdiReport]:
+        """Formula 4 per value of one dimension (needs a resolver)."""
+        return self.execute(GroupByQuery(day, dimension))
+
+    def top_vms(self, day: str, category: str,
+                k: int = 5) -> list[tuple[str, float]]:
+        """The ``k`` most damaged VMs of one sub-metric on one day."""
+        return self.execute(TopVmsQuery(day, category, k))
+
+    def top_events(self, day: str, k: int = 5) -> list[tuple[str, float]]:
+        """The ``k`` top event-name contributors on one day."""
+        return self.execute(TopEventsQuery(day, k))
+
+    def event_series(self, event: str) -> list[tuple[str, float]]:
+        """One event's daily fleet-level CDI curve over every day."""
+        return self.execute(EventSeriesQuery(event))
+
+    def vm_report(self, day: str, vm: str) -> dict[str, Any] | None:
+        """One VM's ``vm_cdi`` row on one day, or ``None``."""
+        return self.execute(VmQuery(day, vm))
+
+    # -- introspection ---------------------------------------------------------
+
+    def days(self) -> list[str]:
+        """Every known day partition, sorted."""
+        return self._rollups.days()
+
+    def vm_count(self, day: str) -> int:
+        """Number of VMs with a ``vm_cdi`` row on one day."""
+        return self._rollups.rollup(day).vm_count
+
+    @property
+    def resolver(self) -> DimensionResolver | None:
+        """The configured dimension resolver, if any."""
+        return self._rollups.resolver
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/invalidation counters of the result cache."""
+        return self._cache.stats

@@ -50,7 +50,8 @@ def one_way_anova(groups: Sequence[Sequence[float]]) -> OmnibusResult:
     arrays = _validate(groups)
     k = len(arrays)
     n_total = sum(g.size for g in arrays)
-    grand_mean = float(np.concatenate(arrays).mean())
+    pooled = np.concatenate(arrays)
+    grand_mean = float(pooled.mean())
     ss_between = sum(g.size * (g.mean() - grand_mean) ** 2 for g in arrays)
     ss_within = sum(((g - g.mean()) ** 2).sum() for g in arrays)
     df_between = k - 1
@@ -59,7 +60,11 @@ def one_way_anova(groups: Sequence[Sequence[float]]) -> OmnibusResult:
         raise ValueError("not enough samples for within-group variance")
     ms_between = ss_between / df_between
     ms_within = ss_within / df_within
-    if ms_within == 0.0:
+    # A constant group's mean can round by an ulp, leaving residual
+    # "variance" of order (scale * eps)^2 instead of exact zero —
+    # anything at or below this floor is float jitter, not structure.
+    jitter = (1e-12 * (float(np.abs(pooled).max()) + 1.0)) ** 2
+    if ms_within <= jitter:
         # All groups constant: F is infinite if the means truly differ.
         # Guard against float jitter making identical means look
         # infinitesimally different.

@@ -18,6 +18,7 @@ column arrays with partition and column pruning.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
@@ -72,9 +73,43 @@ class Table:
         self.schema = schema
         self._dtypes = {c.name: c.dtype for c in schema.columns}
         self._partitions: dict[str, ColumnarPartition] = {}
+        self._generation = 0
+        self._partition_generations: dict[str, int] = {}
+        self._generation_lock = threading.Lock()
 
     def _new_partition(self) -> ColumnarPartition:
         return ColumnarPartition(self.schema.names, self._dtypes)
+
+    # -- write generations -----------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Monotonic write counter, bumped **after** every table mutation.
+
+        Readers that snapshot ``generation`` *before* reading data can
+        stamp derived results with it and later detect staleness: a
+        concurrent writer mutates data first and bumps the counter
+        second, so a stamp can only ever be *older* than the data it
+        was computed from — never newer.  The serving layer's caches
+        (:mod:`repro.serving`) are built on this protocol.
+        """
+        return self._generation
+
+    def partition_generation(self, partition: str) -> int:
+        """Generation of the last write that touched ``partition``.
+
+        ``0`` means the partition has never been written (which is also
+        its state after creation of the table).  Dropping a partition
+        counts as touching it, so cached per-partition results are
+        invalidated by drops too.
+        """
+        return self._partition_generations.get(partition, 0)
+
+    def _bump_generation(self, partition: str) -> None:
+        """Record a completed mutation of ``partition`` (call *last*)."""
+        with self._generation_lock:
+            self._generation += 1
+            self._partition_generations[partition] = self._generation
 
     # -- writes ----------------------------------------------------------------
 
@@ -93,6 +128,7 @@ class Table:
         if stored is None:
             stored = self._partitions[partition] = self._new_partition()
         stored.extend_rows(validated)
+        self._bump_generation(partition)
         return len(validated)
 
     def append_columns(self, columns: Mapping[str, Sequence[Any]],
@@ -111,6 +147,7 @@ class Table:
         if stored is None:
             stored = self._partitions[partition] = self._new_partition()
         stored.extend_blocks(blocks, length)
+        self._bump_generation(partition)
         return length
 
     def overwrite_partition(self, rows: Iterable[Mapping[str, Any]],
@@ -120,6 +157,7 @@ class Table:
         replacement = self._new_partition()
         replacement.extend_rows(validated)
         self._partitions[partition] = replacement
+        self._bump_generation(partition)
         return len(validated)
 
     def overwrite_partition_columns(self, columns: Mapping[str, Sequence[Any]],
@@ -129,11 +167,13 @@ class Table:
         replacement = self._new_partition()
         replacement.extend_blocks(blocks, length)
         self._partitions[partition] = replacement
+        self._bump_generation(partition)
         return length
 
     def drop_partition(self, partition: str) -> None:
         """Remove one partition; missing partitions are a no-op."""
-        self._partitions.pop(partition, None)
+        if self._partitions.pop(partition, None) is not None:
+            self._bump_generation(partition)
 
     # -- reads -----------------------------------------------------------------
 

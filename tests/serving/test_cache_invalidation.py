@@ -1,0 +1,160 @@
+"""Write-generation plumbing and cache-invalidation coverage.
+
+The invalidation contract: every mutating table operation bumps the
+table's write generation (and the touched partition's), the query
+service stamps results with the generations observed *before* reading,
+and a stamp mismatch on lookup forces a recompute.  Stale serves are a
+regression; needless recomputes are merely conservative.
+"""
+
+import pytest
+
+from repro.serving import MISS, GenerationCache, QueryService
+from repro.storage.schema import Column, Schema
+from repro.storage.table import Table
+
+
+@pytest.fixture
+def table():
+    return Table("t", Schema([Column("vm", str), Column("x", float)]))
+
+
+ROW = {"vm": "vm-a", "x": 1.0}
+
+
+class TestTableGenerations:
+    def test_fresh_table_at_zero(self, table):
+        assert table.generation == 0
+        assert table.partition_generation("p") == 0
+
+    def test_append_bumps(self, table):
+        table.append([ROW], partition="p")
+        assert table.generation == 1
+        assert table.partition_generation("p") == 1
+        assert table.partition_generation("other") == 0
+
+    def test_empty_append_is_a_noop(self, table):
+        table.append([], partition="p")
+        table.append_columns({"vm": [], "x": []}, partition="p")
+        assert table.generation == 0
+
+    def test_append_columns_bumps(self, table):
+        table.append_columns({"vm": ["vm-a"], "x": [2.0]}, partition="p")
+        assert table.generation == 1
+
+    def test_overwrite_bumps_even_when_empty(self, table):
+        # Overwriting to empty still changes visible contents.
+        table.append([ROW], partition="p")
+        table.overwrite_partition([], partition="p")
+        assert table.generation == 2
+        assert table.partition_generation("p") == 2
+
+    def test_overwrite_columns_bumps(self, table):
+        table.overwrite_partition_columns({"vm": ["vm-b"], "x": [3.0]},
+                                          partition="p")
+        assert table.generation == 1
+
+    def test_drop_bumps_only_existing(self, table):
+        table.drop_partition("ghost")
+        assert table.generation == 0
+        table.append([ROW], partition="p")
+        table.drop_partition("p")
+        assert table.generation == 2
+
+    def test_partition_generations_are_distinct(self, table):
+        table.append([ROW], partition="a")
+        table.append([ROW], partition="b")
+        table.append([ROW], partition="a")
+        assert table.partition_generation("a") == 3
+        assert table.partition_generation("b") == 2
+
+    def test_failed_validation_does_not_bump(self, table):
+        with pytest.raises(Exception):
+            table.append([{"vm": "vm-a", "x": "not-a-float"}], partition="p")
+        assert table.generation == 0
+
+
+class TestGenerationCache:
+    def test_stamp_mismatch_is_invalidation(self):
+        cache = GenerationCache()
+        cache.put("k", (1, 1), "old")
+        assert cache.get("k", (1, 1)) == "old"
+        assert cache.get("k", (2, 1)) is MISS
+        stats = cache.stats
+        assert stats.invalidations == 1
+        assert stats.hits == 1 and stats.misses == 1
+        # The stale entry is gone even under the old stamp.
+        assert cache.get("k", (1, 1)) is MISS
+
+    def test_cached_none_is_not_a_miss(self):
+        cache = GenerationCache()
+        cache.put("k", 1, None)
+        assert cache.get("k", 1) is None
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            GenerationCache(maxsize=0)
+
+
+class TestServiceInvalidation:
+    def test_write_forces_recompute(self, dataset):
+        job, fleet, services = dataset
+        from tests.serving.conftest import events_factory
+        from repro.core.events import default_catalog
+        # A private job copy so module-scoped fixtures stay pristine.
+        service = QueryService(job.tables, resolver=fleet.dimensions_of)
+        before = service.fleet("day00")
+        assert service.fleet("day00") == before  # warm hit
+
+        # Re-running the day with no events overwrites the partition;
+        # the next query must see the new contents.  (Ingest appends,
+        # so drop the raw events first, like the backfill re-run path.)
+        from repro.pipeline.tables import EVENTS_TABLE
+        job.tables.get(EVENTS_TABLE).drop_partition("day00")
+        job.run("day00", services)
+        after = service.fleet("day00")
+        assert after != before  # no events → all-zero CDI
+        assert after.unavailability == 0.0 and after.performance == 0.0
+
+        stats = service.cache_stats
+        assert stats.invalidations >= 1
+
+        # Restore day00 for any later module-scoped consumers.
+        catalog = default_catalog()
+        events = events_factory(sorted(fleet.vms), catalog, 7)(0, "day00")
+        job.ingest_events(events, "day00")
+        job.run("day00", services)
+        assert service.fleet("day00") == before
+
+    def test_unrelated_query_stays_cached_by_key(self, dataset):
+        job, fleet, _ = dataset
+        service = QueryService(job.tables, resolver=fleet.dimensions_of)
+        service.fleet("day00")
+        service.fleet("day01")
+        hits_before = service.cache_stats.hits
+        service.fleet("day01")
+        assert service.cache_stats.hits == hits_before + 1
+
+    def test_stale_read_regression(self, dataset):
+        """Interleaved write/read never serves the pre-write answer.
+
+        This is the exact sequence that bites a cache stamped *after*
+        reading: warm the cache, mutate the table, then query — the
+        answer must reflect the write immediately, every time.
+        """
+        job, fleet, _ = dataset
+        from repro.pipeline.tables import EVENT_CDI_TABLE
+        service = QueryService(job.tables, resolver=fleet.dimensions_of)
+        table = job.tables.get(EVENT_CDI_TABLE)
+        for round_number in range(5):
+            service.top_events("day01", 3)  # warm
+            cdi = 0.9 + round_number / 100.0
+            table.append(
+                [{"vm": "vm-synthetic", "event": f"probe_{round_number}",
+                  "cdi": cdi, "service_time": 86400.0}],
+                partition="day01",
+            )
+            top = service.top_events("day01", 1)
+            assert top and top[0][0] == f"probe_{round_number}", \
+                f"stale answer after write round {round_number}: {top}"
+            assert top[0][1] == pytest.approx(cdi)

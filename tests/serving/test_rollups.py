@@ -1,0 +1,203 @@
+"""Unit tests for the serving kernels and materialized rollups.
+
+Every kernel is checked against a hand-rolled scalar oracle — the same
+left-to-right accumulation the reference implementations use — with
+``==`` (not approx): float-identity is the contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.indicator import CdiReport, aggregate
+from repro.pipeline.tables import EVENT_CDI_TABLE, VM_CDI_TABLE
+from repro.serving.rollups import (
+    CATEGORIES,
+    RollupStore,
+    aggregate_arrays,
+    event_aggregates,
+    group_reports,
+    rank_leaderboard,
+    report_from_arrays,
+    sequential_sum,
+    top_damaged,
+)
+
+from tests.serving.conftest import build_dataset
+
+
+def scalar_sum(values) -> float:
+    total = 0.0
+    for value in values:
+        total += float(value)
+    return total
+
+
+class TestSequentialSum:
+    @pytest.mark.parametrize("n", [0, 1, 2, 7, 1000])
+    def test_matches_scalar_loop_exactly(self, n):
+        rng = np.random.default_rng(n)
+        values = rng.uniform(-1e6, 1e6, size=n)
+        assert sequential_sum(values) == scalar_sum(values)
+
+    def test_adversarial_cancellation(self):
+        # Pairwise summation (np.sum) rounds these differently; the
+        # kernel must match the sequential order bit for bit.
+        values = np.array([1e16, 1.0, -1e16, 1.0, 0.1, -0.1, 1e-8] * 13)
+        assert sequential_sum(values) == scalar_sum(values)
+        assert sequential_sum(values) != float(np.sum(values)) or (
+            scalar_sum(values) == float(np.sum(values))
+        )
+
+
+class TestReportFromArrays:
+    def test_matches_reference_loop(self):
+        rng = np.random.default_rng(3)
+        n = 57
+        t = rng.uniform(0.0, 86400.0, size=n)
+        u, p, c = (rng.uniform(0.0, 0.2, size=n) for _ in range(3))
+        report = report_from_arrays(t, u, p, c)
+        # The reference: per-row scalar products, sequential sums.
+        total = scalar_sum(t)
+        expect = CdiReport(
+            unavailability=scalar_sum(t[i] * u[i] for i in range(n)) / total,
+            performance=scalar_sum(t[i] * p[i] for i in range(n)) / total,
+            control_plane=scalar_sum(t[i] * c[i] for i in range(n)) / total,
+            service_time=total,
+        )
+        assert report == expect
+
+    def test_empty_is_all_zero(self):
+        empty = np.array([], dtype=np.float64)
+        report = report_from_arrays(empty, empty, empty, empty)
+        assert report == CdiReport(0.0, 0.0, 0.0, 0.0)
+
+    def test_negative_service_time_rejected(self):
+        t = np.array([10.0, -1.0])
+        values = np.zeros(2)
+        with pytest.raises(ValueError, match="negative service time"):
+            report_from_arrays(t, values, values, values)
+
+
+class TestAggregateArrays:
+    def test_matches_core_aggregate(self):
+        rng = np.random.default_rng(11)
+        pairs = [(float(t), float(v)) for t, v in
+                 zip(rng.uniform(0.0, 86400.0, 40), rng.uniform(0.0, 1.0, 40))]
+        expected = aggregate(pairs)
+        t = np.array([t for t, _ in pairs])
+        v = np.array([v for _, v in pairs])
+        assert aggregate_arrays(t, v) == expected
+
+    def test_zero_denominator(self):
+        t = np.zeros(3)
+        assert aggregate_arrays(t, np.ones(3)) == 0.0
+
+
+class TestGroupReports:
+    def test_matches_per_group_reference(self):
+        rng = np.random.default_rng(5)
+        n = 30
+        keys = [("a", "b", None, "c")[i % 4] for i in range(n)]
+        t = rng.uniform(1.0, 100.0, n)
+        u, p, c = (rng.uniform(0.0, 0.5, n) for _ in range(3))
+        reports = group_reports(keys, t, u, p, c)
+        assert list(reports) == ["a", "b", "c"]  # sorted, None dropped
+        for key in reports:
+            idx = [i for i, k in enumerate(keys) if k == key]
+            assert reports[key] == report_from_arrays(
+                t[idx], u[idx], p[idx], c[idx]
+            )
+
+    def test_empty(self):
+        empty = np.array([], dtype=np.float64)
+        assert group_reports([], empty, empty, empty, empty) == {}
+
+
+class TestEventAggregates:
+    def test_matches_filtered_aggregate(self):
+        rng = np.random.default_rng(9)
+        names = [("slow_io", "vm_down", "slow_io")[i % 3] for i in range(21)]
+        t = rng.uniform(1.0, 86400.0, 21)
+        cdi = rng.uniform(0.0, 1.0, 21)
+        aggregates = event_aggregates(names, t, cdi)
+        assert list(aggregates) == ["slow_io", "vm_down"]
+        for name in aggregates:
+            pairs = [(float(t[i]), float(cdi[i]))
+                     for i in range(21) if names[i] == name]
+            assert aggregates[name] == aggregate(pairs)
+
+
+class TestRankLeaderboard:
+    def test_cut_before_zero_filter(self):
+        # Matches top_event_contributors: the cut happens before the
+        # >0 filter, so zeros inside the top-k shrink the result.
+        aggregates = {"a": 0.0, "b": 2.0, "c": 1.0}
+        assert rank_leaderboard(aggregates, 2) == [("b", 2.0), ("c", 1.0)]
+        assert rank_leaderboard({"a": 0.0, "b": 1.0}, 2) == [("b", 1.0)]
+
+    def test_ties_stay_in_key_order(self):
+        aggregates = dict.fromkeys(["alpha", "beta", "gamma"], 1.5)
+        assert rank_leaderboard(aggregates, 3) == [
+            ("alpha", 1.5), ("beta", 1.5), ("gamma", 1.5)
+        ]
+
+
+class TestTopDamaged:
+    def test_descending_with_label_tiebreak(self):
+        labels = np.array(["vm-c", "vm-a", "vm-b", "vm-d"], dtype=object)
+        values = np.array([0.5, 0.9, 0.5, 0.0])
+        assert top_damaged(labels, values, 3) == [
+            ("vm-a", 0.9), ("vm-b", 0.5), ("vm-c", 0.5)
+        ]
+
+    def test_zeros_excluded_entirely(self):
+        labels = np.array(["x", "y"], dtype=object)
+        assert top_damaged(labels, np.zeros(2), 5) == []
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError, match="k must be >= 1"):
+            top_damaged(np.array(["x"], dtype=object), np.ones(1), 0)
+
+
+class TestRollupStore:
+    @pytest.fixture(scope="class")
+    def store(self):
+        job, fleet, _ = build_dataset(days=2)
+        return job, RollupStore(job.tables, resolver=fleet.dimensions_of)
+
+    def test_days_union(self, store):
+        job, rollups = store
+        assert rollups.days() == ["day00", "day01"]
+
+    def test_fleet_matches_rows(self, store):
+        from repro.pipeline.daily import fleet_report_from_rows
+        job, rollups = store
+        rows = job.tables.get(VM_CDI_TABLE).rows("day00")
+        assert rollups.rollup("day00").fleet == fleet_report_from_rows(rows)
+
+    def test_unknown_partition_is_all_zero(self, store):
+        _, rollups = store
+        rollup = rollups.rollup("day99")
+        assert rollup.fleet == CdiReport(0.0, 0.0, 0.0, 0.0)
+        assert rollup.vm_count == 0
+        assert rollup.event_leaderboard(3) == []
+        for category in CATEGORIES:
+            assert rollup.top_vms(category, 3) == []
+
+    def test_rollup_cached_until_write(self, store):
+        job, rollups = store
+        first = rollups.rollup("day00")
+        assert rollups.rollup("day00") is first
+        # An append to the partition bumps its generation → rebuild.
+        table = job.tables.get(EVENT_CDI_TABLE)
+        table.append([{"vm": "vm-x", "event": "synthetic", "cdi": 0.25,
+                       "service_time": 86400.0}], partition="day00")
+        second = rollups.rollup("day00")
+        assert second is not first
+        assert second.event_value("synthetic") == 0.25
+
+    def test_group_by_requires_resolver(self):
+        job, _, _ = build_dataset(days=1)
+        rollups = RollupStore(job.tables)
+        with pytest.raises(ValueError, match="dimension resolver"):
+            rollups.rollup("day00").group_by("region")

@@ -1,0 +1,165 @@
+"""Tests for QueryService semantics and the JSON wire protocol."""
+
+import json
+
+import pytest
+
+from repro.core.indicator import CdiReport
+from repro.serving import (
+    CategoryTrendQuery,
+    FleetQuery,
+    GroupByQuery,
+    QueryService,
+    TopVmsQuery,
+    parse_query,
+    run_query,
+    serve_lines,
+    to_jsonable,
+)
+
+
+@pytest.fixture(scope="module")
+def service(dataset):
+    job, fleet, _ = dataset
+    return QueryService(job.tables, resolver=fleet.dimensions_of)
+
+
+class TestQuerySemantics:
+    def test_fleet_point_lookup(self, service):
+        report = service.fleet("day00")
+        assert isinstance(report, CdiReport)
+        assert report.service_time > 0
+
+    def test_unknown_day_is_zero_report(self, service):
+        assert service.fleet("day99") == CdiReport(0.0, 0.0, 0.0, 0.0)
+
+    def test_range_bounds_inclusive(self, service):
+        assert [d for d, _ in service.fleet_range()] == service.days()
+        assert [d for d, _ in service.fleet_range("day01", "day01")] == \
+            ["day01"]
+        assert [d for d, _ in service.fleet_range(end="day00")] == ["day00"]
+        assert service.fleet_range("day50") == []
+
+    def test_trend_covers_every_day(self, service):
+        trend = service.trend("performance")
+        assert [d for d, _ in trend] == service.days()
+        for day, value in trend:
+            assert value == service.fleet(day).performance
+
+    def test_trend_rejects_unknown_category(self, service):
+        with pytest.raises(ValueError, match="unknown category"):
+            service.trend("latency")
+
+    def test_group_by_slices_fleet(self, service):
+        reports = service.group_by("day00", "region")
+        assert len(reports) == 2  # two regions in the fixture fleet
+        # Group service times partition the fleet total exactly
+        # (each VM lands in exactly one region).
+        total = sum(r.service_time for r in reports.values())
+        assert total == pytest.approx(service.fleet("day00").service_time)
+
+    def test_top_vms_sorted_and_bounded(self, service):
+        top = service.top_vms("day00", "performance", k=3)
+        assert len(top) <= 3
+        values = [value for _, value in top]
+        assert values == sorted(values, reverse=True)
+        assert all(value > 0 for value in values)
+
+    def test_top_events_prefix_property(self, service):
+        assert service.top_events("day00", 2) == \
+            service.top_events("day00", 10)[:2]
+
+    def test_event_series_zero_when_absent(self, service):
+        series = service.event_series("no_such_event")
+        assert series == [(day, 0.0) for day in service.days()]
+
+    def test_vm_lookup(self, service):
+        some_vm = service.top_vms("day00", "performance", 1)[0][0]
+        row = service.vm_report("day00", some_vm)
+        assert row["vm"] == some_vm
+        assert row["service_time"] > 0
+        assert service.vm_report("day00", "vm-nope") is None
+
+    def test_vm_count(self, service):
+        assert service.vm_count("day00") == 16
+        assert service.vm_count("day99") == 0
+
+
+class TestCaching:
+    def test_repeat_query_hits(self, dataset):
+        job, fleet, _ = dataset
+        fresh = QueryService(job.tables, resolver=fleet.dimensions_of)
+        fresh.fleet("day00")
+        before = fresh.cache_stats
+        fresh.fleet("day00")
+        after = fresh.cache_stats
+        assert after.hits == before.hits + 1
+        assert after.misses == before.misses
+
+    def test_distinct_queries_are_distinct_keys(self, dataset):
+        job, fleet, _ = dataset
+        fresh = QueryService(job.tables, resolver=fleet.dimensions_of)
+        fresh.top_vms("day00", "performance", 3)
+        fresh.top_vms("day00", "performance", 4)
+        assert fresh.cache_stats.misses == 2
+        fresh.top_vms("day00", "performance", 3)
+        assert fresh.cache_stats.hits == 1
+
+    def test_lru_eviction(self, dataset):
+        job, fleet, _ = dataset
+        tiny = QueryService(job.tables, cache_size=1)
+        tiny.fleet("day00")
+        tiny.fleet("day01")  # evicts day00
+        tiny.fleet("day00")  # miss again
+        stats = tiny.cache_stats
+        assert stats.misses == 3
+        assert stats.size == 1
+
+
+class TestWireProtocol:
+    def test_parse_every_kind(self):
+        assert parse_query({"kind": "fleet", "day": "d"}) == FleetQuery("d")
+        assert parse_query({"kind": "trend", "category": "performance"}) == \
+            CategoryTrendQuery("performance")
+        assert parse_query(
+            {"kind": "top-vms", "day": "d", "category": "performance"}
+        ) == TopVmsQuery("d", "performance", k=5)
+
+    def test_parse_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown query kind"):
+            parse_query({"kind": "explain"})
+
+    def test_parse_rejects_missing_and_extra_fields(self):
+        with pytest.raises(ValueError, match="requires field 'day'"):
+            parse_query({"kind": "fleet"})
+        with pytest.raises(ValueError, match="unexpected fields"):
+            parse_query({"kind": "fleet", "day": "d", "limit": 3})
+
+    def test_run_query_success_and_error(self, service):
+        ok = run_query(service, {"kind": "fleet", "day": "day00"})
+        assert ok["ok"] is True and ok["kind"] == "fleet"
+        assert set(ok["result"]) == {"unavailability", "performance",
+                                     "control_plane", "service_time"}
+        bad = run_query(service, {"kind": "trend", "category": "nope"})
+        assert bad["ok"] is False and "unknown category" in bad["error"]
+
+    def test_to_jsonable_round_trips_through_json(self, service):
+        query = GroupByQuery("day00", "az")
+        payload = to_jsonable(query, service.execute(query))
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_serve_lines(self, service):
+        lines = [
+            json.dumps({"kind": "fleet", "day": "day00"}),
+            "",
+            "not json",
+            json.dumps(["not", "an", "object"]),
+            json.dumps({"kind": "top-events", "day": "day00", "k": 2}),
+        ]
+        responses = []
+        answered = serve_lines(service, lines, responses.append)
+        assert answered == 4  # the blank line is skipped
+        decoded = [json.loads(r) for r in responses]
+        assert [r["ok"] for r in decoded] == [True, False, False, True]
+        assert "invalid JSON" in decoded[1]["error"]
+        assert decoded[2]["error"] == "query must be a JSON object"

@@ -107,3 +107,50 @@ class TestTraceCli:
         assert main(["trace"]) == 0
         out = capsys.readouterr().out
         assert "no trace file given" in out
+
+
+class TestQueryServe:
+    @pytest.mark.slow
+    def test_query_fleet_defaults(self, capsys):
+        import json
+        assert main(["query", "--vms", "16", "--days", "2"]) == 0
+        response = json.loads(capsys.readouterr().out)
+        assert response["ok"] is True
+        assert response["kind"] == "fleet"
+        assert response["result"]["service_time"] > 0
+
+    @pytest.mark.slow
+    def test_query_top_vms(self, capsys):
+        import json
+        assert main(["query", "--vms", "16", "--days", "1",
+                     "--kind", "top-vms", "--k", "3"]) == 0
+        response = json.loads(capsys.readouterr().out)
+        assert response["ok"] is True
+        assert len(response["result"]) <= 3
+        for entry in response["result"]:
+            assert entry["value"] > 0
+
+    @pytest.mark.slow
+    def test_query_bad_category_reports_error(self, capsys):
+        import json
+        assert main(["query", "--vms", "16", "--days", "1",
+                     "--kind", "trend", "--category", "nope"]) == 0
+        response = json.loads(capsys.readouterr().out)
+        assert response["ok"] is False
+        assert "unknown category" in response["error"]
+
+    @pytest.mark.slow
+    def test_serve_json_lines(self, capsys, monkeypatch):
+        import io
+        import json
+        import sys as _sys
+        queries = "\n".join([
+            json.dumps({"kind": "fleet", "day": "day00"}),
+            "garbage",
+            json.dumps({"kind": "top-events", "day": "day00", "k": 2}),
+        ])
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(queries + "\n"))
+        assert main(["serve", "--vms", "16", "--days", "1"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        decoded = [json.loads(line) for line in lines]
+        assert [r["ok"] for r in decoded] == [True, False, True]
