@@ -24,11 +24,15 @@ artifact.
 """
 
 import json
-import os
 import time
-from pathlib import Path
 
-from conftest import print_table, run_once
+from conftest import (
+    bench_backend,
+    bench_result_path,
+    bench_vm_count,
+    print_table,
+    run_once,
+)
 
 from repro.core.events import default_catalog
 from repro.core.indicator import ServicePeriod
@@ -41,17 +45,14 @@ from repro.storage.table import TableStore
 from repro.telemetry.faults import FaultInjector, baseline_rates
 
 DAY = 86400.0
-VM_COUNT = int(os.environ.get("REPRO_BENCH_VM_COUNT", "2000"))
+VM_COUNT = bench_vm_count(2000)
 PARALLELISM = 8
 #: Extra timed end-to-end repeats for the JSON artifact (the reported
 #: wall time is the minimum — standard practice for wall benchmarks).
 TIMED_REPEATS = 5
 
 #: Where the machine-readable result lands (repo root).
-RESULT_PATH = Path(os.environ.get(
-    "REPRO_BENCH_RESULT_PATH",
-    Path(__file__).resolve().parent.parent / "BENCH_pipeline_scale.json",
-))
+RESULT_PATH = bench_result_path("BENCH_pipeline_scale.json")
 
 #: End-to-end wall seconds of this benchmark at the growth seed
 #: (commit 996a564: pure-Python per-VM sweeps + per-event-name
@@ -83,7 +84,7 @@ def build_job_inputs():
 def run_daily_job(events, services, backend=None, trace=None):
     context = EngineContext(
         parallelism=PARALLELISM,
-        backend=backend or os.environ.get("REPRO_BENCH_BACKEND", "thread"),
+        backend=backend or bench_backend(),
     )
     job = DailyCdiJob(context, TableStore(), ConfigDB(), default_catalog())
     job.store_weights(default_weights())
@@ -133,7 +134,7 @@ def compare_compute_paths(events, services, backend):
 
 
 def test_sec5_pipeline_scale(benchmark):
-    backend = os.environ.get("REPRO_BENCH_BACKEND", "thread")
+    backend = bench_backend()
     events, services = build_job_inputs()
     result, metrics = run_once(benchmark, run_daily_job, events, services)
     core_seconds = metrics.total_seconds

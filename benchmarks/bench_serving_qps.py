@@ -25,11 +25,9 @@ uses a small one), ``REPRO_BENCH_DAYS`` the backfill length, and
 """
 
 import json
-import os
 import time
-from pathlib import Path
 
-from conftest import print_table
+from conftest import bench_days, bench_result_path, bench_vm_count, print_table
 
 from repro.core.events import Event, default_catalog
 from repro.core.indicator import ServicePeriod
@@ -45,14 +43,13 @@ from repro.telemetry.faults import FaultInjector, baseline_rates
 from repro.telemetry.topology import build_fleet
 
 DAY = 86400.0
-VM_COUNT = int(os.environ.get("REPRO_BENCH_VM_COUNT", "1000"))
-DAYS = int(os.environ.get("REPRO_BENCH_DAYS", "5"))
+VM_COUNT = bench_vm_count(1000)
+DAYS = bench_days(5)
 TIMED_REPEATS = 5
 
-RESULT_PATH = Path(os.environ.get(
-    "REPRO_BENCH_SERVING_RESULT_PATH",
-    Path(__file__).resolve().parent.parent / "BENCH_serving.json",
-))
+RESULT_PATH = bench_result_path(
+    "BENCH_serving.json", env="REPRO_BENCH_SERVING_RESULT_PATH"
+)
 
 
 def build_backfilled_job():

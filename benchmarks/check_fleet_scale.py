@@ -1,0 +1,125 @@
+"""Gate the out-of-core scaling artifact (``BENCH_fleet_scale.json``).
+
+Two properties are enforced, both direct consequences of the
+out-of-core design (spill-staged events + per-shard generation and
+compute) that this repo's fleet-scale path promises:
+
+* **Fixed memory ceiling** — every scale point's peak RSS stays under
+  :data:`RSS_CEILING_MB`, a constant chosen with ~2.4x headroom over
+  the measured 100k-VM point.  A day's events must never be resident.
+* **Sublinear growth** — between consecutive scale points, peak RSS
+  must grow strictly slower than fleet size; across the whole sweep
+  the growth exponent ``d log(rss) / d log(vms)`` must stay under
+  :data:`MAX_GROWTH_EXPONENT`.  (Linear growth would mean some
+  structure is still O(fleet).)
+
+Usage::
+
+    python benchmarks/check_fleet_scale.py                  # committed artifact
+    python benchmarks/check_fleet_scale.py --smoke \\
+        --path BENCH_fleet_scale_smoke.json                 # CI single-point run
+
+``--smoke`` accepts a single-point artifact (CI runs one 10k-VM point
+per push): the ceiling and throughput gates still apply, the growth
+gates need >= 2 points and are skipped.  Exits non-zero with a
+diagnostic on any violation.
+"""
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+#: Hard per-point peak-RSS ceiling.  Measured 100k-VM point: ~212 MB
+#: (interpreter + numpy baseline is ~100 MB of that).
+RSS_CEILING_MB = 512.0
+#: Upper bound on the end-to-end RSS growth exponent.  Measured: ~0.15.
+MAX_GROWTH_EXPONENT = 0.9
+
+DEFAULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet_scale.json"
+
+
+def check(data, *, smoke=False):
+    """All violations found in one artifact (empty list = pass)."""
+    errors = []
+    points = data.get("points", [])
+    if not points:
+        return ["artifact has no scale points"]
+    if not smoke and len(points) < 2:
+        errors.append(
+            f"full mode needs >= 2 scale points for the growth gates, "
+            f"got {len(points)} (use --smoke for single-point runs)"
+        )
+
+    counts = [p["vm_count"] for p in points]
+    if counts != sorted(counts) or len(set(counts)) != len(counts):
+        errors.append(f"scale points must be strictly increasing: {counts}")
+
+    for p in points:
+        if p["event_count"] <= 0:
+            errors.append(f"{p['vm_count']} VMs: no events processed")
+        if p["rows_per_second"] <= 0:
+            errors.append(f"{p['vm_count']} VMs: non-positive throughput")
+        if p["spool_bytes"] <= 0:
+            errors.append(
+                f"{p['vm_count']} VMs: nothing spilled to disk — the "
+                f"out-of-core staging path did not run"
+            )
+        if p["peak_rss_mb"] > RSS_CEILING_MB:
+            errors.append(
+                f"{p['vm_count']} VMs: peak RSS {p['peak_rss_mb']:.1f} MB "
+                f"exceeds the {RSS_CEILING_MB:.0f} MB ceiling"
+            )
+
+    for prev, cur in zip(points, points[1:]):
+        vm_ratio = cur["vm_count"] / prev["vm_count"]
+        rss_ratio = cur["peak_rss_mb"] / prev["peak_rss_mb"]
+        if rss_ratio >= vm_ratio:
+            errors.append(
+                f"{prev['vm_count']} -> {cur['vm_count']} VMs: peak RSS "
+                f"grew {rss_ratio:.2f}x for a {vm_ratio:.0f}x fleet — "
+                f"not sublinear"
+            )
+    if len(points) >= 2:
+        first, last = points[0], points[-1]
+        exponent = (
+            math.log(last["peak_rss_mb"] / first["peak_rss_mb"])
+            / math.log(last["vm_count"] / first["vm_count"])
+        )
+        if exponent > MAX_GROWTH_EXPONENT:
+            errors.append(
+                f"RSS growth exponent {exponent:.2f} exceeds "
+                f"{MAX_GROWTH_EXPONENT} over "
+                f"{first['vm_count']} -> {last['vm_count']} VMs"
+            )
+    return errors
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--path", type=Path, default=DEFAULT_PATH,
+                        help="artifact to check (default: committed one)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="accept a single-point (CI smoke) artifact")
+    args = parser.parse_args(argv)
+
+    data = json.loads(args.path.read_text())
+    errors = check(data, smoke=args.smoke)
+    points = data.get("points", [])
+    for p in points:
+        print(f"  {p['vm_count']:>7,} VMs: {p['event_count']:>7,} events, "
+              f"{p['rows_per_second']:>8,.0f} rows/s, "
+              f"peak RSS {p['peak_rss_mb']:.1f} MB")
+    if errors:
+        for error in errors:
+            print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    mode = "smoke" if args.smoke else "full"
+    print(f"OK ({mode}): {len(points)} point(s) under the "
+          f"{RSS_CEILING_MB:.0f} MB ceiling with sublinear RSS growth")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

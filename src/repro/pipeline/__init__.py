@@ -21,6 +21,7 @@ from repro.pipeline.daily import (
     event_to_row,
     fleet_report_from_rows,
     row_to_event,
+    shard_events_partition,
 )
 from repro.pipeline.tables import (
     EVENT_CDI_TABLE,
@@ -56,5 +57,6 @@ __all__ = [
     "fleet_report_from_rows",
     "global_report",
     "row_to_event",
+    "shard_events_partition",
     "vm_cdi_schema",
 ]

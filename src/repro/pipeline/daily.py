@@ -56,11 +56,24 @@ from repro.pipeline.tables import (
     events_schema,
     vm_cdi_schema,
 )
+from repro.storage.columns import factorize_block
 from repro.storage.configdb import ConfigDB
 from repro.storage.table import TableStore
 
 #: Config DB key holding the serialized weight configuration.
 WEIGHTS_CONFIG_KEY = "cdi_weights"
+
+
+def shard_events_partition(partition: str, unit: str) -> str:
+    """Events-table partition holding one VM shard's slice of a day.
+
+    Sharded ingestion (``DailyCdiJob.ingest_events(..., unit=...)`` +
+    ``run_checkpointed(..., sharded_events=True)``) stores each
+    contiguous VM shard's events under its own partition key, so a
+    shard's compute pass scans only its own slice — the full day never
+    has to be resident at once.
+    """
+    return f"{partition}@{unit}"
 
 
 def event_to_row(event: Event) -> dict[str, Any]:
@@ -233,8 +246,8 @@ class _ResolveColumnsStage:
             return _ResolvedBatch((), empty_i, empty_i.copy(), empty_f,
                                   empty_i.copy(), empty_f.copy(),
                                   empty_f.copy(), 0)
-        names_col = batch.values("name")
-        targets = batch.values("target")
+        name_block = batch.column("name")
+        target_block = batch.column("target")
         times = np.asarray(batch.values("time"), dtype=np.float64)
         levels = np.asarray(batch.values("level"), dtype=np.int64)
         dur_block = batch.column("duration")
@@ -244,7 +257,7 @@ class _ResolveColumnsStage:
             dur_null = np.zeros(size, dtype=np.bool_)
 
         vm_of = self.vm_of
-        uniq_targets, inv_t = np.unique(targets, return_inverse=True)
+        uniq_targets, inv_t = factorize_block(target_block)
         target_codes = np.fromiter(
             (vm_of.get(t, -1) for t in uniq_targets.tolist()),
             dtype=np.int64, count=len(uniq_targets),
@@ -253,7 +266,7 @@ class _ResolveColumnsStage:
         in_service = vm_idx_all >= 0
         event_count = int(np.count_nonzero(in_service))
 
-        uniq_names, inv_n = np.unique(names_col, return_inverse=True)
+        uniq_names, inv_n = factorize_block(name_block)
         num_levels = int(Severity.FATAL) + 1
         k = len(uniq_names)
         windows = np.zeros(k, dtype=np.float64)
@@ -291,7 +304,7 @@ class _ResolveColumnsStage:
             bad = int(np.argmax(explicit))
             raise ValueError(
                 f"negative duration {float(dur_vals[bad])} on event "
-                f"{names_col[bad]!r}"
+                f"{uniq_names[inv_n[bad]]!r}"
             )
 
         sel_idx = np.nonzero(sel)[0]
@@ -304,6 +317,10 @@ class _ResolveColumnsStage:
 
         stateful_rows: list[tuple[str, dict[str, Any]]] = []
         if (kinds_all == 2).any():
+            # Decode strings only on this (rare) branch — the hot
+            # stateless path never materializes per-row python objects.
+            targets = target_block.to_pylist()
+            names_col = name_block.to_pylist()
             exp_vals = np.asarray(
                 batch.values("expire_interval"), dtype=np.float64
             )
@@ -438,8 +455,17 @@ class DailyCdiJob:
 
     # -- ingestion ---------------------------------------------------------
 
-    def ingest_events(self, events: list[Event], partition: str) -> int:
-        """Append raw events into the events table (SLS → MaxCompute sync)."""
+    def ingest_events(self, events: Iterable[Event], partition: str, *,
+                      unit: str | None = None) -> int:
+        """Append raw events into the events table (SLS → MaxCompute sync).
+
+        ``unit`` routes the batch into a per-shard events partition
+        (:func:`shard_events_partition`) for out-of-core runs: events
+        must then be pre-sharded exactly like the VM list that
+        ``run_checkpointed(..., sharded_events=True)`` will split.
+        """
+        if unit is not None:
+            partition = shard_events_partition(partition, unit)
         table = self._tables.get(EVENTS_TABLE)
         return table.append([event_to_row(e) for e in events], partition)
 
@@ -506,7 +532,7 @@ class DailyCdiJob:
         self, partition: str, services: Mapping[str, ServicePeriod], *,
         checkpoint: JobCheckpoint, shards: int = 8, resume: bool = True,
         use_fastpath: bool | None = None, use_columnar: bool | None = None,
-        trace: RunTrace | None = None,
+        sharded_events: bool = False, trace: RunTrace | None = None,
     ) -> DailyJobResult:
         """Fault-tolerant :meth:`run`: compute in VM shards, checkpoint
         each, and resume a killed run from the last completed shard.
@@ -522,6 +548,14 @@ class DailyCdiJob:
         per group: sharding only partitions the sweep, never changes
         any value, and contiguous shards concatenate back into the
         canonical global order.
+
+        ``sharded_events=True`` scans each shard's events from its own
+        partition (:func:`shard_events_partition`) instead of the whole
+        day's — the out-of-core mode.  The caller must have ingested
+        events with matching ``unit`` routing (same contiguous split of
+        the same sorted VM list); the outputs are then still identical
+        because every event lands in the shard that owns its target VM
+        and off-shard events were dropped by the service filter anyway.
         """
         horizon = max((s.end for s in services.values()), default=0.0)
         fast = self._use_fastpath if use_fastpath is None else use_fastpath
@@ -531,6 +565,7 @@ class DailyCdiJob:
         fingerprint = self.checkpoint_fingerprint(
             partition, services, shards=shards,
             use_fastpath=fast, use_columnar=columnar,
+            sharded_events=sharded_events,
         )
         done = checkpoint.ensure(fingerprint, partition, resume=resume)
         vm_list = sorted(services)
@@ -548,8 +583,13 @@ class DailyCdiJob:
                 with trace_span(trace, f"shard[{unit}]", "shard",
                                 vms=len(vms)):
                     shard_services = {vm: services[vm] for vm in vms}
+                    events_partition = (
+                        shard_events_partition(partition, unit)
+                        if sharded_events else partition
+                    )
                     vm_cols, event_cols, count = self._compute_columns(
-                        partition, shard_services, horizon, fast, columnar
+                        events_partition, shard_services, horizon, fast,
+                        columnar,
                     )
                     checkpoint.record_shard(unit, vm_cols, event_cols, count)
             with trace_span(trace, "merge_write", "stage"):
@@ -564,13 +604,14 @@ class DailyCdiJob:
     def checkpoint_fingerprint(
         self, partition: str, services: Mapping[str, ServicePeriod], *,
         shards: int, use_fastpath: bool | None = None,
-        use_columnar: bool | None = None,
+        use_columnar: bool | None = None, sharded_events: bool = False,
     ) -> str:
         """Fingerprint of one checkpointed run's inputs.
 
         Used to decide whether an on-disk checkpoint belongs to the
         same work (same day, services, weight-config version, shard
-        count, and compute path) before resuming from it.
+        count, compute path, and event-partition layout) before
+        resuming from it.
         """
         fast = self._use_fastpath if use_fastpath is None else use_fastpath
         columnar = (
@@ -578,6 +619,8 @@ class DailyCdiJob:
         )
         path = ("columnar" if fast and columnar
                 else "fastpath" if fast else "reference")
+        if sharded_events:
+            path += "+sharded-events"
         version = self._config_db.get(WEIGHTS_CONFIG_KEY).version
         return job_fingerprint(partition, services, version, shards, path)
 

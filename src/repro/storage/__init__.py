@@ -4,7 +4,17 @@
 * :class:`Table` / :class:`TableStore` — MaxCompute-like partitioned
   tables with schema validation.
 * :class:`ConfigDB` — MySQL-like versioned configuration store.
+* :mod:`repro.storage.chunked` — out-of-core chunked v3 files and
+  spill-to-disk tables for fleet-scale stores.
 """
+
+from repro.storage.chunked import (
+    LazyChunkPartition,
+    SpillPartition,
+    SpillTable,
+    load_table_store_chunked,
+    save_table_store_chunked,
+)
 
 from repro.storage.columns import (
     ColumnBatch,
@@ -42,17 +52,22 @@ __all__ = [
     "ConfigDB",
     "ConfigNotFoundError",
     "ConfigRecord",
+    "LazyChunkPartition",
     "LogEntry",
     "LogStore",
     "Schema",
     "SchemaError",
+    "SpillPartition",
+    "SpillTable",
     "StaleVersionError",
     "Table",
     "TableNotFoundError",
     "TableStore",
     "load_config_db",
     "load_table_store",
+    "load_table_store_chunked",
     "save_config_db",
     "save_table_store",
+    "save_table_store_chunked",
     "snapshot_table",
 ]

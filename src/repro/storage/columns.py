@@ -16,10 +16,20 @@ provides the building blocks the table store keeps per partition:
 * :class:`ColumnBatch` — a zero-copy row-range slice over sealed
   blocks, the element type of the engine's column-batch scan source.
 
+String columns are **dictionary-encoded** when it pays off: sealing a
+string column whose distinct-value count stays low (event names,
+categories, service/VM targets — the paper's hot string columns)
+stores ``int32`` codes plus a small dictionary instead of an object
+array, decoded lazily only when a consumer actually asks for Python
+strings.  Slices and same-dictionary concatenations stay in code
+space, and :func:`factorize_block` turns the daily job's ``np.unique``
+factorization into a dictionary sort plus an integer gather.
+
 Values round-trip exactly: ``float`` → ``float64`` → ``float`` is
 bit-identical, ints outside the ``int64`` range fall back to an
 ``object`` block instead of overflowing, and nulls are represented by
-a boolean mask (``True`` = null) with a zero fill in the typed array.
+a boolean mask (``True`` = null) with a zero fill in the typed array
+(code ``-1`` in dictionary blocks).
 """
 
 from __future__ import annotations
@@ -49,6 +59,39 @@ def _object_array(values: Sequence[Any]) -> np.ndarray:
     return arr
 
 
+def try_dictionary_encode(
+    values: Sequence[Any], *, limit: int | None = None
+) -> tuple[np.ndarray, tuple[str, ...]] | None:
+    """Factorize a string column into ``(int32 codes, dictionary)``.
+
+    Nulls encode as code ``-1``.  The dictionary preserves first-
+    occurrence order.  Returns ``None`` when the distinct-value count
+    exceeds ``limit`` (default ``max(16, n // 2)``): a near-unique
+    column (e.g. VM ids in a one-row-per-VM table) would pay the
+    encoding cost without any compression or factorization win, so it
+    stays a plain object array.  The decision is a pure function of
+    the values, keeping sealed layouts deterministic.
+    """
+    n = len(values)
+    if limit is None:
+        limit = max(16, n // 2)
+    code_of: dict[str, int] = {}
+    codes = np.empty(n, dtype=np.int32)
+    get = code_of.get
+    for i, value in enumerate(values):
+        if value is None:
+            codes[i] = -1
+            continue
+        code = get(value)
+        if code is None:
+            code = len(code_of)
+            if code >= limit:
+                return None
+            code_of[value] = code
+        codes[i] = code
+    return codes, tuple(code_of)
+
+
 class ColumnBlock:
     """One sealed typed column: values array + optional null mask.
 
@@ -57,29 +100,85 @@ class ColumnBlock:
     logical value is null, or ``None`` for columns without nulls.
     Sealed arrays are marked read-only — callers get zero-copy views
     of the store and must not mutate them.
+
+    Dictionary-encoded string blocks store ``codes`` (``int32``, with
+    ``-1`` at null slots) plus a ``dictionary`` tuple instead of a
+    materialized object array; ``values`` then decodes lazily on first
+    access, so code-aware consumers (slicing, concatenation,
+    :func:`factorize_block`, the chunked persistence writer) never pay
+    for Python string materialization.
     """
 
-    __slots__ = ("values", "null_mask", "_pylist")
+    __slots__ = ("_values", "null_mask", "_pylist", "codes", "dictionary")
 
-    def __init__(self, values: np.ndarray,
-                 null_mask: np.ndarray | None = None) -> None:
-        self.values = values
+    def __init__(self, values: np.ndarray | None,
+                 null_mask: np.ndarray | None = None, *,
+                 codes: np.ndarray | None = None,
+                 dictionary: tuple[str, ...] | None = None) -> None:
+        if values is None and codes is None:
+            raise ValueError("a block needs values or codes")
+        self._values = values
         self.null_mask = null_mask
+        self.codes = codes
+        self.dictionary = dictionary
         self._pylist: list[Any] | None = None
-        for arr in (values, null_mask):
+        for arr in (values, null_mask, codes):
             if arr is not None and arr.flags.writeable and arr.base is None:
                 arr.flags.writeable = False
 
+    @property
+    def values(self) -> np.ndarray:
+        """Typed value array; dictionary blocks decode lazily (cached)."""
+        arr = self._values
+        if arr is None:
+            dictionary = self.dictionary
+            arr = _object_array([
+                None if code < 0 else dictionary[code]
+                for code in self.codes.tolist()
+            ])
+            arr.flags.writeable = False
+            self._values = arr
+        return arr
+
+    @property
+    def is_dictionary(self) -> bool:
+        """Whether the block carries dictionary codes."""
+        return self.codes is not None
+
     def __len__(self) -> int:
-        return len(self.values)
+        if self._values is not None:
+            return len(self._values)
+        return len(self.codes)
 
     def __array__(self, dtype: Any = None) -> np.ndarray:  # numpy interop
         return np.asarray(self.values, dtype=dtype)
 
     def __getitem__(self, item: slice) -> "ColumnBlock":
-        """Zero-copy row-range slice (used by :class:`ColumnBatch`)."""
+        """Zero-copy row-range slice (used by :class:`ColumnBatch`).
+
+        Dictionary blocks slice in code space — the (shared) dictionary
+        is never copied and no strings are decoded.
+        """
         mask = self.null_mask[item] if self.null_mask is not None else None
-        return ColumnBlock(self.values[item], mask)
+        if self.codes is not None:
+            return ColumnBlock(None, mask, codes=self.codes[item],
+                               dictionary=self.dictionary)
+        return ColumnBlock(self._values[item], mask)
+
+    @classmethod
+    def from_codes(cls, codes: np.ndarray, dictionary: Sequence[str],
+                   null_mask: np.ndarray | None = None) -> "ColumnBlock":
+        """Seal a dictionary-encoded string column from codes.
+
+        ``codes`` must be ``int32``-compatible with ``-1`` marking
+        nulls; ``null_mask`` is derived from the negative codes when
+        not supplied.
+        """
+        codes = np.ascontiguousarray(codes, dtype=np.int32)
+        if null_mask is None and len(codes) and codes.min() < 0:
+            null_mask = codes < 0
+        return cls(None, null_mask, codes=codes,
+                   dictionary=tuple(dictionary))
 
     @classmethod
     def build(cls, dtype: type, values: Sequence[Any]) -> "ColumnBlock":
@@ -88,7 +187,9 @@ class ColumnBlock:
         ``values`` must contain only ``dtype`` instances (plus ``None``
         for nullable columns) — exactly what the schema validators
         produce.  Ints that overflow ``int64`` demote the block to an
-        ``object`` array rather than corrupting values.
+        ``object`` array rather than corrupting values.  String
+        columns dictionary-encode adaptively (see
+        :func:`try_dictionary_encode`).
         """
         has_null = any(v is None for v in values)
         mask: np.ndarray | None = None
@@ -99,6 +200,10 @@ class ColumnBlock:
             fill = _FILL_VALUES[dtype]
             filled = [fill if v is None else v for v in values]
         if dtype is str:
+            encoded = try_dictionary_encode(values)
+            if encoded is not None:
+                codes, dictionary = encoded
+                return cls(None, mask, codes=codes, dictionary=dictionary)
             arr = _object_array(list(values))
             return cls(arr, mask)
         try:
@@ -119,9 +224,16 @@ class ColumnBlock:
 
     @classmethod
     def concat(cls, blocks: Sequence["ColumnBlock"]) -> "ColumnBlock":
-        """Concatenate blocks of one column into a single block."""
+        """Concatenate blocks of one column into a single block.
+
+        All-dictionary inputs concatenate in code space: dictionaries
+        merge in first-occurrence order and codes are remapped with an
+        integer gather, never decoding a string.
+        """
         if len(blocks) == 1:
             return blocks[0]
+        if all(b.codes is not None for b in blocks):
+            return cls._concat_dictionary(blocks)
         if any(b.values.dtype == object for b in blocks):
             values = np.concatenate([
                 b.values if b.values.dtype == object
@@ -140,19 +252,58 @@ class ColumnBlock:
             mask = None
         return cls(values, mask)
 
+    @classmethod
+    def _concat_dictionary(cls, blocks: Sequence["ColumnBlock"]
+                           ) -> "ColumnBlock":
+        """Concatenate dictionary blocks without decoding strings."""
+        merged: dict[str, int] = {}
+        remapped: list[np.ndarray] = []
+        for block in blocks:
+            dictionary = block.dictionary
+            # One extra slot so the null code (-1) remaps to itself via
+            # python's negative indexing.
+            remap = np.empty(len(dictionary) + 1, dtype=np.int32)
+            remap[-1] = -1
+            identical = True
+            for i, value in enumerate(dictionary):
+                code = merged.setdefault(value, len(merged))
+                remap[i] = code
+                identical = identical and code == i
+            remapped.append(block.codes if identical else remap[block.codes])
+        codes = np.concatenate(remapped) if remapped else np.empty(
+            0, dtype=np.int32)
+        if any(b.null_mask is not None for b in blocks):
+            mask = np.concatenate([
+                b.null_mask if b.null_mask is not None
+                else np.zeros(len(b), dtype=np.bool_)
+                for b in blocks
+            ])
+        else:
+            mask = None
+        return cls(None, mask, codes=codes, dictionary=tuple(merged))
+
     def to_pylist(self) -> list[Any]:
         """Logical values as native python objects (``None`` for nulls).
 
         Cached per block; callers must treat the list as read-only.
+        Dictionary blocks decode straight from codes without sealing an
+        intermediate object array.
         """
         cached = self._pylist
         if cached is None:
-            cached = self.values.tolist()
-            if self.null_mask is not None and self.null_mask.any():
+            if self._values is None:
+                dictionary = self.dictionary
                 cached = [
-                    None if null else value
-                    for value, null in zip(cached, self.null_mask.tolist())
+                    None if code < 0 else dictionary[code]
+                    for code in self.codes.tolist()
                 ]
+            else:
+                cached = self.values.tolist()
+                if self.null_mask is not None and self.null_mask.any():
+                    cached = [
+                        None if null else value
+                        for value, null in zip(cached, self.null_mask.tolist())
+                    ]
             self._pylist = cached
         return cached
 
@@ -293,6 +444,32 @@ def slice_batches(blocks: Mapping[str, ColumnBlock], length: int,
         ))
         cursor += size
     return out
+
+
+def factorize_block(block: ColumnBlock) -> tuple[np.ndarray, np.ndarray]:
+    """``np.unique(values, return_inverse=True)``, dictionary-aware.
+
+    For a dictionary block without nulls this never compares a Python
+    string per row: only the *present* codes are sorted (a sliced block
+    shares its parent's full dictionary, so absent entries must not
+    leak into the unique set) and the inverse is an integer gather.
+    The result is element-identical to calling ``np.unique`` on the
+    decoded values — the byte-identity contract of the compute paths
+    rests on that equivalence, which the differential tests pin down.
+    Plain blocks (and nullable ones) fall back to ``np.unique``.
+    """
+    codes = block.codes
+    if codes is None or (block.null_mask is not None
+                         and block.null_mask.any()):
+        return np.unique(block.values, return_inverse=True)
+    dict_arr = _object_array(block.dictionary)
+    present = np.unique(codes)
+    sub = dict_arr[present]
+    order = np.argsort(sub)
+    uniq = sub[order]
+    rank = np.empty(len(dict_arr), dtype=np.intp)
+    rank[present[order]] = np.arange(len(present), dtype=np.intp)
+    return uniq, rank[codes]
 
 
 #: A columnar predicate: receives a read-only mapping of column name →

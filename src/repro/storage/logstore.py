@@ -72,13 +72,21 @@ class LogStore:
         """Entries with ``start <= time < end`` matching all filters.
 
         ``field_filters`` are equality constraints on entry fields;
-        ``predicate`` is an arbitrary extra filter.
+        ``predicate`` is an arbitrary extra filter.  This is a true
+        streaming iterator: entries are yielded straight out of the
+        index range, never copied into an intermediate list, so a
+        fleet-scale range scan holds one entry at a time.  Mutating the
+        store while a query iterator is live is undefined (like
+        mutating a dict mid-iteration) — exhaust or drop the iterator
+        first.
         """
         if end < start:
             raise ValueError(f"query range reversed: [{start}, {end})")
         lo = bisect.bisect_left(self._times, start)
         hi = bisect.bisect_left(self._times, end)
-        for entry in self._entries[lo:hi]:
+        entries = self._entries
+        for index in range(lo, hi):
+            entry = entries[index]
             if field_filters and any(
                 entry.get(key) != value for key, value in field_filters.items()
             ):

@@ -6,19 +6,23 @@ restarts (and so experiments can checkpoint their tables).  Schemas
 are serialized alongside the data; unknown dtypes are rejected rather
 than silently coerced.
 
-Two on-disk layouts exist for table stores:
+Three on-disk layouts exist for table stores:
 
 * **v1 (legacy, row-major)** — one JSON object per table with
   ``partitions`` as lists of row dicts.  Still readable (and writable
   via ``layout="rows"``) for backward compatibility.
-* **v2 (columnar)** — the current default: an envelope
+* **v2 (columnar)** — an envelope
   ``{"format": "repro-table-store", "version": 2, ...}`` whose
   partitions store column-major value lists (``null`` for masked
   slots), mirroring the in-memory typed column blocks.  Loading goes
   through the vectorized columnar schema validation.
+* **v3 (chunked)** — an offset-indexed JSONL stream
+  (:mod:`repro.storage.chunked`, ``layout="chunked"``) whose
+  partitions load lazily chunk-by-chunk; the out-of-core format for
+  fleet-scale stores.
 
-:func:`load_table_store` auto-detects the layout, so existing row-major
-files keep loading after the migration.
+:func:`load_table_store` auto-detects the layout, so existing files
+keep loading after each migration.
 """
 
 from __future__ import annotations
@@ -28,39 +32,23 @@ import os
 from pathlib import Path
 from typing import Any
 
+from repro.storage.chunked import (
+    CHUNKED_VERSION,
+    DEFAULT_CHUNK_ROWS,
+    STORE_FORMAT,
+    load_table_store_chunked,
+    save_table_store_chunked,
+)
 from repro.storage.configdb import ConfigDB
-from repro.storage.schema import Column, Schema, SchemaError
+from repro.storage.schema import schema_from_dict, schema_to_dict
 from repro.storage.table import Table, TableStore
 
-_DTYPE_NAMES = {str: "str", int: "int", float: "float", bool: "bool"}
-_DTYPES_BY_NAME = {name: dtype for dtype, name in _DTYPE_NAMES.items()}
-
-#: Envelope marker + current version of the columnar layout.
-STORE_FORMAT = "repro-table-store"
+#: Version of the single-file columnar layout.
 COLUMNAR_VERSION = 2
 
-
-def _schema_to_dict(schema: Schema) -> list[dict[str, Any]]:
-    columns = []
-    for column in schema.columns:
-        name = _DTYPE_NAMES.get(column.dtype)
-        if name is None:
-            raise SchemaError(
-                f"column {column.name!r} has non-serializable dtype "
-                f"{column.dtype!r}"
-            )
-        columns.append({
-            "name": column.name, "dtype": name, "nullable": column.nullable,
-        })
-    return columns
-
-
-def _schema_from_dict(data: list[dict[str, Any]]) -> Schema:
-    return Schema([
-        Column(entry["name"], _DTYPES_BY_NAME[entry["dtype"]],
-               nullable=bool(entry.get("nullable", False)))
-        for entry in data
-    ])
+# Private aliases kept for callers of the historical helper names.
+_schema_to_dict = schema_to_dict
+_schema_from_dict = schema_from_dict
 
 
 def _columnar_partition_payload(table: Table, partition: str) -> dict[str, Any]:
@@ -85,22 +73,35 @@ def _write_text(path: str | Path, text: str, atomic: bool) -> None:
         target.write_text(text)
         return
     scratch = target.with_name(target.name + ".tmp")
-    scratch.write_text(text)
+    with open(scratch, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        # Without the fsync, ``os.replace`` can publish a name whose
+        # data blocks are still unflushed — a crash right after the
+        # rename would surface an empty or truncated "atomic" file.
+        os.fsync(handle.fileno())
     os.replace(scratch, target)
 
 
 def save_table_store(store: TableStore, path: str | Path, *,
-                     layout: str = "columnar", atomic: bool = False) -> None:
+                     layout: str = "columnar", atomic: bool = False,
+                     chunk_rows: int = DEFAULT_CHUNK_ROWS) -> None:
     """Serialize every table (schema + partitions) to one JSON file.
 
     ``layout="columnar"`` (default) writes the versioned column-major
-    format; ``layout="rows"`` writes the legacy v1 row-major layout for
+    format; ``layout="chunked"`` writes the offset-indexed v3 JSONL
+    stream (``chunk_rows`` rows per chunk record) that loads lazily;
+    ``layout="rows"`` writes the legacy v1 row-major layout for
     consumers that have not migrated.  ``atomic=True`` writes through a
-    temp file + rename so a kill mid-save cannot corrupt an existing
-    file.  Output is deterministic: tables and partitions are emitted
-    in sorted order, so saving an unchanged store reproduces the file
-    byte for byte.
+    temp file + fsync + rename so a kill mid-save cannot corrupt an
+    existing file.  Output is deterministic: tables and partitions are
+    emitted in sorted order, so saving an unchanged store reproduces
+    the file byte for byte.
     """
+    if layout == "chunked":
+        save_table_store_chunked(store, path, chunk_rows=chunk_rows,
+                                 atomic=atomic)
+        return
     if layout == "rows":
         payload: dict[str, Any] = {}
         for name in store.names():
@@ -161,16 +162,29 @@ def _load_columnar_store(payload: dict[str, Any],
 def load_table_store(path: str | Path) -> TableStore:
     """Inverse of :func:`save_table_store`; data is re-validated.
 
-    Auto-detects the layout: versioned columnar envelopes load through
-    the vectorized column validation, legacy row-major files (v1)
-    through the row validators.  Empty partitions survive either way.
+    Auto-detects the layout: chunked v3 files open lazily through
+    :func:`~repro.storage.chunked.load_table_store_chunked`, versioned
+    columnar envelopes (v2) load through the vectorized column
+    validation, and legacy row-major files (v1) through the row
+    validators.  Empty partitions survive every layout.
     """
-    payload = json.loads(Path(path).read_text())
-    if isinstance(payload.get("format"), str):
+    target = Path(path)
+    # v2/v1 files are one JSON line, v3 files put their envelope on the
+    # first line — so one readline classifies every layout we write
+    # without reading a fleet-scale file whole.
+    with open(target, encoding="utf-8") as handle:
+        first = handle.readline()
+    try:
+        payload = json.loads(first)
+    except json.JSONDecodeError:
+        payload = json.loads(target.read_text())
+    if isinstance(payload, dict) and isinstance(payload.get("format"), str):
         if payload["format"] != STORE_FORMAT:
             raise ValueError(
                 f"unknown table-store format {payload['format']!r} in {path}"
             )
+        if payload.get("version") == CHUNKED_VERSION:
+            return load_table_store_chunked(target)
         return _load_columnar_store(payload, path)
     store = TableStore()
     for name, table_data in payload.items():

@@ -201,6 +201,38 @@ class Schema:
         return blocks, length
 
 
+#: dtype ↔ on-disk name mapping shared by every persistence layout.
+DTYPE_NAMES: Mapping[type, str] = {
+    str: "str", int: "int", float: "float", bool: "bool",
+}
+_DTYPES_BY_NAME = {name: dtype for dtype, name in DTYPE_NAMES.items()}
+
+
+def schema_to_dict(schema: Schema) -> list[dict[str, Any]]:
+    """Serialize a schema to the JSON column list used on disk."""
+    columns = []
+    for column in schema.columns:
+        name = DTYPE_NAMES.get(column.dtype)
+        if name is None:
+            raise SchemaError(
+                f"column {column.name!r} has non-serializable dtype "
+                f"{column.dtype!r}"
+            )
+        columns.append({
+            "name": column.name, "dtype": name, "nullable": column.nullable,
+        })
+    return columns
+
+
+def schema_from_dict(data: list[dict[str, Any]]) -> Schema:
+    """Inverse of :func:`schema_to_dict`."""
+    return Schema([
+        Column(entry["name"], _DTYPES_BY_NAME[entry["dtype"]],
+               nullable=bool(entry.get("nullable", False)))
+        for entry in data
+    ])
+
+
 #: Compiled validators memoized by column signature: the pipeline
 #: creates the same schemas (events, vm_cdi, event_cdi, ...) once per
 #: job, and ``exec``-compiling the loop each time would dominate job

@@ -170,6 +170,18 @@ class Table:
         self._bump_generation(partition)
         return length
 
+    def attach_partition(self, partition: str,
+                         stored: ColumnarPartition) -> None:
+        """Install a pre-built partition object (loader hook).
+
+        The chunked persistence loader attaches lazily-materializing
+        partitions here instead of round-tripping values through the
+        validators eagerly; ``stored`` must already match the table
+        schema.  Counts as a mutation of ``partition``.
+        """
+        self._partitions[partition] = stored
+        self._bump_generation(partition)
+
     def drop_partition(self, partition: str) -> None:
         """Remove one partition; missing partitions are a no-op."""
         if self._partitions.pop(partition, None) is not None:
@@ -288,12 +300,23 @@ class Table:
             )
         blocks = self._load_blocks(partition, names)
         return {
-            name: ColumnBlock(
-                block.values[mask],
-                block.null_mask[mask] if block.null_mask is not None else None,
-            )
+            name: self._apply_mask(block, mask)
             for name, block in blocks.items()
         }
+
+    @staticmethod
+    def _apply_mask(block: ColumnBlock, mask: np.ndarray) -> ColumnBlock:
+        """Filter one block by a boolean row mask.
+
+        Dictionary-encoded blocks filter in code space so predicates
+        never force a string decode.
+        """
+        null_mask = (block.null_mask[mask]
+                     if block.null_mask is not None else None)
+        if block.codes is not None:
+            return ColumnBlock(None, null_mask, codes=block.codes[mask],
+                               dictionary=block.dictionary)
+        return ColumnBlock(block.values[mask], null_mask)
 
     def column_batches(self, partition: str | None = None,
                        names: Sequence[str] | None = None, *,

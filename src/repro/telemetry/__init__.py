@@ -3,6 +3,8 @@
 * :mod:`repro.telemetry.topology` — regions/AZs/clusters/NCs/VMs.
 * :mod:`repro.telemetry.faults` — fault ground truth and Poisson
   injection.
+* :mod:`repro.telemetry.fleetgen` — shard-parallel generator-based
+  fault production for out-of-core fleet scales.
 * :mod:`repro.telemetry.metrics` — seasonal metric series with fault
   overlays.
 * :mod:`repro.telemetry.logs` — log rendering (NIC flaps, panics, ...).
@@ -16,6 +18,12 @@ from repro.telemetry.faults import (
     FaultKind,
     FaultRate,
     baseline_rates,
+)
+from repro.telemetry.fleetgen import (
+    FleetShard,
+    iter_fleet_faults,
+    shard_faults,
+    split_fleet,
 )
 from repro.telemetry.logs import LogGenerator, LogLine, render_fault_logs
 from repro.telemetry.metrics import (
@@ -69,6 +77,7 @@ __all__ = [
     "FaultKind",
     "FaultRate",
     "Fleet",
+    "FleetShard",
     "HEARTBEAT",
     "LogGenerator",
     "LogLine",
@@ -89,6 +98,9 @@ __all__ = [
     "build_fleet",
     "build_power_topology",
     "check_consistency",
+    "iter_fleet_faults",
     "render_fault_logs",
+    "shard_faults",
+    "split_fleet",
     "ticket_counts_by_event",
 ]

@@ -1,0 +1,122 @@
+"""Shard-parallel, generator-based fleet fault production.
+
+A 100k-VM day cannot be sampled the way the scenario runners do it —
+one :class:`~repro.telemetry.faults.FaultInjector` pass over the whole
+fleet materializes every fault (and every derived event) at once.
+This module produces the same kind of ground truth **per VM shard**:
+the fleet is split into the exact contiguous shards the checkpointed
+daily job uses, each shard gets its own independently-seeded injector,
+and a generator yields one shard's faults at a time so the consumer
+can ingest, compute, and release a shard before the next one exists.
+
+Two properties make this usable for out-of-core pipelines:
+
+* **Shard determinism** — a shard's faults depend only on
+  ``(seed, shard index, shard targets, rates, window)``.  Generating
+  shard ``k`` alone yields byte-identical faults to shard ``k`` of a
+  full-fleet pass, which is what lets a resumed (or distributed) run
+  regenerate just the shards it needs.
+* **Split compatibility** — :func:`split_fleet` reproduces the daily
+  job's contiguous balanced shard split and unit labels
+  (``shard-0000``, ...) without importing the pipeline layer, so
+  events ingested per shard line up one-to-one with the VM shards that
+  ``run_checkpointed(..., sharded_events=True)`` will compute.  The
+  duplication is deliberate (telemetry must stay importable without
+  the pipeline); a test pins the two implementations to each other.
+
+Faults, not events, are yielded: turning a fault into a catalog event
+(name, severity, duration attribute) is scenario policy, so callers
+pass each shard's faults through e.g.
+:func:`repro.scenarios.common.fault_to_period`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.telemetry.faults import Fault, FaultInjector, FaultRate
+
+
+@dataclass(frozen=True, slots=True)
+class FleetShard:
+    """One contiguous VM shard of the fleet.
+
+    ``unit`` matches the daily job's checkpoint shard labels, so a
+    shard's events can be routed straight into the matching per-shard
+    events partition.
+    """
+
+    index: int
+    unit: str
+    targets: tuple[str, ...]
+
+
+def shard_unit(index: int) -> str:
+    """Label of shard ``index`` (pipeline-compatible: ``shard-0000``)."""
+    return f"shard-{index:04d}"
+
+
+def split_fleet(targets: Sequence[str], shards: int) -> list[FleetShard]:
+    """Split ``targets`` into contiguous balanced shards.
+
+    Mirrors the checkpointed daily job's split exactly: ``len(targets)
+    // shards`` targets per shard with the first ``len(targets) %
+    shards`` shards one larger, never more shards than targets, and at
+    least one (possibly empty-fleet) shard.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    parts = min(shards, len(targets)) or 1
+    base, extra = divmod(len(targets), parts)
+    out: list[FleetShard] = []
+    cursor = 0
+    for index in range(parts):
+        size = base + (1 if index < extra else 0)
+        out.append(FleetShard(
+            index=index, unit=shard_unit(index),
+            targets=tuple(targets[cursor:cursor + size]),
+        ))
+        cursor += size
+    return out
+
+
+def _shard_seed(seed: int, index: int) -> int:
+    """Decorrelated per-shard seed (splitmix64 finalizer).
+
+    Adjacent ``(seed, index)`` pairs must not produce adjacent RNG
+    states, and the mix must be a pure function of its inputs so shard
+    regeneration stays deterministic across runs and processes.
+    """
+    mask = (1 << 64) - 1
+    z = (seed * 0x9E3779B97F4A7C15 + index + 0x9E3779B97F4A7C15) & mask
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & mask
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & mask
+    return (z ^ (z >> 31)) & mask
+
+
+def shard_faults(shard: FleetShard, rates: Sequence[FaultRate],
+                 start: float, end: float, *, seed: int = 0) -> list[Fault]:
+    """Sample one shard's faults with its own decorrelated injector.
+
+    A fresh :class:`FaultInjector` seeded from ``(seed, shard.index)``
+    samples only this shard's targets, so the result is independent of
+    every other shard — the whole point: any shard can be (re)generated
+    in isolation, in any order, on any worker.
+    """
+    injector = FaultInjector(rates, seed=_shard_seed(seed, shard.index))
+    return injector.sample(shard.targets, start, end)
+
+
+def iter_fleet_faults(targets: Sequence[str], shards: int,
+                      rates: Sequence[FaultRate], start: float, end: float,
+                      *, seed: int = 0
+                      ) -> Iterator[tuple[FleetShard, list[Fault]]]:
+    """Generate ``(shard, faults)`` pairs one shard at a time.
+
+    The generator holds one shard's faults at a time — consuming it
+    with ingest-then-release keeps peak memory proportional to the
+    largest shard, not the fleet.
+    """
+    for shard in split_fleet(targets, shards):
+        yield shard, shard_faults(shard, rates, start, end, seed=seed)

@@ -1,0 +1,190 @@
+"""Out-of-core differential suite: sharded events + spill staging.
+
+The fleet-scale ingestion path (events spilled to disk per VM-shard
+partition, computed shard by shard with ``sharded_events=True``) must
+be invisible in the outputs: every compute path produces tables
+byte-identical to a plain whole-day :meth:`DailyCdiJob.run`, and the
+chunked v3 persistence of those outputs round-trips losslessly.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core.events import Event, Severity, default_catalog
+from repro.core.indicator import ServicePeriod
+from repro.core.weights import expert_only_config
+from repro.engine.dataset import EngineContext
+from repro.pipeline.checkpoint import JobCheckpoint, shard_units
+from repro.pipeline.daily import DailyCdiJob
+from repro.pipeline.tables import EVENTS_TABLE, events_schema
+from repro.storage import SpillTable
+from repro.storage.configdb import ConfigDB
+from repro.storage.persistence import load_table_store, save_table_store
+from repro.storage.table import TableStore
+from repro.telemetry.fleetgen import split_fleet
+
+DAY = 86400.0
+PARTITION = "d0"
+SHARDS = 4
+VM_COUNT = 24
+
+ALL_PATHS = [(True, True), (True, False), (False, False)]
+
+
+def make_fleet_events(seed: int = 11) -> list[Event]:
+    """A day with stateless, null-duration, and stateful paired events."""
+    rng = random.Random(seed)
+    names = ["vm_down", "slow_io", "vm_start_failed", "nic_flap"]
+    levels = [Severity.WARNING, Severity.CRITICAL, Severity.FATAL]
+    events = []
+    for index in range(VM_COUNT):
+        vm = f"vm-{index:03d}"
+        for _ in range(rng.randrange(5)):
+            attributes = (
+                {} if rng.random() < 0.3
+                else {"duration": rng.uniform(60.0, 7200.0)}
+            )
+            events.append(Event(
+                name=rng.choice(names), time=rng.uniform(0.0, DAY),
+                target=vm, expire_interval=600.0,
+                level=rng.choice(levels), attributes=attributes,
+            ))
+        if rng.random() < 0.5:
+            start = rng.uniform(0.0, DAY / 2)
+            events.append(Event(
+                name="ddos_blackhole_add", time=start, target=vm,
+                expire_interval=3600.0, level=Severity.FATAL,
+            ))
+            if rng.random() < 0.7:
+                events.append(Event(
+                    name="ddos_blackhole_del",
+                    time=start + rng.uniform(60.0, 7200.0), target=vm,
+                    expire_interval=3600.0, level=Severity.FATAL,
+                ))
+    return events
+
+
+def make_services() -> dict[str, ServicePeriod]:
+    return {
+        f"vm-{index:03d}": ServicePeriod(0.0, DAY)
+        for index in range(VM_COUNT)
+    }
+
+
+def make_job(store: TableStore | None = None) -> DailyCdiJob:
+    job = DailyCdiJob(EngineContext(parallelism=2),
+                      store if store is not None else TableStore(),
+                      ConfigDB(), default_catalog())
+    job.store_weights(expert_only_config())
+    return job
+
+
+def output_bytes(job: DailyCdiJob) -> bytes:
+    vm_rows, event_rows = job.output_rows(PARTITION)
+    return json.dumps([vm_rows, event_rows], sort_keys=True).encode()
+
+
+def ingest_sharded(job: DailyCdiJob, events: list[Event],
+                   services: dict[str, ServicePeriod]) -> None:
+    """Route each event into the shard partition owning its target VM,
+    using the same contiguous split ``run_checkpointed`` will use."""
+    unit_of = {
+        vm: shard.unit
+        for shard in split_fleet(sorted(services), SHARDS)
+        for vm in shard.targets
+    }
+    by_unit: dict[str, list[Event]] = {}
+    for event in events:
+        by_unit.setdefault(unit_of[event.target], []).append(event)
+    for unit in shard_units(SHARDS):
+        job.ingest_events(by_unit.get(unit, []), PARTITION, unit=unit)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return make_fleet_events(), make_services()
+
+
+@pytest.fixture(scope="module")
+def plain_outputs(fleet):
+    """Whole-day, in-memory reference bytes per compute path."""
+    events, services = fleet
+    outputs = {}
+    for fast, columnar in ALL_PATHS:
+        job = make_job()
+        job.ingest_events(events, PARTITION)
+        job.run(PARTITION, services, use_fastpath=fast,
+                use_columnar=columnar)
+        outputs[(fast, columnar)] = output_bytes(job)
+    return outputs
+
+
+def spill_store(tmp_path) -> tuple[TableStore, SpillTable]:
+    store = TableStore()
+    table = SpillTable(EVENTS_TABLE, events_schema(),
+                       spool_dir=tmp_path / "spool", spill_bytes=512)
+    store.add(table)
+    return store, table
+
+
+class TestOutOfCoreDifferential:
+    def test_plain_paths_agree(self, plain_outputs):
+        assert len(set(plain_outputs.values())) == 1
+
+    @pytest.mark.parametrize("fast,columnar", ALL_PATHS)
+    def test_byte_identical_on_every_compute_path(self, tmp_path, fleet,
+                                                  plain_outputs, fast,
+                                                  columnar):
+        events, services = fleet
+        store, table = spill_store(tmp_path)
+        job = make_job(store)
+        ingest_sharded(job, events, services)
+        spilled = sum(
+            table._partitions[part].spilled_rows
+            for part in table.partitions
+        )
+        assert spilled > 0  # the day really staged on disk
+        job.run_checkpointed(
+            PARTITION, services,
+            checkpoint=JobCheckpoint(tmp_path / "ck.json"),
+            shards=SHARDS, sharded_events=True,
+            use_fastpath=fast, use_columnar=columnar,
+        )
+        assert output_bytes(job) == plain_outputs[(fast, columnar)]
+
+    def test_sharded_events_fingerprint_is_distinct(self, fleet):
+        _, services = fleet
+        job = make_job()
+        plain = job.checkpoint_fingerprint(PARTITION, services,
+                                           shards=SHARDS)
+        sharded = job.checkpoint_fingerprint(PARTITION, services,
+                                             shards=SHARDS,
+                                             sharded_events=True)
+        assert plain != sharded
+
+    def test_outputs_survive_chunked_persistence(self, tmp_path, fleet,
+                                                 plain_outputs):
+        """Spill-staged compute → v3 save → lazy load → identical rows,
+        and a v2 re-save of the lazy store is byte-stable."""
+        events, services = fleet
+        store, _ = spill_store(tmp_path)
+        job = make_job(store)
+        ingest_sharded(job, events, services)
+        job.run_checkpointed(
+            PARTITION, services,
+            checkpoint=JobCheckpoint(tmp_path / "ck.json"),
+            shards=SHARDS, sharded_events=True,
+        )
+        path = tmp_path / "store.v3.jsonl"
+        save_table_store(store, path, layout="chunked", chunk_rows=7)
+        restored = load_table_store(path)
+        for name in ("vm_cdi", "event_cdi"):
+            assert (restored.get(name).rows(partition=PARTITION)
+                    == store.get(name).rows(partition=PARTITION))
+        direct = tmp_path / "direct.json"
+        lazy = tmp_path / "lazy.json"
+        save_table_store(store, direct)
+        save_table_store(restored, lazy)
+        assert direct.read_bytes() == lazy.read_bytes()

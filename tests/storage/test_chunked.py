@@ -1,0 +1,341 @@
+"""Tests for the chunked v3 layout and spill-to-disk tables."""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.storage.chunked import (
+    LazyChunkPartition,
+    SpillTable,
+    load_table_store_chunked,
+    save_table_store_chunked,
+)
+from repro.storage.persistence import load_table_store, save_table_store
+from repro.storage.schema import Column, Schema
+from repro.storage.table import Table, TableStore
+
+
+def sample_schema() -> Schema:
+    return Schema([
+        Column("vm", str), Column("cdi", float),
+        Column("note", str, nullable=True), Column("n", int),
+    ])
+
+
+def sample_rows(count: int, offset: int = 0) -> list[dict]:
+    return [
+        {
+            "vm": f"vm-{(offset + i) % 5}",
+            "cdi": (offset + i) / 7.0,
+            "note": None if i % 3 == 0 else f"note-{i % 4}",
+            "n": offset + i,
+        }
+        for i in range(count)
+    ]
+
+
+def make_store(rows: int = 20) -> TableStore:
+    store = TableStore()
+    table = store.create("t", sample_schema())
+    table.append(sample_rows(rows), partition="d1")
+    table.append(sample_rows(rows // 2, offset=100), partition="d2")
+    store.create("empty", Schema([Column("k", int)]))
+    return store
+
+
+def store_rows(store: TableStore) -> dict:
+    return {
+        name: {
+            partition: store.get(name).rows(partition=partition)
+            for partition in store.get(name).partitions
+        }
+        for name in store.names()
+    }
+
+
+class TestChunkedRoundtrip:
+    def test_roundtrip_equals_original(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        original = make_store()
+        save_table_store_chunked(original, path, chunk_rows=3)
+        restored = load_table_store_chunked(path)
+        assert store_rows(restored) == store_rows(original)
+        assert restored.get("t").schema.column("note").nullable
+        assert restored.get("empty").count() == 0
+
+    def test_autodetected_by_generic_loader(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        save_table_store(make_store(), path, layout="chunked", chunk_rows=4)
+        restored = load_table_store(path)
+        assert store_rows(restored) == store_rows(make_store())
+
+    def test_envelope_on_disk(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        save_table_store_chunked(make_store(), path, chunk_rows=3)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["format"] == "repro-table-store"
+        assert header["version"] == 3
+        assert header["layout"] == "chunked"
+        assert json.loads(lines[-1])["record"] == "footer"
+        # 20 rows at 3 per chunk -> 7 chunks for d1.
+        footer = json.loads(lines[-1])
+        assert len(footer["index"]["t"]["d1"]["chunks"]) == 7
+
+    def test_deterministic_bytes(self, tmp_path):
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        save_table_store_chunked(make_store(), first, chunk_rows=3)
+        save_table_store_chunked(make_store(), second, chunk_rows=3)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_string_columns_persist_as_codes(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        save_table_store_chunked(make_store(), path, chunk_rows=100)
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        partition = next(r for r in records
+                         if r.get("record") == "partition"
+                         and r["partition"] == "d1")
+        assert set(partition["dictionaries"]) == {"vm", "note"}
+        chunk = next(r for r in records
+                     if r.get("record") == "chunk" and r["partition"] == "d1")
+        assert all(isinstance(code, int) for code in chunk["columns"]["vm"])
+
+    def test_atomic_save_leaves_no_scratch(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        save_table_store(make_store(), path, layout="chunked", atomic=True)
+        assert not (tmp_path / "store.jsonl.tmp").exists()
+        assert store_rows(load_table_store(path)) == store_rows(make_store())
+
+
+class TestLazyLoading:
+    def test_partitions_attach_lazily(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        save_table_store_chunked(make_store(), path, chunk_rows=3)
+        table = load_table_store_chunked(path).get("t")
+        part = table._partitions["d1"]
+        assert isinstance(part, LazyChunkPartition)
+        # Row counts come from the footer — no column touched yet.
+        assert table.count("d1") == 20
+        assert part._pending == {"vm", "cdi", "note", "n"}
+
+    def test_only_requested_columns_materialize(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        save_table_store_chunked(make_store(), path, chunk_rows=3)
+        table = load_table_store_chunked(path).get("t")
+        part = table._partitions["d1"]
+        block = part.block("cdi")
+        assert block.to_pylist() == [i / 7.0 for i in range(20)]
+        assert "cdi" not in part._pending
+        assert {"vm", "note", "n"} <= part._pending
+
+    def test_loaded_dictionary_column_stays_encoded(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        save_table_store_chunked(make_store(), path, chunk_rows=3)
+        table = load_table_store_chunked(path).get("t")
+        block = table._partitions["d1"].block("vm")
+        assert block.is_dictionary
+        assert block.to_pylist() == [f"vm-{i % 5}" for i in range(20)]
+
+    def test_append_after_lazy_load(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        save_table_store_chunked(make_store(), path, chunk_rows=3)
+        table = load_table_store_chunked(path).get("t")
+        table.append([{"vm": "vm-x", "cdi": 9.0, "note": None, "n": 999}],
+                     partition="d1")
+        assert table.count("d1") == 21
+        assert table.rows(partition="d1")[-1]["n"] == 999
+
+
+class TestCorruptionDetection:
+    def save(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        save_table_store_chunked(make_store(), path, chunk_rows=3)
+        return path
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = self.save(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])  # crash mid-footer
+        with pytest.raises(ValueError, match="truncated"):
+            load_table_store_chunked(path)
+
+    def test_missing_footer_rejected(self, tmp_path):
+        path = self.save(tmp_path)
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:-1]))  # crash before the footer
+        with pytest.raises(ValueError, match="truncated or corrupt"):
+            load_table_store_chunked(path)
+
+    def test_corrupt_chunk_record_rejected(self, tmp_path):
+        path = self.save(tmp_path)
+        # Same-length mutation keeps every byte offset valid.
+        data = path.read_bytes().replace(
+            b'"record": "chunk"', b'"record": "chonk"', 1
+        )
+        path.write_bytes(data)
+        store = load_table_store_chunked(path)  # header+footer still fine
+        with pytest.raises(ValueError, match="expected a chunk record"):
+            store.get("t").rows(partition="d1")
+
+    def test_footer_row_count_mismatch_rejected(self, tmp_path):
+        path = self.save(tmp_path)
+        lines = path.read_text().splitlines()
+        footer = json.loads(lines[-1])
+        footer["index"]["t"]["d1"]["chunks"] = (
+            footer["index"]["t"]["d1"]["chunks"][:-1]
+        )
+        path.write_text("\n".join(lines[:-1] + [json.dumps(footer)]) + "\n")
+        store = load_table_store_chunked(path)
+        with pytest.raises(ValueError, match="footer declares"):
+            store.get("t").rows(partition="d1")
+
+    def test_code_out_of_dictionary_rejected(self, tmp_path):
+        path = self.save(tmp_path)
+        lines = path.read_text().splitlines()
+        # Shrink d1's vm dictionary to one entry; codes now overflow it.
+        # The partition record is shortened, so rebuild the offsets by
+        # rewriting every line and a fresh footer.
+        records = [json.loads(line) for line in lines]
+        for record in records:
+            if (record.get("record") == "partition"
+                    and record["partition"] == "d1"):
+                record["dictionaries"]["vm"] = ["vm-0"]
+        footer = records[-1]
+        body = records[:-1]
+        rewritten = path.with_name("rewritten.jsonl")
+        with open(rewritten, "w", encoding="utf-8") as handle:
+            offsets = []
+            for position, record in enumerate(body):
+                if position > 0:  # skip the header line
+                    offsets.append(handle.tell())
+                handle.write(json.dumps(record) + "\n")
+            index = footer["index"]
+            cursor = 0
+            for name in index:
+                for partition, entry in index[name].items():
+                    entry["offset"] = offsets[cursor]
+                    entry["chunks"] = offsets[
+                        cursor + 1:cursor + 1 + len(entry["chunks"])
+                    ]
+                    cursor += 1 + len(entry["chunks"])
+            handle.write(json.dumps(footer) + "\n")
+        store = load_table_store_chunked(rewritten)
+        with pytest.raises(ValueError, match="outside its dictionary"):
+            store.get("t").rows(partition="d1")
+
+
+class TestChunkedProperty:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c", "dd"]),
+                st.floats(allow_nan=False, allow_infinity=False),
+                st.one_of(st.none(), st.text(alphabet="xyz", max_size=3)),
+                st.integers(min_value=-(2**40), max_value=2**40),
+            ),
+            max_size=50,
+        ),
+        chunk_rows=st.integers(min_value=1, max_value=64),
+    )
+    def test_chunked_load_equals_whole_store_load(self, tmp_path, rows,
+                                                  chunk_rows):
+        """Arbitrary chunk sizes produce the same logical store as the
+        whole-file columnar layout."""
+        store = TableStore()
+        table = store.create("t", sample_schema())
+        table.append([
+            {"vm": vm, "cdi": cdi, "note": note, "n": n}
+            for vm, cdi, note, n in rows
+        ], partition="day")
+        chunked = tmp_path / "chunked.jsonl"
+        whole = tmp_path / "whole.json"
+        save_table_store(store, chunked, layout="chunked",
+                         chunk_rows=chunk_rows)
+        save_table_store(store, whole)
+        assert (store_rows(load_table_store(chunked))
+                == store_rows(load_table_store(whole))
+                == store_rows(store))
+
+
+class TestSpillTable:
+    def fill(self, table: Table, batches: int = 6, batch_rows: int = 8):
+        for batch in range(batches):
+            table.append(sample_rows(batch_rows, offset=batch * batch_rows),
+                         partition="d1")
+
+    def test_matches_plain_table(self, tmp_path):
+        plain = Table("t", sample_schema())
+        spill = SpillTable("t", sample_schema(), spool_dir=tmp_path,
+                           spill_bytes=512)
+        self.fill(plain)
+        self.fill(spill)
+        part = spill._partitions["d1"]
+        assert part.spilled_rows > 0  # pressure actually spilled
+        assert part.spool_path.exists()
+        assert spill.count("d1") == plain.count("d1")
+        assert spill.rows(partition="d1") == plain.rows(partition="d1")
+        columns = spill.columns("d1")
+        for name, block in plain.columns("d1").items():
+            assert columns[name].to_pylist() == block.to_pylist()
+
+    def test_spilled_dictionary_columns_roundtrip(self, tmp_path):
+        spill = SpillTable("t", sample_schema(), spool_dir=tmp_path,
+                           spill_bytes=256)
+        self.fill(spill)
+        block = spill.columns("d1")["vm"]
+        assert block.is_dictionary
+        assert block.to_pylist() == [
+            row["vm"] for row in spill.rows(partition="d1")
+        ]
+
+    def test_below_threshold_never_spills(self, tmp_path):
+        spill = SpillTable("t", sample_schema(), spool_dir=tmp_path,
+                           spill_bytes=1 << 20)
+        spill.append(sample_rows(4), partition="d1")
+        part = spill._partitions["d1"]
+        assert part.spilled_rows == 0
+        assert not part.spool_path.exists()
+
+    def test_drop_partition_removes_spool(self, tmp_path):
+        spill = SpillTable("t", sample_schema(), spool_dir=tmp_path,
+                           spill_bytes=256)
+        self.fill(spill)
+        spool = spill._partitions["d1"].spool_path
+        assert spool.exists()
+        spill.drop_partition("d1")
+        assert not spool.exists()
+
+    def test_overwrite_partition_resets_spool(self, tmp_path):
+        spill = SpillTable("t", sample_schema(), spool_dir=tmp_path,
+                           spill_bytes=256)
+        self.fill(spill)
+        old_spool = spill._partitions["d1"].spool_path
+        spill.overwrite_partition(sample_rows(2), partition="d1")
+        assert not old_spool.exists()
+        assert spill.count("d1") == 2
+
+    def test_close_removes_every_spool(self, tmp_path):
+        spill = SpillTable("t", sample_schema(), spool_dir=tmp_path,
+                           spill_bytes=256)
+        self.fill(spill)
+        spill.append(sample_rows(40), partition="d2")
+        spill.close()
+        assert not list(tmp_path.glob("*.spool.jsonl"))
+
+    def test_spill_table_persists_through_chunked_layout(self, tmp_path):
+        store = TableStore()
+        spill = SpillTable("t", sample_schema(),
+                           spool_dir=tmp_path / "spool", spill_bytes=256)
+        store.add(spill)
+        self.fill(spill)
+        path = tmp_path / "store.jsonl"
+        save_table_store(store, path, layout="chunked", chunk_rows=5)
+        restored = load_table_store(path)
+        assert restored.get("t").rows(partition="d1") == spill.rows(
+            partition="d1"
+        )

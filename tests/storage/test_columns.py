@@ -7,7 +7,9 @@ from repro.storage.columns import (
     ColumnBatch,
     ColumnBlock,
     ColumnarPartition,
+    factorize_block,
     slice_batches,
+    try_dictionary_encode,
 )
 
 
@@ -150,3 +152,106 @@ class TestSliceBatches:
         assert list(batch.rows()) == [
             {"vm": "a", "value": 0.1}, {"vm": "b", "value": None},
         ]
+
+
+class TestDictionaryEncoding:
+    def test_build_str_dictionary_encodes(self):
+        values = ["a", "b", "a", "a", "b"] * 4
+        block = ColumnBlock.build(str, values)
+        assert block.is_dictionary
+        assert block.dictionary == ("a", "b")  # first-occurrence order
+        assert block.codes.dtype == np.int32
+        assert block.to_pylist() == values
+
+    def test_nullable_dictionary_roundtrip(self):
+        values = ["x", None, "y", "x", None] * 4
+        block = ColumnBlock.build(str, values)
+        assert block.is_dictionary
+        assert block.null_mask is not None
+        assert block.codes.tolist().count(-1) == 8
+        assert block.to_pylist() == values
+
+    def test_high_cardinality_stays_plain(self):
+        # 64 distinct values in 64 rows exceeds max(16, n // 2).
+        block = ColumnBlock.build(str, [f"v{i:02d}" for i in range(64)])
+        assert not block.is_dictionary
+        assert block.codes is None
+
+    def test_try_encode_respects_limit(self):
+        assert try_dictionary_encode(["a", "b", "c"], limit=2) is None
+        encoded = try_dictionary_encode(["a", "b", "a"], limit=2)
+        assert encoded is not None
+        codes, dictionary = encoded
+        assert codes.tolist() == [0, 1, 0]
+        assert dictionary == ("a", "b")
+
+    def test_from_codes_derives_null_mask(self):
+        block = ColumnBlock.from_codes(
+            np.array([0, -1, 1], dtype=np.int32), ("a", "b")
+        )
+        assert block.null_mask is not None
+        assert block.null_mask.tolist() == [False, True, False]
+        assert block.to_pylist() == ["a", None, "b"]
+
+    def test_slice_stays_in_code_space(self):
+        block = ColumnBlock.build(str, ["a", "b", "a", "c"] * 4)
+        window = block[1:3]
+        assert window.is_dictionary
+        assert window.dictionary == block.dictionary
+        assert window.codes.base is not None  # zero-copy
+        assert window.to_pylist() == ["b", "a"]
+
+    def test_concat_merges_dictionaries(self):
+        merged = ColumnBlock.concat([
+            ColumnBlock.build(str, ["a", "b", "a", "b"]),
+            ColumnBlock.build(str, ["b", "c", None, "b"]),
+        ])
+        assert merged.is_dictionary
+        assert merged.to_pylist() == [
+            "a", "b", "a", "b", "b", "c", None, "b",
+        ]
+        assert set(merged.dictionary) == {"a", "b", "c"}
+
+    def test_concat_identical_dictionaries_skips_remap(self):
+        left = ColumnBlock.build(str, ["a", "b", "a", "b"])
+        right = ColumnBlock.build(str, ["b", "a", "b", "a"])
+        merged = ColumnBlock.concat([left, right])
+        assert merged.dictionary == left.dictionary
+        assert merged.to_pylist() == list("abab" "baba")
+
+    def test_decoded_values_match_codes(self):
+        block = ColumnBlock.build(str, ["b", None, "a"] * 8)
+        decoded = block.values
+        assert decoded.dtype == object
+        assert decoded.tolist() == block.to_pylist()
+
+
+class TestFactorizeBlock:
+    def assert_matches_np_unique(self, block, raw):
+        uniq, inverse = factorize_block(block)
+        ref_uniq, ref_inverse = np.unique(
+            np.array(raw, dtype=object), return_inverse=True
+        )
+        assert uniq.tolist() == ref_uniq.tolist()
+        assert inverse.tolist() == ref_inverse.tolist()
+
+    def test_dictionary_block_matches_np_unique(self):
+        raw = ["b", "a", "c", "a", "b"] * 4
+        self.assert_matches_np_unique(ColumnBlock.build(str, raw), raw)
+
+    def test_plain_block_matches_np_unique(self):
+        raw = [f"v{i:02d}" for i in range(40)]  # too wide to encode
+        block = ColumnBlock.build(str, raw)
+        assert not block.is_dictionary
+        self.assert_matches_np_unique(block, raw)
+
+    def test_sliced_block_excludes_absent_entries(self):
+        # The slice shares the parent's full dictionary; entries not
+        # present in the slice must not leak into the unique set.
+        block = ColumnBlock.build(str, ["a", "b", "c", "a"] * 4)
+        window = block[0:2]  # only "a", "b"
+        self.assert_matches_np_unique(window, ["a", "b"])
+
+    def test_single_name_block(self):
+        raw = ["only"] * 12
+        self.assert_matches_np_unique(ColumnBlock.build(str, raw), raw)

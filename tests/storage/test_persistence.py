@@ -187,3 +187,65 @@ class TestConfigDbPersistence:
         path = tmp_path / "config.json"
         save_config_db(ConfigDB(), path)
         assert load_config_db(path).keys() == []
+
+
+class TestLayoutMigration:
+    """Satellite: v1 → v2 → v3 migrations round-trip losslessly."""
+
+    def rows_of(self, store):
+        return {
+            name: {
+                partition: store.get(name).rows(partition=partition)
+                for partition in store.get(name).partitions
+            }
+            for name in store.names()
+        }
+
+    def test_v1_to_v2_to_v3_round_trip(self, tmp_path):
+        original = make_store()
+        expected = self.rows_of(original)
+
+        v1 = tmp_path / "v1.json"
+        save_table_store(original, v1, layout="rows")
+        from_v1 = load_table_store(v1)
+        assert self.rows_of(from_v1) == expected
+
+        v2 = tmp_path / "v2.json"
+        save_table_store(from_v1, v2)
+        assert json.loads(v2.read_text())["version"] == 2
+        from_v2 = load_table_store(v2)
+        assert self.rows_of(from_v2) == expected
+
+        v3 = tmp_path / "v3.jsonl"
+        save_table_store(from_v2, v3, layout="chunked")
+        first = json.loads(v3.read_text().splitlines()[0])
+        assert first["version"] == 3
+        from_v3 = load_table_store(v3)
+        assert self.rows_of(from_v3) == expected
+        assert from_v3.get("vm_cdi").schema.column("note").nullable
+
+        # And back down: a lazily-loaded v3 store still writes v2.
+        back = tmp_path / "back.json"
+        save_table_store(from_v3, back)
+        assert self.rows_of(load_table_store(back)) == expected
+
+    def test_every_layout_loads_identically(self, tmp_path):
+        expected = self.rows_of(make_store())
+        for layout in ("rows", "columnar", "chunked"):
+            path = tmp_path / f"{layout}.json"
+            save_table_store(make_store(), path, layout=layout)
+            assert self.rows_of(load_table_store(path)) == expected
+
+
+class TestAtomicWrites:
+    def test_atomic_columnar_save(self, tmp_path):
+        path = tmp_path / "store.json"
+        path.write_text("stale bytes")
+        save_table_store(make_store(), path, atomic=True)
+        assert not (tmp_path / "store.json.tmp").exists()
+        assert load_table_store(path).names() == make_store().names()
+
+    def test_non_atomic_is_default(self, tmp_path):
+        path = tmp_path / "store.json"
+        save_table_store(make_store(), path)
+        assert not (tmp_path / "store.json.tmp").exists()

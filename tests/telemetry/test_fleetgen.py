@@ -1,0 +1,113 @@
+"""Tests for shard-parallel fleet fault generation."""
+
+import pytest
+
+from repro.pipeline.checkpoint import shard_units, split_shards
+from repro.telemetry.faults import baseline_rates
+from repro.telemetry.fleetgen import (
+    iter_fleet_faults,
+    shard_faults,
+    shard_unit,
+    split_fleet,
+)
+
+DAY = 86400.0
+
+
+class TestSplitFleet:
+    def test_pins_pipeline_split(self):
+        """The deliberate duplication of the checkpointed job's split
+        must never drift: same shard contents, same unit labels."""
+        targets = [f"vm-{i:03d}" for i in range(23)]
+        for shards in (1, 2, 5, 8, 23, 40):
+            fleet = split_fleet(targets, shards)
+            expected = split_shards(targets, shards)
+            assert [list(s.targets) for s in fleet] == [
+                list(part) for part in expected
+            ]
+            assert [s.unit for s in fleet] == shard_units(len(expected))
+
+    def test_contiguous_and_complete(self):
+        targets = [f"vm-{i:03d}" for i in range(17)]
+        fleet = split_fleet(targets, 5)
+        flattened = [vm for shard in fleet for vm in shard.targets]
+        assert flattened == targets
+        assert [s.index for s in fleet] == list(range(5))
+
+    def test_empty_fleet_single_shard(self):
+        (shard,) = split_fleet([], 4)
+        assert shard.targets == ()
+        assert shard.unit == "shard-0000"
+
+    def test_never_more_shards_than_targets(self):
+        fleet = split_fleet(["a", "b"], 8)
+        assert len(fleet) == 2
+
+    def test_rejects_nonpositive_shards(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            split_fleet(["a"], 0)
+
+    def test_unit_labels(self):
+        assert shard_unit(0) == "shard-0000"
+        assert shard_unit(123) == "shard-0123"
+
+
+class TestShardDeterminism:
+    def targets(self, count=40):
+        return [f"vm-{i:03d}" for i in range(count)]
+
+    def rates(self):
+        return baseline_rates(scale=50.0)
+
+    def test_isolated_regeneration_matches_full_pass(self):
+        """Generating shard k alone equals shard k of the full sweep —
+        the property resume/distribution depends on."""
+        full = {
+            shard.unit: faults
+            for shard, faults in iter_fleet_faults(
+                self.targets(), 4, self.rates(), 0.0, DAY, seed=7
+            )
+        }
+        for shard in split_fleet(self.targets(), 4):
+            alone = shard_faults(shard, self.rates(), 0.0, DAY, seed=7)
+            assert alone == full[shard.unit]
+
+    def test_deterministic_across_calls(self):
+        first = list(iter_fleet_faults(self.targets(), 4, self.rates(),
+                                       0.0, DAY, seed=3))
+        second = list(iter_fleet_faults(self.targets(), 4, self.rates(),
+                                        0.0, DAY, seed=3))
+        assert [(s.unit, f) for s, f in first] == [
+            (s.unit, f) for s, f in second
+        ]
+
+    def test_seed_decorrelates_output(self):
+        (shard,) = split_fleet(self.targets(8), 1)
+        assert (shard_faults(shard, self.rates(), 0.0, DAY, seed=0)
+                != shard_faults(shard, self.rates(), 0.0, DAY, seed=1))
+
+    def test_shards_are_decorrelated(self):
+        """Two shards with *identical* targets must not replay the same
+        fault stream — the per-shard seed mixes the shard index."""
+        same_targets = ("vm-000", "vm-001", "vm-002")
+        from repro.telemetry.fleetgen import FleetShard
+        first = FleetShard(index=0, unit=shard_unit(0),
+                           targets=same_targets)
+        second = FleetShard(index=1, unit=shard_unit(1),
+                            targets=same_targets)
+        assert (shard_faults(first, self.rates(), 0.0, DAY, seed=0)
+                != shard_faults(second, self.rates(), 0.0, DAY, seed=0))
+
+    def test_faults_stay_inside_shard_targets(self):
+        for shard, faults in iter_fleet_faults(self.targets(), 4,
+                                               self.rates(), 0.0, DAY):
+            owned = set(shard.targets)
+            assert all(fault.target in owned for fault in faults)
+
+    def test_generator_yields_shards_in_order(self):
+        units = [
+            shard.unit
+            for shard, _ in iter_fleet_faults(self.targets(), 6,
+                                              self.rates(), 0.0, DAY)
+        ]
+        assert units == shard_units(6)
