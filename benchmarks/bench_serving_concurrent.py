@@ -1,0 +1,264 @@
+"""Concurrent serving under live writes: multi-client QPS + latency.
+
+The paper's platform serves many simultaneous consumers (BI
+dashboards, CloudBot, operators) while the daily pipeline keeps
+writing.  This benchmark reproduces that shape end to end over the
+real socket front end:
+
+* a sharded :class:`repro.serving.QueryService` behind the asyncio
+  listener (``ServerThread``, real TCP on localhost);
+* a **write-heavy backfill** thread overwriting ``vm_cdi`` /
+  ``event_cdi`` partitions in a loop for the whole run, so every
+  measurement races generation bumps and cache invalidations;
+* **closed-loop clients** (:class:`repro.serving.LineClient`): each
+  keeps exactly one request in flight, cycling a representative
+  payload mix and recording per-request latency.
+
+Two phases run for ``REPRO_BENCH_DURATION_S`` each: one client (the
+latency-bound baseline — each request pays a full round trip) and
+``REPRO_BENCH_CLIENTS`` concurrent clients (concurrency hides round
+trips and overlaps parse/serialize with shard merges).  The artifact
+is the ``concurrent`` section of ``BENCH_serving.json`` — sustained
+QPS, p50/p99 latency, client speedup, admission + cache counters —
+gated in CI by ``check_serving_speedup.py``.
+"""
+
+import json
+import threading
+import time
+
+from conftest import (
+    bench_clients,
+    bench_days,
+    bench_duration_s,
+    bench_result_path,
+    bench_vm_count,
+    print_table,
+)
+
+from bench_serving_qps import build_backfilled_job
+from repro.pipeline.tables import EVENT_CDI_TABLE, VM_CDI_TABLE
+from repro.serving import (
+    AdmissionController,
+    LineClient,
+    QueryService,
+    ServerThread,
+)
+
+VM_COUNT = bench_vm_count(1000)
+DAYS = bench_days(5)
+CLIENTS = bench_clients(8)
+DURATION_S = bench_duration_s(5.0)
+SHARDS = 4
+
+RESULT_PATH = bench_result_path(
+    "BENCH_serving.json", env="REPRO_BENCH_SERVING_RESULT_PATH"
+)
+
+
+def payload_mix(days):
+    """The wire payloads one client cycles through (dashboard-shaped)."""
+    mix = []
+    for day in days:
+        mix.append({"kind": "fleet", "day": day})
+        mix.append({"kind": "top-events", "day": day, "k": 5})
+        mix.append({"kind": "group-by", "day": day, "dimension": "region"})
+        mix.append({"kind": "top-vms", "day": day,
+                    "category": "performance", "k": 5})
+    mix.append({"kind": "range"})
+    mix.append({"kind": "trend", "category": "unavailability"})
+    return mix
+
+
+#: Pause between backfill sweeps.  Small but nonzero: every sweep
+#: still invalidates every cached rollup (write-heavy), but merges get
+#: a window to land — a zero-pause writer livelocks every multi-day
+#: merge into (correct, typed) ``unavailable`` shedding, which is a
+#: stress test, not a throughput measurement.
+WRITER_PAUSE_S = 0.002
+
+
+class BackfillWriter:
+    """Continuously overwrites day partitions (write-heavy backfill)."""
+
+    def __init__(self, tables, days):
+        self._vm_table = tables.get(VM_CDI_TABLE)
+        self._event_table = tables.get(EVENT_CDI_TABLE)
+        self._day_rows = [
+            (day, self._vm_table.rows(partition=day),
+             self._event_table.rows(partition=day))
+            for day in days
+        ]
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run,
+                                        name="bench-backfill", daemon=True)
+        self.writes = 0
+
+    def _run(self):
+        while not self._stop.is_set():
+            for day, vm_rows, event_rows in self._day_rows:
+                if self._stop.is_set():
+                    break
+                self._vm_table.overwrite_partition(vm_rows, day)
+                self._event_table.overwrite_partition(event_rows, day)
+                self.writes += 2
+            if WRITER_PAUSE_S:
+                self._stop.wait(WRITER_PAUSE_S)
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc):
+        self._stop.set()
+        self._thread.join(timeout=10.0)
+
+
+def run_phase(address, mix, clients, duration_s):
+    """Closed-loop load phase: ``clients`` connections for ``duration_s``.
+
+    Returns (total completed queries, wall seconds, sorted latencies).
+    """
+    start_barrier = threading.Barrier(clients + 1)
+    deadline_event = threading.Event()
+    latencies_per_client = [[] for _ in range(clients)]
+    shed = [0] * clients
+    errors = []
+
+    def worker(slot):
+        try:
+            with LineClient(address, timeout=60.0) as client:
+                start_barrier.wait()
+                recorded = latencies_per_client[slot]
+                position = slot  # stagger starting offsets
+                while not deadline_event.is_set():
+                    payload = mix[position % len(mix)]
+                    position += 1
+                    started = time.perf_counter()
+                    response = client.request(payload)
+                    if response.get("ok") is True:
+                        recorded.append(time.perf_counter() - started)
+                    elif response.get("error", {}).get("kind") in (
+                            "unavailable", "overloaded", "rate_limited"):
+                        # Typed load shedding: counted, not a failure.
+                        shed[slot] += 1
+                    else:
+                        errors.append(response)
+                        return
+        except Exception as error:  # pragma: no cover
+            errors.append(repr(error))
+            try:
+                start_barrier.abort()
+            except Exception:
+                pass
+
+    threads = [
+        threading.Thread(target=worker, args=(slot,)) for slot in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    start_barrier.wait()
+    phase_started = time.perf_counter()
+    time.sleep(duration_s)
+    deadline_event.set()
+    for thread in threads:
+        thread.join(timeout=60.0)
+    wall = time.perf_counter() - phase_started
+    assert not errors, f"client errors: {errors[:3]}"
+    latencies = sorted(
+        value for per_client in latencies_per_client for value in per_client
+    )
+    return len(latencies), wall, latencies, sum(shed)
+
+
+def percentile(latencies, fraction):
+    """The ``fraction`` quantile of a sorted latency list (seconds)."""
+    if not latencies:
+        return 0.0
+    index = min(len(latencies) - 1, int(fraction * len(latencies)))
+    return latencies[index]
+
+
+def test_serving_concurrent(benchmark):
+    job, fleet = build_backfilled_job()
+    days = sorted(job.tables.get(VM_CDI_TABLE).partitions)
+    mix = payload_mix(days)
+    admission = AdmissionController(max_in_flight=max(64, CLIENTS * 4))
+    service = QueryService(job.tables, resolver=fleet.dimensions_of,
+                           shards=SHARDS)
+
+    with service, BackfillWriter(job.tables, days) as writer, \
+            ServerThread(service, admission=admission) as server:
+
+        def measured():
+            single = run_phase(server.address, mix, 1, DURATION_S)
+            multi = run_phase(server.address, mix, CLIENTS, DURATION_S)
+            return single, multi
+
+        single, multi = benchmark.pedantic(measured, rounds=1, iterations=1)
+        admission_stats = admission.stats
+
+    single_count, single_wall, single_lat, single_shed = single
+    multi_count, multi_wall, multi_lat, multi_shed = multi
+    single_qps = single_count / single_wall
+    multi_qps = multi_count / multi_wall
+    client_speedup = multi_qps / single_qps if single_qps else 0.0
+    cache = service.cache_stats
+
+    def fmt_ms(seconds):
+        return f"{seconds * 1000:.2f} ms"
+
+    print_table(
+        "Concurrent serving vs live backfill (closed-loop TCP clients)",
+        ["quantity", "1 client", f"{CLIENTS} clients"],
+        [
+            ("completed queries", single_count, multi_count),
+            ("sustained QPS", f"{single_qps:,.0f}", f"{multi_qps:,.0f}"),
+            ("p50 latency", fmt_ms(percentile(single_lat, 0.50)),
+             fmt_ms(percentile(multi_lat, 0.50))),
+            ("p99 latency", fmt_ms(percentile(single_lat, 0.99)),
+             fmt_ms(percentile(multi_lat, 0.99))),
+            ("client speedup", "1.0x", f"{client_speedup:.1f}x"),
+            ("shed (typed rejections)", single_shed, multi_shed),
+            ("backfill writes during run", "-", writer.writes),
+            ("admitted / rejected", "-",
+             f"{admission_stats.admitted} / "
+             f"{admission_stats.rejected_overload + admission_stats.rejected_rate}"),
+        ],
+    )
+
+    section = {
+        "clients": CLIENTS,
+        "duration_s": DURATION_S,
+        "shards": SHARDS,
+        "vm_count": len(fleet.vms),
+        "days": DAYS,
+        "single_client_qps": single_qps,
+        "multi_client_qps": multi_qps,
+        "client_speedup": client_speedup,
+        "single_p50_ms": percentile(single_lat, 0.50) * 1000,
+        "single_p99_ms": percentile(single_lat, 0.99) * 1000,
+        "multi_p50_ms": percentile(multi_lat, 0.50) * 1000,
+        "multi_p99_ms": percentile(multi_lat, 0.99) * 1000,
+        "single_shed": single_shed,
+        "multi_shed": multi_shed,
+        "backfill_writes": writer.writes,
+        "admitted": admission_stats.admitted,
+        "rejected_overload": admission_stats.rejected_overload,
+        "rejected_rate": admission_stats.rejected_rate,
+        "cache_hits": cache.hits,
+        "cache_misses": cache.misses,
+    }
+    existing = {}
+    if RESULT_PATH.exists():
+        try:
+            existing = json.loads(RESULT_PATH.read_text())
+        except (ValueError, OSError):
+            existing = {}
+    existing["concurrent"] = section
+    RESULT_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+    print(f"\nresult JSON: {RESULT_PATH}")
+
+    assert single_count > 0 and multi_count > 0
+    assert writer.writes > 0, "backfill never raced the readers"
+    assert client_speedup > 1.0

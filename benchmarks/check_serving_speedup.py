@@ -1,41 +1,114 @@
-"""CI gate: the cached serving path must beat cold recompute by >=10x.
+"""CI gate for the serving benchmarks' JSON artifact.
 
-Reads the JSON artifact written by ``bench_serving_qps.py`` and fails
-(exit 1) when ``cached_speedup`` falls below the threshold.  Both CI's
-smoke fleet and the committed full-scale artifact are held to the 10x
-bar of the serving-layer acceptance criteria.
+Reads ``BENCH_serving.json`` (written by ``bench_serving_qps.py`` and
+``bench_serving_concurrent.py``) and fails (exit 1) when a gated
+quantity misses its bar:
+
+* ``cached_speedup`` — the warm LRU must beat cold recompute by
+  ``THRESHOLD`` (default 10x; both CI's smoke fleet and the committed
+  full-scale artifact are held to it);
+* the ``concurrent`` section — when present (or required via
+  ``--require-concurrent``), sustained multi-client QPS, p99 latency,
+  and the multi-vs-single client speedup are checked against the
+  corresponding flags.
 
 Usage::
 
     python benchmarks/check_serving_speedup.py RESULT.json [THRESHOLD]
+        [--concurrent-only] [--require-concurrent]
+        [--concurrent-min-qps QPS] [--concurrent-max-p99-ms MS]
+        [--min-client-speedup X]
+
+``--concurrent-only`` skips the cached-speedup gate (for smoke jobs
+that only ran the concurrent benchmark).
 """
 
+import argparse
 import json
 import sys
 from pathlib import Path
 
 
-def main(argv: list[str]) -> int:
-    if not 2 <= len(argv) <= 3:
-        print(__doc__, file=sys.stderr)
-        return 2
-    path = Path(argv[1])
-    threshold = float(argv[2]) if len(argv) == 3 else 10.0
-    data = json.loads(path.read_text())
+def check_cached(data: dict, threshold: float) -> list[str]:
+    """Gate the cached-vs-cold section; returns failure messages."""
     speedup = data.get("cached_speedup")
     if speedup is None:
-        print(f"{path}: no cached_speedup key — was bench_serving_qps run?",
-              file=sys.stderr)
-        return 1
+        return ["no cached_speedup key — was bench_serving_qps run?"]
     print(f"cached {data['cached_seconds'] * 1000:.2f} ms vs cold "
           f"{data['cold_seconds'] * 1000:.2f} ms per pass of "
           f"{data['queries_per_pass']} queries at {data['vm_count']} VMs: "
           f"{speedup:.1f}x (threshold {threshold:.1f}x)")
     if speedup < threshold:
-        print(f"FAIL: cached serving path is below the {threshold:.1f}x bar",
-              file=sys.stderr)
-        return 1
-    return 0
+        return [f"cached serving path is below the {threshold:.1f}x bar"]
+    return []
+
+
+def check_concurrent(data: dict, *, required: bool, min_qps: float | None,
+                     max_p99_ms: float | None,
+                     min_speedup: float | None) -> list[str]:
+    """Gate the concurrent section; returns failure messages."""
+    section = data.get("concurrent")
+    if section is None:
+        if required or min_qps is not None or max_p99_ms is not None \
+                or min_speedup is not None:
+            return ["no concurrent section — was "
+                    "bench_serving_concurrent run?"]
+        return []
+    qps = section["multi_client_qps"]
+    p99 = section["multi_p99_ms"]
+    speedup = section["client_speedup"]
+    print(f"concurrent: {section['clients']} clients sustained {qps:,.0f} "
+          f"QPS (p99 {p99:.2f} ms) vs single-client "
+          f"{section['single_client_qps']:,.0f} QPS — {speedup:.1f}x, "
+          f"{section['backfill_writes']} backfill writes during the run")
+    failures = []
+    if min_qps is not None and qps < min_qps:
+        failures.append(
+            f"multi-client QPS {qps:,.0f} is below the {min_qps:,.0f} floor")
+    if max_p99_ms is not None and p99 > max_p99_ms:
+        failures.append(
+            f"multi-client p99 {p99:.2f} ms exceeds the "
+            f"{max_p99_ms:.2f} ms ceiling")
+    if min_speedup is not None and speedup < min_speedup:
+        failures.append(
+            f"client speedup {speedup:.1f}x is below the "
+            f"{min_speedup:.1f}x bar")
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    """Parse arguments, run the enabled gates, return the exit code."""
+    parser = argparse.ArgumentParser(
+        description="Gate BENCH_serving.json quantities.")
+    parser.add_argument("result", type=Path, help="path to the JSON artifact")
+    parser.add_argument("threshold", type=float, nargs="?", default=10.0,
+                        help="cached-vs-cold speedup floor (default 10)")
+    parser.add_argument("--concurrent-only", action="store_true",
+                        help="skip the cached-speedup gate")
+    parser.add_argument("--require-concurrent", action="store_true",
+                        help="fail when the concurrent section is missing")
+    parser.add_argument("--concurrent-min-qps", type=float, default=None,
+                        metavar="QPS",
+                        help="sustained multi-client QPS floor")
+    parser.add_argument("--concurrent-max-p99-ms", type=float, default=None,
+                        metavar="MS", help="multi-client p99 ceiling (ms)")
+    parser.add_argument("--min-client-speedup", type=float, default=None,
+                        metavar="X",
+                        help="multi-vs-single client speedup floor")
+    args = parser.parse_args(argv[1:])
+
+    data = json.loads(args.result.read_text())
+    failures = []
+    if not args.concurrent_only:
+        failures += check_cached(data, args.threshold)
+    failures += check_concurrent(
+        data, required=args.require_concurrent,
+        min_qps=args.concurrent_min_qps,
+        max_p99_ms=args.concurrent_max_p99_ms,
+        min_speedup=args.min_client_speedup)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

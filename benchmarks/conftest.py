@@ -17,6 +17,10 @@ one place, so CI and local runs configure them identically:
 * ``REPRO_BENCH_BACKEND`` — executor backend (:func:`bench_backend`);
 * ``REPRO_BENCH_RESULT_PATH`` / ``REPRO_BENCH_SERVING_RESULT_PATH`` /
   ... — JSON artifact destinations (:func:`bench_result_path`);
+* ``REPRO_BENCH_CLIENTS`` — concurrent closed-loop clients for the
+  serving load benchmark (:func:`bench_clients`);
+* ``REPRO_BENCH_DURATION_S`` — measurement window per load phase in
+  seconds (:func:`bench_duration_s`);
 * ``REPRO_CHAOS_SEED`` — pins the chaos-test seed matrix to one seed
   (:func:`chaos_seed`).
 """
@@ -55,6 +59,16 @@ def bench_vm_counts(default: Sequence[int]) -> list[int]:
 def bench_days(default: int) -> int:
     """Backfill length in days (``REPRO_BENCH_DAYS``)."""
     return env_int("REPRO_BENCH_DAYS", default)
+
+
+def bench_clients(default: int) -> int:
+    """Concurrent closed-loop clients (``REPRO_BENCH_CLIENTS``)."""
+    return env_int("REPRO_BENCH_CLIENTS", default)
+
+
+def bench_duration_s(default: float) -> float:
+    """Seconds per load-measurement phase (``REPRO_BENCH_DURATION_S``)."""
+    return float(os.environ.get("REPRO_BENCH_DURATION_S", str(default)))
 
 
 def bench_backend(default: str = "thread") -> str:

@@ -283,13 +283,16 @@ def cmd_daily(seed: int, *, days: int = 1, vms: int = 64,
         print(trace.summary())
 
 
-def _build_query_service(seed: int, days: int, vms: int):
+def _build_query_service(seed: int, days: int, vms: int, *,
+                         shards: int = 1,
+                         parallelism: "int | None" = None):
     """Synthetic fleet + daily-job backfill → a ready QueryService.
 
     The dataset behind ``repro query``/``repro serve``: a topology-
     aware fleet (so group-by queries have dimensions to slice),
     deterministic per-day fault events, and the daily CDI job run over
-    every partition.
+    every partition.  ``shards`` > 1 splits the rollup store so
+    multi-day queries merge shard results in parallel.
     """
     from repro.core.events import Event, default_catalog
     from repro.core.indicator import ServicePeriod
@@ -329,7 +332,8 @@ def _build_query_service(seed: int, days: int, vms: int):
                       ConfigDB(), catalog)
     job.store_weights(default_weights())
     run_days(job, events_for_day, services, days)
-    return QueryService(job.tables, resolver=fleet.dimensions_of)
+    return QueryService(job.tables, resolver=fleet.dimensions_of,
+                        shards=shards, parallelism=parallelism)
 
 
 def _query_payload(args) -> dict:
@@ -353,7 +357,7 @@ def cmd_query(seed: int, *, days: int = 2, vms: int = 16,
               start: str | None = None, end: str | None = None,
               category: str | None = None, dimension: str | None = None,
               k: int = 5, event: str | None = None,
-              vm_id: str | None = None) -> None:
+              vm_id: str | None = None) -> int:
     """One CDI query over a synthetic fleet, answered as JSON."""
     import json
     import sys
@@ -380,23 +384,68 @@ def cmd_query(seed: int, *, days: int = 2, vms: int = 16,
     stats = service.cache_stats
     print(f"cache: {stats.hits} hits / {stats.misses} misses "
           f"({stats.size} entries)", file=sys.stderr)
+    return 0 if response.get("ok") else 1
 
 
-def cmd_serve(seed: int, *, days: int = 2, vms: int = 16) -> None:
-    """JSON-lines query server over stdin/stdout (EOF exits)."""
+def _parse_listen(listen: str) -> tuple[str, int]:
+    """``HOST:PORT`` / ``:PORT`` → ``(host, port)`` (host defaults local)."""
+    host, sep, port = listen.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(
+            f"--listen expects HOST:PORT or :PORT, got {listen!r}"
+        )
+    return host or "127.0.0.1", int(port)
+
+
+def cmd_serve(seed: int, *, days: int = 2, vms: int = 16,
+              listen: str | None = None, serve_shards: int = 4,
+              max_in_flight: int = 64,
+              rate_limit: float | None = None) -> None:
+    """Query server: JSON lines over stdin/stdout, or TCP via --listen."""
+    import asyncio
     import json
     import sys
 
-    from repro.serving import QUERY_KINDS, serve_lines
+    from repro.serving import (
+        QUERY_KINDS,
+        AdmissionController,
+        QueryServer,
+        serve_lines,
+    )
 
-    service = _build_query_service(seed, days, vms)
+    service = _build_query_service(seed, days, vms, shards=serve_shards)
+    admission = AdmissionController(max_in_flight=max_in_flight,
+                                    rate_per_client=rate_limit)
+    if listen is not None:
+        host, port = _parse_listen(listen)
+        server = QueryServer(service, host=host, port=port,
+                             admission=admission)
+
+        async def _run() -> None:
+            bound_host, bound_port = await server.start()
+            print(
+                f"repro serve: listening on {bound_host}:{bound_port} "
+                f"({len(service.days())} days, {service.shard_count} "
+                f"shards); one JSON query per line",
+                file=sys.stderr,
+            )
+            await server.serve_forever()
+
+        try:
+            asyncio.run(_run())
+        except KeyboardInterrupt:
+            print("repro serve: interrupted", file=sys.stderr)
+        finally:
+            service.close()
+        return
     print(
         f"repro serve: {len(service.days())} days "
         f"({', '.join(service.days())}), kinds: "
         f"{', '.join(sorted(QUERY_KINDS))}; one JSON query per line",
         file=sys.stderr,
     )
-    answered = serve_lines(service, sys.stdin, print)
+    answered = serve_lines(service, sys.stdin, print,
+                           admission=admission)
     stats = service.cache_stats
     print(
         f"served {answered} queries; cache {stats.hits} hits / "
@@ -404,6 +453,7 @@ def cmd_serve(seed: int, *, days: int = 2, vms: int = 16) -> None:
         f"({json.dumps(stats.hit_rate)} hit rate)",
         file=sys.stderr,
     )
+    service.close()
 
 
 def _newest_trace(trace_dir: str) -> "str | None":
@@ -524,6 +574,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="event name for event-series queries")
     query.add_argument("--vm-id", default=None,
                        help="VM id for vm point lookups")
+    query.add_argument("--listen", default=None, metavar="HOST:PORT",
+                       help="serve over TCP instead of stdin/stdout "
+                            "(e.g. 127.0.0.1:7077 or :0 for ephemeral)")
+    query.add_argument("--serve-shards", type=int, default=4,
+                       help="rollup-store shards for the query service "
+                            "(default 4)")
+    query.add_argument("--max-in-flight", type=int, default=64,
+                       help="admission limit on concurrent queries "
+                            "(default 64)")
+    query.add_argument("--rate-limit", type=float, default=None,
+                       help="per-client queries/second token-bucket rate "
+                            "(default: unlimited)")
     return parser
 
 
@@ -551,15 +613,17 @@ def main(argv: Sequence[str] | None = None) -> int:
                   trace_dir=args.trace_dir)
         return 0
     if args.command == "query":
-        cmd_query(
+        return cmd_query(
             args.seed, days=args.days, vms=args.vms, kind=args.kind,
             day=args.day, start=args.start, end=args.end,
             category=args.category, dimension=args.dimension, k=args.k,
             event=args.event, vm_id=args.vm_id,
         )
-        return 0
     if args.command == "serve":
-        cmd_serve(args.seed, days=args.days, vms=args.vms)
+        cmd_serve(args.seed, days=args.days, vms=args.vms,
+                  listen=args.listen, serve_shards=args.serve_shards,
+                  max_in_flight=args.max_in_flight,
+                  rate_limit=args.rate_limit)
         return 0
     COMMANDS[args.command](args.seed)
     return 0

@@ -35,9 +35,17 @@ def global_report(rows: Sequence[Mapping[str, Any]]) -> CdiReport:
     return fleet_report_from_rows(list(rows))
 
 
-def _float_column(rows: Sequence[Mapping[str, Any]], name: str) -> np.ndarray:
-    """One row field as a float64 array, preserving row order."""
+def float_column(rows: Sequence[Mapping[str, Any]], name: str) -> np.ndarray:
+    """One row field as a float64 array, preserving row order.
+
+    The row→column bridge shared by the BI helpers and the report
+    renderer: rows stay the interchange format, kernels get arrays.
+    """
     return np.array([row[name] for row in rows], dtype=np.float64)
+
+
+#: Backwards-compatible alias (pre-public name).
+_float_column = float_column
 
 
 def aggregate_by(rows: Iterable[Mapping[str, Any]],
@@ -55,10 +63,10 @@ def aggregate_by(rows: Iterable[Mapping[str, Any]],
     keys = [resolver(row["vm"]).get(dimension) for row in materialized]
     return group_reports(
         keys,
-        _float_column(materialized, "service_time"),
-        _float_column(materialized, "unavailability"),
-        _float_column(materialized, "performance"),
-        _float_column(materialized, "control_plane"),
+        float_column(materialized, "service_time"),
+        float_column(materialized, "unavailability"),
+        float_column(materialized, "performance"),
+        float_column(materialized, "control_plane"),
     )
 
 
@@ -97,8 +105,8 @@ def event_level_series(
         day_rows = list(event_rows_by_day[day])
         aggregates = event_aggregates(
             [row["event"] for row in day_rows],
-            _float_column(day_rows, "service_time"),
-            _float_column(day_rows, "cdi"),
+            float_column(day_rows, "service_time"),
+            float_column(day_rows, "cdi"),
         )
         series.append((day, aggregates.get(event_name, 0.0)))
     return series

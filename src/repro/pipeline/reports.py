@@ -23,10 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
-import numpy as np
-
 from repro.core.indicator import CdiReport
-from repro.pipeline.bi import aggregate_by
+from repro.pipeline.bi import aggregate_by, float_column
 from repro.pipeline.daily import fleet_report_from_rows
 from repro.pipeline.monitor import MonitorFinding
 from repro.serving.rollups import event_aggregates, rank_leaderboard
@@ -66,12 +64,16 @@ def _movement(current: float, previous: float | None) -> str:
 
 def _rank_reports(reports: Mapping[str, CdiReport], attr: str,
                   limit: int) -> list[tuple[str, float]]:
-    """Rank group-by reports by one sub-metric, stable, zeros dropped."""
-    ranked = sorted(
-        ((value, getattr(report, attr)) for value, report in reports.items()),
-        key=lambda pair: -pair[1],
-    )
-    return [(value, score) for value, score in ranked[:limit] if score > 0]
+    """Rank group-by reports by one sub-metric, stable, zeros dropped.
+
+    Delegates to the serving layer's leaderboard kernel; keying the
+    aggregates in sorted order keeps ties alphabetical exactly like
+    the original stable sort over sorted group keys.
+    """
+    aggregates = {
+        value: getattr(reports[value], attr) for value in sorted(reports)
+    }
+    return rank_leaderboard(aggregates, limit)
 
 
 def top_event_contributors(event_rows: Sequence[Mapping[str, Any]],
@@ -85,8 +87,8 @@ def top_event_contributors(event_rows: Sequence[Mapping[str, Any]],
     rows = list(event_rows)
     aggregates = event_aggregates(
         [row["event"] for row in rows],
-        np.array([row["service_time"] for row in rows], dtype=np.float64),
-        np.array([row["cdi"] for row in rows], dtype=np.float64),
+        float_column(rows, "service_time"),
+        float_column(rows, "cdi"),
     )
     return rank_leaderboard(aggregates, limit)
 

@@ -1,18 +1,34 @@
-"""The CDI serving layer: materialized rollups + cached typed queries.
+"""The CDI serving layer: sharded rollups + concurrent typed queries.
 
 The read path of the repro (paper Section V/VI): the daily job writes
-the ``vm_cdi``/``event_cdi`` tables, :class:`RollupStore` materializes
-multi-grain aggregates from their column blocks, and
-:class:`QueryService` answers typed queries (point lookup, range
-scan, group-by, top-K, trend) through a generation-stamped LRU cache
-that table writes invalidate.  See ``ARCHITECTURE.md`` and DESIGN.md
-§11 for the protocol.
+the ``vm_cdi``/``event_cdi`` tables, :class:`RollupStore` routes each
+day partition to a :class:`RollupShard` (its own generation-stamped
+cache), and :class:`QueryService` answers typed queries (point
+lookup, range scan, group-by, top-K, trend) — fanning multi-day
+queries out across shards on a thread pool under a
+snapshot-validate-retry protocol so merges are never torn.  In front
+sit :class:`AdmissionController` (bounded in-flight + per-client
+token buckets) and two front ends speaking one JSON-lines wire
+format: the stdin loop (:func:`serve_lines`) and the asyncio socket
+server (:class:`QueryServer`).  See ``ARCHITECTURE.md`` and DESIGN.md
+§11/§13 for the protocols.
 """
 
+from repro.serving.admission import (
+    AdmissionController,
+    AdmissionError,
+    AdmissionStats,
+    OverloadedError,
+    RateLimitedError,
+    TokenBucket,
+)
 from repro.serving.cache import MISS, CacheStats, GenerationCache
+from repro.serving.listener import LineClient, QueryServer, ServerThread
 from repro.serving.rollups import (
     CATEGORIES,
+    DEFAULT_SHARD_CACHE_SIZE,
     PartitionRollup,
+    RollupShard,
     RollupStore,
     aggregate_arrays,
     event_aggregates,
@@ -24,12 +40,15 @@ from repro.serving.rollups import (
 )
 from repro.serving.server import (
     QUERY_KINDS,
+    error_envelope,
     parse_query,
+    respond_line,
     run_query,
     serve_lines,
     to_jsonable,
 )
 from repro.serving.service import (
+    SNAPSHOT_RETRIES,
     CategoryTrendQuery,
     EventSeriesQuery,
     FleetQuery,
@@ -37,35 +56,51 @@ from repro.serving.service import (
     GroupByQuery,
     Query,
     QueryService,
+    ServiceUnavailableError,
     TopEventsQuery,
     TopVmsQuery,
     VmQuery,
 )
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "AdmissionStats",
     "CATEGORIES",
     "CacheStats",
     "CategoryTrendQuery",
+    "DEFAULT_SHARD_CACHE_SIZE",
     "EventSeriesQuery",
     "FleetQuery",
     "FleetRangeQuery",
     "GenerationCache",
     "GroupByQuery",
+    "LineClient",
     "MISS",
+    "OverloadedError",
     "PartitionRollup",
     "QUERY_KINDS",
     "Query",
+    "QueryServer",
     "QueryService",
+    "RateLimitedError",
+    "RollupShard",
     "RollupStore",
+    "SNAPSHOT_RETRIES",
+    "ServerThread",
+    "ServiceUnavailableError",
+    "TokenBucket",
     "TopEventsQuery",
     "TopVmsQuery",
     "VmQuery",
     "aggregate_arrays",
+    "error_envelope",
     "event_aggregates",
     "group_reports",
     "parse_query",
     "rank_leaderboard",
     "report_from_arrays",
+    "respond_line",
     "run_query",
     "sequential_sum",
     "serve_lines",

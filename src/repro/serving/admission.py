@@ -1,0 +1,200 @@
+"""Admission control for the serving front end.
+
+The paper's CDI platform serves many concurrent consumers (BI
+dashboards, CloudBot, operators); a serving layer that accepts every
+request melts down under the heaviest one.  This module is the
+gatekeeper in front of :class:`~repro.serving.service.QueryService`:
+
+* a **bounded in-flight limit** — at most ``max_in_flight`` queries
+  execute at once; excess load is rejected immediately with a typed
+  ``overloaded`` error instead of queueing without bound;
+* **per-client token buckets** — each client refills at
+  ``rate_per_client`` tokens/second up to ``burst``; a client that
+  outruns its bucket gets a typed ``rate_limited`` error while other
+  clients are unaffected.
+
+Rejections are *explicit and cheap*: the caller gets an
+:class:`AdmissionError` carrying a stable ``kind`` that the wire
+layer maps onto the JSON error envelope
+(``{"ok": false, "error": {"kind": ..., "message": ...}}``), so
+well-behaved clients can back off and retry.
+
+Time is injected (``clock``) so rate-limit behaviour is deterministic
+under test; production uses ``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+#: Per-client buckets kept before the least-recently-seen is dropped.
+MAX_TRACKED_CLIENTS = 1024
+
+
+class AdmissionError(RuntimeError):
+    """A query was rejected before execution; ``kind`` names why."""
+
+    kind = "rejected"
+
+
+class OverloadedError(AdmissionError):
+    """Too many queries in flight — the service sheds load."""
+
+    kind = "overloaded"
+
+
+class RateLimitedError(AdmissionError):
+    """One client exceeded its token bucket; others are unaffected."""
+
+    kind = "rate_limited"
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionStats:
+    """Counters of one :class:`AdmissionController` (point-in-time copy)."""
+
+    admitted: int
+    rejected_overload: int
+    rejected_rate: int
+    in_flight: int
+
+    @property
+    def attempts(self) -> int:
+        """Total admission attempts (admitted plus every rejection)."""
+        return self.admitted + self.rejected_overload + self.rejected_rate
+
+
+class TokenBucket:
+    """A deterministic token bucket: ``rate`` tokens/second, ``burst`` cap.
+
+    Not thread-safe on its own — the owning
+    :class:`AdmissionController` serializes access under its lock.
+    """
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float]) -> None:
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self._rate = float(rate)
+        self._burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+
+    def take(self, amount: float = 1.0) -> bool:
+        """Consume ``amount`` tokens if available; ``False`` otherwise."""
+        now = self._clock()
+        elapsed = max(0.0, now - self._last)
+        self._tokens = min(self._burst, self._tokens + elapsed * self._rate)
+        self._last = now
+        if self._tokens >= amount:
+            self._tokens -= amount
+            return True
+        return False
+
+
+class AdmissionController:
+    """Bounded in-flight queries plus per-client token-bucket limits.
+
+    Parameters
+    ----------
+    max_in_flight:
+        Queries allowed to execute concurrently; the ``max_in_flight +
+        1``-th attempt is rejected with :class:`OverloadedError`.
+    rate_per_client:
+        Sustained tokens/second granted to each client; ``None``
+        disables rate limiting.  ``0`` grants only the initial burst —
+        useful for deterministic tests.
+    burst:
+        Bucket capacity (instantaneous burst allowance).  Defaults to
+        ``max(1, rate_per_client)``.
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+
+    All methods are thread-safe.  Client buckets are LRU-bounded at
+    :data:`MAX_TRACKED_CLIENTS` so an open service cannot be grown
+    without bound by fabricated client identities (a dropped client
+    simply starts from a full bucket again — conservative in the
+    permissive direction).
+    """
+
+    def __init__(self, *, max_in_flight: int = 64,
+                 rate_per_client: float | None = None,
+                 burst: float | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if max_in_flight < 1:
+            raise ValueError(
+                f"max_in_flight must be >= 1, got {max_in_flight}"
+            )
+        self._max_in_flight = max_in_flight
+        self._rate = rate_per_client
+        self._burst = (
+            max(1.0, rate_per_client) if burst is None and
+            rate_per_client is not None else burst
+        )
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        self._in_flight = 0
+        self._admitted = 0
+        self._rejected_overload = 0
+        self._rejected_rate = 0
+
+    @contextmanager
+    def admit(self, client: str = "anonymous") -> Iterator[None]:
+        """Admit one query for ``client`` for the duration of the block.
+
+        Raises :class:`OverloadedError` or :class:`RateLimitedError`
+        *before* entering the block; the in-flight slot is released on
+        exit even if the query itself raises.
+        """
+        self._acquire(client)
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._in_flight -= 1
+
+    def _acquire(self, client: str) -> None:
+        """Take one in-flight slot and one token, or raise."""
+        with self._lock:
+            if self._in_flight >= self._max_in_flight:
+                self._rejected_overload += 1
+                raise OverloadedError(
+                    f"too many queries in flight "
+                    f"(limit {self._max_in_flight}); retry later"
+                )
+            if self._rate is not None:
+                bucket = self._buckets.get(client)
+                if bucket is None:
+                    bucket = TokenBucket(self._rate, self._burst, self._clock)
+                    self._buckets[client] = bucket
+                    while len(self._buckets) > MAX_TRACKED_CLIENTS:
+                        self._buckets.popitem(last=False)
+                self._buckets.move_to_end(client)
+                if not bucket.take(1.0):
+                    self._rejected_rate += 1
+                    raise RateLimitedError(
+                        f"client {client!r} exceeded {self._rate}/s "
+                        f"(burst {self._burst}); slow down"
+                    )
+            self._in_flight += 1
+            self._admitted += 1
+
+    @property
+    def stats(self) -> AdmissionStats:
+        """Snapshot of the admitted/rejected/in-flight counters."""
+        with self._lock:
+            return AdmissionStats(
+                admitted=self._admitted,
+                rejected_overload=self._rejected_overload,
+                rejected_rate=self._rejected_rate,
+                in_flight=self._in_flight,
+            )

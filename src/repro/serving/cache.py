@@ -25,13 +25,20 @@ MISS = object()
 
 @dataclass(frozen=True, slots=True)
 class CacheStats:
-    """Counters of one :class:`GenerationCache` (a point-in-time copy)."""
+    """Counters of one :class:`GenerationCache` (a point-in-time copy).
+
+    ``lookups`` is counted independently of the hit/miss split, so
+    ``hits + misses == lookups`` is a real consistency invariant — the
+    concurrency suite hammers one cache from many threads and asserts
+    it never drifts.
+    """
 
     hits: int
     misses: int
     invalidations: int
     evictions: int
     size: int
+    lookups: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -53,6 +60,7 @@ class GenerationCache:
         self._misses = 0
         self._invalidations = 0
         self._evictions = 0
+        self._lookups = 0
 
     def get(self, key: Hashable, stamp: Any) -> Any:
         """The cached value for ``key`` at ``stamp``, else :data:`MISS`.
@@ -61,6 +69,7 @@ class GenerationCache:
         invalidation (the underlying tables changed) and is removed.
         """
         with self._lock:
+            self._lookups += 1
             entry = self._entries.get(key)
             if entry is None:
                 self._misses += 1
@@ -100,4 +109,5 @@ class GenerationCache:
                 hits=self._hits, misses=self._misses,
                 invalidations=self._invalidations,
                 evictions=self._evictions, size=len(self._entries),
+                lookups=self._lookups,
             )

@@ -1,0 +1,272 @@
+"""Asyncio socket front end for the query service.
+
+``repro serve --listen HOST:PORT`` binds a TCP server speaking the
+exact JSON-lines wire format of the stdin loop
+(:func:`repro.serving.server.serve_lines`): one JSON query per line
+in, one JSON response per line out, errors as the standardized
+envelope.  Many clients connect concurrently; each connection's
+queries are answered strictly in order (FIFO per connection), while
+the CPU-bound query work runs on a thread pool via
+``run_in_executor`` so the event loop keeps accepting connections.
+
+Three pieces:
+
+* :class:`QueryServer` — the asyncio server itself (lives on an event
+  loop; ``repro serve --listen`` drives it directly);
+* :class:`ServerThread` — a context manager that runs a
+  :class:`QueryServer` on a background thread, for tests and
+  benchmarks that need a live socket without owning a loop;
+* :class:`LineClient` — a minimal blocking client used by the
+  concurrent-serving benchmark and the listener tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+from typing import Any, Mapping
+
+from repro.serving.admission import AdmissionController, AdmissionError
+from repro.serving.cache import MISS, GenerationCache
+from repro.serving.server import error_envelope, respond_line
+from repro.serving.service import QueryService
+
+#: Cap on one wire line; longer lines fail the connection, not the server.
+MAX_LINE_BYTES = 1 << 20
+
+#: Serialized responses kept in the wire-level cache (per server).
+DEFAULT_WIRE_CACHE_SIZE = 1024
+
+
+class QueryServer:
+    """TCP JSON-lines server over one :class:`QueryService`.
+
+    Must be started from a running event loop (``await start()``).
+    ``port=0`` binds an ephemeral port; read :attr:`address` after
+    start.  When ``admission`` is given, each connection's peer
+    address is its client identity for per-client rate limits.
+
+    Repeated identical queries are served from a **wire-level cache**
+    of serialized response bytes, keyed by the raw request line under
+    the generation stamp observed *before* computing — the same
+    stamp-before-read protocol as the service's result cache, so a
+    table write invalidates cached responses and a stale answer can
+    never be served.  Hits skip JSON parsing, query dispatch, and the
+    executor round trip entirely (the dominant per-request cost for a
+    dashboard-style workload that asks the same questions over and
+    over); only successful responses are cached, so admission
+    rejections and errors are always computed per request.
+    """
+
+    def __init__(self, service: QueryService, *, host: str = "127.0.0.1",
+                 port: int = 0,
+                 admission: AdmissionController | None = None,
+                 wire_cache_size: int = DEFAULT_WIRE_CACHE_SIZE) -> None:
+        self._service = service
+        self._host = host
+        self._port = port
+        self._admission = admission
+        self._wire_cache = GenerationCache(maxsize=wire_cache_size)
+        self._server: asyncio.AbstractServer | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``; valid after :meth:`start`."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting connections; returns the address."""
+        self._server = await asyncio.start_server(
+            self._handle, self._host, self._port, limit=MAX_LINE_BYTES,
+        )
+        return self.address
+
+    async def close(self) -> None:
+        """Stop accepting connections and wait for the socket to close."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        """Block (asynchronously) serving connections until cancelled."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        """Serve one connection: FIFO request/response until EOF."""
+        peer = writer.get_extra_info("peername")
+        client = f"{peer[0]}:{peer[1]}" if peer else "unknown"
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                try:
+                    raw = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    break  # oversized line: drop this connection
+                if not raw:
+                    break
+                key = raw.strip()
+                if not key:
+                    continue
+                # Fast path: an identical line answered under the
+                # current stamp — serve the cached bytes inline (a
+                # dict lookup, no parse/dispatch/executor hop).
+                stamp = self._service.generation_stamp()
+                cached = self._wire_cache.get(key, stamp)
+                if cached is not MISS:
+                    rejection = self._admit_only(client)
+                    writer.write(cached if rejection is None else rejection)
+                    await writer.drain()
+                    continue
+                line = raw.decode("utf-8", errors="replace")
+                response = await loop.run_in_executor(
+                    None, self._respond, line, client,
+                )
+                if response is None:
+                    continue
+                encoded = (
+                    json.dumps(response, sort_keys=True) + "\n"
+                ).encode()
+                if response.get("ok") is True:
+                    # Stored under the pre-compute stamp: at worst the
+                    # entry is older than the data and recomputes next
+                    # time — never served stale.
+                    self._wire_cache.put(key, stamp, encoded)
+                writer.write(encoded)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client vanished mid-write; nothing to clean up
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _admit_only(self, client: str) -> bytes | None:
+        """Count one admitted query for a wire-cache hit, or reject.
+
+        Returns ``None`` when admitted, else the serialized rejection
+        envelope — cached answers still consume the client's tokens
+        and respect the in-flight bound.
+        """
+        if self._admission is None:
+            return None
+        try:
+            with self._admission.admit(client):
+                return None
+        except AdmissionError as error:
+            envelope = error_envelope(error.kind, error)
+            return (json.dumps(envelope, sort_keys=True) + "\n").encode()
+
+    def _respond(self, line: str, client: str) -> Mapping[str, Any] | None:
+        """Thread-pool body: decode, admit, execute, serialize one line."""
+        return respond_line(self._service, line,
+                            admission=self._admission, client=client)
+
+
+class ServerThread:
+    """Run a :class:`QueryServer` on a background thread.
+
+    Context manager: entering starts the loop + server and returns
+    ``self`` with :attr:`address` bound; exiting stops the server and
+    joins the thread.  Used by tests and the concurrent benchmark to
+    stand up a real socket without owning an event loop.
+    """
+
+    def __init__(self, service: QueryService, *, host: str = "127.0.0.1",
+                 port: int = 0,
+                 admission: AdmissionController | None = None) -> None:
+        self._server = QueryServer(service, host=host, port=port,
+                                   admission=admission)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self.address: tuple[str, int] | None = None
+
+    def __enter__(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True,
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=10.0):
+            raise RuntimeError("query server failed to start within 10s")
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        loop = self._loop
+        if loop is not None:
+            loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+
+    def _run(self) -> None:
+        """Thread body: own an event loop for the server's lifetime."""
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        self._stop = asyncio.Event()
+        try:
+            loop.run_until_complete(self._serve())
+        finally:
+            loop.close()
+
+    async def _serve(self) -> None:
+        """Start, publish the address, then park until told to stop."""
+        self.address = await self._server.start()
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await self._server.close()
+
+
+class LineClient:
+    """Minimal blocking JSON-lines client for tests and benchmarks."""
+
+    def __init__(self, address: tuple[str, int],
+                 timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection(address, timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def request(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """Send one query object and block for its response object."""
+        self._file.write((json.dumps(payload) + "\n").encode())
+        self._file.flush()
+        raw = self._file.readline()
+        if not raw:
+            raise ConnectionError("server closed the connection")
+        return json.loads(raw)
+
+    def send_raw(self, line: str) -> dict[str, Any]:
+        """Send one raw line (possibly malformed) and read the response."""
+        self._file.write((line.rstrip("\n") + "\n").encode())
+        self._file.flush()
+        raw = self._file.readline()
+        if not raw:
+            raise ConnectionError("server closed the connection")
+        return json.loads(raw)
+
+    def close(self) -> None:
+        """Close the socket."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "LineClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -13,10 +13,12 @@ This module is the materialization layer underneath that read path:
   (fleet, per-category, per-dimension, per-VM, top-K damaged VMs,
   event-name leaderboard), materialized from the columnar blocks in
   one vectorized sweep;
-* :class:`RollupStore` — the per-partition rollup cache, stamped with
-  the tables' write generations so any table write invalidates exactly
-  the partitions it touched (:meth:`repro.storage.table.Table.
-  partition_generation`).
+* :class:`RollupShard` — one shard of the rollup plane: a bounded,
+  generation-stamped LRU of the rollups for the partitions it owns;
+* :class:`RollupStore` — the sharded rollup cache: partitions hash to
+  disjoint shards, stamps come from the tables' write generations so
+  any table write invalidates exactly the partitions it touched
+  (:meth:`repro.storage.table.Table.partition_generation`).
 
 Exactness contract: every kernel is **float-identical** to the
 row-at-a-time reference implementations
@@ -32,13 +34,14 @@ whose pairwise summation rounds differently).
 
 from __future__ import annotations
 
-import threading
+import zlib
 from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.core.indicator import CdiReport
-from repro.storage.table import TableStore
+from repro.serving.cache import MISS, CacheStats, GenerationCache
+from repro.storage.table import Table, TableStore
 
 #: ``resolver(vm_id)`` → dimension attributes (e.g. region/az/cluster).
 DimensionResolver = Callable[[str], Mapping[str, str]]
@@ -288,40 +291,156 @@ class PartitionRollup:
         return reports
 
 
-class RollupStore:
-    """Per-partition rollups over the two output tables, cached by
-    write generation.
+#: Per-shard rollup LRU capacity: bounds memory during long backfills.
+DEFAULT_SHARD_CACHE_SIZE = 64
 
-    Each partition's :class:`PartitionRollup` is stamped with the
-    ``(vm_cdi, event_cdi)`` partition generations observed *before*
-    reading the data; a later write to either table's partition bumps
-    its generation and the next access rebuilds the rollup.  Reading
-    the stamp first makes the race with a concurrent writer
-    conservative: a rollup can at worst carry a stamp older than its
-    data (recomputed needlessly next time), never newer (served
-    stale).
+
+class RollupShard:
+    """One shard of the rollup plane: the day partitions it owns.
+
+    A shard's rollups live in a bounded generation-stamped LRU
+    (:class:`~repro.serving.cache.GenerationCache`): the key is the
+    partition, the stamp the ``(vm_cdi, event_cdi)`` partition
+    generations observed *before* reading the data.  A backfill that
+    keeps bumping a partition's generation therefore *replaces* that
+    partition's entry instead of accumulating superseded rollups, and
+    a backfill that keeps creating fresh partitions is bounded by LRU
+    eviction — the store can never grow without limit.
+
+    Shards share nothing but the (thread-safe) underlying tables, so
+    the query service can fan sub-queries out to them on a thread pool
+    without cross-shard lock contention.
+    """
+
+    def __init__(self, index: int, vm_table: Table, event_table: Table,
+                 resolver: DimensionResolver | None,
+                 cache_size: int = DEFAULT_SHARD_CACHE_SIZE) -> None:
+        self.index = index
+        self._vm_table = vm_table
+        self._event_table = event_table
+        self._resolver = resolver
+        self._cache = GenerationCache(maxsize=cache_size)
+
+    def partition_stamp(self, partition: str) -> tuple[int, int]:
+        """Current ``(vm_cdi, event_cdi)`` generations of one partition."""
+        return (
+            self._vm_table.partition_generation(partition),
+            self._event_table.partition_generation(partition),
+        )
+
+    def rollup(self, partition: str) -> PartitionRollup:
+        """The (cached) rollup of one day partition this shard owns.
+
+        The stamp is read *before* the data, so a rollup can at worst
+        carry a stamp older than its data (recomputed needlessly next
+        time), never newer (served stale).  Two threads racing on a
+        cold partition both build the same immutable value — benign.
+        """
+        stamp = self.partition_stamp(partition)
+        cached = self._cache.get(partition, stamp)
+        if cached is not MISS:
+            return cached
+        rollup = PartitionRollup(
+            partition,
+            self._vm_table.columns(partition=partition),
+            self._event_table.columns(partition=partition),
+            self._resolver,
+        )
+        self._cache.put(partition, stamp, rollup)
+        return rollup
+
+    @property
+    def cached_rollups(self) -> int:
+        """Number of rollups currently held (bounded by the LRU)."""
+        return len(self._cache)
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/invalidation counters of this shard's rollup LRU."""
+        return self._cache.stats
+
+    def invalidate(self) -> None:
+        """Drop this shard's cached rollups (rebuilt lazily on access)."""
+        self._cache.clear()
+
+
+class RollupStore:
+    """Sharded per-partition rollups over the two output tables.
+
+    Day partitions are assigned to ``shards`` disjoint
+    :class:`RollupShard` instances by a stable hash of the partition
+    label, so the assignment is deterministic across processes and
+    restarts.  Each shard caches its partitions' rollups independently
+    (its own lock, its own bounded LRU) — see :class:`RollupShard` for
+    the generation-stamp staleness argument, and DESIGN.md §13 for the
+    cross-shard snapshot-consistency protocol the query service builds
+    on :meth:`partition_stamps`.
+
+    ``shards=1`` (the default) degenerates to the original single-
+    store behaviour; every answer is byte-identical either way because
+    a partition's rollup is always built whole by exactly one shard.
     """
 
     def __init__(self, tables: TableStore, *,
-                 resolver: DimensionResolver | None = None) -> None:
+                 resolver: DimensionResolver | None = None,
+                 shards: int = 1,
+                 shard_cache_size: int = DEFAULT_SHARD_CACHE_SIZE) -> None:
         # Deferred to break the import cycle: pipeline.bi consumes the
         # kernels above at module import, before pipeline.tables exists.
         from repro.pipeline.tables import EVENT_CDI_TABLE, VM_CDI_TABLE
 
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self._vm_table = tables.get(VM_CDI_TABLE)
         self._event_table = tables.get(EVENT_CDI_TABLE)
         self._resolver = resolver
-        self._lock = threading.Lock()
-        self._rollups: dict[str, tuple[tuple[int, int], PartitionRollup]] = {}
+        self._shards = tuple(
+            RollupShard(index, self._vm_table, self._event_table, resolver,
+                        cache_size=shard_cache_size)
+            for index in range(shards)
+        )
 
     @property
     def resolver(self) -> DimensionResolver | None:
         """The topology dimension resolver, if configured."""
         return self._resolver
 
+    @property
+    def shard_count(self) -> int:
+        """Number of shards partitions are distributed over."""
+        return len(self._shards)
+
+    @property
+    def shards(self) -> tuple[RollupShard, ...]:
+        """The shard objects (read-only view for tests/benchmarks)."""
+        return self._shards
+
+    def shard_of(self, partition: str) -> int:
+        """Deterministic shard index owning one partition label.
+
+        CRC32 of the label, not :func:`hash` — Python randomizes string
+        hashing per process, and the assignment must agree across
+        processes (and with any persisted artifacts naming shards).
+        """
+        return zlib.crc32(partition.encode("utf-8")) % len(self._shards)
+
     def generation_stamp(self) -> tuple[int, int]:
         """Current ``(vm_cdi, event_cdi)`` table write generations."""
         return (self._vm_table.generation, self._event_table.generation)
+
+    def partition_stamps(self,
+                         partitions: Sequence[str]) -> tuple[tuple[int, int], ...]:
+        """Per-partition ``(vm_gen, event_gen)`` stamps, atomically per table.
+
+        Each table's generations are snapshotted under its generation
+        lock, so a writer cannot bump one of the requested partitions
+        halfway through a table's snapshot.  The query service takes
+        this before and after a cross-shard read: equal stamps prove no
+        involved partition changed mid-merge.
+        """
+        vm_gens = self._vm_table.partition_generations(partitions)
+        event_gens = self._event_table.partition_generations(partitions)
+        return tuple(zip(vm_gens, event_gens))
 
     def days(self) -> list[str]:
         """All day partitions present in either output table, sorted."""
@@ -330,31 +449,20 @@ class RollupStore:
         )
 
     def rollup(self, partition: str) -> PartitionRollup:
-        """The (cached) rollup of one day partition.
+        """The (cached) rollup of one day partition, via its owning shard.
 
         A partition absent from both tables yields an all-zero rollup
         — the same answer a direct recompute over its (empty) rows
         gives.
         """
-        stamp = (
-            self._vm_table.partition_generation(partition),
-            self._event_table.partition_generation(partition),
-        )
-        with self._lock:
-            entry = self._rollups.get(partition)
-            if entry is not None and entry[0] == stamp:
-                return entry[1]
-        rollup = PartitionRollup(
-            partition,
-            self._vm_table.columns(partition=partition),
-            self._event_table.columns(partition=partition),
-            self._resolver,
-        )
-        with self._lock:
-            self._rollups[partition] = (stamp, rollup)
-        return rollup
+        return self._shards[self.shard_of(partition)].rollup(partition)
+
+    @property
+    def cached_rollups(self) -> int:
+        """Total rollups held across all shards (bounded by the LRUs)."""
+        return sum(shard.cached_rollups for shard in self._shards)
 
     def invalidate(self) -> None:
         """Drop every cached rollup (they rebuild lazily on access)."""
-        with self._lock:
-            self._rollups.clear()
+        for shard in self._shards:
+            shard.invalidate()

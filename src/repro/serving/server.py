@@ -1,11 +1,20 @@
-"""JSON wire format and serving loop for the query service.
+"""JSON wire format and serving loops for the query service.
 
-``repro query`` and ``repro serve`` speak this format: a query is a
-JSON object with a ``kind`` plus the fields of the corresponding
-typed query dataclass, a response is ``{"ok": true, "kind": ...,
-"result": ...}`` (or ``{"ok": false, "error": ...}``).  The functions
-here are plain and stream-agnostic so tests drive them without a
-subprocess.
+``repro query``, ``repro serve`` (stdin/stdout compat mode), and the
+socket listener (:mod:`repro.serving.listener`) all speak this format:
+a query is a JSON object with a ``kind`` plus the fields of the
+corresponding typed query dataclass, a success response is
+``{"ok": true, "kind": ..., "result": ...}``, and *every* failure —
+malformed JSON, unknown kinds or fields, admission rejections,
+snapshot-retry exhaustion — is the standardized error envelope::
+
+    {"ok": false, "error": {"kind": "<stable-kind>", "message": "..."}}
+
+with ``error.kind`` one of ``bad_request`` (the query itself is
+wrong), ``overloaded`` / ``rate_limited`` (admission control shed it),
+``unavailable`` (no consistent cross-shard snapshot; retry), or
+``internal``.  The functions here are plain and stream-agnostic so
+tests drive them without a subprocess.
 
 Example::
 
@@ -20,6 +29,7 @@ import json
 from typing import Any, Callable, Iterable, Mapping
 
 from repro.core.indicator import CdiReport
+from repro.serving.admission import AdmissionController, AdmissionError
 from repro.serving.service import (
     CategoryTrendQuery,
     EventSeriesQuery,
@@ -28,6 +38,7 @@ from repro.serving.service import (
     GroupByQuery,
     Query,
     QueryService,
+    ServiceUnavailableError,
     TopEventsQuery,
     TopVmsQuery,
     VmQuery,
@@ -44,6 +55,18 @@ QUERY_KINDS: dict[str, tuple[type, tuple[str, ...], tuple[str, ...]]] = {
     "event-series": (EventSeriesQuery, ("event",), ()),
     "vm": (VmQuery, ("day", "vm"), ()),
 }
+
+#: Stable ``error.kind`` values of the JSON error envelope.
+ERROR_BAD_REQUEST = "bad_request"
+ERROR_OVERLOADED = "overloaded"
+ERROR_RATE_LIMITED = "rate_limited"
+ERROR_UNAVAILABLE = "unavailable"
+ERROR_INTERNAL = "internal"
+
+
+def error_envelope(kind: str, message: object) -> dict[str, Any]:
+    """The standardized failure response: stable kind + human message."""
+    return {"ok": False, "error": {"kind": kind, "message": str(message)}}
 
 
 def parse_query(payload: Mapping[str, Any]) -> Query:
@@ -105,49 +128,78 @@ def to_jsonable(query: Query, result: Any) -> Any:
     raise TypeError(f"unknown query type {type(query).__name__}")
 
 
-def run_query(service: QueryService,
-              payload: Mapping[str, Any]) -> dict[str, Any]:
-    """Parse, execute, and serialize one wire query.
+def run_query(service: QueryService, payload: Mapping[str, Any], *,
+              admission: AdmissionController | None = None,
+              client: str = "local") -> dict[str, Any]:
+    """Parse, admit, execute, and serialize one wire query.
 
-    Errors come back as ``{"ok": false, "error": ...}`` instead of
-    raising, so one bad query never kills a serving loop.
+    Errors come back as the standardized envelope instead of raising,
+    so one bad query never kills a serving loop.  When ``admission``
+    is given the query executes inside an admitted slot for
+    ``client``; rejections map to their stable kinds.
     """
     try:
         query = parse_query(payload)
-        result = service.execute(query)
-        return {
-            "ok": True,
-            "kind": payload["kind"],
-            "result": to_jsonable(query, result),
-        }
     except (TypeError, ValueError, KeyError) as error:
-        return {"ok": False, "error": str(error)}
+        return error_envelope(ERROR_BAD_REQUEST, error)
+    try:
+        if admission is not None:
+            with admission.admit(client):
+                result = service.execute(query)
+        else:
+            result = service.execute(query)
+    except AdmissionError as error:
+        return error_envelope(error.kind, error)
+    except ServiceUnavailableError as error:
+        return error_envelope(ERROR_UNAVAILABLE, error)
+    except (TypeError, ValueError, KeyError) as error:
+        # Semantic rejections raised at dispatch time (unknown
+        # category/dimension, bad k) are still the client's fault.
+        return error_envelope(ERROR_BAD_REQUEST, error)
+    return {
+        "ok": True,
+        "kind": payload["kind"],
+        "result": to_jsonable(query, result),
+    }
+
+
+def respond_line(service: QueryService, line: str, *,
+                 admission: AdmissionController | None = None,
+                 client: str = "local") -> dict[str, Any] | None:
+    """One raw wire line → one response object (``None`` for blanks).
+
+    The single decode-validate-execute step shared by every entry
+    point (stdin loop, socket listener, tests), so malformed input is
+    handled identically everywhere.
+    """
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        return error_envelope(ERROR_BAD_REQUEST, f"invalid JSON: {error}")
+    if not isinstance(payload, Mapping):
+        return error_envelope(ERROR_BAD_REQUEST, "query must be a JSON object")
+    return run_query(service, payload, admission=admission, client=client)
 
 
 def serve_lines(service: QueryService, lines: Iterable[str],
-                write: Callable[[str], Any]) -> int:
+                write: Callable[[str], Any], *,
+                admission: AdmissionController | None = None,
+                client: str = "stdin") -> int:
     """JSON-lines serving loop: one query per line, one response per line.
 
-    Blank lines are skipped; malformed JSON yields an error response.
-    Returns the number of queries answered.  ``repro serve`` runs this
-    over stdin/stdout.
+    Blank lines are skipped; malformed JSON yields a ``bad_request``
+    envelope.  Returns the number of queries answered.  ``repro
+    serve`` (without ``--listen``) runs this over stdin/stdout.
     """
     answered = 0
     for line in lines:
-        line = line.strip()
-        if not line:
+        response = respond_line(service, line,
+                                admission=admission, client=client)
+        if response is None:
             continue
-        try:
-            payload = json.loads(line)
-        except json.JSONDecodeError as error:
-            response: dict[str, Any] = {
-                "ok": False, "error": f"invalid JSON: {error}"
-            }
-        else:
-            if isinstance(payload, Mapping):
-                response = run_query(service, payload)
-            else:
-                response = {"ok": False, "error": "query must be a JSON object"}
         write(json.dumps(response, sort_keys=True))
         answered += 1
     return answered

@@ -18,13 +18,34 @@ computation (enforced by ``tests/serving/test_differential.py``).
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Union
+from typing import Any, Callable, Union
 
 from repro.core.indicator import CdiReport
 from repro.serving.cache import MISS, CacheStats, GenerationCache
-from repro.serving.rollups import CATEGORIES, DimensionResolver, RollupStore
+from repro.serving.rollups import (
+    CATEGORIES,
+    DEFAULT_SHARD_CACHE_SIZE,
+    DimensionResolver,
+    RollupStore,
+)
 from repro.storage.table import TableStore
+
+#: Cross-shard snapshot attempts before the service reports overload.
+SNAPSHOT_RETRIES = 64
+
+
+class ServiceUnavailableError(RuntimeError):
+    """No consistent cross-shard snapshot could be assembled.
+
+    Raised when :data:`SNAPSHOT_RETRIES` consecutive attempts at a
+    multi-partition read were each invalidated by a concurrent writer
+    bumping one of the involved partitions mid-merge.  Callers should
+    treat it like overload (the wire layer maps it to the
+    ``unavailable`` error kind) — the alternative would be serving a
+    torn merge, which the service never does.
+    """
 
 
 @dataclass(frozen=True, slots=True)
@@ -113,18 +134,57 @@ class QueryService:
         queries (usually ``fleet.dimensions_of``).
     cache_size:
         LRU capacity of the result cache.
+    shards:
+        Number of rollup shards partitions are hashed over.  ``1``
+        (the default) is the original single-store path; more shards
+        split the rollup plane so multi-day queries can fan out.
+    shard_cache_size:
+        Per-shard rollup LRU capacity (bounds memory under backfills).
+    parallelism:
+        Thread-pool width for cross-shard fan-out.  Defaults to the
+        shard count; ``1`` forces sequential merges.  Ignored when
+        ``shards == 1`` (nothing to fan out to).
 
     The service is thread-safe for concurrent readers while the daily
     job keeps writing: results are stamped with the tables' write
     generations *before* the data is read, so a write racing a query
     can only cause a needless recompute, never a stale answer.
+    Multi-partition queries additionally validate a per-partition
+    generation snapshot after the merge and recompute on any mid-read
+    bump, so a cross-shard answer always corresponds to one consistent
+    point in the write history — never a torn merge (DESIGN.md §13).
     """
 
     def __init__(self, tables: TableStore, *,
                  resolver: DimensionResolver | None = None,
-                 cache_size: int = 256) -> None:
-        self._rollups = RollupStore(tables, resolver=resolver)
+                 cache_size: int = 256,
+                 shards: int = 1,
+                 shard_cache_size: int = DEFAULT_SHARD_CACHE_SIZE,
+                 parallelism: int | None = None) -> None:
+        self._rollups = RollupStore(tables, resolver=resolver, shards=shards,
+                                    shard_cache_size=shard_cache_size)
         self._cache = GenerationCache(maxsize=cache_size)
+        workers = shards if parallelism is None else parallelism
+        if workers < 1:
+            raise ValueError(f"parallelism must be >= 1, got {workers}")
+        self._pool: ThreadPoolExecutor | None = None
+        if shards > 1 and workers > 1:
+            self._pool = ThreadPoolExecutor(
+                max_workers=min(workers, shards),
+                thread_name_prefix="repro-shard",
+            )
+
+    def close(self) -> None:
+        """Shut down the shard fan-out pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # -- execution -------------------------------------------------------------
 
@@ -135,25 +195,36 @@ class QueryService:
         if cached is not MISS:
             return cached
         result = self._dispatch(query)
-        self._cache.put(query, stamp, result)
+        # Cache only if no table write landed while computing: then the
+        # result is exactly the state at ``stamp``.  Under a racing
+        # writer the entry would be dead on arrival anyway (generations
+        # are monotonic, so its stamp could never match again).
+        if self._rollups.generation_stamp() == stamp:
+            self._cache.put(query, stamp, result)
         return result
 
     def _dispatch(self, query: Query) -> Any:
-        """Compute one query from the materialized rollups (uncached)."""
+        """Compute one query from the materialized rollups (uncached).
+
+        Single-day kinds route straight to the owning shard; multi-day
+        kinds go through the snapshot-validated cross-shard merge.
+        """
         if isinstance(query, FleetQuery):
             return self._rollups.rollup(query.day).fleet
         if isinstance(query, FleetRangeQuery):
-            return [
-                (day, self._rollups.rollup(day).fleet)
-                for day in self._days_between(query.start, query.end)
-            ]
+            days, reports = self._merged_days(
+                lambda: self._days_between(query.start, query.end),
+                lambda rollup: rollup.fleet,
+            )
+            return list(zip(days, reports))
         if isinstance(query, CategoryTrendQuery):
             if query.category not in CATEGORIES:
                 raise ValueError(f"unknown category {query.category!r}")
-            return [
-                (day, getattr(self._rollups.rollup(day).fleet, query.category))
-                for day in self._rollups.days()
-            ]
+            days, values = self._merged_days(
+                self._rollups.days,
+                lambda rollup: getattr(rollup.fleet, query.category),
+            )
+            return list(zip(days, values))
         if isinstance(query, GroupByQuery):
             return self._rollups.rollup(query.day).group_by(query.dimension)
         if isinstance(query, TopVmsQuery):
@@ -163,13 +234,73 @@ class QueryService:
         if isinstance(query, TopEventsQuery):
             return self._rollups.rollup(query.day).event_leaderboard(query.k)
         if isinstance(query, EventSeriesQuery):
-            return [
-                (day, self._rollups.rollup(day).event_value(query.event))
-                for day in self._rollups.days()
-            ]
+            days, values = self._merged_days(
+                self._rollups.days,
+                lambda rollup: rollup.event_value(query.event),
+            )
+            return list(zip(days, values))
         if isinstance(query, VmQuery):
             return self._rollups.rollup(query.day).vm_report(query.vm)
         raise TypeError(f"unknown query type {type(query).__name__}")
+
+    # -- cross-shard merge plane -----------------------------------------------
+
+    def _merged_days(self, days_fn: Callable[[], list[str]],
+                     per_rollup: Callable[[Any], Any],
+                     ) -> tuple[list[str], list[Any]]:
+        """Snapshot-consistent per-day values across shards.
+
+        The protocol: resolve the day list and atomically snapshot the
+        involved partitions' generation stamps, fan the per-day reads
+        out to their owning shards, then re-resolve and re-snapshot —
+        if either changed, a writer landed mid-merge and the whole
+        read restarts.  Equal stamps prove every rollup used was at
+        exactly the snapshotted generations (generations are monotonic
+        and each shard validates its rollup's stamp on access), i.e.
+        the merged answer existed at one point in the write history.
+
+        Unrelated writes (other partitions, other tables' days) do not
+        perturb the involved stamps, so a live backfill appending new
+        partitions only retries a query whose *day list* it extends.
+        """
+        for _ in range(SNAPSHOT_RETRIES):
+            days = days_fn()
+            stamps = self._rollups.partition_stamps(days)
+            values = self._scatter_gather(days, per_rollup)
+            if (days_fn() == days
+                    and self._rollups.partition_stamps(days) == stamps):
+                return days, values
+        raise ServiceUnavailableError(
+            f"no consistent cross-shard snapshot after {SNAPSHOT_RETRIES} "
+            "attempts (writers kept landing mid-merge); retry later"
+        )
+
+    def _scatter_gather(self, days: list[str],
+                        per_rollup: Callable[[Any], Any]) -> list[Any]:
+        """One value per day, computed shard-parallel, in day order."""
+        if self._pool is None or len(days) <= 1:
+            return [per_rollup(self._rollups.rollup(day)) for day in days]
+        by_shard: dict[int, list[tuple[int, str]]] = {}
+        for position, day in enumerate(days):
+            by_shard.setdefault(self._rollups.shard_of(day), []).append(
+                (position, day)
+            )
+
+        def run_shard(entries: list[tuple[int, str]]) -> list[tuple[int, Any]]:
+            return [
+                (position, per_rollup(self._rollups.rollup(day)))
+                for position, day in entries
+            ]
+
+        values: list[Any] = [None] * len(days)
+        futures = [
+            self._pool.submit(run_shard, entries)
+            for entries in by_shard.values()
+        ]
+        for future in futures:
+            for position, value in future.result():
+                values[position] = value
+        return values
 
     def _days_between(self, start: str | None, end: str | None) -> list[str]:
         """Known day partitions within the (inclusive) label bounds."""
@@ -220,6 +351,15 @@ class QueryService:
         """Every known day partition, sorted."""
         return self._rollups.days()
 
+    def generation_stamp(self) -> tuple[int, int]:
+        """Current ``(vm_cdi, event_cdi)`` table write generations.
+
+        The stamp callers use to cache anything derived from this
+        service's answers (e.g. the socket listener's serialized
+        response cache) under the stamp-before-read protocol.
+        """
+        return self._rollups.generation_stamp()
+
     def vm_count(self, day: str) -> int:
         """Number of VMs with a ``vm_cdi`` row on one day."""
         return self._rollups.rollup(day).vm_count
@@ -233,3 +373,13 @@ class QueryService:
     def cache_stats(self) -> CacheStats:
         """Hit/miss/invalidation counters of the result cache."""
         return self._cache.stats
+
+    @property
+    def shard_count(self) -> int:
+        """Number of rollup shards behind this service."""
+        return self._rollups.shard_count
+
+    @property
+    def cached_rollups(self) -> int:
+        """Total materialized rollups held across all shards."""
+        return self._rollups.cached_rollups

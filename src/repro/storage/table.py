@@ -105,6 +105,20 @@ class Table:
         """
         return self._partition_generations.get(partition, 0)
 
+    def partition_generations(self, partitions: Sequence[str]) -> tuple[int, ...]:
+        """Atomic snapshot of several partitions' generations.
+
+        Taken under the generation lock, so the returned tuple is one
+        consistent point in the write history — no writer can bump one
+        of the requested partitions halfway through the snapshot.  The
+        serving layer's cross-shard merge protocol validates multi-
+        partition reads against two such snapshots.
+        """
+        with self._generation_lock:
+            return tuple(
+                self._partition_generations.get(p, 0) for p in partitions
+            )
+
     def _bump_generation(self, partition: str) -> None:
         """Record a completed mutation of ``partition`` (call *last*)."""
         with self._generation_lock:

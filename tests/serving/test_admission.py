@@ -1,0 +1,202 @@
+"""Admission control: token buckets, overload shedding, typed envelopes.
+
+Time is injected everywhere so every rate-limit decision is
+deterministic; the threaded test checks only invariants (counter
+consistency, bounded concurrency), never timings.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serving import (
+    AdmissionController,
+    OverloadedError,
+    QueryService,
+    RateLimitedError,
+    TokenBucket,
+    run_query,
+)
+
+from .conftest import build_dataset
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+        assert [bucket.take() for _ in range(4)] == [True, True, True, False]
+        clock.advance(0.5)  # 1 token back at 2/s
+        assert bucket.take() is True
+        assert bucket.take() is False
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        assert bucket.take() and bucket.take()
+        clock.advance(100.0)
+        assert [bucket.take() for _ in range(3)] == [True, True, False]
+
+    def test_zero_rate_grants_only_initial_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.0, burst=2.0, clock=clock)
+        assert bucket.take() and bucket.take()
+        clock.advance(1e9)
+        assert bucket.take() is False
+
+    def test_invalid_parameters_rejected(self):
+        clock = FakeClock()
+        with pytest.raises(ValueError, match="rate"):
+            TokenBucket(rate=-1.0, burst=1.0, clock=clock)
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(rate=1.0, burst=0.0, clock=clock)
+
+
+class TestAdmissionController:
+    def test_overload_rejects_beyond_in_flight_limit(self):
+        controller = AdmissionController(max_in_flight=2)
+        with controller.admit("a"):
+            with controller.admit("b"):
+                with pytest.raises(OverloadedError):
+                    with controller.admit("c"):
+                        pass
+            # slot released: admits again
+            with controller.admit("c"):
+                pass
+        stats = controller.stats
+        assert stats.admitted == 3
+        assert stats.rejected_overload == 1
+        assert stats.in_flight == 0
+
+    def test_rate_limit_is_per_client(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            rate_per_client=0, burst=1, clock=clock
+        )
+        with controller.admit("alice"):
+            pass
+        with pytest.raises(RateLimitedError):
+            with controller.admit("alice"):
+                pass
+        # bob has his own bucket, unaffected by alice's exhaustion
+        with controller.admit("bob"):
+            pass
+        stats = controller.stats
+        assert stats.rejected_rate == 1
+        assert stats.admitted == 2
+
+    def test_rate_refills_over_time(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            rate_per_client=1.0, burst=1, clock=clock
+        )
+        with controller.admit("c"):
+            pass
+        with pytest.raises(RateLimitedError):
+            with controller.admit("c"):
+                pass
+        clock.advance(1.0)
+        with controller.admit("c"):
+            pass
+
+    def test_slot_released_when_query_raises(self):
+        controller = AdmissionController(max_in_flight=1)
+        with pytest.raises(RuntimeError, match="boom"):
+            with controller.admit("a"):
+                raise RuntimeError("boom")
+        with controller.admit("a"):
+            pass
+        assert controller.stats.in_flight == 0
+
+    def test_stats_attempts_consistency_under_threads(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            max_in_flight=4, rate_per_client=0, burst=50, clock=clock
+        )
+        errors: list[Exception] = []
+        barrier = threading.Barrier(8)
+
+        def hammer(client: str) -> None:
+            barrier.wait()
+            for _ in range(25):
+                try:
+                    with controller.admit(client):
+                        pass
+                except (OverloadedError, RateLimitedError):
+                    pass
+                except Exception as error:  # pragma: no cover
+                    errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(f"client-{i % 4}",))
+            for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = controller.stats
+        assert stats.in_flight == 0
+        assert stats.attempts == 8 * 25
+
+    def test_invalid_max_in_flight_rejected(self):
+        with pytest.raises(ValueError, match="max_in_flight"):
+            AdmissionController(max_in_flight=0)
+
+
+class TestAdmissionEnvelope:
+    """run_query maps admission rejections onto the typed envelope."""
+
+    @pytest.fixture(scope="class")
+    def service(self):
+        job, fleet, _ = build_dataset(days=2)
+        with QueryService(job.tables, resolver=fleet.dimensions_of,
+                          shards=2) as svc:
+            yield svc
+
+    def test_rate_limited_envelope(self, service):
+        clock = FakeClock()
+        admission = AdmissionController(
+            rate_per_client=0, burst=1, clock=clock
+        )
+        payload = {"kind": "fleet", "day": "day00"}
+        ok = run_query(service, payload, admission=admission, client="c")
+        assert ok["ok"] is True
+        limited = run_query(service, payload, admission=admission,
+                            client="c")
+        assert limited["ok"] is False
+        assert limited["error"]["kind"] == "rate_limited"
+
+    def test_overloaded_envelope(self, service):
+        admission = AdmissionController(max_in_flight=1)
+        payload = {"kind": "fleet", "day": "day00"}
+        with admission.admit("other"):
+            response = run_query(service, payload, admission=admission,
+                                 client="c")
+        assert response["ok"] is False
+        assert response["error"]["kind"] == "overloaded"
+
+    def test_bad_request_bypasses_admission(self, service):
+        # Parse errors are rejected before taking a slot or a token.
+        admission = AdmissionController(max_in_flight=1)
+        with admission.admit("other"):
+            response = run_query(service, {"kind": "nope"},
+                                 admission=admission, client="c")
+        assert response["error"]["kind"] == "bad_request"
+        assert admission.stats.rejected_overload == 0

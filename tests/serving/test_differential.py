@@ -42,9 +42,44 @@ PATHS = {
 
 @pytest.fixture(scope="module", params=sorted(PATHS))
 def path_dataset(request):
+    """One compute path's dataset plus a single-store QueryService.
+
+    ``path_services`` wraps this with the sharded variant so every
+    differential check runs through both configurations.
+    """
     job, fleet, _ = build_dataset(**PATHS[request.param])
     service = QueryService(job.tables, resolver=fleet.dimensions_of)
-    return request.param, job, fleet, service
+    sharded = QueryService(job.tables, resolver=fleet.dimensions_of,
+                           shards=3, parallelism=2)
+    return request.param, job, fleet, ShardedPair(service, sharded)
+
+
+class ShardedPair:
+    """Single-store + sharded services over the same tables.
+
+    ``execute`` runs the query through both and asserts their wire
+    answers are byte-identical before returning the single-store
+    result, so every existing oracle comparison transparently also
+    proves the sharded path.
+    """
+
+    def __init__(self, single, sharded):
+        self.single = single
+        self.sharded = sharded
+
+    def execute(self, query):
+        result = self.single.execute(query)
+        single_wire = json.dumps(to_jsonable(query, result), sort_keys=True)
+        sharded_wire = json.dumps(
+            to_jsonable(query, self.sharded.execute(query)), sort_keys=True
+        )
+        assert sharded_wire == single_wire, \
+            f"sharded path diverges on {query}"
+        return result
+
+    def days(self):
+        assert self.sharded.days() == self.single.days()
+        return self.single.days()
 
 
 def report_dict(report):
@@ -219,7 +254,8 @@ class TestReportParity:
             render_daily_report,
             render_daily_report_from_service,
         )
-        _, job, fleet, service = path_dataset
+        _, job, fleet, pair = path_dataset
+        service = pair.single
         for position, day in enumerate(service.days()):
             previous = None
             if position > 0:
@@ -237,6 +273,80 @@ class TestReportParity:
             )
             from_service = render_daily_report_from_service(service, day)
             assert from_service == from_rows
+            from_sharded = render_daily_report_from_service(
+                pair.sharded, day
+            )
+            assert from_sharded == from_rows
+
+
+class TestShardedDuringBackfill:
+    """Sharded answers stay correct while a live backfill races them."""
+
+    def test_sharded_matches_single_and_oracle_under_race(self):
+        import threading
+
+        from repro.core.events import default_catalog
+        from repro.pipeline.backfill import run_days
+
+        from tests.serving.conftest import events_factory
+
+        job, fleet, vm_services = build_dataset(days=2)
+        single = QueryService(job.tables, resolver=fleet.dimensions_of)
+        sharded = QueryService(job.tables, resolver=fleet.dimensions_of,
+                               shards=3, parallelism=2)
+        finished = ("day00", "day01")
+        baseline = {}
+        for day in finished:
+            baseline[day] = {
+                "fleet": serve(single, FleetQuery(day)),
+                "top-events": serve(single, TopEventsQuery(day, 3)),
+                "group-by": serve(single, GroupByQuery(day, "region")),
+            }
+            assert baseline[day]["fleet"] == \
+                canonical(oracle_fleet(job, day))
+
+        stop = threading.Event()
+        violations: list = []
+
+        def reader(day):
+            while not stop.is_set():
+                got = {
+                    "fleet": serve(sharded, FleetQuery(day)),
+                    "top-events": serve(sharded, TopEventsQuery(day, 3)),
+                    "group-by": serve(sharded, GroupByQuery(day, "region")),
+                }
+                if got != baseline[day]:
+                    violations.append((day, got))
+                    return
+
+        threads = [
+            threading.Thread(target=reader, args=(day,))
+            for day in finished for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            run_days(job, events_factory(sorted(fleet.vms),
+                                         default_catalog(), 7),
+                     vm_services, 3, prefix="ext")
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not violations, f"raced read diverged: {violations[:2]}"
+
+        # Post-race: full differential over every kind, including the
+        # freshly backfilled partitions and the cross-shard merges.
+        for query in [FleetRangeQuery(),
+                      *(CategoryTrendQuery(c) for c in CATEGORIES)]:
+            assert serve(sharded, query) == serve(single, query)
+        for day in sharded.days():
+            assert serve(sharded, FleetQuery(day)) == \
+                canonical(oracle_fleet(job, day))
+            assert serve(sharded, TopEventsQuery(day, 5)) == \
+                canonical(oracle_top_events(job, day, 5))
+        sharded.close()
+        single.close()
 
 
 def test_dataset_spans_expected_days():

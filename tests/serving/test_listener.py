@@ -1,0 +1,178 @@
+"""Socket front end: wire parity, FIFO ordering, admission over TCP.
+
+Every test runs against a real TCP socket (``ServerThread`` on an
+ephemeral port), so this exercises the exact production path of
+``repro serve --listen`` — encoding, framing, concurrency, and the
+typed error envelope — without a subprocess.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.serving import (
+    AdmissionController,
+    LineClient,
+    QueryService,
+    ServerThread,
+    run_query,
+)
+
+from .conftest import build_dataset
+
+
+@pytest.fixture(scope="module")
+def service():
+    """A sharded query service over the shared dataset."""
+    job, fleet, _ = build_dataset(days=3)
+    with QueryService(job.tables, resolver=fleet.dimensions_of,
+                      shards=4) as svc:
+        yield svc
+
+
+@pytest.fixture()
+def server(service):
+    """A live socket server around the module's service."""
+    with ServerThread(service) as running:
+        yield running
+
+
+PAYLOADS = [
+    {"kind": "fleet", "day": "day00"},
+    {"kind": "range"},
+    {"kind": "trend", "category": "performance"},
+    {"kind": "group-by", "day": "day01", "dimension": "region"},
+    {"kind": "top-vms", "day": "day00", "category": "performance", "k": 3},
+    {"kind": "top-events", "day": "day02", "k": 2},
+]
+
+
+class TestWireParity:
+    def test_socket_answers_match_direct_run_query(self, service, server):
+        with LineClient(server.address) as client:
+            for payload in PAYLOADS:
+                want = json.dumps(run_query(service, payload),
+                                  sort_keys=True)
+                got = json.dumps(client.request(payload), sort_keys=True)
+                assert got == want, payload
+
+    def test_malformed_json_gets_bad_request_envelope(self, server):
+        with LineClient(server.address) as client:
+            response = client.send_raw("{this is not json")
+            assert response["ok"] is False
+            assert response["error"]["kind"] == "bad_request"
+            assert "invalid JSON" in response["error"]["message"]
+
+    def test_non_object_and_unknown_kind(self, server):
+        with LineClient(server.address) as client:
+            non_object = client.send_raw(json.dumps([1, 2, 3]))
+            assert non_object["error"]["kind"] == "bad_request"
+            unknown = client.request({"kind": "nope"})
+            assert unknown["error"]["kind"] == "bad_request"
+            assert "unknown query kind" in unknown["error"]["message"]
+
+    def test_connection_survives_bad_queries(self, server):
+        with LineClient(server.address) as client:
+            client.send_raw("garbage")
+            good = client.request({"kind": "fleet", "day": "day00"})
+            assert good["ok"] is True
+
+
+class TestPipelining:
+    def test_responses_come_back_in_request_order(self, server):
+        # Write several queries before reading anything; the per-
+        # connection loop must answer strictly in order.
+        with LineClient(server.address) as client:
+            batch = PAYLOADS * 3
+            for payload in batch:
+                client._file.write((json.dumps(payload) + "\n").encode())
+            client._file.flush()
+            for payload in batch:
+                response = json.loads(client._file.readline())
+                assert response["ok"] is True
+                assert response["kind"] == payload["kind"]
+
+
+class TestConcurrentClients:
+    def test_many_clients_all_get_correct_answers(self, service, server):
+        want = {
+            json.dumps(p, sort_keys=True):
+            json.dumps(run_query(service, p), sort_keys=True)
+            for p in PAYLOADS
+        }
+        errors: list[AssertionError] = []
+
+        def worker() -> None:
+            try:
+                with LineClient(server.address) as client:
+                    for _ in range(5):
+                        for payload in PAYLOADS:
+                            got = json.dumps(client.request(payload),
+                                             sort_keys=True)
+                            key = json.dumps(payload, sort_keys=True)
+                            assert got == want[key]
+            except AssertionError as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+
+class TestWireCacheFreshness:
+    def test_repeated_query_reflects_table_writes(self):
+        # The listener's wire-level response cache must never serve a
+        # stale answer: after a table write the same line recomputes.
+        from repro.pipeline.tables import VM_CDI_TABLE
+
+        job, fleet, _ = build_dataset(days=2, seed=11)
+        payload = {"kind": "fleet", "day": "day00"}
+        with QueryService(job.tables, resolver=fleet.dimensions_of,
+                          shards=2) as svc, \
+                ServerThread(svc) as server, \
+                LineClient(server.address) as client:
+            before = client.request(payload)
+            assert before["ok"] is True
+            # Second request is a wire-cache hit for the same bytes.
+            assert client.request(payload) == before
+
+            vm_table = job.tables.get(VM_CDI_TABLE)
+            rows = vm_table.rows(partition="day00")
+            vm_table.overwrite_partition(rows[: len(rows) // 2], "day00")
+
+            after = client.request(payload)
+            want = json.dumps(run_query(svc, payload), sort_keys=True)
+            assert json.dumps(after, sort_keys=True) == want
+            assert after != before
+
+
+class TestAdmissionOverWire:
+    def test_rate_limit_rejects_over_tcp(self, service):
+        admission = AdmissionController(rate_per_client=0, burst=2)
+        with ServerThread(service, admission=admission) as server:
+            with LineClient(server.address) as client:
+                payload = {"kind": "fleet", "day": "day00"}
+                assert client.request(payload)["ok"] is True
+                assert client.request(payload)["ok"] is True
+                limited = client.request(payload)
+                assert limited["ok"] is False
+                assert limited["error"]["kind"] == "rate_limited"
+
+    def test_clients_are_identified_per_connection(self, service):
+        # Each connection is a distinct client: a second connection
+        # gets its own bucket even after the first is exhausted.
+        admission = AdmissionController(rate_per_client=0, burst=1)
+        with ServerThread(service, admission=admission) as server:
+            payload = {"kind": "fleet", "day": "day00"}
+            with LineClient(server.address) as first:
+                assert first.request(payload)["ok"] is True
+                assert first.request(payload)["error"]["kind"] == \
+                    "rate_limited"
+            with LineClient(server.address) as second:
+                assert second.request(payload)["ok"] is True

@@ -141,7 +141,9 @@ class TestWireProtocol:
         assert set(ok["result"]) == {"unavailability", "performance",
                                      "control_plane", "service_time"}
         bad = run_query(service, {"kind": "trend", "category": "nope"})
-        assert bad["ok"] is False and "unknown category" in bad["error"]
+        assert bad["ok"] is False
+        assert bad["error"]["kind"] == "bad_request"
+        assert "unknown category" in bad["error"]["message"]
 
     def test_to_jsonable_round_trips_through_json(self, service):
         query = GroupByQuery("day00", "az")
@@ -161,5 +163,7 @@ class TestWireProtocol:
         assert answered == 4  # the blank line is skipped
         decoded = [json.loads(r) for r in responses]
         assert [r["ok"] for r in decoded] == [True, False, False, True]
-        assert "invalid JSON" in decoded[1]["error"]
-        assert decoded[2]["error"] == "query must be a JSON object"
+        assert decoded[1]["error"]["kind"] == "bad_request"
+        assert "invalid JSON" in decoded[1]["error"]["message"]
+        assert decoded[2]["error"]["kind"] == "bad_request"
+        assert decoded[2]["error"]["message"] == "query must be a JSON object"

@@ -1,0 +1,197 @@
+"""Sharded rollup store: routing, parity, bounded growth, availability.
+
+The sharded store must be an invisible refactor: every query answers
+byte-identically to the single-store configuration, partition→shard
+assignment is stable across processes, memory stays bounded while a
+backfill churns partitions, and snapshot-retry exhaustion surfaces as
+the typed ``unavailable`` envelope instead of a torn merge.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serving import (
+    QueryService,
+    RollupStore,
+    ServiceUnavailableError,
+    run_query,
+)
+from repro.serving.service import FleetRangeQuery
+
+from .conftest import build_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset6():
+    """Six backfilled days so several shards own several partitions."""
+    return build_dataset(days=6)
+
+
+ALL_KINDS = [
+    {"kind": "fleet", "day": "day00"},
+    {"kind": "range"},
+    {"kind": "range", "start": "day01", "end": "day04"},
+    {"kind": "trend", "category": "performance"},
+    {"kind": "trend", "category": "unavailability"},
+    {"kind": "group-by", "day": "day02", "dimension": "region"},
+    {"kind": "group-by", "day": "day03", "dimension": "az"},
+    {"kind": "top-vms", "day": "day01", "category": "control_plane", "k": 5},
+    {"kind": "top-events", "day": "day04", "k": 3},
+    {"kind": "event-series", "event": "vm_down"},
+]
+
+
+class TestShardRouting:
+    def test_assignment_is_deterministic_and_total(self, dataset6):
+        job, fleet, _ = dataset6
+        store = RollupStore(job.tables, shards=4)
+        first = {day: store.shard_of(day) for day in store.days()}
+        again = {day: store.shard_of(day) for day in store.days()}
+        assert first == again
+        assert all(0 <= idx < 4 for idx in first.values())
+        # crc32 is process-stable: pin a couple of labels so an
+        # accidental switch to randomized hash() fails loudly.
+        import zlib
+        for day, idx in first.items():
+            assert idx == zlib.crc32(day.encode()) % 4
+
+    def test_six_days_spread_over_multiple_shards(self, dataset6):
+        job, _, _ = dataset6
+        store = RollupStore(job.tables, shards=4)
+        owners = {store.shard_of(day) for day in store.days()}
+        assert len(owners) > 1
+
+    def test_rollup_routes_to_owning_shard_only(self, dataset6):
+        job, _, _ = dataset6
+        store = RollupStore(job.tables, shards=4)
+        for day in store.days():
+            store.rollup(day)
+        for shard in store.shards:
+            for day in store.days():
+                owned = store.shard_of(day) == shard.index
+                hit = shard._cache.get(day, store.partition_stamps([day])[0])
+                from repro.serving.cache import MISS
+                assert (hit is not MISS) == owned
+
+    def test_invalid_shard_count_rejected(self, dataset6):
+        job, _, _ = dataset6
+        with pytest.raises(ValueError, match="shards"):
+            RollupStore(job.tables, shards=0)
+
+
+class TestShardedParity:
+    """Sharded answers must be byte-identical to the single store's."""
+
+    @pytest.mark.parametrize("shards", [2, 3, 8])
+    def test_every_kind_identical_to_single_store(self, dataset6, shards):
+        job, fleet, _ = dataset6
+        with QueryService(job.tables, resolver=fleet.dimensions_of,
+                          shards=1) as single, \
+             QueryService(job.tables, resolver=fleet.dimensions_of,
+                          shards=shards) as sharded:
+            assert sharded.shard_count == shards
+            for payload in ALL_KINDS:
+                want = json.dumps(run_query(single, payload), sort_keys=True)
+                got = json.dumps(run_query(sharded, payload), sort_keys=True)
+                assert got == want, payload
+
+    def test_parallel_merge_identical_to_serial(self, dataset6):
+        job, fleet, _ = dataset6
+        serial = QueryService(job.tables, resolver=fleet.dimensions_of,
+                              shards=4, parallelism=1)
+        with QueryService(job.tables, resolver=fleet.dimensions_of,
+                          shards=4, parallelism=4) as parallel:
+            q = FleetRangeQuery()
+            assert parallel.execute(q) == serial.execute(q)
+        serial.close()
+
+
+class TestBoundedGrowth:
+    """Regression: the store must not grow without bound during backfill."""
+
+    def test_superseded_generations_are_replaced_not_accumulated(self):
+        job, _, _ = build_dataset(days=2)
+        store = RollupStore(job.tables, shards=2)
+        day = store.days()[0]
+        vm_table = job.tables.get("vm_cdi")
+        rows = vm_table.rows(partition=day)
+        store.rollup(day)
+        before = store.cached_rollups
+        # Overwrite the same partition many times; each rewrite bumps
+        # the generation, so each rollup access replaces (not adds).
+        for _ in range(10):
+            vm_table.overwrite_partition(rows, day)
+            store.rollup(day)
+        assert store.cached_rollups == before
+
+    def test_lru_bounds_fresh_partition_churn(self):
+        job, _, _ = build_dataset(days=2)
+        store = RollupStore(job.tables, shards=2, shard_cache_size=4)
+        day = store.days()[0]
+        vm_table = job.tables.get("vm_cdi")
+        event_table = job.tables.get("event_cdi")
+        vm_rows = vm_table.rows(partition=day)
+        event_rows = event_table.rows(partition=day)
+        # A long backfill appending fresh partitions: cached rollups
+        # must stay within shards * shard_cache_size forever.
+        for i in range(40):
+            fresh = f"ext{i:03d}"
+            vm_table.overwrite_partition(vm_rows, fresh)
+            event_table.overwrite_partition(event_rows, fresh)
+            store.rollup(fresh)
+            assert store.cached_rollups <= 2 * 4
+        evictions = sum(
+            shard.cache_stats.evictions for shard in store.shards
+        )
+        assert evictions > 0
+
+    def test_cached_rollups_counts_across_shards(self, dataset6):
+        job, _, _ = dataset6
+        store = RollupStore(job.tables, shards=4)
+        for day in store.days():
+            store.rollup(day)
+        assert store.cached_rollups == len(store.days())
+
+
+class TestUnavailable:
+    """Snapshot-retry exhaustion is a typed, non-torn failure."""
+
+    def test_exhausted_retries_raise_service_unavailable(self, dataset6):
+        job, fleet, _ = dataset6
+        with QueryService(job.tables, resolver=fleet.dimensions_of,
+                          shards=2) as service:
+            counter = {"n": 0}
+            real = service._rollups.partition_stamps
+
+            def always_changing(partitions):
+                counter["n"] += 1
+                return tuple(
+                    (counter["n"], counter["n"]) for _ in partitions
+                )
+
+            service._rollups.partition_stamps = always_changing
+            try:
+                with pytest.raises(ServiceUnavailableError):
+                    service.execute(FleetRangeQuery())
+            finally:
+                service._rollups.partition_stamps = real
+
+    def test_unavailable_maps_to_typed_envelope(self, dataset6):
+        job, fleet, _ = dataset6
+        with QueryService(job.tables, resolver=fleet.dimensions_of,
+                          shards=2) as service:
+            counter = {"n": 0}
+
+            def always_changing(partitions):
+                counter["n"] += 1
+                return tuple(
+                    (counter["n"], counter["n"]) for _ in partitions
+                )
+
+            service._rollups.partition_stamps = always_changing
+            response = run_query(service, {"kind": "range"})
+            assert response["ok"] is False
+            assert response["error"]["kind"] == "unavailable"

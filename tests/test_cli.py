@@ -134,10 +134,11 @@ class TestQueryServe:
     def test_query_bad_category_reports_error(self, capsys):
         import json
         assert main(["query", "--vms", "16", "--days", "1",
-                     "--kind", "trend", "--category", "nope"]) == 0
+                     "--kind", "trend", "--category", "nope"]) == 1
         response = json.loads(capsys.readouterr().out)
         assert response["ok"] is False
-        assert "unknown category" in response["error"]
+        assert response["error"]["kind"] == "bad_request"
+        assert "unknown category" in response["error"]["message"]
 
     @pytest.mark.slow
     def test_serve_json_lines(self, capsys, monkeypatch):
@@ -154,3 +155,5 @@ class TestQueryServe:
         lines = capsys.readouterr().out.strip().splitlines()
         decoded = [json.loads(line) for line in lines]
         assert [r["ok"] for r in decoded] == [True, False, True]
+        assert decoded[1]["error"]["kind"] == "bad_request"
+        assert "invalid JSON" in decoded[1]["error"]["message"]
