@@ -1,0 +1,88 @@
+"""CI gate: no-decrease coverage for ``src/repro/streaming/``.
+
+Reads a ``coverage.py`` JSON report (written by the CI ``stream`` job
+via ``pytest --cov=repro.streaming --cov-report=json:FILE``), filters
+it to the streaming package, and fails (exit 1) when the aggregate
+line coverage drops below the committed baseline in
+``benchmarks/stream_coverage_baseline.json``.
+
+The baseline is a manually-ratcheted floor, not an auto-updated
+high-water mark: raise it by hand when new tests durably push
+coverage up, so a regression can never silently lower the bar.
+``pytest-cov``/``coverage`` are CI-only extras — this script itself is
+stdlib-only and never imports them.
+
+Usage::
+
+    python benchmarks/check_stream_coverage.py coverage-stream.json
+        [--baseline benchmarks/stream_coverage_baseline.json]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+PACKAGE_MARKER = "repro/streaming/"
+
+
+def streaming_files(report: dict) -> dict[str, dict]:
+    """The report's per-file sections for the streaming package."""
+    return {
+        path: section
+        for path, section in report.get("files", {}).items()
+        if PACKAGE_MARKER in path.replace("\\", "/")
+    }
+
+
+def aggregate_percent(files: dict[str, dict]) -> float:
+    """Aggregate line coverage across files, as a percentage."""
+    covered = sum(f["summary"]["covered_lines"] for f in files.values())
+    total = sum(f["summary"]["num_statements"] for f in files.values())
+    if total == 0:
+        return 0.0
+    return 100.0 * covered / total
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", type=Path,
+                        help="coverage.py JSON report path")
+    parser.add_argument(
+        "--baseline", type=Path,
+        default=Path(__file__).parent / "stream_coverage_baseline.json",
+        help="committed baseline JSON with a min_percent floor",
+    )
+    args = parser.parse_args(argv)
+
+    report = json.loads(args.report.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    floor = float(baseline["min_percent"])
+
+    files = streaming_files(report)
+    if not files:
+        print(f"FAIL: no '{PACKAGE_MARKER}' files in {args.report} — "
+              "was pytest run with --cov=repro.streaming?")
+        return 1
+
+    for path in sorted(files):
+        summary = files[path]["summary"]
+        print(f"  {path}: {summary['covered_lines']}/"
+              f"{summary['num_statements']} lines "
+              f"({summary['percent_covered']:.1f}%)")
+    percent = aggregate_percent(files)
+    print(f"streaming package coverage: {percent:.1f}% "
+          f"(floor {floor:.1f}%)")
+
+    if percent < floor:
+        print(f"FAIL: coverage {percent:.1f}% fell below the committed "
+              f"floor {floor:.1f}% — add tests for the uncovered lines "
+              f"or (only with a written justification) lower "
+              f"{args.baseline}")
+        return 1
+    print("OK: coverage holds the floor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

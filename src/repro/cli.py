@@ -456,6 +456,124 @@ def cmd_serve(seed: int, *, days: int = 2, vms: int = 16,
     service.close()
 
 
+def cmd_stream(seed: int, *, vms: int = 32, ticks: int = 6,
+               lateness: float = 1800.0,
+               checkpoint_dir: str | None = None) -> int:
+    """Streaming incremental CDI with a live batch differential check."""
+    import json
+    import random
+    from pathlib import Path
+
+    from repro.core.events import Event, default_catalog
+    from repro.core.indicator import ServicePeriod
+    from repro.engine.dataset import EngineContext
+    from repro.pipeline.daily import WEIGHTS_CONFIG_KEY, DailyCdiJob
+    from repro.pipeline.tables import EVENT_CDI_TABLE, VM_CDI_TABLE
+    from repro.scenarios.common import default_weights, fault_to_period
+    from repro.storage.configdb import ConfigDB
+    from repro.storage.logstore import LogStore
+    from repro.storage.table import TableStore
+    from repro.streaming import (
+        StreamCheckpoint,
+        StreamingCdiPipeline,
+        event_record,
+    )
+    from repro.telemetry.faults import FaultInjector, baseline_rates
+
+    day_seconds = 86400.0
+    partition = "day00"
+    catalog = default_catalog()
+    vm_ids = [f"vm-{index:05d}" for index in range(vms)]
+    services = {vm: ServicePeriod(0.0, day_seconds) for vm in vm_ids}
+
+    # One synthetic fleet day, then a bounded-lag shuffle: each record
+    # arrives with a lag strictly below the allowed lateness, so the
+    # tailer's watermark never drops one and the stream must reproduce
+    # the batch answer over the whole day, byte for byte.
+    injector = FaultInjector(baseline_rates(scale=20.0), seed=seed * 1000)
+    events = []
+    for fault in injector.sample(vm_ids, 0.0, day_seconds):
+        period = fault_to_period(fault, catalog)
+        events.append(Event(
+            name=period.name, time=period.end, target=period.target,
+            expire_interval=600.0, level=period.level,
+            attributes={"duration": period.duration},
+        ))
+    rng = random.Random(seed)
+    lags = [rng.uniform(0.0, 0.9 * lateness) for _ in events]
+    order = sorted(range(len(events)),
+                   key=lambda i: (events[i].time + lags[i], i))
+    arrival = [events[i] for i in order]
+
+    config = ConfigDB()
+    config.put(WEIGHTS_CONFIG_KEY, default_weights().to_dict())
+    checkpoint = None
+    if checkpoint_dir is not None:
+        checkpoint = StreamCheckpoint(
+            Path(checkpoint_dir) / f"stream-seed{seed}.ck"
+        )
+    store = LogStore()
+    tables = TableStore()
+    pipeline = StreamingCdiPipeline(
+        store, tables, config, catalog, services, partition,
+        allowed_lateness=lateness, checkpoint=checkpoint,
+    )
+    if pipeline.resume():
+        print(f"resumed from checkpoint at tick {pipeline.ticks} "
+              f"(cursor {pipeline.tailer.cursor})")
+
+    ticks = max(1, ticks)
+    size = max(1, (len(arrival) + ticks - 1) // ticks)
+    rows = []
+    for offset in range(0, len(arrival), size):
+        for event in arrival[offset:offset + size]:
+            store.append(event.time, **event_record(event))
+        result = pipeline.tick()
+        rows.append(result)
+    rows.append(pipeline.flush())
+    _print_table(
+        f"Streaming CDI ({vms} VMs, lateness {lateness:g}s"
+        + (", checkpointed" if checkpoint else "") + ")",
+        ["tick", "released", "applied", "buffered", "late_dropped",
+         "watermark", "CDI-U", "CDI-P"],
+        [
+            (r.tick, r.released, r.applied, r.buffered, r.late_dropped,
+             "-" if r.watermark is None else f"{r.watermark:.0f}",
+             f"{r.fleet_report.unavailability:.5f}",
+             f"{r.fleet_report.performance:.5f}")
+            for r in rows
+        ],
+    )
+
+    # The differential gate, live: a from-scratch batch job over the
+    # admitted events (in the tailer's release order) must publish the
+    # exact same bytes the stream just did.
+    oracle_events = [
+        event for _, event in sorted(
+            enumerate(arrival), key=lambda pair: (pair[1].time, pair[0])
+        )
+    ]
+    oracle = DailyCdiJob(EngineContext(parallelism=4), TableStore(),
+                         ConfigDB(), catalog)
+    oracle.store_weights(default_weights())
+    oracle.ingest_events(oracle_events, partition)
+    oracle.run(partition, services)
+
+    def table_bytes(source: TableStore) -> bytes:
+        return json.dumps([
+            source.get(VM_CDI_TABLE).rows(partition=partition),
+            source.get(EVENT_CDI_TABLE).rows(partition=partition),
+        ], sort_keys=True).encode()
+
+    streamed, batch = table_bytes(tables), table_bytes(oracle.tables)
+    verdict = "IDENTICAL" if streamed == batch else "DIVERGED"
+    print(f"\ndifferential vs batch recompute: {verdict} "
+          f"({pipeline.tailer.consumed} consumed, "
+          f"{pipeline.tailer.late_dropped} dropped, "
+          f"{pipeline.state.applied} applied)")
+    return 0 if streamed == batch else 1
+
+
 def _newest_trace(trace_dir: str) -> "str | None":
     from pathlib import Path
 
@@ -497,6 +615,7 @@ COMMANDS: dict[str, Callable[[int], None]] = {
     "fig9": cmd_fig9,
     "table5": cmd_table5,
     "daily": cmd_daily,
+    "stream": cmd_stream,
     "trace": cmd_trace,
     "query": cmd_query,
     "serve": cmd_serve,
@@ -543,6 +662,15 @@ def build_parser() -> argparse.ArgumentParser:
     daily.add_argument("--trace-dir", default=None,
                        help="write a JSONL run trace into this directory "
                             "and print its summary")
+    stream = parser.add_argument_group(
+        "stream", "options for the streaming incremental CDI loop"
+    )
+    stream.add_argument("--ticks", type=int, default=6,
+                        help="number of streaming tick batches "
+                             "(default 6)")
+    stream.add_argument("--lateness", type=float, default=1800.0,
+                        help="allowed out-of-order lateness in seconds "
+                             "(default 1800)")
     trace = parser.add_argument_group(
         "trace", "options for summarizing run traces"
     )
@@ -608,6 +736,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             chaos_seed=args.chaos_seed, trace_dir=args.trace_dir,
         )
         return 0
+    if args.command == "stream":
+        return cmd_stream(args.seed, vms=args.vms, ticks=args.ticks,
+                          lateness=args.lateness,
+                          checkpoint_dir=args.checkpoint_dir)
     if args.command == "trace":
         cmd_trace(args.seed, trace_file=args.trace_file,
                   trace_dir=args.trace_dir)

@@ -146,18 +146,9 @@ class _ResolveIntervalsStage:
                 name = row["name"]
                 info = stateless.get(name)
                 if info is not None:
-                    entry = info[1].get(row["level"])
-                    if entry is None:
-                        continue
-                    duration = row["duration"]
-                    if duration is None:
-                        duration = info[0]
-                    elif duration < 0:
-                        raise ValueError(
-                            f"negative duration {duration} on event {name!r}"
-                        )
-                    end = row["time"]
-                    flat.append((name, entry[0], entry[1], end - duration, end))
+                    interval = resolve_stateless_row(row, info)
+                    if interval is not None:
+                        flat.append(interval)
                 elif name in stateful_names:
                     if stateful_rows is None:
                         stateful_rows = []
@@ -170,20 +161,54 @@ class _ResolveIntervalsStage:
     def _resolve_stateful(
         self, rows: list[Mapping[str, Any]]
     ) -> list[FlatInterval]:
-        return _resolve_stateful_rows(
+        return resolve_stateful_rows(
             rows, self.catalog, self.weight_table, self.horizon
         )
 
 
-def _resolve_stateful_rows(
+def resolve_stateless_row(
+    row: Mapping[str, Any],
+    info: tuple[float, Mapping[int, tuple[float, int]]],
+) -> FlatInterval | None:
+    """One stateless events-table row → weight-resolved flat interval.
+
+    ``info`` is the row's :attr:`ResolverIndex.stateless` entry
+    (``(window, {level: (weight, category index)})``).  Returns ``None``
+    when the ``(name, level)`` pair has no weight entry (the reference
+    calculator's skip), applies the catalog window when the row carries
+    no explicit duration, and raises ``ValueError`` on a negative
+    explicit duration.  The single definition of stateless resolution,
+    shared by the batch fast path (:class:`_ResolveIntervalsStage`) and
+    the streaming incremental state
+    (:mod:`repro.streaming.state`) — byte-identity between the two
+    holds by construction, not by parallel reimplementation.
+    """
+    entry = info[1].get(row["level"])
+    if entry is None:
+        return None
+    duration = row["duration"]
+    if duration is None:
+        duration = info[0]
+    elif duration < 0:
+        raise ValueError(
+            f"negative duration {duration} on event {row['name']!r}"
+        )
+    end = row["time"]
+    return (row["name"], entry[0], entry[1], end - duration, end)
+
+
+def resolve_stateful_rows(
     rows: list[Mapping[str, Any]], catalog: EventCatalog,
     weight_table: WeightTable, horizon: float,
 ) -> list[FlatInterval]:
     """Reference start/end pairing + weight lookup for stateful rows.
 
-    Shared by the row-wise and columnar fast paths: stateful detail
-    events are rare, so both paths hand them to the same reference
-    resolution in :func:`~repro.core.periods.resolve_periods`.
+    Shared by the row-wise and columnar fast paths — and by the
+    streaming incremental state, which re-pairs a VM's accumulated
+    ``*_add``/``*_del`` rows through this exact function whenever a new
+    one arrives: stateful detail events are rare, so every path hands
+    them to the same reference resolution in
+    :func:`~repro.core.periods.resolve_periods`.
     """
     events = [row_to_event(row) for row in rows]
     periods = resolve_periods(events, catalog, horizon=horizon)
@@ -786,7 +811,7 @@ class DailyCdiJob:
             st_s: list[float] = []
             st_e: list[float] = []
             for vm, vm_rows_ in stateful_by_vm.items():
-                flat = _resolve_stateful_rows(
+                flat = resolve_stateful_rows(
                     vm_rows_, self._catalog, weight_table, horizon
                 )
                 vm_i = vm_of[vm]

@@ -1,0 +1,136 @@
+"""Online event extraction over tailed log-store records.
+
+The batch :class:`~repro.cloudbot.extractor.EventExtractor` scans a
+whole time window; the streaming loop instead receives one
+:class:`~repro.storage.logstore.LogEntry` at a time from the tailer
+and must turn it into events immediately.
+:class:`StreamingExtractor` reuses the exact rule objects of the batch
+extractor — :class:`~repro.cloudbot.extractor.LogRegexRule` on entries
+carrying a ``line`` field, :class:`~repro.cloudbot.extractor.
+MetricThresholdRule` on entries carrying ``metric``/``value`` — so a
+record extracts to the same events whichever side consumes it.
+Entries carrying an ``event`` field are pre-extracted events in
+transit (the SLS → stream shortcut) and deserialize directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.cloudbot.extractor import (
+    LogRegexRule,
+    MetricThresholdRule,
+    default_log_rules,
+    default_metric_rules,
+)
+from repro.core.events import Event, Severity
+from repro.storage.logstore import LogEntry
+from repro.telemetry.logs import LogLine
+from repro.telemetry.metrics import MetricSample
+
+#: Value → member lookup (same reason as the pipeline's: EnumMeta call
+#: overhead in the per-record loop).
+_SEVERITY_BY_VALUE = {int(level): level for level in Severity}
+
+
+def event_record(event: Event) -> dict[str, Any]:
+    """Fields of a log-store entry carrying a pre-extracted event.
+
+    The inverse of :meth:`StreamingExtractor.events_from_entry`'s
+    direct-event branch: ``store.append(event.time,
+    **event_record(event))`` ships an event through the log store so a
+    tailer on the other side reconstructs it exactly.
+    """
+    fields: dict[str, Any] = {
+        "event": event.name,
+        "target": event.target,
+        "level": int(event.level),
+        "expire_interval": event.expire_interval,
+    }
+    duration = event.attributes.get("duration")
+    if duration is not None:
+        fields["duration"] = float(duration)
+    return fields
+
+
+class StreamingExtractor:
+    """Per-record extraction reusing the batch expert rules.
+
+    ``metric_rules`` / ``log_rules`` default to the shared example
+    rule sets (:func:`~repro.cloudbot.extractor.default_metric_rules`
+    and :func:`~repro.cloudbot.extractor.default_log_rules`).
+    """
+
+    def __init__(self, *,
+                 metric_rules: Sequence[MetricThresholdRule] | None = None,
+                 log_rules: Sequence[LogRegexRule] | None = None) -> None:
+        self._metric_rules = tuple(
+            default_metric_rules() if metric_rules is None else metric_rules
+        )
+        self._log_rules = tuple(
+            default_log_rules() if log_rules is None else log_rules
+        )
+
+    def events_from_entry(self, entry: LogEntry) -> list[Event]:
+        """Events extracted from one tailed record (possibly none).
+
+        Recognizes three record shapes, in order: a raw log line
+        (``line`` field → every matching log rule fires), a metric
+        sample (``metric`` + ``value`` → every matching threshold rule
+        fires), and a pre-extracted event (``event`` field →
+        deserialized as-is).  Unrecognized records extract to nothing —
+        a tailer shares its store with record kinds it does not speak.
+        """
+        fields = entry.fields
+        line = fields.get("line")
+        if line is not None:
+            log_line = LogLine(
+                time=entry.time, target=fields.get("target", ""), line=line
+            )
+            return [
+                event
+                for rule in self._log_rules
+                if (event := rule.extract(log_line)) is not None
+            ]
+        metric = fields.get("metric")
+        if metric is not None:
+            sample = MetricSample(
+                time=entry.time, target=fields.get("target", ""),
+                metric=metric, value=float(fields.get("value", 0.0)),
+            )
+            return [
+                event
+                for rule in self._metric_rules
+                if (event := rule.extract(sample)) is not None
+            ]
+        if fields.get("event") is not None:
+            return [self._direct_event(entry)]
+        return []
+
+    def events_from_entries(
+        self, entries: Iterable[LogEntry]
+    ) -> list[Event]:
+        """Extraction over a released batch, preserving record order."""
+        events: list[Event] = []
+        for entry in entries:
+            events.extend(self.events_from_entry(entry))
+        return events
+
+    def _direct_event(self, entry: LogEntry) -> Event:
+        """Deserialize a pre-extracted event record (see
+        :func:`event_record`)."""
+        fields = entry.fields
+        duration = fields.get("duration")
+        attributes = (
+            {} if duration is None else {"duration": float(duration)}
+        )
+        return Event(
+            name=fields["event"],
+            time=entry.time,
+            target=fields["target"],
+            expire_interval=float(fields.get("expire_interval", 600.0)),
+            level=_SEVERITY_BY_VALUE[
+                int(fields.get("level", int(Severity.CRITICAL)))
+            ],
+            attributes=attributes,
+        )

@@ -1,0 +1,170 @@
+"""Durable stream checkpoints in the v3 chunked table-store format.
+
+One atomic file holds everything a crashed streaming loop needs to
+resume exactly: the tailer cursor + watermark + counters, the ordered
+log of every applied events-table row (replayed through a fresh
+:class:`~repro.streaming.state.IncrementalCdiState` on resume), and
+the reordering buffer's pending records.  The file is a regular
+:func:`~repro.storage.persistence.save_table_store` v3 chunked store
+written atomically (temp + fsync + rename), so a kill mid-save leaves
+the previous checkpoint intact and a reader never observes a torn
+file — the same durability protocol as the batch job checkpoints.
+
+A ``fingerprint`` column ties the checkpoint to its stream's inputs
+(partition, services, weight-config version, lateness); resuming
+against a different stream raises instead of silently merging state.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.pipeline.tables import events_schema
+from repro.storage.logstore import LogEntry
+from repro.storage.persistence import load_table_store, save_table_store
+from repro.storage.schema import Column, Schema
+from repro.storage.table import TableStore
+
+#: Table names inside a checkpoint store.
+CURSOR_TABLE = "stream_cursor"
+ROWS_TABLE = "stream_rows"
+BUFFER_TABLE = "stream_buffer"
+
+#: Single partition every checkpoint table writes into.
+STATE_PARTITION = "state"
+
+
+def cursor_schema() -> Schema:
+    """One-row table: tailer cursor, watermark, and loop counters."""
+    return Schema([
+        Column("fingerprint", str),
+        Column("last_seq", int),
+        Column("watermark", float, nullable=True),
+        Column("ticks", int),
+        Column("consumed", int),
+        Column("late_dropped", int),
+        Column("ignored", int),
+    ])
+
+
+def buffer_schema() -> Schema:
+    """Pending reordering-buffer records: seq, time, JSON fields."""
+    return Schema([
+        Column("seq", int),
+        Column("time", float),
+        Column("fields", str),
+    ])
+
+
+@dataclass(frozen=True, slots=True)
+class StreamSnapshot:
+    """Everything one resumable point-in-time of the stream holds."""
+
+    fingerprint: str
+    last_seq: int
+    watermark: float | None
+    ticks: int
+    consumed: int
+    late_dropped: int
+    ignored: int
+    rows: list[dict[str, Any]]
+    buffer: list[tuple[int, LogEntry]]
+
+
+class StreamCheckpoint:
+    """Atomic save/load of :class:`StreamSnapshot` at one path."""
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+
+    @property
+    def path(self) -> Path:
+        """The checkpoint file location."""
+        return self._path
+
+    def exists(self) -> bool:
+        """Whether a checkpoint file is present."""
+        return self._path.exists()
+
+    def save(self, snapshot: StreamSnapshot) -> None:
+        """Write the snapshot atomically (fsync + rename)."""
+        store = TableStore()
+        cursor = store.create(CURSOR_TABLE, cursor_schema())
+        cursor.append([{
+            "fingerprint": snapshot.fingerprint,
+            "last_seq": snapshot.last_seq,
+            "watermark": snapshot.watermark,
+            "ticks": snapshot.ticks,
+            "consumed": snapshot.consumed,
+            "late_dropped": snapshot.late_dropped,
+            "ignored": snapshot.ignored,
+        }], STATE_PARTITION)
+        rows = store.create(ROWS_TABLE, events_schema())
+        if snapshot.rows:
+            rows.append(
+                [dict(row) for row in snapshot.rows], STATE_PARTITION
+            )
+        buffer = store.create(BUFFER_TABLE, buffer_schema())
+        if snapshot.buffer:
+            buffer.append([
+                {
+                    "seq": seq,
+                    "time": entry.time,
+                    "fields": json.dumps(
+                        dict(entry.fields), sort_keys=True
+                    ),
+                }
+                for seq, entry in snapshot.buffer
+            ], STATE_PARTITION)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        save_table_store(
+            store, self._path, layout="chunked", atomic=True
+        )
+
+    def load(self) -> StreamSnapshot | None:
+        """Read the latest snapshot, or ``None`` if none was saved."""
+        if not self._path.exists():
+            return None
+        store = load_table_store(self._path)
+        cursor_rows = store.get(CURSOR_TABLE).rows(
+            partition=STATE_PARTITION
+        )
+        if len(cursor_rows) != 1:
+            raise ValueError(
+                f"corrupt stream checkpoint {self._path}: expected one "
+                f"cursor row, found {len(cursor_rows)}"
+            )
+        cursor = cursor_rows[0]
+        rows_table = store.get(ROWS_TABLE)
+        rows = (
+            rows_table.rows(partition=STATE_PARTITION)
+            if STATE_PARTITION in rows_table.partitions else []
+        )
+        buffer_table = store.get(BUFFER_TABLE)
+        buffer_rows = (
+            buffer_table.rows(partition=STATE_PARTITION)
+            if STATE_PARTITION in buffer_table.partitions else []
+        )
+        buffer = [
+            (
+                row["seq"],
+                LogEntry(
+                    time=row["time"], fields=json.loads(row["fields"])
+                ),
+            )
+            for row in buffer_rows
+        ]
+        return StreamSnapshot(
+            fingerprint=cursor["fingerprint"],
+            last_seq=cursor["last_seq"],
+            watermark=cursor["watermark"],
+            ticks=cursor["ticks"],
+            consumed=cursor["consumed"],
+            late_dropped=cursor["late_dropped"],
+            ignored=cursor["ignored"],
+            rows=rows,
+            buffer=buffer,
+        )

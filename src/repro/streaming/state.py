@@ -1,0 +1,195 @@
+"""Incrementally maintained per-VM damage integrals and rollup rows.
+
+:class:`IncrementalCdiState` is the streaming counterpart of one
+:meth:`~repro.pipeline.daily.DailyCdiJob.run` compute pass: it accepts
+events-table rows one at a time (in the tailer's release order) and
+keeps, per VM, exactly the flat weight-resolved intervals the batch
+fast path would have produced for the same rows — stateless rows
+through the shared :func:`~repro.pipeline.daily.resolve_stateless_row`,
+stateful ``*_add``/``*_del`` rows re-paired wholesale through the
+shared :func:`~repro.pipeline.daily.resolve_stateful_rows` whenever a
+new one arrives (pairing is order-sensitive, so the carried raw rows
+are resolved as one group, never incrementally).
+
+Dirty VMs are re-swept through the exact batch kernel
+(:func:`~repro.core.fastpath.fleet_cdi_tables_flat`), one VM at a
+time.  Sharding the kernel sweep never changes any value (the
+per-group damage integrals are exact per group — the property
+``run_checkpointed`` already relies on), so a snapshot assembled from
+per-VM kernel calls is byte-identical to a from-scratch batch
+recompute over the same rows.  That identity — not approximate
+agreement — is what ``tests/streaming`` asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.core.events import Event, EventCatalog
+from repro.core.fastpath import (
+    FlatInterval,
+    ResolverIndex,
+    WeightTable,
+    fleet_cdi_tables_flat,
+)
+from repro.core.indicator import CdiReport, ServicePeriod
+from repro.pipeline.daily import (
+    _event_row_key,
+    _rows_to_columns,
+    event_to_row,
+    fleet_report_from_columns,
+    resolve_stateful_rows,
+    resolve_stateless_row,
+)
+from repro.pipeline.tables import event_cdi_schema, vm_cdi_schema
+
+
+class IncrementalCdiState:
+    """Per-VM CDI state maintained online across tick boundaries.
+
+    Parameters
+    ----------
+    services:
+        VM → service period, fixed for the stream's day.  Rows whose
+        target is not in service are rejected by :meth:`apply` (the
+        batch job's service filter).
+    catalog:
+        Event catalog (stateful pairing definitions).
+    weight_table, index:
+        The resolved weight configuration — the same objects the batch
+        job builds once per config version.
+    """
+
+    def __init__(self, services: Mapping[str, ServicePeriod],
+                 catalog: EventCatalog, weight_table: WeightTable,
+                 index: ResolverIndex) -> None:
+        self._services = dict(services)
+        self._vm_list = sorted(self._services)
+        self._horizon = max(
+            (s.end for s in self._services.values()), default=0.0
+        )
+        self._catalog = catalog
+        self._weight_table = weight_table
+        self._index = index
+        self._flat: dict[str, list[FlatInterval]] = {}
+        self._stateful_rows: dict[str, list[dict[str, Any]]] = {}
+        # Caches hold each VM's latest kernel output; eventless VMs
+        # start at the kernel's exact zero row (0.0 integrals over the
+        # service-time denominator).
+        self._vm_row_cache: dict[str, dict[str, Any]] = {
+            vm: {
+                "vm": vm, "unavailability": 0.0, "performance": 0.0,
+                "control_plane": 0.0,
+                "service_time": service.end - service.start,
+            }
+            for vm, service in self._services.items()
+        }
+        self._event_rows_cache: dict[str, list[dict[str, Any]]] = {
+            vm: [] for vm in self._services
+        }
+        self._dirty: set[str] = set()
+        self._applied = 0
+
+    @property
+    def applied(self) -> int:
+        """Rows accepted so far (the batch job's ``event_count``)."""
+        return self._applied
+
+    @property
+    def horizon(self) -> float:
+        """Open stateful periods clip here (max service end)."""
+        return self._horizon
+
+    def apply(self, row: Mapping[str, Any]) -> bool:
+        """Ingest one events-table row; ``False`` if out of service.
+
+        Applies the exact batch resolution semantics: stateless rows
+        resolve immediately (unknown ``(name, level)`` weights skip; a
+        negative explicit duration raises ``ValueError``, as the batch
+        resolve stage would), stateful rows join the VM's carried raw
+        group for wholesale re-pairing, and unknown names count toward
+        ``applied`` without producing intervals — all three mirroring
+        the batch paths row for row.
+        """
+        vm = row["target"]
+        if vm not in self._services:
+            return False
+        self._applied += 1
+        name = row["name"]
+        info = self._index.stateless.get(name)
+        if info is not None:
+            interval = resolve_stateless_row(row, info)
+            if interval is not None:
+                self._flat.setdefault(vm, []).append(interval)
+                self._dirty.add(vm)
+        elif name in self._index.stateful_names:
+            self._stateful_rows.setdefault(vm, []).append(dict(row))
+            self._dirty.add(vm)
+        return True
+
+    def apply_event(self, event: Event) -> bool:
+        """Ingest one extracted :class:`Event` (row conversion inline)."""
+        return self.apply(event_to_row(event))
+
+    def apply_rows(self, rows: Iterable[Mapping[str, Any]]) -> int:
+        """Ingest many rows in order; returns how many were accepted."""
+        accepted = 0
+        for row in rows:
+            if self.apply(row):
+                accepted += 1
+        return accepted
+
+    def refresh(self) -> set[str]:
+        """Re-sweep every dirty VM through the kernel; returns them."""
+        recomputed = set(self._dirty)
+        for vm in recomputed:
+            self._recompute(vm)
+        self._dirty.clear()
+        return recomputed
+
+    def _recompute(self, vm: str) -> None:
+        """One-VM kernel sweep over the VM's current flat intervals."""
+        flat = list(self._flat.get(vm, ()))
+        stateful = self._stateful_rows.get(vm)
+        if stateful:
+            flat.extend(resolve_stateful_rows(
+                stateful, self._catalog, self._weight_table, self._horizon
+            ))
+        tables = fleet_cdi_tables_flat(
+            [(vm, flat)], {vm: self._services[vm]}
+        )
+        self._vm_row_cache[vm] = tables.vm_rows[0]
+        self._event_rows_cache[vm] = sorted(
+            tables.event_rows, key=_event_row_key
+        )
+
+    def snapshot_rows(
+        self,
+    ) -> tuple[list[dict[str, Any]], list[dict[str, Any]]]:
+        """``(vm_cdi, event_cdi)`` rows in the canonical batch order.
+
+        VM rows sorted by VM; event rows sorted by (VM, event) — each
+        VM's cached rows are already event-sorted, so concatenating
+        them in VM order *is* the global sort.
+        """
+        self.refresh()
+        vm_rows = [self._vm_row_cache[vm] for vm in self._vm_list]
+        event_rows: list[dict[str, Any]] = []
+        for vm in self._vm_list:
+            event_rows.extend(self._event_rows_cache[vm])
+        return vm_rows, event_rows
+
+    def snapshot_columns(self) -> tuple[dict[str, list], dict[str, list]]:
+        """Snapshot as output-table column lists (the publish shape)."""
+        vm_rows, event_rows = self.snapshot_rows()
+        return (
+            _rows_to_columns(vm_rows, vm_cdi_schema().names),
+            _rows_to_columns(event_rows, event_cdi_schema().names),
+        )
+
+    def fleet_report(self) -> CdiReport:
+        """Formula 4 aggregation over the current per-VM rows."""
+        vm_rows, _ = self.snapshot_rows()
+        return fleet_report_from_columns(
+            _rows_to_columns(vm_rows, vm_cdi_schema().names)
+        )

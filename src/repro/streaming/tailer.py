@@ -1,0 +1,183 @@
+"""Cursor-tailing log consumer with a watermark reordering buffer.
+
+:class:`LogTailer` turns the :class:`~repro.storage.logstore.LogStore`
+cursor protocol (:meth:`~repro.storage.logstore.LogStore.
+appended_after`) into an ordered, bounded-lateness stream:
+
+* every poll reads records past the persisted cursor in **arrival**
+  order (exactly once, however far out of timestamp order they
+  arrived);
+* admitted records wait in a min-heap keyed ``(time, seq)`` until the
+  **watermark** — the largest event time seen minus the allowed
+  lateness — passes them, so the release order interleaves late
+  arrivals back into timestamp order;
+* records that arrive with ``time < watermark`` (later than the
+  allowed lateness) are **dropped and counted**, never silently
+  applied out of order;
+* the buffer is **bounded**: when it outgrows ``max_buffer`` the
+  watermark is forced forward to drain the oldest records, trading
+  reordering slack for memory.
+
+Release order is globally deterministic: across all polls, released
+records come out sorted by ``(time, seq)`` — the watermark is
+monotonic, a record is only admitted while ``time >= watermark``, and
+ties release in arrival order.  The differential harness leans on
+exactly this: a batch job fed the admitted records sorted by
+``(time, seq)`` sees the same sequence the stream applied.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable
+
+from repro.storage.logstore import LogEntry, LogStore
+
+
+class LogTailer:
+    """Incremental consumer of one log store past a persisted cursor.
+
+    Parameters
+    ----------
+    store:
+        The log store to tail.
+    allowed_lateness:
+        How far (in event time) a record may lag the newest seen
+        record and still be admitted.  ``0`` admits only monotone
+        streams.
+    max_buffer:
+        Reordering-buffer bound; overflow force-advances the
+        watermark.
+    cursor:
+        Starting sequence cursor (``-1`` = from the beginning).
+    """
+
+    def __init__(self, store: LogStore, *, allowed_lateness: float = 600.0,
+                 max_buffer: int = 4096, cursor: int = -1) -> None:
+        if allowed_lateness < 0:
+            raise ValueError(
+                f"allowed_lateness must be >= 0, got {allowed_lateness}"
+            )
+        if max_buffer < 1:
+            raise ValueError(f"max_buffer must be >= 1, got {max_buffer}")
+        self._store = store
+        self._lateness = allowed_lateness
+        self._max_buffer = max_buffer
+        self._cursor = cursor
+        self._watermark = float("-inf")
+        self._buffer: list[tuple[float, int, LogEntry]] = []
+        self._consumed = 0
+        self._late_dropped = 0
+
+    @property
+    def cursor(self) -> int:
+        """Last consumed sequence number (the resume point)."""
+        return self._cursor
+
+    @property
+    def watermark(self) -> float | None:
+        """Current watermark, or ``None`` before any record is seen."""
+        return None if self._watermark == float("-inf") else self._watermark
+
+    @property
+    def allowed_lateness(self) -> float:
+        """The configured lateness bound."""
+        return self._lateness
+
+    @property
+    def buffered(self) -> int:
+        """Records currently held back in the reordering buffer."""
+        return len(self._buffer)
+
+    @property
+    def consumed(self) -> int:
+        """Total records read past the cursor (dropped ones included)."""
+        return self._consumed
+
+    @property
+    def late_dropped(self) -> int:
+        """Records dropped for arriving beyond the allowed lateness."""
+        return self._late_dropped
+
+    def poll(self) -> list[LogEntry]:
+        """Consume everything new and return the releasable records.
+
+        Admission is judged against the watermark as of the *previous*
+        poll — records within one batch never drop each other — then
+        the watermark advances to ``max(batch time) - lateness`` and
+        every buffered record at or before it is released in
+        ``(time, seq)`` order.
+        """
+        batch = self._store.appended_after(self._cursor)
+        max_time: float | None = None
+        for seq, entry in batch:
+            self._cursor = seq
+            self._consumed += 1
+            if entry.time < self._watermark:
+                self._late_dropped += 1
+                continue
+            heapq.heappush(self._buffer, (entry.time, seq, entry))
+            if max_time is None or entry.time > max_time:
+                max_time = entry.time
+        if max_time is not None:
+            self._watermark = max(
+                self._watermark, max_time - self._lateness
+            )
+        return self._release()
+
+    def _release(self) -> list[LogEntry]:
+        """Pop releasable (or overflowing) records, advancing the mark."""
+        out: list[LogEntry] = []
+        buffer = self._buffer
+        while buffer and (
+            buffer[0][0] <= self._watermark
+            or len(buffer) > self._max_buffer
+        ):
+            time, _seq, entry = heapq.heappop(buffer)
+            if time > self._watermark:
+                # Overflow drain: the watermark jumps to the drained
+                # record so later arrivals older than it are dropped,
+                # keeping the release order monotone.
+                self._watermark = time
+            out.append(entry)
+        return out
+
+    def flush(self) -> list[LogEntry]:
+        """Release everything still buffered (end-of-day close-out)."""
+        out: list[LogEntry] = []
+        while self._buffer:
+            time, _seq, entry = heapq.heappop(self._buffer)
+            if time > self._watermark:
+                self._watermark = time
+            out.append(entry)
+        return out
+
+    # -- persistence hooks --------------------------------------------------
+
+    def buffer_snapshot(self) -> list[tuple[int, LogEntry]]:
+        """Buffered ``(seq, entry)`` pairs in release order."""
+        return [
+            (seq, entry)
+            for _, seq, entry in sorted(self._buffer)
+        ]
+
+    def restore(self, *, cursor: int, watermark: float | None,
+                buffer: Iterable[tuple[int, LogEntry]],
+                consumed: int = 0, late_dropped: int = 0) -> None:
+        """Reinstate a persisted tailer state (crash recovery).
+
+        The checkpointed cursor, watermark, counters, and reordering
+        buffer replace the current ones wholesale; the next
+        :meth:`poll` then re-reads exactly the records that were never
+        durably consumed.
+        """
+        self._cursor = cursor
+        self._watermark = (
+            float("-inf") if watermark is None else watermark
+        )
+        self._buffer = [
+            (entry.time, seq, entry) for seq, entry in buffer
+        ]
+        heapq.heapify(self._buffer)
+        self._consumed = consumed
+        self._late_dropped = late_dropped

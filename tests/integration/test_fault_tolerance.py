@@ -28,7 +28,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.events import Event, Severity, default_catalog
+from repro.core.events import Event, default_catalog
 from repro.core.indicator import ServicePeriod
 from repro.core.weights import expert_only_config
 from repro.engine.chaos import ChaosInjector, FaultRule
@@ -46,10 +46,23 @@ from repro.pipeline.tables import (
     event_cdi_schema,
 )
 from repro.storage.configdb import ConfigDB
+from repro.storage.logstore import LogStore
 from repro.storage.persistence import load_table_store, save_table_store
 from repro.storage.table import Table, TableStore
+from repro.streaming import StreamCheckpoint
 
-DAY = 86400.0
+from tests.strategies import DAY, make_fleet_events, make_services
+from tests.streaming.conftest import (
+    KillingStreamCheckpoint,
+    SimulatedKill as StreamKill,
+    append_events as stream_events_in,
+    bounded_lag_arrival,
+    chunked,
+    make_pipeline as make_stream_pipeline,
+    oracle_order,
+    published_bytes as stream_published_bytes,
+)
+
 PARTITION = "d0"
 
 
@@ -59,46 +72,6 @@ def chaos_seeds() -> list[int]:
     if pinned is not None:
         return [int(pinned)]
     return [0, 1, 2]
-
-
-def make_fleet_events(seed: int, vm_count: int = 24) -> list[Event]:
-    """Random fleet day with stateless, null-duration, and stateful events."""
-    rng = random.Random(seed)
-    names = ["vm_down", "slow_io", "vm_start_failed", "nic_flap"]
-    levels = [Severity.WARNING, Severity.CRITICAL, Severity.FATAL]
-    events = []
-    for index in range(vm_count):
-        vm = f"vm-{index:03d}"
-        for _ in range(rng.randrange(4)):
-            attributes = (
-                {} if rng.random() < 0.3
-                else {"duration": rng.uniform(60.0, 7200.0)}
-            )
-            events.append(Event(
-                name=rng.choice(names), time=rng.uniform(0.0, DAY),
-                target=vm, expire_interval=600.0,
-                level=rng.choice(levels), attributes=attributes,
-            ))
-        if rng.random() < 0.5:
-            start = rng.uniform(0.0, DAY / 2)
-            events.append(Event(
-                name="ddos_blackhole_add", time=start, target=vm,
-                expire_interval=3600.0, level=Severity.FATAL,
-            ))
-            if rng.random() < 0.7:  # some periods stay open → horizon
-                events.append(Event(
-                    name="ddos_blackhole_del",
-                    time=start + rng.uniform(60.0, 7200.0), target=vm,
-                    expire_interval=3600.0, level=Severity.FATAL,
-                ))
-    return events
-
-
-def make_services(vm_count: int = 24) -> dict[str, ServicePeriod]:
-    return {
-        f"vm-{index:03d}": ServicePeriod(0.0, DAY)
-        for index in range(vm_count)
-    }
 
 
 def make_job(events: list[Event], *, backend: str = "thread",
@@ -599,3 +572,82 @@ class TestTraceCompleteness:
         assert len(loaded.attempts) == len(trace.attempts)
         assert {r.status for r in loaded.attempts} == \
             {r.status for r in trace.attempts}
+
+
+class TestStreamingKillMatrix:
+    """Satellite chaos matrix for the streaming loop: kill the tailer's
+    checkpoint at every tick boundary (the flush included), resume from
+    the cursor, and check the published tables against batch oracles on
+    *both* executor backends.  The cursor protocol must never
+    double-count a record across the crash."""
+
+    LATENESS = 3600.0
+    TICKS = 3
+    STREAM_VMS = 8
+
+    _oracle_cache: dict[tuple[int, str], bytes] = {}
+
+    def stream_case(self, seed: int):
+        services = make_services(self.STREAM_VMS)
+        events = make_fleet_events(seed=300 + seed,
+                                   vm_count=self.STREAM_VMS)
+        arrival = bounded_lag_arrival(events, self.LATENESS,
+                                      random.Random(seed))
+        return services, arrival, chunked(arrival, self.TICKS)
+
+    def oracle(self, seed: int, backend: str) -> bytes:
+        key = (seed, backend)
+        if key not in self._oracle_cache:
+            services, arrival, _ = self.stream_case(seed)
+            job = make_job(oracle_order(arrival), backend=backend)
+            job.run(PARTITION, services)
+            self._oracle_cache[key] = output_bytes(job)
+        return self._oracle_cache[key]
+
+    def run_killed_stream(self, tmp_path, seed: int, kill_at: int):
+        services, arrival, chunks = self.stream_case(seed)
+        path = tmp_path / f"stream-{seed}-{kill_at}.ck"
+        store = LogStore()
+        killer = KillingStreamCheckpoint(path, kill_at=kill_at,
+                                         site="after")
+        doomed = make_stream_pipeline(
+            store, services, allowed_lateness=self.LATENESS,
+            checkpoint=killer, tables=TableStore(),
+        )
+        survived = 0
+        died = False
+        try:
+            for chunk in chunks:
+                stream_events_in(store, chunk)
+                doomed.tick()
+                survived += 1
+            doomed.flush()
+        except StreamKill:
+            died = True
+        assert died, "the kill boundary must be reached"
+
+        tables = TableStore()
+        resumed = make_stream_pipeline(
+            store, services, allowed_lateness=self.LATENESS,
+            checkpoint=StreamCheckpoint(path), tables=tables,
+        )
+        assert resumed.resume() is True
+        for chunk in chunks[survived + 1:]:
+            stream_events_in(store, chunk)
+            resumed.tick()
+        resumed.tick()  # drain anything the crashed tick left behind
+        resumed.flush()
+        return stream_published_bytes(tables), resumed, arrival
+
+    @pytest.mark.parametrize("seed", chaos_seeds())
+    @pytest.mark.parametrize("kill_at", range(1, TICKS + 2))
+    def test_kill_resume_matches_both_backends(self, tmp_path, seed,
+                                               kill_at):
+        streamed, resumed, arrival = self.run_killed_stream(
+            tmp_path, seed, kill_at
+        )
+        # Exactly-once across the crash: every arrival applied once.
+        assert resumed.state.applied == len(arrival)
+        assert resumed.tailer.late_dropped == 0
+        for backend in ("thread", "process"):
+            assert streamed == self.oracle(seed, backend)

@@ -8,11 +8,10 @@ chunked v3 persistence of those outputs round-trips losslessly.
 """
 
 import json
-import random
 
 import pytest
 
-from repro.core.events import Event, Severity, default_catalog
+from repro.core.events import Event, default_catalog
 from repro.core.indicator import ServicePeriod
 from repro.core.weights import expert_only_config
 from repro.engine.dataset import EngineContext
@@ -25,6 +24,9 @@ from repro.storage.persistence import load_table_store, save_table_store
 from repro.storage.table import TableStore
 from repro.telemetry.fleetgen import split_fleet
 
+from tests.strategies import make_fleet_events as shared_fleet_events
+from tests.strategies import make_services as shared_services
+
 DAY = 86400.0
 PARTITION = "d0"
 SHARDS = 4
@@ -35,42 +37,11 @@ ALL_PATHS = [(True, True), (True, False), (False, False)]
 
 def make_fleet_events(seed: int = 11) -> list[Event]:
     """A day with stateless, null-duration, and stateful paired events."""
-    rng = random.Random(seed)
-    names = ["vm_down", "slow_io", "vm_start_failed", "nic_flap"]
-    levels = [Severity.WARNING, Severity.CRITICAL, Severity.FATAL]
-    events = []
-    for index in range(VM_COUNT):
-        vm = f"vm-{index:03d}"
-        for _ in range(rng.randrange(5)):
-            attributes = (
-                {} if rng.random() < 0.3
-                else {"duration": rng.uniform(60.0, 7200.0)}
-            )
-            events.append(Event(
-                name=rng.choice(names), time=rng.uniform(0.0, DAY),
-                target=vm, expire_interval=600.0,
-                level=rng.choice(levels), attributes=attributes,
-            ))
-        if rng.random() < 0.5:
-            start = rng.uniform(0.0, DAY / 2)
-            events.append(Event(
-                name="ddos_blackhole_add", time=start, target=vm,
-                expire_interval=3600.0, level=Severity.FATAL,
-            ))
-            if rng.random() < 0.7:
-                events.append(Event(
-                    name="ddos_blackhole_del",
-                    time=start + rng.uniform(60.0, 7200.0), target=vm,
-                    expire_interval=3600.0, level=Severity.FATAL,
-                ))
-    return events
+    return shared_fleet_events(seed, VM_COUNT, events_per_vm=4)
 
 
 def make_services() -> dict[str, ServicePeriod]:
-    return {
-        f"vm-{index:03d}": ServicePeriod(0.0, DAY)
-        for index in range(VM_COUNT)
-    }
+    return shared_services(VM_COUNT)
 
 
 def make_job(store: TableStore | None = None) -> DailyCdiJob:

@@ -10,39 +10,22 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.events import Event, default_catalog
+from repro.core.events import default_catalog
 from repro.core.indicator import ServicePeriod
 from repro.engine.dataset import EngineContext
 from repro.pipeline.backfill import run_days
 from repro.pipeline.daily import DailyCdiJob
-from repro.scenarios.common import default_weights, fault_to_period
+from repro.scenarios.common import default_weights
 from repro.storage.configdb import ConfigDB
 from repro.storage.table import TableStore
-from repro.telemetry.faults import FaultInjector, baseline_rates
 from repro.telemetry.topology import build_fleet
 
-DAY = 86400.0
+# The per-day event source now lives in tests.strategies; re-exported
+# here because the serving tests import it from this conftest.
+from tests.strategies import DAY, events_factory  # noqa: F401
+
 SEED = 7
 DAYS = 3
-
-
-def events_factory(vm_ids, catalog, seed):
-    """Deterministic per-day event source (mirrors the CLI's dataset)."""
-
-    def events_for_day(index: int, partition: str) -> list[Event]:
-        injector = FaultInjector(baseline_rates(scale=20.0),
-                                 seed=seed * 1000 + index)
-        events = []
-        for fault in injector.sample(vm_ids, 0.0, DAY):
-            period = fault_to_period(fault, catalog)
-            events.append(Event(
-                name=period.name, time=period.end, target=period.target,
-                expire_interval=600.0, level=period.level,
-                attributes={"duration": period.duration},
-            ))
-        return events
-
-    return events_for_day
 
 
 def build_dataset(*, use_fastpath: bool = True, use_columnar: bool = True,

@@ -84,3 +84,103 @@ class TestLogEntry:
         entry = LogEntry(time=1.0, fields={"a": 1})
         assert entry.get("a") == 1
         assert entry.get("b", "dflt") == "dflt"
+
+
+class TestPinnedQueryMutation:
+    """Documented-and-raise mutation semantics: a live ``query``
+    iterator detects any store mutation deterministically instead of
+    silently surfacing (or skipping) concurrent appends."""
+
+    def test_append_during_iteration_raises(self):
+        store = LogStore()
+        store.append(10.0, name="a")
+        store.append(20.0, name="b")
+        it = store.query(0.0, 100.0)
+        next(it)
+        store.append(30.0, name="c")
+        with pytest.raises(RuntimeError, match="mutated during query"):
+            next(it)
+
+    def test_expire_during_iteration_raises(self):
+        store = LogStore()
+        store.append(10.0, name="a")
+        store.append(20.0, name="b")
+        it = store.query(0.0, 100.0)
+        next(it)
+        store.expire(store._retention + 15.0)  # drops the first entry
+        with pytest.raises(RuntimeError, match="mutated during query"):
+            next(it)
+
+    def test_exhausted_iterator_then_append_is_fine(self):
+        store = LogStore()
+        store.append(10.0, name="a")
+        hits = list(store.query(0.0, 100.0))
+        assert len(hits) == 1
+        store.append(20.0, name="b")  # no live iterator → no error
+        assert [e.time for e in store.query(0.0, 100.0)] == [10.0, 20.0]
+
+    def test_error_message_points_to_cursor_protocol(self):
+        store = LogStore()
+        store.append(10.0, name="a")
+        store.append(20.0, name="b")
+        it = store.query(0.0, 100.0)
+        next(it)  # the snapshot is taken lazily, at the first step
+        store.append(30.0, name="c")
+        with pytest.raises(RuntimeError, match="appended_after"):
+            next(it)
+
+    def test_mutation_count_bumps_on_append_and_expire(self):
+        store = LogStore(retention=100.0)
+        base = store.mutation_count
+        store.append(10.0, name="a")
+        assert store.mutation_count == base + 1
+        store.append(500.0, name="b")  # append + opportunistic expiry
+        assert store.mutation_count == base + 3
+
+
+class TestCursorProtocol:
+    """``appended_after``: the tailer-facing read path is materialized
+    and arrival-ordered, so it coexists with appends by design."""
+
+    def test_arrival_order_independent_of_timestamps(self):
+        store = LogStore()
+        store.append(30.0, n=0)
+        store.append(10.0, n=1)  # sorts before in time, after in seq
+        store.append(20.0, n=2)
+        batch = store.appended_after(-1)
+        assert [entry.get("n") for _, entry in batch] == [0, 1, 2]
+        assert [seq for seq, _ in batch] == [0, 1, 2]
+
+    def test_exactly_once_with_cursor(self):
+        store = LogStore()
+        store.append(10.0, n=0)
+        store.append(20.0, n=1)
+        first = store.appended_after(-1)
+        cursor = first[-1][0]
+        assert store.appended_after(cursor) == []
+        store.append(5.0, n=2)  # older timestamp, newer arrival
+        fresh = store.appended_after(cursor)
+        assert [entry.get("n") for _, entry in fresh] == [2]
+
+    def test_batch_is_immune_to_later_appends(self):
+        store = LogStore()
+        store.append(10.0, n=0)
+        batch = store.appended_after(-1)
+        store.append(20.0, n=1)
+        assert len(batch) == 1  # materialized, not a live view
+
+    def test_expired_sequences_are_skipped(self):
+        store = LogStore(retention=100.0)
+        store.append(10.0, n=0)
+        store.append(20.0, n=1)
+        store.append(500.0, n=2)  # expires seqs 0 and 1
+        batch = store.appended_after(-1)
+        assert [seq for seq, _ in batch] == [2]
+
+    def test_last_seq_tracks_arrivals_not_survivors(self):
+        store = LogStore(retention=100.0)
+        assert store.last_seq == -1
+        store.append(10.0, n=0)
+        store.append(500.0, n=1)  # expires seq 0
+        assert store.last_seq == 1
+        assert len(store) == 1

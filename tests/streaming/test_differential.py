@@ -1,0 +1,203 @@
+"""The headline differential gate: stream ≡ batch, byte for byte.
+
+Hypothesis drives adversarial :class:`~tests.strategies.StreamCase`
+scenarios — shuffled bounded-lag arrivals, duplicates, unknown names,
+null and boundary-straddling durations, orphan/open stateful pairs,
+arbitrary tick boundaries — through the streaming pipeline and
+demands the published tables equal a from-scratch batch recompute on
+every compute path.  Deterministic companions cover the cases the
+bounded-lag precondition excludes (true beyond-watermark drops) and
+mid-stream resume.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.events import Event, Severity
+from repro.storage.logstore import LogStore
+from repro.storage.table import TableStore
+from repro.streaming import StreamCheckpoint
+
+from tests.strategies import make_fleet_events, make_services, stream_cases
+from tests.streaming.conftest import (
+    ALL_PATHS,
+    append_events,
+    batch_bytes,
+    bounded_lag_arrival,
+    chunked,
+    make_pipeline,
+    oracle_order,
+    published_bytes,
+    run_stream,
+)
+
+
+class TestStreamBatchEquivalence:
+    @given(case=stream_cases())
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_published_tables_byte_identical_to_batch(self, case):
+        services = case.services()
+        store = LogStore()
+        tables = TableStore()
+        pipeline = make_pipeline(store, services,
+                                 allowed_lateness=case.lateness,
+                                 tables=tables)
+        for chunk in case.chunks():
+            append_events(store, chunk)
+            pipeline.tick()
+        pipeline.flush()
+        # The bounded-lag arrival order makes zero drops a theorem,
+        # so the oracle runs over *all* the arrivals.
+        assert pipeline.tailer.late_dropped == 0
+        assert pipeline.state.applied == len(case.arrival)
+        streamed = published_bytes(tables)
+        oracle = case.oracle_events()
+        for use_fastpath, use_columnar in ALL_PATHS:
+            assert streamed == batch_bytes(
+                oracle, services, use_fastpath=use_fastpath,
+                use_columnar=use_columnar,
+            )
+
+    @given(case=stream_cases(max_ticks=3))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_tick_granularity_is_invisible(self, case):
+        """One tick per arrival vs. the case's ticks: same bytes."""
+        services = case.services()
+        _, coarse, _ = run_stream(list(case.arrival), services,
+                                  allowed_lateness=case.lateness,
+                                  chunks=len(case.tick_sizes))
+        _, fine, _ = run_stream(list(case.arrival), services,
+                                allowed_lateness=case.lateness,
+                                chunks=max(1, len(case.arrival)))
+        assert published_bytes(coarse) == published_bytes(fine)
+
+
+class TestSeededFleetDays:
+    """The shared seeded generator, streamed: bigger fleets than the
+    hypothesis cases, still byte-identical on every path."""
+
+    @pytest.mark.parametrize("seed", [0, 7, 23])
+    def test_seeded_day_all_paths(self, seed):
+        services = make_services(16)
+        events = make_fleet_events(seed, vm_count=16, events_per_vm=3)
+        rng = random.Random(1000 + seed)
+        arrival = bounded_lag_arrival(events, 3600.0, rng)
+        pipeline, tables, _ = run_stream(arrival, services,
+                                         allowed_lateness=3600.0,
+                                         chunks=5)
+        assert pipeline.tailer.late_dropped == 0
+        streamed = published_bytes(tables)
+        oracle = oracle_order(arrival)
+        for use_fastpath, use_columnar in ALL_PATHS:
+            assert streamed == batch_bytes(
+                oracle, services, use_fastpath=use_fastpath,
+                use_columnar=use_columnar,
+            )
+
+
+class TestBeyondWatermark:
+    """Truly late records (lag past the allowed lateness) drop
+    deterministically; the oracle then covers the *admitted* set."""
+
+    def make_event(self, name, time, vm="vm-000", duration=300.0):
+        return Event(name=name, time=time, target=vm,
+                     expire_interval=600.0, level=Severity.CRITICAL,
+                     attributes={"duration": duration})
+
+    def test_late_record_dropped_and_counted(self):
+        services = make_services(1)
+        admitted = [
+            self.make_event("vm_down", 10_000.0),
+            self.make_event("slow_io", 12_000.0),
+        ]
+        late = self.make_event("vm_down", 1_000.0)  # 11_000s stale
+        store = LogStore()
+        tables = TableStore()
+        pipeline = make_pipeline(store, services,
+                                 allowed_lateness=600.0, tables=tables)
+        append_events(store, admitted)
+        pipeline.tick()  # watermark → 12_000 - 600
+        append_events(store, [late])
+        pipeline.tick()
+        pipeline.flush()
+        assert pipeline.tailer.late_dropped == 1
+        assert pipeline.state.applied == 2
+        assert published_bytes(tables) == batch_bytes(admitted, services)
+
+    def test_same_batch_records_never_drop_each_other(self):
+        """Admission uses the previous poll's watermark: a batch whose
+        newest record is hours ahead of its oldest still admits both."""
+        services = make_services(1)
+        events = [
+            self.make_event("vm_down", 50_000.0),
+            self.make_event("slow_io", 1_000.0),  # 49_000s older
+        ]
+        store = LogStore()
+        tables = TableStore()
+        pipeline = make_pipeline(store, services,
+                                 allowed_lateness=600.0, tables=tables)
+        append_events(store, events)
+        pipeline.tick()
+        pipeline.flush()
+        assert pipeline.tailer.late_dropped == 0
+        assert published_bytes(tables) == batch_bytes(
+            oracle_order(events), services
+        )
+
+
+class TestMidStreamResume:
+    def test_resume_then_continue_matches_uninterrupted(self, tmp_path):
+        services = make_services(12)
+        events = make_fleet_events(42, vm_count=12, events_per_vm=3)
+        rng = random.Random(7)
+        arrival = bounded_lag_arrival(events, 3600.0, rng)
+        chunks = chunked(arrival, 6)
+
+        # Uninterrupted reference run.
+        _, reference, _ = run_stream(arrival, services,
+                                     allowed_lateness=3600.0, chunks=6)
+
+        # First half on pipeline A, then a fresh pipeline B resumes
+        # from the checkpoint and finishes the stream.
+        store = LogStore()
+        tables = TableStore()
+        checkpoint = StreamCheckpoint(tmp_path / "stream.ck")
+        first = make_pipeline(store, services, allowed_lateness=3600.0,
+                              checkpoint=checkpoint, tables=tables)
+        for chunk in chunks[:3]:
+            append_events(store, chunk)
+            first.tick()
+        del first
+
+        tables_b = TableStore()
+        second = make_pipeline(store, services, allowed_lateness=3600.0,
+                               checkpoint=checkpoint, tables=tables_b)
+        assert second.resume() is True
+        assert second.ticks == 3
+        for chunk in chunks[3:]:
+            append_events(store, chunk)
+            second.tick()
+        second.flush()
+        assert published_bytes(tables_b) == published_bytes(reference)
+        assert published_bytes(tables_b) == batch_bytes(
+            oracle_order(arrival), services
+        )
+
+    def test_resume_without_checkpoint_is_a_noop(self):
+        services = make_services(2)
+        pipeline = make_pipeline(LogStore(), services)
+        assert pipeline.resume() is False
+
+    def test_resume_with_empty_checkpoint_is_a_noop(self, tmp_path):
+        services = make_services(2)
+        pipeline = make_pipeline(
+            LogStore(), services,
+            checkpoint=StreamCheckpoint(tmp_path / "missing.ck"),
+        )
+        assert pipeline.resume() is False

@@ -1,0 +1,225 @@
+"""Per-record extraction parity: a tailed record must extract to the
+same events whichever side — batch rules or the streaming loop —
+consumes it, across all three record shapes the extractor speaks
+(raw log line, metric sample, pre-extracted event)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloudbot.extractor import (
+    LogRegexRule,
+    MetricThresholdRule,
+    default_log_rules,
+    default_metric_rules,
+)
+from repro.core.events import Event, Severity
+from repro.storage.logstore import LogEntry
+from repro.streaming import StreamingExtractor, event_record
+from repro.telemetry import metrics as m
+from repro.telemetry.logs import LogLine
+from repro.telemetry.metrics import MetricSample
+
+
+def entry(time: float, **fields) -> LogEntry:
+    return LogEntry(time=time, fields=fields)
+
+
+class TestLogLineRecords:
+    def test_matching_line_fires_the_batch_rule(self):
+        extractor = StreamingExtractor()
+        events = extractor.events_from_entry(
+            entry(50.0, line="eth0: NIC Link is Down", target="vm-003")
+        )
+        assert [e.name for e in events] == ["nic_flapping"]
+        assert events[0].target == "vm-003"
+        assert events[0].time == 50.0
+
+    def test_line_events_match_batch_rule_objects_exactly(self):
+        """The streaming side reuses the *same* rule objects, so the
+        extracted events are equal, not merely similar."""
+        extractor = StreamingExtractor()
+        line = LogLine(time=75.0, target="vm-001",
+                       line="kernel: guest panicked in qemu")
+        batch = [
+            event for rule in default_log_rules()
+            if (event := rule.extract(line)) is not None
+        ]
+        streamed = extractor.events_from_entry(
+            entry(75.0, line=line.line, target=line.target)
+        )
+        assert streamed == batch
+        assert streamed[0].level is Severity.FATAL
+
+    def test_non_matching_line_extracts_nothing(self):
+        extractor = StreamingExtractor()
+        assert extractor.events_from_entry(
+            entry(1.0, line="systemd: reached target multi-user")
+        ) == []
+
+    def test_custom_log_rules_replace_the_defaults(self):
+        extractor = StreamingExtractor(
+            log_rules=[LogRegexRule(r"oom-killer", "oom_kill")]
+        )
+        hits = extractor.events_from_entry(
+            entry(9.0, line="oom-killer: victim 1234", target="vm-000")
+        )
+        assert [e.name for e in hits] == ["oom_kill"]
+        # Default rules are gone: this would match nic_flapping.
+        assert extractor.events_from_entry(
+            entry(9.5, line="NIC Link is Down")
+        ) == []
+
+
+class TestMetricRecords:
+    def test_threshold_crossing_fires(self):
+        extractor = StreamingExtractor()
+        events = extractor.events_from_entry(
+            entry(10.0, metric=m.READ_LATENCY, value=50.0,
+                  target="vm-002")
+        )
+        assert [e.name for e in events] == ["slow_io"]
+        assert events[0].attributes["value"] == 50.0
+
+    def test_level_by_value_escalates(self):
+        extractor = StreamingExtractor()
+        mild = extractor.events_from_entry(
+            entry(10.0, metric=m.READ_LATENCY, value=50.0, target="a")
+        )[0]
+        severe = extractor.events_from_entry(
+            entry(11.0, metric=m.READ_LATENCY, value=500.0, target="a")
+        )[0]
+        assert mild.level is Severity.CRITICAL
+        assert severe.level is Severity.FATAL
+
+    def test_below_threshold_extracts_nothing(self):
+        extractor = StreamingExtractor()
+        assert extractor.events_from_entry(
+            entry(10.0, metric=m.READ_LATENCY, value=1.0, target="a")
+        ) == []
+
+    def test_metric_events_match_batch_rule_objects_exactly(self):
+        extractor = StreamingExtractor()
+        sample = MetricSample(time=30.0, target="vm-004",
+                              metric=m.PACKET_LOSS_RATE, value=0.9)
+        batch = [
+            event for rule in default_metric_rules()
+            if (event := rule.extract(sample)) is not None
+        ]
+        streamed = extractor.events_from_entry(
+            entry(30.0, metric=sample.metric, value=sample.value,
+                  target=sample.target)
+        )
+        assert streamed == batch
+        assert len(streamed) >= 1
+
+    def test_custom_metric_rules_replace_the_defaults(self):
+        extractor = StreamingExtractor(metric_rules=[
+            MetricThresholdRule("queue_depth", 8.0, "queue_full",
+                                direction="above")
+        ])
+        assert [e.name for e in extractor.events_from_entry(
+            entry(5.0, metric="queue_depth", value=9.0, target="vm-000")
+        )] == ["queue_full"]
+        assert extractor.events_from_entry(
+            entry(6.0, metric=m.READ_LATENCY, value=500.0, target="a")
+        ) == []
+
+
+class TestDirectEventRecords:
+    def test_event_record_round_trips(self):
+        """``store.append(t, **event_record(e))`` → tailer →
+        ``events_from_entry`` reconstructs the event exactly."""
+        extractor = StreamingExtractor()
+        original = Event(name="vm_down", time=123.0, target="vm-007",
+                         expire_interval=900.0, level=Severity.FATAL,
+                         attributes={"duration": 42.0})
+        fields = event_record(original)
+        assert extractor.events_from_entry(
+            LogEntry(time=original.time, fields=fields)
+        ) == [original]
+
+    def test_null_duration_round_trips_as_absent(self):
+        extractor = StreamingExtractor()
+        original = Event(name="slow_io", time=10.0, target="vm-001",
+                         expire_interval=600.0,
+                         level=Severity.CRITICAL, attributes={})
+        fields = event_record(original)
+        assert "duration" not in fields
+        restored, = extractor.events_from_entry(
+            LogEntry(time=10.0, fields=fields)
+        )
+        assert restored.attributes == {}
+        assert restored == original
+
+    def test_missing_optional_fields_use_defaults(self):
+        restored, = StreamingExtractor().events_from_entry(
+            entry(10.0, event="slow_io", target="vm-001")
+        )
+        assert restored.expire_interval == 600.0
+        assert restored.level is Severity.CRITICAL
+
+
+class TestRecordShapes:
+    def test_unrecognized_record_extracts_to_nothing(self):
+        """A tailer shares its store with record kinds it does not
+        speak; those must pass through silently."""
+        extractor = StreamingExtractor()
+        assert extractor.events_from_entry(
+            entry(10.0, heartbeat=True, node="nc-17")
+        ) == []
+
+    def test_line_takes_precedence_over_event_field(self):
+        """Shape dispatch is ordered: a record carrying both shapes is
+        treated as a log line."""
+        events = StreamingExtractor().events_from_entry(
+            entry(10.0, line="guest panicked", event="slow_io",
+                  target="vm-000")
+        )
+        assert [e.name for e in events] == ["vm_down"]
+
+    def test_events_from_entries_preserves_record_order(self):
+        extractor = StreamingExtractor()
+        entries = [
+            entry(10.0, event="b_second", target="x"),
+            entry(5.0, event="a_first", target="x"),
+            entry(7.0, heartbeat=True),
+            entry(20.0, line="soft lockup on cpu 3", target="y"),
+        ]
+        names = [e.name for e in extractor.events_from_entries(entries)]
+        assert names == ["b_second", "a_first", "vm_hang"]
+
+
+class TestPipelineMixedRecords:
+    def test_stream_of_mixed_shapes_matches_direct_extraction(self):
+        """End-to-end through the tailer: one store carrying all three
+        record shapes extracts to the same events as feeding the
+        extractor by hand."""
+        from repro.storage.logstore import LogStore
+        from repro.streaming import LogTailer
+
+        store = LogStore()
+        store.append(10.0, line="NIC Link is Down", target="vm-000")
+        store.append(20.0, metric=m.READ_LATENCY, value=500.0,
+                     target="vm-001")
+        store.append(30.0, event="vm_down", target="vm-002",
+                     level=int(Severity.FATAL), expire_interval=600.0,
+                     duration=120.0)
+        store.append(40.0, heartbeat=True)
+
+        tailer = LogTailer(store, allowed_lateness=0.0)
+        released = tailer.poll() + tailer.flush()
+        extractor = StreamingExtractor()
+        events = extractor.events_from_entries(released)
+        assert [e.name for e in events] == [
+            "nic_flapping", "slow_io", "vm_down"
+        ]
+        assert [e.target for e in events] == [
+            "vm-000", "vm-001", "vm-002"
+        ]
+
+
+class TestValidation:
+    def test_direction_validated_by_rule(self):
+        with pytest.raises(ValueError, match="above/below"):
+            MetricThresholdRule("x", 1.0, "e", direction="sideways")

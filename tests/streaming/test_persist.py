@@ -1,0 +1,136 @@
+"""Checkpoint durability: round-trips, corruption, fingerprints.
+
+:class:`~repro.streaming.persist.StreamCheckpoint` must reproduce a
+snapshot exactly (cursor, watermark, row log, buffered records),
+refuse corrupt files loudly, and tie each checkpoint to its stream's
+fingerprint so cross-stream resume raises instead of merging state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.logstore import LogEntry, LogStore
+from repro.storage.persistence import save_table_store
+from repro.storage.table import TableStore
+from repro.streaming import (
+    CURSOR_TABLE,
+    STATE_PARTITION,
+    StreamCheckpoint,
+    StreamSnapshot,
+    cursor_schema,
+)
+
+from tests.strategies import make_services
+from tests.streaming.conftest import make_pipeline
+
+
+def sample_snapshot(**overrides) -> StreamSnapshot:
+    base = dict(
+        fingerprint="f" * 64,
+        last_seq=41,
+        watermark=1234.5,
+        ticks=3,
+        consumed=50,
+        late_dropped=2,
+        ignored=1,
+        rows=[{
+            "name": "vm_down", "time": 100.0, "target": "vm-000",
+            "level": 3, "duration": 300.0, "expire_interval": 600.0,
+        }],
+        buffer=[
+            (7, LogEntry(time=90.0, fields={"event": "slow_io",
+                                            "target": "vm-001"})),
+            (9, LogEntry(time=95.0, fields={"line": "oops"})),
+        ],
+    )
+    base.update(overrides)
+    return StreamSnapshot(**base)
+
+
+class TestRoundTrip:
+    def test_full_snapshot_round_trips(self, tmp_path):
+        checkpoint = StreamCheckpoint(tmp_path / "s.ck")
+        snapshot = sample_snapshot()
+        checkpoint.save(snapshot)
+        assert checkpoint.exists()
+        assert checkpoint.load() == snapshot
+
+    def test_none_watermark_and_empty_collections(self, tmp_path):
+        checkpoint = StreamCheckpoint(tmp_path / "s.ck")
+        snapshot = sample_snapshot(watermark=None, rows=[], buffer=[])
+        checkpoint.save(snapshot)
+        assert checkpoint.load() == snapshot
+
+    def test_save_overwrites_previous_snapshot(self, tmp_path):
+        checkpoint = StreamCheckpoint(tmp_path / "s.ck")
+        checkpoint.save(sample_snapshot(ticks=1))
+        checkpoint.save(sample_snapshot(ticks=2))
+        loaded = checkpoint.load()
+        assert loaded is not None and loaded.ticks == 2
+
+    def test_missing_file_loads_none(self, tmp_path):
+        checkpoint = StreamCheckpoint(tmp_path / "never-written.ck")
+        assert not checkpoint.exists()
+        assert checkpoint.load() is None
+
+    def test_parent_directories_created(self, tmp_path):
+        checkpoint = StreamCheckpoint(tmp_path / "a" / "b" / "s.ck")
+        checkpoint.save(sample_snapshot())
+        assert checkpoint.load() is not None
+
+
+class TestCorruption:
+    def test_multiple_cursor_rows_raise(self, tmp_path):
+        path = tmp_path / "corrupt.ck"
+        store = TableStore()
+        cursor = store.create(CURSOR_TABLE, cursor_schema())
+        row = {
+            "fingerprint": "x", "last_seq": 0, "watermark": None,
+            "ticks": 0, "consumed": 0, "late_dropped": 0, "ignored": 0,
+        }
+        cursor.append([row, dict(row)], STATE_PARTITION)
+        save_table_store(store, path, layout="chunked", atomic=True)
+        with pytest.raises(ValueError, match="corrupt stream checkpoint"):
+            StreamCheckpoint(path).load()
+
+
+class TestFingerprint:
+    def test_resume_from_foreign_stream_raises(self, tmp_path):
+        """A checkpoint written under one lateness must not resume a
+        pipeline configured with another (different fingerprint)."""
+        services = make_services(2)
+        checkpoint = StreamCheckpoint(tmp_path / "s.ck")
+        store = LogStore()
+        store.append(100.0, event="vm_down", target="vm-000",
+                     duration=60.0)
+        writer = make_pipeline(store, services, allowed_lateness=600.0,
+                               checkpoint=checkpoint)
+        writer.tick()
+        reader = make_pipeline(LogStore(), services,
+                               allowed_lateness=3600.0,
+                               checkpoint=checkpoint)
+        with pytest.raises(ValueError, match="fingerprint mismatch"):
+            reader.resume()
+
+    def test_fingerprint_distinguishes_services(self, tmp_path):
+        services = make_services(2)
+        checkpoint = StreamCheckpoint(tmp_path / "s.ck")
+        writer = make_pipeline(LogStore(), services,
+                               checkpoint=checkpoint)
+        writer.tick()
+        reader = make_pipeline(LogStore(), make_services(3),
+                               checkpoint=checkpoint)
+        with pytest.raises(ValueError, match="fingerprint mismatch"):
+            reader.resume()
+
+    def test_same_configuration_resumes(self, tmp_path):
+        services = make_services(2)
+        checkpoint = StreamCheckpoint(tmp_path / "s.ck")
+        writer = make_pipeline(LogStore(), services,
+                               checkpoint=checkpoint)
+        writer.tick()
+        reader = make_pipeline(LogStore(), services,
+                               checkpoint=checkpoint)
+        assert reader.resume() is True
+        assert reader.fingerprint == writer.fingerprint

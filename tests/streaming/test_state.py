@@ -1,0 +1,167 @@
+"""Unit contract of :class:`~repro.streaming.state.IncrementalCdiState`.
+
+Row-level semantics (service filter, unknown names, negative
+durations, zero-row identity) and the incremental-vs-batch identity
+for stateful re-pairing across tick boundaries.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.events import Event, Severity, default_catalog
+from repro.core.fastpath import ResolverIndex, WeightTable
+from repro.core.weights import expert_only_config
+from repro.pipeline.daily import event_to_row
+
+from tests.strategies import make_fleet_events, make_services
+from tests.streaming.conftest import batch_bytes
+
+DAY = 86400.0
+
+
+def make_state(services):
+    catalog = default_catalog()
+    weight_table = WeightTable.from_config(catalog, expert_only_config())
+    index = ResolverIndex.build(catalog, weight_table)
+    from repro.streaming import IncrementalCdiState
+    return IncrementalCdiState(services, catalog, weight_table, index)
+
+
+def state_bytes(state) -> bytes:
+    vm_rows, event_rows = state.snapshot_rows()
+    return json.dumps([vm_rows, event_rows], sort_keys=True).encode()
+
+
+def stateless(name, time, vm, *, duration=300.0,
+              level=Severity.CRITICAL):
+    attributes = {} if duration is None else {"duration": duration}
+    return Event(name=name, time=time, target=vm,
+                 expire_interval=600.0, level=level,
+                 attributes=attributes)
+
+
+def stateful(name, time, vm):
+    return Event(name=name, time=time, target=vm,
+                 expire_interval=3600.0, level=Severity.FATAL)
+
+
+class TestRowSemantics:
+    def test_eventless_fleet_matches_batch_zero_rows(self):
+        services = make_services(3)
+        state = make_state(services)
+        assert state_bytes(state) == batch_bytes([], services)
+
+    def test_out_of_service_target_rejected(self):
+        state = make_state(make_services(1))
+        accepted = state.apply_event(
+            stateless("vm_down", 100.0, "vm-999")
+        )
+        assert accepted is False
+        assert state.applied == 0
+
+    def test_unknown_name_counts_without_rows(self):
+        """``nic_flap`` is not in the catalog: the batch job counts the
+        row (it is in the events table) but emits no event row."""
+        services = make_services(1)
+        state = make_state(services)
+        event = stateless("nic_flap", 100.0, "vm-000")
+        assert state.apply_event(event) is True
+        assert state.applied == 1
+        _, event_rows = state.snapshot_rows()
+        assert event_rows == []
+        assert state_bytes(state) == batch_bytes([event], services)
+
+    def test_negative_duration_raises_like_batch_resolve(self):
+        state = make_state(make_services(1))
+        with pytest.raises(ValueError,
+                           match="negative duration -5.0 on event"):
+            state.apply_event(
+                stateless("vm_down", 100.0, "vm-000", duration=-5.0)
+            )
+
+    def test_null_duration_uses_catalog_window(self):
+        services = make_services(1)
+        event = stateless("vm_down", 5_000.0, "vm-000", duration=None)
+        state = make_state(services)
+        state.apply_event(event)
+        assert state_bytes(state) == batch_bytes([event], services)
+
+    def test_applied_counter_mirrors_batch_event_count(self):
+        services = make_services(4)
+        events = make_fleet_events(9, vm_count=4)
+        state = make_state(services)
+        for event in events:
+            state.apply_event(event)
+        assert state.applied == len(events)
+
+
+class TestStatefulRepairing:
+    def test_del_arriving_ticks_later_repairs_the_period(self):
+        """An ``*_add`` applied long before its ``*_del`` (separate
+        refresh cycles in between) still pairs exactly as the batch
+        job pairs them in one pass."""
+        services = make_services(2)
+        add = stateful("ddos_blackhole_add", 10_000.0, "vm-001")
+        close = stateful("ddos_blackhole_del", 20_000.0, "vm-001")
+        state = make_state(services)
+        state.apply_event(add)
+        open_bytes = state_bytes(state)  # forces a refresh mid-stream
+        assert open_bytes == batch_bytes([add], services)
+        state.apply_event(close)
+        assert state_bytes(state) == batch_bytes([add, close], services)
+        assert state_bytes(state) != open_bytes
+
+    def test_open_period_clips_at_horizon(self):
+        services = make_services(1)
+        add = stateful("ddos_blackhole_add", DAY / 2, "vm-000")
+        state = make_state(services)
+        state.apply_event(add)
+        assert state_bytes(state) == batch_bytes([add], services)
+        vm_rows, _ = state.snapshot_rows()
+        assert vm_rows[0]["unavailability"] > 0.0
+
+    def test_orphan_del_matches_batch(self):
+        services = make_services(1)
+        orphan = stateful("ddos_blackhole_del", 1_000.0, "vm-000")
+        state = make_state(services)
+        state.apply_event(orphan)
+        assert state_bytes(state) == batch_bytes([orphan], services)
+
+
+class TestIncrementalIdentity:
+    @pytest.mark.parametrize("seed", [1, 8])
+    def test_prefix_snapshots_match_batch_prefixes(self, seed):
+        """After *every* prefix of a fleet day the state equals a
+        batch run over exactly that prefix — the strongest form of
+        the incremental contract."""
+        services = make_services(5)
+        events = make_fleet_events(seed, vm_count=5, events_per_vm=2)
+        events.sort(key=lambda event: event.time)
+        state = make_state(services)
+        step = max(1, len(events) // 4)
+        for cut in range(0, len(events) + 1, step):
+            fresh = make_state(services)
+            for event in events[:cut]:
+                fresh.apply_event(event)
+            assert state_bytes(fresh) == batch_bytes(
+                events[:cut], services
+            )
+
+    def test_apply_rows_returns_accepted_count(self):
+        services = make_services(2)
+        state = make_state(services)
+        rows = [
+            event_to_row(stateless("vm_down", 100.0, "vm-000")),
+            event_to_row(stateless("vm_down", 200.0, "vm-777")),
+        ]
+        assert state.apply_rows(rows) == 1
+
+    def test_refresh_returns_and_clears_dirty_set(self):
+        services = make_services(3)
+        state = make_state(services)
+        state.apply_event(stateless("vm_down", 100.0, "vm-001"))
+        assert state.refresh() == {"vm-001"}
+        assert state.refresh() == set()

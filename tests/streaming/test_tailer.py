@@ -1,0 +1,185 @@
+"""Unit contract of :class:`~repro.streaming.tailer.LogTailer`.
+
+Exactly-once cursor consumption, previous-poll watermark admission,
+globally monotone ``(time, seq)`` release order, bounded-buffer
+overflow draining, flush, and the persistence hooks' round-trip.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.storage.logstore import LogStore
+from repro.streaming import LogTailer
+
+
+def fill(store: LogStore, times) -> None:
+    for index, time in enumerate(times):
+        store.append(time, n=index)
+
+
+def released_times(entries) -> list[float]:
+    return [entry.time for entry in entries]
+
+
+class TestCursorConsumption:
+    def test_exactly_once_across_polls(self):
+        store = LogStore()
+        fill(store, [10.0, 20.0, 30.0])
+        tailer = LogTailer(store, allowed_lateness=0.0)
+        first = tailer.poll()
+        assert released_times(first) == [10.0, 20.0, 30.0]
+        assert tailer.poll() == []  # nothing new → nothing released
+        fill(store, [40.0])
+        assert released_times(tailer.poll()) == [40.0]
+        assert tailer.consumed == 4
+
+    def test_out_of_timestamp_order_arrivals_still_consumed_once(self):
+        """The cursor is arrival-order: a record whose timestamp sorts
+        before everything already stored is still new to the tailer."""
+        store = LogStore()
+        fill(store, [100.0, 200.0])
+        tailer = LogTailer(store, allowed_lateness=1_000.0)
+        tailer.poll()
+        fill(store, [50.0])  # inserts *before* the others in time order
+        tailer.poll()
+        assert tailer.consumed == 3
+        assert tailer.late_dropped == 0
+
+    def test_cursor_survives_retention_gaps(self):
+        """Sequences expired before being tailed are skipped, not an
+        error — the cursor only ever moves forward."""
+        store = LogStore(retention=100.0)
+        fill(store, [10.0, 20.0])
+        tailer = LogTailer(store, allowed_lateness=0.0)
+        tailer.poll()
+        fill(store, [500.0])  # expires the first two
+        assert released_times(tailer.poll()) == [500.0]
+        assert tailer.consumed == 3
+
+
+class TestWatermarkAdmission:
+    def test_record_older_than_watermark_dropped_and_counted(self):
+        store = LogStore()
+        fill(store, [1_000.0])
+        tailer = LogTailer(store, allowed_lateness=100.0)
+        tailer.poll()  # watermark → 900
+        fill(store, [899.0])
+        assert tailer.poll() == []
+        assert tailer.late_dropped == 1
+
+    def test_admission_judged_against_previous_poll_watermark(self):
+        """Records within one batch never drop each other, however far
+        apart their timestamps are."""
+        store = LogStore()
+        fill(store, [10_000.0, 10.0])
+        tailer = LogTailer(store, allowed_lateness=100.0)
+        released = tailer.poll()
+        assert tailer.late_dropped == 0
+        # Watermark lands at 9_900 after the batch, so only the old
+        # record releases; the new one waits in the buffer.
+        assert released_times(released) == [10.0]
+        assert tailer.buffered == 1
+
+    def test_watermark_none_before_first_record(self):
+        tailer = LogTailer(LogStore())
+        assert tailer.watermark is None
+        tailer.poll()
+        assert tailer.watermark is None
+
+    def test_watermark_monotonic_under_late_arrivals(self):
+        store = LogStore()
+        tailer = LogTailer(store, allowed_lateness=50.0)
+        fill(store, [1_000.0])
+        tailer.poll()
+        mark = tailer.watermark
+        fill(store, [960.0])  # late but admissible; must not regress
+        tailer.poll()
+        assert tailer.watermark == mark
+
+    def test_release_order_is_global_time_seq_sort(self):
+        """Across many polls of shuffled bounded-lag arrivals the
+        concatenated releases come out sorted by (time, seq)."""
+        rng = random.Random(5)
+        times = [rng.uniform(0.0, 10_000.0) for _ in range(120)]
+        lateness = 2_000.0
+        arrival = sorted(times,
+                         key=lambda t: t + rng.uniform(0.0, 0.9 * lateness))
+        store = LogStore()
+        tailer = LogTailer(store, allowed_lateness=lateness)
+        out: list[float] = []
+        for offset in range(0, len(arrival), 10):
+            fill(store, arrival[offset:offset + 10])
+            out.extend(released_times(tailer.poll()))
+        out.extend(released_times(tailer.flush()))
+        assert tailer.late_dropped == 0
+        assert out == sorted(times)
+
+
+class TestBoundedBuffer:
+    def test_overflow_force_advances_watermark(self):
+        store = LogStore()
+        # Huge lateness: nothing would release naturally.
+        tailer = LogTailer(store, allowed_lateness=1e9, max_buffer=2)
+        fill(store, [30.0, 10.0, 20.0, 40.0])
+        released = tailer.poll()
+        # Two overflow drains (4 buffered > 2), oldest first.
+        assert released_times(released) == [10.0, 20.0]
+        assert tailer.buffered == 2
+        assert tailer.watermark == 20.0
+
+    def test_arrival_older_than_forced_watermark_drops(self):
+        store = LogStore()
+        tailer = LogTailer(store, allowed_lateness=1e9, max_buffer=1)
+        fill(store, [10.0, 30.0])
+        tailer.poll()  # overflow drains 10.0, watermark → 10.0
+        fill(store, [5.0])  # older than the forced watermark
+        tailer.poll()
+        assert tailer.late_dropped == 1
+
+    def test_flush_drains_everything_in_order(self):
+        store = LogStore()
+        tailer = LogTailer(store, allowed_lateness=1e9)
+        fill(store, [30.0, 10.0, 20.0])
+        assert tailer.poll() == []
+        assert released_times(tailer.flush()) == [10.0, 20.0, 30.0]
+        assert tailer.buffered == 0
+
+
+class TestPersistenceHooks:
+    def test_snapshot_restore_round_trip(self):
+        store = LogStore()
+        fill(store, [100.0, 50.0, 200.0])
+        tailer = LogTailer(store, allowed_lateness=1_000.0)
+        tailer.poll()
+        snapshot = tailer.buffer_snapshot()
+        assert [entry.time for _, entry in snapshot] == [
+            50.0, 100.0, 200.0
+        ]
+
+        clone = LogTailer(store, allowed_lateness=1_000.0)
+        clone.restore(cursor=tailer.cursor, watermark=tailer.watermark,
+                      buffer=snapshot, consumed=tailer.consumed,
+                      late_dropped=tailer.late_dropped)
+        assert clone.cursor == tailer.cursor
+        assert clone.consumed == 3
+        # Both tail the same store from here and drain identically.
+        fill(store, [300.0])
+        assert released_times(clone.poll() + clone.flush()) == (
+            released_times(tailer.poll() + tailer.flush())
+        )
+        assert clone.consumed == tailer.consumed == 4
+
+    def test_restore_none_watermark(self):
+        tailer = LogTailer(LogStore())
+        tailer.restore(cursor=-1, watermark=None, buffer=[])
+        assert tailer.watermark is None
+
+    def test_parameter_validation(self):
+        store = LogStore()
+        with pytest.raises(ValueError, match="allowed_lateness"):
+            LogTailer(store, allowed_lateness=-1.0)
+        with pytest.raises(ValueError, match="max_buffer"):
+            LogTailer(store, max_buffer=0)

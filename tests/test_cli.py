@@ -157,3 +157,29 @@ class TestQueryServe:
         assert [r["ok"] for r in decoded] == [True, False, True]
         assert decoded[1]["error"]["kind"] == "bad_request"
         assert "invalid JSON" in decoded[1]["error"]["message"]
+
+
+class TestStreamCommand:
+    def test_stream_reports_identical_differential(self, capsys):
+        assert main(["stream", "--seed", "3", "--vms", "12",
+                     "--ticks", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Streaming CDI" in out
+        assert "differential vs batch recompute: IDENTICAL" in out
+        assert "0 dropped" in out
+
+    def test_stream_checkpoint_resume_is_idempotent(self, tmp_path,
+                                                    capsys):
+        args = ["stream", "--seed", "5", "--vms", "10",
+                "--checkpoint-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "IDENTICAL" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "resumed from checkpoint" in second
+        assert "IDENTICAL" in second
+
+    def test_stream_listed(self, capsys):
+        assert main(["list"]) == 0
+        assert "stream" in capsys.readouterr().out

@@ -22,6 +22,7 @@ import random
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
 
 from repro.core.events import Event, Severity, default_catalog
 from repro.core.fastpath import (
@@ -45,6 +46,8 @@ from repro.pipeline.daily import DailyCdiJob
 from repro.pipeline.tables import EVENT_CDI_TABLE, VM_CDI_TABLE
 from repro.storage.configdb import ConfigDB
 from repro.storage.table import TableStore
+
+from tests.strategies import make_fleet_events, stream_cases
 
 DAY = 86400.0
 
@@ -267,44 +270,6 @@ class TestFleetTables:
         assert tables.vm_rows[0]["unavailability"] > 0.0
 
 
-def make_fleet_events(rng: random.Random, vm_count: int = 40,
-                      events_per_vm: int = 4, *,
-                      null_durations: bool = False,
-                      stateful: bool = False) -> list[Event]:
-    names = ["vm_down", "slow_io", "vm_start_failed", "nic_flap"]
-    levels = [Severity.WARNING, Severity.CRITICAL, Severity.FATAL]
-    events = []
-    for i in range(vm_count):
-        vm = f"vm-{i:03d}"
-        for _ in range(rng.randrange(events_per_vm + 1)):
-            if null_durations and rng.random() < 0.4:
-                # No explicit duration → the catalog window applies.
-                attributes = {}
-            else:
-                attributes = {"duration": rng.uniform(60.0, 7200.0)}
-            events.append(Event(
-                name=rng.choice(names),
-                time=rng.uniform(0.0, DAY),
-                target=vm,
-                expire_interval=600.0,
-                level=rng.choice(levels),
-                attributes=attributes,
-            ))
-        if stateful and rng.random() < 0.5:
-            start = rng.uniform(0.0, DAY / 2)
-            events.append(Event(
-                name="ddos_blackhole_add", time=start, target=vm,
-                expire_interval=3600.0, level=Severity.FATAL,
-            ))
-            if rng.random() < 0.7:  # some periods stay open → horizon
-                events.append(Event(
-                    name="ddos_blackhole_del",
-                    time=start + rng.uniform(60.0, 7200.0), target=vm,
-                    expire_interval=3600.0, level=Severity.FATAL,
-                ))
-    return events
-
-
 def run_job(events, services, *, backend="thread", use_fastpath=True,
             use_columnar=True):
     context = EngineContext(parallelism=4, backend=backend)
@@ -327,7 +292,8 @@ class TestDailyJobEquivalence:
         self, seed, use_columnar
     ):
         rng = random.Random(seed)
-        events = make_fleet_events(rng)
+        events = make_fleet_events(rng, vm_count=40, events_per_vm=4,
+                                   null_durations=False, stateful=False)
         services = {f"vm-{i:03d}": ServicePeriod(0.0, DAY) for i in range(45)}
         fast = run_job(events, services, use_fastpath=True,
                        use_columnar=use_columnar)
@@ -338,7 +304,8 @@ class TestDailyJobEquivalence:
 
     def test_thread_and_process_backends_identical_tables(self):
         rng = random.Random(3)
-        events = make_fleet_events(rng, vm_count=20)
+        events = make_fleet_events(rng, vm_count=20, events_per_vm=4,
+                                   null_durations=False, stateful=False)
         services = {f"vm-{i:03d}": ServicePeriod(0.0, DAY) for i in range(20)}
         threaded = run_job(events, services, backend="thread")
         processed = run_job(events, services, backend="process")
@@ -353,7 +320,8 @@ class TestColumnarPathEquivalence:
     @pytest.mark.parametrize("seed", range(6))
     def test_columnar_byte_identical_to_row_fast_path(self, seed):
         rng = random.Random(100 + seed)
-        events = make_fleet_events(rng, null_durations=True)
+        events = make_fleet_events(rng, vm_count=40, events_per_vm=4,
+                                   stateful=False)
         services = {f"vm-{i:03d}": ServicePeriod(0.0, DAY) for i in range(45)}
         columnar = run_job(events, services, use_columnar=True)
         row_path = run_job(events, services, use_columnar=False)
@@ -362,7 +330,7 @@ class TestColumnarPathEquivalence:
     @pytest.mark.parametrize("seed", [1, 4])
     def test_columnar_with_stateful_events_matches_reference(self, seed):
         rng = random.Random(200 + seed)
-        events = make_fleet_events(rng, null_durations=True, stateful=True)
+        events = make_fleet_events(rng, vm_count=40, events_per_vm=4)
         services = {f"vm-{i:03d}": ServicePeriod(0.0, DAY) for i in range(45)}
         columnar = run_job(events, services, use_columnar=True)
         reference = run_job(events, services, use_fastpath=False)
@@ -370,7 +338,8 @@ class TestColumnarPathEquivalence:
 
     def test_columnar_on_process_backend(self):
         rng = random.Random(42)
-        events = make_fleet_events(rng, vm_count=20, stateful=True)
+        events = make_fleet_events(rng, vm_count=20, events_per_vm=4,
+                                   null_durations=False)
         services = {f"vm-{i:03d}": ServicePeriod(0.0, DAY) for i in range(20)}
         threaded = run_job(events, services, backend="thread")
         processed = run_job(events, services, backend="process")
@@ -422,3 +391,23 @@ class TestBackendPartitionEquality:
             [sorted(p) for p in process_parts]
         )
         assert thread_parts == process_parts
+
+
+class TestHypothesisEquivalence:
+    """Property form of the suite: hypothesis-generated adversarial
+    fleet days (unknown names, null and boundary-straddling durations,
+    orphan/open stateful pairs, duplicates) through all three compute
+    paths must agree byte-for-byte."""
+
+    @given(case=stream_cases(max_vms=4, max_events=20, max_ticks=1))
+    @settings(max_examples=15, deadline=None)
+    def test_three_paths_byte_identical(self, case):
+        services = case.services()
+        events = case.oracle_events()
+        outputs = [
+            json.dumps(run_job(events, services, use_fastpath=fast,
+                               use_columnar=columnar))
+            for fast, columnar in [(True, True), (True, False),
+                                   (False, False)]
+        ]
+        assert outputs[0] == outputs[1] == outputs[2]
