@@ -1,0 +1,91 @@
+"""Gate the closed-loop scorecard artifact (``BENCH_control.json``).
+
+The seeded control scenario injects one cluster-concentrated incident
+per stability sub-metric; the closed-loop controller is expected to
+catch all of them and to never act without an injected cause.  Two
+hard gates enforce that promise on the artifact:
+
+* **recall == 1.0** — every injected incident was detected;
+* **false_positives == 0** — no confirmed episode fired without a
+  matching active incident.
+
+The remaining fields (latency, RCA accuracy, realized improvement)
+are printed for inspection and sanity-checked for shape only, since
+their exact values are seed-dependent.
+
+Usage::
+
+    python benchmarks/check_control.py                  # committed artifact
+    python benchmarks/check_control.py --path out.json  # a fresh CI run
+
+Exits non-zero with a diagnostic on any violation.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_control.json"
+
+
+def check(data):
+    """All violations found in one artifact (empty list = pass)."""
+    errors = []
+    if data.get("scenario") != "seeded":
+        errors.append(
+            f"gate expects the seeded scenario, got {data.get('scenario')!r}"
+        )
+    incidents = data.get("incidents", [])
+    if not incidents:
+        errors.append("artifact has no injected incidents to score against")
+    if data.get("recall") != 1.0:
+        missed = [i["incident_id"] for i in incidents
+                  if not i.get("detected")]
+        errors.append(
+            f"recall is {data.get('recall')}, not 1.0 — missed: {missed}"
+        )
+    if data.get("false_positives") != 0:
+        ghosts = [a["episode_id"] for a in data.get("actions", [])
+                  if a.get("matched_incident") is None]
+        errors.append(
+            f"{data.get('false_positives')} false positive(s): {ghosts}"
+        )
+    for action in data.get("actions", []):
+        if action.get("failed", 0) != 0:
+            errors.append(
+                f"{action['episode_id']}: {action['failed']} action "
+                f"submission(s) failed"
+            )
+    return errors
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--path", type=Path, default=DEFAULT_PATH,
+                        help="artifact to check (default: committed one)")
+    args = parser.parse_args(argv)
+
+    data = json.loads(args.path.read_text())
+    for incident in data.get("incidents", []):
+        print(f"  {incident['incident_id']:<20} onset d{incident['onset_day']:02d}  "
+              f"detected={incident['detected']}  "
+              f"latency={incident['latency_days']}  "
+              f"rca_correct={incident['rca_correct']}")
+    for action in data.get("actions", []):
+        print(f"  {action['episode_id']} {action['action']:<16} "
+              f"effective={action['effective']}  "
+              f"improvement={action['realized_improvement']:.4f}")
+    errors = check(data)
+    if errors:
+        for error in errors:
+            print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    print(f"OK: seed {data.get('seed')} — recall 1.0, 0 false positives, "
+          f"total improvement "
+          f"{data.get('realized_improvement_total', 0.0):.4f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

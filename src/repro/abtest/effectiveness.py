@@ -53,7 +53,9 @@ def evaluate_rule_effectiveness(
     results: dict[EventCategory, EffectivenessResult] = {}
     for category in EventCategory:
         sequences = experiment.sequences(category)
-        means = {name: float(np.mean(s)) if s else float("nan")
+        # Emptiness must be judged by len(), not truthiness: numpy
+        # arrays raise "truth value is ambiguous" under `if s`.
+        means = {name: float(np.mean(s)) if len(s) else float("nan")
                  for name, s in sequences.items()}
         outcome = workflow.run(sequences)
         better: list[str] = []

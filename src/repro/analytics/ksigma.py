@@ -26,6 +26,28 @@ class Anomaly:
     direction: str      # "spike" or "dip"
 
 
+def _sigma_floor(scale: float) -> float:
+    """Scale-relative floor below which a sigma is float jitter.
+
+    A constant series recomputed through a different float summation
+    order (e.g. the columnar path) can pick up a few ulps of noise —
+    a real but microscopic sigma.  Dividing by it turns that noise
+    into huge scores, so anything at or below this floor is treated
+    as an exactly-flat window (mirrors the ``one_way_anova`` fix).
+    """
+    return 1e-12 * (scale + 1.0)
+
+
+def _flat_tolerance(scale: float) -> float:
+    """Deviation a flat-window point must exceed to count as a change.
+
+    Same scale-relative reasoning as :func:`_sigma_floor`: an
+    ulp-level wobble on an otherwise constant series is noise, not a
+    level shift, and must not be scored as a (k+1)-sigma anomaly.
+    """
+    return 1e-9 * (scale + 1.0)
+
+
 def _classify(scores: np.ndarray, values: np.ndarray, k: float) -> list[Anomaly]:
     anomalies = []
     for index in np.flatnonzero(np.abs(scores) > k):
@@ -56,9 +78,13 @@ def ksigma(values: Sequence[float], k: float = 3.0) -> list[Anomaly]:
     center = float(np.median(data))
     mad = float(np.median(np.abs(data - center)))
     sigma = 1.4826 * mad
-    if sigma == 0.0:
-        # Degenerate flat series: any deviation at all is anomalous.
-        scores = np.where(data != center, np.sign(data - center) * (k + 1), 0.0)
+    scale = float(np.abs(data).max())
+    if sigma <= _sigma_floor(scale):
+        # Degenerate flat series: any deviation beyond float jitter is
+        # anomalous; jitter-sized wobble is not.
+        deviation = data - center
+        scores = np.where(np.abs(deviation) > _flat_tolerance(scale),
+                          np.sign(deviation) * (k + 1), 0.0)
     else:
         scores = (data - center) / sigma
     return _classify(scores, data, k)
@@ -82,9 +108,11 @@ def rolling_ksigma(values: Sequence[float], window: int = 20,
         reference = data[index - window:index]
         mean = float(reference.mean())
         sigma = float(reference.std(ddof=1))
-        if sigma == 0.0:
-            if data[index] != mean:
-                score = (k + 1) * (1.0 if data[index] > mean else -1.0)
+        scale = float(np.abs(reference).max())
+        if sigma <= _sigma_floor(scale):
+            deviation = float(data[index]) - mean
+            if abs(deviation) > _flat_tolerance(scale):
+                score = (k + 1) * (1.0 if deviation > 0 else -1.0)
             else:
                 continue
         else:

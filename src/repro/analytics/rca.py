@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 
 @dataclass(frozen=True, slots=True)
@@ -91,6 +91,39 @@ def score_dimension_values(
         )
     scores.sort(key=lambda s: s.explanatory_power, reverse=True)
     return scores
+
+
+def vm_damage_leaves(
+    expected: Mapping[str, Sequence[float]],
+    actual: Mapping[str, float],
+    resolver: Callable[[str], Mapping[str, str]],
+) -> list[LeafObservation]:
+    """Per-VM damage leaves from baseline histories and one day's values.
+
+    ``expected`` maps each VM to its baseline-window damage samples
+    (mean becomes the leaf's expected value); ``actual`` maps the VMs
+    present on the anomalous day to their damage.  VMs that appear
+    *only* in the baseline — e.g. they stopped reporting on the
+    anomalous day — contribute a leaf with ``actual=0.0``: their
+    vanished damage is exactly what a dip must be attributed to, so
+    dropping them would bias localization toward the wrong dimension.
+    """
+    leaves = []
+    for vm, value in actual.items():
+        history = expected.get(vm)
+        expected_value = sum(history) / len(history) if history else 0.0
+        leaves.append(LeafObservation(
+            dimensions=resolver(vm), expected=expected_value, actual=value,
+        ))
+    for vm, history in expected.items():
+        if vm in actual:
+            continue
+        leaves.append(LeafObservation(
+            dimensions=resolver(vm),
+            expected=sum(history) / len(history),
+            actual=0.0,
+        ))
+    return leaves
 
 
 def localize(

@@ -574,6 +574,67 @@ def cmd_stream(seed: int, *, vms: int = 32, ticks: int = 6,
     return 0 if streamed == batch else 1
 
 
+def cmd_control(seed: int, *, days: int = 21, backend: str = "thread",
+                scenario: str = "seeded",
+                json_out: str | None = None) -> int:
+    """Closed-loop controller: detect, localize, act, evaluate."""
+    from pathlib import Path
+
+    from repro.control import (
+        ClosedLoopController,
+        quiet_scenario,
+        scorecard_json,
+        seeded_scenario,
+    )
+    from repro.engine.dataset import EngineContext
+
+    builders = {"seeded": seeded_scenario, "quiet": quiet_scenario}
+    spec = builders[scenario](seed, days=days)
+    controller = ClosedLoopController(
+        spec, context=EngineContext(parallelism=2, backend=backend)
+    )
+    card = controller.run()
+    if spec.incidents:
+        _print_table(
+            "Closed loop: injected incidents vs detection",
+            ["incident", "category", "onset", "detected", "latency",
+             "RCA correct"],
+            [
+                (i.incident_id, i.category, i.onset_day,
+                 "yes" if i.detected else "NO",
+                 "-" if i.latency_days is None else i.latency_days,
+                 "-" if i.rca_correct is None else str(i.rca_correct))
+                for i in card.incidents
+            ],
+        )
+    _print_table(
+        "Closed loop: episodes and action verdicts",
+        ["episode", "category", "day", "action", "arms", "effective",
+         "improvement", "rolled out"],
+        [
+            (a.episode_id, a.category, a.opened_day, a.action,
+             f"{a.treated}/{a.control}", str(a.effective),
+             f"{a.realized_improvement:.5f}", str(a.rolled_out))
+            for a in card.actions
+        ],
+    )
+    print(f"\nprecision {card.precision:.2f}, recall {card.recall:.2f}, "
+          f"false positives {card.false_positives}, "
+          f"mean latency "
+          + ("-" if card.mean_latency_days is None
+             else f"{card.mean_latency_days:.1f}d")
+          + ", RCA accuracy "
+          + ("-" if card.rca_accuracy is None
+             else f"{card.rca_accuracy:.2f}")
+          + f", total CDI improvement "
+            f"{card.realized_improvement_total:.5f}")
+    if json_out is not None:
+        target = Path(json_out)
+        target.write_text(scorecard_json(card))
+        print(f"scorecard written to {target}")
+    return 0
+
+
 def _newest_trace(trace_dir: str) -> "str | None":
     from pathlib import Path
 
@@ -615,6 +676,7 @@ COMMANDS: dict[str, Callable[[int], None]] = {
     "fig9": cmd_fig9,
     "table5": cmd_table5,
     "daily": cmd_daily,
+    "control": cmd_control,
     "stream": cmd_stream,
     "trace": cmd_trace,
     "query": cmd_query,
@@ -638,8 +700,9 @@ def build_parser() -> argparse.ArgumentParser:
     daily = parser.add_argument_group(
         "daily", "options for the fault-tolerant daily job"
     )
-    daily.add_argument("--days", type=int, default=1,
-                       help="number of day partitions to run (default 1)")
+    daily.add_argument("--days", type=int, default=None,
+                       help="number of day partitions to run "
+                            "(default 1; 21 for control)")
     daily.add_argument("--vms", type=int, default=64,
                        help="synthetic fleet size (default 64)")
     daily.add_argument("--backend", choices=["thread", "process"],
@@ -662,6 +725,15 @@ def build_parser() -> argparse.ArgumentParser:
     daily.add_argument("--trace-dir", default=None,
                        help="write a JSONL run trace into this directory "
                             "and print its summary")
+    control = parser.add_argument_group(
+        "control", "options for the closed-loop controller"
+    )
+    control.add_argument("--scenario", choices=["seeded", "quiet"],
+                         default="seeded",
+                         help="seeded (three injected incidents) or "
+                              "quiet (background only; default seeded)")
+    control.add_argument("--json-out", default=None,
+                         help="write the scorecard JSON to this path")
     stream = parser.add_argument_group(
         "stream", "options for the streaming incremental CDI loop"
     )
@@ -728,9 +800,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             if name not in _INTERACTIVE_COMMANDS:
                 fn(args.seed)
         return 0
+    if args.command == "control":
+        return cmd_control(args.seed, days=args.days or 21,
+                           backend=args.backend, scenario=args.scenario,
+                           json_out=args.json_out)
     if args.command == "daily":
         cmd_daily(
-            args.seed, days=args.days, vms=args.vms, backend=args.backend,
+            args.seed, days=args.days or 1, vms=args.vms, backend=args.backend,
             max_retries=args.max_retries, checkpoint_dir=args.checkpoint_dir,
             resume=args.resume, shards=args.shards,
             chaos_seed=args.chaos_seed, trace_dir=args.trace_dir,
@@ -746,13 +822,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.command == "query":
         return cmd_query(
-            args.seed, days=args.days, vms=args.vms, kind=args.kind,
+            args.seed, days=args.days or 1, vms=args.vms, kind=args.kind,
             day=args.day, start=args.start, end=args.end,
             category=args.category, dimension=args.dimension, k=args.k,
             event=args.event, vm_id=args.vm_id,
         )
     if args.command == "serve":
-        cmd_serve(args.seed, days=args.days, vms=args.vms,
+        cmd_serve(args.seed, days=args.days or 1, vms=args.vms,
                   listen=args.listen, serve_shards=args.serve_shards,
                   max_in_flight=args.max_in_flight,
                   rate_limit=args.rate_limit)

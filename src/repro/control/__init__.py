@@ -1,0 +1,42 @@
+"""Closed-loop control: online detect → localize → act → evaluate.
+
+The paper's workflows 3 and 4 (potential-problem detection, Section
+VI-C; operation-action optimization, Section VI-D) are wired into one
+continuous loop here: as days tick in, the consensus detectors run
+over the daily CDI series, confirmed findings are localized across
+the fleet topology, operation actions are A/B-assigned (always with a
+null arm) and submitted through the Operation Platform, executed
+actions feed back into subsequent telemetry, and every action is
+scored by the existing omnibus + post-hoc ladder against the injected
+ground truth.
+"""
+
+from repro.control.controller import (
+    ClosedLoopController,
+    ControllerConfig,
+    Episode,
+)
+from repro.control.scenario import (
+    ControlScenario,
+    quiet_scenario,
+    seeded_scenario,
+)
+from repro.control.scorecard import (
+    ActionOutcome,
+    IncidentOutcome,
+    Scorecard,
+    scorecard_json,
+)
+
+__all__ = [
+    "ActionOutcome",
+    "ClosedLoopController",
+    "ControlScenario",
+    "ControllerConfig",
+    "Episode",
+    "IncidentOutcome",
+    "Scorecard",
+    "quiet_scenario",
+    "scorecard_json",
+    "seeded_scenario",
+]

@@ -1,0 +1,163 @@
+"""Seeded fleets with injected ground-truth incidents for the loop.
+
+A :class:`ControlScenario` bundles everything the closed-loop
+controller needs to replay a fleet's days deterministically: the
+topology, the background fault mix, the injected incidents (the
+ground truth the scorecard measures against), and the day count.
+
+:func:`seeded_scenario` injects one incident per stability sub-metric
+— an unavailability outage, a performance degradation, and a control-
+plane outage — each concentrated on a single cluster, staggered so
+every detection, action, and evaluation completes within the run.
+:func:`quiet_scenario` is the same fleet with background faults only:
+a correct controller must fire zero actions on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.telemetry.faults import FaultKind, FaultRate
+from repro.telemetry.fleetgen import InjectedIncident
+from repro.telemetry.topology import Fleet, build_fleet
+
+#: Hours of damage each incident inflicts per affected VM per day.
+_INCIDENT_SECONDS_PER_DAY = 43200.0
+
+
+@dataclass(frozen=True, slots=True)
+class ControlScenario:
+    """One deterministic closed-loop run specification.
+
+    ``seed`` drives everything stochastic: the fleet layout, the
+    per-day background fault draws, and the A/B arm assignment inside
+    the controller.  Two runs of the same scenario are byte-identical.
+    """
+
+    name: str
+    seed: int
+    days: int
+    fleet: Fleet
+    rates: tuple[FaultRate, ...]
+    incidents: tuple[InjectedIncident, ...] = ()
+    day_seconds: float = 86400.0
+
+    def __post_init__(self) -> None:
+        if self.days < 1:
+            raise ValueError(f"days must be >= 1, got {self.days}")
+        if self.day_seconds <= 0:
+            raise ValueError(
+                f"day_seconds must be > 0, got {self.day_seconds}"
+            )
+        for incident in self.incidents:
+            if incident.onset_day >= self.days:
+                raise ValueError(
+                    f"incident {incident.incident_id} starts on day "
+                    f"{incident.onset_day}, beyond the {self.days}-day run"
+                )
+            if incident.seconds_per_day > self.day_seconds:
+                raise ValueError(
+                    f"incident {incident.incident_id} injects "
+                    f"{incident.seconds_per_day}s/day into a "
+                    f"{self.day_seconds}s day"
+                )
+            unknown = [t for t in incident.targets
+                       if t not in self.fleet.vms]
+            if unknown:
+                raise ValueError(
+                    f"incident {incident.incident_id} targets unknown "
+                    f"VMs: {unknown[:3]}"
+                )
+
+    @property
+    def vm_ids(self) -> list[str]:
+        """All fleet VM ids, sorted (the canonical iteration order)."""
+        return sorted(self.fleet.vms)
+
+
+def _control_fleet(seed: int) -> Fleet:
+    """The scenario fleet: 2 regions × 2 clusters × 2 NCs × 4 VMs.
+
+    32 VMs across 4 clusters of 8.  A single machine model keeps the
+    ``machine_model`` dimension uninformative, so cluster-concentrated
+    incidents have exactly one correct localization regardless of how
+    the seed would have scattered models over NCs.
+    """
+    return build_fleet(
+        seed=seed, regions=2, azs_per_region=1, clusters_per_az=2,
+        ncs_per_cluster=2, vms_per_nc=4, machine_models=("M1",),
+    )
+
+
+def _background_rates() -> tuple[FaultRate, ...]:
+    """Background fault mix keeping every sub-metric curve alive.
+
+    Rates are high enough that each category sees multiple background
+    faults per day fleet-wide (a flat curve would degenerate both the
+    K-Sigma sigma and the EVT calibration) yet orders of magnitude
+    below the injected incidents' damage.  Tight ``duration_sigma``
+    keeps day-to-day variance low so consensus detection of background
+    noise stays improbable.
+    """
+    return (
+        FaultRate(FaultKind.VM_DOWN, 0.12, 120.0, 0.2),
+        FaultRate(FaultKind.VM_HANG, 0.08, 100.0, 0.2),
+        FaultRate(FaultKind.SLOW_IO, 0.40, 110.0, 0.2),
+        FaultRate(FaultKind.PACKET_LOSS, 0.30, 90.0, 0.2),
+        FaultRate(FaultKind.CONTROL_API_OUTAGE, 0.15, 100.0, 0.2),
+        FaultRate(FaultKind.CONSOLE_OUTAGE, 0.10, 80.0, 0.2),
+    )
+
+
+def _cluster_vms(fleet: Fleet, cluster_id: str) -> tuple[str, ...]:
+    """Sorted VM ids placed in one cluster."""
+    return tuple(sorted(
+        vm_id for vm_id in fleet.vms
+        if fleet.cluster_of(vm_id).cluster_id == cluster_id
+    ))
+
+
+def seeded_scenario(seed: int = 0, *, days: int = 21) -> ControlScenario:
+    """Three staggered single-cluster incidents, one per sub-metric.
+
+    Onsets (days 12/14/16) sit beyond both the detector's rolling
+    window and the EVT calibration prefix, and early enough that the
+    last episode's observation window closes inside the run.  Each
+    incident halts half of every affected VM's day, which dwarfs the
+    background mix by two orders of magnitude — detection is expected
+    on the onset day itself (latency 0).
+    """
+    if days < 20:
+        raise ValueError(f"seeded scenario needs >= 20 days, got {days}")
+    fleet = _control_fleet(seed)
+    clusters = sorted(fleet.clusters)
+    plan = (
+        ("inc-performance", FaultKind.SLOW_IO, clusters[0], 12),
+        ("inc-unavailability", FaultKind.VM_DOWN, clusters[1], 14),
+        ("inc-control", FaultKind.CONTROL_API_OUTAGE, clusters[2], 16),
+    )
+    incidents = tuple(
+        InjectedIncident(
+            incident_id=incident_id,
+            kind=kind,
+            targets=_cluster_vms(fleet, cluster_id),
+            onset_day=onset,
+            duration_days=days - onset,
+            seconds_per_day=_INCIDENT_SECONDS_PER_DAY,
+            dimension="cluster",
+            value=cluster_id,
+        )
+        for incident_id, kind, cluster_id, onset in plan
+    )
+    return ControlScenario(
+        name="seeded", seed=seed, days=days, fleet=fleet,
+        rates=_background_rates(), incidents=incidents,
+    )
+
+
+def quiet_scenario(seed: int = 0, *, days: int = 21) -> ControlScenario:
+    """The same fleet and background mix with no injected incidents."""
+    return ControlScenario(
+        name="quiet", seed=seed, days=days, fleet=_control_fleet(seed),
+        rates=_background_rates(),
+    )

@@ -17,10 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
-import numpy as np
-
 from repro.analytics.detect import CdiCurveDetector
-from repro.analytics.rca import LeafObservation, RootCause, localize
+from repro.analytics.rca import RootCause, localize, vm_damage_leaves
 from repro.core.events import EventCategory
 from repro.pipeline.daily import fleet_report_from_rows
 
@@ -166,13 +164,8 @@ class CdiMonitor:
             row["vm"]: metric(row) * row["service_time"]
             for row in self._days[day_index].vm_rows
         }
-        leaves = []
-        for vm, actual in anomalous.items():
-            history = expected.get(vm)
-            expected_value = float(np.mean(history)) if history else 0.0
-            leaves.append(LeafObservation(
-                dimensions=self._resolver(vm),
-                expected=expected_value,
-                actual=actual,
-            ))
-        return localize(leaves)
+        # vm_damage_leaves emits actual=0.0 leaves for VMs present only
+        # in the baseline window: a VM that disappears on the anomalous
+        # day takes its damage with it, and that vanished damage is the
+        # very thing a dip must localize to.
+        return localize(vm_damage_leaves(expected, anomalous, self._resolver))

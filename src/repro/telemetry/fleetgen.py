@@ -33,9 +33,10 @@ pass each shard's faults through e.g.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import AbstractSet, Iterator, Sequence
 
-from repro.telemetry.faults import Fault, FaultInjector, FaultRate
+from repro.core.events import EventCategory
+from repro.telemetry.faults import FAULT_CATEGORY, Fault, FaultInjector, FaultKind, FaultRate
 
 
 @dataclass(frozen=True, slots=True)
@@ -120,3 +121,121 @@ def iter_fleet_faults(targets: Sequence[str], shards: int,
     """
     for shard in split_fleet(targets, shards):
         yield shard, shard_faults(shard, rates, start, end, seed=seed)
+
+
+# -- ground-truth labeled generation ------------------------------------------
+#
+# Closed-loop evaluation (the control layer's scorecard) needs to know
+# which faults were deliberately injected and which are background: the
+# detectors must find the injected incidents, and every fault that
+# comes out of the generator therefore carries a provenance label.
+
+
+@dataclass(frozen=True, slots=True)
+class InjectedIncident:
+    """One ground-truth incident deliberately injected into the fleet.
+
+    An incident deterministically faults every (non-remediated) target
+    in ``targets`` for ``seconds_per_day`` seconds on each day of
+    ``[onset_day, onset_day + duration_days)``.  ``dimension`` /
+    ``value`` record where the incident is concentrated in the fleet
+    topology (e.g. ``cluster`` / the faulty cluster id) — the answer a
+    root-cause localizer is scored against.
+    """
+
+    incident_id: str
+    kind: FaultKind
+    targets: tuple[str, ...]
+    onset_day: int
+    duration_days: int
+    seconds_per_day: float
+    dimension: str = ""
+    value: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.targets:
+            raise ValueError(f"incident {self.incident_id} has no targets")
+        if self.onset_day < 0:
+            raise ValueError(f"onset_day must be >= 0, got {self.onset_day}")
+        if self.duration_days < 1:
+            raise ValueError(
+                f"duration_days must be >= 1, got {self.duration_days}"
+            )
+        if self.seconds_per_day <= 0:
+            raise ValueError(
+                f"seconds_per_day must be > 0, got {self.seconds_per_day}"
+            )
+
+    @property
+    def category(self) -> EventCategory:
+        """Stability category the incident damages."""
+        return FAULT_CATEGORY[self.kind]
+
+    def active_on(self, day_index: int) -> bool:
+        """Whether the incident is live on ``day_index``."""
+        return self.onset_day <= day_index < self.onset_day + self.duration_days
+
+
+@dataclass(frozen=True, slots=True)
+class LabeledFault:
+    """One generated fault plus its ground-truth provenance.
+
+    ``incident_id`` names the :class:`InjectedIncident` the fault
+    belongs to, or ``None`` for background (Poisson-process) faults.
+    """
+
+    fault: Fault
+    incident_id: str | None = None
+
+    @property
+    def injected(self) -> bool:
+        """Whether the fault came from a deliberate incident."""
+        return self.incident_id is not None
+
+
+def incident_faults(incident: InjectedIncident, *, start: float = 0.0,
+                    excluded: AbstractSet[str] = frozenset()) -> list[Fault]:
+    """One day's deterministic faults for one active incident.
+
+    ``excluded`` lists targets whose incident damage has been
+    remediated (e.g. the VM was migrated off the faulty cluster): they
+    no longer produce the incident's faults, which is how an executed
+    operation action feeds back into subsequent telemetry.
+    """
+    return [
+        Fault(kind=incident.kind, target=target, start=start,
+              duration=incident.seconds_per_day)
+        for target in incident.targets if target not in excluded
+    ]
+
+
+def labeled_day_faults(targets: Sequence[str], rates: Sequence[FaultRate],
+                       day_index: int, *, seed: int = 0, shards: int = 1,
+                       incidents: Sequence[InjectedIncident] = (),
+                       excluded: AbstractSet[str] = frozenset(),
+                       day_seconds: float = 86400.0) -> list[LabeledFault]:
+    """One fleet day of background + injected faults, all labeled.
+
+    Background faults come from the shard-parallel generator with a
+    per-day decorrelated seed (day ``d`` alone reproduces day ``d`` of
+    any longer run); injected faults come from every incident active on
+    ``day_index``, minus ``excluded`` (remediated) targets.  The result
+    is sorted like :meth:`FaultInjector.sample` output so downstream
+    ingestion is order-deterministic.
+    """
+    labeled: list[LabeledFault] = []
+    day_seed = _shard_seed(seed, day_index)
+    for _, faults in iter_fleet_faults(targets, shards, rates, 0.0,
+                                       day_seconds, seed=day_seed):
+        labeled.extend(LabeledFault(fault) for fault in faults)
+    for incident in incidents:
+        if not incident.active_on(day_index):
+            continue
+        labeled.extend(
+            LabeledFault(fault, incident.incident_id)
+            for fault in incident_faults(incident, excluded=excluded)
+        )
+    labeled.sort(key=lambda lf: (lf.fault.start, lf.fault.target,
+                                 lf.fault.kind.value,
+                                 lf.incident_id or ""))
+    return labeled

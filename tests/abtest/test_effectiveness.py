@@ -91,3 +91,52 @@ class TestEffectiveness:
         )
         with pytest.raises(KeyError, match="null"):
             evaluate_rule_effectiveness(experiment)
+
+
+class ArrayBackedExperiment(AbExperiment):
+    """An experiment whose sequences come back as numpy arrays, as a
+    columnar observation store would return them."""
+
+    def sequences(self, category):
+        return {name: np.asarray(seq, dtype=float)
+                for name, seq in super().sequences(category).items()}
+
+
+class TestArrayTypedArms:
+    """Regression: arm emptiness was judged by truthiness (``if s``),
+    which raises "truth value of an array is ambiguous" the moment a
+    sequence is a numpy array instead of a list.  Emptiness must be
+    judged by ``len``."""
+
+    def as_array_backed(self, experiment: AbExperiment
+                        ) -> ArrayBackedExperiment:
+        return ArrayBackedExperiment(
+            experiment.rule_name, experiment.variants,
+            seed=experiment.seed,
+            observations=list(experiment.observations),
+        )
+
+    def test_array_sequences_evaluate(self):
+        experiment = self.as_array_backed(
+            build_experiment(action_perf_mean=0.1, null_perf_mean=0.5)
+        )
+        results = evaluate_rule_effectiveness(experiment)
+        performance = results[EventCategory.PERFORMANCE]
+        assert performance.effective
+        assert performance.better_actions == ("migrate",)
+        assert is_rule_effective(results)
+
+    def test_array_verdict_matches_list_verdict(self):
+        plain = build_experiment(action_perf_mean=0.1,
+                                 null_perf_mean=0.5)
+        arrays = self.as_array_backed(plain)
+        for category in EventCategory:
+            from_lists = evaluate_rule_effectiveness(plain)[category]
+            from_arrays = evaluate_rule_effectiveness(arrays)[category]
+            assert from_arrays.effective == from_lists.effective
+            assert from_arrays.omnibus_pvalue == pytest.approx(
+                from_lists.omnibus_pvalue
+            )
+            assert from_arrays.null_mean == pytest.approx(
+                from_lists.null_mean
+            )

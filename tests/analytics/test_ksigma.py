@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.analytics.ksigma import ksigma, rolling_ksigma
 
@@ -78,3 +80,45 @@ class TestRollingKsigma:
             rolling_ksigma([1.0] * 10, window=2)
         with pytest.raises(ValueError):
             rolling_ksigma([1.0] * 10, window=5, k=-1.0)
+
+
+class TestFlatJitterShiftInvariance:
+    """Regression: the exact ``sigma == 0.0`` comparison broke shift
+    invariance.  A one-ulp wobble on a constant series survived the
+    float subtraction at small magnitudes (flagged as a (k+1)-sigma
+    anomaly) but was absorbed after adding a large constant (silent).
+    Anomaly detection on a damage metric must not depend on the
+    metric's offset; ulp-level wobble is summation noise, not signal.
+    """
+
+    SHIFT = 2.0 ** 20  # large enough to absorb a small base's ulp
+
+    @given(st.floats(min_value=0.125, max_value=8.0))
+    def test_rolling_ulp_wobble_is_shift_invariant(self, base):
+        bumped = float(np.nextafter(base, np.inf))
+        low = [base] * 8 + [bumped]
+        high = [value + self.SHIFT for value in low]
+        low_indices = [a.index for a in rolling_ksigma(low, window=8,
+                                                       k=3.0)]
+        high_indices = [a.index for a in rolling_ksigma(high, window=8,
+                                                        k=3.0)]
+        assert low_indices == high_indices
+        assert low_indices == []
+
+    @given(st.floats(min_value=0.125, max_value=8.0))
+    def test_global_ulp_wobble_is_shift_invariant(self, base):
+        bumped = float(np.nextafter(base, np.inf))
+        low = [base] * 20 + [bumped] + [base] * 4
+        high = [value + self.SHIFT for value in low]
+        assert [a.index for a in ksigma(low, k=3.0)] == []
+        assert [a.index for a in ksigma(high, k=3.0)] == []
+
+    @given(st.floats(min_value=0.125, max_value=8.0))
+    def test_real_level_shift_flagged_at_both_scales(self, base):
+        """The jitter floor must not swallow genuine changes."""
+        low = [base] * 8 + [base + 1.0]
+        high = [value + self.SHIFT for value in low]
+        for series in (low, high):
+            anomalies = rolling_ksigma(series, window=8, k=3.0)
+            assert [a.index for a in anomalies] == [8]
+            assert anomalies[0].direction == "spike"

@@ -1,0 +1,16 @@
+"""Shared fixtures for the closed-loop controller tests."""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def control_seed() -> int:
+    """Scenario seed, overridable by CI (REPRO_CONTROL_SEED matrix).
+
+    The structural assertions (recall, precision, latency, RCA
+    accuracy) must hold for every matrix seed; exact-value pins are
+    skipped unless the seed is 0.
+    """
+    return int(os.environ.get("REPRO_CONTROL_SEED", "0"))

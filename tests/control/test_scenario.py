@@ -1,0 +1,110 @@
+"""Tests for closed-loop scenario construction and validation."""
+
+import pytest
+
+from repro.control import ControlScenario, quiet_scenario, seeded_scenario
+from repro.telemetry.faults import FaultKind
+from repro.telemetry.fleetgen import InjectedIncident
+
+
+def incident(**overrides) -> InjectedIncident:
+    spec = dict(
+        incident_id="inc-test", kind=FaultKind.SLOW_IO,
+        targets=("vm-000000",), onset_day=5, duration_days=3,
+        seconds_per_day=43200.0, dimension="cluster", value="c0",
+    )
+    spec.update(overrides)
+    return InjectedIncident(**spec)
+
+
+class TestValidation:
+    def base(self, **overrides) -> ControlScenario:
+        template = seeded_scenario(0)
+        spec = dict(name="t", seed=0, days=21, fleet=template.fleet,
+                    rates=template.rates)
+        spec.update(overrides)
+        return ControlScenario(**spec)
+
+    def test_rejects_nonpositive_days(self):
+        with pytest.raises(ValueError, match="days must be >= 1"):
+            self.base(days=0)
+
+    def test_rejects_nonpositive_day_seconds(self):
+        with pytest.raises(ValueError, match="day_seconds"):
+            self.base(day_seconds=0.0)
+
+    def test_rejects_incident_beyond_run(self):
+        with pytest.raises(ValueError, match="beyond the 21-day run"):
+            self.base(incidents=(incident(onset_day=21),))
+
+    def test_rejects_incident_longer_than_day(self):
+        with pytest.raises(ValueError, match="s/day"):
+            self.base(incidents=(incident(seconds_per_day=90000.0),))
+
+    def test_rejects_unknown_targets(self):
+        with pytest.raises(ValueError, match="unknown"):
+            self.base(incidents=(incident(targets=("vm-nope",)),))
+
+    def test_vm_ids_sorted(self):
+        scenario = self.base()
+        assert scenario.vm_ids == sorted(scenario.fleet.vms)
+
+
+class TestSeededScenario:
+    def test_needs_room_for_detection_and_evaluation(self):
+        with pytest.raises(ValueError, match=">= 20 days"):
+            seeded_scenario(0, days=19)
+
+    def test_fleet_shape(self):
+        scenario = seeded_scenario(0)
+        assert len(scenario.vm_ids) == 32
+        assert len(set(scenario.fleet.clusters)) == 4
+
+    def test_one_incident_per_submetric(self):
+        scenario = seeded_scenario(0)
+        categories = {i.category.value for i in scenario.incidents}
+        assert categories == {
+            "unavailability", "performance", "control_plane",
+        }
+
+    def test_incidents_concentrated_on_distinct_clusters(self):
+        scenario = seeded_scenario(0)
+        clusters = {i.value for i in scenario.incidents}
+        assert len(clusters) == len(scenario.incidents) == 3
+        for inc in scenario.incidents:
+            assert inc.dimension == "cluster"
+            assert all(
+                scenario.fleet.cluster_of(vm).cluster_id == inc.value
+                for vm in inc.targets
+            )
+
+    def test_onsets_staggered_past_calibration(self):
+        scenario = seeded_scenario(0)
+        onsets = sorted(i.onset_day for i in scenario.incidents)
+        assert onsets == [12, 14, 16]
+        # Every incident runs to the end of the scenario.
+        for inc in scenario.incidents:
+            assert inc.onset_day + inc.duration_days == scenario.days
+
+    def test_seed_changes_fleet_but_not_plan(self):
+        first = seeded_scenario(0)
+        second = seeded_scenario(1)
+        assert [i.onset_day for i in first.incidents] == [
+            i.onset_day for i in second.incidents
+        ]
+        assert [i.kind for i in first.incidents] == [
+            i.kind for i in second.incidents
+        ]
+
+
+class TestQuietScenario:
+    def test_no_incidents(self):
+        scenario = quiet_scenario(0)
+        assert scenario.incidents == ()
+        assert scenario.name == "quiet"
+
+    def test_same_fleet_and_mix_as_seeded(self):
+        quiet = quiet_scenario(3)
+        seeded = seeded_scenario(3)
+        assert quiet.vm_ids == seeded.vm_ids
+        assert quiet.rates == seeded.rates

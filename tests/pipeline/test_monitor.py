@@ -123,6 +123,36 @@ class TestFindings:
         assert directions["fleet.performance"] == {"spike"}
         assert directions["event.inspect_cpu_power_tdp"] == {"dip"}
 
+    def test_disappeared_vms_localize_the_dip(self):
+        """Regression: VMs present in the baseline but absent from the
+        anomalous day's rows were silently dropped from the RCA leaves,
+        hiding exactly the incidents a dip represents (a region going
+        dark).  A disappeared VM must contribute an actual-damage leaf
+        of zero so the localization lands on the VMs that vanished."""
+        region_of = {f"vm-{i}": ("region-1" if i < 5 else "region-0")
+                     for i in range(10)}
+        monitor = CdiMonitor(resolver=resolver_factory(region_of))
+        rng = np.random.default_rng(5)
+        for day in range(20):
+            values = {
+                vm: max(0.0, float(rng.normal(
+                    0.9 if region_of[vm] == "region-1" else 0.1, 0.005,
+                )))
+                for vm in region_of
+            }
+            if day == 15:  # region-1 reports nothing at all that day
+                values = {vm: value for vm, value in values.items()
+                          if region_of[vm] == "region-0"}
+            monitor.observe_day(f"d{day:02d}", vm_rows(values))
+        dips = [f for f in monitor.findings()
+                if f.curve == "fleet.performance" and f.day == "d15"
+                and f.direction == "dip"]
+        assert dips
+        cause = dips[0].root_cause
+        assert cause is not None
+        assert cause.dimension == "region"
+        assert cause.values == ("region-1",)
+
     def test_no_resolver_no_rca(self):
         monitor = CdiMonitor()
         rng = np.random.default_rng(3)
