@@ -1,0 +1,107 @@
+"""Gate the KPI faceoff artifact (``BENCH_kpi_faceoff.json``).
+
+The faceoff drives AIR and CDI over the outage scenario family; the
+artifact is the quantitative evidence for the paper's "stability is
+not downtime" thesis.  Hard gates:
+
+* **divergence exists** — at least one ``air_blind`` scenario: AIR
+  calls the fleet fine while CDI flags damage;
+* **expectations met** — every scenario landed on its designed
+  verdict (the quiet member stayed quiet, the hard outage flagged
+  both KPIs, ...);
+* **RCA accuracy** — Adtributor cluster localization over the scored
+  members is at or above :data:`MIN_RCA_ACCURACY`;
+* **shape** — all six family members are present.
+
+Usage::
+
+    python benchmarks/check_faceoff.py                  # committed artifact
+    python benchmarks/check_faceoff.py --path out.json  # a fresh CI run
+
+Exits non-zero with a diagnostic on any violation.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_kpi_faceoff.json"
+)
+
+#: Minimum cluster-localization accuracy over the RCA-scored members.
+MIN_RCA_ACCURACY = 0.75
+
+#: Every member the family must contain, in artifact order.
+EXPECTED_SCENARIOS = [
+    "quiet", "hard-downtime", "nc-batch-outage",
+    "performance-degradation", "control-plane-outage", "brief-but-wide",
+]
+
+
+def check(data):
+    """All violations found in one artifact (empty list = pass)."""
+    errors = []
+    names = [s.get("name") for s in data.get("scenarios", [])]
+    if names != EXPECTED_SCENARIOS:
+        errors.append(
+            f"scenario family mismatch: expected {EXPECTED_SCENARIOS}, "
+            f"got {names}"
+        )
+    summary = data.get("summary", {})
+    if not summary.get("air_blind_scenarios"):
+        errors.append(
+            "no air_blind scenario — the artifact must demonstrate at "
+            "least one case where AIR says 'fine' but CDI flags damage"
+        )
+    if summary.get("expectations_met") is not True:
+        mismatched = [s["name"] for s in data.get("scenarios", [])
+                      if not s.get("matches_expected")]
+        errors.append(
+            f"scenario verdicts diverged from design: {mismatched}"
+        )
+    rca = summary.get("rca", {})
+    if rca.get("scored", 0) < 1:
+        errors.append("no RCA-scored scenarios in the artifact")
+    elif rca.get("accuracy", 0.0) < MIN_RCA_ACCURACY:
+        wrong = [s["name"] for s in data.get("scenarios", [])
+                 if s.get("rca", {}).get("scored")
+                 and not s["rca"].get("correct")]
+        errors.append(
+            f"RCA cluster accuracy {rca.get('accuracy')} below "
+            f"{MIN_RCA_ACCURACY} — mislocalized: {wrong}"
+        )
+    return errors
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--path", type=Path, default=DEFAULT_PATH,
+                        help="artifact to check (default: committed one)")
+    args = parser.parse_args(argv)
+
+    data = json.loads(args.path.read_text())
+    for scenario in data.get("scenarios", []):
+        kpis = scenario.get("kpis", {})
+        air = kpis.get("air", {})
+        rca = scenario.get("rca", {})
+        print(f"  {scenario.get('name', '?'):<24} "
+              f"air_ratio={air.get('ratio', 0.0):8.2f}  "
+              f"verdict={scenario.get('verdict', '?'):<10}  "
+              f"rca={'-' if not rca.get('scored') else rca.get('correct')}")
+    errors = check(data)
+    if errors:
+        for error in errors:
+            print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    summary = data.get("summary", {})
+    rca = summary.get("rca", {})
+    print(f"OK: seed {data.get('seed')} — air-blind scenarios "
+          f"{summary.get('air_blind_scenarios')}, RCA accuracy "
+          f"{rca.get('accuracy')} over {rca.get('scored')} scored")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,8 +8,17 @@
   for CDI curves (Cases 6 and 7).
 * :mod:`repro.analytics.rca` — multi-dimensional root-cause
   localization (Adtributor-style).
+* :mod:`repro.analytics.air` — Azure's Annual Interruption Rate over
+  the CDI event stream (the rival KPI of the faceoff study).
 """
 
+from repro.analytics.air import (
+    AirReport,
+    air_from_arrays,
+    air_from_rows,
+    air_rollup,
+    merged_interruption_counts,
+)
 from repro.analytics.detect import CdiCurveDetector, Detection
 from repro.analytics.evt import (
     DriftSpot,
@@ -30,6 +39,7 @@ from repro.analytics.rca import (
 from repro.analytics.stl import BacktrackStl, Decomposition
 
 __all__ = [
+    "AirReport",
     "Anomaly",
     "BacktrackStl",
     "CdiCurveDetector",
@@ -42,7 +52,11 @@ __all__ = [
     "RootCause",
     "Spot",
     "SpotAlert",
+    "air_from_arrays",
+    "air_from_rows",
+    "air_rollup",
     "fit_gpd",
+    "merged_interruption_counts",
     "ksigma",
     "localize",
     "pot_threshold",

@@ -52,6 +52,11 @@ class CdiCurveDetector:
         self._q = q
 
     def _evt_indices(self, values: np.ndarray) -> set[int]:
+        """Indices the SPOT/EVT detector alerts on, after calibration.
+
+        Empty when the series is too short to calibrate or the
+        calibration prefix is degenerate (flat or unfit-table).
+        """
         if values.size <= self._calibration + 1:
             return set()
         head = values[: self._calibration]

@@ -72,6 +72,7 @@ def fit_gpd(excesses: Sequence[float]) -> GpdFit:
         return GpdFit(gamma=0.0, sigma=mean)
 
     def log_likelihood(gamma: float, sigma: float) -> float:
+        """GPD log-likelihood of the excesses; -inf off the support."""
         if sigma <= 0:
             return -np.inf
         if abs(gamma) < 1e-12:
@@ -174,6 +175,7 @@ class Spot:
         return self
 
     def _refresh_threshold(self) -> None:
+        """Re-derive the alert threshold from the current peak set."""
         if not self._peaks:
             self._z = self._initial_threshold
             return

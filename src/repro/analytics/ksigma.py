@@ -49,6 +49,7 @@ def _flat_tolerance(scale: float) -> float:
 
 
 def _classify(scores: np.ndarray, values: np.ndarray, k: float) -> list[Anomaly]:
+    """Points whose |score| exceeds ``k``, tagged spike or dip."""
     anomalies = []
     for index in np.flatnonzero(np.abs(scores) > k):
         anomalies.append(

@@ -52,6 +52,7 @@ class RootCause:
 def _js_divergence(p: float, q: float) -> float:
     """Jensen-Shannon term for a single (p, q) probability pair."""
     def term(a: float, b: float) -> float:
+        """One directed half of the JS divergence (0 when a <= 0)."""
         if a <= 0:
             return 0.0
         return 0.5 * a * math.log(2 * a / (a + b))

@@ -125,6 +125,7 @@ class BacktrackStl:
         return self._trend, seasonal, residual
 
     def _reset_run(self) -> None:
+        """Drop the accumulated large-residual run state."""
         self._run_sign = 0
         self._run_length = 0
         self._run_values.clear()

@@ -635,6 +635,54 @@ def cmd_control(seed: int, *, days: int = 21, backend: str = "thread",
     return 0
 
 
+def cmd_faceoff(seed: int, *, backend: str = "thread",
+                json_out: str | None = None) -> int:
+    """AIR-vs-CDI head-to-head over the outage scenario family."""
+    from pathlib import Path
+
+    from repro.scenarios.faceoff import faceoff_json, run_faceoff
+
+    result = run_faceoff(seed, backend=backend)
+    _print_table(
+        "KPI faceoff: AIR vs CDI over the outage family "
+        f"(seed {seed}, ratio vs {result['flag_ratio']}x baseline)",
+        ["scenario", "AIR ratio", "CDI-U", "CDI-P", "CDI-C",
+         "verdict", "RCA"],
+        [
+            (
+                r["name"],
+                f"{r['kpis']['air']['ratio']:.2f}"
+                + ("*" if r["kpis"]["air"]["flagged"] else ""),
+                *(
+                    f"{r['kpis'][key]['ratio']:.2f}"
+                    + ("*" if r["kpis"][key]["flagged"] else "")
+                    for key in ("cdi_unavailability", "cdi_performance",
+                                "cdi_control_plane")
+                ),
+                r["verdict"],
+                ("-" if not r["rca"]["scored"]
+                 else "correct" if r["rca"]["correct"] else "WRONG"),
+            )
+            for r in result["scenarios"]
+        ],
+    )
+    summary = result["summary"]
+    rca = summary["rca"]
+    print(f"\n* = flagged (>= {result['flag_ratio']}x baseline). "
+          f"AIR-blind scenarios: "
+          f"{', '.join(summary['air_blind_scenarios']) or 'none'}; "
+          f"CDI-blind: "
+          f"{', '.join(summary['cdi_blind_scenarios']) or 'none'}. "
+          f"RCA cluster localization {rca['correct']}/{rca['scored']} "
+          f"(accuracy {rca['accuracy']:.2f}). "
+          f"Expectations met: {summary['expectations_met']}.")
+    if json_out is not None:
+        target = Path(json_out)
+        target.write_text(faceoff_json(result))
+        print(f"faceoff artifact written to {target}")
+    return 0 if summary["expectations_met"] else 1
+
+
 def _newest_trace(trace_dir: str) -> "str | None":
     from pathlib import Path
 
@@ -677,6 +725,7 @@ COMMANDS: dict[str, Callable[[int], None]] = {
     "table5": cmd_table5,
     "daily": cmd_daily,
     "control": cmd_control,
+    "faceoff": cmd_faceoff,
     "stream": cmd_stream,
     "trace": cmd_trace,
     "query": cmd_query,
@@ -733,7 +782,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="seeded (three injected incidents) or "
                               "quiet (background only; default seeded)")
     control.add_argument("--json-out", default=None,
-                         help="write the scorecard JSON to this path")
+                         help="write the scorecard (control) or faceoff "
+                              "artifact JSON to this path")
     stream = parser.add_argument_group(
         "stream", "options for the streaming incremental CDI loop"
     )
@@ -803,6 +853,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "control":
         return cmd_control(args.seed, days=args.days or 21,
                            backend=args.backend, scenario=args.scenario,
+                           json_out=args.json_out)
+    if args.command == "faceoff":
+        return cmd_faceoff(args.seed, backend=args.backend,
                            json_out=args.json_out)
     if args.command == "daily":
         cmd_daily(

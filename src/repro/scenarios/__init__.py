@@ -6,6 +6,10 @@
 * :mod:`repro.scenarios.event_level` — Fig. 9 / Cases 6 & 7.
 * :mod:`repro.scenarios.abtest_case8` — Fig. 11 / Table V / Case 8.
 * :mod:`repro.scenarios.nic_case` — Fig. 1 / Example 1 workflow.
+* :mod:`repro.scenarios.outages` — BSODiag-style outage family for
+  the AIR-vs-CDI faceoff.
+* :mod:`repro.scenarios.faceoff` — the head-to-head KPI study and its
+  byte-deterministic artifact.
 """
 
 from repro.scenarios.abtest_case8 import PAPER_MEANS, build_case8_experiment
@@ -42,11 +46,13 @@ from repro.scenarios.incidents import (
     normalize_to_daily,
     simulate_incident_days,
 )
+from repro.scenarios.faceoff import faceoff_json, run_faceoff
 from repro.scenarios.nic_case import (
     NicIncidentOutcome,
     nic_rules,
     run_nic_incident,
 )
+from repro.scenarios.outages import OutageScenario, outage_family
 
 __all__ = [
     "AccessKeyIncidentResult",
@@ -58,15 +64,19 @@ __all__ = [
     "IncidentDayMetrics",
     "MonthlyCdi",
     "NicIncidentOutcome",
+    "OutageScenario",
     "PAPER_MEANS",
     "build_case8_experiment",
     "default_weights",
     "divergence_ratio",
+    "faceoff_json",
     "fault_to_period",
     "fleet_cdi",
     "full_day_services",
     "nic_rules",
     "normalize_to_daily",
+    "outage_family",
+    "run_faceoff",
     "periods_by_vm",
     "run_nic_incident",
     "simulate_architecture_comparison",

@@ -141,6 +141,15 @@ class InjectedIncident:
     ``value`` record where the incident is concentrated in the fleet
     topology (e.g. ``cluster`` / the faulty cluster id) — the answer a
     root-cause localizer is scored against.
+
+    ``pulses`` shapes *how* the day's damage is delivered: the default
+    single pulse is one contiguous ``seconds_per_day`` outage, while
+    ``pulses > 1`` splits the same total duration into that many equal
+    slices, each starting ``pulse_interval`` seconds after the
+    previous one.  Pulsed incidents model "brief but wide"
+    interruptions — many distinct short occurrences whose summed
+    downtime is small — the shape where a frequency KPI (AIR) and a
+    duration-weighted KPI (CDI) disagree hardest.
     """
 
     incident_id: str
@@ -151,6 +160,8 @@ class InjectedIncident:
     seconds_per_day: float
     dimension: str = ""
     value: str = ""
+    pulses: int = 1
+    pulse_interval: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.targets:
@@ -165,6 +176,15 @@ class InjectedIncident:
             raise ValueError(
                 f"seconds_per_day must be > 0, got {self.seconds_per_day}"
             )
+        if self.pulses < 1:
+            raise ValueError(f"pulses must be >= 1, got {self.pulses}")
+        if self.pulses > 1:
+            if self.pulse_interval <= self.seconds_per_day / self.pulses:
+                raise ValueError(
+                    "pulse_interval must exceed the per-pulse duration "
+                    f"({self.seconds_per_day / self.pulses}), got "
+                    f"{self.pulse_interval}"
+                )
 
     @property
     def category(self) -> EventCategory:
@@ -201,11 +221,20 @@ def incident_faults(incident: InjectedIncident, *, start: float = 0.0,
     remediated (e.g. the VM was migrated off the faulty cluster): they
     no longer produce the incident's faults, which is how an executed
     operation action feeds back into subsequent telemetry.
+
+    A pulsed incident (``pulses > 1``) emits ``pulses`` faults per
+    target, each ``seconds_per_day / pulses`` long and starting
+    ``pulse_interval`` after the previous pulse, so the day's total
+    injected duration per target equals ``seconds_per_day`` regardless
+    of pulse count.
     """
+    pulse_duration = incident.seconds_per_day / incident.pulses
     return [
-        Fault(kind=incident.kind, target=target, start=start,
-              duration=incident.seconds_per_day)
+        Fault(kind=incident.kind, target=target,
+              start=start + pulse * incident.pulse_interval,
+              duration=pulse_duration)
         for target in incident.targets if target not in excluded
+        for pulse in range(incident.pulses)
     ]
 
 

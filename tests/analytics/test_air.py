@@ -1,0 +1,280 @@
+"""Tests for the vectorized Annual Interruption Rate (AIR).
+
+Three layers of evidence:
+
+* hand-computed oracles — single VM, multi-interruption merging,
+  partial-year exposure — pin the definition;
+* a randomized differential pins the vectorized kernels to the scalar
+  reference in :mod:`repro.core.baselines`;
+* hypothesis invariance — AIR must not change under event reordering
+  (the events-table front end sorts internally).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics.air import (
+    AirReport,
+    air_from_arrays,
+    air_from_rows,
+    air_rollup,
+    group_air_reports,
+    merged_interruption_counts,
+    unavailability_arrays,
+)
+from repro.core.baselines import (
+    SECONDS_PER_YEAR,
+    annual_interruption_rate,
+    interruption_count,
+)
+from repro.core.events import Severity, default_catalog
+from repro.core.indicator import ServicePeriod
+from repro.core.periods import EventPeriod
+
+DAY = 86400.0
+
+
+def arrays(intervals):
+    """``[(vm_index, start, end), ...]`` → kernel input arrays."""
+    vm_idx = np.array([i[0] for i in intervals], dtype=np.int64)
+    starts = np.array([i[1] for i in intervals], dtype=np.float64)
+    ends = np.array([i[2] for i in intervals], dtype=np.float64)
+    return vm_idx, starts, ends
+
+
+def down_row(target, time, duration, name="vm_down", level=4):
+    """One unavailability events-table row."""
+    return {"name": name, "time": time, "target": target, "level": level,
+            "expire_interval": 3600.0, "duration": duration}
+
+
+class TestHandComputedOracles:
+    def test_single_vm_single_interruption(self):
+        # One VM, one year of service, one outage: AIR = 1 / 1 VM-year
+        # * 100 = 100 by construction.
+        report = air_from_arrays(
+            *arrays([(0, 1000.0, 2000.0)]),
+            np.array([0.0]), np.array([SECONDS_PER_YEAR]),
+        )
+        assert report.interruptions == 1
+        assert report.vm_years == pytest.approx(1.0)
+        assert report.air == pytest.approx(100.0)
+
+    def test_multi_interruption_merging(self):
+        # Three raw intervals on one VM: the first two overlap, the
+        # second and third touch end-to-start — all one interruption;
+        # a fourth after a gap is the second interruption.
+        intervals = [
+            (0, 100.0, 200.0),
+            (0, 150.0, 300.0),   # overlaps the first
+            (0, 300.0, 400.0),   # touches the merged end
+            (0, 500.0, 600.0),   # gap: a new interruption
+        ]
+        report = air_from_arrays(
+            *arrays(intervals), np.array([0.0]), np.array([DAY]),
+        )
+        assert report.interruptions == 2
+        # 2 interruptions / (1 day / 365 days) VM-years * 100
+        assert report.air == pytest.approx(2.0 / (DAY / SECONDS_PER_YEAR)
+                                           * 100.0)
+
+    def test_partial_year_exposure(self):
+        # Half a year of service doubles the rate of the same count:
+        # 1 interruption over 0.5 VM-years = 200 per 100 VM-years.
+        report = air_from_arrays(
+            *arrays([(0, 10.0, 20.0)]),
+            np.array([0.0]), np.array([SECONDS_PER_YEAR / 2.0]),
+        )
+        assert report.vm_years == pytest.approx(0.5)
+        assert report.air == pytest.approx(200.0)
+
+    def test_clipping_to_service_window(self):
+        # An interval entirely before the service window is dropped;
+        # one straddling the start is clipped but still counts.
+        report = air_from_arrays(
+            *arrays([(0, -200.0, -100.0), (0, -50.0, 50.0)]),
+            np.array([0.0]), np.array([DAY]),
+        )
+        assert report.interruptions == 1
+
+    def test_zero_exposure_air_is_zero(self):
+        report = AirReport(interruptions=5, exposure_seconds=0.0)
+        assert report.air == 0.0
+
+    def test_interruption_free_vms_dilute(self):
+        # Same count over 1 vs 2 VMs: doubling exposure halves AIR.
+        one = air_from_arrays(
+            *arrays([(0, 10.0, 20.0)]), np.array([0.0]), np.array([DAY]),
+        )
+        two = air_from_arrays(
+            *arrays([(0, 10.0, 20.0)]),
+            np.array([0.0, 0.0]), np.array([DAY, DAY]),
+        )
+        assert two.air == pytest.approx(one.air / 2.0)
+
+
+class TestScalarOracleDifferential:
+    def test_matches_reference_on_random_fleets(self):
+        catalog = default_catalog()
+        rng = np.random.default_rng(42)
+        for _ in range(50):
+            num_vms = int(rng.integers(1, 8))
+            services = [
+                ServicePeriod(float(rng.uniform(0, 100)),
+                              float(rng.uniform(200, 2000)))
+                for _ in range(num_vms)
+            ]
+            per_vm = [[] for _ in range(num_vms)]
+            intervals = []
+            for _ in range(int(rng.integers(0, 30))):
+                vm = int(rng.integers(0, num_vms))
+                start = float(rng.uniform(-100, 2100))
+                end = start + float(rng.uniform(0, 300))
+                intervals.append((vm, start, end))
+                per_vm[vm].append(EventPeriod(
+                    name="vm_down", target=f"vm{vm}", start=start,
+                    end=end, level=Severity.FATAL,
+                ))
+            vm_idx, starts, ends = arrays(intervals or [])
+            report = air_from_arrays(
+                vm_idx, starts, ends,
+                np.array([s.start for s in services]),
+                np.array([s.end for s in services]),
+            )
+            expected = sum(
+                interruption_count(per_vm[vm], services[vm], catalog)
+                for vm in range(num_vms)
+            )
+            assert report.interruptions == expected
+            assert report.air == pytest.approx(annual_interruption_rate(
+                list(zip(per_vm, services)), catalog,
+            ))
+
+    def test_empty_fleet(self):
+        report = air_from_arrays(
+            np.array([], dtype=np.int64), np.array([]), np.array([]),
+            np.array([]), np.array([]),
+        )
+        assert report.interruptions == 0
+        assert report.air == 0.0
+
+    def test_negative_num_vms_rejected(self):
+        with pytest.raises(ValueError):
+            merged_interruption_counts(
+                np.array([], dtype=np.int64), np.array([]), np.array([]),
+                -1,
+            )
+
+
+class TestEventsTableFrontEnd:
+    def test_category_filter_and_window_fallback(self):
+        # Performance and unknown rows are ignored; a duration-less
+        # unavailability row falls back to the catalog window.
+        catalog = default_catalog()
+        services = {"a": ServicePeriod(0.0, DAY)}
+        rows = [
+            down_row("a", 1000.0, None),                    # window 60 s
+            down_row("a", 5000.0, 120.0, name="slow_io", level=3),
+            down_row("a", 6000.0, 120.0, name="no_such_event"),
+        ]
+        report = air_from_rows(rows, services, catalog)
+        assert report.interruptions == 1
+
+    def test_negative_duration_raises(self):
+        catalog = default_catalog()
+        with pytest.raises(ValueError):
+            air_from_rows([down_row("a", 100.0, -5.0)],
+                          {"a": ServicePeriod(0.0, DAY)}, catalog)
+
+    def test_stateful_pairing(self):
+        # A ddos_blackhole add/del pair resolves to one interruption
+        # via the reference pairing path.
+        catalog = default_catalog()
+        services = {"a": ServicePeriod(0.0, DAY)}
+        rows = [
+            down_row("a", 100.0, None, name="ddos_blackhole_add"),
+            down_row("a", 400.0, None, name="ddos_blackhole_del"),
+        ]
+        report = air_from_rows(rows, services, catalog)
+        assert report.interruptions == 1
+
+    def test_rows_for_unknown_targets_skipped(self):
+        catalog = default_catalog()
+        report = air_from_rows(
+            [down_row("ghost", 100.0, 50.0)],
+            {"a": ServicePeriod(0.0, DAY)}, catalog,
+        )
+        assert report.interruptions == 0
+
+    def test_rollup_additivity(self):
+        catalog = default_catalog()
+        services = {f"vm{i}": ServicePeriod(0.0, DAY) for i in range(6)}
+        rows = [down_row(f"vm{i}", 1000.0 * (i + 1), 100.0)
+                for i in range(4)]
+        groups = {f"vm{i}": {"cluster": f"c{i % 2}"} for i in range(6)}
+        rollup = air_rollup(rows, services, catalog,
+                            lambda vm: groups[vm], "cluster")
+        fleet = air_from_rows(rows, services, catalog)
+        assert sum(r.interruptions for r in rollup.values()) \
+            == fleet.interruptions
+        assert sum(r.exposure_seconds for r in rollup.values()) \
+            == pytest.approx(fleet.exposure_seconds)
+        assert set(rollup) == {"c0", "c1"}
+
+    def test_group_reports_empty_groups(self):
+        reports = group_air_reports(
+            np.array([], dtype=np.int64), np.array([]), np.array([]),
+            np.array([0.0]), np.array([DAY]),
+            np.array([0], dtype=np.int64), 2,
+        )
+        assert [r.interruptions for r in reports] == [0, 0]
+        assert reports[1].exposure_seconds == 0.0
+
+    def test_canonical_vm_order(self):
+        catalog = default_catalog()
+        services = {"b": ServicePeriod(0.0, DAY),
+                    "a": ServicePeriod(0.0, DAY)}
+        vm_list, *_ = unavailability_arrays([], services, catalog)
+        assert vm_list == ["a", "b"]
+
+
+@st.composite
+def _event_rows(draw):
+    """A small random batch of mixed events-table rows."""
+    targets = ["vm0", "vm1", "vm2"]
+    names = ["vm_down", "vm_hang", "slow_io", "api_error"]
+    rows = []
+    for _ in range(draw(st.integers(min_value=0, max_value=12))):
+        duration = draw(st.one_of(
+            st.none(),
+            st.floats(min_value=0.0, max_value=5000.0,
+                      allow_nan=False, allow_infinity=False),
+        ))
+        rows.append({
+            "name": draw(st.sampled_from(names)),
+            "time": draw(st.floats(min_value=0.0, max_value=DAY,
+                                   allow_nan=False, allow_infinity=False)),
+            "target": draw(st.sampled_from(targets)),
+            "level": 4,
+            "expire_interval": 3600.0,
+            "duration": duration,
+        })
+    return rows
+
+
+class TestReorderInvariance:
+    @settings(max_examples=60, deadline=None)
+    @given(rows=_event_rows(), seed=st.integers(min_value=0, max_value=2**31))
+    def test_air_invariant_under_row_reordering(self, rows, seed):
+        # AIR is a function of the event *set*: any ingest order —
+        # late arrivals, shard interleavings — must yield the same
+        # report.
+        catalog = default_catalog()
+        services = {f"vm{i}": ServicePeriod(0.0, DAY) for i in range(3)}
+        baseline = air_from_rows(rows, services, catalog)
+        shuffled = list(rows)
+        np.random.default_rng(seed).shuffle(shuffled)
+        report = air_from_rows(shuffled, services, catalog)
+        assert report == baseline
